@@ -1,0 +1,81 @@
+// E-F10 — Fig. 10: path regular expressions over variant steps. Measures
+// the closure computation for +, * and {n} quantifiers over the subclass
+// hierarchy and over fully variant hops, as hierarchy depth grows.
+#include "bench_common.hpp"
+
+namespace gems::bench {
+namespace {
+
+void BM_Fig10_SubclassPlus(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t vertices = 0;
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select * from graph TypeVtx () ( --subclass--> [ ] "
+                      ")+ into subgraph closure",
+                      params);
+    vertices = r.subgraph->num_vertices();
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+  state.counters["closure_vertices"] = static_cast<double>(vertices);
+  state.counters["types"] = static_cast<double>(
+      (*db.table("Types"))->num_rows());
+}
+BENCHMARK(BM_Fig10_SubclassPlus)->Arg(500)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig10_ExactCount(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  const std::string query =
+      "select * from graph TypeVtx () ( --subclass--> [ ] ){" +
+      std::to_string(state.range(0)) + "} into subgraph hops";
+  for (auto _ : state) {
+    auto r = must_run(db, query, params);
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+}
+BENCHMARK(BM_Fig10_ExactCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Fully variant closure from one product: ( --[]--> [ ] )+ explores every
+// edge type at every hop — the most general query Fig. 10 allows.
+void BM_Fig10_FullyVariantClosure(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t vertices = 0;
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select * from graph ProductVtx (id = %Product1%) "
+                      "( --[]--> [ ] )+ into subgraph reach",
+                      params);
+    vertices = r.subgraph->num_vertices();
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+  state.counters["reachable"] = static_cast<double>(vertices);
+}
+BENCHMARK(BM_Fig10_FullyVariantClosure)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+// Star vs plus: star additionally unions the start set.
+void BM_Fig10_StarVsPlus(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  const bool star = state.range(0) == 1;
+  const std::string query = std::string(
+                                "select * from graph TypeVtx () ( "
+                                "--subclass--> [ ] )") +
+                            (star ? "*" : "+") + " into subgraph q";
+  for (auto _ : state) {
+    auto r = must_run(db, query, params);
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+  state.SetLabel(star ? "star" : "plus");
+}
+BENCHMARK(BM_Fig10_StarVsPlus)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// E-F13 — Fig. 13: the full matching subgraph materialized as a table
+// ("each row has all the attributes of all entities involved in the query
+// path"). Compares table materialization (assignment enumeration + value
+// copies) against subgraph capture (bitset marking) for the same match,
+// and scales the path length.
+#include "bench_common.hpp"
+
+namespace gems::bench {
+namespace {
+
+void BM_Fig13_ResultsAsTable(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select * from graph OfferVtx(deliveryDays <= 3) "
+                      "--product--> ProductVtx() into table resultsT",
+                      params);
+    rows = r.table->num_rows();
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["cols"] = 11.0 + 17.0;  // Offers + Products attributes
+}
+BENCHMARK(BM_Fig13_ResultsAsTable)->Arg(500)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig13_SubgraphBaseline(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select * from graph OfferVtx(deliveryDays <= 3) "
+                      "--product--> ProductVtx() into subgraph resultsG",
+                      params);
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+}
+BENCHMARK(BM_Fig13_SubgraphBaseline)->Arg(500)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+// Longer paths multiply the per-row attribute width and the assignment
+// count.
+void BM_Fig13_PathLength(benchmark::State& state) {
+  server::Database& db = berlin_db(1000);
+  const auto params = berlin_params();
+  const int hops = static_cast<int>(state.range(0));
+  std::string query = "select * from graph PersonVtx(country = 'DE')";
+  if (hops >= 1) query += " <--reviewer-- ReviewVtx()";
+  if (hops >= 2) query += " --reviewFor--> ProductVtx()";
+  if (hops >= 3) query += " --producer--> ProducerVtx()";
+  query += " into table resultsT";
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = must_run(db, query, params);
+    rows = r.table->num_rows();
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig13_PathLength)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// E-F6 — Fig. 6, Berlin Query 2: "the top 10 products most similar to
+// %Product1% rated by the count of features they have in common."
+// Measures the two-statement pipeline (graph match into table, then
+// group/order/top) across scale factors, plus each stage separately.
+#include "bench_common.hpp"
+
+namespace gems::bench {
+namespace {
+
+void BM_BerlinQ2_Full(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = must_run(db, bsbm::berlin_q2(), params);
+    rows = r.table->num_rows();
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+  state.counters["products"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BerlinQ2_Full)->Arg(100)->Arg(500)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BerlinQ2_GraphStage(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  const std::string graph_stage = R"(
+select y.id from graph
+  ProductVtx (id = %Product1%)
+  --feature--> FeatureVtx ( )
+  <--feature-- def y: ProductVtx (id <> %Product1%)
+into table Q2T)";
+  for (auto _ : state) {
+    auto r = must_run(db, graph_stage, params);
+    benchmark::DoNotOptimize(r.table);
+  }
+}
+BENCHMARK(BM_BerlinQ2_GraphStage)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BerlinQ2_TableStage(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  // Materialize Q2T once; then measure only the relational stage.
+  must_run(db, R"(
+select y.id from graph
+  ProductVtx (id = %Product1%)
+  --feature--> FeatureVtx ( )
+  <--feature-- def y: ProductVtx (id <> %Product1%)
+into table Q2T)",
+           params);
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select top 10 id, count(*) as groupCount from table "
+                      "Q2T group by id order by groupCount desc, id",
+                      params);
+    benchmark::DoNotOptimize(r.table);
+  }
+}
+BENCHMARK(BM_BerlinQ2_TableStage)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// E-F7/F8 — Fig. 7, Berlin Query 1: multi-path and-composition with a
+// foreach (element-wise) label. Measures the full pipeline across scale
+// factors and across parameter selectivity (common vs rare countries).
+#include "bench_common.hpp"
+
+namespace gems::bench {
+namespace {
+
+void BM_BerlinQ1_Full(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = must_run(db, bsbm::berlin_q1(), params);
+    rows = r.table->num_rows();
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_BerlinQ1_Full)->Arg(100)->Arg(500)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+// Country selectivity: "US" is the most common country in the generator's
+// skewed distribution, "IN" the rarest. Rare parameters should run faster
+// because the planner pivots at the selective person/producer steps.
+void BM_BerlinQ1_Selectivity(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const bool rare = state.range(0) == 1;
+  relational::ParamMap params = berlin_params();
+  params.insert_or_assign("Country1",
+                          storage::Value::varchar(rare ? "IN" : "US"));
+  params.insert_or_assign("Country2",
+                          storage::Value::varchar(rare ? "BR" : "US"));
+  for (auto _ : state) {
+    auto r = must_run(db, bsbm::berlin_q1(), params);
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.SetLabel(rare ? "rare countries" : "common countries");
+}
+BENCHMARK(BM_BerlinQ1_Selectivity)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

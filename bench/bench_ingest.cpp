@@ -1,0 +1,123 @@
+// E-F1/E-P4 — Sec. II-A2: the `ingest` command. Measures typed CSV
+// parsing throughput (rows/s, MB/s) per Berlin table and the atomic
+// staging overhead, plus end-to-end ingest including derived-view
+// regeneration.
+#include <filesystem>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::bench {
+namespace {
+
+/// CSV text of one generated table, cached per (table, scale).
+const std::string& table_csv(const char* table, std::size_t scale) {
+  static std::map<std::pair<std::string, std::size_t>, std::string> cache;
+  auto key = std::make_pair(std::string(table), scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    server::Database& db = berlin_db(scale);
+    auto t = db.tables().find(table);
+    GEMS_CHECK(t.is_ok());
+    std::ostringstream out;
+    storage::write_csv(**t, out);
+    it = cache.emplace(key, out.str()).first;
+  }
+  return it->second;
+}
+
+void BM_Ingest_CsvParse(benchmark::State& state, const char* table) {
+  const std::size_t scale = static_cast<std::size_t>(state.range(0));
+  const std::string& csv = table_csv(table, scale);
+  server::Database& db = berlin_db(scale);
+  auto source = db.tables().find(table);
+  GEMS_CHECK(source.is_ok());
+  storage::CsvOptions options;
+  options.has_header = true;
+
+  StringPool pool;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    storage::Table fresh(table, (*source)->schema(), pool);
+    auto r = storage::ingest_csv_text(fresh, csv, options);
+    GEMS_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+    rows = r->rows;
+    benchmark::DoNotOptimize(fresh.num_rows());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["MB_per_sec"] = benchmark::Counter(
+      static_cast<double>(csv.size()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Ingest_Offers(benchmark::State& state) {
+  BM_Ingest_CsvParse(state, "Offers");
+}
+void BM_Ingest_Products(benchmark::State& state) {
+  BM_Ingest_CsvParse(state, "Products");
+}
+void BM_Ingest_Reviews(benchmark::State& state) {
+  BM_Ingest_CsvParse(state, "Reviews");
+}
+BENCHMARK(BM_Ingest_Offers)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ingest_Products)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ingest_Reviews)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end `ingest table ...` including the derived vertex/edge
+// regeneration the paper mandates, through a fresh database each
+// iteration.
+void BM_Ingest_EndToEndWithViewRebuild(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::size_t scale = static_cast<std::size_t>(state.range(0));
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("gems_bench_ingest_" + std::to_string(scale)))
+          .string();
+  fs::create_directories(dir);
+  {
+    server::Database& source = berlin_db(scale);
+    GEMS_CHECK(bsbm::write_csv_files(source, dir).is_ok());
+  }
+  server::DatabaseOptions options;
+  options.data_dir = dir;
+
+  std::string ingest_script;
+  {
+    server::Database& source = berlin_db(scale);
+    for (const auto& name : source.tables().names()) {
+      ingest_script +=
+          "ingest table " + name + " '" + name + ".csv' with header\n";
+    }
+  }
+
+  std::size_t total_rows = 0;
+  for (auto _ : state) {
+    server::Database db(options);
+    GEMS_CHECK(db.run_script(bsbm::full_ddl()).is_ok());
+    auto r = db.run_script(ingest_script);
+    GEMS_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+    total_rows = 0;
+    for (const auto& name : db.tables().names()) {
+      total_rows += (*db.table(name))->num_rows();
+    }
+    benchmark::DoNotOptimize(db.graph().total_edges());
+  }
+  state.counters["total_rows"] = static_cast<double>(total_rows);
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_rows),
+      benchmark::Counter::kIsIterationInvariantRate);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Ingest_EndToEndWithViewRebuild)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

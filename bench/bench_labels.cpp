@@ -1,0 +1,100 @@
+// E-P5 — Sec. II-B2: set (`def`) vs element-wise (`foreach`) labels. Set
+// labels stay in the bitset fixpoint; element-wise labels alias variables
+// and force per-assignment equality, which costs during enumeration and
+// (for cycles) during exactness refinement. The paper's superset relation
+// (Eq. 6 ⊇ Eq. 8) shows up in the result counters.
+#include "bench_common.hpp"
+
+namespace gems::bench {
+namespace {
+
+// The shared-feature self-join: products of one producer sharing features.
+void BM_Labels_SetLabel(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select * from graph def X: "
+                      "ProductVtx(propertyNumeric_1 <= 200) --feature--> "
+                      "FeatureVtx() <--feature-- X into table R",
+                      params);
+    rows = r.table->num_rows();
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.SetLabel("def (set, Eq. 6)");
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Labels_SetLabel)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Labels_ForeachLabel(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select * from graph foreach x: "
+                      "ProductVtx(propertyNumeric_1 <= 200) --feature--> "
+                      "FeatureVtx() <--feature-- x into table R",
+                      params);
+    rows = r.table->num_rows();
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.SetLabel("foreach (element-wise, Eq. 8)");
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Labels_ForeachLabel)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+// Subgraph output: set labels use the pure fixpoint (tree networks),
+// foreach cycles force enumeration-based marking.
+void BM_Labels_SubgraphSet(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select X from graph def X: ProductVtx() "
+                      "--feature--> FeatureVtx() <--feature-- X "
+                      "into subgraph S",
+                      params);
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+}
+BENCHMARK(BM_Labels_SubgraphSet)->Unit(benchmark::kMillisecond);
+
+void BM_Labels_SubgraphForeach(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select x from graph foreach x: ProductVtx() "
+                      "--feature--> FeatureVtx() <--feature-- x "
+                      "into subgraph S",
+                      params);
+    benchmark::DoNotOptimize(r.subgraph);
+  }
+}
+BENCHMARK(BM_Labels_SubgraphForeach)->Unit(benchmark::kMillisecond);
+
+// Cross-step condition (deferred predicate): distinct-pair variant.
+void BM_Labels_CrossCondition(benchmark::State& state) {
+  server::Database& db = berlin_db(static_cast<std::size_t>(state.range(0)));
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db,
+                      "select p.id, q.id from graph def p: "
+                      "ProductVtx(propertyNumeric_1 <= 100) --feature--> "
+                      "FeatureVtx() <--feature-- def q: ProductVtx(id <> "
+                      "p.id) into table R",
+                      params);
+    benchmark::DoNotOptimize(r.table);
+  }
+}
+BENCHMARK(BM_Labels_CrossCondition)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Per-stage cost of the GEMS query pipeline (Sec. III): parse → static
+// analysis → IR encode/decode → plan → match → materialize, measured
+// separately on Berlin Query 2. Shows where a front-end/backend split
+// would spend its time and what the static checks and the IR hand-off
+// cost relative to execution.
+#include "bench_common.hpp"
+#include "exec/enumerate.hpp"
+#include "exec/lowering.hpp"
+#include "exec/matcher.hpp"
+#include "graql/analyzer.hpp"
+#include "graql/ir.hpp"
+#include "graql/parser.hpp"
+#include "plan/planner.hpp"
+
+namespace gems::bench {
+namespace {
+
+const char* kQueryText = R"(
+select y.id from graph
+  ProductVtx (id = %Product1%)
+  --feature--> FeatureVtx ( )
+  <--feature-- def y: ProductVtx (id <> %Product1%)
+into table Q2T
+)";
+
+void BM_Stage_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto script = graql::parse_script(kQueryText);
+    GEMS_CHECK(script.is_ok());
+    benchmark::DoNotOptimize(script.value());
+  }
+}
+BENCHMARK(BM_Stage_Parse)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage_StaticAnalysis(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  auto script = graql::parse_script(kQueryText);
+  GEMS_CHECK(script.is_ok());
+  for (auto _ : state) {
+    graql::MetaCatalog meta = db.meta_catalog();
+    GEMS_CHECK(graql::analyze_script(*script, meta, &params).is_ok());
+    benchmark::DoNotOptimize(meta);
+  }
+}
+BENCHMARK(BM_Stage_StaticAnalysis)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage_IrRoundTrip(benchmark::State& state) {
+  auto script = graql::parse_script(kQueryText);
+  GEMS_CHECK(script.is_ok());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto ir = graql::encode_script(script.value());
+    bytes = ir.size();
+    auto decoded = graql::decode_script(ir);
+    GEMS_CHECK(decoded.is_ok());
+    benchmark::DoNotOptimize(decoded.value());
+  }
+  state.counters["ir_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Stage_IrRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage_LowerAndPlan(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  auto stmt = graql::parse_statement(
+      "select y.id from graph ProductVtx (id = %Product1%) --feature--> "
+      "FeatureVtx ( ) <--feature-- def y: ProductVtx (id <> %Product1%) "
+      "into table Q2T");
+  GEMS_CHECK(stmt.is_ok());
+  const auto& q = std::get<graql::GraphQueryStmt>(stmt.value());
+  auto resolver = [](const std::string&) -> Result<exec::SubgraphPtr> {
+    return not_found("none");
+  };
+  // Statistics are cached by the server (invalidated on DDL/ingest);
+  // collect once here to measure the steady-state lower+plan cost.
+  const plan::GraphStats stats = plan::GraphStats::collect(db.graph());
+  for (auto _ : state) {
+    auto lowered =
+        exec::lower_graph_query(q, db.graph(), resolver, params, db.pool());
+    GEMS_CHECK(lowered.is_ok());
+    const plan::PathPlan plan = plan::plan_network(
+        lowered->networks[0], db.graph(), db.pool(), stats);
+    benchmark::DoNotOptimize(plan.root_var);
+  }
+}
+BENCHMARK(BM_Stage_LowerAndPlan)->Unit(benchmark::kMicrosecond);
+
+// One-off statistics collection (amortized across queries by the cache).
+void BM_Stage_StatsCollect(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  for (auto _ : state) {
+    const plan::GraphStats stats = plan::GraphStats::collect(db.graph());
+    benchmark::DoNotOptimize(stats.vertex_counts);
+  }
+}
+BENCHMARK(BM_Stage_StatsCollect)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage_Match(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  auto stmt = graql::parse_statement(
+      "select y.id from graph ProductVtx (id = %Product1%) --feature--> "
+      "FeatureVtx ( ) <--feature-- def y: ProductVtx (id <> %Product1%) "
+      "into table Q2T");
+  GEMS_CHECK(stmt.is_ok());
+  const auto& q = std::get<graql::GraphQueryStmt>(stmt.value());
+  auto resolver = [](const std::string&) -> Result<exec::SubgraphPtr> {
+    return not_found("none");
+  };
+  auto lowered =
+      exec::lower_graph_query(q, db.graph(), resolver, params, db.pool());
+  GEMS_CHECK(lowered.is_ok());
+  for (auto _ : state) {
+    auto match =
+        exec::match_network(lowered->networks[0], db.graph(), db.pool());
+    GEMS_CHECK(match.is_ok());
+    benchmark::DoNotOptimize(match->domains);
+  }
+}
+BENCHMARK(BM_Stage_Match)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage_FullPipeline(benchmark::State& state) {
+  server::Database& db = berlin_db(2000);
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db, kQueryText, params);
+    benchmark::DoNotOptimize(r.table);
+  }
+}
+BENCHMARK(BM_Stage_FullPipeline)->Unit(benchmark::kMicrosecond);
+
+// Ablation: the pipeline with static analysis / IR hand-off disabled
+// (DatabaseOptions switches) — their overhead on the end-to-end path.
+void BM_Stage_PipelineAblation(benchmark::State& state) {
+  server::DatabaseOptions options;
+  options.skip_static_analysis = state.range(0) & 1;
+  options.skip_ir_roundtrip = state.range(0) & 2;
+  static std::map<long, std::unique_ptr<server::Database>> cache;
+  auto it = cache.find(state.range(0));
+  if (it == cache.end()) {
+    auto db = bsbm::make_populated_database(
+        bsbm::GeneratorConfig::derive(2000, 42), options);
+    GEMS_CHECK(db.is_ok());
+    it = cache.emplace(state.range(0), std::move(db).value()).first;
+  }
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(*it->second, kQueryText, params);
+    benchmark::DoNotOptimize(r.table);
+  }
+  state.SetLabel(std::string(state.range(0) & 1 ? "no-analysis" : "analysis") +
+                 std::string(state.range(0) & 2 ? ",no-ir" : ",ir"));
+}
+BENCHMARK(BM_Stage_PipelineAblation)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

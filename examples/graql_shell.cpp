@@ -1,0 +1,192 @@
+// graql_shell — the "simple command-line interface" client of the GEMS
+// architecture (paper Sec. III, component 1). Reads GraQL statements from
+// stdin (terminated by a blank line or ';'), runs them through the server
+// pipeline, prints result tables/subgraphs.
+//
+//   $ ./examples/graql_shell [--berlin N] [--data-dir DIR]
+//
+// Shell meta-commands:
+//   \catalog          list all database objects with sizes
+//   \set NAME VALUE   bind a %parameter% (values: int, float, 'string',
+//                     date 'YYYY-MM-DD', true/false)
+//   \params           show bound parameters
+//   \check            only statically analyze the next statement
+//   \explain          show the query plan for the next statement
+//   \quit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bsbm/generator.hpp"
+#include "bsbm/schema.hpp"
+#include "server/database.hpp"
+
+namespace {
+
+using gems::storage::Value;
+
+/// Parses a \set value: int, float, quoted string, date '...', booleans.
+gems::Result<Value> parse_param_value(const std::string& text) {
+  if (text.empty()) return gems::invalid_argument("empty value");
+  if (text == "true") return Value::boolean(true);
+  if (text == "false") return Value::boolean(false);
+  if (text.front() == '\'' && text.back() == '\'' && text.size() >= 2) {
+    return Value::varchar(text.substr(1, text.size() - 2));
+  }
+  if (text.rfind("date", 0) == 0) {
+    std::string rest = text.substr(4);
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\'')) {
+      rest.erase(rest.begin());
+    }
+    while (!rest.empty() && rest.back() == '\'') rest.pop_back();
+    auto days = gems::storage::parse_date(rest);
+    if (!days.is_ok()) return days.status();
+    return Value::date(days.value());
+  }
+  if (text.find('.') != std::string::npos) {
+    return Value::float64(std::strtod(text.c_str(), nullptr));
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Value::varchar(text);  // bare word: treat as string
+  }
+  return Value::int64(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gems::server::DatabaseOptions options;
+  std::size_t berlin_scale = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--berlin") == 0 && i + 1 < argc) {
+      berlin_scale = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      options.data_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--berlin N] [--data-dir DIR] < script.graql\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  gems::server::Database db(options);
+  if (berlin_scale > 0) {
+    auto ddl = db.run_script(gems::bsbm::full_ddl());
+    if (!ddl.is_ok()) {
+      std::fprintf(stderr, "%s\n", ddl.status().to_string().c_str());
+      return 1;
+    }
+    auto gen = gems::bsbm::generate(
+        db, gems::bsbm::GeneratorConfig::derive(berlin_scale));
+    if (!gen.is_ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("loaded Berlin dataset: %zu rows total\n",
+                gen->total_rows());
+  }
+
+  gems::relational::ParamMap params;
+  bool check_only = false;
+  bool explain_only = false;
+  std::string buffer;
+  std::string line;
+  const bool interactive = true;
+
+  auto run_buffer = [&] {
+    if (buffer.find_first_not_of(" \t\r\n") == std::string::npos) {
+      buffer.clear();
+      return;
+    }
+    if (check_only) {
+      check_only = false;
+      const gems::Status s = db.check_script(buffer, &params);
+      std::printf("%s\n", s.is_ok() ? "ok" : s.to_string().c_str());
+      buffer.clear();
+      return;
+    }
+    if (explain_only) {
+      explain_only = false;
+      auto plan = db.explain(buffer, params);
+      std::printf("%s\n", plan.is_ok()
+                               ? plan.value().c_str()
+                               : plan.status().to_string().c_str());
+      buffer.clear();
+      return;
+    }
+    auto results = db.run_script(buffer, params);
+    buffer.clear();
+    if (!results.is_ok()) {
+      std::printf("error: %s\n", results.status().to_string().c_str());
+      return;
+    }
+    for (const auto& r : results.value()) {
+      using Kind = gems::exec::StatementResult::Kind;
+      if (r.kind == Kind::kTable && r.table != nullptr &&
+          r.into == gems::graql::IntoKind::kNone) {
+        std::printf("%s", r.table->to_string(25).c_str());
+      } else if (!r.message.empty()) {
+        std::printf("%s\n", r.message.c_str());
+      }
+      if (r.truncated) std::printf("(result truncated by row cap)\n");
+    }
+  };
+
+  if (interactive) std::printf("graql> ");
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '\\') {
+      std::istringstream cmd(line.substr(1));
+      std::string word;
+      cmd >> word;
+      if (word == "quit" || word == "q") break;
+      if (word == "catalog") {
+        std::printf("%s", db.catalog_summary().c_str());
+      } else if (word == "params") {
+        for (const auto& [name, value] : params) {
+          std::printf("%%%s%% = %s\n", name.c_str(),
+                      value.to_string().c_str());
+        }
+      } else if (word == "set") {
+        std::string name;
+        cmd >> name;
+        std::string rest;
+        std::getline(cmd, rest);
+        while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+        auto value = parse_param_value(rest);
+        if (value.is_ok()) {
+          params[name] = value.value();
+        } else {
+          std::printf("bad value: %s\n",
+                      value.status().to_string().c_str());
+        }
+      } else if (word == "check") {
+        check_only = true;
+        std::printf("next statement will only be analyzed\n");
+      } else if (word == "explain") {
+        explain_only = true;
+        std::printf("next statement will be explained, not executed\n");
+      } else {
+        std::printf("unknown command \\%s\n", word.c_str());
+      }
+      if (interactive) std::printf("graql> ");
+      continue;
+    }
+    // Blank line or trailing ';' submits the buffer.
+    const bool submit =
+        line.empty() || (!line.empty() && line.back() == ';');
+    buffer += line;
+    buffer += '\n';
+    if (submit) {
+      run_buffer();
+      if (interactive) std::printf("graql> ");
+    }
+  }
+  run_buffer();
+  return 0;
+}

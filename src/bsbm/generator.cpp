@@ -1,0 +1,281 @@
+#include "bsbm/generator.hpp"
+
+#include <algorithm>
+
+#include "bsbm/schema.hpp"
+#include "common/prng.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::bsbm {
+
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+GeneratorConfig GeneratorConfig::derive(std::size_t num_products,
+                                        std::uint64_t seed) {
+  GeneratorConfig c;
+  c.num_products = num_products;
+  c.seed = seed;
+  c.num_producers = std::max<std::size_t>(2, num_products / 25);
+  c.num_features = std::max<std::size_t>(8, 10 + num_products / 5);
+  c.num_types = std::max<std::size_t>(5, num_products / 20);
+  c.num_vendors = std::max<std::size_t>(2, num_products / 20);
+  c.num_persons = std::max<std::size_t>(3, num_products / 10);
+  return c;
+}
+
+std::string product_id(std::size_t i) { return "p" + std::to_string(i); }
+std::string producer_id(std::size_t i) { return "pr" + std::to_string(i); }
+std::string feature_id(std::size_t i) { return "f" + std::to_string(i); }
+std::string type_id(std::size_t i) { return "t" + std::to_string(i); }
+std::string vendor_id(std::size_t i) { return "v" + std::to_string(i); }
+std::string offer_id(std::size_t i) { return "o" + std::to_string(i); }
+std::string person_id(std::size_t i) { return "u" + std::to_string(i); }
+std::string review_id(std::size_t i) { return "r" + std::to_string(i); }
+
+const std::vector<std::string>& countries() {
+  static const std::vector<std::string> kCountries = {
+      "US", "DE", "CN", "JP", "UK", "FR", "RU", "IT", "BR", "IN"};
+  return kCountries;
+}
+
+namespace {
+
+const std::int64_t kEpoch2008 = storage::civil_to_days(2008, 1, 1);
+
+/// Skewed country pick: P(country i) ∝ 1/(i+1).
+std::string pick_country(Xoshiro256& rng) {
+  static const std::vector<double> cumulative = [] {
+    std::vector<double> c;
+    double sum = 0;
+    for (std::size_t i = 0; i < countries().size(); ++i) {
+      sum += 1.0 / static_cast<double>(i + 1);
+      c.push_back(sum);
+    }
+    for (auto& v : c) v /= sum;
+    return c;
+  }();
+  const double u = rng.uniform();
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (u <= cumulative[i]) return countries()[i];
+  }
+  return countries().back();
+}
+
+/// Skewed feature pick so that popular features are shared by many
+/// products (drives the Fig. 6 similarity query): index ~ u^2 * n.
+std::size_t pick_feature(Xoshiro256& rng, std::size_t n) {
+  const double u = rng.uniform();
+  return std::min<std::size_t>(n - 1, static_cast<std::size_t>(u * u * n));
+}
+
+Value date_in_2008(Xoshiro256& rng) {
+  return Value::date(kEpoch2008 + rng.range(0, 364));
+}
+
+Value vc(std::string s) { return Value::varchar(std::move(s)); }
+
+}  // namespace
+
+Result<DatasetCounts> generate(server::Database& db,
+                               const GeneratorConfig& config_in) {
+  GeneratorConfig config = config_in;
+  if (config.num_producers == 0) {
+    config = GeneratorConfig::derive(config_in.num_products, config_in.seed);
+    config.offers_per_product = config_in.offers_per_product;
+    config.reviews_per_product = config_in.reviews_per_product;
+    config.features_per_product = config_in.features_per_product;
+  }
+  Xoshiro256 rng(config.seed);
+  DatasetCounts counts;
+
+  auto table = [&](const char* name) -> Result<TablePtr> {
+    return db.tables().find(name);
+  };
+
+  // ---- Types: a shallow tree with branching factor 4 -------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Types"));
+    for (std::size_t i = 0; i < config.num_types; ++i) {
+      const std::string parent = i == 0 ? "" : type_id((i - 1) / 4);
+      t->append_row_unchecked(std::vector<Value>{
+          vc(type_id(i)), vc("PType"), vc("type " + type_id(i)),
+          i == 0 ? Value::null() : vc(parent), vc("gen"),
+          date_in_2008(rng)});
+    }
+    counts.types = config.num_types;
+  }
+
+  // ---- Features ----------------------------------------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Features"));
+    for (std::size_t i = 0; i < config.num_features; ++i) {
+      t->append_row_unchecked(std::vector<Value>{
+          vc(feature_id(i)), vc("PFeature"), vc("F" + std::to_string(i % 100)),
+          vc("feature " + feature_id(i)), vc("gen"), date_in_2008(rng)});
+    }
+    counts.features = config.num_features;
+  }
+
+  // ---- Producers ----------------------------------------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Producers"));
+    for (std::size_t i = 0; i < config.num_producers; ++i) {
+      t->append_row_unchecked(std::vector<Value>{
+          vc(producer_id(i)), vc("Producer"),
+          vc("P" + std::to_string(i % 100)), vc("producer"), vc("hp"),
+          vc(pick_country(rng)), vc("gen"), date_in_2008(rng)});
+    }
+    counts.producers = config.num_producers;
+  }
+
+  // ---- Products + ProductTypes + ProductFeatures -------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr products, table("Products"));
+    GEMS_ASSIGN_OR_RETURN(TablePtr ptypes, table("ProductTypes"));
+    GEMS_ASSIGN_OR_RETURN(TablePtr pfeatures, table("ProductFeatures"));
+    for (std::size_t i = 0; i < config.num_products; ++i) {
+      std::vector<Value> row;
+      row.reserve(17);
+      row.push_back(vc(product_id(i)));
+      row.push_back(vc("Product"));
+      row.push_back(vc("L" + std::to_string(i % 1000)));
+      row.push_back(vc("product " + product_id(i)));
+      row.push_back(vc(producer_id(rng.below(config.num_producers))));
+      for (int k = 0; k < 5; ++k) {
+        row.push_back(Value::int64(rng.range(1, 2000)));
+      }
+      for (int k = 0; k < 5; ++k) {
+        row.push_back(vc("tx" + std::to_string(rng.below(1000))));
+      }
+      row.push_back(vc("gen"));
+      row.push_back(date_in_2008(rng));
+      products->append_row_unchecked(row);
+
+      // 1-2 direct types (deeper semantics come from subclass edges).
+      const std::size_t n_types = 1 + rng.below(2);
+      std::size_t last_type = config.num_types;
+      for (std::size_t k = 0; k < n_types; ++k) {
+        const std::size_t ty = rng.below(config.num_types);
+        if (ty == last_type) continue;
+        last_type = ty;
+        ptypes->append_row_unchecked(
+            std::vector<Value>{vc(product_id(i)), vc(type_id(ty))});
+        ++counts.product_types;
+      }
+
+      // Distinct features per product, skew-shared.
+      const std::size_t n_feat =
+          1 + rng.below(2 * config.features_per_product);
+      std::vector<std::size_t> chosen;
+      for (std::size_t k = 0; k < n_feat; ++k) {
+        const std::size_t f = pick_feature(rng, config.num_features);
+        if (std::find(chosen.begin(), chosen.end(), f) != chosen.end()) {
+          continue;
+        }
+        chosen.push_back(f);
+        pfeatures->append_row_unchecked(
+            std::vector<Value>{vc(product_id(i)), vc(feature_id(f))});
+        ++counts.product_features;
+      }
+    }
+    counts.products = config.num_products;
+  }
+
+  // ---- Vendors -------------------------------------------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Vendors"));
+    for (std::size_t i = 0; i < config.num_vendors; ++i) {
+      t->append_row_unchecked(std::vector<Value>{
+          vc(vendor_id(i)), vc("Vendor"), vc("V" + std::to_string(i % 100)),
+          vc("vendor"), vc("hp"), vc(pick_country(rng)), vc("gen"),
+          date_in_2008(rng)});
+    }
+    counts.vendors = config.num_vendors;
+  }
+
+  // ---- Offers ---------------------------------------------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Offers"));
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < config.num_products; ++p) {
+      const std::size_t n =
+          rng.below(static_cast<std::uint64_t>(2 * config.offers_per_product) +
+                    1);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::int64_t from = kEpoch2008 + rng.range(0, 300);
+        t->append_row_unchecked(std::vector<Value>{
+            vc(offer_id(next)), vc("Offer"), vc(product_id(p)),
+            vc(vendor_id(rng.below(config.num_vendors))),
+            Value::float64(5.0 + rng.uniform() * rng.uniform() * 10000.0),
+            Value::date(from), Value::date(from + rng.range(10, 90)),
+            Value::int64(rng.range(1, 14)), vc("web"), vc("gen"),
+            date_in_2008(rng)});
+        ++next;
+      }
+    }
+    counts.offers = next;
+  }
+
+  // ---- Persons ---------------------------------------------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Persons"));
+    for (std::size_t i = 0; i < config.num_persons; ++i) {
+      t->append_row_unchecked(std::vector<Value>{
+          vc(person_id(i)), vc("Person"), vc("N" + std::to_string(i % 100)),
+          vc("mb"), vc(pick_country(rng)), vc("gen"), date_in_2008(rng)});
+    }
+    counts.persons = config.num_persons;
+  }
+
+  // ---- Reviews ---------------------------------------------------------------
+  {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, table("Reviews"));
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < config.num_products; ++p) {
+      const std::size_t n = rng.below(
+          static_cast<std::uint64_t>(2 * config.reviews_per_product) + 1);
+      for (std::size_t k = 0; k < n; ++k) {
+        auto rating = [&]() {
+          // BSBM: some ratings are missing.
+          return rng.chance(0.2) ? Value::null()
+                                 : Value::int64(rng.range(1, 10));
+        };
+        t->append_row_unchecked(std::vector<Value>{
+            vc(review_id(next)), vc("Review"), vc(product_id(p)),
+            vc(person_id(rng.below(config.num_persons))), date_in_2008(rng),
+            vc("T" + std::to_string(next % 100)), vc("txt"), rating(),
+            rating(), rating(), rating(), vc("gen"), date_in_2008(rng)});
+        ++next;
+      }
+    }
+    counts.reviews = next;
+  }
+
+  // Paper Sec. II-A2: populating tables triggers regeneration of the
+  // derived vertex/edge instances.
+  GEMS_RETURN_IF_ERROR(db.context().rebuild_graph());
+  return counts;
+}
+
+Status write_csv_files(const server::Database& db, const std::string& dir) {
+  for (const auto& name : db.tables().names()) {
+    GEMS_ASSIGN_OR_RETURN(TablePtr t, db.tables().find(name));
+    GEMS_RETURN_IF_ERROR(
+        storage::write_csv_file(*t, dir + "/" + name + ".csv"));
+  }
+  return Status::ok();
+}
+
+Result<std::unique_ptr<server::Database>> make_populated_database(
+    const GeneratorConfig& config, server::DatabaseOptions options) {
+  auto db = std::make_unique<server::Database>(std::move(options));
+  auto ddl = db->run_script(full_ddl());
+  GEMS_RETURN_IF_ERROR(ddl.status());
+  GEMS_ASSIGN_OR_RETURN(DatasetCounts counts, generate(*db, config));
+  (void)counts;
+  return db;
+}
+
+}  // namespace gems::bsbm

@@ -1,0 +1,81 @@
+// Deterministic synthetic data generator for the Berlin schema — the
+// substitution for the BSBM dataset files (see DESIGN.md §1). Entity
+// ratios follow the BSBM e-commerce model: few producers/vendors, many
+// offers and reviews per product, a shallow type hierarchy, and shared
+// product features (which is what gives Berlin Query 2 its selectivity
+// shape). Everything derives from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "server/database.hpp"
+
+namespace gems::bsbm {
+
+struct GeneratorConfig {
+  std::size_t num_products = 1000;  // the scale factor
+  std::uint64_t seed = 42;
+
+  // Derived entity counts (computed by derive()); override after calling
+  // derive() for custom shapes.
+  std::size_t num_producers = 0;
+  std::size_t num_features = 0;
+  std::size_t num_types = 0;
+  std::size_t num_vendors = 0;
+  std::size_t num_persons = 0;
+  double offers_per_product = 5.0;
+  double reviews_per_product = 3.0;
+  std::size_t features_per_product = 5;
+
+  /// Fills the derived counts from num_products using BSBM-like ratios.
+  static GeneratorConfig derive(std::size_t num_products,
+                                std::uint64_t seed = 42);
+};
+
+struct DatasetCounts {
+  std::size_t products = 0;
+  std::size_t producers = 0;
+  std::size_t features = 0;
+  std::size_t types = 0;
+  std::size_t vendors = 0;
+  std::size_t offers = 0;
+  std::size_t persons = 0;
+  std::size_t reviews = 0;
+  std::size_t product_types = 0;
+  std::size_t product_features = 0;
+
+  std::size_t total_rows() const {
+    return products + producers + features + types + vendors + offers +
+           persons + reviews + product_types + product_features;
+  }
+};
+
+/// Entity id helpers ("p17", "pr3", ...), shared with the query mix.
+std::string product_id(std::size_t i);
+std::string producer_id(std::size_t i);
+std::string feature_id(std::size_t i);
+std::string type_id(std::size_t i);
+std::string vendor_id(std::size_t i);
+std::string offer_id(std::size_t i);
+std::string person_id(std::size_t i);
+std::string review_id(std::size_t i);
+
+/// The country vocabulary (skewed: earlier entries are more common).
+const std::vector<std::string>& countries();
+
+/// Populates the (already declared, empty) Berlin tables of `db` and
+/// rebuilds the derived graph. Returns the realized counts.
+Result<DatasetCounts> generate(server::Database& db,
+                               const GeneratorConfig& config);
+
+/// Writes every Berlin table of `db` as <dir>/<Table>.csv (no header),
+/// ready for the paper's `ingest table T file.csv` command.
+Status write_csv_files(const server::Database& db, const std::string& dir);
+
+/// Convenience: fresh database with full_ddl() applied and data generated.
+Result<std::unique_ptr<server::Database>> make_populated_database(
+    const GeneratorConfig& config, server::DatabaseOptions options = {});
+
+}  // namespace gems::bsbm

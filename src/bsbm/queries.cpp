@@ -1,0 +1,153 @@
+#include "bsbm/queries.hpp"
+
+namespace gems::bsbm {
+
+std::string berlin_q1() {
+  // Fig. 7, verbatim structure.
+  return R"(
+select TypeVtx.id from graph
+  PersonVtx (country = %Country2%)
+  <--reviewer-- ReviewVtx ()
+  --reviewFor--> foreach y: ProductVtx ()
+  --producer--> ProducerVtx (country = %Country1%)
+and
+  (y --type--> TypeVtx ())
+into table Q1T
+
+select top 10 id, count(*) as groupCount
+from table Q1T
+group by id order by groupCount desc, id
+)";
+}
+
+std::string berlin_q2() {
+  // Fig. 6, verbatim structure.
+  return R"(
+select y.id from graph
+  ProductVtx (id = %Product1%)
+  --feature--> FeatureVtx ( )
+  <--feature-- def y: ProductVtx (id <> %Product1%)
+into table Q2T
+
+select top 10 id, count(*) as groupCount
+from table Q2T
+group by id order by groupCount desc, id
+)";
+}
+
+std::string berlin_q3() {
+  return R"(
+select OfferVtx.id, OfferVtx.price, VendorVtx.country from graph
+  TypeVtx (id = %Type1%)
+  <--type-- ProductVtx ()
+  <--product-- OfferVtx ()
+  --vendor--> VendorVtx ()
+into table Q3T
+
+select top 10 id, price, country from table Q3T order by price, id
+)";
+}
+
+std::string berlin_q4() {
+  // The Fig. 4/5 many-to-one export view, aggregated.
+  return R"(
+select P.country as exporter, V.country as importer from graph
+  def P: ProducerCountry () --export--> def V: VendorCountry ()
+into table Q4T
+
+select exporter, importer, count(*) as flows from table Q4T
+group by exporter, importer order by flows desc, exporter, importer
+)";
+}
+
+std::string berlin_q5() {
+  return R"(
+select ProductVtx.id, ReviewVtx.ratings_1 from graph
+  ReviewVtx () --reviewFor--> ProductVtx ()
+into table Q5T
+
+select top 10 id, avg(ratings_1) as score, count(*) as n from table Q5T
+group by id order by score desc, id
+)";
+}
+
+std::string berlin_q6() {
+  return R"(
+select PersonVtx.country from graph
+  ProducerVtx (id = %Producer1%)
+  <--producer-- ProductVtx ()
+  <--reviewFor-- ReviewVtx ()
+  --reviewer--> PersonVtx ()
+into table Q6T
+
+select distinct country from table Q6T order by country
+)";
+}
+
+std::string berlin_q7() {
+  return R"(
+select VendorVtx.id, OfferVtx.price from graph
+  OfferVtx (validFrom <= %Date1% and validTo >= %Date1%
+            and deliveryDays <= 3)
+  --vendor--> VendorVtx ()
+into table Q7T
+
+select id, avg(price) as meanPrice, count(*) as offers from table Q7T
+group by id order by meanPrice desc, id
+)";
+}
+
+std::string berlin_q8() {
+  // Fig. 9 neighborhood + Fig. 11/12 chaining: grab everything attached
+  // to the product, then restrict to its offers and list their vendors.
+  return R"(
+select * from graph
+  ProductVtx (id = %Product1%) <--[]-- [ ]
+into subgraph Q8Neighborhood
+
+select OfferVtx from graph
+  Q8Neighborhood.ProductVtx () <--product-- OfferVtx ()
+into subgraph Q8Offers
+
+select OfferVtx.id, VendorVtx.id as vendor from graph
+  Q8Offers.OfferVtx () --vendor--> VendorVtx ()
+into table Q8T
+
+select * from table Q8T order by id
+)";
+}
+
+std::string berlin_q9() {
+  // Fig. 10: regex over the subclass hierarchy — products typed with
+  // %Type1% or any strict descendant of it. The descendant set comes from
+  // a regex path; the direct type is unioned in with or-composition.
+  return R"(
+select TypeVtx from graph
+  TypeVtx () ( --subclass--> [ ] )* --subclass--> TypeVtx (id = %Type1%)
+into subgraph Q9Descendants
+
+select ProductVtx.id from graph
+  Q9Descendants.TypeVtx () <--type-- ProductVtx ()
+or
+  TypeVtx (id = %Type1%) <--type-- ProductVtx ()
+into table Q9T
+
+select distinct id from table Q9T order by id
+)";
+}
+
+std::vector<NamedQuery> all_queries() {
+  return {
+      {"Q1", berlin_q1(), {"Country1", "Country2"}},
+      {"Q2", berlin_q2(), {"Product1"}},
+      {"Q3", berlin_q3(), {"Type1"}},
+      {"Q4", berlin_q4(), {}},
+      {"Q5", berlin_q5(), {}},
+      {"Q6", berlin_q6(), {"Producer1"}},
+      {"Q7", berlin_q7(), {"Date1"}},
+      {"Q8", berlin_q8(), {"Product1"}},
+      {"Q9", berlin_q9(), {"Type1"}},
+  };
+}
+
+}  // namespace gems::bsbm

@@ -1,0 +1,60 @@
+// The Berlin business-intelligence query mix in GraQL. Q1 and Q2 are the
+// paper's Figs. 7 and 6 verbatim; the rest are BI-style queries over the
+// same schema exercising the remaining language surface (type matching,
+// regex paths, subgraph chaining, the export view, every Table I
+// operator).
+//
+// Each function returns GraQL text; parameters are %placeholders% to be
+// bound at execution (paper Sec. II-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gems::bsbm {
+
+/// Fig. 7 — "Select the top 10 most discussed product categories of
+/// products from %Country1% based on reviews from reviewers from
+/// %Country2%."
+std::string berlin_q1();
+
+/// Fig. 6 — "Select the top 10 products most similar to %Product1%, rated
+/// by the count of features they have in common."
+std::string berlin_q2();
+
+/// Offers for products of a given type: cheapest 10 with vendor info.
+/// Params: %Type1%.
+std::string berlin_q3();
+
+/// Export flows (Fig. 4/5 view): producer-country -> vendor-country pairs.
+std::string berlin_q4();
+
+/// Top 10 products by average rating (reviews aggregation).
+std::string berlin_q5();
+
+/// Reviewers of products of a producer: distinct reviewer countries.
+/// Params: %Producer1%.
+std::string berlin_q6();
+
+/// Offers valid on a date with fast delivery: average price per vendor.
+/// Params: %Date1%.
+std::string berlin_q7();
+
+/// Fig. 9-style: the whole neighborhood of a product as a subgraph, then
+/// its offer subset seeded into a second query (Figs. 11/12 chaining).
+/// Params: %Product1%.
+std::string berlin_q8();
+
+/// Fig. 10-style: products whose type is a descendant of %Type1% via a
+/// subclass regex path.
+std::string berlin_q9();
+
+/// All queries with stable names, for harness iteration.
+struct NamedQuery {
+  std::string name;
+  std::string text;
+  std::vector<std::string> params;  // parameter names the query needs
+};
+std::vector<NamedQuery> all_queries();
+
+}  // namespace gems::bsbm

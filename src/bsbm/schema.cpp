@@ -1,0 +1,201 @@
+#include "bsbm/schema.hpp"
+
+namespace gems::bsbm {
+
+std::string table_ddl() {
+  // Appendix A, verbatim modulo comment syntax.
+  return R"(
+create table Types(
+  id varchar(10),
+  type varchar(10),
+  comment varchar(255),
+  subclassOf varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Features(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  publisher varchar(10),
+  date date
+)
+
+create table Producers(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  homepage varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Products(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  producer varchar(10),
+  propertyNumeric_1 integer,
+  propertyNumeric_2 integer,
+  propertyNumeric_3 integer,
+  propertyNumeric_4 integer,
+  propertyNumeric_5 integer,
+  propertyText_1 varchar(10),
+  propertyText_2 varchar(10),
+  propertyText_3 varchar(10),
+  propertyText_4 varchar(10),
+  propertyText_5 varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Vendors(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  homepage varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Offers(
+  id varchar(10),
+  type varchar(10),
+  product varchar(10),
+  vendor varchar(10),
+  price float,
+  validFrom date,
+  validTo date,
+  deliveryDays integer,
+  offerWebPage varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Persons(
+  id varchar(10),
+  type varchar(10),
+  name varchar(10),
+  mailbox varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Reviews(
+  id varchar(10),
+  type varchar(10),
+  reviewFor varchar(10),
+  reviewer varchar(10),
+  reviewDate date,
+  title varchar(10),
+  text varchar(10),
+  ratings_1 integer,
+  ratings_2 integer,
+  ratings_3 integer,
+  ratings_4 integer,
+  publisher varchar(10),
+  date date
+)
+
+create table ProductTypes(
+  product varchar(10),
+  type varchar(10)
+)
+
+create table ProductFeatures(
+  product varchar(10),
+  feature varchar(10)
+)
+)";
+}
+
+std::string vertex_ddl() {
+  // Fig. 2.
+  return R"(
+create vertex TypeVtx(id) from table Types
+create vertex FeatureVtx(id) from table Features
+create vertex ProducerVtx(id) from table Producers
+create vertex ProductVtx(id) from table Products
+create vertex VendorVtx(id) from table Vendors
+create vertex OfferVtx(id) from table Offers
+create vertex PersonVtx(id) from table Persons
+create vertex ReviewVtx(id) from table Reviews
+)";
+}
+
+std::string edge_ddl() {
+  // Fig. 3.
+  return R"(
+create edge subclass with
+  vertices (TypeVtx as A, TypeVtx as B)
+  where A.subclassOf = B.id
+
+create edge producer with
+  vertices (ProductVtx, ProducerVtx)
+  where ProductVtx.producer = ProducerVtx.id
+
+create edge type with
+  vertices (ProductVtx, TypeVtx)
+  from table ProductTypes
+  where ProductTypes.product = ProductVtx.id
+    and ProductTypes.type = TypeVtx.id
+
+create edge feature with
+  vertices (ProductVtx, FeatureVtx)
+  from table ProductFeatures
+  where ProductFeatures.product = ProductVtx.id
+    and ProductFeatures.feature = FeatureVtx.id
+
+create edge product with
+  vertices (OfferVtx, ProductVtx)
+  where OfferVtx.product = ProductVtx.id
+
+create edge vendor with
+  vertices (OfferVtx, VendorVtx)
+  where OfferVtx.vendor = VendorVtx.id
+
+create edge reviewFor with
+  vertices (ReviewVtx, ProductVtx)
+  where ReviewVtx.reviewFor = ProductVtx.id
+
+create edge reviewer with
+  vertices (ReviewVtx, PersonVtx)
+  where ReviewVtx.reviewer = PersonVtx.id
+)";
+}
+
+std::string country_ddl() {
+  // Fig. 4: many-to-one country vertices and the export edge — one edge
+  // per (producer country, vendor country) pair with a product produced
+  // in the first and offered in the second (Fig. 5's collapse).
+  return R"(
+create vertex ProducerCountry(country) from table Producers
+create vertex VendorCountry(country) from table Vendors
+
+create edge export with
+  vertices (ProducerCountry as P, VendorCountry as V)
+  from table Products, Offers
+  where Products.producer = P.id
+    and Offers.product = Products.id
+    and Offers.vendor = V.id
+    and P.country <> V.country
+)";
+}
+
+std::string full_ddl(bool with_country_view) {
+  std::string out = table_ddl();
+  out += vertex_ddl();
+  out += edge_ddl();
+  if (with_country_view) out += country_ddl();
+  return out;
+}
+
+}  // namespace gems::bsbm

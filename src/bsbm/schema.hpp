@@ -1,0 +1,29 @@
+// The Berlin SPARQL Benchmark (BSBM) schema exactly as declared in the
+// paper's Appendix A, plus the graph view of Figs. 1-4, as GraQL DDL text.
+// Executing these through Database::run_script reproduces the paper's
+// data-definition figures end to end.
+#pragma once
+
+#include <string>
+
+namespace gems::bsbm {
+
+/// Appendix A: the ten table declarations (Types, Features, Producers,
+/// Products, Vendors, Offers, Persons, Reviews + the relation tables
+/// ProductTypes and ProductFeatures).
+std::string table_ddl();
+
+/// Fig. 2: the eight vertex declarations.
+std::string vertex_ddl();
+
+/// Fig. 3: the nine edge declarations (subclass, producer, type, feature,
+/// product, vendor, reviewFor, reviewer).
+std::string edge_ddl();
+
+/// Fig. 4: the many-to-one country vertices and the export edge.
+std::string country_ddl();
+
+/// Everything above, in order.
+std::string full_ddl(bool with_country_view = true);
+
+}  // namespace gems::bsbm

@@ -1,0 +1,44 @@
+// Fatal invariant checks. These fire on programming errors, never on bad
+// user input (bad input is reported via Status, see status.hpp).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gems::internal {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "GEMS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace gems::internal
+
+// Always-on invariant check (enabled in release builds too: the cost is
+// negligible outside the innermost matcher loops, which use GEMS_DCHECK).
+#define GEMS_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::gems::internal::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define GEMS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::gems::internal::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)
+
+// Debug-only check for hot loops.
+#ifdef NDEBUG
+#define GEMS_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define GEMS_DCHECK(expr) GEMS_CHECK(expr)
+#endif
+
+// Marks unreachable control flow.
+#define GEMS_UNREACHABLE(msg) \
+  ::gems::internal::check_failed(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,38 @@
+// Hash utilities shared by join operators, vertex-key maps and the
+// distributed partitioner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace gems {
+
+/// Mixes a 64-bit value (finalizer from MurmurHash3); used to spread dense
+/// ids before modulo-partitioning across ranks.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// boost-style hash combiner.
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Hash for pairs, usable as std::unordered_map hasher.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    std::size_t seed = std::hash<A>{}(p.first);
+    hash_combine(seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+}  // namespace gems

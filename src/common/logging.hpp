@@ -1,0 +1,43 @@
+// Minimal leveled logging. The library is quiet by default (kWarning);
+// benches and the shell raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gems {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace internal {
+
+/// Collects one log line and emits it to stderr on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gems
+
+#define GEMS_LOG(level)                                      \
+  ::gems::internal::LogLine(::gems::LogLevel::k##level, __FILE__, __LINE__)

@@ -1,0 +1,45 @@
+#include "common/status.hpp"
+
+namespace gems {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "Ok";
+  std::string out(status_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::with_context(std::string_view context) const {
+  if (is_ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+}  // namespace gems

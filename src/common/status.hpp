@@ -1,0 +1,145 @@
+// Status / Result error-handling primitives for the GEMS / GraQL library.
+//
+// The library reports recoverable errors (bad queries, type mismatches,
+// malformed input files) through `Status` and `Result<T>` values rather
+// than exceptions, so that the hot execution paths stay exception-free and
+// error propagation is explicit at every call site. Programming errors
+// (broken invariants) use GEMS_CHECK from check.hpp instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gems {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something structurally wrong
+  kNotFound,          // named object (table/vertex/edge/column) missing
+  kAlreadyExists,     // duplicate definition
+  kTypeError,         // static type-checking failure (Sec. III-A)
+  kParseError,        // GraQL lexer/parser failure
+  kIoError,           // filesystem / CSV ingest failure
+  kUnimplemented,     // declared-but-unsupported feature
+  kInternal,          // invariant failure surfaced as a status
+};
+
+/// Human-readable name of a status code ("Ok", "ParseError", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "ParseError: unexpected token ')'" or "Ok".
+  std::string to_string() const;
+
+  /// Prepends context to the message, returning a new status with the same
+  /// code. No-op on OK statuses.
+  Status with_context(std::string_view context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status already_exists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status type_error(std::string msg) {
+  return Status(StatusCode::kTypeError, std::move(msg));
+}
+inline Status parse_error(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status io_error(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// A value of type T or an error Status. Accessing the value of a failed
+/// Result is a checked fatal error (see check.hpp).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // absl::StatusOr, so `return value;` works in functions returning Result.
+  Result(T value) : storage_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {}
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Returns the error status; OK if the result holds a value.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& { return std::get<T>(storage_); }
+  T& value() & { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagates an error status out of the current function.
+//
+//   GEMS_RETURN_IF_ERROR(do_thing());
+#define GEMS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::gems::Status gems_status_ = (expr);           \
+    if (!gems_status_.is_ok()) return gems_status_; \
+  } while (0)
+
+// Unwraps a Result<T> into a variable, or propagates its error.
+//
+//   GEMS_ASSIGN_OR_RETURN(auto table, catalog.find_table("Products"));
+#define GEMS_ASSIGN_OR_RETURN(decl, expr)                    \
+  GEMS_ASSIGN_OR_RETURN_IMPL_(                               \
+      GEMS_STATUS_CONCAT_(gems_result_, __LINE__), decl, expr)
+
+#define GEMS_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.is_ok()) return tmp.status();             \
+  decl = std::move(tmp).value()
+
+#define GEMS_STATUS_CONCAT_INNER_(a, b) a##b
+#define GEMS_STATUS_CONCAT_(a, b) GEMS_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace gems

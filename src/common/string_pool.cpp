@@ -1,0 +1,43 @@
+#include "common/string_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace gems {
+
+StringId StringPool::intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  GEMS_CHECK_MSG(strings_.size() < kInvalidStringId,
+                 "string pool exhausted 2^32-1 entries");
+  strings_.emplace_back(s);
+  bytes_ += s.size();
+  const StringId id = static_cast<StringId>(strings_.size() - 1);
+  // Key the index by a view into the deque-owned string, which never moves.
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+StringId StringPool::find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidStringId : it->second;
+}
+
+std::string_view StringPool::view(StringId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GEMS_DCHECK(id < strings_.size());
+  return strings_[id];
+}
+
+std::size_t StringPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return strings_.size();
+}
+
+std::size_t StringPool::byte_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+}  // namespace gems

@@ -1,0 +1,58 @@
+// Append-only string interning pool.
+//
+// GEMS stores varchar column data as 32-bit pool ids: equality comparisons
+// and hash joins on string keys (the dominant operation in the Berlin
+// schema, whose keys are all varchar) become integer operations, and each
+// distinct string is stored once regardless of how many rows reference it.
+// Ordering comparisons go back through the pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gems {
+
+/// Id of an interned string. Dense, starting at 0. kInvalid doubles as the
+/// encoding of NULL in varchar columns.
+using StringId = std::uint32_t;
+inline constexpr StringId kInvalidStringId = 0xffffffffu;
+
+/// Thread-safe append-only interner. Lookup of an existing id is lock-free
+/// for the string data itself (deque never relocates), interning takes a
+/// mutex (ingest is bandwidth-bound on parsing, not on this lock).
+class StringPool {
+ public:
+  StringPool() = default;
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Interns `s`, returning its id (existing or new).
+  StringId intern(std::string_view s);
+
+  /// Returns the id of `s` if already interned, kInvalidStringId otherwise.
+  /// Useful to prove a constant cannot match any row without scanning.
+  StringId find(std::string_view s) const;
+
+  /// Returns the string for a valid id. The view stays valid for the pool's
+  /// lifetime (storage never relocates).
+  std::string_view view(StringId id) const;
+
+  std::size_t size() const;
+
+  /// Total bytes of interned character data (for catalog sizing stats).
+  std::size_t byte_size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, StringId> index_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace gems

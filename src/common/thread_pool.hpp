@@ -1,0 +1,61 @@
+// Fixed-size worker pool used for intra-node parallel operators and for the
+// multi-statement scheduler (Sec. III-B1). The simulated cluster in
+// src/dist uses dedicated per-rank threads instead, because ranks are
+// long-lived peers, not tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gems {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<Fn>(fn));
+    std::future<void> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to keep per-task overhead low.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Pool sized to the hardware, shared by operators that do not need
+/// isolation. Lazily constructed.
+ThreadPool& default_thread_pool();
+
+}  // namespace gems

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers for benches and the catalog's ingest stats.
+#pragma once
+
+#include <chrono>
+
+namespace gems {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gems

@@ -1,0 +1,355 @@
+#include "dist/dist_aggregate.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "relational/row_key.hpp"
+
+namespace gems::dist {
+
+namespace {
+
+using relational::AggKind;
+using relational::AggSpec;
+using storage::ColumnDef;
+using storage::ColumnIndex;
+using storage::DataType;
+using storage::RowIndex;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::TypeKind;
+using storage::Value;
+
+constexpr int kTagPartials = 11;
+
+/// Mergeable partial aggregate state. Min/max carry a boxed value encoded
+/// as (kind, raw bits); varchar payloads are interned ids, valid across
+/// ranks because the pool is shared.
+struct Partial {
+  std::int64_t count = 0;
+  std::int64_t isum = 0;
+  double dsum = 0;
+  bool has_value = false;
+  Value min;
+  Value max;
+};
+
+struct GroupState {
+  RowIndex representative = 0;
+  std::vector<Partial> partials;
+};
+
+void accumulate(const Table& src, RowIndex row,
+                std::span<const AggSpec> aggs, GroupState& state) {
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& spec = aggs[a];
+    Partial& p = state.partials[a];
+    if (spec.kind == AggKind::kCountStar) {
+      ++p.count;
+      continue;
+    }
+    const storage::Column& col = src.column(spec.input);
+    if (col.is_null(row)) continue;
+    switch (spec.kind) {
+      case AggKind::kCount:
+        ++p.count;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        ++p.count;
+        if (col.type().kind == TypeKind::kDouble) {
+          p.dsum += col.double_at(row);
+        } else {
+          p.isum += col.int64_at(row);
+          p.dsum += static_cast<double>(col.int64_at(row));
+        }
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        const Value v = src.value_at(row, spec.input);
+        if (!p.has_value) {
+          p.min = v;
+          p.max = v;
+          p.has_value = true;
+        } else {
+          if (v.compare(p.min) < 0) p.min = v;
+          if (v.compare(p.max) > 0) p.max = v;
+        }
+        break;
+      }
+      default:
+        GEMS_UNREACHABLE("handled above");
+    }
+  }
+}
+
+void merge(Partial& into, const Partial& from) {
+  into.count += from.count;
+  into.isum += from.isum;
+  into.dsum += from.dsum;
+  if (from.has_value) {
+    if (!into.has_value) {
+      into.min = from.min;
+      into.max = from.max;
+      into.has_value = true;
+    } else {
+      if (from.min.compare(into.min) < 0) into.min = from.min;
+      if (from.max.compare(into.max) > 0) into.max = from.max;
+    }
+  }
+}
+
+// ---- Value wire format (kind byte + raw 64 bits) -------------------------
+
+void put_value(std::vector<std::uint8_t>& out, const Value& v,
+               StringPool& pool) {
+  if (v.is_null()) {
+    out.push_back(0);
+    put_u64(out, 0);
+    return;
+  }
+  std::uint64_t raw = 0;
+  switch (v.kind()) {
+    case TypeKind::kBool:
+      out.push_back(1);
+      raw = v.as_bool() ? 1 : 0;
+      break;
+    case TypeKind::kInt64:
+      out.push_back(2);
+      raw = static_cast<std::uint64_t>(v.as_int64());
+      break;
+    case TypeKind::kDate:
+      out.push_back(3);
+      raw = static_cast<std::uint64_t>(v.as_int64());
+      break;
+    case TypeKind::kDouble: {
+      out.push_back(4);
+      const double d = v.as_double();
+      static_assert(sizeof(d) == sizeof(raw));
+      std::memcpy(&raw, &d, sizeof(raw));
+      break;
+    }
+    case TypeKind::kVarchar:
+      out.push_back(5);
+      raw = pool.intern(v.as_string());
+      break;
+  }
+  put_u64(out, raw);
+}
+
+Value get_value(std::span<const std::uint8_t> in, std::size_t& pos,
+                const StringPool& pool) {
+  const std::uint8_t kind = in[pos++];
+  const std::uint64_t raw = get_u64(in, pos);
+  switch (kind) {
+    case 0:
+      return Value::null();
+    case 1:
+      return Value::boolean(raw != 0);
+    case 2:
+      return Value::int64(static_cast<std::int64_t>(raw));
+    case 3:
+      return Value::date(static_cast<std::int64_t>(raw));
+    case 4: {
+      double d;
+      std::memcpy(&d, &raw, sizeof(d));
+      return Value::float64(d);
+    }
+    case 5:
+      return Value::varchar(
+          std::string(pool.view(static_cast<StringId>(raw))));
+    default:
+      GEMS_UNREACHABLE("bad value wire kind");
+  }
+}
+
+Result<DataType> agg_output_type(const AggSpec& spec, const Table& src) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return DataType::int64();
+    case AggKind::kSum: {
+      const DataType& in = src.schema().column(spec.input).type;
+      if (!in.is_numeric()) {
+        return type_error("sum() requires a numeric column");
+      }
+      return in;
+    }
+    case AggKind::kAvg: {
+      const DataType& in = src.schema().column(spec.input).type;
+      if (!in.is_numeric()) {
+        return type_error("avg() requires a numeric column");
+      }
+      return DataType::float64();
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return src.schema().column(spec.input).type;
+  }
+  GEMS_UNREACHABLE("bad agg kind");
+}
+
+}  // namespace
+
+Result<TablePtr> distributed_group_by(const Table& src,
+                                      std::span<const ColumnIndex> keys,
+                                      std::span<const AggSpec> aggs,
+                                      std::string name,
+                                      std::size_t num_ranks,
+                                      DistStats* stats) {
+  // Output schema (mirrors relational::group_by).
+  std::vector<ColumnDef> defs;
+  defs.reserve(keys.size() + aggs.size());
+  for (const auto k : keys) defs.push_back(src.schema().column(k));
+  for (const auto& a : aggs) {
+    GEMS_ASSIGN_OR_RETURN(DataType type, agg_output_type(a, src));
+    defs.push_back({a.output_name, type});
+  }
+  GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(std::move(defs)));
+
+  SimCluster cluster(num_ranks);
+  // Rank 0's merged groups (ordered by key bytes for determinism).
+  std::map<std::string, GroupState> merged;
+  StringPool& pool = src.pool();
+
+  cluster.run([&](RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int n = ctx.size();
+    // Stripe of rows owned by this rank.
+    const std::size_t rows = src.num_rows();
+    const std::size_t begin = rows * rank / n;
+    const std::size_t end = rows * (rank + 1) / n;
+
+    std::map<std::string, GroupState> local;
+    for (std::size_t r = begin; r < end; ++r) {
+      const RowIndex row = static_cast<RowIndex>(r);
+      std::string key = relational::encode_row_key(src, row, keys);
+      auto [it, inserted] = local.emplace(std::move(key), GroupState{});
+      if (inserted) {
+        it->second.representative = row;
+        it->second.partials.resize(aggs.size());
+      }
+      accumulate(src, row, aggs, it->second);
+    }
+
+    if (rank != 0) {
+      // Ship partials to rank 0.
+      std::vector<std::uint8_t> payload;
+      put_u32(payload, static_cast<std::uint32_t>(local.size()));
+      for (const auto& [key, state] : local) {
+        put_u32(payload, static_cast<std::uint32_t>(key.size()));
+        payload.insert(payload.end(), key.begin(), key.end());
+        put_u32(payload, state.representative);
+        for (const Partial& p : state.partials) {
+          put_u64(payload, static_cast<std::uint64_t>(p.count));
+          put_u64(payload, static_cast<std::uint64_t>(p.isum));
+          std::uint64_t dbits;
+          std::memcpy(&dbits, &p.dsum, sizeof(dbits));
+          put_u64(payload, dbits);
+          payload.push_back(p.has_value ? 1 : 0);
+          put_value(payload, p.min, pool);
+          put_value(payload, p.max, pool);
+        }
+      }
+      ctx.send(0, kTagPartials, payload);
+      return;
+    }
+
+    merged = std::move(local);
+    for (int i = 0; i < n - 1; ++i) {
+      Message m = ctx.recv();
+      GEMS_CHECK(m.tag == kTagPartials);
+      std::size_t pos = 0;
+      const std::uint32_t groups = get_u32(m.payload, pos);
+      for (std::uint32_t g = 0; g < groups; ++g) {
+        const std::uint32_t key_len = get_u32(m.payload, pos);
+        std::string key(reinterpret_cast<const char*>(m.payload.data() +
+                                                      pos),
+                        key_len);
+        pos += key_len;
+        const RowIndex representative = get_u32(m.payload, pos);
+        auto [it, inserted] = merged.emplace(std::move(key), GroupState{});
+        if (inserted) {
+          it->second.representative = representative;
+          it->second.partials.resize(aggs.size());
+        }
+        for (std::size_t a = 0; a < aggs.size(); ++a) {
+          Partial p;
+          p.count = static_cast<std::int64_t>(get_u64(m.payload, pos));
+          p.isum = static_cast<std::int64_t>(get_u64(m.payload, pos));
+          const std::uint64_t dbits = get_u64(m.payload, pos);
+          std::memcpy(&p.dsum, &dbits, sizeof(p.dsum));
+          p.has_value = m.payload[pos++] != 0;
+          p.min = get_value(m.payload, pos, pool);
+          p.max = get_value(m.payload, pos, pool);
+          merge(it->second.partials[a], p);
+        }
+      }
+    }
+  });
+
+  // SQL scalar aggregation: one row even for empty input.
+  if (keys.empty() && merged.empty()) {
+    GroupState state;
+    state.partials.resize(aggs.size());
+    merged.emplace("", std::move(state));
+  }
+
+  auto out = std::make_shared<Table>(std::move(name), std::move(schema),
+                                     pool);
+  for (const auto& [key, state] : merged) {
+    std::vector<Value> row;
+    row.reserve(keys.size() + aggs.size());
+    for (const auto k : keys) {
+      row.push_back(src.value_at(state.representative, k));
+    }
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      const Partial& p = state.partials[a];
+      switch (spec.kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          row.push_back(Value::int64(p.count));
+          break;
+        case AggKind::kSum:
+          if (p.count == 0) {
+            row.push_back(Value::null());
+          } else if (src.column(spec.input).type().kind ==
+                     TypeKind::kDouble) {
+            row.push_back(Value::float64(p.dsum));
+          } else {
+            row.push_back(Value::int64(p.isum));
+          }
+          break;
+        case AggKind::kAvg:
+          row.push_back(p.count == 0
+                            ? Value::null()
+                            : Value::float64(p.dsum /
+                                             static_cast<double>(p.count)));
+          break;
+        case AggKind::kMin:
+          row.push_back(p.has_value ? p.min : Value::null());
+          break;
+        case AggKind::kMax:
+          row.push_back(p.has_value ? p.max : Value::null());
+          break;
+      }
+    }
+    out->append_row_unchecked(row);
+  }
+
+  if (stats != nullptr) {
+    stats->ranks = num_ranks;
+    stats->messages = cluster.total_messages();
+    stats->bytes = cluster.total_bytes();
+    stats->bytes_per_rank.clear();
+    for (const auto& s : cluster.rank_stats()) {
+      stats->bytes_per_rank.push_back(s.bytes);
+    }
+  }
+  return out;
+}
+
+}  // namespace gems::dist

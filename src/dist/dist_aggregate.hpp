@@ -1,0 +1,27 @@
+// Distributed relational aggregation — the "tabular queries" half of the
+// paper's backend claim (Sec. III: the cluster supports "the
+// high-performance, massively parallel execution of graph and tabular
+// queries"). Rows are range-partitioned across ranks; each rank computes
+// partial aggregates over its stripe; partials flow to rank 0 in one
+// merge exchange (classic two-phase aggregation).
+//
+// Supported aggregates: count(*), count, sum, avg, min, max over numeric,
+// date and varchar group/input columns (the full Table I aggregate set).
+#pragma once
+
+#include "common/status.hpp"
+#include "dist/dist_matcher.hpp"  // DistStats
+#include "relational/operators.hpp"
+
+namespace gems::dist {
+
+/// Distributed GROUP BY with the same semantics as relational::group_by
+/// (asserted equal by tests, modulo group order — output is sorted by
+/// group key bytes for determinism across rank counts).
+Result<storage::TablePtr> distributed_group_by(
+    const storage::Table& src,
+    std::span<const storage::ColumnIndex> keys,
+    std::span<const relational::AggSpec> aggs, std::string name,
+    std::size_t num_ranks, DistStats* stats);
+
+}  // namespace gems::dist

@@ -1,0 +1,491 @@
+#include "dist/dist_matcher.hpp"
+
+#include <atomic>
+#include <functional>
+
+#include "relational/eval.hpp"
+
+namespace gems::dist {
+
+namespace {
+
+using exec::ConstraintNetwork;
+using exec::Domain;
+using exec::EdgeConstraint;
+using exec::EdgeMove;
+using exec::MatchResult;
+using graph::CsrIndex;
+using graph::EdgeType;
+using graph::GraphView;
+using graph::VertexIndex;
+using graph::VertexTypeId;
+using relational::RowCursor;
+
+constexpr int kTagActivations = 1;
+constexpr int kTagGather = 2;
+
+/// Evaluates an edge constraint's self conditions for one concrete edge.
+bool edge_passes(const ConstraintNetwork& net, const GraphView& graph,
+                 const StringPool& pool, int con_index,
+                 graph::EdgeTypeId type, graph::EdgeIndex e,
+                 std::vector<RowCursor>& cursors) {
+  const EdgeConstraint& con = net.edges[con_index];
+  if (con.self_conds.empty()) return true;
+  const EdgeType& et = graph.edge_type(type);
+  GEMS_DCHECK(et.attr_table() != nullptr);
+  cursors[exec::kEdgeSourceBase + con_index] = {et.attr_table(), e};
+  for (const auto& pred : con.self_conds) {
+    if (!relational::eval_predicate(*pred, cursors, pool)) return false;
+  }
+  return true;
+}
+
+/// Per-rank worker state for one fixpoint run.
+struct RankState {
+  std::vector<Domain> domains;  // owned portions only
+  std::vector<RowCursor> cursors;
+  std::uint64_t activations_sent = 0;
+};
+
+Domain empty_like(const GraphView& graph,
+                  const std::vector<VertexTypeId>& types) {
+  Domain d;
+  for (const VertexTypeId t : types) {
+    d.sets.emplace(t, DynamicBitset(graph.vertex_type(t).num_vertices()));
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
+                                              const GraphView& graph,
+                                              const StringPool& pool,
+                                              std::size_t num_ranks,
+                                              DistStats* stats) {
+  if (!net.cross_preds.empty()) {
+    return unimplemented(
+        "distributed execution covers the fixpoint; cross-step predicates "
+        "are checked during enumeration, which runs on the front-end");
+  }
+  for (const auto& g : net.groups) {
+    if (g.quant == graql::PathGroup::Quant::kExact && g.count > 1024) {
+      return invalid_argument("path repetition count exceeds 1024");
+    }
+  }
+
+  const VertexPartition partition(graph, num_ranks);
+  SimCluster cluster(num_ranks);
+
+  std::vector<RankState> states(num_ranks);
+  std::atomic<std::size_t> supersteps{0};
+  Status worker_status = Status::ok();  // rank 0 writes on failure
+
+  cluster.run([&](RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int n = ctx.size();
+    RankState& st = states[rank];
+    st.cursors.resize(exec::kEdgeSourceBase + net.edges.size());
+
+    // ---- Initialize owned domains ------------------------------------
+    st.domains.reserve(net.num_vars());
+    for (std::size_t v = 0; v < net.num_vars(); ++v) {
+      Domain d = exec::initial_domain(net, graph, pool, static_cast<int>(v));
+      for (auto& [type, bits] : d.sets) {
+        bits &= partition.owned(rank, type);
+      }
+      st.domains.push_back(std::move(d));
+    }
+    ctx.barrier();
+
+    // ---- Fixpoint over constraints ------------------------------------
+    bool global_changed = true;
+    while (global_changed) {
+      std::uint64_t local_changed = 0;
+
+      // ---- Distributed group-hop expansion (Fig. 10 closures) -------
+      // One BSP exchange per hop: expand owned vertices, send remote
+      // activations to their owners, merge, filter locally.
+      auto exchange_domain = [&](Domain support,
+                                 std::vector<std::vector<std::uint8_t>>
+                                     outbox) {
+        for (int peer = 0; peer < n; ++peer) {
+          if (peer == rank) continue;
+          ctx.send(peer, kTagActivations, outbox[peer]);
+        }
+        for (int i = 0; i < n - 1; ++i) {
+          Message m = ctx.recv();
+          GEMS_CHECK(m.tag == kTagActivations);
+          std::size_t pos = 0;
+          while (pos < m.payload.size()) {
+            const VertexTypeId type =
+                static_cast<VertexTypeId>(get_u32(m.payload, pos));
+            const VertexIndex v = get_u32(m.payload, pos);
+            auto it = support.sets.find(type);
+            if (it != support.sets.end()) it->second.set(v);
+          }
+        }
+        ctx.barrier();
+        return support;
+      };
+
+      auto hop_vertex_passes = [&](const exec::GroupHop& hop,
+                                   VertexTypeId t, VertexIndex v,
+                                   bool backward,
+                                   const exec::GroupHop* target_hop) {
+        const auto& conds =
+            backward ? (target_hop != nullptr ? target_hop->vertex_conds
+                                              : hop.vertex_conds)
+                     : hop.vertex_conds;
+        if (backward && target_hop == nullptr) return true;
+        if (conds.empty()) return true;
+        const graph::VertexType& vt = graph.vertex_type(t);
+        RowCursor cursor{&vt.source(), vt.representative_row(v)};
+        const std::span<const RowCursor> span(&cursor, 1);
+        for (const auto& cond : conds) {
+          if (!relational::eval_predicate(*cond, span, pool)) return false;
+        }
+        return true;
+      };
+
+      auto hop_edge_passes = [&](const exec::GroupHop& hop,
+                                 const EdgeType& et, graph::EdgeIndex e) {
+        if (hop.edge_conds.empty()) return true;
+        RowCursor cursor{et.attr_table(), e};
+        const std::span<const RowCursor> span(&cursor, 1);
+        for (const auto& cond : hop.edge_conds) {
+          if (!relational::eval_predicate(*cond, span, pool)) return false;
+        }
+        return true;
+      };
+
+      // Expands one hop from the rank-local (owned) `from` domain;
+      // returns the rank-local portion of the result. `backward` walks
+      // the hop right-to-left with the preceding position's filters.
+      std::function<Domain(const exec::GroupHop&, const Domain&, bool,
+                           const exec::GroupHop*)>
+          expand_hop_dist = [&](const exec::GroupHop& hop,
+                                const Domain& from, bool backward,
+                                const exec::GroupHop* target_hop) {
+            // Result shape: hop target types (forward) or the preceding
+            // position's types (backward; all types at position 0).
+            Domain support;
+            std::vector<VertexTypeId> out_types;
+            if (!backward) {
+              out_types = hop.vertex_types;
+            } else if (target_hop != nullptr) {
+              out_types = target_hop->vertex_types;
+            } else {
+              out_types.resize(graph.num_vertex_types());
+              for (std::size_t t = 0; t < out_types.size(); ++t) {
+                out_types[t] = static_cast<VertexTypeId>(t);
+              }
+            }
+            for (const VertexTypeId t : out_types) {
+              support.sets.emplace(
+                  t, DynamicBitset(graph.vertex_type(t).num_vertices()));
+            }
+            std::vector<std::vector<std::uint8_t>> outbox(
+                static_cast<std::size_t>(n));
+            auto traverse = [&](const EdgeType& et) {
+              const bool walk_forward = backward == hop.reversed;
+              const VertexTypeId cur_type =
+                  walk_forward ? et.source_type() : et.target_type();
+              const VertexTypeId out_type =
+                  walk_forward ? et.target_type() : et.source_type();
+              if (!support.sets.contains(out_type)) return;
+              auto it = from.sets.find(cur_type);
+              if (it == from.sets.end() || !it->second.any()) return;
+              const CsrIndex& index =
+                  walk_forward ? et.forward() : et.reverse();
+              it->second.for_each([&](std::size_t v) {
+                const auto neighbors =
+                    index.neighbors(static_cast<VertexIndex>(v));
+                const auto edge_ids =
+                    index.edges(static_cast<VertexIndex>(v));
+                for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                  if (!hop_edge_passes(hop, et, edge_ids[i])) continue;
+                  if (!hop_vertex_passes(hop, out_type, neighbors[i],
+                                         backward, target_hop)) {
+                    continue;
+                  }
+                  const int owner = partition.owner(out_type, neighbors[i]);
+                  if (owner == rank) {
+                    support.sets.at(out_type).set(neighbors[i]);
+                  } else {
+                    put_u32(outbox[owner], out_type);
+                    put_u32(outbox[owner], neighbors[i]);
+                    ++st.activations_sent;
+                  }
+                }
+              });
+            };
+            if (!hop.edge_types.empty()) {
+              for (const auto id : hop.edge_types) {
+                traverse(graph.edge_type(id));
+              }
+            } else {
+              for (graph::EdgeTypeId id = 0; id < graph.num_edge_types();
+                   ++id) {
+                traverse(graph.edge_type(id));
+              }
+            }
+            if (rank == 0) {
+              supersteps.fetch_add(1, std::memory_order_relaxed);
+            }
+            return exchange_domain(std::move(support), std::move(outbox));
+          };
+
+      auto apply_body_dist = [&](const exec::GroupConstraint& g, Domain d,
+                                 bool backward) {
+        if (!backward) {
+          for (const auto& hop : g.hops) {
+            d = expand_hop_dist(hop, d, false, nullptr);
+          }
+        } else {
+          for (std::size_t i = g.hops.size(); i-- > 0;) {
+            const exec::GroupHop* target =
+                i == 0 ? nullptr : &g.hops[i - 1];
+            d = expand_hop_dist(g.hops[i], d, true, target);
+          }
+        }
+        return d;
+      };
+
+      auto domain_or = [](Domain& into, const Domain& from) {
+        for (const auto& [type, bits] : from.sets) {
+          auto it = into.sets.find(type);
+          if (it == into.sets.end()) {
+            into.sets.emplace(type, bits);
+          } else {
+            it->second |= bits;
+          }
+        }
+      };
+
+      // Distributed closure over the group boundary. All ranks iterate in
+      // lockstep (the continue/stop decision is an allreduce).
+      auto group_closure_dist =
+          [&](const exec::GroupConstraint& g, const Domain& start,
+              bool backward) -> Domain {
+        using Quant = graql::PathGroup::Quant;
+        if (g.quant == Quant::kExact) {
+          Domain d = start;
+          for (std::uint32_t i = 0; i < g.count; ++i) {
+            d = apply_body_dist(g, std::move(d), backward);
+          }
+          return d;
+        }
+        Domain reached = apply_body_dist(g, start, backward);
+        Domain frontier = reached;
+        for (;;) {
+          Domain next = apply_body_dist(g, std::move(frontier), backward);
+          // Remove already-reached (rank-local; domains are owned parts).
+          std::uint64_t fresh = 0;
+          for (auto& [type, bits] : next.sets) {
+            auto it = reached.sets.find(type);
+            if (it != reached.sets.end()) bits.subtract(it->second);
+            fresh += bits.count();
+          }
+          if (ctx.allreduce_sum(fresh) == 0) {
+            ctx.barrier();
+            break;
+          }
+          ctx.barrier();
+          domain_or(reached, next);
+          frontier = std::move(next);
+        }
+        if (g.quant == Quant::kStar) domain_or(reached, start);
+        return reached;
+      };
+
+      auto propagate_group = [&](const exec::GroupConstraint& g) {
+        Domain fwd =
+            group_closure_dist(g, st.domains[g.left_var], false);
+        if (st.domains[g.right_var].intersect(fwd)) local_changed = 1;
+        Domain bwd =
+            group_closure_dist(g, st.domains[g.right_var], true);
+        if (st.domains[g.left_var].intersect(bwd)) local_changed = 1;
+      };
+
+      auto propagate_edge = [&](std::size_t c, bool from_left) {
+        const EdgeConstraint& con = net.edges[c];
+        const int from_var = from_left ? con.left_var : con.right_var;
+        const int to_var = from_left ? con.right_var : con.left_var;
+
+        // Support for MY owned targets, accumulated from local expansion
+        // plus received activations.
+        Domain support = empty_like(graph, net.vars[to_var].types);
+        std::vector<std::vector<std::uint8_t>> outbox(
+            static_cast<std::size_t>(n));
+
+        for (const EdgeMove& move : con.moves) {
+          const EdgeType& et = graph.edge_type(move.type);
+          const bool walk_forward = move.forward == from_left;
+          const VertexTypeId from_type =
+              walk_forward ? et.source_type() : et.target_type();
+          const VertexTypeId to_type =
+              walk_forward ? et.target_type() : et.source_type();
+          auto from_it = st.domains[from_var].sets.find(from_type);
+          if (from_it == st.domains[from_var].sets.end()) continue;
+          if (!support.sets.contains(to_type)) continue;
+          const CsrIndex& index =
+              walk_forward ? et.forward() : et.reverse();
+          from_it->second.for_each([&](std::size_t v) {
+            const auto neighbors =
+                index.neighbors(static_cast<VertexIndex>(v));
+            const auto edge_ids = index.edges(static_cast<VertexIndex>(v));
+            for (std::size_t i = 0; i < neighbors.size(); ++i) {
+              if (!edge_passes(net, graph, pool, static_cast<int>(c),
+                               move.type, edge_ids[i], st.cursors)) {
+                continue;
+              }
+              const int owner = partition.owner(to_type, neighbors[i]);
+              if (owner == rank) {
+                support.sets.at(to_type).set(neighbors[i]);
+              } else {
+                put_u32(outbox[owner], to_type);
+                put_u32(outbox[owner], neighbors[i]);
+                ++st.activations_sent;
+              }
+            }
+          });
+        }
+
+        // Exchange: exactly one (possibly empty) message to every peer.
+        for (int peer = 0; peer < n; ++peer) {
+          if (peer == rank) continue;
+          ctx.send(peer, kTagActivations, outbox[peer]);
+        }
+        for (int i = 0; i < n - 1; ++i) {
+          Message m = ctx.recv();
+          GEMS_CHECK(m.tag == kTagActivations);
+          std::size_t pos = 0;
+          while (pos < m.payload.size()) {
+            const VertexTypeId type =
+                static_cast<VertexTypeId>(get_u32(m.payload, pos));
+            const VertexIndex v = get_u32(m.payload, pos);
+            auto it = support.sets.find(type);
+            if (it != support.sets.end()) it->second.set(v);
+          }
+        }
+
+        // Cull my owned portion of the target domain.
+        if (st.domains[to_var].intersect(support)) local_changed = 1;
+        if (rank == 0) supersteps.fetch_add(1, std::memory_order_relaxed);
+        ctx.barrier();
+      };
+
+      for (std::size_t c = 0; c < net.edges.size(); ++c) {
+        propagate_edge(c, /*from_left=*/true);
+        propagate_edge(c, /*from_left=*/false);
+      }
+      for (const auto& g : net.groups) propagate_group(g);
+      for (const auto& se : net.set_eqs) {
+        // Both variables live in the same partitioned space: the
+        // intersection is purely rank-local.
+        if (st.domains[se.var_a].intersect(st.domains[se.var_b])) {
+          local_changed = 1;
+        }
+        if (st.domains[se.var_b].intersect(st.domains[se.var_a])) {
+          local_changed = 1;
+        }
+      }
+      global_changed = ctx.allreduce_sum(local_changed) != 0;
+      // Keep supersteps aligned: without this barrier a fast rank could
+      // inject next-iteration activations into a peer still waiting for
+      // its allreduce result.
+      ctx.barrier();
+    }
+
+    // ---- Gather domains on rank 0 --------------------------------------
+    if (rank != 0) {
+      std::vector<std::uint8_t> payload;
+      for (std::size_t v = 0; v < net.num_vars(); ++v) {
+        for (const auto& [type, bits] : states[rank].domains[v].sets) {
+          const auto indices = bits.to_indices();
+          put_u32(payload, static_cast<std::uint32_t>(v));
+          put_u32(payload, type);
+          put_u32(payload, static_cast<std::uint32_t>(indices.size()));
+          for (const auto idx : indices) put_u32(payload, idx);
+        }
+      }
+      ctx.send(0, kTagGather, payload);
+      return;
+    }
+    for (int i = 0; i < n - 1; ++i) {
+      Message m = ctx.recv();
+      GEMS_CHECK(m.tag == kTagGather);
+      std::size_t pos = 0;
+      while (pos < m.payload.size()) {
+        const std::size_t v = get_u32(m.payload, pos);
+        const VertexTypeId type =
+            static_cast<VertexTypeId>(get_u32(m.payload, pos));
+        const std::uint32_t count = get_u32(m.payload, pos);
+        auto it = states[0].domains[v].sets.find(type);
+        for (std::uint32_t k = 0; k < count; ++k) {
+          const VertexIndex idx = get_u32(m.payload, pos);
+          if (it != states[0].domains[v].sets.end()) it->second.set(idx);
+        }
+      }
+    }
+  });
+  GEMS_RETURN_IF_ERROR(worker_status);
+
+  // ---- Assemble the MatchResult on the "front-end" -----------------------
+  MatchResult result;
+  result.domains = std::move(states[0].domains);
+
+  // Group interiors (subgraph output) are derived from the converged
+  // domains with the local closure helpers — result assembly happens on
+  // the front-end, like the paper's result hand-back.
+
+  // Matched edges, computed from the converged domains (same logic as the
+  // single-node matcher).
+  std::vector<RowCursor> cursors(exec::kEdgeSourceBase + net.edges.size());
+  result.matched_edges.resize(net.edges.size());
+  for (std::size_t c = 0; c < net.edges.size(); ++c) {
+    const EdgeConstraint& con = net.edges[c];
+    for (const EdgeMove& move : con.moves) {
+      const EdgeType& et = graph.edge_type(move.type);
+      const Domain& src_dom =
+          result.domains[move.forward ? con.left_var : con.right_var];
+      const Domain& dst_dom =
+          result.domains[move.forward ? con.right_var : con.left_var];
+      auto src_it = src_dom.sets.find(et.source_type());
+      auto dst_it = dst_dom.sets.find(et.target_type());
+      if (src_it == src_dom.sets.end() || dst_it == dst_dom.sets.end()) {
+        continue;
+      }
+      DynamicBitset bits(et.num_edges());
+      for (graph::EdgeIndex e = 0; e < et.num_edges(); ++e) {
+        if (!src_it->second.test(et.source_vertex(e))) continue;
+        if (!dst_it->second.test(et.target_vertex(e))) continue;
+        if (!edge_passes(net, graph, pool, static_cast<int>(c), move.type, e,
+                         cursors)) {
+          continue;
+        }
+        bits.set(e);
+      }
+      auto [it, inserted] =
+          result.matched_edges[c].emplace(move.type, std::move(bits));
+      if (!inserted) it->second |= bits;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->ranks = num_ranks;
+    stats->supersteps = supersteps.load();
+    stats->messages = cluster.total_messages();
+    stats->bytes = cluster.total_bytes();
+    stats->activations = 0;
+    stats->bytes_per_rank.clear();
+    for (const auto& s : cluster.rank_stats()) {
+      stats->bytes_per_rank.push_back(s.bytes);
+    }
+    for (const auto& st : states) stats->activations += st.activations_sent;
+  }
+  return result;
+}
+
+}  // namespace gems::dist

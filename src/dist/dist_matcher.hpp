@@ -1,0 +1,38 @@
+// Distributed path matching over the simulated cluster: the Eq. 5 culling
+// fixpoint executed as bulk-synchronous supersteps. Each rank expands the
+// frontier from the vertices it owns using the shared edge indices, sends
+// activations for remote targets to their owners, and the ranks agree on
+// convergence with an allreduce — the execution structure of the paper's
+// "massively parallel execution of graph queries over the database
+// primarily resident on the aggregated memory of the compute nodes".
+//
+// Supported networks: edge constraints (any direction/variant) and
+// set-label constraints. Regex groups and cross predicates fall back to
+// single-node execution (they are front-end features whose distributed
+// formulation the paper does not discuss).
+#pragma once
+
+#include "common/status.hpp"
+#include "dist/partition.hpp"
+#include "dist/runtime.hpp"
+#include "exec/matcher.hpp"
+
+namespace gems::dist {
+
+struct DistStats {
+  std::size_t ranks = 0;
+  std::size_t supersteps = 0;       // constraint-direction exchanges
+  std::uint64_t messages = 0;       // network messages (excl. self-sends)
+  std::uint64_t bytes = 0;          // payload bytes
+  std::uint64_t activations = 0;    // remote vertex activations sent
+  std::vector<std::uint64_t> bytes_per_rank;
+};
+
+/// Runs the distributed fixpoint on `num_ranks` simulated compute nodes
+/// and returns the same domains/matched-edges a single-node
+/// match_network() produces (asserted by tests).
+Result<exec::MatchResult> match_network_distributed(
+    const exec::ConstraintNetwork& net, const graph::GraphView& graph,
+    const StringPool& pool, std::size_t num_ranks, DistStats* stats);
+
+}  // namespace gems::dist

@@ -1,0 +1,33 @@
+#include "dist/partition.hpp"
+
+namespace gems::dist {
+
+using graph::VertexIndex;
+using graph::VertexTypeId;
+
+VertexPartition::VertexPartition(const graph::GraphView& graph,
+                                 std::size_t num_ranks)
+    : num_ranks_(num_ranks) {
+  GEMS_CHECK(num_ranks >= 1);
+  owned_.resize(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    owned_[r].reserve(graph.num_vertex_types());
+    for (VertexTypeId t = 0; t < graph.num_vertex_types(); ++t) {
+      owned_[r].emplace_back(graph.vertex_type(t).num_vertices());
+    }
+  }
+  for (VertexTypeId t = 0; t < graph.num_vertex_types(); ++t) {
+    const std::size_t n = graph.vertex_type(t).num_vertices();
+    for (VertexIndex v = 0; v < n; ++v) {
+      owned_[static_cast<std::size_t>(owner(t, v))][t].set(v);
+    }
+  }
+}
+
+std::size_t VertexPartition::owned_count(int rank) const {
+  std::size_t n = 0;
+  for (const auto& bits : owned_[rank]) n += bits.count();
+  return n;
+}
+
+}  // namespace gems::dist

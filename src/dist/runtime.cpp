@@ -1,0 +1,123 @@
+#include "dist/runtime.hpp"
+
+namespace gems::dist {
+
+int RankCtx::size() const noexcept {
+  return static_cast<int>(cluster_->size());
+}
+
+void RankCtx::send(int to, int tag, std::span<const std::uint8_t> payload) {
+  cluster_->deliver(rank_, to, tag, payload);
+}
+
+Message RankCtx::recv() { return cluster_->take(rank_); }
+
+void RankCtx::barrier() { cluster_->barrier_wait(); }
+
+std::uint64_t RankCtx::allreduce_sum(std::uint64_t value) {
+  constexpr int kTagReduce = -101;
+  constexpr int kTagResult = -102;
+  if (rank_ == 0) {
+    std::uint64_t sum = value;
+    for (int i = 1; i < size(); ++i) {
+      Message m = recv();
+      GEMS_CHECK(m.tag == kTagReduce);
+      std::size_t pos = 0;
+      sum += get_u64(m.payload, pos);
+    }
+    std::vector<std::uint8_t> out;
+    put_u64(out, sum);
+    for (int i = 1; i < size(); ++i) send(i, kTagResult, out);
+    return sum;
+  }
+  std::vector<std::uint8_t> out;
+  put_u64(out, value);
+  send(0, kTagReduce, out);
+  Message m = recv();
+  GEMS_CHECK(m.tag == kTagResult);
+  std::size_t pos = 0;
+  return get_u64(m.payload, pos);
+}
+
+SimCluster::SimCluster(std::size_t num_ranks) : num_ranks_(num_ranks) {
+  GEMS_CHECK(num_ranks >= 1);
+  mailboxes_.reserve(num_ranks);
+  for (std::size_t i = 0; i < num_ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  stats_.resize(num_ranks);
+}
+
+void SimCluster::run(const std::function<void(RankCtx&)>& body) {
+  for (auto& s : stats_) s = RankCommStats{};
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb->mutex);
+    mb->queue.clear();
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks_);
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &body] {
+      RankCtx ctx(this, static_cast<int>(r));
+      body(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void SimCluster::deliver(int from, int to, int tag,
+                         std::span<const std::uint8_t> payload) {
+  GEMS_DCHECK(to >= 0 && static_cast<std::size_t>(to) < num_ranks_);
+  {
+    Mailbox& mb = *mailboxes_[to];
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    Message m;
+    m.from = from;
+    m.tag = tag;
+    m.payload.assign(payload.begin(), payload.end());
+    mb.queue.push_back(std::move(m));
+  }
+  mailboxes_[to]->cv.notify_one();
+  // Self-sends are delivered but not counted as network traffic.
+  if (from != to) {
+    // stats_ is written only by the sending rank's thread.
+    stats_[from].messages += 1;
+    stats_[from].bytes += payload.size();
+  }
+}
+
+Message SimCluster::take(int rank) {
+  Mailbox& mb = *mailboxes_[rank];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  mb.cv.wait(lock, [&] { return !mb.queue.empty(); });
+  Message m = std::move(mb.queue.front());
+  mb.queue.pop_front();
+  return m;
+}
+
+void SimCluster::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_count_ == num_ranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != generation; });
+}
+
+std::uint64_t SimCluster::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stats_) n += s.messages;
+  return n;
+}
+
+std::uint64_t SimCluster::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stats_) n += s.bytes;
+  return n;
+}
+
+}  // namespace gems::dist

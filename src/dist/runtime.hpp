@@ -1,0 +1,144 @@
+// Simulated cluster runtime — the stand-in for the paper's GEMS backend
+// ("a cluster of high-performance servers with ample DRAM connected via a
+// high speed network", Sec. III). N ranks run as threads that communicate
+// ONLY through typed mailboxes with per-rank byte/message accounting, so
+// the algorithms exercise the same structure a real distributed backend
+// would (local work + explicit exchanges + collectives) and the benches
+// can report communication volume — the cluster-relevant metric.
+//
+// Immutable graph structure is shared in memory (the standard shortcut of
+// in-process cluster simulation); all *algorithmic* state moves through
+// messages.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gems::dist {
+
+struct Message {
+  int from = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Per-rank communication counters (messages/bytes *sent*).
+struct RankCommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class SimCluster;
+
+/// Per-rank handle passed to the rank body. Not thread-safe across ranks;
+/// each rank uses only its own context.
+class RankCtx {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Sends `payload` to `to` (copies the bytes). Self-sends are allowed.
+  void send(int to, int tag, std::span<const std::uint8_t> payload);
+
+  /// Blocking receive from this rank's mailbox (any source, any tag;
+  /// FIFO).
+  Message recv();
+
+  /// Synchronizes all ranks.
+  void barrier();
+
+  /// Sum-allreduce implemented with real messages: every rank sends its
+  /// value to rank 0, which reduces and broadcasts the result.
+  std::uint64_t allreduce_sum(std::uint64_t value);
+
+ private:
+  friend class SimCluster;
+  RankCtx(SimCluster* cluster, int rank) : cluster_(cluster), rank_(rank) {}
+
+  SimCluster* cluster_;
+  int rank_;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(std::size_t num_ranks);
+
+  std::size_t size() const noexcept { return num_ranks_; }
+
+  /// Runs `body` on every rank (one thread per rank) and joins.
+  void run(const std::function<void(RankCtx&)>& body);
+
+  /// Aggregate and per-rank communication stats for the last run().
+  const std::vector<RankCommStats>& rank_stats() const noexcept {
+    return stats_;
+  }
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  friend class RankCtx;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int from, int to, int tag,
+               std::span<const std::uint8_t> payload);
+  Message take(int rank);
+  void barrier_wait();
+
+  std::size_t num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<RankCommStats> stats_;
+
+  // Reusable two-phase barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  std::size_t barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+// ---- Payload serialization helpers ---------------------------------------
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline std::uint32_t get_u32(std::span<const std::uint8_t> in,
+                             std::size_t& pos) {
+  GEMS_DCHECK(pos + 4 <= in.size());
+  const std::uint32_t v = static_cast<std::uint32_t>(in[pos]) |
+                          static_cast<std::uint32_t>(in[pos + 1]) << 8 |
+                          static_cast<std::uint32_t>(in[pos + 2]) << 16 |
+                          static_cast<std::uint32_t>(in[pos + 3]) << 24;
+  pos += 4;
+  return v;
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint64_t get_u64(std::span<const std::uint8_t> in,
+                             std::size_t& pos) {
+  const std::uint64_t lo = get_u32(in, pos);
+  const std::uint64_t hi = get_u32(in, pos);
+  return lo | (hi << 32);
+}
+
+}  // namespace gems::dist

@@ -1,0 +1,49 @@
+// Assignment enumeration: walks every satisfying assignment of a
+// constraint network (one vertex per variable, one edge per edge step),
+// pruned by the matcher's fixpoint domains. This implements:
+//   * table output (Fig. 6: "a table of product ids, with each id
+//     repeated for each feature" — one row per assignment, no dedup),
+//   * exact semantics when the network has cycles (foreach labels closing
+//     a loop, Eq. 8/12) or cross-step predicates,
+//   * element-wise `foreach` labels (an aliased variable is bound once
+//     per assignment — the same instance at every occurrence).
+#pragma once
+
+#include <functional>
+
+#include "common/status.hpp"
+#include "exec/matcher.hpp"
+#include "exec/network.hpp"
+
+namespace gems::exec {
+
+struct EnumOptions {
+  /// Stop after this many emitted assignments (0 = unlimited).
+  std::uint64_t max_rows = 0;
+  /// Enumeration root variable (planner's pivot, Sec. III-B); -1 = var 0.
+  int root_var = -1;
+};
+
+struct EnumStats {
+  std::uint64_t emitted = 0;
+  std::uint64_t extensions = 0;  // DFS edge extensions tried
+  bool truncated = false;        // hit max_rows
+};
+
+/// Receives one satisfying assignment. `vertices[var]` is valid for every
+/// variable; `edges[c]` identifies the edge chosen for edge constraint c.
+/// Return false to stop enumeration early.
+using EmitFn = std::function<bool(std::span<const graph::VertexRef>,
+                                  std::span<const graph::EdgeRef>)>;
+
+/// Enumerates satisfying assignments of `net` using the fixpoint `match`
+/// for pruning. Groups are traversed as closures (their interiors do not
+/// appear in assignments).
+Result<EnumStats> enumerate_assignments(const ConstraintNetwork& net,
+                                        const graph::GraphView& graph,
+                                        const StringPool& pool,
+                                        const MatchResult& match,
+                                        const EnumOptions& options,
+                                        const EmitFn& emit);
+
+}  // namespace gems::exec

@@ -1,0 +1,826 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "exec/enumerate.hpp"
+#include "exec/lowering.hpp"
+#include "exec/matcher.hpp"
+#include "relational/eval.hpp"
+#include "relational/operators.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::exec {
+
+namespace {
+
+using graph::EdgeRef;
+using graph::EdgeType;
+using graph::GraphView;
+using graph::VertexRef;
+using graph::VertexType;
+using graql::AggFunc;
+using graql::GraphQueryStmt;
+using graql::IntoKind;
+using graql::TableQueryStmt;
+using relational::AggKind;
+using relational::AggSpec;
+using relational::BoundExprPtr;
+using relational::OutputColumn;
+using relational::SortKey;
+using storage::ColumnDef;
+using storage::ColumnIndex;
+using storage::DataType;
+using storage::RowIndex;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+// =====================  Graph queries  ====================================
+
+/// Attribute source of one output column within one network.
+struct ColSource {
+  enum class Kind : std::uint8_t { kNone, kVertex, kEdge };
+  Kind kind = Kind::kNone;
+  int index = -1;  // var index or edge-constraint index
+  ColumnIndex column = 0;
+};
+
+struct OutCol {
+  std::string name;
+  DataType type;
+  std::vector<ColSource> per_network;  // indexed by network
+};
+
+/// Attribute schema of a step (vertex: full source schema; edge: attribute
+/// table schema; null when the step has none or is variant).
+const Schema* step_schema(const ConstraintNetwork& net, const GraphView& g,
+                          const StepRef& ref) {
+  if (!ref.is_edge) {
+    const VertexVar& var = net.vars[ref.index];
+    if (var.variant) return nullptr;
+    return &g.vertex_type(var.types.front()).source().schema();
+  }
+  const EdgeConstraint& con = net.edges[ref.index];
+  if (con.variant) return nullptr;
+  const Table* attrs = g.edge_type(con.moves.front().type).attr_table();
+  return attrs == nullptr ? nullptr : &attrs->schema();
+}
+
+struct MergedStep {
+  std::string display;
+  std::vector<std::optional<StepRef>> per_network;
+};
+
+std::vector<MergedStep> merge_steps(const LoweredQuery& lowered) {
+  std::vector<MergedStep> merged;
+  std::map<std::string, std::size_t> index;
+  const std::size_t n = lowered.networks.size();
+  for (std::size_t net = 0; net < n; ++net) {
+    for (const auto& [display, ref] : lowered.ordered_steps[net]) {
+      auto [it, inserted] = index.emplace(display, merged.size());
+      if (inserted) {
+        merged.push_back({display, std::vector<std::optional<StepRef>>(n)});
+      }
+      merged[it->second].per_network[net] = ref;
+    }
+  }
+  return merged;
+}
+
+/// Builds the output schema for table materialization, matching the
+/// analyzer's inference (both use OutputNamer and the same expansion
+/// rules).
+Result<std::vector<OutCol>> build_out_cols(const GraphQueryStmt& stmt,
+                                           const LoweredQuery& lowered,
+                                           const GraphView& graph) {
+  const std::size_t n = lowered.networks.size();
+  const auto merged = merge_steps(lowered);
+  graql::OutputNamer namer;
+  std::vector<OutCol> cols;
+
+  auto expand_step = [&](const MergedStep& step,
+                         const std::string& display) -> Status {
+    // Column set comes from the first network defining the step.
+    const Schema* schema = nullptr;
+    for (std::size_t net = 0; net < n && schema == nullptr; ++net) {
+      if (!step.per_network[net]) continue;
+      const StepRef& ref = *step.per_network[net];
+      if ((ref.is_edge && lowered.networks[net].edges[ref.index].variant) ||
+          (!ref.is_edge && lowered.networks[net].vars[ref.index].variant)) {
+        return type_error(
+            "variant '[ ]' steps cannot be selected into a table; use "
+            "'into subgraph'");
+      }
+      schema = step_schema(lowered.networks[net], graph, ref);
+    }
+    if (schema == nullptr) return Status::ok();  // attribute-less edge
+    for (ColumnIndex c = 0; c < schema->num_columns(); ++c) {
+      OutCol col;
+      col.name = namer.assign(display + "_" + schema->column(c).name, "");
+      col.type = schema->column(c).type;
+      col.per_network.resize(n);
+      for (std::size_t net = 0; net < n; ++net) {
+        if (!step.per_network[net]) continue;
+        const StepRef& ref = *step.per_network[net];
+        const Schema* s = step_schema(lowered.networks[net], graph, ref);
+        if (s == nullptr) continue;
+        auto idx = s->find(schema->column(c).name);
+        if (!idx) continue;
+        col.per_network[net] = {ref.is_edge ? ColSource::Kind::kEdge
+                                            : ColSource::Kind::kVertex,
+                                ref.index, *idx};
+      }
+      cols.push_back(std::move(col));
+    }
+    return Status::ok();
+  };
+
+  for (const auto& target : stmt.targets) {
+    if (target.star) {
+      // Fig. 13: "each row has all the attributes of all entities involved
+      // in the query path" — impossible when a step is variant, so reject
+      // (matches the static analyzer).
+      for (const auto& net : lowered.networks) {
+        for (const auto& var : net.vars) {
+          // Group endpoints (display "_g<n>") are opaque regex interiors
+          // and simply contribute no columns; explicit `[ ]` steps are an
+          // error.
+          const bool group_endpoint = var.display.rfind("_g", 0) == 0;
+          if (var.variant && !group_endpoint) {
+            return type_error(
+                "variant '[ ]' steps cannot be selected into a table; use "
+                "'into subgraph'");
+          }
+        }
+        for (const auto& con : net.edges) {
+          if (con.variant) {
+            return type_error(
+                "variant '[ ]' steps cannot be selected into a table; use "
+                "'into subgraph'");
+          }
+        }
+      }
+      for (const auto& step : merged) {
+        GEMS_RETURN_IF_ERROR(expand_step(step, step.display));
+      }
+      continue;
+    }
+    // Locate the step by qualifier in each network's registry (covers
+    // labels and the type-name aliases of labeled steps).
+    MergedStep resolved;
+    resolved.display = target.qualifier;
+    resolved.per_network.resize(n);
+    bool found = false;
+    for (std::size_t net = 0; net < n; ++net) {
+      auto it = lowered.step_refs[net].find(target.qualifier);
+      if (it == lowered.step_refs[net].end()) continue;
+      resolved.per_network[net] = it->second;
+      found = true;
+    }
+    if (!found) {
+      return not_found("select target '" + target.qualifier +
+                       "' does not name a step of this query");
+    }
+    const MergedStep* step = &resolved;
+    if (target.column.empty()) {
+      GEMS_RETURN_IF_ERROR(expand_step(
+          *step, target.alias.empty() ? target.qualifier : target.alias));
+      continue;
+    }
+    OutCol col;
+    col.per_network.resize(n);
+    bool typed = false;
+    for (std::size_t net = 0; net < n; ++net) {
+      if (!step->per_network[net]) continue;
+      const StepRef& ref = *step->per_network[net];
+      const Schema* s = step_schema(lowered.networks[net], graph, ref);
+      if (s == nullptr) {
+        return type_error("step '" + target.qualifier +
+                          "' has no attributes");
+      }
+      auto idx = s->find(target.column);
+      if (!idx) {
+        return not_found("step '" + target.qualifier +
+                         "' has no attribute '" + target.column + "'");
+      }
+      // For vertex steps, enforce many-to-one visibility.
+      if (!ref.is_edge) {
+        const VertexVar& var = lowered.networks[net].vars[ref.index];
+        const VertexType& vt = graph.vertex_type(var.types.front());
+        GEMS_RETURN_IF_ERROR(vt.resolve_attribute(target.column).status());
+      }
+      if (!typed) {
+        col.type = s->column(*idx).type;
+        typed = true;
+      }
+      col.per_network[net] = {ref.is_edge ? ColSource::Kind::kEdge
+                                          : ColSource::Kind::kVertex,
+                              ref.index, *idx};
+    }
+    GEMS_CHECK(typed);
+    col.name = namer.assign(
+        target.alias.empty() ? target.column : target.alias,
+        target.qualifier);
+    cols.push_back(std::move(col));
+  }
+  return cols;
+}
+
+/// Steps contributing elements to a subgraph result.
+struct SubgraphSelection {
+  bool star = false;
+  std::vector<int> vertex_vars;
+  std::vector<int> edge_cons;
+};
+
+Result<SubgraphSelection> resolve_subgraph_targets(
+    const GraphQueryStmt& stmt, const LoweredQuery& lowered,
+    std::size_t net_index) {
+  SubgraphSelection sel;
+  const auto& refs = lowered.step_refs[net_index];
+  for (const auto& target : stmt.targets) {
+    if (target.star) {
+      sel.star = true;
+      for (std::size_t v = 0; v < lowered.networks[net_index].num_vars();
+           ++v) {
+        sel.vertex_vars.push_back(static_cast<int>(v));
+      }
+      for (std::size_t c = 0; c < lowered.networks[net_index].edges.size();
+           ++c) {
+        sel.edge_cons.push_back(static_cast<int>(c));
+      }
+      return sel;
+    }
+    if (!target.column.empty()) {
+      return invalid_argument(
+          "attribute selections ('" + target.qualifier + "." +
+          target.column + "') require 'into table'");
+    }
+    auto it = refs.find(target.qualifier);
+    if (it == refs.end()) continue;  // step lives in another or-branch
+    if (it->second.is_edge) {
+      sel.edge_cons.push_back(it->second.index);
+    } else {
+      sel.vertex_vars.push_back(it->second.index);
+    }
+  }
+  return sel;
+}
+
+void mark_domain(Subgraph& out, const GraphView& graph, const Domain& d) {
+  for (const auto& [type, bits] : d.sets) {
+    if (!bits.any()) continue;
+    out.vertices(type, graph.vertex_type(type).num_vertices()) |= bits;
+  }
+}
+
+Result<SubgraphPtr> collect_subgraph(const GraphQueryStmt& stmt,
+                                     const LoweredQuery& lowered,
+                                     ExecContext& ctx,
+                                     const std::vector<MatchResult>& matches,
+                                     const std::vector<NetworkPlan>& plans,
+                                     bool* truncated) {
+  auto out = std::make_shared<Subgraph>(
+      stmt.into_name.empty() ? "result" : stmt.into_name);
+  const GraphView& graph = ctx.graph;
+
+  for (std::size_t n = 0; n < lowered.networks.size(); ++n) {
+    const ConstraintNetwork& net = lowered.networks[n];
+    const MatchResult& match = matches[n];
+    if (match.empty()) continue;
+    GEMS_ASSIGN_OR_RETURN(SubgraphSelection sel,
+                          resolve_subgraph_targets(stmt, lowered, n));
+
+    if (net.tree_exact) {
+      for (const int v : sel.vertex_vars) {
+        mark_domain(*out, graph, match.domains[v]);
+      }
+      for (const int c : sel.edge_cons) {
+        for (const auto& [type, bits] : match.matched_edges[c]) {
+          if (!bits.any()) continue;
+          out->edges(type, graph.edge_type(type).num_edges()) |= bits;
+        }
+      }
+      if (sel.star) {
+        for (const Subgraph& g : match.group_elements) out->merge(g);
+      }
+      continue;
+    }
+
+    // Non-tree networks: enumerate and mark elements actually used.
+    EnumOptions options;
+    options.max_rows = ctx.max_result_rows;
+    options.root_var = plans[n].root_var;
+    auto emit = [&](std::span<const VertexRef> vertices,
+                    std::span<const EdgeRef> edges) {
+      for (const int v : sel.vertex_vars) {
+        const VertexRef ref = vertices[v];
+        out->vertices(ref.type,
+                      graph.vertex_type(ref.type).num_vertices())
+            .set(ref.index);
+      }
+      for (const int c : sel.edge_cons) {
+        const EdgeRef ref = edges[c];
+        if (!ref.valid()) continue;
+        out->edges(ref.type, graph.edge_type(ref.type).num_edges())
+            .set(ref.index);
+      }
+      return true;
+    };
+    GEMS_ASSIGN_OR_RETURN(
+        EnumStats stats,
+        enumerate_assignments(net, graph, *ctx.pool, match, options, emit));
+    if (stats.truncated && truncated != nullptr) *truncated = true;
+    if (sel.star) {
+      // Group interiors come from the fixpoint marking (groups cannot be
+      // constrained by cross predicates, so this stays exact).
+      for (const Subgraph& g : match.group_elements) out->merge(g);
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> collect_table(const GraphQueryStmt& stmt,
+                               const LoweredQuery& lowered, ExecContext& ctx,
+                               const std::vector<MatchResult>& matches,
+                               const std::vector<NetworkPlan>& plans,
+                               bool* truncated) {
+  const GraphView& graph = ctx.graph;
+  GEMS_ASSIGN_OR_RETURN(std::vector<OutCol> cols,
+                        build_out_cols(stmt, lowered, graph));
+  std::vector<ColumnDef> defs;
+  defs.reserve(cols.size());
+  for (const auto& c : cols) defs.push_back({c.name, c.type});
+  GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(std::move(defs)));
+  auto out = std::make_shared<Table>(
+      stmt.into_name.empty() ? "result" : stmt.into_name, std::move(schema),
+      *ctx.pool);
+
+  std::vector<Value> row(cols.size());
+  for (std::size_t n = 0; n < lowered.networks.size(); ++n) {
+    const ConstraintNetwork& net = lowered.networks[n];
+    const MatchResult& match = matches[n];
+    if (match.empty()) continue;
+
+    EnumOptions options;
+    options.max_rows = ctx.max_result_rows;
+    options.root_var = plans[n].root_var;
+    auto emit = [&](std::span<const VertexRef> vertices,
+                    std::span<const EdgeRef> edges) {
+      for (std::size_t c = 0; c < cols.size(); ++c) {
+        const ColSource& src = cols[c].per_network[n];
+        switch (src.kind) {
+          case ColSource::Kind::kNone:
+            row[c] = Value::null();
+            break;
+          case ColSource::Kind::kVertex: {
+            const VertexRef ref = vertices[src.index];
+            const VertexType& vt = graph.vertex_type(ref.type);
+            row[c] = vt.source().value_at(vt.representative_row(ref.index),
+                                          src.column);
+            break;
+          }
+          case ColSource::Kind::kEdge: {
+            const EdgeRef ref = edges[src.index];
+            const Table* attrs = graph.edge_type(ref.type).attr_table();
+            row[c] = attrs == nullptr
+                         ? Value::null()
+                         : attrs->value_at(ref.index, src.column);
+            break;
+          }
+        }
+      }
+      out->append_row_unchecked(row);
+      return true;
+    };
+    GEMS_ASSIGN_OR_RETURN(
+        EnumStats stats,
+        enumerate_assignments(net, graph, *ctx.pool, match, options, emit));
+    if (stats.truncated && truncated != nullptr) *truncated = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
+                                            ExecContext& ctx) {
+  SubgraphResolver resolver =
+      [&ctx](const std::string& name) -> Result<SubgraphPtr> {
+    auto it = ctx.subgraphs.find(name);
+    if (it == ctx.subgraphs.end()) {
+      return not_found("unknown result subgraph '" + name + "'");
+    }
+    return it->second;
+  };
+  GEMS_ASSIGN_OR_RETURN(
+      LoweredQuery lowered,
+      lower_graph_query(stmt, ctx.graph, resolver, ctx.params, *ctx.pool));
+
+  std::vector<MatchResult> matches;
+  std::vector<NetworkPlan> plans(lowered.networks.size());
+  matches.reserve(lowered.networks.size());
+  for (std::size_t i = 0; i < lowered.networks.size(); ++i) {
+    const auto& net = lowered.networks[i];
+    if (ctx.planner) plans[i] = ctx.planner(net);
+    const std::vector<int>* order =
+        plans[i].constraint_order.empty() ? nullptr
+                                          : &plans[i].constraint_order;
+    GEMS_ASSIGN_OR_RETURN(MatchResult m,
+                          match_network(net, ctx.graph, *ctx.pool, order));
+    matches.push_back(std::move(m));
+  }
+
+  StatementResult result;
+  result.into = stmt.into;
+  result.into_name = stmt.into_name;
+  if (stmt.into == IntoKind::kSubgraph) {
+    GEMS_ASSIGN_OR_RETURN(
+        SubgraphPtr sub,
+        collect_subgraph(stmt, lowered, ctx, matches, plans,
+                         &result.truncated));
+    if (!ctx.defer_catalog_writes) ctx.subgraphs[stmt.into_name] = sub;
+    result.kind = StatementResult::Kind::kSubgraph;
+    result.subgraph = std::move(sub);
+    result.message = result.subgraph->summary();
+    return result;
+  }
+
+  GEMS_ASSIGN_OR_RETURN(
+      TablePtr table,
+      collect_table(stmt, lowered, ctx, matches, plans,
+                    &result.truncated));
+  if (stmt.into == IntoKind::kTable && !ctx.defer_catalog_writes) {
+    ctx.tables.add_or_replace(table);
+  }
+  result.kind = StatementResult::Kind::kTable;
+  result.table = std::move(table);
+  result.message = result.table->name() + ": " +
+                   std::to_string(result.table->num_rows()) + " rows";
+  return result;
+}
+
+// =====================  Table queries  =====================================
+
+namespace {
+
+Result<AggKind> to_agg_kind(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return AggKind::kCountStar;
+    case AggFunc::kCount:
+      return AggKind::kCount;
+    case AggFunc::kSum:
+      return AggKind::kSum;
+    case AggFunc::kAvg:
+      return AggKind::kAvg;
+    case AggFunc::kMin:
+      return AggKind::kMin;
+    case AggFunc::kMax:
+      return AggKind::kMax;
+    case AggFunc::kNone:
+      break;
+  }
+  return internal_error("not an aggregate");
+}
+
+std::string default_item_name(const graql::SelectItem& item,
+                              std::size_t* anon) {
+  switch (item.agg) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kNone:
+      break;
+  }
+  if (item.expr->kind == relational::Expr::Kind::kColumnRef) {
+    return item.expr->column;
+  }
+  return "expr" + std::to_string((*anon)++);
+}
+
+}  // namespace
+
+Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
+                                            ExecContext& ctx) {
+  GEMS_ASSIGN_OR_RETURN(TablePtr source, ctx.tables.find(stmt.from_table));
+  StringPool& pool = *ctx.pool;
+  relational::TableScope scope(*source);
+
+  // WHERE. Large tables scan in parallel over the intra-node pool (the
+  // shared-memory half of the paper's "massively parallel execution").
+  std::vector<RowIndex> rows;
+  if (stmt.where) {
+    GEMS_ASSIGN_OR_RETURN(
+        BoundExprPtr pred,
+        relational::bind_predicate(stmt.where, scope, ctx.params, pool));
+    if (ctx.intra_pool != nullptr &&
+        source->num_rows() >= ExecContext::kParallelScanThreshold) {
+      rows = relational::filter_rows_parallel(*source, *pred,
+                                              *ctx.intra_pool);
+    } else {
+      rows = relational::filter_rows(*source, *pred);
+    }
+  } else {
+    rows.resize(source->num_rows());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      rows[r] = static_cast<RowIndex>(r);
+    }
+  }
+
+  const bool has_agg =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const auto& i) { return i.agg != AggFunc::kNone; });
+  const bool grouped = has_agg || !stmt.group_by.empty();
+  const std::string out_name =
+      stmt.into == IntoKind::kTable ? stmt.into_name : "result";
+
+  TablePtr out;
+  if (!grouped) {
+    // Plain selection/projection. Expand `*` to all source columns.
+    std::vector<OutputColumn> outputs;
+    graql::OutputNamer namer;
+    std::size_t anon = 0;
+    for (const auto& item : stmt.items) {
+      if (item.star) {
+        for (ColumnIndex c = 0; c < source->num_columns(); ++c) {
+          OutputColumn oc;
+          oc.name = namer.assign(source->schema().column(c).name, "");
+          GEMS_ASSIGN_OR_RETURN(
+              oc.expr, relational::bind_expr(
+                           relational::Expr::make_column(
+                               "", source->schema().column(c).name),
+                           scope, ctx.params, pool));
+          outputs.push_back(std::move(oc));
+        }
+        continue;
+      }
+      OutputColumn oc;
+      const std::string base =
+          item.alias.empty() ? default_item_name(item, &anon) : item.alias;
+      oc.name = namer.assign(base, "");
+      GEMS_ASSIGN_OR_RETURN(
+          oc.expr, relational::bind_expr(item.expr, scope, ctx.params, pool));
+      outputs.push_back(std::move(oc));
+    }
+
+    // ORDER BY: by output columns when possible, else by source columns
+    // before projection.
+    std::vector<std::string> out_names;
+    for (const auto& o : outputs) out_names.push_back(o.name);
+    bool order_on_output = !stmt.order_by.empty();
+    bool order_on_source = !stmt.order_by.empty();
+    for (const auto& ord : stmt.order_by) {
+      if (std::find(out_names.begin(), out_names.end(), ord.column) ==
+          out_names.end()) {
+        order_on_output = false;
+      }
+      if (!source->schema().find(ord.column)) order_on_source = false;
+    }
+    if (!stmt.order_by.empty() && !order_on_output && !order_on_source) {
+      return not_found("order by columns must all be output columns or all "
+                       "be source columns");
+    }
+    if (!stmt.order_by.empty() && !order_on_output) {
+      std::vector<SortKey> keys;
+      for (const auto& ord : stmt.order_by) {
+        keys.push_back({*source->schema().find(ord.column), ord.descending});
+      }
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](RowIndex a, RowIndex b) {
+                         for (const auto& k : keys) {
+                           const int c = relational::compare_table_cells(
+                               *source, a, b, k.column);
+                           if (c != 0) return k.descending ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+
+    out = relational::project(*source, rows, outputs, out_name);
+    if (stmt.distinct) out = relational::distinct(*out, out_name);
+    if (!stmt.order_by.empty() && order_on_output) {
+      std::vector<SortKey> keys;
+      for (const auto& ord : stmt.order_by) {
+        keys.push_back({*out->schema().find(ord.column), ord.descending});
+      }
+      out = relational::order_by(*out, keys, out_name);
+    }
+    if (stmt.top_n > 0) out = relational::head(*out, stmt.top_n, out_name);
+  } else {
+    // Aggregation pipeline: pre-project group keys + aggregate inputs,
+    // group, then arrange outputs in item order.
+    std::vector<OutputColumn> pre_outputs;
+    // Group keys first (named g<i>).
+    for (std::size_t k = 0; k < stmt.group_by.size(); ++k) {
+      OutputColumn oc;
+      oc.name = "g" + std::to_string(k);
+      GEMS_ASSIGN_OR_RETURN(
+          oc.expr,
+          relational::bind_expr(
+              relational::Expr::make_column("", stmt.group_by[k]), scope,
+              ctx.params, pool));
+      pre_outputs.push_back(std::move(oc));
+    }
+    // Aggregate inputs (named a<i> aligned with item order).
+    std::vector<AggSpec> aggs;
+    for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+      const auto& item = stmt.items[i];
+      if (item.agg == AggFunc::kNone) {
+        if (item.star) {
+          return type_error("'*' cannot be combined with aggregation");
+        }
+        if (item.expr->kind != relational::Expr::Kind::kColumnRef ||
+            std::find(stmt.group_by.begin(), stmt.group_by.end(),
+                      item.expr->column) == stmt.group_by.end()) {
+          return type_error("select item '" + item.expr->to_string() +
+                            "' must be aggregated or listed in group by");
+        }
+        continue;
+      }
+      AggSpec spec;
+      GEMS_ASSIGN_OR_RETURN(spec.kind, to_agg_kind(item.agg));
+      spec.output_name = "a" + std::to_string(i);
+      if (item.agg != AggFunc::kCountStar) {
+        OutputColumn oc;
+        oc.name = "in" + std::to_string(i);
+        GEMS_ASSIGN_OR_RETURN(
+            oc.expr,
+            relational::bind_expr(item.expr, scope, ctx.params, pool));
+        spec.input = static_cast<ColumnIndex>(pre_outputs.size());
+        pre_outputs.push_back(std::move(oc));
+      }
+      aggs.push_back(std::move(spec));
+    }
+
+    TablePtr pre = relational::project(*source, rows, pre_outputs, "$pre");
+    std::vector<ColumnIndex> keys(stmt.group_by.size());
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      keys[k] = static_cast<ColumnIndex>(k);
+    }
+    GEMS_ASSIGN_OR_RETURN(TablePtr grouped_table,
+                          relational::group_by(*pre, keys, aggs, "$grouped"));
+
+    // Final projection into item order with user-facing names.
+    std::vector<ColumnIndex> out_cols;
+    std::vector<std::string> names;
+    graql::OutputNamer namer;
+    std::size_t anon = 0;
+    std::size_t agg_pos = 0;
+    for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+      const auto& item = stmt.items[i];
+      const std::string base =
+          item.alias.empty() ? default_item_name(item, &anon) : item.alias;
+      names.push_back(namer.assign(base, ""));
+      if (item.agg == AggFunc::kNone) {
+        // Key column: position in group_by.
+        const auto key_it = std::find(stmt.group_by.begin(),
+                                      stmt.group_by.end(), item.expr->column);
+        out_cols.push_back(static_cast<ColumnIndex>(
+            key_it - stmt.group_by.begin()));
+      } else {
+        out_cols.push_back(
+            static_cast<ColumnIndex>(stmt.group_by.size() + agg_pos));
+        ++agg_pos;
+      }
+    }
+    std::vector<RowIndex> all(grouped_table->num_rows());
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      all[r] = static_cast<RowIndex>(r);
+    }
+    out = relational::materialize(*grouped_table, all, out_cols, out_name,
+                                  &names);
+    if (stmt.distinct) out = relational::distinct(*out, out_name);
+    if (!stmt.order_by.empty()) {
+      std::vector<SortKey> sort_keys;
+      for (const auto& ord : stmt.order_by) {
+        auto idx = out->schema().find(ord.column);
+        if (!idx) {
+          return not_found("order by column '" + ord.column +
+                           "' is not an output column");
+        }
+        sort_keys.push_back({*idx, ord.descending});
+      }
+      out = relational::order_by(*out, sort_keys, out_name);
+    }
+    if (stmt.top_n > 0) out = relational::head(*out, stmt.top_n, out_name);
+  }
+
+  StatementResult result;
+  result.kind = StatementResult::Kind::kTable;
+  result.into = stmt.into;
+  result.into_name = stmt.into_name;
+  if (stmt.into == IntoKind::kTable && !ctx.defer_catalog_writes) {
+    ctx.tables.add_or_replace(out);
+  }
+  result.table = std::move(out);
+  result.message = result.table->name() + ": " +
+                   std::to_string(result.table->num_rows()) + " rows";
+  return result;
+}
+
+void commit_result(const StatementResult& result, ExecContext& ctx) {
+  if (result.into == IntoKind::kTable && result.table != nullptr) {
+    ctx.tables.add_or_replace(result.table);
+  }
+  if (result.into == IntoKind::kSubgraph && result.subgraph != nullptr) {
+    ctx.subgraphs[result.into_name] = result.subgraph;
+  }
+}
+
+// =====================  DDL / ingest  ======================================
+
+Status ExecContext::rebuild_graph() {
+  graph::GraphView fresh;
+  for (const auto& decl : vertex_decls) {
+    GEMS_RETURN_IF_ERROR(
+        graph::add_vertex_type(fresh, decl, tables, *pool, params));
+  }
+  for (const auto& decl : edge_decls) {
+    GEMS_RETURN_IF_ERROR(
+        graph::add_edge_type(fresh, decl, tables, *pool, params));
+  }
+  graph = std::move(fresh);
+  ++graph_version;
+  // Prior subgraph results index the old instance numbering.
+  subgraphs.clear();
+  return Status::ok();
+}
+
+Result<StatementResult> execute_statement(const graql::Statement& stmt,
+                                          ExecContext& ctx) {
+  GEMS_CHECK(ctx.pool != nullptr);
+  StatementResult result;
+
+  if (const auto* s = std::get_if<graql::CreateTableStmt>(&stmt)) {
+    GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(s->columns));
+    GEMS_RETURN_IF_ERROR(ctx.tables.add(
+        std::make_shared<Table>(s->name, std::move(schema), *ctx.pool)));
+    result.message = "created table " + s->name;
+    return result;
+  }
+  if (const auto* s = std::get_if<graql::CreateVertexStmt>(&stmt)) {
+    GEMS_RETURN_IF_ERROR(graph::add_vertex_type(ctx.graph, s->decl,
+                                                ctx.tables, *ctx.pool,
+                                                ctx.params));
+    ctx.vertex_decls.push_back(s->decl);
+    ++ctx.graph_version;
+    result.message = "created vertex type " + s->decl.name;
+    return result;
+  }
+  if (const auto* s = std::get_if<graql::CreateEdgeStmt>(&stmt)) {
+    GEMS_RETURN_IF_ERROR(graph::add_edge_type(ctx.graph, s->decl, ctx.tables,
+                                              *ctx.pool, ctx.params));
+    ctx.edge_decls.push_back(s->decl);
+    ++ctx.graph_version;
+    result.message = "created edge type " + s->decl.name;
+    return result;
+  }
+  if (const auto* s = std::get_if<graql::IngestStmt>(&stmt)) {
+    GEMS_ASSIGN_OR_RETURN(TablePtr table, ctx.tables.find(s->table));
+    std::string path = s->path;
+    if (!ctx.data_dir.empty() && !path.empty() && path.front() != '/') {
+      path = ctx.data_dir + "/" + path;
+    }
+    storage::CsvOptions options;
+    options.has_header = s->has_header;
+    GEMS_ASSIGN_OR_RETURN(storage::CsvIngestStats stats,
+                          storage::ingest_csv_file(*table, path, options));
+    // Paper Sec. II-A2: ingest also (re)generates derived vertex and edge
+    // instances.
+    GEMS_RETURN_IF_ERROR(ctx.rebuild_graph());
+    result.message = "ingested " + std::to_string(stats.rows) +
+                     " rows into " + s->table;
+    return result;
+  }
+  if (const auto* s = std::get_if<graql::OutputStmt>(&stmt)) {
+    GEMS_ASSIGN_OR_RETURN(TablePtr table, ctx.tables.find(s->table));
+    std::string path = s->path;
+    if (!ctx.data_dir.empty() && !path.empty() && path.front() != '/') {
+      path = ctx.data_dir + "/" + path;
+    }
+    GEMS_RETURN_IF_ERROR(storage::write_csv_file(*table, path));
+    result.message = "wrote " + std::to_string(table->num_rows()) +
+                     " rows of " + s->table + " to " + s->path;
+    return result;
+  }
+  if (const auto* s = std::get_if<graql::GraphQueryStmt>(&stmt)) {
+    return execute_graph_query(*s, ctx);
+  }
+  if (const auto* s = std::get_if<graql::TableQueryStmt>(&stmt)) {
+    return execute_table_query(*s, ctx);
+  }
+  GEMS_UNREACHABLE("unhandled statement kind");
+}
+
+}  // namespace gems::exec

@@ -1,0 +1,96 @@
+// Statement execution over a live database state: DDL, ingest, graph
+// queries (lower -> match -> enumerate -> materialize) and relational
+// queries (the Table I operator pipeline). The GEMS server (src/server)
+// wraps this with the catalog, static analysis and scheduling.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "exec/network.hpp"
+#include "exec/subgraph.hpp"
+#include "graph/builder.hpp"
+#include "graql/ast.hpp"
+#include "common/thread_pool.hpp"
+#include "storage/catalog.hpp"
+
+namespace gems::exec {
+
+/// Mutable database state shared by all statements of a session.
+struct ExecContext {
+  storage::TableCatalog tables;
+  graph::GraphView graph;
+  StringPool* pool = nullptr;  // database-wide interner (required)
+  std::map<std::string, SubgraphPtr> subgraphs;
+  relational::ParamMap params;
+
+  /// Declarations, retained so ingest can rebuild the derived graph
+  /// (paper Sec. II-A2: "Data ingest triggers ... the generation of
+  /// associated vertex and edge instances derived from the table").
+  std::vector<graph::VertexDecl> vertex_decls;
+  std::vector<graph::EdgeDecl> edge_decls;
+
+  /// Base directory prepended to relative ingest paths.
+  std::string data_dir;
+
+  /// Monotone counter bumped whenever the graph's instances change (DDL,
+  /// ingest rebuilds). Lets planners cache per-graph statistics.
+  std::uint64_t graph_version = 0;
+
+  /// Safety cap for graph-query row enumeration (0 = unlimited).
+  std::uint64_t max_result_rows = 0;
+
+  /// Intra-node worker pool for parallel scans (nullptr = serial). Tables
+  /// below kParallelScanThreshold rows always scan serially.
+  ThreadPool* intra_pool = nullptr;
+  static constexpr std::size_t kParallelScanThreshold = 1 << 14;
+
+  /// Optional query planner hook (paper Sec. III-B): returns the pivot
+  /// variable and propagation order for a lowered network. Installed by
+  /// the server layer (src/plan provides the implementation); when empty,
+  /// execution uses lexical order.
+  std::function<NetworkPlan(const ConstraintNetwork&)> planner;
+
+  /// When true, query statements do not register their `into` results in
+  /// the catalog; the caller commits them later (used by the parallel
+  /// multi-statement scheduler, paper Sec. III-B1, so that independent
+  /// statements can run concurrently against read-only state).
+  bool defer_catalog_writes = false;
+
+  /// Rebuilds all vertex/edge types from their declarations (after an
+  /// ingest). Invalidates named subgraphs, which reference the old
+  /// instance numbering.
+  Status rebuild_graph();
+};
+
+struct StatementResult {
+  enum class Kind { kNone, kTable, kSubgraph };
+  Kind kind = Kind::kNone;
+  storage::TablePtr table;      // kTable (also set for un-named results)
+  SubgraphPtr subgraph;         // kSubgraph
+  std::string message;          // human-readable outcome ("ingested 42 rows")
+  bool truncated = false;       // row cap hit
+  graql::IntoKind into = graql::IntoKind::kNone;  // result registration
+  std::string into_name;
+};
+
+/// Registers a deferred result (into table / into subgraph) in the
+/// context's catalog. No-op for results without an `into` clause.
+void commit_result(const StatementResult& result, ExecContext& ctx);
+
+/// Executes one statement, updating `ctx`.
+Result<StatementResult> execute_statement(const graql::Statement& stmt,
+                                          ExecContext& ctx);
+
+/// Executes a graph query (exposed separately for the planner benches).
+Result<StatementResult> execute_graph_query(const graql::GraphQueryStmt& stmt,
+                                            ExecContext& ctx);
+
+/// Executes a relational table query.
+Result<StatementResult> execute_table_query(const graql::TableQueryStmt& stmt,
+                                            ExecContext& ctx);
+
+}  // namespace gems::exec

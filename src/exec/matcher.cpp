@@ -1,0 +1,653 @@
+#include "exec/matcher.hpp"
+
+#include "common/check.hpp"
+#include "relational/eval.hpp"
+
+namespace gems::exec {
+
+namespace {
+
+using graph::CsrIndex;
+using graph::EdgeType;
+using graph::EdgeTypeId;
+using graph::GraphView;
+using graph::VertexIndex;
+using graph::VertexType;
+using graph::VertexTypeId;
+using relational::RowCursor;
+
+}  // namespace
+
+std::size_t Domain::count() const {
+  std::size_t n = 0;
+  for (const auto& [type, bits] : sets) n += bits.count();
+  return n;
+}
+
+bool Domain::empty() const {
+  for (const auto& [type, bits] : sets) {
+    if (bits.any()) return false;
+  }
+  return true;
+}
+
+bool Domain::intersect(const Domain& other) {
+  bool changed = false;
+  for (auto& [type, bits] : sets) {
+    auto it = other.sets.find(type);
+    if (it == other.sets.end()) {
+      if (bits.any()) {
+        bits.reset_all();
+        changed = true;
+      }
+      continue;
+    }
+    const std::size_t before = bits.count();
+    bits &= it->second;
+    if (bits.count() != before) changed = true;
+  }
+  return changed;
+}
+
+namespace {
+
+/// Scratch evaluation state: one cursor slot per variable plus the edge
+/// band starting at kEdgeSourceBase.
+class Evaluator {
+ public:
+  Evaluator(const ConstraintNetwork& net, const GraphView& graph,
+            const StringPool& pool)
+      : net_(net), graph_(graph), pool_(pool) {
+    cursors_.resize(kEdgeSourceBase + net.edges.size());
+  }
+
+  void set_vertex(int var, VertexTypeId type, VertexIndex v) {
+    const VertexType& vt = graph_.vertex_type(type);
+    cursors_[var] = {&vt.source(), vt.representative_row(v)};
+  }
+
+  void set_edge(int edge_con, EdgeTypeId type, graph::EdgeIndex e) {
+    const EdgeType& et = graph_.edge_type(type);
+    GEMS_DCHECK(et.attr_table() != nullptr);
+    cursors_[kEdgeSourceBase + edge_con] = {et.attr_table(), e};
+  }
+
+  bool eval(const relational::BoundExprPtr& pred) const {
+    return relational::eval_predicate(*pred, cursors_, pool_);
+  }
+
+  bool eval_all(const std::vector<relational::BoundExprPtr>& preds) const {
+    for (const auto& p : preds) {
+      if (!eval(p)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const ConstraintNetwork& net_;
+  const GraphView& graph_;
+  const StringPool& pool_;
+  std::vector<RowCursor> cursors_;
+};
+
+/// Expands one group hop forward: all vertices reachable from `from` via
+/// the hop's edge types, filtered by the hop's vertex types/conditions.
+Domain expand_hop(const GraphView& graph, const StringPool& pool,
+                  const GroupHop& hop, const Domain& from,
+                  MatchStats* stats) {
+  Domain out;
+  for (const VertexTypeId t : hop.vertex_types) {
+    out.sets.emplace(t, DynamicBitset(graph.vertex_type(t).num_vertices()));
+  }
+  auto allowed_vertex_type = [&](VertexTypeId t) {
+    return out.sets.contains(t);
+  };
+
+  // Hop vertex conditions evaluate against a single-source scope.
+  auto target_passes = [&](VertexTypeId t, VertexIndex v) {
+    if (hop.vertex_conds.empty()) return true;
+    const VertexType& vt = graph.vertex_type(t);
+    RowCursor cursor{&vt.source(), vt.representative_row(v)};
+    const std::span<const RowCursor> span(&cursor, 1);
+    for (const auto& cond : hop.vertex_conds) {
+      if (!relational::eval_predicate(*cond, span, pool)) return false;
+    }
+    return true;
+  };
+
+  auto edge_passes = [&](const EdgeType& et, graph::EdgeIndex e) {
+    if (hop.edge_conds.empty()) return true;
+    GEMS_DCHECK(et.attr_table() != nullptr);
+    RowCursor cursor{et.attr_table(), e};
+    const std::span<const RowCursor> span(&cursor, 1);
+    for (const auto& cond : hop.edge_conds) {
+      if (!relational::eval_predicate(*cond, span, pool)) return false;
+    }
+    return true;
+  };
+
+  auto traverse = [&](const EdgeType& et) {
+    // Forward hop: current --e--> next (current is source).
+    // Reversed hop: next --e--> current (current is target).
+    const VertexTypeId cur_type =
+        hop.reversed ? et.target_type() : et.source_type();
+    const VertexTypeId next_type =
+        hop.reversed ? et.source_type() : et.target_type();
+    if (!allowed_vertex_type(next_type)) return;
+    auto it = from.sets.find(cur_type);
+    if (it == from.sets.end() || !it->second.any()) return;
+    const CsrIndex& index = hop.reversed ? et.reverse() : et.forward();
+    DynamicBitset& out_bits = out.sets.at(next_type);
+    it->second.for_each([&](std::size_t v) {
+      const auto neighbors = index.neighbors(static_cast<VertexIndex>(v));
+      const auto edge_ids = index.edges(static_cast<VertexIndex>(v));
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const VertexIndex u = neighbors[i];
+        if (stats != nullptr) ++stats->edge_traversals;
+        if (out_bits.test(u)) continue;
+        if (!edge_passes(et, edge_ids[i])) continue;
+        if (target_passes(next_type, u)) out_bits.set(u);
+      }
+    });
+  };
+
+  if (!hop.edge_types.empty()) {
+    for (const EdgeTypeId id : hop.edge_types) {
+      traverse(graph.edge_type(id));
+    }
+  } else {
+    for (EdgeTypeId id = 0; id < graph.num_edge_types(); ++id) {
+      traverse(graph.edge_type(id));
+    }
+  }
+  return out;
+}
+
+/// The same hop walked right-to-left. `target_filter` (may be null)
+/// supplies the vertex conditions of the position being landed on.
+Domain expand_hop_back(const GraphView& graph, const StringPool& pool,
+                       const GroupHop& hop, const Domain& from,
+                       const GroupHop* target_hop, MatchStats* stats) {
+  // Walking hop backwards flips the traversal direction; the vertex
+  // filter comes from the *previous* position (target_hop), not this hop.
+  Domain out;
+  std::vector<VertexTypeId> target_types;
+  if (target_hop != nullptr) {
+    target_types = target_hop->vertex_types;
+  } else {
+    target_types.resize(graph.num_vertex_types());
+    for (std::size_t i = 0; i < target_types.size(); ++i) {
+      target_types[i] = static_cast<VertexTypeId>(i);
+    }
+  }
+  for (const VertexTypeId t : target_types) {
+    out.sets.emplace(t, DynamicBitset(graph.vertex_type(t).num_vertices()));
+  }
+  auto target_passes = [&](VertexTypeId t, VertexIndex v) {
+    if (target_hop == nullptr || target_hop->vertex_conds.empty()) {
+      return true;
+    }
+    const VertexType& vt = graph.vertex_type(t);
+    RowCursor cursor{&vt.source(), vt.representative_row(v)};
+    const std::span<const RowCursor> span(&cursor, 1);
+    for (const auto& cond : target_hop->vertex_conds) {
+      if (!relational::eval_predicate(*cond, span, pool)) return false;
+    }
+    return true;
+  };
+  auto edge_passes = [&](const EdgeType& et, graph::EdgeIndex e) {
+    if (hop.edge_conds.empty()) return true;
+    GEMS_DCHECK(et.attr_table() != nullptr);
+    RowCursor cursor{et.attr_table(), e};
+    const std::span<const RowCursor> span(&cursor, 1);
+    for (const auto& cond : hop.edge_conds) {
+      if (!relational::eval_predicate(*cond, span, pool)) return false;
+    }
+    return true;
+  };
+
+  auto traverse = [&](const EdgeType& et) {
+    // Forward hop prev --e--> cur: walking back from cur, prev is the
+    // edge source -> use the reverse index keyed by target.
+    const VertexTypeId cur_type =
+        hop.reversed ? et.source_type() : et.target_type();
+    const VertexTypeId prev_type =
+        hop.reversed ? et.target_type() : et.source_type();
+    if (!out.sets.contains(prev_type)) return;
+    auto it = from.sets.find(cur_type);
+    if (it == from.sets.end() || !it->second.any()) return;
+    const CsrIndex& index = hop.reversed ? et.forward() : et.reverse();
+    DynamicBitset& out_bits = out.sets.at(prev_type);
+    it->second.for_each([&](std::size_t v) {
+      const auto neighbors = index.neighbors(static_cast<VertexIndex>(v));
+      const auto edge_ids = index.edges(static_cast<VertexIndex>(v));
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const VertexIndex u = neighbors[i];
+        if (stats != nullptr) ++stats->edge_traversals;
+        if (out_bits.test(u)) continue;
+        if (!edge_passes(et, edge_ids[i])) continue;
+        if (target_passes(prev_type, u)) out_bits.set(u);
+      }
+    });
+  };
+  if (!hop.edge_types.empty()) {
+    for (const EdgeTypeId id : hop.edge_types) traverse(graph.edge_type(id));
+  } else {
+    for (EdgeTypeId id = 0; id < graph.num_edge_types(); ++id) {
+      traverse(graph.edge_type(id));
+    }
+  }
+  return out;
+}
+
+Domain domain_union(Domain a, const Domain& b) {
+  for (const auto& [type, bits] : b.sets) {
+    auto it = a.sets.find(type);
+    if (it == a.sets.end()) {
+      a.sets.emplace(type, bits);
+    } else {
+      it->second |= bits;
+    }
+  }
+  return a;
+}
+
+bool domain_subtract_into(Domain& frontier, const Domain& seen) {
+  // frontier -= seen; returns whether anything remains.
+  bool any = false;
+  for (auto& [type, bits] : frontier.sets) {
+    auto it = seen.sets.find(type);
+    if (it != seen.sets.end()) bits.subtract(it->second);
+    any = any || bits.any();
+  }
+  return any;
+}
+
+constexpr std::uint32_t kMaxExactRepeats = 1024;
+
+/// Full-body forward application: runs all hops once.
+Domain apply_body(const GraphView& graph, const StringPool& pool,
+                  const GroupConstraint& g, Domain d, MatchStats* stats) {
+  for (const GroupHop& hop : g.hops) {
+    d = expand_hop(graph, pool, hop, d, stats);
+    if (d.empty()) break;
+  }
+  return d;
+}
+
+Domain apply_body_back(const GraphView& graph, const StringPool& pool,
+                       const GroupConstraint& g, Domain d,
+                       MatchStats* stats) {
+  for (std::size_t i = g.hops.size(); i-- > 0;) {
+    const GroupHop* target = i == 0 ? nullptr : &g.hops[i - 1];
+    d = expand_hop_back(graph, pool, g.hops[i], d, target, stats);
+    if (d.empty()) break;
+  }
+  return d;
+}
+
+}  // namespace
+
+/// Closure of the group going forward from `start`: all end-position
+/// vertices after an admissible number of body iterations.
+Result<Domain> group_closure_forward(const GraphView& graph,
+                                     const StringPool& pool,
+                                     const GroupConstraint& g,
+                                     const Domain& start, MatchStats* stats) {
+  using Quant = graql::PathGroup::Quant;
+  if (g.quant == Quant::kExact) {
+    if (g.count > kMaxExactRepeats) {
+      return invalid_argument("path repetition count exceeds " +
+                              std::to_string(kMaxExactRepeats));
+    }
+    Domain d = start;
+    for (std::uint32_t i = 0; i < g.count && !d.empty(); ++i) {
+      d = apply_body(graph, pool, g, std::move(d), stats);
+    }
+    return d;
+  }
+  // * and +: fixpoint over boundary positions.
+  Domain reached = apply_body(graph, pool, g, start, stats);  // 1 iteration
+  Domain frontier = reached;
+  while (!frontier.empty()) {
+    Domain next = apply_body(graph, pool, g, std::move(frontier), stats);
+    if (!domain_subtract_into(next, reached)) break;
+    reached = domain_union(std::move(reached), next);
+    frontier = std::move(next);
+  }
+  if (g.quant == Quant::kStar) {
+    // Zero iterations: the start vertices themselves qualify.
+    reached = domain_union(std::move(reached), start);
+  }
+  return reached;
+}
+
+Result<Domain> group_closure_backward(const GraphView& graph,
+                                      const StringPool& pool,
+                                      const GroupConstraint& g,
+                                      const Domain& end, MatchStats* stats) {
+  using Quant = graql::PathGroup::Quant;
+  if (g.quant == Quant::kExact) {
+    if (g.count > kMaxExactRepeats) {
+      return invalid_argument("path repetition count exceeds " +
+                              std::to_string(kMaxExactRepeats));
+    }
+    Domain d = end;
+    for (std::uint32_t i = 0; i < g.count && !d.empty(); ++i) {
+      d = apply_body_back(graph, pool, g, std::move(d), stats);
+    }
+    return d;
+  }
+  Domain reached = apply_body_back(graph, pool, g, end, stats);
+  Domain frontier = reached;
+  while (!frontier.empty()) {
+    Domain next = apply_body_back(graph, pool, g, std::move(frontier), stats);
+    if (!domain_subtract_into(next, reached)) break;
+    reached = domain_union(std::move(reached), next);
+    frontier = std::move(next);
+  }
+  if (g.quant == Quant::kStar) {
+    reached = domain_union(std::move(reached), end);
+  }
+  return reached;
+}
+
+bool vertex_passes(const ConstraintNetwork& net, const GraphView& graph,
+                   const StringPool& pool, int var, VertexTypeId type,
+                   VertexIndex v) {
+  const VertexVar& vv = net.vars[var];
+  if (vv.self_conds.empty()) return true;
+  // Self conditions only dereference this variable's slot, so a cursor
+  // span of var+1 entries suffices (the full kEdgeSourceBase-wide band
+  // would cost a 64 KiB allocation per call — measured hot in planning).
+  std::vector<RowCursor> cursors(static_cast<std::size_t>(var) + 1);
+  const VertexType& vt = graph.vertex_type(type);
+  cursors[var] = {&vt.source(), vt.representative_row(v)};
+  for (const auto& pred : vv.self_conds) {
+    if (!relational::eval_predicate(*pred, cursors, pool)) return false;
+  }
+  return true;
+}
+
+Domain initial_domain(const ConstraintNetwork& net, const GraphView& graph,
+                      const StringPool& pool, int var) {
+  const VertexVar& vv = net.vars[var];
+  Domain d;
+  // Self conditions reference only this variable's slot (see
+  // vertex_passes): a right-sized cursor span avoids the wide band.
+  std::vector<RowCursor> cursors(static_cast<std::size_t>(var) + 1);
+  for (const VertexTypeId t : vv.types) {
+    const VertexType& vt = graph.vertex_type(t);
+    DynamicBitset bits(vt.num_vertices());
+    const DynamicBitset* seed_bits =
+        vv.seed ? vv.seed->vertices(t) : nullptr;
+    if (vv.seed && seed_bits == nullptr) {
+      // Seeded step with no members of this type: empty.
+      d.sets.emplace(t, std::move(bits));
+      continue;
+    }
+    for (VertexIndex v = 0; v < vt.num_vertices(); ++v) {
+      if (seed_bits != nullptr && !seed_bits->test(v)) continue;
+      if (!vv.self_conds.empty()) {
+        cursors[var] = {&vt.source(), vt.representative_row(v)};
+        bool ok = true;
+        for (const auto& pred : vv.self_conds) {
+          if (!relational::eval_predicate(*pred, cursors, pool)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+      }
+      bits.set(v);
+    }
+    d.sets.emplace(t, std::move(bits));
+  }
+  return d;
+}
+
+Result<MatchResult> match_network(const ConstraintNetwork& net,
+                                  const GraphView& graph,
+                                  const StringPool& pool,
+                                  const std::vector<int>* order) {
+  MatchResult result;
+  result.domains.reserve(net.num_vars());
+  for (std::size_t v = 0; v < net.num_vars(); ++v) {
+    result.domains.push_back(
+        initial_domain(net, graph, pool, static_cast<int>(v)));
+  }
+
+  Evaluator ev(net, graph, pool);
+
+  // Support set of one side of an edge constraint given the other side.
+  auto edge_support = [&](const EdgeConstraint& con,
+                          bool from_left) -> Domain {
+    const Domain& from =
+        result.domains[from_left ? con.left_var : con.right_var];
+    const Domain& to_shape =
+        result.domains[from_left ? con.right_var : con.left_var];
+    Domain support;
+    for (const auto& [type, bits] : to_shape.sets) {
+      support.sets.emplace(type, DynamicBitset(bits.size()));
+    }
+    const int con_index = static_cast<int>(&con - net.edges.data());
+    for (const EdgeMove& move : con.moves) {
+      const EdgeType& et = graph.edge_type(move.type);
+      // move.forward: edge runs left->right. Walking from_left therefore
+      // uses the forward CSR; walking from the right uses the reverse.
+      const bool walk_forward = move.forward == from_left;
+      const VertexTypeId from_type =
+          walk_forward ? et.source_type() : et.target_type();
+      const VertexTypeId to_type =
+          walk_forward ? et.target_type() : et.source_type();
+      auto from_it = from.sets.find(from_type);
+      auto to_it = support.sets.find(to_type);
+      if (from_it == from.sets.end() || to_it == support.sets.end()) {
+        continue;
+      }
+      const CsrIndex& index = walk_forward ? et.forward() : et.reverse();
+      const bool has_conds = !con.self_conds.empty();
+      DynamicBitset& out_bits = to_it->second;
+      from_it->second.for_each([&](std::size_t v) {
+        const auto neighbors = index.neighbors(static_cast<VertexIndex>(v));
+        const auto edges = index.edges(static_cast<VertexIndex>(v));
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+          ++result.stats.edge_traversals;
+          if (out_bits.test(neighbors[i])) continue;
+          if (has_conds) {
+            ev.set_edge(con_index, move.type, edges[i]);
+            if (!ev.eval_all(con.self_conds)) continue;
+          }
+          out_bits.set(neighbors[i]);
+        }
+      });
+    }
+    return support;
+  };
+
+  // Constraint visit order: planner-supplied or natural.
+  std::vector<int> visit;
+  const std::size_t n_constraints =
+      net.edges.size() + net.groups.size() + net.set_eqs.size();
+  if (order != nullptr) {
+    visit = *order;
+    GEMS_CHECK(visit.size() == n_constraints);
+  } else {
+    visit.resize(n_constraints);
+    for (std::size_t i = 0; i < n_constraints; ++i) {
+      visit[i] = static_cast<int>(i);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.stats.propagation_passes;
+    for (const int c : visit) {
+      if (static_cast<std::size_t>(c) < net.edges.size()) {
+        const EdgeConstraint& con = net.edges[c];
+        Domain right_support = edge_support(con, /*from_left=*/true);
+        changed |= result.domains[con.right_var].intersect(right_support);
+        Domain left_support = edge_support(con, /*from_left=*/false);
+        changed |= result.domains[con.left_var].intersect(left_support);
+        continue;
+      }
+      std::size_t idx = static_cast<std::size_t>(c) - net.edges.size();
+      if (idx < net.groups.size()) {
+        const GroupConstraint& g = net.groups[idx];
+        GEMS_ASSIGN_OR_RETURN(
+            Domain fwd, group_closure_forward(graph, pool, g,
+                                      result.domains[g.left_var],
+                                      &result.stats));
+        changed |= result.domains[g.right_var].intersect(fwd);
+        GEMS_ASSIGN_OR_RETURN(
+            Domain bwd, group_closure_backward(graph, pool, g,
+                                       result.domains[g.right_var],
+                                       &result.stats));
+        changed |= result.domains[g.left_var].intersect(bwd);
+        continue;
+      }
+      idx -= net.groups.size();
+      const SetEqConstraint& se = net.set_eqs[idx];
+      changed |= result.domains[se.var_a].intersect(result.domains[se.var_b]);
+      changed |= result.domains[se.var_b].intersect(result.domains[se.var_a]);
+    }
+  }
+
+  // ---- Matched edge sets (Eq. 5's E(q)) --------------------------------
+  result.matched_edges.resize(net.edges.size());
+  for (std::size_t c = 0; c < net.edges.size(); ++c) {
+    const EdgeConstraint& con = net.edges[c];
+    for (const EdgeMove& move : con.moves) {
+      const EdgeType& et = graph.edge_type(move.type);
+      const Domain& src_dom =
+          result.domains[move.forward ? con.left_var : con.right_var];
+      const Domain& dst_dom =
+          result.domains[move.forward ? con.right_var : con.left_var];
+      auto src_it = src_dom.sets.find(et.source_type());
+      auto dst_it = dst_dom.sets.find(et.target_type());
+      if (src_it == src_dom.sets.end() || dst_it == dst_dom.sets.end()) {
+        continue;
+      }
+      DynamicBitset bits(et.num_edges());
+      for (graph::EdgeIndex e = 0; e < et.num_edges(); ++e) {
+        if (!src_it->second.test(et.source_vertex(e))) continue;
+        if (!dst_it->second.test(et.target_vertex(e))) continue;
+        if (!con.self_conds.empty()) {
+          ev.set_edge(static_cast<int>(c), move.type, e);
+          if (!ev.eval_all(con.self_conds)) continue;
+        }
+        bits.set(e);
+      }
+      auto [it, inserted] = result.matched_edges[c].emplace(move.type,
+                                                            std::move(bits));
+      if (!inserted) it->second |= bits;
+    }
+  }
+
+  // ---- Group interior elements (for subgraph output) --------------------
+  result.group_elements.reserve(net.groups.size());
+  for (const GroupConstraint& g : net.groups) {
+    Subgraph elements("group");
+    // On-path boundary vertices: those both forward-reachable from the
+    // left domain and backward-reachable from the right domain. Interior
+    // marking walks the body once per boundary fixpoint position.
+    GEMS_ASSIGN_OR_RETURN(
+        Domain fwd, group_closure_forward(graph, pool, g, result.domains[g.left_var],
+                                  &result.stats));
+    GEMS_ASSIGN_OR_RETURN(
+        Domain bwd, group_closure_backward(graph, pool, g,
+                                   result.domains[g.right_var],
+                                   &result.stats));
+    // Boundary vertices usable mid-path (between iterations).
+    Domain boundary = fwd;
+    boundary.intersect(bwd);
+    boundary = domain_union(std::move(boundary),
+                            [&] {
+                              Domain d = result.domains[g.left_var];
+                              d.intersect(bwd);
+                              return d;
+                            }());
+    Domain end = result.domains[g.right_var];
+    end.intersect(fwd);
+    boundary = domain_union(std::move(boundary), end);
+
+    // Mark interior: walk hops forward from the boundary set, culling each
+    // position by its backward reachability toward the boundary.
+    std::vector<Domain> fwd_pos(g.hops.size() + 1);
+    fwd_pos[0] = boundary;
+    for (std::size_t i = 0; i < g.hops.size(); ++i) {
+      fwd_pos[i + 1] =
+          expand_hop(graph, pool, g.hops[i], fwd_pos[i], &result.stats);
+    }
+    std::vector<Domain> bwd_pos(g.hops.size() + 1);
+    bwd_pos[g.hops.size()] = boundary;
+    for (std::size_t i = g.hops.size(); i-- > 0;) {
+      const GroupHop* target = i == 0 ? nullptr : &g.hops[i - 1];
+      bwd_pos[i] = expand_hop_back(graph, pool, g.hops[i], bwd_pos[i + 1],
+                                   target, &result.stats);
+    }
+    for (std::size_t i = 0; i <= g.hops.size(); ++i) {
+      Domain on_path = fwd_pos[i];
+      on_path.intersect(bwd_pos[i]);
+      for (const auto& [type, bits] : on_path.sets) {
+        if (!bits.any()) continue;
+        DynamicBitset& out = elements.vertices(
+            type, graph.vertex_type(type).num_vertices());
+        out |= bits;
+      }
+    }
+    // Mark on-path edges per hop.
+    for (std::size_t i = 0; i < g.hops.size(); ++i) {
+      Domain from = fwd_pos[i];
+      from.intersect(bwd_pos[i]);
+      Domain to = fwd_pos[i + 1];
+      to.intersect(bwd_pos[i + 1]);
+      const GroupHop& hop = g.hops[i];
+      auto mark_edges = [&](const EdgeType& et) {
+        const VertexTypeId cur_type =
+            hop.reversed ? et.target_type() : et.source_type();
+        const VertexTypeId next_type =
+            hop.reversed ? et.source_type() : et.target_type();
+        auto from_it = from.sets.find(cur_type);
+        auto to_it = to.sets.find(next_type);
+        if (from_it == from.sets.end() || to_it == to.sets.end()) return;
+        DynamicBitset& out = elements.edges(et.id(), et.num_edges());
+        for (graph::EdgeIndex e = 0; e < et.num_edges(); ++e) {
+          const VertexIndex s = hop.reversed ? et.target_vertex(e)
+                                             : et.source_vertex(e);
+          const VertexIndex d = hop.reversed ? et.source_vertex(e)
+                                             : et.target_vertex(e);
+          if (!from_it->second.test(s) || !to_it->second.test(d)) continue;
+          if (!hop.edge_conds.empty()) {
+            RowCursor cursor{et.attr_table(), e};
+            const std::span<const RowCursor> span(&cursor, 1);
+            bool ok = true;
+            for (const auto& cond : hop.edge_conds) {
+              if (!relational::eval_predicate(*cond, span, pool)) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+          }
+          out.set(e);
+        }
+      };
+      if (!hop.edge_types.empty()) {
+        for (const EdgeTypeId id : hop.edge_types) {
+          mark_edges(graph.edge_type(id));
+        }
+      } else {
+        for (EdgeTypeId id = 0; id < graph.num_edge_types(); ++id) {
+          mark_edges(graph.edge_type(id));
+        }
+      }
+    }
+    result.group_elements.push_back(std::move(elements));
+  }
+
+  return result;
+}
+
+}  // namespace gems::exec

@@ -1,0 +1,83 @@
+// Fixpoint path matcher (Eq. 5). Computes, for every variable of a
+// constraint network, the set of vertices that participate in at least one
+// fully satisfying assignment — "the set of vertices selected at a
+// particular step will be culled by subsequent steps of all vertices that
+// have no path to vertices selected at that step".
+//
+// Mechanics: per-variable candidate domains are initialized from the
+// steps' self conditions (and Fig. 12 seeds), then every edge, group and
+// set-label constraint is propagated in both directions until nothing
+// changes. Propagating an edge constraint right-to-left is exactly the
+// reverse-edge-index traversal of paper Sec. III-B; bench_planner_ablation
+// quantifies it.
+//
+// The fixpoint is exact (arc consistency == satisfiability) when the
+// constraint graph is a tree and there are no cross predicates
+// (network.tree_exact). Otherwise the enumerator refines it.
+#pragma once
+
+#include "common/status.hpp"
+#include "exec/network.hpp"
+
+namespace gems::exec {
+
+struct MatchStats {
+  std::size_t propagation_passes = 0;
+  std::size_t edge_traversals = 0;  // CSR adjacency visits
+};
+
+struct MatchResult {
+  std::vector<Domain> domains;  // per variable, post-fixpoint
+
+  /// Per edge constraint: matched edges per edge type (endpoints in the
+  /// final domains, self conditions satisfied).
+  std::vector<std::map<graph::EdgeTypeId, DynamicBitset>> matched_edges;
+
+  /// Per group constraint: on-path interior vertices and edges (for
+  /// subgraph output of regex queries).
+  std::vector<Subgraph> group_elements;
+
+  MatchStats stats;
+
+  bool empty() const {
+    for (const auto& d : domains) {
+      if (d.empty()) return true;
+    }
+    return domains.empty();
+  }
+};
+
+/// Runs the fixpoint. `order` optionally gives the constraint visit order
+/// for the first pass (the planner's choice, Sec. III-B); subsequent
+/// passes run until quiescent regardless.
+Result<MatchResult> match_network(const ConstraintNetwork& net,
+                                  const graph::GraphView& graph,
+                                  const StringPool& pool,
+                                  const std::vector<int>* order = nullptr);
+
+/// Shared helper: evaluates a vertex variable's self conditions for one
+/// vertex (cursor at the representative row).
+bool vertex_passes(const ConstraintNetwork& net, const graph::GraphView& graph,
+                   const StringPool& pool, int var,
+                   graph::VertexTypeId type, graph::VertexIndex v);
+
+/// Initial (pre-propagation) domain of a variable: type extents filtered
+/// by self conditions and seeds.
+Domain initial_domain(const ConstraintNetwork& net,
+                      const graph::GraphView& graph, const StringPool& pool,
+                      int var);
+
+/// Closure of a regex group: all end vertices reachable from `start` with
+/// an admissible number of body iterations (forward), or all start
+/// vertices that can reach `start` (backward). Used by the fixpoint and
+/// by the enumerator's per-start memoized reachability.
+Result<Domain> group_closure_forward(const graph::GraphView& graph,
+                                     const StringPool& pool,
+                                     const GroupConstraint& g,
+                                     const Domain& start, MatchStats* stats);
+Result<Domain> group_closure_backward(const graph::GraphView& graph,
+                                      const StringPool& pool,
+                                      const GroupConstraint& g,
+                                      const Domain& end, MatchStats* stats);
+
+}  // namespace gems::exec

@@ -1,0 +1,80 @@
+#include "exec/subgraph.hpp"
+
+namespace gems::exec {
+
+DynamicBitset& Subgraph::vertices(graph::VertexTypeId type,
+                                  std::size_t size) {
+  auto it = vertices_.find(type);
+  if (it == vertices_.end()) {
+    it = vertices_.emplace(type, DynamicBitset(size)).first;
+  }
+  GEMS_CHECK(it->second.size() == size);
+  return it->second;
+}
+
+DynamicBitset& Subgraph::edges(graph::EdgeTypeId type, std::size_t size) {
+  auto it = edges_.find(type);
+  if (it == edges_.end()) {
+    it = edges_.emplace(type, DynamicBitset(size)).first;
+  }
+  GEMS_CHECK(it->second.size() == size);
+  return it->second;
+}
+
+const DynamicBitset* Subgraph::vertices(graph::VertexTypeId type) const {
+  auto it = vertices_.find(type);
+  return it == vertices_.end() ? nullptr : &it->second;
+}
+
+const DynamicBitset* Subgraph::edges(graph::EdgeTypeId type) const {
+  auto it = edges_.find(type);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+bool Subgraph::contains(graph::VertexRef v) const {
+  const DynamicBitset* set = vertices(v.type);
+  return set != nullptr && v.index < set->size() && set->test(v.index);
+}
+
+bool Subgraph::contains(graph::EdgeRef e) const {
+  const DynamicBitset* set = edges(e.type);
+  return set != nullptr && e.index < set->size() && set->test(e.index);
+}
+
+std::size_t Subgraph::num_vertices() const {
+  std::size_t n = 0;
+  for (const auto& [type, set] : vertices_) n += set.count();
+  return n;
+}
+
+std::size_t Subgraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& [type, set] : edges_) n += set.count();
+  return n;
+}
+
+void Subgraph::merge(const Subgraph& other) {
+  for (const auto& [type, set] : other.vertices_) {
+    auto it = vertices_.find(type);
+    if (it == vertices_.end()) {
+      vertices_.emplace(type, set);
+    } else {
+      it->second |= set;
+    }
+  }
+  for (const auto& [type, set] : other.edges_) {
+    auto it = edges_.find(type);
+    if (it == edges_.end()) {
+      edges_.emplace(type, set);
+    } else {
+      it->second |= set;
+    }
+  }
+}
+
+std::string Subgraph::summary() const {
+  return name_ + ": " + std::to_string(num_vertices()) + " vertices, " +
+         std::to_string(num_edges()) + " edges";
+}
+
+}  // namespace gems::exec

@@ -1,0 +1,50 @@
+// Named subgraph results (paper Sec. II-C, Fig. 11): the output of a graph
+// query captured with `into subgraph`, usable to seed later queries
+// (Fig. 12). Stored as per-type membership bitsets over the base graph —
+// a subgraph is a selection over G, never a copy.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bitset.hpp"
+#include "graph/graph_view.hpp"
+
+namespace gems::exec {
+
+class Subgraph {
+ public:
+  explicit Subgraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Membership set for a vertex type (created lazily, sized on demand).
+  DynamicBitset& vertices(graph::VertexTypeId type, std::size_t size);
+  DynamicBitset& edges(graph::EdgeTypeId type, std::size_t size);
+
+  /// Read-only lookup; nullptr when the type has no members.
+  const DynamicBitset* vertices(graph::VertexTypeId type) const;
+  const DynamicBitset* edges(graph::EdgeTypeId type) const;
+
+  bool contains(graph::VertexRef v) const;
+  bool contains(graph::EdgeRef e) const;
+
+  std::size_t num_vertices() const;
+  std::size_t num_edges() const;
+
+  /// Union with another subgraph (or-composition, Eq. 9).
+  void merge(const Subgraph& other);
+
+  /// Human-readable summary ("resultsG: 120 vertices, 204 edges").
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  std::map<graph::VertexTypeId, DynamicBitset> vertices_;
+  std::map<graph::EdgeTypeId, DynamicBitset> edges_;
+};
+
+using SubgraphPtr = std::shared_ptr<Subgraph>;
+
+}  // namespace gems::exec

@@ -1,0 +1,60 @@
+// Materializes vertex and edge declarations (paper Figs. 2-4) into a
+// GraphView. This is where the DDL's `create vertex` / `create edge`
+// semantics live:
+//
+//  * Vertices (Eq. 1): distinct key combinations of the filtered source
+//    table. One-to-one vs. many-to-one is detected, not declared.
+//  * Edges (Eq. 2): an N-way equi-join across the source-vertex table, the
+//    target-vertex table and any `from table` associated tables, driven by
+//    the WHERE clause's equality conjuncts; remaining conjuncts filter
+//    individual sources or the joined result.
+//
+// Edge-instance identity (multigraph semantics, Figs. 3 & 5):
+//  * all endpoints one-to-one  -> one edge per distinct join entry
+//    (so a `from table` row yields exactly one edge, Fig. 3);
+//  * any endpoint many-to-one  -> edges collapse onto distinct
+//    (source vertex, target vertex) pairs (Fig. 5's two export edges).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/graph_view.hpp"
+#include "relational/bound_expr.hpp"
+#include "storage/catalog.hpp"
+
+namespace gems::graph {
+
+struct VertexDecl {
+  std::string name;
+  std::vector<std::string> key_columns;
+  std::string table;
+  relational::ExprPtr where;  // optional σ_φ
+};
+
+struct EdgeEndpoint {
+  std::string vertex_type;
+  std::string alias;  // optional `as A`
+};
+
+struct EdgeDecl {
+  std::string name;
+  EdgeEndpoint source;
+  EdgeEndpoint target;
+  std::vector<std::string> assoc_tables;  // `from table T1[, T2...]`
+  relational::ExprPtr where;              // required
+};
+
+/// Builds and registers a vertex type. `params` supplies %placeholders%
+/// appearing in the declaration's WHERE clause.
+Status add_vertex_type(GraphView& graph, const VertexDecl& decl,
+                       const storage::TableCatalog& tables, StringPool& pool,
+                       const relational::ParamMap& params = {});
+
+/// Builds and registers an edge type.
+Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
+                     const storage::TableCatalog& tables, StringPool& pool,
+                     const relational::ParamMap& params = {});
+
+}  // namespace gems::graph

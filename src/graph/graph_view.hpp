@@ -1,0 +1,76 @@
+// The overall multigraph G = (V, E) of paper Sec. II-A1: vertex types
+// partition V, edge types partition E. Holds every materialized type and
+// answers the type-level queries the matcher and planner need (which edge
+// types connect two vertex types — Eq. 10's variant steps).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/edge_type.hpp"
+#include "graph/vertex_type.hpp"
+
+namespace gems::graph {
+
+class GraphView {
+ public:
+  GraphView() = default;
+  GraphView(const GraphView&) = delete;
+  GraphView& operator=(const GraphView&) = delete;
+  GraphView(GraphView&&) = default;
+  GraphView& operator=(GraphView&&) = default;
+
+  /// Next id to assign (used by the builder when materializing).
+  VertexTypeId next_vertex_type_id() const {
+    return static_cast<VertexTypeId>(vertex_types_.size());
+  }
+  EdgeTypeId next_edge_type_id() const {
+    return static_cast<EdgeTypeId>(edge_types_.size());
+  }
+
+  /// Registers a materialized type; fails on duplicate names. The type's
+  /// id must equal next_*_type_id() at the time of the call.
+  Status add_vertex_type(VertexType vt);
+  Status add_edge_type(EdgeType et);
+
+  Result<VertexTypeId> find_vertex_type(std::string_view name) const;
+  Result<EdgeTypeId> find_edge_type(std::string_view name) const;
+
+  bool has_vertex_type(std::string_view name) const;
+  bool has_edge_type(std::string_view name) const;
+
+  const VertexType& vertex_type(VertexTypeId id) const {
+    return vertex_types_.at(id);
+  }
+  const EdgeType& edge_type(EdgeTypeId id) const {
+    return edge_types_.at(id);
+  }
+
+  std::size_t num_vertex_types() const noexcept {
+    return vertex_types_.size();
+  }
+  std::size_t num_edge_types() const noexcept { return edge_types_.size(); }
+
+  /// ∪_j E_j(V_a, V_b): all edge types with source `src` and target `dst`
+  /// (paper Sec. II-A1 notation; drives `[ ]` steps, Eq. 10).
+  std::vector<EdgeTypeId> edge_types_between(VertexTypeId src,
+                                             VertexTypeId dst) const;
+
+  /// Edge types whose source (resp. target) is the given vertex type.
+  std::vector<EdgeTypeId> edge_types_from(VertexTypeId src) const;
+  std::vector<EdgeTypeId> edge_types_into(VertexTypeId dst) const;
+
+  /// |V| and |E| of the overall graph.
+  std::size_t total_vertices() const noexcept;
+  std::size_t total_edges() const noexcept;
+
+ private:
+  std::vector<VertexType> vertex_types_;
+  std::vector<EdgeType> edge_types_;
+  std::unordered_map<std::string, VertexTypeId> vertex_by_name_;
+  std::unordered_map<std::string, EdgeTypeId> edge_by_name_;
+};
+
+}  // namespace gems::graph

@@ -1,0 +1,102 @@
+#include "graph/vertex_type.hpp"
+
+#include "relational/eval.hpp"
+#include "relational/row_key.hpp"
+
+namespace gems::graph {
+
+using relational::RowCursor;
+using storage::ColumnIndex;
+using storage::RowIndex;
+
+Result<VertexType> VertexType::build(VertexTypeId id, std::string name,
+                                     storage::TablePtr source,
+                                     std::vector<ColumnIndex> key_cols,
+                                     relational::BoundExprPtr filter) {
+  if (key_cols.empty()) {
+    return invalid_argument("vertex type '" + name +
+                            "' must declare at least one key column");
+  }
+  VertexType vt;
+  vt.id_ = id;
+  vt.name_ = std::move(name);
+  vt.source_ = std::move(source);
+  vt.key_cols_ = std::move(key_cols);
+
+  const storage::Table& table = *vt.source_;
+  RowCursor cursor{&table, 0};
+  const std::span<const RowCursor> sources(&cursor, 1);
+  const StringPool& pool = table.pool();
+
+  vt.key_index_.reserve(table.num_rows());
+  vt.matching_rows_ = DynamicBitset(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    cursor.row = static_cast<RowIndex>(r);
+    if (filter && !relational::eval_predicate(*filter, sources, pool)) {
+      continue;
+    }
+    vt.matching_rows_.set(r);
+    std::string key = relational::encode_row_key(table, cursor.row,
+                                                 vt.key_cols_);
+    auto [it, inserted] =
+        vt.key_index_.emplace(std::move(key),
+                              static_cast<VertexIndex>(
+                                  vt.representative_row_.size()));
+    if (inserted) {
+      vt.representative_row_.push_back(cursor.row);
+    } else {
+      vt.one_to_one_ = false;  // a second row collapsed into this vertex
+    }
+  }
+  return vt;
+}
+
+bool VertexType::attribute_visible(ColumnIndex col) const noexcept {
+  if (one_to_one_) return true;
+  for (const auto k : key_cols_) {
+    if (k == col) return true;
+  }
+  return false;
+}
+
+Result<ColumnIndex> VertexType::resolve_attribute(
+    std::string_view attr) const {
+  auto col = source_->schema().find(attr);
+  if (!col) {
+    return not_found("vertex type '" + name_ + "' has no attribute '" +
+                     std::string(attr) + "' (source table '" +
+                     source_->name() + "')");
+  }
+  if (!attribute_visible(*col)) {
+    return type_error("attribute '" + std::string(attr) +
+                      "' of many-to-one vertex type '" + name_ +
+                      "' is not part of the vertex key and is therefore "
+                      "ambiguous");
+  }
+  return *col;
+}
+
+VertexIndex VertexType::find_by_key(
+    const storage::Table& table, RowIndex row,
+    std::span<const ColumnIndex> key_cols) const {
+  GEMS_DCHECK(key_cols.size() == key_cols_.size());
+  const std::string key = relational::encode_row_key(table, row, key_cols);
+  auto it = key_index_.find(key);
+  return it == key_index_.end() ? kInvalidVertex : it->second;
+}
+
+std::string VertexType::key_string(VertexIndex v) const {
+  const RowIndex row = representative_row(v);
+  if (key_cols_.size() == 1) {
+    return source_->value_at(row, key_cols_[0]).to_string();
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < key_cols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += source_->value_at(row, key_cols_[i]).to_string();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gems::graph

@@ -1,0 +1,94 @@
+// Vertex types — views over tables (paper Eq. 1):
+//   V(a1..ak) = Π_{a1..ak} σ_φ(T)
+// One vertex instance exists per distinct key-column combination among the
+// rows passing the optional filter. One-to-one mappings (key is unique in
+// the table) expose the full source schema as vertex attributes;
+// many-to-one mappings (Fig. 4: ProducerCountry from Producers) expose
+// only the key columns, because other attributes are ambiguous across the
+// collapsed rows.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/status.hpp"
+#include "graph/ids.hpp"
+#include "relational/bound_expr.hpp"
+#include "storage/table.hpp"
+
+namespace gems::graph {
+
+class VertexType {
+ public:
+  /// Materializes the vertex set from `source` (Eq. 1). `filter` may be
+  /// null. Called by GraphBuilder; use that instead of calling directly.
+  static Result<VertexType> build(VertexTypeId id, std::string name,
+                                  storage::TablePtr source,
+                                  std::vector<storage::ColumnIndex> key_cols,
+                                  relational::BoundExprPtr filter);
+
+  VertexTypeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  const storage::Table& source() const noexcept { return *source_; }
+  storage::TablePtr source_ptr() const noexcept { return source_; }
+
+  const std::vector<storage::ColumnIndex>& key_columns() const noexcept {
+    return key_cols_;
+  }
+
+  /// True when each vertex corresponds to exactly one source row.
+  bool one_to_one() const noexcept { return one_to_one_; }
+
+  std::size_t num_vertices() const noexcept {
+    return representative_row_.size();
+  }
+
+  /// The source row used to evaluate attribute conditions for `v`. For
+  /// many-to-one vertices, only key columns are meaningful on this row.
+  storage::RowIndex representative_row(VertexIndex v) const {
+    return representative_row_.at(v);
+  }
+
+  /// Columns of the source schema that conditions on this vertex type may
+  /// reference (full schema when one-to-one, key columns otherwise).
+  bool attribute_visible(storage::ColumnIndex col) const noexcept;
+
+  /// Resolves an attribute name to a source column, enforcing visibility.
+  Result<storage::ColumnIndex> resolve_attribute(std::string_view name) const;
+
+  /// Finds the vertex whose key equals the key columns of `row` in `table`
+  /// (typically a join result or the source itself). `key_cols` addresses
+  /// `table`. Returns kInvalidVertex when no such vertex exists.
+  VertexIndex find_by_key(const storage::Table& table, storage::RowIndex row,
+                          std::span<const storage::ColumnIndex> key_cols) const;
+
+  /// Human-readable key of a vertex, e.g. "Product1" or "(US, 4)".
+  std::string key_string(VertexIndex v) const;
+
+  /// Source rows that passed the vertex filter (Eq. 1's σ_φ). Edge
+  /// creation joins against exactly these rows, so edges never attach to
+  /// filtered-out vertices.
+  const DynamicBitset& matching_rows() const noexcept {
+    return matching_rows_;
+  }
+
+ private:
+  VertexType() = default;
+
+  VertexTypeId id_ = kInvalidVertexType;
+  std::string name_;
+  storage::TablePtr source_;
+  std::vector<storage::ColumnIndex> key_cols_;
+  bool one_to_one_ = true;
+
+  std::vector<storage::RowIndex> representative_row_;
+  // encoded key -> vertex index (encoding from relational/row_key.hpp;
+  // valid across tables because string ids come from the shared pool).
+  std::unordered_map<std::string, VertexIndex> key_index_;
+  DynamicBitset matching_rows_;
+};
+
+}  // namespace gems::graph

@@ -1,0 +1,986 @@
+#include "graql/analyzer.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace gems::graql {
+
+namespace {
+
+using relational::BinaryOp;
+using relational::Expr;
+using relational::ExprPtr;
+using relational::ParamMap;
+using relational::UnaryOp;
+using storage::DataType;
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+// ---- Schema-level expression type inference --------------------------------
+// Mirrors relational/bind.cpp but works without data and treats unbound
+// %parameters% as wildcards (their types are checked at execution time).
+
+using MaybeType = std::optional<DataType>;  // nullopt = statically unknown
+
+using Resolver =
+    std::function<Result<DataType>(std::string_view, std::string_view)>;
+
+MaybeType value_type(const Value& v) {
+  if (v.is_null()) return std::nullopt;
+  switch (v.kind()) {
+    case TypeKind::kBool:
+      return DataType::boolean();
+    case TypeKind::kInt64:
+      return DataType::int64();
+    case TypeKind::kDate:
+      return DataType::date();
+    case TypeKind::kDouble:
+      return DataType::float64();
+    case TypeKind::kVarchar:
+      return DataType::varchar(255);
+  }
+  GEMS_UNREACHABLE("bad value kind");
+}
+
+bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<MaybeType> infer_type(const ExprPtr& expr, const Resolver& resolve,
+                             const ParamMap* params) {
+  GEMS_CHECK(expr != nullptr);
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      return value_type(expr->literal);
+    case Expr::Kind::kParameter: {
+      if (params != nullptr) {
+        auto it = params->find(expr->param_name);
+        if (it == params->end()) {
+          return invalid_argument("unbound query parameter %" +
+                                  expr->param_name + "%");
+        }
+        return value_type(it->second);
+      }
+      return MaybeType(std::nullopt);
+    }
+    case Expr::Kind::kColumnRef: {
+      auto t = resolve(expr->qualifier, expr->column);
+      if (!t.is_ok()) return t.status();
+      return MaybeType(t.value());
+    }
+    case Expr::Kind::kUnary: {
+      GEMS_ASSIGN_OR_RETURN(MaybeType operand,
+                            infer_type(expr->lhs, resolve, params));
+      if (expr->uop == UnaryOp::kNot) {
+        if (operand && operand->kind != TypeKind::kBool) {
+          return type_error("'not' requires a boolean, got " +
+                            operand->to_string());
+        }
+        return MaybeType(DataType::boolean());
+      }
+      if (operand && !operand->is_numeric()) {
+        return type_error("unary '-' requires a numeric operand, got " +
+                          operand->to_string());
+      }
+      return operand;
+    }
+    case Expr::Kind::kBinary: {
+      GEMS_ASSIGN_OR_RETURN(MaybeType lt,
+                            infer_type(expr->lhs, resolve, params));
+      GEMS_ASSIGN_OR_RETURN(MaybeType rt,
+                            infer_type(expr->rhs, resolve, params));
+      if (expr->bop == BinaryOp::kAnd || expr->bop == BinaryOp::kOr) {
+        if ((lt && lt->kind != TypeKind::kBool) ||
+            (rt && rt->kind != TypeKind::kBool)) {
+          return type_error("'" + std::string(binary_op_name(expr->bop)) +
+                            "' requires boolean operands");
+        }
+        return MaybeType(DataType::boolean());
+      }
+      if (is_comparison(expr->bop)) {
+        if (lt && rt && !lt->comparable_with(*rt)) {
+          return type_error("cannot compare " + lt->to_string() + " with " +
+                            rt->to_string() + " in '" + expr->to_string() +
+                            "'");
+        }
+        return MaybeType(DataType::boolean());
+      }
+      // Arithmetic.
+      if ((lt && !lt->is_numeric()) || (rt && !rt->is_numeric())) {
+        return type_error("operator '" +
+                          std::string(binary_op_name(expr->bop)) +
+                          "' requires numeric operands in '" +
+                          expr->to_string() + "'");
+      }
+      if (!lt || !rt) return MaybeType(std::nullopt);
+      return MaybeType((lt->kind == TypeKind::kDouble ||
+                        rt->kind == TypeKind::kDouble ||
+                        expr->bop == BinaryOp::kDiv)
+                           ? DataType::float64()
+                           : DataType::int64());
+    }
+  }
+  GEMS_UNREACHABLE("bad expr kind");
+}
+
+Status require_boolean(const ExprPtr& expr, const Resolver& resolve,
+                       const ParamMap* params) {
+  GEMS_ASSIGN_OR_RETURN(MaybeType t, infer_type(expr, resolve, params));
+  if (t && t->kind != TypeKind::kBool) {
+    return type_error("condition '" + expr->to_string() +
+                      "' is not boolean (type " + t->to_string() + ")");
+  }
+  return Status::ok();
+}
+
+// ---- Graph query analysis ------------------------------------------------
+
+/// What the analyzer knows about one step, label or not.
+struct StepInfo {
+  bool is_edge = false;
+  bool variant = false;
+  std::string type_name;            // empty when variant
+  const Schema* attr_schema = nullptr;  // null for variant / attr-less edges
+};
+
+class GraphQueryAnalyzer {
+ public:
+  GraphQueryAnalyzer(const MetaCatalog& catalog, const ParamMap* params)
+      : catalog_(catalog), params_(params) {}
+
+  Status analyze(const GraphQueryStmt& stmt) {
+    if (stmt.or_groups.empty() || stmt.or_groups[0].empty()) {
+      return invalid_argument("graph query has no path pattern");
+    }
+    for (const auto& and_group : stmt.or_groups) {
+      for (const auto& path : and_group) {
+        GEMS_RETURN_IF_ERROR(analyze_path(path));
+      }
+    }
+    GEMS_RETURN_IF_ERROR(check_targets(stmt));
+    return Status::ok();
+  }
+
+  /// Steps usable as subgraph-seed names (vertex type names that appear).
+  SubgraphMeta subgraph_meta(const GraphQueryStmt& stmt) const {
+    SubgraphMeta meta;
+    if (std::any_of(stmt.targets.begin(), stmt.targets.end(),
+                    [](const SelectTarget& t) { return t.star; })) {
+      for (const auto& [name, info] : steps_) {
+        if (!info.is_edge && !info.variant) meta.vertex_steps.insert(name);
+      }
+      return meta;
+    }
+    for (const auto& t : stmt.targets) {
+      auto it = steps_.find(t.qualifier);
+      if (it != steps_.end() && !it->second.is_edge && !it->second.variant) {
+        meta.vertex_steps.insert(it->second.type_name);
+      }
+    }
+    return meta;
+  }
+
+  /// Inferred schema of an `into table` result (paper Fig. 13: "each row
+  /// has all the attributes of all entities involved in the query path").
+  /// Must agree with the executor's materialization — both use OutputNamer.
+  Result<Schema> output_schema(const GraphQueryStmt& stmt) const {
+    OutputNamer namer;
+    std::vector<storage::ColumnDef> cols;
+    auto add_step_columns = [&](const std::string& display,
+                                const StepInfo& info) -> Status {
+      if (info.variant) {
+        return type_error(
+            "variant '[ ]' steps cannot be selected into a table "
+            "(attributes are not common across types); use 'into "
+            "subgraph'");
+      }
+      if (info.attr_schema == nullptr) return Status::ok();
+      for (const auto& c : info.attr_schema->columns()) {
+        cols.push_back({namer.assign(display + "_" + c.name, ""), c.type});
+      }
+      return Status::ok();
+    };
+    for (const auto& t : stmt.targets) {
+      if (t.star) {
+        for (const auto& [display, info] : ordered_steps_) {
+          GEMS_RETURN_IF_ERROR(add_step_columns(display, info));
+        }
+        continue;
+      }
+      const StepInfo& info = steps_.at(t.qualifier);
+      if (t.column.empty()) {
+        GEMS_RETURN_IF_ERROR(add_step_columns(
+            t.alias.empty() ? t.qualifier : t.alias, info));
+        continue;
+      }
+      const auto idx = info.attr_schema->find(t.column);
+      GEMS_CHECK(idx.has_value());  // verified by check_targets
+      cols.push_back(
+          {namer.assign(t.alias.empty() ? t.column : t.alias, t.qualifier),
+           info.attr_schema->column(*idx).type});
+    }
+    return Schema::create(std::move(cols));
+  }
+
+ private:
+  Status analyze_path(const PathPattern& path) {
+    if (path.elements.empty()) {
+      return invalid_argument("empty path pattern");
+    }
+    if (!std::holds_alternative<VertexStep>(path.elements.front())) {
+      return invalid_argument("a path query must start with a vertex step");
+    }
+    // The previous *vertex* step's info, for edge adjacency checks.
+    StepInfo prev_vertex;
+    bool have_prev = false;
+
+    for (std::size_t i = 0; i < path.elements.size(); ++i) {
+      const PathElement& el = path.elements[i];
+      if (const auto* v = std::get_if<VertexStep>(&el)) {
+        if (have_prev && i > 0 &&
+            std::holds_alternative<VertexStep>(path.elements[i - 1])) {
+          return invalid_argument(
+              "two consecutive vertex steps; an edge step must connect "
+              "them");
+        }
+        GEMS_ASSIGN_OR_RETURN(StepInfo info, analyze_vertex_step(*v));
+        // Adjacency check against a preceding edge step.
+        if (i > 0) {
+          if (const auto* e = std::get_if<EdgeStep>(&path.elements[i - 1])) {
+            GEMS_RETURN_IF_ERROR(
+                check_edge_adjacency(*e, prev_vertex, info));
+          }
+        }
+        prev_vertex = info;
+        have_prev = true;
+        continue;
+      }
+      if (const auto* e = std::get_if<EdgeStep>(&el)) {
+        GEMS_RETURN_IF_ERROR(analyze_edge_step(*e, /*in_group=*/false));
+        if (i + 1 >= path.elements.size()) {
+          return invalid_argument(
+              "a path query must end with a vertex step");
+        }
+        continue;
+      }
+      const auto& group = std::get<PathGroup>(el);
+      GEMS_ASSIGN_OR_RETURN(prev_vertex,
+                            analyze_group(group, prev_vertex));
+      have_prev = true;
+    }
+    if (std::holds_alternative<EdgeStep>(path.elements.back())) {
+      return invalid_argument("a path query must end with a vertex step");
+    }
+    return Status::ok();
+  }
+
+  Result<StepInfo> analyze_vertex_step(const VertexStep& v) {
+    StepInfo info;
+    info.is_edge = false;
+
+    if (v.variant) {
+      info.variant = true;
+    } else if (const auto* labeled = find_label(v.type_name);
+               labeled != nullptr && v.seed_result.empty()) {
+      // Bare label reference (Eq. 6/8): adopts the labeled step's type.
+      if (labeled->is_edge) {
+        return type_error("label '" + v.type_name +
+                          "' names an edge step but is used as a vertex "
+                          "step");
+      }
+      info = *labeled;
+    } else {
+      if (!v.seed_result.empty()) {
+        const SubgraphMeta* sub = catalog_.find_subgraph(v.seed_result);
+        if (sub == nullptr) {
+          return not_found("unknown result subgraph '" + v.seed_result +
+                           "' (Fig. 12 seeding requires a prior 'into "
+                           "subgraph')");
+        }
+        if (!sub->vertex_steps.contains(v.type_name)) {
+          return not_found("subgraph '" + v.seed_result +
+                           "' has no vertex step '" + v.type_name + "'");
+        }
+      }
+      const VertexMeta* meta = catalog_.find_vertex(v.type_name);
+      if (meta == nullptr) {
+        if (catalog_.find_table(v.type_name) != nullptr) {
+          return type_error("'" + v.type_name +
+                            "' is a table, but a vertex type is required "
+                            "in a path step");
+        }
+        if (catalog_.find_edge(v.type_name) != nullptr) {
+          return type_error("'" + v.type_name +
+                            "' is an edge type, but a vertex type is "
+                            "required here");
+        }
+        return not_found("unknown vertex type '" + v.type_name + "'");
+      }
+      info.type_name = v.type_name;
+      info.attr_schema = &meta->attr_schema;
+    }
+
+    if (v.condition) {
+      GEMS_RETURN_IF_ERROR(check_step_condition(v.condition, info,
+                                                v.type_name, v.label));
+    }
+    GEMS_RETURN_IF_ERROR(define_label(v.label_kind, v.label, info));
+    if (!info.variant && !info.type_name.empty()) {
+      steps_.emplace(info.type_name, info);
+    }
+    if (!v.label.empty()) steps_[v.label] = info;
+    // Record first-mention order for `select *` (skip bare label refs —
+    // they re-visit an already recorded step).
+    const bool is_label_ref =
+        !v.variant && find_label(v.type_name) != nullptr &&
+        v.seed_result.empty() && v.label.empty();
+    if (!is_label_ref) {
+      ordered_steps_.emplace_back(
+          !v.label.empty() ? v.label : v.type_name, info);
+    }
+    return info;
+  }
+
+  Status analyze_edge_step(const EdgeStep& e, bool in_group) {
+    StepInfo info;
+    info.is_edge = true;
+    if (e.variant) {
+      info.variant = true;
+    } else {
+      const EdgeMeta* meta = catalog_.find_edge(e.type_name);
+      if (meta == nullptr) {
+        if (catalog_.find_vertex(e.type_name) != nullptr) {
+          return type_error("'" + e.type_name +
+                            "' is a vertex type, but an edge type is "
+                            "required between '--' arrows");
+        }
+        return not_found("unknown edge type '" + e.type_name + "'");
+      }
+      info.type_name = e.type_name;
+      info.attr_schema =
+          meta->attr_schema ? &*meta->attr_schema : nullptr;
+    }
+    if (e.condition) {
+      if (info.attr_schema == nullptr && !info.variant) {
+        return type_error("edge type '" + e.type_name +
+                          "' has no attributes to filter on");
+      }
+      GEMS_RETURN_IF_ERROR(
+          check_step_condition(e.condition, info, e.type_name, e.label));
+    }
+    if (e.label_kind != LabelKind::kNone && in_group) {
+      return invalid_argument(
+          "labels are not allowed inside path regular expressions "
+          "(paper Sec. II-B4)");
+    }
+    GEMS_RETURN_IF_ERROR(define_label(e.label_kind, e.label, info));
+    if (!e.label.empty()) steps_[e.label] = info;
+    if (!info.variant && !info.type_name.empty()) {
+      steps_.emplace(info.type_name, info);
+    }
+    ordered_steps_.emplace_back(!e.label.empty() ? e.label : e.type_name,
+                                info);
+    return Status::ok();
+  }
+
+  Result<StepInfo> analyze_group(const PathGroup& group,
+                                 const StepInfo& entry) {
+    StepInfo last_vertex = entry;
+    for (std::size_t i = 0; i < group.body.size(); ++i) {
+      const PathElement& el = group.body[i];
+      if (const auto* e = std::get_if<EdgeStep>(&el)) {
+        if (e->label_kind != LabelKind::kNone) {
+          return invalid_argument(
+              "labels are not allowed inside path regular expressions");
+        }
+        GEMS_RETURN_IF_ERROR(analyze_edge_step(*e, /*in_group=*/true));
+        continue;
+      }
+      if (const auto* v = std::get_if<VertexStep>(&el)) {
+        if (v->label_kind != LabelKind::kNone) {
+          return invalid_argument(
+              "labels are not allowed inside path regular expressions");
+        }
+        GEMS_ASSIGN_OR_RETURN(StepInfo info, analyze_vertex_step(*v));
+        // Adjacency within the group.
+        if (i > 0) {
+          if (const auto* e = std::get_if<EdgeStep>(&group.body[i - 1])) {
+            GEMS_RETURN_IF_ERROR(
+                check_edge_adjacency(*e, last_vertex, info));
+          }
+        }
+        last_vertex = info;
+        continue;
+      }
+      return invalid_argument("nested path groups are not supported");
+    }
+    return last_vertex;
+  }
+
+  /// Non-variant edge between two (possibly variant/unknown) vertex steps:
+  /// endpoints must match declared source/target given the direction.
+  Status check_edge_adjacency(const EdgeStep& e, const StepInfo& left,
+                              const StepInfo& right) {
+    const std::string& lt = left.type_name;
+    const std::string& rt = right.type_name;
+    if (!e.variant) {
+      const EdgeMeta* meta = catalog_.find_edge(e.type_name);
+      if (meta == nullptr) return Status::ok();  // reported elsewhere
+      const std::string& want_src = e.reversed ? rt : lt;
+      const std::string& want_dst = e.reversed ? lt : rt;
+      if (!want_src.empty() && meta->source_vertex != want_src) {
+        return type_error("edge '" + e.type_name + "' starts at '" +
+                          meta->source_vertex + "', not '" + want_src +
+                          "' (check the arrow direction)");
+      }
+      if (!want_dst.empty() && meta->target_vertex != want_dst) {
+        return type_error("edge '" + e.type_name + "' ends at '" +
+                          meta->target_vertex + "', not '" + want_dst + "'");
+      }
+      return Status::ok();
+    }
+    // Variant edge between two known vertex types: at least one edge type
+    // must connect them, else the query is statically empty (Sec. III-A
+    // "will the query result be empty?").
+    if (!lt.empty() && !rt.empty()) {
+      const std::string& src = e.reversed ? rt : lt;
+      const std::string& dst = e.reversed ? lt : rt;
+      if (catalog_.edges_between(src, dst).empty()) {
+        return invalid_argument("statically empty query: no edge type "
+                                "connects '" + src + "' to '" + dst + "'");
+      }
+    }
+    return Status::ok();
+  }
+
+  Status check_step_condition(const ExprPtr& cond, const StepInfo& self,
+                              const std::string& self_name,
+                              const std::string& self_label) {
+    Resolver resolve = [&](std::string_view qual,
+                           std::string_view col) -> Result<DataType> {
+      const StepInfo* target = nullptr;
+      if (qual.empty() || qual == self_name ||
+          (!self_label.empty() && qual == self_label)) {
+        target = &self;
+      } else if (const StepInfo* labeled = find_label(qual)) {
+        target = labeled;
+      } else if (auto it = steps_.find(std::string(qual));
+                 it != steps_.end()) {
+        target = &it->second;
+      } else {
+        return not_found("unknown qualifier '" + std::string(qual) +
+                         "' in step condition (conditions may reference "
+                         "the current step and labeled previous steps)");
+      }
+      if (target->attr_schema == nullptr) {
+        return type_error("step '" + std::string(qual.empty() ? col : qual) +
+                          "' has no attributes");
+      }
+      auto idx = target->attr_schema->find(col);
+      if (!idx) {
+        return not_found("step '" +
+                         (qual.empty() ? self_name : std::string(qual)) +
+                         "' has no attribute '" + std::string(col) + "'");
+      }
+      return target->attr_schema->column(*idx).type;
+    };
+    return require_boolean(cond, resolve, params_);
+  }
+
+  Status define_label(LabelKind kind, const std::string& label,
+                      const StepInfo& info) {
+    if (kind == LabelKind::kNone) return Status::ok();
+    if (labels_.contains(label)) {
+      return already_exists("label '" + label +
+                            "' defined twice in one query");
+    }
+    if (catalog_.find_vertex(label) != nullptr ||
+        catalog_.find_edge(label) != nullptr) {
+      return already_exists("label '" + label +
+                            "' shadows a declared graph type");
+    }
+    labels_.emplace(label, info);
+    return Status::ok();
+  }
+
+  const StepInfo* find_label(std::string_view name) const {
+    auto it = labels_.find(std::string(name));
+    return it == labels_.end() ? nullptr : &it->second;
+  }
+
+  Status check_targets(const GraphQueryStmt& stmt) {
+    if (stmt.targets.empty()) {
+      return invalid_argument("graph query selects nothing");
+    }
+    for (const auto& t : stmt.targets) {
+      if (t.star) continue;
+      auto it = steps_.find(t.qualifier);
+      if (it == steps_.end()) {
+        return not_found("select target '" + t.qualifier +
+                         "' does not name a step or label of this query");
+      }
+      if (!t.column.empty()) {
+        if (it->second.attr_schema == nullptr) {
+          return type_error("step '" + t.qualifier + "' has no attributes");
+        }
+        if (!it->second.attr_schema->find(t.column)) {
+          return not_found("step '" + t.qualifier + "' has no attribute '" +
+                           t.column + "'");
+        }
+      }
+    }
+    return Status::ok();
+  }
+
+  const MetaCatalog& catalog_;
+  const ParamMap* params_;
+  // All addressable steps of this statement: type names and labels.
+  std::unordered_map<std::string, StepInfo> steps_;
+  std::unordered_map<std::string, StepInfo> labels_;
+  // Steps in first-mention order, for `select *` output schemas.
+  std::vector<std::pair<std::string, StepInfo>> ordered_steps_;
+};
+
+// ---- Table query analysis --------------------------------------------------
+
+Status analyze_table_query(const TableQueryStmt& stmt,
+                           const MetaCatalog& catalog,
+                           const ParamMap* params,
+                           Schema* out_schema) {
+  const Schema* schema = catalog.find_table(stmt.from_table);
+  if (schema == nullptr) {
+    // Paper Sec. III-A: "a table name should be used when a table is
+    // required, rather than a vertex type name".
+    if (catalog.find_vertex(stmt.from_table) != nullptr) {
+      return type_error("'" + stmt.from_table +
+                        "' is a vertex type; 'from table' requires a table");
+    }
+    if (catalog.find_edge(stmt.from_table) != nullptr) {
+      return type_error("'" + stmt.from_table +
+                        "' is an edge type; 'from table' requires a table");
+    }
+    return not_found("unknown table '" + stmt.from_table + "'");
+  }
+
+  Resolver resolve = [&](std::string_view qual,
+                         std::string_view col) -> Result<DataType> {
+    if (!qual.empty() && qual != stmt.from_table) {
+      return not_found("unknown qualifier '" + std::string(qual) + "'");
+    }
+    auto idx = schema->find(col);
+    if (!idx) {
+      return not_found("table '" + stmt.from_table + "' has no column '" +
+                       std::string(col) + "'");
+    }
+    return schema->column(*idx).type;
+  };
+
+  if (stmt.where) {
+    GEMS_RETURN_IF_ERROR(require_boolean(stmt.where, resolve, params));
+  }
+  for (const auto& col : stmt.group_by) {
+    if (!schema->find(col)) {
+      return not_found("group by column '" + col + "' is not in table '" +
+                       stmt.from_table + "'");
+    }
+  }
+
+  const bool has_agg =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& i) { return i.agg != AggFunc::kNone; });
+  const bool grouped = has_agg || !stmt.group_by.empty();
+
+  std::vector<storage::ColumnDef> out_cols;
+  std::size_t anon = 0;
+  for (const auto& item : stmt.items) {
+    if (item.star) {
+      if (grouped) {
+        return type_error(
+            "'*' cannot be combined with aggregates or group by");
+      }
+      for (const auto& c : schema->columns()) out_cols.push_back(c);
+      continue;
+    }
+    MaybeType type;
+    std::string default_name;
+    if (item.agg == AggFunc::kCountStar) {
+      type = DataType::int64();
+      default_name = "count";
+    } else if (item.agg != AggFunc::kNone) {
+      GEMS_ASSIGN_OR_RETURN(MaybeType input,
+                            infer_type(item.expr, resolve, params));
+      if ((item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) && input &&
+          !input->is_numeric()) {
+        return type_error("sum/avg require a numeric column");
+      }
+      switch (item.agg) {
+        case AggFunc::kCount:
+          type = DataType::int64();
+          default_name = "count";
+          break;
+        case AggFunc::kSum:
+          type = input;
+          default_name = "sum";
+          break;
+        case AggFunc::kAvg:
+          type = DataType::float64();
+          default_name = "avg";
+          break;
+        case AggFunc::kMin:
+          type = input;
+          default_name = "min";
+          break;
+        case AggFunc::kMax:
+          type = input;
+          default_name = "max";
+          break;
+        default:
+          GEMS_UNREACHABLE("handled");
+      }
+    } else {
+      GEMS_ASSIGN_OR_RETURN(type, infer_type(item.expr, resolve, params));
+      if (grouped) {
+        // SQL rule: non-aggregate outputs must be grouping columns.
+        const bool is_group_col =
+            item.expr->kind == Expr::Kind::kColumnRef &&
+            std::find(stmt.group_by.begin(), stmt.group_by.end(),
+                      item.expr->column) != stmt.group_by.end();
+        if (!is_group_col) {
+          return type_error("select item '" + item.expr->to_string() +
+                            "' must be aggregated or listed in group by");
+        }
+      }
+      default_name = item.expr->kind == Expr::Kind::kColumnRef
+                         ? item.expr->column
+                         : "expr" + std::to_string(anon++);
+    }
+    std::string name = item.alias.empty() ? default_name : item.alias;
+    // Ensure uniqueness in the output schema.
+    std::string unique = name;
+    int suffix = 1;
+    auto taken = [&](const std::string& n) {
+      return std::any_of(out_cols.begin(), out_cols.end(),
+                         [&](const auto& c) { return c.name == n; });
+    };
+    while (taken(unique)) unique = name + "_" + std::to_string(++suffix);
+    out_cols.push_back({unique, type.value_or(DataType::int64())});
+  }
+
+  for (const auto& ord : stmt.order_by) {
+    const bool in_output =
+        std::any_of(out_cols.begin(), out_cols.end(),
+                    [&](const auto& c) { return c.name == ord.column; });
+    if (!in_output && !schema->find(ord.column)) {
+      return not_found("order by column '" + ord.column +
+                       "' is neither an output column nor a column of '" +
+                       stmt.from_table + "'");
+    }
+    if (grouped && !in_output) {
+      return type_error("order by column '" + ord.column +
+                        "' must be an output column of the grouped query");
+    }
+  }
+
+  if (out_schema != nullptr) {
+    GEMS_ASSIGN_OR_RETURN(*out_schema, Schema::create(std::move(out_cols)));
+  }
+  return Status::ok();
+}
+
+// ---- DDL analysis -----------------------------------------------------------
+
+Status analyze_create_vertex(const CreateVertexStmt& stmt,
+                             const MetaCatalog& catalog,
+                             const ParamMap* params) {
+  const graph::VertexDecl& d = stmt.decl;
+  const Schema* schema = catalog.find_table(d.table);
+  if (schema == nullptr) {
+    if (catalog.find_vertex(d.table) != nullptr) {
+      return type_error("'" + d.table +
+                        "' is a vertex type; vertices are created from "
+                        "tables");
+    }
+    return not_found("unknown table '" + d.table + "'");
+  }
+  if (catalog.name_in_use(d.name)) {
+    return already_exists("name '" + d.name + "' is already in use");
+  }
+  if (d.key_columns.empty()) {
+    return invalid_argument("vertex '" + d.name + "' needs a key column");
+  }
+  for (const auto& key : d.key_columns) {
+    if (!schema->find(key)) {
+      return not_found("table '" + d.table + "' has no column '" + key +
+                       "' (vertex '" + d.name + "' key)");
+    }
+  }
+  if (d.where) {
+    Resolver resolve = [&](std::string_view qual,
+                           std::string_view col) -> Result<DataType> {
+      if (!qual.empty() && qual != d.name && qual != d.table) {
+        return not_found("unknown qualifier '" + std::string(qual) + "'");
+      }
+      auto idx = schema->find(col);
+      if (!idx) {
+        return not_found("table '" + d.table + "' has no column '" +
+                         std::string(col) + "'");
+      }
+      return schema->column(*idx).type;
+    };
+    GEMS_RETURN_IF_ERROR(require_boolean(d.where, resolve, params));
+  }
+  return Status::ok();
+}
+
+Status analyze_create_edge(const CreateEdgeStmt& stmt,
+                           const MetaCatalog& catalog,
+                           const ParamMap* params) {
+  const graph::EdgeDecl& d = stmt.decl;
+  if (catalog.name_in_use(d.name)) {
+    return already_exists("name '" + d.name + "' is already in use");
+  }
+  const VertexMeta* src = catalog.find_vertex(d.source.vertex_type);
+  const VertexMeta* dst = catalog.find_vertex(d.target.vertex_type);
+  if (src == nullptr) {
+    return not_found("unknown vertex type '" + d.source.vertex_type + "'");
+  }
+  if (dst == nullptr) {
+    return not_found("unknown vertex type '" + d.target.vertex_type + "'");
+  }
+  if (d.source.vertex_type == d.target.vertex_type &&
+      (d.source.alias.empty() || d.target.alias.empty())) {
+    return invalid_argument("edge '" + d.name +
+                            "': same-type endpoints need 'as' aliases");
+  }
+  if (!d.where) {
+    return invalid_argument("edge '" + d.name + "' requires a where clause");
+  }
+
+  struct Source {
+    std::vector<std::string> quals;
+    const Schema* schema;
+  };
+  std::vector<Source> sources;
+  const bool same = d.source.vertex_type == d.target.vertex_type;
+  auto quals_of = [&](const graph::EdgeEndpoint& ep) {
+    std::vector<std::string> q;
+    if (!ep.alias.empty()) q.push_back(ep.alias);
+    if (!same) q.push_back(ep.vertex_type);
+    return q;
+  };
+  sources.push_back({quals_of(d.source), &src->attr_schema});
+  sources.push_back({quals_of(d.target), &dst->attr_schema});
+  for (const auto& name : d.assoc_tables) {
+    const Schema* s = catalog.find_table(name);
+    if (s == nullptr) {
+      return not_found("unknown associated table '" + name + "' in edge '" +
+                       d.name + "'");
+    }
+    sources.push_back({{name}, s});
+  }
+
+  Resolver resolve = [&](std::string_view qual,
+                         std::string_view col) -> Result<DataType> {
+    if (qual.empty()) {
+      const Schema* found = nullptr;
+      DataType type;
+      for (const auto& s : sources) {
+        auto idx = s.schema->find(col);
+        if (!idx) continue;
+        if (found != nullptr) {
+          return type_error("column '" + std::string(col) +
+                            "' is ambiguous; qualify it");
+        }
+        found = s.schema;
+        type = s.schema->column(*idx).type;
+      }
+      if (found == nullptr) {
+        return not_found("no edge source has a column '" + std::string(col) +
+                         "'");
+      }
+      return type;
+    }
+    for (const auto& s : sources) {
+      if (std::find(s.quals.begin(), s.quals.end(), qual) == s.quals.end()) {
+        continue;
+      }
+      auto idx = s.schema->find(col);
+      if (!idx) {
+        return not_found("'" + std::string(qual) + "' has no column '" +
+                         std::string(col) + "'");
+      }
+      return s.schema->column(*idx).type;
+    }
+    return not_found("unknown qualifier '" + std::string(qual) + "'");
+  };
+  return require_boolean(d.where, resolve, params);
+}
+
+}  // namespace
+
+// ---- MetaCatalog -------------------------------------------------------------
+
+Status MetaCatalog::add_table(const std::string& name,
+                              storage::Schema schema) {
+  if (name_in_use(name)) {
+    return already_exists("name '" + name + "' is already in use");
+  }
+  tables_.emplace(name, std::move(schema));
+  return Status::ok();
+}
+
+Status MetaCatalog::add_vertex(const std::string& name, VertexMeta meta) {
+  if (name_in_use(name)) {
+    return already_exists("name '" + name + "' is already in use");
+  }
+  vertices_.emplace(name, std::move(meta));
+  return Status::ok();
+}
+
+Status MetaCatalog::add_edge(const std::string& name, EdgeMeta meta) {
+  if (name_in_use(name)) {
+    return already_exists("name '" + name + "' is already in use");
+  }
+  edges_.emplace(name, std::move(meta));
+  return Status::ok();
+}
+
+void MetaCatalog::add_subgraph(const std::string& name, SubgraphMeta meta) {
+  subgraphs_[name] = std::move(meta);
+}
+
+void MetaCatalog::put_table(const std::string& name,
+                            storage::Schema schema) {
+  tables_[name] = std::move(schema);
+}
+
+const storage::Schema* MetaCatalog::find_table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+const VertexMeta* MetaCatalog::find_vertex(const std::string& name) const {
+  auto it = vertices_.find(name);
+  return it == vertices_.end() ? nullptr : &it->second;
+}
+const EdgeMeta* MetaCatalog::find_edge(const std::string& name) const {
+  auto it = edges_.find(name);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+const SubgraphMeta* MetaCatalog::find_subgraph(
+    const std::string& name) const {
+  auto it = subgraphs_.find(name);
+  return it == subgraphs_.end() ? nullptr : &it->second;
+}
+
+bool MetaCatalog::name_in_use(const std::string& name) const {
+  return tables_.contains(name) || vertices_.contains(name) ||
+         edges_.contains(name);
+}
+
+std::vector<std::string> MetaCatalog::edges_between(
+    const std::string& src, const std::string& dst) const {
+  std::vector<std::string> out;
+  for (const auto& [name, meta] : edges_) {
+    if (meta.source_vertex == src && meta.target_vertex == dst) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+// ---- Entry points ------------------------------------------------------------
+
+Status analyze_statement(const Statement& stmt, MetaCatalog& catalog,
+                         const relational::ParamMap* params) {
+  if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
+    GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(s->columns));
+    return catalog.add_table(s->name, std::move(schema));
+  }
+  if (const auto* s = std::get_if<CreateVertexStmt>(&stmt)) {
+    GEMS_RETURN_IF_ERROR(analyze_create_vertex(*s, catalog, params));
+    const Schema* source = catalog.find_table(s->decl.table);
+    return catalog.add_vertex(
+        s->decl.name, VertexMeta{s->decl.table, *source,
+                                 s->decl.key_columns});
+  }
+  if (const auto* s = std::get_if<CreateEdgeStmt>(&stmt)) {
+    GEMS_RETURN_IF_ERROR(analyze_create_edge(*s, catalog, params));
+    std::optional<Schema> attr;
+    if (s->decl.assoc_tables.size() == 1) {
+      attr = *catalog.find_table(s->decl.assoc_tables[0]);
+    }
+    return catalog.add_edge(s->decl.name,
+                            EdgeMeta{s->decl.source.vertex_type,
+                                     s->decl.target.vertex_type,
+                                     std::move(attr)});
+  }
+  if (const auto* s = std::get_if<IngestStmt>(&stmt)) {
+    if (catalog.find_table(s->table) == nullptr) {
+      if (catalog.find_vertex(s->table) != nullptr) {
+        return type_error("'" + s->table +
+                          "' is a vertex type; ingest targets tables");
+      }
+      return not_found("unknown table '" + s->table + "'");
+    }
+    return Status::ok();
+  }
+  if (const auto* s = std::get_if<OutputStmt>(&stmt)) {
+    if (catalog.find_table(s->table) == nullptr) {
+      if (catalog.find_vertex(s->table) != nullptr ||
+          catalog.find_edge(s->table) != nullptr) {
+        return type_error("'" + s->table +
+                          "' is a graph type; output targets tables");
+      }
+      return not_found("unknown table '" + s->table + "'");
+    }
+    return Status::ok();
+  }
+  if (const auto* s = std::get_if<GraphQueryStmt>(&stmt)) {
+    GraphQueryAnalyzer analyzer(catalog, params);
+    GEMS_RETURN_IF_ERROR(analyzer.analyze(*s));
+    if (s->into == IntoKind::kSubgraph) {
+      catalog.add_subgraph(s->into_name, analyzer.subgraph_meta(*s));
+    }
+    if (s->into == IntoKind::kTable) {
+      GEMS_ASSIGN_OR_RETURN(Schema schema, analyzer.output_schema(*s));
+      catalog.put_table(s->into_name, std::move(schema));
+    }
+    return Status::ok();
+  }
+  if (const auto* s = std::get_if<TableQueryStmt>(&stmt)) {
+    Schema out_schema;
+    GEMS_RETURN_IF_ERROR(
+        analyze_table_query(*s, catalog, params, &out_schema));
+    if (s->into == IntoKind::kTable) {
+      catalog.put_table(s->into_name, std::move(out_schema));
+    }
+    return Status::ok();
+  }
+  GEMS_UNREACHABLE("unhandled statement kind");
+}
+
+Status analyze_script(const Script& script, MetaCatalog& catalog,
+                      const relational::ParamMap* params) {
+  for (std::size_t i = 0; i < script.statements.size(); ++i) {
+    Status s = analyze_statement(script.statements[i], catalog, params);
+    if (!s.is_ok()) {
+      return s.with_context("statement " + std::to_string(i + 1));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace gems::graql

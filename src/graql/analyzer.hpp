@@ -1,0 +1,89 @@
+// Static query analysis (paper Sec. III-A): GraQL scripts are checked for
+// correctness on the GEMS front-end server using only the metadata catalog
+// — no data access. Checks include:
+//   * type errors ("comparing a date to a floating-point number"),
+//   * entity-kind errors ("a table name should be used when a table is
+//     required, rather than a vertex type name"),
+//   * path-query formulation errors (edge direction/endpoint mismatches,
+//     undefined labels, conditions on variant steps),
+//   * statically-empty queries (no edge type connects two vertex types),
+//   * select-target resolution and output-schema inference.
+//
+// The analyzer maintains a MetaCatalog that evolves as the script's DDL
+// and `into` clauses introduce new objects, so later statements can
+// reference earlier results (Fig. 12).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graql/ast.hpp"
+#include "relational/bound_expr.hpp"
+#include "storage/schema.hpp"
+
+namespace gems::graql {
+
+struct VertexMeta {
+  std::string source_table;
+  storage::Schema attr_schema;        // full source schema (visibility of
+                                      // non-key attrs is a dynamic check)
+  std::vector<std::string> key_columns;
+};
+
+struct EdgeMeta {
+  std::string source_vertex;
+  std::string target_vertex;
+  std::optional<storage::Schema> attr_schema;  // nullopt: no attributes
+};
+
+/// Per-step metadata of a subgraph result, so `res.V` seeding can be
+/// checked statically.
+struct SubgraphMeta {
+  std::set<std::string> vertex_steps;  // step names selectable for seeding
+};
+
+/// Schema-only catalog mirror of the GEMS server's metadata repository.
+class MetaCatalog {
+ public:
+  Status add_table(const std::string& name, storage::Schema schema);
+
+  /// Registers or replaces a table schema (used for `into table` results,
+  /// which may legitimately overwrite earlier results of the same name).
+  void put_table(const std::string& name, storage::Schema schema);
+  Status add_vertex(const std::string& name, VertexMeta meta);
+  Status add_edge(const std::string& name, EdgeMeta meta);
+  void add_subgraph(const std::string& name, SubgraphMeta meta);
+
+  const storage::Schema* find_table(const std::string& name) const;
+  const VertexMeta* find_vertex(const std::string& name) const;
+  const EdgeMeta* find_edge(const std::string& name) const;
+  const SubgraphMeta* find_subgraph(const std::string& name) const;
+
+  bool name_in_use(const std::string& name) const;
+
+  /// Edge types from src to dst (for static variant/adjacency checks).
+  std::vector<std::string> edges_between(const std::string& src,
+                                         const std::string& dst) const;
+
+ private:
+  std::map<std::string, storage::Schema> tables_;
+  std::map<std::string, VertexMeta> vertices_;
+  std::map<std::string, EdgeMeta> edges_;
+  std::map<std::string, SubgraphMeta> subgraphs_;
+};
+
+/// Analyzes one statement against (and updates) `catalog`. When `params`
+/// is non-null, parameter types participate in type checking; otherwise
+/// parameters type-check as wildcards.
+Status analyze_statement(const Statement& stmt, MetaCatalog& catalog,
+                         const relational::ParamMap* params = nullptr);
+
+/// Analyzes a whole script front to back.
+Status analyze_script(const Script& script, MetaCatalog& catalog,
+                      const relational::ParamMap* params = nullptr);
+
+}  // namespace gems::graql

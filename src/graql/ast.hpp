@@ -1,0 +1,189 @@
+// GraQL abstract syntax tree. One Script holds the statements of a GraQL
+// script Ω = q1..qn (paper Sec. III); each statement is DDL, ingest, a
+// graph path query, or a relational table query.
+//
+// The language surface follows paper Sec. II:
+//   create table T(col type, ...)
+//   create vertex V(key[, key...]) from table T [where φ]
+//   create edge E with vertices (V1 [as A], V2 [as B])
+//       [from table T1[, T2...]] where φ
+//   ingest table T 'file.csv'
+//   select <targets> from graph <path> [and <path>]... [or <path>]...
+//       into {subgraph|table} Name
+//   select [top n] [distinct] <items> from table T [where φ]
+//       [group by cols] [order by col [desc], ...] [into table Name]
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "relational/expr.hpp"
+#include "storage/schema.hpp"
+
+namespace gems::graql {
+
+// ---- DDL statements --------------------------------------------------------
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<storage::ColumnDef> columns;
+};
+
+struct CreateVertexStmt {
+  graph::VertexDecl decl;
+};
+
+struct CreateEdgeStmt {
+  graph::EdgeDecl decl;
+};
+
+struct IngestStmt {
+  std::string table;
+  std::string path;      // CSV file
+  bool has_header = false;  // `ingest table T 'f.csv' with header`
+};
+
+/// `output table T 'file.csv'` — the converse of ingest (paper Sec. III:
+/// the parallel filesystem serves "for purposes of data ingest and
+/// eventual output to files"). Writes the table as CSV with a header.
+struct OutputStmt {
+  std::string table;
+  std::string path;
+};
+
+// ---- Path queries ----------------------------------------------------------
+
+enum class LabelKind : std::uint8_t { kNone, kSet, kForeach };
+
+/// A vertex step: `ProductVtx(cond)`, `[ ]`, `def X: V(cond)`,
+/// a bare label reference `y`, or a seeded step `resQ1.Vn(cond)`.
+struct VertexStep {
+  bool variant = false;      // [ ] — matches any vertex type (Eq. 10)
+  std::string type_name;     // empty for variant steps and label refs
+  std::string label_ref;     // set when the step is a bare label reference
+  std::string seed_result;   // `resQ1` in `resQ1.Vn(...)` (Fig. 12)
+  relational::ExprPtr condition;  // may be null ("( )" = no filter)
+  LabelKind label_kind = LabelKind::kNone;  // def X: / foreach x:
+  std::string label;
+};
+
+/// An edge step: `--producer-->` (forward) or `<--reviewer--` (reverse,
+/// paper Sec. II-B: "--> indicates a path from the left vertex ... along an
+/// outedge, and <-- ... along an inedge"). `--[]-->` is a variant step.
+struct EdgeStep {
+  bool variant = false;
+  std::string type_name;
+  bool reversed = false;
+  relational::ExprPtr condition;
+  LabelKind label_kind = LabelKind::kNone;
+  std::string label;
+};
+
+struct PathGroup;
+
+using PathElement = std::variant<VertexStep, EdgeStep, PathGroup>;
+
+/// Regular-expression group over steps (Fig. 10): `( --[]--> [ ] )+`.
+/// The body starts with an edge step and ends with a vertex step so that
+/// repetition preserves vertex/edge alternation.
+struct PathGroup {
+  enum class Quant : std::uint8_t { kStar, kPlus, kExact };
+  std::vector<PathElement> body;
+  Quant quant = Quant::kPlus;
+  std::uint32_t count = 0;  // for kExact ({n})
+};
+
+/// One linear path pattern (Eq. 3): alternating vertex/edge steps with
+/// optional regex groups.
+struct PathPattern {
+  std::vector<PathElement> elements;
+};
+
+/// What a graph query selects (paper Figs. 6, 11, 13).
+struct SelectTarget {
+  bool star = false;        // select *
+  std::string qualifier;    // step type name, alias or label (V0, y)
+  std::string column;       // empty = the whole step
+  std::string alias;        // `as x`
+};
+
+enum class IntoKind : std::uint8_t { kNone, kSubgraph, kTable };
+
+/// `select ... from graph p1 [and p2]... [or p3 [and p4]...] into ...`.
+/// Or-composition has lower precedence than and-composition; each
+/// and-group is a conjunction of label-connected paths (Sec. II-B3).
+struct GraphQueryStmt {
+  std::vector<SelectTarget> targets;
+  std::vector<std::vector<PathPattern>> or_groups;  // outer: or, inner: and
+  IntoKind into = IntoKind::kNone;
+  std::string into_name;
+};
+
+// ---- Relational queries -----------------------------------------------------
+
+enum class AggFunc : std::uint8_t {
+  kNone,
+  kCountStar,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+struct SelectItem {
+  bool star = false;
+  AggFunc agg = AggFunc::kNone;
+  relational::ExprPtr expr;  // null for * and count(*)
+  std::string alias;
+};
+
+struct OrderItem {
+  std::string column;  // output-column name (may be an alias)
+  bool descending = false;
+};
+
+struct TableQueryStmt {
+  std::vector<SelectItem> items;
+  std::uint64_t top_n = 0;  // 0 = no limit
+  bool distinct = false;
+  std::string from_table;
+  relational::ExprPtr where;  // may be null
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  IntoKind into = IntoKind::kNone;  // only kTable is legal here
+  std::string into_name;
+};
+
+// ---- Script ------------------------------------------------------------------
+
+using Statement = std::variant<CreateTableStmt, CreateVertexStmt,
+                               CreateEdgeStmt, IngestStmt, OutputStmt,
+                               GraphQueryStmt, TableQueryStmt>;
+
+struct Script {
+  std::vector<Statement> statements;
+};
+
+/// Pretty-prints a statement back to (canonical) GraQL — used by error
+/// messages, the shell's `explain`, and IR round-trip tests.
+std::string to_string(const Statement& stmt);
+std::string to_string(const Script& script);
+std::string to_string(const PathPattern& path);
+
+/// Deterministic output-column naming shared by the static analyzer and
+/// the executor, so inferred and materialized schemas agree. Preference
+/// order: `preferred`, then `<prefix>_<preferred>`, then numbered suffixes.
+class OutputNamer {
+ public:
+  std::string assign(const std::string& preferred, const std::string& prefix);
+
+ private:
+  std::vector<std::string> used_;
+};
+
+}  // namespace gems::graql

@@ -1,0 +1,31 @@
+// Binary intermediate representation of GraQL scripts (paper Sec. III):
+// "A GraQL script is parsed and compiled into a high-level binary
+// intermediate representation (IR) that is a convenient mechanism for
+// moving the query script from the front-end portion of the GEMS system
+// to the backend for execution."
+//
+// The IR is a tagged byte stream with a magic/version header. It is
+// self-contained: decode(encode(script)) reproduces the AST exactly
+// (property-tested), so front-end and backend can run in separate
+// processes in a real deployment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graql/ast.hpp"
+
+namespace gems::graql {
+
+inline constexpr std::uint32_t kIrMagic = 0x47514C31;  // "GQL1"
+inline constexpr std::uint16_t kIrVersion = 1;
+
+/// Serializes a script to the binary IR.
+std::vector<std::uint8_t> encode_script(const Script& script);
+
+/// Deserializes; rejects wrong magic/version/truncated input.
+Result<Script> decode_script(std::span<const std::uint8_t> bytes);
+
+}  // namespace gems::graql

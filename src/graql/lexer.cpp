@@ -1,0 +1,358 @@
+#include "graql/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+
+namespace gems::graql {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "create", "table",    "vertex", "edge",  "with",  "vertices", "from",
+    "where",  "and",      "or",     "not",   "select", "top",     "distinct",
+    "group",  "order",    "by",     "desc",  "asc",   "into",     "subgraph",
+    "output",
+    "graph",  "ingest",   "as",     "def",   "foreach", "count",  "sum",
+    "avg",    "min",      "max",    "null",  "true",  "false",
+    // NB: "date" is deliberately NOT a keyword — the Berlin schema
+    // (Appendix A) has columns named `date`. Date literals are written
+    // `date '2008-06-20'` and recognized contextually by the parser.
+};
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kParam:
+      return "parameter";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kDashDash:
+      return "'--'";
+    case TokenKind::kArrowRight:
+      return "'-->'";
+    case TokenKind::kArrowLeft:
+      return "'<--'";
+  }
+  return "?";
+}
+
+bool is_graql_keyword(std::string_view lowercased) noexcept {
+  for (const auto* kw : kKeywords) {
+    if (lowercased == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](TokenKind kind, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+    return &out.back();
+  };
+  auto err = [&](std::string msg) {
+    return parse_error(msg + " at line " + std::to_string(line) + ":" +
+                       std::to_string(col));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // Comments: '#' to end of line, or '/* ... */'.
+    if (c == '#') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance(2);
+      while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= src.size()) return err("unterminated /* comment");
+      advance(2);
+      continue;
+    }
+    // Arrows and dashes. Longest match first.
+    if (c == '<') {
+      if (peek(1) == '-' && peek(2) == '-') {
+        push(TokenKind::kArrowLeft);
+        advance(3);
+      } else if (peek(1) == '=') {
+        push(TokenKind::kLe);
+        advance(2);
+      } else if (peek(1) == '>') {
+        push(TokenKind::kNe);
+        advance(2);
+      } else {
+        push(TokenKind::kLt);
+        advance();
+      }
+      continue;
+    }
+    if (c == '-') {
+      if (peek(1) == '-') {
+        if (peek(2) == '>') {
+          push(TokenKind::kArrowRight);
+          advance(3);
+        } else {
+          push(TokenKind::kDashDash);
+          advance(2);
+        }
+      } else if (peek(1) == '>') {
+        // `->` : tolerate the single-dash arrow some figures use.
+        push(TokenKind::kArrowRight);
+        advance(2);
+      } else {
+        push(TokenKind::kMinus);
+        advance();
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (peek(1) != '=') return err("stray '!'");
+      push(TokenKind::kNe);
+      advance(2);
+      continue;
+    }
+    if (c == '>') {
+      if (peek(1) == '=') {
+        push(TokenKind::kGe);
+        advance(2);
+      } else {
+        push(TokenKind::kGt);
+        advance();
+      }
+      continue;
+    }
+    // Single-character tokens.
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        advance();
+        continue;
+      case ')':
+        push(TokenKind::kRParen);
+        advance();
+        continue;
+      case '[':
+        push(TokenKind::kLBracket);
+        advance();
+        continue;
+      case ']':
+        push(TokenKind::kRBracket);
+        advance();
+        continue;
+      case '{':
+        push(TokenKind::kLBrace);
+        advance();
+        continue;
+      case '}':
+        push(TokenKind::kRBrace);
+        advance();
+        continue;
+      case ',':
+        push(TokenKind::kComma);
+        advance();
+        continue;
+      case '.':
+        push(TokenKind::kDot);
+        advance();
+        continue;
+      case ':':
+        push(TokenKind::kColon);
+        advance();
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon);
+        advance();
+        continue;
+      case '*':
+        push(TokenKind::kStar);
+        advance();
+        continue;
+      case '+':
+        push(TokenKind::kPlus);
+        advance();
+        continue;
+      case '/':
+        push(TokenKind::kSlash);
+        advance();
+        continue;
+      case '=':
+        push(TokenKind::kEq);
+        advance();
+        continue;
+      default:
+        break;
+    }
+    // String literals.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::string text;
+      advance();
+      while (i < src.size() && peek() != quote) {
+        if (peek() == '\\' && (peek(1) == quote || peek(1) == '\\')) {
+          text.push_back(peek(1));
+          advance(2);
+        } else {
+          text.push_back(peek());
+          advance();
+        }
+      }
+      if (i >= src.size()) return err("unterminated string literal");
+      advance();  // closing quote
+      push(TokenKind::kString, std::move(text));
+      continue;
+    }
+    // %Param%.
+    if (c == '%') {
+      advance();
+      std::string name;
+      while (i < src.size() && peek() != '%') {
+        name.push_back(peek());
+        advance();
+      }
+      if (i >= src.size()) return err("unterminated %parameter%");
+      if (name.empty()) return err("empty %parameter% name");
+      advance();
+      push(TokenKind::kParam, std::move(name));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      bool is_float = false;
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+      const std::string_view num = src.substr(start, i - start);
+      Token* t;
+      if (is_float) {
+        t = push(TokenKind::kFloat, std::string(num));
+        auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(),
+                                       t->fval);
+        if (ec != std::errc()) return err("bad float literal");
+      } else {
+        t = push(TokenKind::kInt, std::string(num));
+        auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(),
+                                       t->ival);
+        if (ec != std::errc()) return err("integer literal out of range");
+      }
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        advance();
+      }
+      std::string word(src.substr(start, i - start));
+      const std::string lower = to_lower(word);
+      if (is_graql_keyword(lower)) {
+        push(TokenKind::kKeyword, lower);
+      } else {
+        push(TokenKind::kIdent, std::move(word));
+      }
+      continue;
+    }
+    return err(std::string("unexpected character '") + c + "'");
+  }
+  push(TokenKind::kEof);
+  return out;
+}
+
+}  // namespace gems::graql

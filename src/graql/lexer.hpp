@@ -1,0 +1,17 @@
+// GraQL lexer. Handles the SQL-like token set plus the path-step arrow
+// tokens (`--`, `-->`, `<--`), `%param%` placeholders, and `//` and `--`…
+// no: `--` is an arrow, so comments use `#` or `/* */` (documented in the
+// language reference).
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "graql/token.hpp"
+
+namespace gems::graql {
+
+/// Tokenizes an entire GraQL script. Errors carry line/column positions.
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace gems::graql

@@ -1,0 +1,17 @@
+// GraQL parser: tokens -> Script AST. Purely syntactic; name/type
+// resolution happens in the analyzer (static checks, paper Sec. III-A).
+#pragma once
+
+#include "common/status.hpp"
+#include "graql/ast.hpp"
+
+namespace gems::graql {
+
+/// Parses a whole GraQL script (any number of statements, optionally
+/// separated by semicolons).
+Result<Script> parse_script(std::string_view source);
+
+/// Parses exactly one statement.
+Result<Statement> parse_statement(std::string_view source);
+
+}  // namespace gems::graql

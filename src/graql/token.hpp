@@ -1,0 +1,63 @@
+// Token model for the GraQL lexer. Keywords are case-insensitive (SQL
+// heritage); identifiers are case-sensitive (the paper's examples
+// distinguish ProductVtx from producer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gems::graql {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdent,       // ProductVtx, price, T1
+  kKeyword,     // create, select, ... (text() holds the lowercased keyword)
+  kInt,         // 42
+  kFloat,       // 3.14
+  kString,      // 'abc' or "abc"
+  kParam,       // %Product1%
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kDot,         // .
+  kColon,       // :
+  kSemicolon,   // ;
+  kStar,        // *  (projection star, multiplication, regex star)
+  kPlus,        // +
+  kMinus,       // -
+  kSlash,       // /
+  kEq,          // =
+  kNe,          // <> or !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kDashDash,    // --   (edge-step opener/closer)
+  kArrowRight,  // -->  (forward edge-step closer)
+  kArrowLeft,   // <--  (reverse edge-step opener)
+};
+
+std::string_view token_kind_name(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    // identifier/keyword/string/param payload
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  bool is_keyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// True if `lowercased` is a reserved GraQL keyword.
+bool is_graql_keyword(std::string_view lowercased) noexcept;
+
+}  // namespace gems::graql

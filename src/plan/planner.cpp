@@ -1,0 +1,88 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gems::plan {
+
+using exec::ConstraintNetwork;
+
+PathPlan plan_network(const ConstraintNetwork& net,
+                      const graph::GraphView& graph, const StringPool& pool,
+                      const GraphStats& stats) {
+  PathPlan plan;
+  if (net.num_vars() == 0) return plan;
+
+  // Pivot: the variable with the smallest estimated candidate set.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t v = 0; v < net.num_vars(); ++v) {
+    const double card =
+        estimate_cardinality(net, graph, pool, stats, static_cast<int>(v));
+    if (card < best) {
+      best = card;
+      plan.root_var = static_cast<int>(v);
+    }
+  }
+  plan.estimated_root_cardinality = best;
+
+  // Constraint order: BFS outward from the pivot so the first propagation
+  // pass pushes the pivot's selectivity through the whole query before
+  // any full-extent work happens.
+  const std::size_t n_constraints =
+      net.edges.size() + net.groups.size() + net.set_eqs.size();
+  std::vector<bool> var_reached(net.num_vars(), false);
+  std::vector<bool> used(n_constraints, false);
+  var_reached[plan.root_var] = true;
+
+  auto endpoints = [&](std::size_t c) -> std::pair<int, int> {
+    if (c < net.edges.size()) {
+      return {net.edges[c].left_var, net.edges[c].right_var};
+    }
+    std::size_t i = c - net.edges.size();
+    if (i < net.groups.size()) {
+      return {net.groups[i].left_var, net.groups[i].right_var};
+    }
+    i -= net.groups.size();
+    return {net.set_eqs[i].var_a, net.set_eqs[i].var_b};
+  };
+
+  while (plan.constraint_order.size() < n_constraints) {
+    bool progressed = false;
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      if (used[c]) continue;
+      const auto [a, b] = endpoints(c);
+      if (!var_reached[a] && !var_reached[b]) continue;
+      used[c] = true;
+      var_reached[a] = true;
+      var_reached[b] = true;
+      plan.constraint_order.push_back(static_cast<int>(c));
+      progressed = true;
+    }
+    if (!progressed) {
+      // Disconnected component: seed it with its cheapest variable.
+      for (std::size_t c = 0; c < n_constraints; ++c) {
+        if (!used[c]) {
+          var_reached[endpoints(c).first] = true;
+          break;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+PathPlan lexical_plan(const ConstraintNetwork& net) {
+  PathPlan plan;
+  plan.root_var = net.path_vars.empty() || net.path_vars[0].empty()
+                      ? 0
+                      : net.path_vars[0][0];
+  const std::size_t n_constraints =
+      net.edges.size() + net.groups.size() + net.set_eqs.size();
+  plan.constraint_order.resize(n_constraints);
+  for (std::size_t i = 0; i < n_constraints; ++i) {
+    plan.constraint_order[i] = static_cast<int>(i);
+  }
+  return plan;
+}
+
+}  // namespace gems::plan

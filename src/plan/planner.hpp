@@ -1,0 +1,37 @@
+// Dynamic query planning (paper Sec. III-B): "with the underlying
+// knowledge of the existence of bidirectional edge indices, we can
+// formulate path query planning as a series of decisions on which order to
+// traverse the edge indices indicated by the query."
+//
+// The planner picks a pivot variable (lowest estimated cardinality) and a
+// constraint propagation/enumeration order that expands outward from the
+// pivot — the non-lexical execution order the reverse indices make
+// possible. bench_planner_ablation compares this against forced
+// lexical-forward execution.
+#pragma once
+
+#include "common/status.hpp"
+#include "exec/network.hpp"
+#include "plan/stats.hpp"
+
+namespace gems::plan {
+
+struct PathPlan {
+  int root_var = 0;
+  /// Constraint visit order for the matcher's first propagation pass:
+  /// indices into the combined [edges | groups | set_eqs] space.
+  std::vector<int> constraint_order;
+  double estimated_root_cardinality = 0;
+};
+
+/// Statistics-driven plan: pivot at the most selective variable, BFS
+/// outward.
+PathPlan plan_network(const exec::ConstraintNetwork& net,
+                      const graph::GraphView& graph, const StringPool& pool,
+                      const GraphStats& stats);
+
+/// Baseline plan: lexical order, pivot at the first step (what a system
+/// without reverse indices or statistics would do).
+PathPlan lexical_plan(const exec::ConstraintNetwork& net);
+
+}  // namespace gems::plan

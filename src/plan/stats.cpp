@@ -1,0 +1,85 @@
+#include "plan/stats.hpp"
+
+#include <algorithm>
+
+#include "exec/matcher.hpp"
+
+namespace gems::plan {
+
+using graph::EdgeTypeId;
+using graph::GraphView;
+using graph::VertexIndex;
+using graph::VertexTypeId;
+
+GraphStats GraphStats::collect(const GraphView& graph) {
+  GraphStats stats;
+  stats.vertex_counts.reserve(graph.num_vertex_types());
+  for (VertexTypeId t = 0; t < graph.num_vertex_types(); ++t) {
+    stats.vertex_counts.push_back(graph.vertex_type(t).num_vertices());
+  }
+  stats.edge_stats.reserve(graph.num_edge_types());
+  for (EdgeTypeId e = 0; e < graph.num_edge_types(); ++e) {
+    const graph::EdgeType& et = graph.edge_type(e);
+    EdgeTypeStats es;
+    es.num_edges = et.num_edges();
+    const auto& fwd = et.forward();
+    const auto& rev = et.reverse();
+    std::uint64_t out_sum = 0;
+    for (VertexIndex v = 0; v < fwd.num_vertices(); ++v) {
+      out_sum += fwd.degree(v);
+      es.degrees.max_out = std::max(es.degrees.max_out, fwd.degree(v));
+    }
+    std::uint64_t in_sum = 0;
+    for (VertexIndex v = 0; v < rev.num_vertices(); ++v) {
+      in_sum += rev.degree(v);
+      es.degrees.max_in = std::max(es.degrees.max_in, rev.degree(v));
+    }
+    es.degrees.avg_out =
+        fwd.num_vertices() == 0
+            ? 0
+            : static_cast<double>(out_sum) / fwd.num_vertices();
+    es.degrees.avg_in =
+        rev.num_vertices() == 0
+            ? 0
+            : static_cast<double>(in_sum) / rev.num_vertices();
+    stats.edge_stats.push_back(es);
+  }
+  return stats;
+}
+
+double estimate_selectivity(const exec::ConstraintNetwork& net,
+                            const GraphView& graph, const StringPool& pool,
+                            int var, std::size_t sample_limit) {
+  const exec::VertexVar& vv = net.vars[var];
+  if (vv.self_conds.empty() && !vv.seed) return 1.0;
+  std::size_t sampled = 0;
+  std::size_t passed = 0;
+  for (const VertexTypeId t : vv.types) {
+    const std::size_t n = graph.vertex_type(t).num_vertices();
+    // Deterministic stride sampling across the extent.
+    const std::size_t stride =
+        std::max<std::size_t>(1, n / std::max<std::size_t>(1, sample_limit));
+    for (std::size_t v = 0; v < n && sampled < sample_limit;
+         v += stride, ++sampled) {
+      const VertexIndex idx = static_cast<VertexIndex>(v);
+      if (vv.seed) {
+        const DynamicBitset* bits = vv.seed->vertices(t);
+        if (bits == nullptr || !bits->test(idx)) continue;
+      }
+      if (exec::vertex_passes(net, graph, pool, var, t, idx)) ++passed;
+    }
+  }
+  if (sampled == 0) return 1.0;
+  return static_cast<double>(passed) / static_cast<double>(sampled);
+}
+
+double estimate_cardinality(const exec::ConstraintNetwork& net,
+                            const GraphView& graph, const StringPool& pool,
+                            const GraphStats& stats, int var) {
+  std::size_t extent = 0;
+  for (const auto t : net.vars[var].types) extent += stats.vertices_of(t);
+  return static_cast<double>(extent) *
+         estimate_selectivity(net, graph, pool, var);
+}
+
+}  // namespace gems::plan

@@ -1,0 +1,54 @@
+// Catalog statistics (paper Sec. III-B): "number of instances of vertex
+// and edge types, as well as statistical properties of the degree
+// distribution of a vertex type with respect to an edge type". The planner
+// consumes these to pick traversal orders; the GEMS server exposes them in
+// its metadata catalog.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/network.hpp"
+#include "graph/graph_view.hpp"
+
+namespace gems::plan {
+
+struct DegreeStats {
+  double avg_out = 0;
+  std::uint32_t max_out = 0;
+  double avg_in = 0;
+  std::uint32_t max_in = 0;
+};
+
+struct EdgeTypeStats {
+  std::size_t num_edges = 0;
+  DegreeStats degrees;  // w.r.t. the edge's source/target vertex types
+};
+
+struct GraphStats {
+  std::vector<std::size_t> vertex_counts;  // per vertex type id
+  std::vector<EdgeTypeStats> edge_stats;   // per edge type id
+
+  static GraphStats collect(const graph::GraphView& graph);
+
+  std::size_t vertices_of(graph::VertexTypeId t) const {
+    return vertex_counts.at(t);
+  }
+};
+
+/// Estimated fraction of a vertex type passing a variable's self
+/// conditions, measured on a bounded sample (dynamic analysis: the
+/// backend has the data; the front-end catalog does not).
+double estimate_selectivity(const exec::ConstraintNetwork& net,
+                            const graph::GraphView& graph,
+                            const StringPool& pool, int var,
+                            std::size_t sample_limit = 256);
+
+/// Estimated candidate cardinality of a variable: Σ_type |type| × sel.
+double estimate_cardinality(const exec::ConstraintNetwork& net,
+                            const graph::GraphView& graph,
+                            const StringPool& pool, const GraphStats& stats,
+                            int var);
+
+}  // namespace gems::plan

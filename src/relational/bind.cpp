@@ -1,0 +1,184 @@
+#include "relational/bound_expr.hpp"
+
+namespace gems::relational {
+
+using storage::DataType;
+using storage::TypeKind;
+using storage::Value;
+
+Result<Slot> TableScope::resolve(std::string_view qualifier,
+                                 std::string_view column) const {
+  if (!qualifier.empty() && qualifier != alias_ &&
+      qualifier != table_.name()) {
+    return not_found("unknown qualifier '" + std::string(qualifier) +
+                     "' (expected '" + table_.name() + "'" +
+                     (alias_.empty() ? "" : " or alias '" + alias_ + "'") +
+                     ")");
+  }
+  auto idx = table_.schema().find(column);
+  if (!idx) {
+    return not_found("table '" + table_.name() + "' has no column '" +
+                     std::string(column) + "'");
+  }
+  return Slot{0, *idx, table_.schema().column(*idx).type};
+}
+
+namespace {
+
+Cell cell_from_value(const Value& v, StringPool& pool) {
+  if (v.is_null()) return Cell::null_cell();
+  switch (v.kind()) {
+    case TypeKind::kBool:
+      return Cell::of_bool(v.as_bool());
+    case TypeKind::kInt64:
+      return Cell::of_int64(v.as_int64());
+    case TypeKind::kDate:
+      return Cell::of_int64(v.as_int64(), TypeKind::kDate);
+    case TypeKind::kDouble:
+      return Cell::of_double(v.as_double());
+    case TypeKind::kVarchar:
+      return Cell::of_string(pool.intern(v.as_string()));
+  }
+  GEMS_UNREACHABLE("bad value kind");
+}
+
+DataType type_of_value(const Value& v) {
+  if (v.is_null()) return DataType::int64();  // placeholder; nulls adapt
+  switch (v.kind()) {
+    case TypeKind::kBool:
+      return DataType::boolean();
+    case TypeKind::kInt64:
+      return DataType::int64();
+    case TypeKind::kDate:
+      return DataType::date();
+    case TypeKind::kDouble:
+      return DataType::float64();
+    case TypeKind::kVarchar:
+      return DataType::varchar(
+          static_cast<std::uint32_t>(v.as_string().size()));
+  }
+  GEMS_UNREACHABLE("bad value kind");
+}
+
+bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_logical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+Status op_type_error(BinaryOp op, const DataType& l, const DataType& r) {
+  return type_error("operator '" + std::string(binary_op_name(op)) +
+                    "' cannot combine " + l.to_string() + " and " +
+                    r.to_string());
+}
+
+}  // namespace
+
+Result<BoundExprPtr> bind_expr(const ExprPtr& expr, const Scope& scope,
+                               const ParamMap& params, StringPool& pool) {
+  GEMS_CHECK(expr != nullptr);
+  auto out = std::make_unique<BoundExpr>();
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral: {
+      out->kind = BoundExpr::Kind::kConst;
+      out->constant = cell_from_value(expr->literal, pool);
+      out->type = type_of_value(expr->literal);
+      return out;
+    }
+    case Expr::Kind::kParameter: {
+      auto it = params.find(expr->param_name);
+      if (it == params.end()) {
+        return invalid_argument("unbound query parameter %" +
+                                expr->param_name + "%");
+      }
+      out->kind = BoundExpr::Kind::kConst;
+      out->constant = cell_from_value(it->second, pool);
+      out->type = type_of_value(it->second);
+      return out;
+    }
+    case Expr::Kind::kColumnRef: {
+      GEMS_ASSIGN_OR_RETURN(out->slot,
+                            scope.resolve(expr->qualifier, expr->column));
+      out->kind = BoundExpr::Kind::kColumnRef;
+      out->type = out->slot.type;
+      return out;
+    }
+    case Expr::Kind::kUnary: {
+      GEMS_ASSIGN_OR_RETURN(out->lhs,
+                            bind_expr(expr->lhs, scope, params, pool));
+      out->kind = BoundExpr::Kind::kUnary;
+      out->uop = expr->uop;
+      if (expr->uop == UnaryOp::kNot) {
+        if (out->lhs->type.kind != TypeKind::kBool) {
+          return type_error("'not' requires a boolean operand, got " +
+                            out->lhs->type.to_string());
+        }
+        out->type = DataType::boolean();
+      } else {  // kNeg
+        if (!out->lhs->type.is_numeric()) {
+          return type_error("unary '-' requires a numeric operand, got " +
+                            out->lhs->type.to_string());
+        }
+        out->type = out->lhs->type;
+      }
+      return out;
+    }
+    case Expr::Kind::kBinary: {
+      GEMS_ASSIGN_OR_RETURN(out->lhs,
+                            bind_expr(expr->lhs, scope, params, pool));
+      GEMS_ASSIGN_OR_RETURN(out->rhs,
+                            bind_expr(expr->rhs, scope, params, pool));
+      out->kind = BoundExpr::Kind::kBinary;
+      out->bop = expr->bop;
+      const DataType& lt = out->lhs->type;
+      const DataType& rt = out->rhs->type;
+      if (is_logical(expr->bop)) {
+        if (lt.kind != TypeKind::kBool || rt.kind != TypeKind::kBool) {
+          return op_type_error(expr->bop, lt, rt);
+        }
+        out->type = DataType::boolean();
+      } else if (is_comparison(expr->bop)) {
+        // The paper's example of a rejected query: "comparing a date to a
+        // floating-point number" — enforced here.
+        if (!lt.comparable_with(rt)) return op_type_error(expr->bop, lt, rt);
+        out->type = DataType::boolean();
+      } else {  // arithmetic
+        if (!lt.is_numeric() || !rt.is_numeric()) {
+          return op_type_error(expr->bop, lt, rt);
+        }
+        out->type = (lt.kind == TypeKind::kDouble ||
+                     rt.kind == TypeKind::kDouble ||
+                     expr->bop == BinaryOp::kDiv)
+                        ? DataType::float64()
+                        : DataType::int64();
+      }
+      return out;
+    }
+  }
+  GEMS_UNREACHABLE("bad expr kind");
+}
+
+Result<BoundExprPtr> bind_predicate(const ExprPtr& expr, const Scope& scope,
+                                    const ParamMap& params, StringPool& pool) {
+  GEMS_ASSIGN_OR_RETURN(auto bound, bind_expr(expr, scope, params, pool));
+  if (bound->type.kind != TypeKind::kBool) {
+    return type_error("condition '" + expr->to_string() +
+                      "' is not boolean (type " + bound->type.to_string() +
+                      ")");
+  }
+  return bound;
+}
+
+}  // namespace gems::relational

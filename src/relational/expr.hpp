@@ -1,0 +1,86 @@
+// Scalar expression AST shared by the relational engine and the graph
+// path matcher: step conditions like `country = %Country1%` (paper Fig. 7)
+// and relational WHERE clauses are both Exprs. Parsed by src/graql, bound
+// against a scope (table schema or path-step schema) by bind.hpp, and
+// evaluated by eval.hpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.hpp"
+
+namespace gems::relational {
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+std::string_view binary_op_name(BinaryOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Shared ownership lets ASTs embed
+/// sub-expressions in several places (e.g. IR round-trips) cheaply.
+struct Expr {
+  enum class Kind { kLiteral, kColumnRef, kParameter, kUnary, kBinary };
+
+  Kind kind;
+
+  // kLiteral
+  storage::Value literal;
+
+  // kColumnRef — `qualifier.column` or bare `column` (empty qualifier).
+  // The qualifier names a step type, step label or table alias; resolution
+  // is the binder's job.
+  std::string qualifier;
+  std::string column;
+
+  // kParameter — `%name%` placeholders substituted at bind time.
+  std::string param_name;
+
+  // kUnary (operand in lhs) / kBinary
+  UnaryOp uop = UnaryOp::kNot;
+  BinaryOp bop = BinaryOp::kAnd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  static ExprPtr make_literal(storage::Value v);
+  static ExprPtr make_column(std::string qualifier, std::string column);
+  static ExprPtr make_parameter(std::string name);
+  static ExprPtr make_unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+  /// GraQL-ish rendering, for error messages and IR dumps.
+  std::string to_string() const;
+
+  /// Structural equality (used by IR round-trip tests).
+  bool equals(const Expr& other) const;
+};
+
+/// Splits a conjunction into its non-AND leaves: (a and (b and c)) -> a,b,c.
+std::vector<ExprPtr> split_conjuncts(const ExprPtr& expr);
+
+/// Rebuilds a conjunction from conjuncts (nullptr when empty).
+ExprPtr conjoin(const std::vector<ExprPtr>& conjuncts);
+
+/// Collects the distinct qualifiers referenced anywhere in `expr`
+/// (including the empty qualifier if bare columns occur).
+void collect_qualifiers(const ExprPtr& expr, std::vector<std::string>& out);
+
+}  // namespace gems::relational

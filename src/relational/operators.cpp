@@ -1,0 +1,469 @@
+#include "relational/operators.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "relational/eval.hpp"
+#include "relational/row_key.hpp"
+
+namespace gems::relational {
+
+using storage::Column;
+using storage::ColumnDef;
+using storage::DataType;
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+std::vector<RowIndex> filter_rows(const Table& table,
+                                  const BoundExpr& predicate) {
+  std::vector<RowIndex> out;
+  const RowCursor cursor_template{&table, 0};
+  RowCursor cursor = cursor_template;
+  const std::span<const RowCursor> sources(&cursor, 1);
+  const StringPool& pool = table.pool();
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    cursor.row = static_cast<RowIndex>(r);
+    if (eval_predicate(predicate, sources, pool)) {
+      out.push_back(cursor.row);
+    }
+  }
+  return out;
+}
+
+std::vector<RowIndex> filter_rows_parallel(const Table& table,
+                                           const BoundExpr& predicate,
+                                           ThreadPool& pool) {
+  const std::size_t n = table.num_rows();
+  const std::size_t num_chunks = std::min<std::size_t>(
+      std::max<std::size_t>(1, pool.size() * 4), std::max<std::size_t>(1, n));
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<RowIndex>> partials(num_chunks);
+
+  pool.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    RowCursor cursor{&table, 0};
+    const std::span<const RowCursor> sources(&cursor, 1);
+    const StringPool& string_pool = table.pool();
+    for (std::size_t r = begin; r < end; ++r) {
+      cursor.row = static_cast<RowIndex>(r);
+      if (eval_predicate(predicate, sources, string_pool)) {
+        partials[c].push_back(cursor.row);
+      }
+    }
+  });
+
+  std::vector<RowIndex> out;
+  std::size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  out.reserve(total);
+  for (const auto& p : partials) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+TablePtr materialize(const Table& src, std::span<const RowIndex> rows,
+                     std::span<const ColumnIndex> cols, std::string name,
+                     const std::vector<std::string>* rename) {
+  GEMS_CHECK(rename == nullptr || rename->size() == cols.size());
+  std::vector<ColumnDef> defs;
+  defs.reserve(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const ColumnDef& d = src.schema().column(cols[i]);
+    defs.push_back({rename ? (*rename)[i] : d.name, d.type});
+  }
+  auto out = std::make_shared<Table>(std::move(name), Schema(std::move(defs)),
+                                     src.pool());
+  for (const RowIndex r : rows) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      out->column_mut(static_cast<ColumnIndex>(c))
+          .append_from(src.column(cols[c]), r);
+    }
+    out->bump_row_count();
+  }
+  return out;
+}
+
+TablePtr project(const Table& src, std::span<const RowIndex> rows,
+                 std::span<const OutputColumn> outputs, std::string name) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(outputs.size());
+  for (const auto& o : outputs) defs.push_back({o.name, o.expr->type});
+  auto out = std::make_shared<Table>(std::move(name), Schema(std::move(defs)),
+                                     src.pool());
+  RowCursor cursor{&src, 0};
+  const std::span<const RowCursor> sources(&cursor, 1);
+  const StringPool& pool = src.pool();
+  for (const RowIndex r : rows) {
+    cursor.row = r;
+    for (std::size_t c = 0; c < outputs.size(); ++c) {
+      const Cell cell = eval_cell(*outputs[c].expr, sources, pool);
+      append_cell(out->column_mut(static_cast<ColumnIndex>(c)), cell);
+
+    }
+    out->bump_row_count();
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<RowIndex, RowIndex>>> hash_join_pairs(
+    const Table& left, std::span<const ColumnIndex> left_keys,
+    const Table& right, std::span<const ColumnIndex> right_keys) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return invalid_argument("join key arity mismatch");
+  }
+  for (std::size_t i = 0; i < left_keys.size(); ++i) {
+    const DataType& lt = left.schema().column(left_keys[i]).type;
+    const DataType& rt = right.schema().column(right_keys[i]).type;
+    // Int64/Double cross-type equi-joins would need promoted encoding;
+    // the type checker upstream only admits identical-kind join keys.
+    if (lt.kind != rt.kind) {
+      return type_error("join keys '" +
+                        left.schema().column(left_keys[i]).name + "' (" +
+                        lt.to_string() + ") and '" +
+                        right.schema().column(right_keys[i]).name + "' (" +
+                        rt.to_string() + ") have different types");
+    }
+  }
+
+  // Build on the smaller side.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+  const std::span<const ColumnIndex> build_keys =
+      build_left ? left_keys : right_keys;
+  const std::span<const ColumnIndex> probe_keys =
+      build_left ? right_keys : left_keys;
+
+  auto has_null_key = [](const Table& t, RowIndex r,
+                         std::span<const ColumnIndex> keys) {
+    for (const auto k : keys) {
+      if (t.column(k).is_null(r)) return true;
+    }
+    return false;
+  };
+
+  std::unordered_map<std::string, std::vector<RowIndex>> index;
+  index.reserve(build.num_rows());
+  for (std::size_t r = 0; r < build.num_rows(); ++r) {
+    const RowIndex row = static_cast<RowIndex>(r);
+    if (has_null_key(build, row, build_keys)) continue;
+    index[encode_row_key(build, row, build_keys)].push_back(row);
+  }
+
+  std::vector<std::pair<RowIndex, RowIndex>> out;
+  std::string key;
+  for (std::size_t r = 0; r < probe.num_rows(); ++r) {
+    const RowIndex row = static_cast<RowIndex>(r);
+    if (has_null_key(probe, row, probe_keys)) continue;
+    key.clear();
+    for (const auto k : probe_keys) append_key_part(probe, row, k, key);
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const RowIndex b : it->second) {
+      out.emplace_back(build_left ? b : row, build_left ? row : b);
+    }
+  }
+  // Deterministic output order regardless of build-side choice.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<TablePtr> hash_join(const Table& left,
+                           std::span<const ColumnIndex> left_keys,
+                           const Table& right,
+                           std::span<const ColumnIndex> right_keys,
+                           std::span<const JoinOutput> outputs,
+                           std::string name) {
+  GEMS_ASSIGN_OR_RETURN(auto pairs,
+                        hash_join_pairs(left, left_keys, right, right_keys));
+  std::vector<ColumnDef> defs;
+  defs.reserve(outputs.size());
+  for (const auto& o : outputs) {
+    const Table& t = o.side == JoinOutput::kLeft ? left : right;
+    defs.push_back({o.name, t.schema().column(o.column).type});
+  }
+  auto out = std::make_shared<Table>(std::move(name), Schema(std::move(defs)),
+                                     left.pool());
+  for (const auto& [l, r] : pairs) {
+    for (std::size_t c = 0; c < outputs.size(); ++c) {
+      const auto& o = outputs[c];
+      const Table& t = o.side == JoinOutput::kLeft ? left : right;
+      const RowIndex row = o.side == JoinOutput::kLeft ? l : r;
+      out->column_mut(static_cast<ColumnIndex>(c))
+          .append_from(t.column(o.column), row);
+    }
+    out->bump_row_count();
+  }
+  return out;
+}
+
+std::string_view agg_kind_name(AggKind kind) noexcept {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+struct AggState {
+  std::int64_t count = 0;
+  std::int64_t isum = 0;
+  double dsum = 0;
+  bool has_value = false;
+  Value min;
+  Value max;
+};
+
+Result<DataType> agg_output_type(const AggSpec& spec, const Table& src) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return DataType::int64();
+    case AggKind::kSum: {
+      const DataType& in = src.schema().column(spec.input).type;
+      if (!in.is_numeric()) {
+        return type_error("sum() requires a numeric column, got " +
+                          in.to_string());
+      }
+      return in;
+    }
+    case AggKind::kAvg: {
+      const DataType& in = src.schema().column(spec.input).type;
+      if (!in.is_numeric()) {
+        return type_error("avg() requires a numeric column, got " +
+                          in.to_string());
+      }
+      return DataType::float64();
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return src.schema().column(spec.input).type;
+  }
+  GEMS_UNREACHABLE("bad agg kind");
+}
+
+}  // namespace
+
+Result<TablePtr> group_by(const Table& src, std::span<const ColumnIndex> keys,
+                          std::span<const AggSpec> aggs, std::string name) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(keys.size() + aggs.size());
+  for (const auto k : keys) defs.push_back(src.schema().column(k));
+  for (const auto& a : aggs) {
+    GEMS_ASSIGN_OR_RETURN(DataType type, agg_output_type(a, src));
+    defs.push_back({a.output_name, type});
+  }
+  GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(std::move(defs)));
+  auto out = std::make_shared<Table>(std::move(name), std::move(schema),
+                                     src.pool());
+
+  // group key -> (representative row, per-agg state), first-seen order.
+  std::unordered_map<std::string, std::size_t> group_index;
+  std::vector<RowIndex> representatives;
+  std::vector<std::vector<AggState>> states;
+
+  for (std::size_t r = 0; r < src.num_rows(); ++r) {
+    const RowIndex row = static_cast<RowIndex>(r);
+    const std::string key = encode_row_key(src, row, keys);
+    auto [it, inserted] = group_index.emplace(key, representatives.size());
+    if (inserted) {
+      representatives.push_back(row);
+      states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& group = states[it->second];
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      AggState& st = group[a];
+      if (spec.kind == AggKind::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      const Column& col = src.column(spec.input);
+      if (col.is_null(row)) continue;
+      switch (spec.kind) {
+        case AggKind::kCount:
+          ++st.count;
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          ++st.count;
+          if (col.type().kind == TypeKind::kDouble) {
+            st.dsum += col.double_at(row);
+          } else {
+            st.isum += col.int64_at(row);
+            st.dsum += static_cast<double>(col.int64_at(row));
+          }
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          const Value v = src.value_at(row, spec.input);
+          if (!st.has_value) {
+            st.min = v;
+            st.max = v;
+            st.has_value = true;
+          } else {
+            if (v.compare(st.min) < 0) st.min = v;
+            if (v.compare(st.max) > 0) st.max = v;
+          }
+          break;
+        }
+        default:
+          GEMS_UNREACHABLE("handled above");
+      }
+    }
+  }
+
+  // SQL scalar aggregation: no keys -> exactly one row even on empty input.
+  if (keys.empty() && representatives.empty()) {
+    representatives.push_back(0);
+    states.emplace_back(aggs.size());
+  }
+
+  StringPool& pool = src.pool();
+  for (std::size_t g = 0; g < representatives.size(); ++g) {
+    std::vector<Value> row_values;
+    row_values.reserve(keys.size() + aggs.size());
+    for (const auto k : keys) {
+      row_values.push_back(src.value_at(representatives[g], k));
+    }
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      const AggState& st = states[g][a];
+      switch (spec.kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          row_values.push_back(Value::int64(st.count));
+          break;
+        case AggKind::kSum:
+          if (st.count == 0) {
+            row_values.push_back(Value::null());
+          } else if (src.column(spec.input).type().kind == TypeKind::kDouble) {
+            row_values.push_back(Value::float64(st.dsum));
+          } else {
+            row_values.push_back(Value::int64(st.isum));
+          }
+          break;
+        case AggKind::kAvg:
+          row_values.push_back(st.count == 0
+                                   ? Value::null()
+                                   : Value::float64(
+                                         st.dsum /
+                                         static_cast<double>(st.count)));
+          break;
+        case AggKind::kMin:
+          row_values.push_back(st.has_value ? st.min : Value::null());
+          break;
+        case AggKind::kMax:
+          row_values.push_back(st.has_value ? st.max : Value::null());
+          break;
+      }
+    }
+    (void)pool;
+    out->append_row_unchecked(row_values);
+  }
+  return out;
+}
+
+int compare_table_cells(const Table& table, RowIndex a, RowIndex b,
+                        ColumnIndex col) {
+  const Column& column = table.column(col);
+  const bool a_null = column.is_null(a);
+  const bool b_null = column.is_null(b);
+  if (a_null || b_null) {
+    if (a_null && b_null) return 0;
+    return a_null ? -1 : 1;
+  }
+  auto cmp3 = [](auto x, auto y) { return x < y ? -1 : (x > y ? 1 : 0); };
+  switch (column.type().kind) {
+    case TypeKind::kBool:
+      return cmp3(column.bool_at(a) ? 1 : 0, column.bool_at(b) ? 1 : 0);
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      return cmp3(column.int64_at(a), column.int64_at(b));
+    case TypeKind::kDouble:
+      return cmp3(column.double_at(a), column.double_at(b));
+    case TypeKind::kVarchar: {
+      const StringId x = column.string_at(a);
+      const StringId y = column.string_at(b);
+      if (x == y) return 0;
+      const StringPool& pool = table.pool();
+      return pool.view(x).compare(pool.view(y)) < 0 ? -1 : 1;
+    }
+  }
+  GEMS_UNREACHABLE("bad column kind");
+}
+
+std::vector<RowIndex> sorted_indices(const Table& src,
+                                     std::span<const SortKey> keys) {
+  std::vector<RowIndex> order(src.num_rows());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<RowIndex>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](RowIndex a, RowIndex b) {
+                     for (const auto& k : keys) {
+                       const int c = compare_table_cells(src, a, b, k.column);
+                       if (c != 0) return k.descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  return order;
+}
+
+namespace {
+
+std::vector<ColumnIndex> all_columns(const Table& t) {
+  std::vector<ColumnIndex> cols(t.num_columns());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    cols[i] = static_cast<ColumnIndex>(i);
+  }
+  return cols;
+}
+
+}  // namespace
+
+TablePtr order_by(const Table& src, std::span<const SortKey> keys,
+                  std::string name) {
+  const auto order = sorted_indices(src, keys);
+  return materialize(src, order, all_columns(src), std::move(name));
+}
+
+TablePtr distinct(const Table& src, std::string name) {
+  const auto cols = all_columns(src);
+  std::unordered_map<std::string, bool> seen;
+  std::vector<RowIndex> keep;
+  for (std::size_t r = 0; r < src.num_rows(); ++r) {
+    const RowIndex row = static_cast<RowIndex>(r);
+    if (seen.emplace(encode_row_key(src, row, cols), true).second) {
+      keep.push_back(row);
+    }
+  }
+  return materialize(src, keep, cols, std::move(name));
+}
+
+TablePtr head(const Table& src, std::size_t n, std::string name) {
+  std::vector<RowIndex> rows;
+  const std::size_t limit = std::min(n, src.num_rows());
+  rows.reserve(limit);
+  for (std::size_t r = 0; r < limit; ++r) {
+    rows.push_back(static_cast<RowIndex>(r));
+  }
+  return materialize(src, rows, all_columns(src), std::move(name));
+}
+
+}  // namespace gems::relational

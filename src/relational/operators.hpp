@@ -1,0 +1,127 @@
+// Relational operators — the complete surface of paper Table I:
+// select (selection + projection), order by, group by, distinct,
+// count/avg/min/max/sum, top n, and aliasing (handled by output names).
+// Joins implement the edge-creation semantics of Eq. 2 and the implicit
+// joins of many-to-one declarations (Figs. 4-5).
+//
+// All operators materialize new tables; intermediate results are the same
+// Table type users query, which is what makes GraQL's "results as tables"
+// composition (paper Sec. II-C1) free.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "relational/bound_expr.hpp"
+#include "storage/table.hpp"
+
+namespace gems::relational {
+
+using storage::ColumnIndex;
+using storage::RowIndex;
+using storage::Table;
+using storage::TablePtr;
+
+// ---- Selection ---------------------------------------------------------
+
+/// Row indices of `table` satisfying `predicate` (ascending order).
+std::vector<RowIndex> filter_rows(const Table& table,
+                                  const BoundExpr& predicate);
+
+/// Parallel selection over the intra-node thread pool (the shared-memory
+/// half of the paper's "massively parallel execution"): the table is
+/// chunked, chunks filter independently, results concatenate in order.
+/// Bit-identical to filter_rows (property-tested).
+std::vector<RowIndex> filter_rows_parallel(const Table& table,
+                                           const BoundExpr& predicate,
+                                           ThreadPool& pool);
+
+/// Copies `rows` × `cols` of `src` into a new table named `name`, keeping
+/// the source column names unless `rename` provides one per output column.
+TablePtr materialize(const Table& src, std::span<const RowIndex> rows,
+                     std::span<const ColumnIndex> cols, std::string name,
+                     const std::vector<std::string>* rename = nullptr);
+
+// ---- Projection with computed expressions -------------------------------
+
+struct OutputColumn {
+  std::string name;  // output name (covers `as x` aliasing)
+  BoundExprPtr expr;  // bound against a single-source TableScope
+};
+
+/// Evaluates each output expression for each listed row.
+TablePtr project(const Table& src, std::span<const RowIndex> rows,
+                 std::span<const OutputColumn> outputs, std::string name);
+
+// ---- Join ---------------------------------------------------------------
+
+/// Equi-join row pairs: every (l, r) with left[l][left_keys] ==
+/// right[r][right_keys]. Rows with NULL in any key never match (SQL
+/// semantics). Key columns must be pairwise comparable (checked).
+Result<std::vector<std::pair<RowIndex, RowIndex>>> hash_join_pairs(
+    const Table& left, std::span<const ColumnIndex> left_keys,
+    const Table& right, std::span<const ColumnIndex> right_keys);
+
+struct JoinOutput {
+  enum Side { kLeft, kRight } side;
+  ColumnIndex column;
+  std::string name;
+};
+
+/// Materializing equi-join.
+Result<TablePtr> hash_join(const Table& left,
+                           std::span<const ColumnIndex> left_keys,
+                           const Table& right,
+                           std::span<const ColumnIndex> right_keys,
+                           std::span<const JoinOutput> outputs,
+                           std::string name);
+
+// ---- Aggregation ----------------------------------------------------------
+
+enum class AggKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view agg_kind_name(AggKind kind) noexcept;
+
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  ColumnIndex input = 0;  // ignored for kCountStar
+  std::string output_name;
+};
+
+/// GROUP BY `keys` with the given aggregates. With empty `keys`, produces
+/// a single global-aggregate row (SQL scalar aggregation). NULLs are
+/// skipped by every aggregate except count(*). Output schema: the key
+/// columns (source names) followed by one column per aggregate.
+/// Groups appear in first-encounter order (stable).
+Result<TablePtr> group_by(const Table& src, std::span<const ColumnIndex> keys,
+                          std::span<const AggSpec> aggs, std::string name);
+
+// ---- Ordering / dedup / top -----------------------------------------------
+
+struct SortKey {
+  ColumnIndex column;
+  bool descending = false;
+};
+
+/// Stable-sorted row permutation of `src` (NULLs first ascending).
+std::vector<RowIndex> sorted_indices(const Table& src,
+                                     std::span<const SortKey> keys);
+
+/// Materializes `src` in sorted order.
+TablePtr order_by(const Table& src, std::span<const SortKey> keys,
+                  std::string name);
+
+/// Distinct rows (over all columns), first occurrence kept, input order.
+TablePtr distinct(const Table& src, std::string name);
+
+/// First `n` rows (paper's `top n`; callers sort first).
+TablePtr head(const Table& src, std::size_t n, std::string name);
+
+/// Three-way comparison of two rows on one column (NULL sorts first).
+int compare_table_cells(const Table& table, RowIndex a, RowIndex b,
+                        ColumnIndex col);
+
+}  // namespace gems::relational

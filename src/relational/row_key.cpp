@@ -1,0 +1,56 @@
+#include "relational/row_key.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace gems::relational {
+
+using storage::Column;
+using storage::TypeKind;
+
+void append_key_part(const storage::Table& table, storage::RowIndex row,
+                     storage::ColumnIndex col, std::string& out) {
+  const Column& column = table.column(col);
+  if (column.is_null(row)) {
+    out.push_back('\0');  // null marker
+    return;
+  }
+  out.push_back('\1');
+  auto append_raw = [&out](const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  switch (column.type().kind) {
+    case TypeKind::kBool: {
+      out.push_back(column.bool_at(row) ? '\1' : '\0');
+      break;
+    }
+    case TypeKind::kInt64:
+    case TypeKind::kDate: {
+      const std::int64_t v = column.int64_at(row);
+      append_raw(&v, sizeof(v));
+      break;
+    }
+    case TypeKind::kDouble: {
+      double v = column.double_at(row);
+      if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+      append_raw(&v, sizeof(v));
+      break;
+    }
+    case TypeKind::kVarchar: {
+      const StringId v = column.string_at(row);
+      append_raw(&v, sizeof(v));
+      break;
+    }
+  }
+}
+
+std::string encode_row_key(const storage::Table& table, storage::RowIndex row,
+                           std::span<const storage::ColumnIndex> cols) {
+  std::string out;
+  out.reserve(cols.size() * 9);
+  for (const auto col : cols) append_key_part(table, row, col, out);
+  return out;
+}
+
+}  // namespace gems::relational

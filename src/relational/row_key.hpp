@@ -1,0 +1,23 @@
+// Byte-string encoding of row keys for hash-based operators (GROUP BY,
+// DISTINCT, hash join) and for vertex-key identity in the graph layer.
+// Two rows encode to the same bytes iff their key columns are pairwise
+// equal under the column's type (strings compare by interned id, which the
+// shared StringPool makes equivalent to string equality).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "storage/table.hpp"
+
+namespace gems::relational {
+
+/// Appends the encoding of `table[row][col]` to `out`.
+void append_key_part(const storage::Table& table, storage::RowIndex row,
+                     storage::ColumnIndex col, std::string& out);
+
+/// Encodes the given columns of one row.
+std::string encode_row_key(const storage::Table& table, storage::RowIndex row,
+                           std::span<const storage::ColumnIndex> cols);
+
+}  // namespace gems::relational

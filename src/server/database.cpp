@@ -1,0 +1,257 @@
+#include "server/database.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "exec/lowering.hpp"
+#include "graql/ir.hpp"
+#include "graql/parser.hpp"
+#include "plan/planner.hpp"
+
+namespace gems::server {
+
+using exec::StatementResult;
+using graql::MetaCatalog;
+using graql::Script;
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  ctx_.pool = &pool_;
+  ctx_.data_dir = options_.data_dir;
+  ctx_.max_result_rows = options_.max_result_rows;
+  if (options_.enable_planner) {
+    // Sec. III-B's "dynamic properties of the data": graph statistics are
+    // collected lazily and cached until DDL/ingest changes the instances
+    // (graph_version), so per-query planning costs only the pivot choice.
+    ctx_.planner = [this](const exec::ConstraintNetwork& net) {
+      const plan::GraphStats& stats = cached_stats();
+      const plan::PathPlan plan =
+          plan::plan_network(net, ctx_.graph, pool_, stats);
+      return exec::NetworkPlan{plan.root_var, plan.constraint_order};
+    };
+  }
+  if (options_.parallel_statements) {
+    statement_pool_ = std::make_unique<ThreadPool>(
+        std::max(2u, std::thread::hardware_concurrency()));
+  }
+  if (options_.intra_node_threads > 0) {
+    intra_pool_ = std::make_unique<ThreadPool>(options_.intra_node_threads);
+    ctx_.intra_pool = intra_pool_.get();
+  }
+}
+
+Database::~Database() = default;
+
+const plan::GraphStats& Database::cached_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (stats_ == nullptr || stats_version_ != ctx_.graph_version) {
+    stats_ = std::make_unique<plan::GraphStats>(
+        plan::GraphStats::collect(ctx_.graph));
+    stats_version_ = ctx_.graph_version;
+  }
+  return *stats_;
+}
+
+MetaCatalog Database::meta_catalog() const {
+  MetaCatalog meta;
+  for (const auto& name : ctx_.tables.names()) {
+    auto table = ctx_.tables.find(name);
+    GEMS_CHECK(table.is_ok());
+    GEMS_CHECK(meta.add_table(name, (*table)->schema()).is_ok());
+  }
+  for (const auto& decl : ctx_.vertex_decls) {
+    auto table = ctx_.tables.find(decl.table);
+    GEMS_CHECK(table.is_ok());
+    GEMS_CHECK(meta.add_vertex(decl.name,
+                               graql::VertexMeta{decl.table,
+                                                 (*table)->schema(),
+                                                 decl.key_columns})
+                   .is_ok());
+  }
+  for (const auto& decl : ctx_.edge_decls) {
+    std::optional<storage::Schema> attrs;
+    auto id = ctx_.graph.find_edge_type(decl.name);
+    if (id.is_ok()) {
+      const storage::Table* attr_table =
+          ctx_.graph.edge_type(id.value()).attr_table();
+      if (attr_table != nullptr) attrs = attr_table->schema();
+    }
+    GEMS_CHECK(meta.add_edge(decl.name,
+                             graql::EdgeMeta{decl.source.vertex_type,
+                                             decl.target.vertex_type,
+                                             std::move(attrs)})
+                   .is_ok());
+  }
+  for (const auto& [name, subgraph] : ctx_.subgraphs) {
+    graql::SubgraphMeta sm;
+    for (graph::VertexTypeId t = 0; t < ctx_.graph.num_vertex_types(); ++t) {
+      const DynamicBitset* bits = subgraph->vertices(t);
+      if (bits != nullptr && bits->any()) {
+        sm.vertex_steps.insert(ctx_.graph.vertex_type(t).name());
+      }
+    }
+    meta.add_subgraph(name, std::move(sm));
+  }
+  return meta;
+}
+
+Status Database::check_script(const std::string& text,
+                              const relational::ParamMap* params) const {
+  GEMS_ASSIGN_OR_RETURN(Script script, graql::parse_script(text));
+  MetaCatalog meta = meta_catalog();
+  return graql::analyze_script(script, meta, params);
+}
+
+Result<std::string> Database::explain(const std::string& text,
+                                      const relational::ParamMap& params) {
+  GEMS_ASSIGN_OR_RETURN(Script script, graql::parse_script(text));
+  MetaCatalog meta = meta_catalog();
+  GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
+
+  std::ostringstream out;
+  const plan::GraphStats& stats = cached_stats();
+  exec::SubgraphResolver resolver =
+      [this](const std::string& name) -> Result<exec::SubgraphPtr> {
+    auto it = ctx_.subgraphs.find(name);
+    if (it == ctx_.subgraphs.end()) {
+      return not_found("unknown result subgraph '" + name + "'");
+    }
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < script.statements.size(); ++i) {
+    const graql::Statement& stmt = script.statements[i];
+    const std::string rendered = graql::to_string(stmt);
+    out << "-- statement " << (i + 1) << ": " << rendered.substr(0, 72)
+        << (rendered.size() > 72 ? "..." : "") << "\n";
+    const auto* q = std::get_if<graql::GraphQueryStmt>(&stmt);
+    if (q == nullptr) {
+      out << "   (no path plan)\n";
+      continue;
+    }
+    GEMS_ASSIGN_OR_RETURN(
+        exec::LoweredQuery lowered,
+        exec::lower_graph_query(*q, ctx_.graph, resolver, params, pool_));
+    for (std::size_t n = 0; n < lowered.networks.size(); ++n) {
+      const exec::ConstraintNetwork& net = lowered.networks[n];
+      if (lowered.networks.size() > 1) out << "   or-branch " << n << ":\n";
+      for (std::size_t v = 0; v < net.num_vars(); ++v) {
+        const double card = plan::estimate_cardinality(
+            net, ctx_.graph, pool_, stats, static_cast<int>(v));
+        out << "   var " << v << " (" << net.vars[v].display
+            << "): est. " << static_cast<std::size_t>(card)
+            << " candidates\n";
+      }
+      const plan::PathPlan path_plan = options_.enable_planner
+                                           ? plan::plan_network(
+                                                 net, ctx_.graph, pool_,
+                                                 stats)
+                                           : plan::lexical_plan(net);
+      out << "   pivot: var " << path_plan.root_var << " ("
+          << net.vars[path_plan.root_var].display << "), order:";
+      for (const int c : path_plan.constraint_order) out << " " << c;
+      out << (net.tree_exact ? "  [fixpoint-exact]\n"
+                             : "  [needs enumeration]\n");
+    }
+  }
+  const plan::Schedule schedule = plan::build_schedule(script);
+  out << "-- schedule: " << schedule.levels.size() << " level(s), max width "
+      << schedule.max_width() << "\n";
+  return out.str();
+}
+
+Result<std::vector<StatementResult>> Database::run_script(
+    const std::string& text, const relational::ParamMap& params) {
+  // 1. Front-end: parse.
+  GEMS_ASSIGN_OR_RETURN(Script script, graql::parse_script(text));
+
+  // 2. Front-end: static analysis against the metadata catalog
+  //    (Sec. III-A). Params are known here, so their types participate.
+  if (!options_.skip_static_analysis) {
+    MetaCatalog meta = meta_catalog();
+    GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
+  }
+
+  // 3. Hand-off: compile to the binary IR and decode it "on the backend"
+  //    (Sec. III). The decoded script is what executes.
+  if (!options_.skip_ir_roundtrip) {
+    const std::vector<std::uint8_t> ir = graql::encode_script(script);
+    GEMS_ASSIGN_OR_RETURN(script, graql::decode_script(ir));
+  }
+
+  // 4. Backend: dependence scheduling (Sec. III-B1) + execution.
+  ctx_.params = params;
+  const plan::Schedule schedule = plan::build_schedule(script);
+  return plan::run_scheduled(script, schedule, ctx_,
+                             options_.parallel_statements
+                                 ? statement_pool_.get()
+                                 : nullptr);
+}
+
+Result<StatementResult> Database::run_statement(
+    const std::string& text, const relational::ParamMap& params) {
+  GEMS_ASSIGN_OR_RETURN(auto results, run_script(text, params));
+  if (results.empty()) {
+    return invalid_argument("no statement in input");
+  }
+  return std::move(results.back());
+}
+
+Result<exec::SubgraphPtr> Database::subgraph(const std::string& name) const {
+  auto it = ctx_.subgraphs.find(name);
+  if (it == ctx_.subgraphs.end()) {
+    return not_found("no subgraph named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<CatalogEntry> Database::catalog() const {
+  std::vector<CatalogEntry> entries;
+  for (const auto& name : ctx_.tables.names()) {
+    auto table = ctx_.tables.find(name);
+    GEMS_CHECK(table.is_ok());
+    entries.push_back({CatalogEntry::Kind::kTable, name,
+                       (*table)->num_rows(), (*table)->byte_size()});
+  }
+  for (graph::VertexTypeId t = 0; t < ctx_.graph.num_vertex_types(); ++t) {
+    const auto& vt = ctx_.graph.vertex_type(t);
+    entries.push_back({CatalogEntry::Kind::kVertexType, vt.name(),
+                       vt.num_vertices(), 0});
+  }
+  for (graph::EdgeTypeId e = 0; e < ctx_.graph.num_edge_types(); ++e) {
+    const auto& et = ctx_.graph.edge_type(e);
+    entries.push_back(
+        {CatalogEntry::Kind::kEdgeType, et.name(), et.num_edges(),
+         et.forward().byte_size() + et.reverse().byte_size()});
+  }
+  for (const auto& [name, subgraph] : ctx_.subgraphs) {
+    entries.push_back({CatalogEntry::Kind::kSubgraph, name,
+                       subgraph->num_vertices() + subgraph->num_edges(), 0});
+  }
+  return entries;
+}
+
+std::string Database::catalog_summary() const {
+  std::ostringstream out;
+  auto kind_name = [](CatalogEntry::Kind k) {
+    switch (k) {
+      case CatalogEntry::Kind::kTable:
+        return "table   ";
+      case CatalogEntry::Kind::kVertexType:
+        return "vertex  ";
+      case CatalogEntry::Kind::kEdgeType:
+        return "edge    ";
+      case CatalogEntry::Kind::kSubgraph:
+        return "subgraph";
+    }
+    return "?";
+  };
+  for (const auto& e : catalog()) {
+    out << kind_name(e.kind) << "  " << e.name << "  " << e.instances
+        << " instances";
+    if (e.byte_size > 0) out << ", " << e.byte_size << " bytes";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gems::server

@@ -1,0 +1,138 @@
+// The GEMS database facade (paper Sec. III): ties together the three
+// system components —
+//   1. clients (Session / the graql_shell example) submit GraQL text,
+//   2. the server parses it, statically checks it against the metadata
+//      catalog (Sec. III-A), and compiles it to the binary IR,
+//   3. the "backend" decodes the IR, plans (Sec. III-B) and executes it
+//      over the in-memory tables and graph views.
+//
+// In this reproduction front-end and backend live in one process, but the
+// hand-off genuinely goes through the serialized IR, so splitting them
+// across a wire needs no query-path changes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "exec/executor.hpp"
+#include "graql/analyzer.hpp"
+#include "plan/schedule.hpp"
+#include "plan/stats.hpp"
+
+namespace gems::server {
+
+struct DatabaseOptions {
+  /// Directory prepended to relative `ingest` paths.
+  std::string data_dir;
+  /// Row cap for graph-query results (0 = unlimited).
+  std::uint64_t max_result_rows = 0;
+  /// Use the statistics-driven planner (Sec. III-B). Off = lexical order.
+  bool enable_planner = true;
+  /// Run independent statements of a script in parallel (Sec. III-B1).
+  bool parallel_statements = false;
+  /// Intra-node worker threads for parallel scans (0 = serial scans).
+  std::size_t intra_node_threads = 0;
+  /// Skip front-end static analysis (for ablation benches only).
+  bool skip_static_analysis = false;
+  /// Skip the IR encode/decode round-trip (for ablation benches only).
+  bool skip_ir_roundtrip = false;
+};
+
+/// Catalog entry sizes, as the GEMS server's metadata repository reports
+/// them ("updated information on the sizes of those objects").
+struct CatalogEntry {
+  enum class Kind { kTable, kVertexType, kEdgeType, kSubgraph };
+  Kind kind;
+  std::string name;
+  std::size_t instances = 0;   // rows / vertices / edges
+  std::size_t byte_size = 0;   // storage footprint (tables only)
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses, checks, compiles, schedules and executes a whole script.
+  /// `params` bind %placeholders%. Statements execute in dependence order;
+  /// results are returned in statement order.
+  Result<std::vector<exec::StatementResult>> run_script(
+      const std::string& text, const relational::ParamMap& params = {});
+
+  /// Runs a single statement.
+  Result<exec::StatementResult> run_statement(
+      const std::string& text, const relational::ParamMap& params = {});
+
+  /// Front-end static analysis only (no execution).
+  Status check_script(const std::string& text,
+                      const relational::ParamMap* params = nullptr) const;
+
+  /// Human-readable query plan (Sec. III-B) for a script, without
+  /// executing it: per-statement variable cardinality estimates, the
+  /// chosen pivot and propagation order, and the multi-statement schedule.
+  Result<std::string> explain(const std::string& text,
+                              const relational::ParamMap& params = {});
+
+  // ---- Introspection --------------------------------------------------
+  const storage::TableCatalog& tables() const { return ctx_.tables; }
+  const graph::GraphView& graph() const { return ctx_.graph; }
+  Result<storage::TablePtr> table(const std::string& name) const {
+    return ctx_.tables.find(name);
+  }
+  Result<exec::SubgraphPtr> subgraph(const std::string& name) const;
+  StringPool& pool() { return pool_; }
+  exec::ExecContext& context() { return ctx_; }
+
+  /// All catalog objects with sizes, sorted by name within kind.
+  std::vector<CatalogEntry> catalog() const;
+
+  /// Human-readable catalog dump.
+  std::string catalog_summary() const;
+
+  /// Snapshot of the live state as an analyzer catalog (the front-end's
+  /// metadata mirror).
+  graql::MetaCatalog meta_catalog() const;
+
+  /// Graph statistics (Sec. III-B), cached until DDL/ingest changes the
+  /// instance sets.
+  const plan::GraphStats& cached_stats();
+
+ private:
+  DatabaseOptions options_;
+  StringPool pool_;
+  exec::ExecContext ctx_;
+  std::unique_ptr<ThreadPool> statement_pool_;  // for parallel_statements
+  std::unique_ptr<ThreadPool> intra_pool_;      // for parallel scans
+
+  std::mutex stats_mutex_;
+  std::unique_ptr<plan::GraphStats> stats_;
+  std::uint64_t stats_version_ = ~0ull;
+};
+
+/// A client session: per-session parameters layered over the database
+/// (paper Sec. III component 1).
+class Session {
+ public:
+  explicit Session(Database& db) : db_(db) {}
+
+  void set_param(const std::string& name, storage::Value value) {
+    params_[name] = std::move(value);
+  }
+  void clear_params() { params_.clear(); }
+
+  Result<std::vector<exec::StatementResult>> run(const std::string& text) {
+    return db_.run_script(text, params_);
+  }
+
+ private:
+  Database& db_;
+  relational::ParamMap params_;
+};
+
+}  // namespace gems::server

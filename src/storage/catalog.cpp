@@ -1,0 +1,41 @@
+#include "storage/catalog.hpp"
+
+#include <algorithm>
+
+namespace gems::storage {
+
+Status TableCatalog::add(TablePtr table) {
+  GEMS_CHECK(table != nullptr);
+  const std::string& name = table->name();
+  if (!tables_.emplace(name, std::move(table)).second) {
+    return already_exists("table '" + name + "' already exists");
+  }
+  return Status::ok();
+}
+
+void TableCatalog::add_or_replace(TablePtr table) {
+  GEMS_CHECK(table != nullptr);
+  tables_[table->name()] = std::move(table);
+}
+
+Result<TablePtr> TableCatalog::find(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return not_found("no table named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool TableCatalog::contains(std::string_view name) const {
+  return tables_.contains(std::string(name));
+}
+
+std::vector<std::string> TableCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gems::storage

@@ -1,0 +1,33 @@
+// Name -> table registry. The GEMS server's metadata catalog (paper
+// Sec. III, component 2) wraps this with object-size statistics; the graph
+// builder uses it to resolve `from table` clauses.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "storage/table.hpp"
+
+namespace gems::storage {
+
+class TableCatalog {
+ public:
+  /// Registers a table; fails if the name is taken.
+  Status add(TablePtr table);
+
+  /// Registers or replaces (used by `into table` re-runs).
+  void add_or_replace(TablePtr table);
+
+  Result<TablePtr> find(std::string_view name) const;
+  bool contains(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const noexcept { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace gems::storage

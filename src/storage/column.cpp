@@ -1,0 +1,144 @@
+#include "storage/column.hpp"
+
+namespace gems::storage {
+
+Column::Column(DataType type) : type_(type) {
+  switch (type.kind) {
+    case TypeKind::kBool:
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      data_ = std::vector<std::int64_t>();
+      break;
+    case TypeKind::kDouble:
+      data_ = std::vector<double>();
+      break;
+    case TypeKind::kVarchar:
+      data_ = std::vector<StringId>();
+      break;
+  }
+}
+
+void Column::append_null() {
+  switch (type_.kind) {
+    case TypeKind::kBool:
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      ints().push_back(0);
+      break;
+    case TypeKind::kDouble:
+      doubles().push_back(0.0);
+      break;
+    case TypeKind::kVarchar:
+      strs().push_back(kInvalidStringId);
+      break;
+  }
+  valid_.resize(valid_.size() + 1, false);
+}
+
+void Column::append_bool(bool v) {
+  GEMS_DCHECK(type_.kind == TypeKind::kBool);
+  ints().push_back(v ? 1 : 0);
+  valid_.resize(valid_.size() + 1, true);
+}
+
+void Column::append_int64(std::int64_t v) {
+  GEMS_DCHECK(type_.kind == TypeKind::kInt64 || type_.kind == TypeKind::kDate ||
+              type_.kind == TypeKind::kBool);
+  ints().push_back(v);
+  valid_.resize(valid_.size() + 1, true);
+}
+
+void Column::append_double(double v) {
+  GEMS_DCHECK(type_.kind == TypeKind::kDouble);
+  doubles().push_back(v);
+  valid_.resize(valid_.size() + 1, true);
+}
+
+void Column::append_string(StringId v) {
+  GEMS_DCHECK(type_.kind == TypeKind::kVarchar);
+  strs().push_back(v);
+  valid_.resize(valid_.size() + 1, true);
+}
+
+void Column::append_value(const Value& v, StringPool& pool) {
+  if (v.is_null()) {
+    append_null();
+    return;
+  }
+  switch (type_.kind) {
+    case TypeKind::kBool:
+      append_bool(v.as_bool());
+      break;
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      append_int64(v.as_int64());
+      break;
+    case TypeKind::kDouble:
+      // Accept int64 constants into double columns (numeric promotion).
+      append_double(v.kind() == TypeKind::kInt64
+                        ? static_cast<double>(v.as_int64())
+                        : v.as_double());
+      break;
+    case TypeKind::kVarchar:
+      append_string(pool.intern(v.as_string()));
+      break;
+  }
+}
+
+void Column::append_from(const Column& src, RowIndex row) {
+  GEMS_DCHECK(src.type_.kind == type_.kind);
+  if (src.is_null(row)) {
+    append_null();
+    return;
+  }
+  switch (type_.kind) {
+    case TypeKind::kBool:
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      append_int64(src.ints()[row]);
+      break;
+    case TypeKind::kDouble:
+      append_double(src.doubles()[row]);
+      break;
+    case TypeKind::kVarchar:
+      append_string(src.strs()[row]);
+      break;
+  }
+}
+
+Value Column::value_at(RowIndex row, const StringPool& pool) const {
+  if (is_null(row)) return Value::null();
+  switch (type_.kind) {
+    case TypeKind::kBool:
+      return Value::boolean(bool_at(row));
+    case TypeKind::kInt64:
+      return Value::int64(int64_at(row));
+    case TypeKind::kDate:
+      return Value::date(int64_at(row));
+    case TypeKind::kDouble:
+      return Value::float64(double_at(row));
+    case TypeKind::kVarchar:
+      return Value::varchar(std::string(pool.view(string_at(row))));
+  }
+  GEMS_UNREACHABLE("bad column kind");
+}
+
+std::size_t Column::byte_size() const noexcept {
+  std::size_t bytes = valid_.size() / 8;
+  switch (type_.kind) {
+    case TypeKind::kBool:
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      bytes += ints().size() * sizeof(std::int64_t);
+      break;
+    case TypeKind::kDouble:
+      bytes += doubles().size() * sizeof(double);
+      break;
+    case TypeKind::kVarchar:
+      bytes += strs().size() * sizeof(StringId);
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace gems::storage

@@ -1,0 +1,110 @@
+// Columnar storage. One Column per attribute; Int64/Date/Bool share the
+// int64 representation, Varchar stores interned StringIds (see
+// common/string_pool.hpp). Nulls are tracked in a validity bitmap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/check.hpp"
+#include "common/string_pool.hpp"
+#include "storage/type.hpp"
+#include "storage/value.hpp"
+
+namespace gems::storage {
+
+using RowIndex = std::uint32_t;
+
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  const DataType& type() const noexcept { return type_; }
+  std::size_t size() const noexcept { return valid_.size(); }
+
+  // ---- Appending (ingest path) ----------------------------------------
+  void append_null();
+  void append_bool(bool v);
+  void append_int64(std::int64_t v);  // also used for dates
+  void append_double(double v);
+  void append_string(StringId v);
+
+  /// Appends a boxed value; the value's kind must match the column type
+  /// (callers validate beforehand). `pool` interns varchar payloads.
+  void append_value(const Value& v, StringPool& pool);
+
+  /// Appends row `row` of `src` (same type kind; pools must be shared so
+  /// string ids stay valid).
+  void append_from(const Column& src, RowIndex row);
+
+  // ---- Reading (scan path) ---------------------------------------------
+  bool is_null(RowIndex row) const noexcept { return !valid_.test(row); }
+  const DynamicBitset& validity() const noexcept { return valid_; }
+
+  bool bool_at(RowIndex row) const {
+    GEMS_DCHECK(type_.kind == TypeKind::kBool);
+    return ints()[row] != 0;
+  }
+  std::int64_t int64_at(RowIndex row) const {
+    GEMS_DCHECK(type_.kind == TypeKind::kInt64 ||
+                type_.kind == TypeKind::kDate ||
+                type_.kind == TypeKind::kBool);
+    return ints()[row];
+  }
+  double double_at(RowIndex row) const {
+    GEMS_DCHECK(type_.kind == TypeKind::kDouble);
+    return doubles()[row];
+  }
+  StringId string_at(RowIndex row) const {
+    GEMS_DCHECK(type_.kind == TypeKind::kVarchar);
+    return strs()[row];
+  }
+
+  /// Numeric value with promotion; column must be numeric.
+  double numeric_at(RowIndex row) const {
+    return type_.kind == TypeKind::kDouble ? double_at(row)
+                                           : static_cast<double>(int64_at(row));
+  }
+
+  /// Boxes row `row` (strings are copied out of `pool`).
+  Value value_at(RowIndex row, const StringPool& pool) const;
+
+  /// Raw typed spans for vectorized scans.
+  std::span<const std::int64_t> int_span() const { return ints(); }
+  std::span<const double> double_span() const { return doubles(); }
+  std::span<const StringId> string_span() const { return strs(); }
+
+  /// Approximate in-memory footprint in bytes (catalog sizing, Sec. III).
+  std::size_t byte_size() const noexcept;
+
+ private:
+  const std::vector<std::int64_t>& ints() const {
+    return std::get<std::vector<std::int64_t>>(data_);
+  }
+  const std::vector<double>& doubles() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  const std::vector<StringId>& strs() const {
+    return std::get<std::vector<StringId>>(data_);
+  }
+  std::vector<std::int64_t>& ints() {
+    return std::get<std::vector<std::int64_t>>(data_);
+  }
+  std::vector<double>& doubles() {
+    return std::get<std::vector<double>>(data_);
+  }
+  std::vector<StringId>& strs() {
+    return std::get<std::vector<StringId>>(data_);
+  }
+
+  DataType type_;
+  std::variant<std::vector<std::int64_t>, std::vector<double>,
+               std::vector<StringId>>
+      data_;
+  DynamicBitset valid_;
+};
+
+}  // namespace gems::storage

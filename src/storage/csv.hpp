@@ -1,0 +1,56 @@
+// CSV ingest and export (paper Sec. II-A2: `ingest table Products
+// products.csv` parses the file "according to the data types of the
+// attributes in the corresponding table").
+//
+// Dialect: RFC 4180 — comma separator, double-quote quoting with ""
+// escapes, quoted fields may contain commas and newlines. An empty
+// unquoted field is NULL; an empty quoted field is the empty string.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "storage/table.hpp"
+
+namespace gems::storage {
+
+struct CsvOptions {
+  /// When true, the first record is a header naming the columns; columns
+  /// may then appear in any order (they are matched by name). When false,
+  /// fields must appear in schema order.
+  bool has_header = false;
+  char separator = ',';
+};
+
+struct CsvIngestStats {
+  std::size_t rows = 0;
+  std::size_t bytes = 0;
+};
+
+/// Splits one CSV record (already extracted, no trailing newline) into
+/// fields. Returns an error on unbalanced quotes. `was_quoted[i]` reports
+/// whether field i was quoted (distinguishes NULL from "").
+Result<std::vector<std::string>> split_csv_record(
+    std::string_view record, char separator,
+    std::vector<bool>* was_quoted = nullptr);
+
+/// Parses `text` and appends every record to `table`, converting each field
+/// to the column's declared type. Atomic: on any error the table is left
+/// untouched and the error names the offending line.
+Result<CsvIngestStats> ingest_csv_text(Table& table, std::string_view text,
+                                       const CsvOptions& options = {});
+
+/// Reads `path` and ingests it (see ingest_csv_text).
+Result<CsvIngestStats> ingest_csv_file(Table& table, const std::string& path,
+                                       const CsvOptions& options = {});
+
+/// Writes the table as CSV (with a header row) to `out`.
+void write_csv(const Table& table, std::ostream& out);
+
+/// Writes the table as CSV to `path`.
+Status write_csv_file(const Table& table, const std::string& path);
+
+}  // namespace gems::storage

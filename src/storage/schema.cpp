@@ -1,0 +1,42 @@
+#include "storage/schema.hpp"
+
+#include "common/check.hpp"
+
+namespace gems::storage {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (ColumnIndex i = 0; i < columns_.size(); ++i) {
+    const bool inserted = index_.emplace(columns_[i].name, i).second;
+    GEMS_CHECK_MSG(inserted, "duplicate column name in schema");
+  }
+}
+
+Result<Schema> Schema::create(std::vector<ColumnDef> columns) {
+  std::unordered_map<std::string, ColumnIndex> seen;
+  for (ColumnIndex i = 0; i < columns.size(); ++i) {
+    if (!seen.emplace(columns[i].name, i).second) {
+      return already_exists("duplicate column '" + columns[i].name + "'");
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+std::optional<ColumnIndex> Schema::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Schema::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += columns_[i].type.to_string();
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace gems::storage

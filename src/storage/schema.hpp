@@ -1,0 +1,52 @@
+// Table schemas: ordered, named, strongly-typed attribute lists
+// (paper Sec. II-A: "The tables' columns, which we refer to as attributes
+// in our data model, are strongly typed").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "storage/type.hpp"
+
+namespace gems::storage {
+
+using ColumnIndex = std::uint32_t;
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  /// Fails on duplicate column names.
+  static Result<Schema> create(std::vector<ColumnDef> columns);
+
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  const ColumnDef& column(ColumnIndex i) const { return columns_.at(i); }
+  const std::vector<ColumnDef>& columns() const noexcept { return columns_; }
+
+  /// Case-sensitive lookup (GraQL identifiers are case-sensitive, matching
+  /// the paper's examples which rely on casing like ProductVtx).
+  std::optional<ColumnIndex> find(std::string_view name) const;
+
+  bool operator==(const Schema&) const = default;
+
+  /// "(id varchar(10), price float, ...)"
+  std::string to_string() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, ColumnIndex> index_;
+};
+
+}  // namespace gems::storage

@@ -1,0 +1,90 @@
+#include "storage/table.hpp"
+
+#include <sstream>
+
+namespace gems::storage {
+
+Table::Table(std::string name, Schema schema, StringPool& pool)
+    : name_(std::move(name)), schema_(std::move(schema)), pool_(&pool) {
+  columns_.reserve(schema_.num_columns());
+  for (const auto& def : schema_.columns()) columns_.emplace_back(def.type);
+}
+
+Status Table::append_row(std::span<const Value> values) {
+  if (values.size() != columns_.size()) {
+    return invalid_argument("row arity " + std::to_string(values.size()) +
+                            " != table arity " +
+                            std::to_string(columns_.size()) + " for table '" +
+                            name_ + "'");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    const DataType& t = schema_.column(static_cast<ColumnIndex>(i)).type;
+    const bool kind_ok =
+        v.kind() == t.kind ||
+        (t.kind == TypeKind::kDouble && v.kind() == TypeKind::kInt64);
+    if (!kind_ok) {
+      return type_error("column '" +
+                        schema_.column(static_cast<ColumnIndex>(i)).name +
+                        "' of table '" + name_ + "' expects " + t.to_string() +
+                        ", got " + std::string(type_kind_name(v.kind())));
+    }
+    if (t.kind == TypeKind::kVarchar &&
+        v.as_string().size() > t.varchar_length) {
+      return invalid_argument(
+          "value '" + v.as_string() + "' exceeds " + t.to_string() +
+          " for column '" +
+          schema_.column(static_cast<ColumnIndex>(i)).name + "' of table '" +
+          name_ + "'");
+    }
+  }
+  append_row_unchecked(values);
+  return Status::ok();
+}
+
+void Table::append_row_unchecked(std::span<const Value> values) {
+  GEMS_DCHECK(values.size() == columns_.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    columns_[i].append_value(values[i], *pool_);
+  }
+  ++num_rows_;
+}
+
+std::vector<Value> Table::row(RowIndex r) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out.push_back(value_at(r, static_cast<ColumnIndex>(c)));
+  }
+  return out;
+}
+
+std::size_t Table::byte_size() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col.byte_size();
+  return bytes;
+}
+
+std::string Table::to_string(std::size_t max_rows) const {
+  std::ostringstream out;
+  out << name_ << " ";
+  for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+    out << (c == 0 ? "| " : " | ")
+        << schema_.column(static_cast<ColumnIndex>(c)).name;
+  }
+  out << " |  (" << num_rows_ << " rows)\n";
+  const std::size_t limit = std::min(num_rows_, max_rows);
+  for (std::size_t r = 0; r < limit; ++r) {
+    for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+      out << (c == 0 ? "| " : " | ")
+          << value_at(static_cast<RowIndex>(r), static_cast<ColumnIndex>(c))
+                 .to_string();
+    }
+    out << " |\n";
+  }
+  if (limit < num_rows_) out << "... (" << (num_rows_ - limit) << " more)\n";
+  return out.str();
+}
+
+}  // namespace gems::storage

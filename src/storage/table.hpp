@@ -1,0 +1,73 @@
+// In-memory columnar table — the universal storage unit of the GEMS data
+// model (paper Sec. I design principle 1: "All data is stored in tabular
+// form"). Vertex and edge types are views over these tables (src/graph).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/string_pool.hpp"
+#include "storage/column.hpp"
+#include "storage/schema.hpp"
+#include "storage/value.hpp"
+
+namespace gems::storage {
+
+class Table {
+ public:
+  /// `pool` is the database-wide string interner; it must outlive the table.
+  Table(std::string name, Schema schema, StringPool& pool);
+
+  const std::string& name() const noexcept { return name_; }
+  const Schema& schema() const noexcept { return schema_; }
+  StringPool& pool() const noexcept { return *pool_; }
+
+  std::size_t num_rows() const noexcept { return num_rows_; }
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+
+  const Column& column(ColumnIndex i) const { return columns_.at(i); }
+  Column& column_mut(ColumnIndex i) { return columns_.at(i); }
+
+  /// Appends one row after validating arity, kinds and varchar lengths.
+  Status append_row(std::span<const Value> values);
+
+  /// Unchecked fast-path append used by generators and operators that have
+  /// already validated types.
+  void append_row_unchecked(std::span<const Value> values);
+
+  /// For operators that append cells column-by-column via column_mut():
+  /// registers that one full row has been appended to every column.
+  void bump_row_count() {
+#ifndef NDEBUG
+    for (const auto& c : columns_) GEMS_DCHECK(c.size() == num_rows_ + 1);
+#endif
+    ++num_rows_;
+  }
+
+  Value value_at(RowIndex row, ColumnIndex col) const {
+    return columns_[col].value_at(row, *pool_);
+  }
+
+  /// Boxes an entire row.
+  std::vector<Value> row(RowIndex row) const;
+
+  /// Approximate in-memory footprint (catalog sizing, paper Sec. III).
+  std::size_t byte_size() const noexcept;
+
+  /// Debug rendering: header + first `max_rows` rows.
+  std::string to_string(std::size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  StringPool* pool_;
+  std::vector<Column> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace gems::storage

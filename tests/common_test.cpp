@@ -1,0 +1,293 @@
+// Unit tests for src/common: Status/Result, bitset, string pool, PRNG,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bitset.hpp"
+#include "common/hash.hpp"
+#include "common/prng.hpp"
+#include "common/status.hpp"
+#include "common/string_pool.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gems {
+namespace {
+
+// ---- Status / Result ----------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = parse_error("unexpected ')'");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.to_string(), "ParseError: unexpected ')'");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = not_found("no column 'x'").with_context("binding query");
+  EXPECT_EQ(s.message(), "binding query: no column 'x'");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::ok().with_context("ctx").is_ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = io_error("disk gone");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return invalid_argument("odd");
+  return x / 2;
+}
+
+Result<int> quarter(int x) {
+  GEMS_ASSIGN_OR_RETURN(int h, half(x));
+  GEMS_ASSIGN_OR_RETURN(int q, half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(quarter(8).value(), 2);
+  EXPECT_FALSE(quarter(6).is_ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(quarter(7).is_ok());
+}
+
+// ---- DynamicBitset --------------------------------------------------------
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BitsetTest, InitialValueTrueRespectsSize) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(BitsetTest, SetAllClearsTrailingBits) {
+  DynamicBitset b(65);
+  b.set_all();
+  EXPECT_EQ(b.count(), 65u);
+}
+
+TEST(BitsetTest, AndOrSubtract) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(50);
+  a.set(99);
+  b.set(50);
+  b.set(60);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 4u);
+  DynamicBitset d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_FALSE(d.test(50));
+}
+
+TEST(BitsetTest, ForEachVisitsAscending) {
+  DynamicBitset b(200);
+  const std::vector<std::size_t> want = {3, 63, 64, 128, 199};
+  for (auto i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitsetTest, ResizeGrowWithValue) {
+  DynamicBitset b(10);
+  b.set(3);
+  b.resize(100, true);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_FALSE(b.test(4));  // old region keeps old values
+  EXPECT_TRUE(b.test(10));  // new region filled with true
+  EXPECT_TRUE(b.test(99));
+  EXPECT_EQ(b.count(), 91u);
+}
+
+TEST(BitsetTest, ToIndices) {
+  DynamicBitset b(10);
+  b.set(2);
+  b.set(7);
+  EXPECT_EQ(b.to_indices(), (std::vector<std::uint32_t>{2, 7}));
+}
+
+// ---- StringPool -----------------------------------------------------------
+
+TEST(StringPoolTest, InternDeduplicates) {
+  StringPool pool;
+  const StringId a = pool.intern("hello");
+  const StringId b = pool.intern("world");
+  const StringId c = pool.intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.view(a), "hello");
+  EXPECT_EQ(pool.view(b), "world");
+}
+
+TEST(StringPoolTest, FindWithoutInterning) {
+  StringPool pool;
+  EXPECT_EQ(pool.find("missing"), kInvalidStringId);
+  const StringId a = pool.intern("present");
+  EXPECT_EQ(pool.find("present"), a);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, EmptyStringIsInternable) {
+  StringPool pool;
+  const StringId a = pool.intern("");
+  EXPECT_EQ(pool.view(a), "");
+}
+
+TEST(StringPoolTest, ByteSizeAccumulates) {
+  StringPool pool;
+  pool.intern("abc");
+  pool.intern("de");
+  pool.intern("abc");  // duplicate: not counted twice
+  EXPECT_EQ(pool.byte_size(), 5u);
+}
+
+TEST(StringPoolTest, ConcurrentInternIsConsistent) {
+  StringPool pool;
+  ThreadPool workers(4);
+  std::vector<std::future<void>> futs;
+  std::array<std::array<StringId, 100>, 4> ids{};
+  for (int t = 0; t < 4; ++t) {
+    futs.push_back(workers.submit([&pool, &ids, t] {
+      for (int i = 0; i < 100; ++i) {
+        ids[t][i] = pool.intern("str" + std::to_string(i));
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(pool.size(), 100u);
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(ids[t], ids[0]);
+}
+
+// ---- PRNG -------------------------------------------------------------------
+
+TEST(PrngTest, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(PrngTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(PrngTest, RangeInclusive) {
+  Xoshiro256 rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(PrngTest, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+// ---- hash -----------------------------------------------------------------
+
+TEST(HashTest, Mix64SpreadsSequentialValues) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 1000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(HashTest, PairHashDistinguishesOrder) {
+  PairHash h;
+  EXPECT_NE(h(std::make_pair(1, 2)), h(std::make_pair(2, 1)));
+}
+
+}  // namespace
+}  // namespace gems

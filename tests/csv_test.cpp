@@ -1,0 +1,204 @@
+// Tests for CSV ingest/export (paper Sec. II-A2 data-ingest semantics):
+// typed parsing, RFC 4180 quoting, atomicity, header handling, round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "storage/csv.hpp"
+
+namespace gems::storage {
+namespace {
+
+Schema offers_schema() {
+  return Schema({{"id", DataType::varchar(10)},
+                 {"price", DataType::float64()},
+                 {"deliveryDays", DataType::int64()},
+                 {"validFrom", DataType::date()}});
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  StringPool pool_;
+};
+
+TEST_F(CsvTest, BasicTypedIngest) {
+  Table t("Offers", offers_schema(), pool_);
+  auto stats = ingest_csv_text(t,
+                               "o1,9.50,3,2008-06-20\n"
+                               "o2,100,14,2009-01-02\n");
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(stats->rows, 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.value_at(0, 0).as_string(), "o1");
+  EXPECT_DOUBLE_EQ(t.value_at(0, 1).as_double(), 9.5);
+  EXPECT_EQ(t.value_at(1, 2).as_int64(), 14);
+  EXPECT_EQ(t.value_at(1, 3).to_string(), "2009-01-02");
+}
+
+TEST_F(CsvTest, EmptyUnquotedFieldIsNull) {
+  Table t("Offers", offers_schema(), pool_);
+  ASSERT_TRUE(ingest_csv_text(t, "o1,,3,2008-06-20\n").is_ok());
+  EXPECT_TRUE(t.value_at(0, 1).is_null());
+}
+
+TEST_F(CsvTest, EmptyQuotedFieldIsEmptyString) {
+  Table t("T", Schema({{"s", DataType::varchar(10)}}), pool_);
+  ASSERT_TRUE(ingest_csv_text(t, "\"\"\n").is_ok());
+  EXPECT_FALSE(t.value_at(0, 0).is_null());
+  EXPECT_EQ(t.value_at(0, 0).as_string(), "");
+}
+
+TEST_F(CsvTest, QuotedFieldsWithCommasNewlinesAndEscapes) {
+  Table t("T", Schema({{"a", DataType::varchar(40)},
+                       {"b", DataType::int64()}}),
+          pool_);
+  ASSERT_TRUE(
+      ingest_csv_text(t, "\"hello, \"\"world\"\"\nsecond line\",7\n")
+          .is_ok());
+  EXPECT_EQ(t.value_at(0, 0).as_string(), "hello, \"world\"\nsecond line");
+  EXPECT_EQ(t.value_at(0, 1).as_int64(), 7);
+}
+
+TEST_F(CsvTest, CrLfLineEndings) {
+  Table t("Offers", offers_schema(), pool_);
+  ASSERT_TRUE(
+      ingest_csv_text(t, "o1,1.0,1,2008-01-01\r\no2,2.0,2,2008-01-02\r\n")
+          .is_ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(CsvTest, MissingFinalNewline) {
+  Table t("Offers", offers_schema(), pool_);
+  ASSERT_TRUE(ingest_csv_text(t, "o1,1.0,1,2008-01-01").is_ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST_F(CsvTest, HeaderReordersColumns) {
+  Table t("Offers", offers_schema(), pool_);
+  CsvOptions opts;
+  opts.has_header = true;
+  ASSERT_TRUE(ingest_csv_text(t,
+                              "price,id,validFrom,deliveryDays\n"
+                              "5.5,o9,2010-10-10,2\n",
+                              opts)
+                  .is_ok());
+  EXPECT_EQ(t.value_at(0, 0).as_string(), "o9");
+  EXPECT_DOUBLE_EQ(t.value_at(0, 1).as_double(), 5.5);
+  EXPECT_EQ(t.value_at(0, 2).as_int64(), 2);
+}
+
+TEST_F(CsvTest, HeaderRejectsUnknownAndDuplicateColumns) {
+  Table t("Offers", offers_schema(), pool_);
+  CsvOptions opts;
+  opts.has_header = true;
+  EXPECT_FALSE(
+      ingest_csv_text(t, "price,id,validFrom,nosuch\n1,a,2010-01-01,2\n",
+                      opts)
+          .is_ok());
+  EXPECT_FALSE(
+      ingest_csv_text(t, "price,price,validFrom,deliveryDays\n", opts)
+          .is_ok());
+}
+
+TEST_F(CsvTest, TypeErrorNamesLine) {
+  Table t("Offers", offers_schema(), pool_);
+  auto r = ingest_csv_text(t,
+                           "o1,1.0,1,2008-01-01\n"
+                           "o2,notanumber,1,2008-01-01\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().to_string();
+}
+
+TEST_F(CsvTest, IngestIsAtomicOnError) {
+  Table t("Offers", offers_schema(), pool_);
+  ASSERT_FALSE(ingest_csv_text(t,
+                               "o1,1.0,1,2008-01-01\n"
+                               "o2,bad,1,2008-01-01\n")
+                   .is_ok());
+  // Paper Sec. II-A2: ingest is atomic; the good first row must not stick.
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(CsvTest, ArityMismatchRejected) {
+  Table t("Offers", offers_schema(), pool_);
+  EXPECT_FALSE(ingest_csv_text(t, "o1,1.0,1\n").is_ok());
+  EXPECT_FALSE(ingest_csv_text(t, "o1,1.0,1,2008-01-01,extra\n").is_ok());
+}
+
+TEST_F(CsvTest, UnterminatedQuoteRejected) {
+  Table t("T", Schema({{"s", DataType::varchar(10)}}), pool_);
+  EXPECT_FALSE(ingest_csv_text(t, "\"oops\n").is_ok());
+}
+
+TEST_F(CsvTest, VarcharOverflowRejected) {
+  Table t("T", Schema({{"s", DataType::varchar(3)}}), pool_);
+  EXPECT_FALSE(ingest_csv_text(t, "abcd\n").is_ok());
+}
+
+TEST_F(CsvTest, BooleanParsing) {
+  Table t("T", Schema({{"b", DataType::boolean()}}), pool_);
+  ASSERT_TRUE(ingest_csv_text(t, "true\nfalse\n1\n0\n").is_ok());
+  EXPECT_TRUE(t.value_at(0, 0).as_bool());
+  EXPECT_FALSE(t.value_at(1, 0).as_bool());
+  EXPECT_TRUE(t.value_at(2, 0).as_bool());
+  EXPECT_FALSE(ingest_csv_text(t, "maybe\n").is_ok());
+}
+
+TEST_F(CsvTest, WriteThenIngestRoundTrip) {
+  Table t("Offers", offers_schema(), pool_);
+  ASSERT_TRUE(ingest_csv_text(t,
+                              "o1,9.50,3,2008-06-20\n"
+                              "o2,,14,\n"
+                              "\"we,ird\",1.5,0,1999-12-31\n")
+                  .is_ok());
+  std::ostringstream out;
+  write_csv(t, out);
+
+  Table back("Offers2", offers_schema(), pool_);
+  CsvOptions opts;
+  opts.has_header = true;
+  ASSERT_TRUE(ingest_csv_text(back, out.str(), opts).is_ok());
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (RowIndex r = 0; r < t.num_rows(); ++r) {
+    for (ColumnIndex c = 0; c < t.num_columns(); ++c) {
+      EXPECT_TRUE(back.value_at(r, c) == t.value_at(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_F(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gems_csv_test.csv";
+  Table t("Offers", offers_schema(), pool_);
+  ASSERT_TRUE(ingest_csv_text(t, "o1,9.50,3,2008-06-20\n").is_ok());
+  ASSERT_TRUE(write_csv_file(t, path).is_ok());
+
+  Table back("B", offers_schema(), pool_);
+  CsvOptions opts;
+  opts.has_header = true;
+  auto r = ingest_csv_file(back, path, opts);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(back.num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  Table t("T", Schema({{"x", DataType::int64()}}), pool_);
+  EXPECT_EQ(ingest_csv_file(t, "/nonexistent/nope.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, SplitCsvRecordHelper) {
+  std::vector<bool> quoted;
+  auto fields = split_csv_record("a,\"b,c\",", ',', &quoted);
+  ASSERT_TRUE(fields.is_ok());
+  EXPECT_EQ(fields.value(),
+            (std::vector<std::string>{"a", "b,c", ""}));
+  EXPECT_EQ(quoted, (std::vector<bool>{false, true, false}));
+}
+
+}  // namespace
+}  // namespace gems::storage

@@ -1,0 +1,320 @@
+// Tests for the simulated cluster: messaging primitives, hash
+// partitioning, and equivalence of distributed and single-node matching.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "bsbm/generator.hpp"
+#include "dist/dist_aggregate.hpp"
+#include "dist/dist_matcher.hpp"
+#include "dist/partition.hpp"
+#include "dist/runtime.hpp"
+#include "exec/lowering.hpp"
+#include "graql/parser.hpp"
+
+namespace gems::dist {
+namespace {
+
+// ---- Runtime primitives ------------------------------------------------------
+
+TEST(RuntimeTest, PointToPointMessaging) {
+  SimCluster cluster(3);
+  std::array<std::atomic<int>, 3> received{};
+  cluster.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<std::uint8_t> payload;
+      put_u32(payload, 42);
+      ctx.send(1, 7, payload);
+      ctx.send(2, 7, payload);
+    } else {
+      Message m = ctx.recv();
+      EXPECT_EQ(m.from, 0);
+      EXPECT_EQ(m.tag, 7);
+      std::size_t pos = 0;
+      received[ctx.rank()] = static_cast<int>(get_u32(m.payload, pos));
+    }
+  });
+  EXPECT_EQ(received[1].load(), 42);
+  EXPECT_EQ(received[2].load(), 42);
+  EXPECT_EQ(cluster.total_messages(), 2u);
+  EXPECT_EQ(cluster.total_bytes(), 8u);
+}
+
+TEST(RuntimeTest, BarrierSynchronizes) {
+  SimCluster cluster(4);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  cluster.run([&](RankCtx& ctx) {
+    before.fetch_add(1);
+    ctx.barrier();
+    if (before.load() != 4) violated = true;
+    ctx.barrier();  // reusable
+    ctx.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(RuntimeTest, AllreduceSum) {
+  SimCluster cluster(5);
+  std::array<std::uint64_t, 5> results{};
+  cluster.run([&](RankCtx& ctx) {
+    results[ctx.rank()] =
+        ctx.allreduce_sum(static_cast<std::uint64_t>(ctx.rank() + 1));
+  });
+  for (const auto r : results) EXPECT_EQ(r, 15u);  // 1+2+3+4+5
+  // Messages: 4 up + 4 down.
+  EXPECT_EQ(cluster.total_messages(), 8u);
+}
+
+TEST(RuntimeTest, SingleRankClusterWorks) {
+  SimCluster cluster(1);
+  std::uint64_t result = 0;
+  cluster.run([&](RankCtx& ctx) {
+    ctx.barrier();
+    result = ctx.allreduce_sum(9);
+  });
+  EXPECT_EQ(result, 9u);
+  EXPECT_EQ(cluster.total_messages(), 0u);
+}
+
+// ---- Fixture with generated Berlin data ----------------------------------------
+
+class DistTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = bsbm::make_populated_database(
+        bsbm::GeneratorConfig::derive(150, 11));
+    GEMS_CHECK_MSG(db.is_ok(), db.status().to_string().c_str());
+    db_ = std::move(db).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  exec::ConstraintNetwork lower(const std::string& text) {
+    auto stmt = graql::parse_statement(text);
+    GEMS_CHECK_MSG(stmt.is_ok(), stmt.status().to_string().c_str());
+    const auto& q = std::get<graql::GraphQueryStmt>(stmt.value());
+    auto resolver = [](const std::string&) -> Result<exec::SubgraphPtr> {
+      return not_found("none");
+    };
+    auto lowered =
+        exec::lower_graph_query(q, db_->graph(), resolver, {}, db_->pool());
+    GEMS_CHECK_MSG(lowered.is_ok(), lowered.status().to_string().c_str());
+    return std::move(lowered.value().networks[0]);
+  }
+
+  static server::Database* db_;
+};
+
+server::Database* DistTest::db_ = nullptr;
+
+// ---- Partitioning -----------------------------------------------------------
+
+TEST_F(DistTest, PartitionCoversEveryVertexExactlyOnce) {
+  const VertexPartition partition(db_->graph(), 4);
+  std::size_t total_owned = 0;
+  for (int r = 0; r < 4; ++r) total_owned += partition.owned_count(r);
+  EXPECT_EQ(total_owned, db_->graph().total_vertices());
+
+  // Ownership is consistent with the bitsets.
+  for (graph::VertexTypeId t = 0; t < db_->graph().num_vertex_types(); ++t) {
+    const std::size_t n = db_->graph().vertex_type(t).num_vertices();
+    for (graph::VertexIndex v = 0; v < n; ++v) {
+      int owners = 0;
+      for (int r = 0; r < 4; ++r) {
+        if (partition.owned(r, t).test(v)) {
+          ++owners;
+          EXPECT_EQ(partition.owner(t, v), r);
+        }
+      }
+      EXPECT_EQ(owners, 1);
+    }
+  }
+}
+
+TEST_F(DistTest, PartitionIsRoughlyBalanced) {
+  const VertexPartition partition(db_->graph(), 4);
+  const double expected =
+      static_cast<double>(db_->graph().total_vertices()) / 4.0;
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(partition.owned_count(r), expected * 0.6);
+    EXPECT_LT(partition.owned_count(r), expected * 1.4);
+  }
+}
+
+// ---- Distributed == single-node -----------------------------------------------
+
+class DistMatchTest : public DistTest,
+                      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(DistMatchTest, MatchesSingleNodeResult) {
+  const exec::ConstraintNetwork net = lower(GetParam());
+  auto local = exec::match_network(net, db_->graph(), db_->pool());
+  ASSERT_TRUE(local.is_ok()) << local.status().to_string();
+
+  for (const std::size_t ranks : {1u, 2u, 4u}) {
+    DistStats stats;
+    auto dist = match_network_distributed(net, db_->graph(), db_->pool(),
+                                          ranks, &stats);
+    ASSERT_TRUE(dist.is_ok()) << dist.status().to_string();
+    ASSERT_EQ(dist->domains.size(), local->domains.size());
+    for (std::size_t v = 0; v < local->domains.size(); ++v) {
+      for (const auto& [type, bits] : local->domains[v].sets) {
+        auto it = dist->domains[v].sets.find(type);
+        ASSERT_NE(it, dist->domains[v].sets.end());
+        EXPECT_TRUE(bits == it->second)
+            << "var " << v << " type " << type << " ranks " << ranks;
+      }
+    }
+    ASSERT_EQ(dist->matched_edges.size(), local->matched_edges.size());
+    for (std::size_t c = 0; c < local->matched_edges.size(); ++c) {
+      EXPECT_EQ(dist->matched_edges[c].size(),
+                local->matched_edges[c].size());
+      for (const auto& [type, bits] : local->matched_edges[c]) {
+        auto it = dist->matched_edges[c].find(type);
+        ASSERT_NE(it, dist->matched_edges[c].end());
+        EXPECT_TRUE(bits == it->second);
+      }
+    }
+    EXPECT_EQ(stats.ranks, ranks);
+    if (ranks == 1) {
+      EXPECT_EQ(stats.activations, 0u);  // nothing is remote
+    } else {
+      EXPECT_GT(stats.messages, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, DistMatchTest,
+    ::testing::Values(
+        "select * from graph OfferVtx() --product--> ProductVtx() into "
+        "subgraph g",
+        "select * from graph ProductVtx(id = 'p0') --feature--> "
+        "FeatureVtx() <--feature-- ProductVtx() into subgraph g",
+        "select * from graph PersonVtx(country = 'US') <--reviewer-- "
+        "ReviewVtx() --reviewFor--> ProductVtx() --producer--> "
+        "ProducerVtx(country = 'DE') into subgraph g",
+        "select * from graph ProductVtx(propertyNumeric_1 < 50) <--[]-- "
+        "[ ] into subgraph g",
+        "select * from graph def X: ProductVtx(propertyNumeric_1 < 200) "
+        "--feature--> FeatureVtx() <--feature-- X into subgraph g",
+        // Regex closures run distributed too (one BSP exchange per hop).
+        "select * from graph TypeVtx() ( --subclass--> [ ] )+ into "
+        "subgraph g",
+        "select * from graph ProductVtx(id = 'p0') ( --[]--> [ ] ){2} "
+        "into subgraph g",
+        "select * from graph TypeVtx() ( --subclass--> [ ] )* "
+        "--subclass--> TypeVtx(id = 't0') into subgraph g"));
+
+TEST_F(DistTest, CommunicationGrowsWithRanks) {
+  const exec::ConstraintNetwork net = lower(
+      "select * from graph OfferVtx() --product--> ProductVtx() into "
+      "subgraph g");
+  std::uint64_t bytes2 = 0;
+  std::uint64_t bytes4 = 0;
+  DistStats stats;
+  ASSERT_TRUE(match_network_distributed(net, db_->graph(), db_->pool(), 2,
+                                        &stats)
+                  .is_ok());
+  bytes2 = stats.bytes;
+  ASSERT_TRUE(match_network_distributed(net, db_->graph(), db_->pool(), 4,
+                                        &stats)
+                  .is_ok());
+  bytes4 = stats.bytes;
+  // More partitions cut more edges: communication volume must not shrink.
+  EXPECT_GE(bytes4, bytes2);
+  EXPECT_EQ(stats.bytes_per_rank.size(), 4u);
+  EXPECT_EQ(std::accumulate(stats.bytes_per_rank.begin(),
+                            stats.bytes_per_rank.end(), std::uint64_t{0}),
+            stats.bytes);
+}
+
+// ---- Distributed tabular aggregation -------------------------------------
+
+TEST_F(DistTest, DistributedGroupByMatchesLocal) {
+  auto offers = db_->table("Offers").value();
+  const std::vector<storage::ColumnIndex> keys{
+      *offers->schema().find("vendor")};
+  const std::vector<relational::AggSpec> aggs{
+      {relational::AggKind::kCountStar, 0, "n"},
+      {relational::AggKind::kSum, *offers->schema().find("deliveryDays"),
+       "days"},
+      {relational::AggKind::kAvg, *offers->schema().find("price"), "mean"},
+      {relational::AggKind::kMin, *offers->schema().find("validFrom"),
+       "first"},
+      {relational::AggKind::kMax, *offers->schema().find("id"), "last"}};
+
+  auto local = relational::group_by(*offers, keys, aggs, "L");
+  ASSERT_TRUE(local.is_ok());
+
+  // Canonical row rendering for order-insensitive comparison.
+  auto render = [](const storage::Table& t) {
+    std::multiset<std::string> rows;
+    for (storage::RowIndex r = 0; r < t.num_rows(); ++r) {
+      std::string line;
+      for (storage::ColumnIndex c = 0; c < t.num_columns(); ++c) {
+        line += t.value_at(r, c).to_string();
+        line += '|';
+      }
+      rows.insert(std::move(line));
+    }
+    return rows;
+  };
+  const auto expected = render(**local);
+
+  for (const std::size_t ranks : {1u, 2u, 4u}) {
+    DistStats stats;
+    auto dist = distributed_group_by(*offers, keys, aggs, "D", ranks,
+                                     &stats);
+    ASSERT_TRUE(dist.is_ok()) << dist.status().to_string();
+    EXPECT_EQ(render(**dist), expected) << ranks << " ranks";
+    EXPECT_EQ((*dist)->schema().num_columns(), 6u);
+    if (ranks > 1) {
+      EXPECT_GT(stats.bytes, 0u);
+    }
+  }
+}
+
+TEST_F(DistTest, DistributedScalarAggregationOnEmptyTable) {
+  StringPool pool;
+  storage::Table empty("E",
+                       storage::Schema({{"x", storage::DataType::int64()}}),
+                       pool);
+  const std::vector<relational::AggSpec> aggs{
+      {relational::AggKind::kCountStar, 0, "n"},
+      {relational::AggKind::kMin, 0, "m"}};
+  auto dist = distributed_group_by(empty, {}, aggs, "D", 3, nullptr);
+  ASSERT_TRUE(dist.is_ok()) << dist.status().to_string();
+  ASSERT_EQ((*dist)->num_rows(), 1u);
+  EXPECT_EQ((*dist)->value_at(0, 0).as_int64(), 0);
+  EXPECT_TRUE((*dist)->value_at(0, 1).is_null());
+}
+
+TEST_F(DistTest, DistributedGroupByRejectsNonNumericSum) {
+  auto offers = db_->table("Offers").value();
+  const std::vector<relational::AggSpec> aggs{
+      {relational::AggKind::kSum, *offers->schema().find("id"), "s"}};
+  EXPECT_EQ(
+      distributed_group_by(*offers, {}, aggs, "D", 2, nullptr)
+          .status()
+          .code(),
+      StatusCode::kTypeError);
+}
+
+TEST_F(DistTest, CrossPredicatesFallBackUnimplemented) {
+  const exec::ConstraintNetwork net = lower(
+      "select * from graph def p: ProductVtx() --feature--> FeatureVtx() "
+      "<--feature-- ProductVtx(id <> p.id) into subgraph g");
+  EXPECT_EQ(match_network_distributed(net, db_->graph(), db_->pool(), 2,
+                                      nullptr)
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace gems::dist

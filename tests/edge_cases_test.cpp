@@ -1,0 +1,293 @@
+// Edge-case tests across layers: empty tables/graphs, composite keys,
+// or-branch NULL padding, three-path and-composition, seeds interacting
+// with labels, degenerate paths, schedule corner cases.
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "graql/parser.hpp"
+#include "plan/schedule.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::exec {
+namespace {
+
+using graql::parse_script;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  EdgeCaseTest() { ctx_.pool = &pool_; }
+
+  void fill(const std::string& table, const std::string& csv) {
+    auto t = ctx_.tables.find(table);
+    ASSERT_TRUE(t.is_ok());
+    ASSERT_TRUE(storage::ingest_csv_text(**t, csv).is_ok());
+  }
+
+  StatementResult run(const std::string& text) {
+    auto script = parse_script(text);
+    GEMS_CHECK_MSG(script.is_ok(), script.status().to_string().c_str());
+    StatementResult last;
+    for (const auto& stmt : script->statements) {
+      auto r = execute_statement(stmt, ctx_);
+      GEMS_CHECK_MSG(r.is_ok(),
+                     (graql::to_string(stmt) + "\n" +
+                      r.status().to_string())
+                         .c_str());
+      last = std::move(r).value();
+    }
+    return last;
+  }
+
+  StringPool pool_;
+  ExecContext ctx_;
+};
+
+// ---- Empty data --------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, QueriesOverEmptyGraphReturnEmpty) {
+  run(R"(
+    create table T(id varchar(10))
+    create table E(s varchar(10), d varchar(10))
+    create vertex V(id) from table T
+    create edge e with vertices (V as A, V as B)
+      from table E where E.s = A.id and E.d = B.id
+  )");
+  auto table = run("select * from graph V() --e--> V() into table R");
+  EXPECT_EQ(table.table->num_rows(), 0u);
+  // Schema still materializes: V_id plus the edge's assoc attributes
+  // (both V steps share the display name "V" — the paper's "output steps
+  // must be unambiguous" rule; label to disambiguate).
+  EXPECT_EQ(table.table->num_columns(), 3u);
+  auto sub = run("select * from graph V() --e--> V() into subgraph S");
+  EXPECT_EQ(sub.subgraph->num_vertices(), 0u);
+  // Aggregation over the empty result keeps SQL scalar semantics.
+  auto agg = run("select count(*) as n from table R");
+  EXPECT_EQ(agg.table->value_at(0, 0).as_int64(), 0);
+}
+
+TEST_F(EdgeCaseTest, SingleVertexStepPath) {
+  run(R"(
+    create table T(id varchar(10), w integer)
+    create vertex V(id) from table T
+  )");
+  fill("T", "a,1\nb,2\nc,3\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+  // A path of one vertex step, no edges, is legal (used by or-branches).
+  auto r = run("select V.id from graph V(w >= 2) into table R");
+  EXPECT_EQ(r.table->num_rows(), 2u);
+}
+
+// ---- Composite keys ---------------------------------------------------------
+
+TEST_F(EdgeCaseTest, CompositeKeyVerticesAndEdges) {
+  run(R"(
+    create table Points(x integer, y integer, label varchar(10))
+    create table Links(x1 integer, y1 integer, x2 integer, y2 integer)
+    create vertex P(x, y) from table Points
+    create edge link with vertices (P as A, P as B)
+      from table Links
+      where Links.x1 = A.x and Links.y1 = A.y
+        and Links.x2 = B.x and Links.y2 = B.y
+  )");
+  fill("Points", "0,0,o\n1,0,r\n0,1,u\n");
+  fill("Links", "0,0,1,0\n0,0,0,1\n1,0,0,1\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+
+  const auto& g = ctx_.graph;
+  EXPECT_EQ(g.vertex_type(g.find_vertex_type("P").value()).num_vertices(),
+            3u);
+  EXPECT_EQ(g.edge_type(g.find_edge_type("link").value()).num_edges(), 3u);
+
+  auto r = run(
+      "select A.label, B.label as dst from graph def A: P(x = 0 and y = 0) "
+      "--link--> def B: P() into table R");
+  EXPECT_EQ(r.table->num_rows(), 2u);
+}
+
+// ---- Or-branch NULL padding ---------------------------------------------------
+
+TEST_F(EdgeCaseTest, OrBranchesPadMissingStepsWithNull) {
+  run(R"(
+    create table T(id varchar(10))
+    create table U(id varchar(10))
+    create table W(id varchar(10))
+    create table TU(s varchar(10), d varchar(10))
+    create table TW(s varchar(10), d varchar(10))
+    create vertex TV(id) from table T
+    create vertex UV(id) from table U
+    create vertex WV(id) from table W
+    create edge tu with vertices (TV, UV) from table TU
+      where TU.s = TV.id and TU.d = UV.id
+    create edge tw with vertices (TV, WV) from table TW
+      where TW.s = TV.id and TW.d = WV.id
+  )");
+  fill("T", "t1\n");
+  fill("U", "u1\n");
+  fill("W", "w1\n");
+  fill("TU", "t1,u1\n");
+  fill("TW", "t1,w1\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+
+  auto r = run(
+      "select TV.id, UV.id as u, WV.id as w from graph "
+      "TV() --tu--> UV() or TV() --tw--> WV() into table R");
+  ASSERT_EQ(r.table->num_rows(), 2u);
+  // One row per branch: the UV column is NULL on the tw branch and vice
+  // versa.
+  int nulls_u = 0;
+  int nulls_w = 0;
+  for (storage::RowIndex i = 0; i < 2; ++i) {
+    nulls_u += r.table->value_at(i, 1).is_null();
+    nulls_w += r.table->value_at(i, 2).is_null();
+  }
+  EXPECT_EQ(nulls_u, 1);
+  EXPECT_EQ(nulls_w, 1);
+}
+
+// ---- Three-path and-composition ------------------------------------------------
+
+TEST_F(EdgeCaseTest, ThreeWayAndComposition) {
+  run(R"(
+    create table N(id varchar(10), w integer)
+    create table E1(s varchar(10), d varchar(10))
+    create table E2(s varchar(10), d varchar(10))
+    create table E3(s varchar(10), d varchar(10))
+    create vertex V(id) from table N
+    create edge a with vertices (V as X1, V as Y1) from table E1
+      where E1.s = X1.id and E1.d = Y1.id
+    create edge b with vertices (V as X2, V as Y2) from table E2
+      where E2.s = X2.id and E2.d = Y2.id
+    create edge c with vertices (V as X3, V as Y3) from table E3
+      where E3.s = X3.id and E3.d = Y3.id
+  )");
+  fill("N", "n1,1\nn2,2\nn3,3\nn4,4\n");
+  fill("E1", "n1,n2\nn1,n3\n");
+  fill("E2", "n2,n3\nn3,n4\n");
+  fill("E3", "n2,n4\nn3,n3\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+
+  // hub must have an a-edge in, plus b and c edges out: n2 qualifies
+  // (n1-a->n2, n2-b->n3, n2-c->n4); n3 qualifies (n1-a->n3, n3-b->n4,
+  // n3-c->n3).
+  auto r = run(
+      "select h from graph V() --a--> foreach h: V() "
+      "and (h --b--> V()) and (h --c--> V()) into table R");
+  EXPECT_EQ(r.table->num_rows(), 2u);
+}
+
+// ---- Seeds interacting with labels ---------------------------------------------
+
+TEST_F(EdgeCaseTest, SeededStepWithSetLabel) {
+  run(R"(
+    create table T(id varchar(10), w integer)
+    create table E(s varchar(10), d varchar(10))
+    create vertex V(id) from table T
+    create edge e with vertices (V as A, V as B)
+      from table E where E.s = A.id and E.d = B.id
+  )");
+  fill("T", "a,1\nb,2\nc,3\nd,4\n");
+  fill("E", "a,b\nb,c\nc,d\nb,a\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+
+  run("select V from graph V(w <= 2) into subgraph Low");
+  // Seeded def label: both ends restricted to the seed (a, b).
+  auto r = run(
+      "select * from graph def X: Low.V() --e--> X into table R");
+  // Edges within {a,b}: a->b and b->a.
+  EXPECT_EQ(r.table->num_rows(), 2u);
+}
+
+// ---- Duplicate edge types between the same endpoints (multigraph) ---------------
+
+TEST_F(EdgeCaseTest, VariantStepUnionsParallelEdgeTypes) {
+  run(R"(
+    create table T(id varchar(10))
+    create table E1(s varchar(10), d varchar(10))
+    create table E2(s varchar(10), d varchar(10))
+    create vertex V(id) from table T
+    create edge e1 with vertices (V as A1, V as B1) from table E1
+      where E1.s = A1.id and E1.d = B1.id
+    create edge e2 with vertices (V as A2, V as B2) from table E2
+      where E2.s = A2.id and E2.d = B2.id
+  )");
+  fill("T", "x\ny\n");
+  fill("E1", "x,y\n");
+  fill("E2", "x,y\nx,y\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+
+  // Variant edge between x and y: both edge types, all three parallel
+  // edges, in one subgraph.
+  auto r = run(
+      "select * from graph V(id = 'x') --[]--> [ ] into subgraph R");
+  EXPECT_EQ(r.subgraph->num_vertices(), 2u);
+  EXPECT_EQ(r.subgraph->num_edges(), 3u);
+}
+
+TEST_F(EdgeCaseTest, MultigraphRowPerParallelEdge) {
+  run(R"(
+    create table T(id varchar(10))
+    create table E(s varchar(10), d varchar(10), tag varchar(10))
+    create vertex V(id) from table T
+    create edge e with vertices (V as A, V as B)
+      from table E where E.s = A.id and E.d = B.id
+  )");
+  fill("T", "x\ny\n");
+  fill("E", "x,y,p\nx,y,q\nx,y,r\n");
+  ASSERT_TRUE(ctx_.rebuild_graph().is_ok());
+  auto r = run("select e from graph V(id = 'x') --def e: e--> V() "
+               "into table R");
+  // One row per parallel edge, attributes from the assoc rows.
+  ASSERT_EQ(r.table->num_rows(), 3u);
+  std::set<std::string> tags;
+  const auto tag_col = r.table->schema().find("e_tag");
+  ASSERT_TRUE(tag_col.has_value());
+  for (storage::RowIndex i = 0; i < 3; ++i) {
+    tags.insert(r.table->value_at(i, *tag_col).as_string());
+  }
+  EXPECT_EQ(tags, (std::set<std::string>{"p", "q", "r"}));
+}
+
+}  // namespace
+}  // namespace gems::exec
+
+// ---- Schedule corner cases ------------------------------------------------------
+
+namespace gems::plan {
+namespace {
+
+TEST(ScheduleEdgeCases, OutputReadsDoNotConflictWithEachOther) {
+  auto script = graql::parse_script(
+      "select id from table T into table A\n"
+      "output table A 'a.csv'\n"
+      "output table A 'b.csv'\n"
+      "select id from table A into table B");
+  ASSERT_TRUE(script.is_ok());
+  const Schedule s = build_schedule(*script);
+  // Everything after the producer only READS A: both outputs and the
+  // dependent select share one level.
+  ASSERT_EQ(s.levels.size(), 2u);
+  EXPECT_EQ(s.levels[1].size(), 3u);
+}
+
+TEST(ScheduleEdgeCases, EmptyScript) {
+  graql::Script empty;
+  const Schedule s = build_schedule(empty);
+  EXPECT_EQ(s.levels.size(), 0u);
+  EXPECT_EQ(s.num_statements(), 0u);
+}
+
+TEST(ScheduleEdgeCases, SubgraphNamesParticipateInDependences) {
+  auto script = graql::parse_script(
+      "select * from graph A() --e--> B() into subgraph G\n"
+      "select * from graph G.A() --e--> B() into table R");
+  ASSERT_TRUE(script.is_ok());
+  const Schedule s = build_schedule(*script);
+  EXPECT_EQ(s.levels.size(), 2u);  // seed read G depends on its write
+}
+
+}  // namespace
+}  // namespace gems::plan

@@ -1,0 +1,429 @@
+// Tests for the graph layer: Eq. 1 vertex views (one-to-one and
+// many-to-one), Eq. 2 edge creation (direct joins, `from table` associated
+// tables, multi-table joins), the Fig. 5 export-edge scenario, and the CSR
+// bidirectional edge indices.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::graph {
+namespace {
+
+using relational::BinaryOp;
+using relational::Expr;
+using relational::ExprPtr;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+ExprPtr col(std::string q, std::string c) {
+  return Expr::make_column(std::move(q), std::move(c));
+}
+ExprPtr eq(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr ne(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr land(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+/// Fixture building the Fig. 5 style toy database: producers and vendors
+/// with countries, products made by producers, offers sold by vendors.
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() {
+    auto make = [&](const char* name, Schema schema, const char* csv) {
+      auto t = std::make_shared<Table>(name, std::move(schema), pool_);
+      auto r = storage::ingest_csv_text(*t, csv);
+      GEMS_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+      GEMS_CHECK(tables_.add(t).is_ok());
+      return t;
+    };
+    make("Producers",
+         Schema({{"id", DataType::varchar(10)},
+                 {"country", DataType::varchar(10)}}),
+         "p1,US\np2,IT\np3,FR\np4,US\n");
+    make("Vendors",
+         Schema({{"id", DataType::varchar(10)},
+                 {"country", DataType::varchar(10)}}),
+         "v1,CA\nv2,CN\nv3,CA\n");
+    make("Products",
+         Schema({{"id", DataType::varchar(10)},
+                 {"producer", DataType::varchar(10)},
+                 {"price", DataType::float64()}}),
+         "pr1,p1,10\npr2,p2,20\npr3,p4,30\npr4,p3,5\n");
+    make("Offers",
+         Schema({{"id", DataType::varchar(10)},
+                 {"product", DataType::varchar(10)},
+                 {"vendor", DataType::varchar(10)}}),
+         "o1,pr1,v1\no2,pr3,v3\no3,pr2,v2\n");
+    make("ProductTypes",
+         Schema({{"product", DataType::varchar(10)},
+                 {"type", DataType::varchar(10)}}),
+         "pr1,ta\npr1,tb\npr2,ta\npr4,tc\n");
+    make("Types",
+         Schema({{"id", DataType::varchar(10)}}),
+         "ta\ntb\ntc\n");
+  }
+
+  void add_vertex(const char* name, const char* table, const char* key,
+                  ExprPtr where = nullptr) {
+    VertexDecl d{name, {key}, table, std::move(where)};
+    auto s = add_vertex_type(graph_, d, tables_, pool_);
+    ASSERT_TRUE(s.is_ok()) << s.to_string();
+  }
+
+  StringPool pool_;
+  storage::TableCatalog tables_;
+  GraphView graph_;
+};
+
+// ---- Vertex views -----------------------------------------------------------
+
+TEST_F(GraphTest, OneToOneVertexType) {
+  add_vertex("ProducerVtx", "Producers", "id");
+  const VertexType& vt =
+      graph_.vertex_type(graph_.find_vertex_type("ProducerVtx").value());
+  EXPECT_EQ(vt.num_vertices(), 4u);
+  EXPECT_TRUE(vt.one_to_one());
+  EXPECT_EQ(vt.key_string(0), "p1");
+  // One-to-one: all source attributes visible.
+  EXPECT_TRUE(vt.resolve_attribute("country").is_ok());
+}
+
+TEST_F(GraphTest, ManyToOneVertexCollapsesDuplicateKeys) {
+  add_vertex("ProducerCountry", "Producers", "country");
+  const VertexType& vt =
+      graph_.vertex_type(graph_.find_vertex_type("ProducerCountry").value());
+  EXPECT_EQ(vt.num_vertices(), 3u);  // US, IT, FR
+  EXPECT_FALSE(vt.one_to_one());
+  // Non-key attributes are ambiguous on many-to-one vertices.
+  EXPECT_TRUE(vt.resolve_attribute("country").is_ok());
+  EXPECT_EQ(vt.resolve_attribute("id").status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(GraphTest, VertexFilterRestrictsInstances) {
+  add_vertex("USProducer", "Producers", "id",
+             eq(col("", "country"), Expr::make_literal(Value::varchar("US"))));
+  const VertexType& vt =
+      graph_.vertex_type(graph_.find_vertex_type("USProducer").value());
+  EXPECT_EQ(vt.num_vertices(), 2u);  // p1, p4
+  EXPECT_EQ(vt.matching_rows().count(), 2u);
+}
+
+TEST_F(GraphTest, VertexRequiresExistingKeyColumn) {
+  VertexDecl d{"Bad", {"nope"}, "Producers", nullptr};
+  EXPECT_EQ(add_vertex_type(graph_, d, tables_, pool_).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GraphTest, VertexRequiresExistingTable) {
+  VertexDecl d{"Bad", {"id"}, "NoTable", nullptr};
+  EXPECT_FALSE(add_vertex_type(graph_, d, tables_, pool_).is_ok());
+}
+
+TEST_F(GraphTest, DuplicateVertexNameRejected) {
+  add_vertex("V", "Producers", "id");
+  VertexDecl d{"V", {"id"}, "Vendors", nullptr};
+  EXPECT_EQ(add_vertex_type(graph_, d, tables_, pool_).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(GraphTest, CompositeKeyVertex) {
+  VertexDecl d{"PV", {"id", "country"}, "Producers", nullptr};
+  ASSERT_TRUE(add_vertex_type(graph_, d, tables_, pool_).is_ok());
+  const VertexType& vt = graph_.vertex_type(0);
+  EXPECT_EQ(vt.num_vertices(), 4u);
+  EXPECT_EQ(vt.key_string(0), "(p1, US)");
+}
+
+// ---- Edge creation: direct join (Fig. 3 `producer` edge) -------------------
+
+TEST_F(GraphTest, DirectJoinEdge) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("ProducerVtx", "Producers", "id");
+  EdgeDecl d{"producer",
+             {"ProductVtx", ""},
+             {"ProducerVtx", ""},
+             {},
+             eq(col("ProductVtx", "producer"), col("ProducerVtx", "id"))};
+  auto s = add_edge_type(graph_, d, tables_, pool_);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  const EdgeType& et =
+      graph_.edge_type(graph_.find_edge_type("producer").value());
+  EXPECT_EQ(et.num_edges(), 4u);  // every product has a producer
+  EXPECT_EQ(et.source_type(), graph_.find_vertex_type("ProductVtx").value());
+  EXPECT_EQ(et.target_type(), graph_.find_vertex_type("ProducerVtx").value());
+  EXPECT_EQ(et.attr_table(), nullptr);
+
+  // pr3 -> p4: check one concrete edge.
+  const VertexType& pv = graph_.vertex_type(et.source_type());
+  const VertexType& rv = graph_.vertex_type(et.target_type());
+  bool found = false;
+  for (EdgeIndex e = 0; e < et.num_edges(); ++e) {
+    if (pv.key_string(et.source_vertex(e)) == "pr3") {
+      EXPECT_EQ(rv.key_string(et.target_vertex(e)), "p4");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- Edge creation with associated table (Fig. 3 `type` edge) ---------------
+
+TEST_F(GraphTest, AssocTableEdgeOnePerRow) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("TypeVtx", "Types", "id");
+  EdgeDecl d{"type",
+             {"ProductVtx", ""},
+             {"TypeVtx", ""},
+             {"ProductTypes"},
+             land(eq(col("ProductTypes", "product"), col("ProductVtx", "id")),
+                  eq(col("ProductTypes", "type"), col("TypeVtx", "id")))};
+  auto s = add_edge_type(graph_, d, tables_, pool_);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  const EdgeType& et = graph_.edge_type(0);
+  // Paper: "an edge is created for each table entry satisfying the where".
+  EXPECT_EQ(et.num_edges(), 4u);
+  // Edge attributes come from the assoc table.
+  ASSERT_NE(et.attr_table(), nullptr);
+  EXPECT_EQ(et.attr_table()->num_rows(), 4u);
+  EXPECT_TRUE(et.resolve_attribute("type").is_ok());
+}
+
+TEST_F(GraphTest, EdgeConditionsFilterAssocRows) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("TypeVtx", "Types", "id");
+  EdgeDecl d{"type_ta",
+             {"ProductVtx", ""},
+             {"TypeVtx", ""},
+             {"ProductTypes"},
+             land(land(eq(col("ProductTypes", "product"),
+                          col("ProductVtx", "id")),
+                       eq(col("ProductTypes", "type"), col("TypeVtx", "id"))),
+                  eq(col("ProductTypes", "type"),
+                     Expr::make_literal(Value::varchar("ta"))))};
+  ASSERT_TRUE(add_edge_type(graph_, d, tables_, pool_).is_ok());
+  EXPECT_EQ(graph_.edge_type(0).num_edges(), 2u);  // pr1-ta, pr2-ta
+}
+
+// ---- Fig. 4/5: many-to-one endpoints, multi-table join, dedup ---------------
+
+TEST_F(GraphTest, Fig5ExportEdge) {
+  add_vertex("ProducerCountry", "Producers", "country");
+  add_vertex("VendorCountry", "Vendors", "country");
+  // create edge export with vertices (ProducerCountry as P, VendorCountry
+  // as V) from table Products, Offers where Products.producer = P.id and
+  // Offers.product = Products.id and Offers.vendor = V.id and
+  // P.country <> V.country
+  EdgeDecl d{"export",
+             {"ProducerCountry", "P"},
+             {"VendorCountry", "V"},
+             {"Products", "Offers"},
+             land(land(land(eq(col("Products", "producer"), col("P", "id")),
+                            eq(col("Offers", "product"),
+                               col("Products", "id"))),
+                       eq(col("Offers", "vendor"), col("V", "id"))),
+                  ne(col("P", "country"), col("V", "country")))};
+  auto s = add_edge_type(graph_, d, tables_, pool_);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  const EdgeType& et = graph_.edge_type(0);
+  // Fig. 5: the multi-way join collapses onto distinct country pairs:
+  // US->CA (via pr1/o1 and pr3/o2) and IT->CN (via pr2/o3).
+  ASSERT_EQ(et.num_edges(), 2u);
+  const VertexType& pc = graph_.vertex_type(et.source_type());
+  const VertexType& vc = graph_.vertex_type(et.target_type());
+  std::set<std::string> pairs;
+  for (EdgeIndex e = 0; e < et.num_edges(); ++e) {
+    pairs.insert(pc.key_string(et.source_vertex(e)) + "->" +
+                 vc.key_string(et.target_vertex(e)));
+  }
+  EXPECT_EQ(pairs, (std::set<std::string>{"US->CA", "IT->CN"}));
+  // Collapsed edges carry no attribute table.
+  EXPECT_EQ(et.attr_table(), nullptr);
+}
+
+// ---- Self-edges with aliases (Fig. 3 `subclass`) ------------------------------
+
+TEST_F(GraphTest, SelfEdgeRequiresAliases) {
+  add_vertex("ProducerVtx", "Producers", "id");
+  EdgeDecl missing{"self",
+                   {"ProducerVtx", ""},
+                   {"ProducerVtx", ""},
+                   {},
+                   eq(col("A", "country"), col("B", "country"))};
+  EXPECT_EQ(add_edge_type(graph_, missing, tables_, pool_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphTest, SelfEdgeWithAliases) {
+  add_vertex("ProducerVtx", "Producers", "id");
+  // Producers in the same country (including self-loops).
+  EdgeDecl d{"compatriot",
+             {"ProducerVtx", "A"},
+             {"ProducerVtx", "B"},
+             {},
+             eq(col("A", "country"), col("B", "country"))};
+  auto s = add_edge_type(graph_, d, tables_, pool_);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  // US: p1,p4 -> 4 pairs; IT: 1; FR: 1.
+  EXPECT_EQ(graph_.edge_type(0).num_edges(), 6u);
+}
+
+// ---- Error paths ----------------------------------------------------------
+
+TEST_F(GraphTest, DisconnectedJoinRejected) {
+  add_vertex("ProducerVtx", "Producers", "id");
+  add_vertex("VendorVtx", "Vendors", "id");
+  EdgeDecl d{"bad",
+             {"ProducerVtx", ""},
+             {"VendorVtx", ""},
+             {},
+             eq(col("ProducerVtx", "id"),
+                Expr::make_literal(Value::varchar("p1")))};
+  EXPECT_EQ(add_edge_type(graph_, d, tables_, pool_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphTest, EdgeToUnknownVertexTypeRejected) {
+  add_vertex("ProducerVtx", "Producers", "id");
+  EdgeDecl d{"bad",
+             {"ProducerVtx", ""},
+             {"NopeVtx", ""},
+             {},
+             eq(col("ProducerVtx", "id"), col("NopeVtx", "id"))};
+  EXPECT_EQ(add_edge_type(graph_, d, tables_, pool_).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GraphTest, JoinConditionTypeMismatchRejected) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("ProducerVtx", "Producers", "id");
+  EdgeDecl d{"bad",
+             {"ProductVtx", ""},
+             {"ProducerVtx", ""},
+             {},
+             eq(col("ProductVtx", "price"), col("ProducerVtx", "id"))};
+  EXPECT_EQ(add_edge_type(graph_, d, tables_, pool_).code(),
+            StatusCode::kTypeError);
+}
+
+// ---- Edges respect vertex filters --------------------------------------------
+
+TEST_F(GraphTest, EdgesSkipFilteredVertices) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("USProducer", "Producers", "id",
+             eq(col("", "country"), Expr::make_literal(Value::varchar("US"))));
+  EdgeDecl d{"producer",
+             {"ProductVtx", ""},
+             {"USProducer", ""},
+             {},
+             eq(col("ProductVtx", "producer"), col("USProducer", "id"))};
+  ASSERT_TRUE(add_edge_type(graph_, d, tables_, pool_).is_ok());
+  // Only pr1->p1 and pr3->p4 (p2/p3 producers are filtered out).
+  EXPECT_EQ(graph_.edge_type(0).num_edges(), 2u);
+}
+
+// ---- CSR indices ---------------------------------------------------------------
+
+TEST_F(GraphTest, CsrForwardReverseConsistency) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("TypeVtx", "Types", "id");
+  EdgeDecl d{"type",
+             {"ProductVtx", ""},
+             {"TypeVtx", ""},
+             {"ProductTypes"},
+             land(eq(col("ProductTypes", "product"), col("ProductVtx", "id")),
+                  eq(col("ProductTypes", "type"), col("TypeVtx", "id")))};
+  ASSERT_TRUE(add_edge_type(graph_, d, tables_, pool_).is_ok());
+  const EdgeType& et = graph_.edge_type(0);
+  const CsrIndex& fwd = et.forward();
+  const CsrIndex& rev = et.reverse();
+  EXPECT_EQ(fwd.num_edges(), et.num_edges());
+  EXPECT_EQ(rev.num_edges(), et.num_edges());
+
+  // Every forward adjacency appears in reverse and vice versa.
+  std::multiset<std::pair<VertexIndex, VertexIndex>> via_fwd, via_rev;
+  for (VertexIndex v = 0; v < fwd.num_vertices(); ++v) {
+    auto nbrs = fwd.neighbors(v);
+    auto edges = fwd.edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      via_fwd.emplace(v, nbrs[i]);
+      EXPECT_EQ(et.source_vertex(edges[i]), v);
+      EXPECT_EQ(et.target_vertex(edges[i]), nbrs[i]);
+    }
+  }
+  for (VertexIndex v = 0; v < rev.num_vertices(); ++v) {
+    for (const VertexIndex n : rev.neighbors(v)) via_rev.emplace(n, v);
+  }
+  EXPECT_EQ(via_fwd, via_rev);
+}
+
+TEST_F(GraphTest, CsrDegrees) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("TypeVtx", "Types", "id");
+  EdgeDecl d{"type",
+             {"ProductVtx", ""},
+             {"TypeVtx", ""},
+             {"ProductTypes"},
+             land(eq(col("ProductTypes", "product"), col("ProductVtx", "id")),
+                  eq(col("ProductTypes", "type"), col("TypeVtx", "id")))};
+  ASSERT_TRUE(add_edge_type(graph_, d, tables_, pool_).is_ok());
+  const EdgeType& et = graph_.edge_type(0);
+  const VertexType& pv = graph_.vertex_type(et.source_type());
+  // pr1 has types ta,tb -> out-degree 2; pr3 none -> 0.
+  for (VertexIndex v = 0; v < pv.num_vertices(); ++v) {
+    const std::string key = pv.key_string(v);
+    const auto deg = et.forward().degree(v);
+    if (key == "pr1") {
+      EXPECT_EQ(deg, 2u);
+    }
+    if (key == "pr3") {
+      EXPECT_EQ(deg, 0u);
+    }
+  }
+}
+
+// ---- GraphView type-level queries ---------------------------------------------
+
+TEST_F(GraphTest, EdgeTypesBetween) {
+  add_vertex("ProductVtx", "Products", "id");
+  add_vertex("ProducerVtx", "Producers", "id");
+  add_vertex("TypeVtx", "Types", "id");
+  EdgeDecl producer{"producer",
+                    {"ProductVtx", ""},
+                    {"ProducerVtx", ""},
+                    {},
+                    eq(col("ProductVtx", "producer"),
+                       col("ProducerVtx", "id"))};
+  ASSERT_TRUE(add_edge_type(graph_, producer, tables_, pool_).is_ok());
+  EdgeDecl type{"type",
+                {"ProductVtx", ""},
+                {"TypeVtx", ""},
+                {"ProductTypes"},
+                land(eq(col("ProductTypes", "product"),
+                        col("ProductVtx", "id")),
+                     eq(col("ProductTypes", "type"), col("TypeVtx", "id")))};
+  ASSERT_TRUE(add_edge_type(graph_, type, tables_, pool_).is_ok());
+
+  const auto pid = graph_.find_vertex_type("ProductVtx").value();
+  const auto rid = graph_.find_vertex_type("ProducerVtx").value();
+  const auto tid = graph_.find_vertex_type("TypeVtx").value();
+  EXPECT_EQ(graph_.edge_types_between(pid, rid).size(), 1u);
+  EXPECT_EQ(graph_.edge_types_between(rid, pid).size(), 0u);
+  EXPECT_EQ(graph_.edge_types_from(pid).size(), 2u);
+  EXPECT_EQ(graph_.edge_types_into(tid).size(), 1u);
+  EXPECT_EQ(graph_.total_edges(), 8u);
+  EXPECT_EQ(graph_.total_vertices(), 4u + 4u + 3u);
+}
+
+}  // namespace
+}  // namespace gems::graph

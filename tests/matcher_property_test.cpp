@@ -1,0 +1,373 @@
+// Property tests for the path matcher: on randomly generated small
+// attributed graphs and randomly generated path queries, the fixpoint
+// matcher + enumerator must agree exactly with a brute-force reference
+// that tries every assignment (the literal reading of Eq. 5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/prng.hpp"
+#include "exec/enumerate.hpp"
+#include "exec/lowering.hpp"
+#include "exec/matcher.hpp"
+#include "graph/builder.hpp"
+#include "graql/parser.hpp"
+#include "relational/eval.hpp"
+#include "storage/catalog.hpp"
+
+namespace gems::exec {
+namespace {
+
+using graph::EdgeIndex;
+using graph::EdgeType;
+using graph::GraphView;
+using graph::VertexIndex;
+using graph::VertexRef;
+using graph::VertexTypeId;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+/// A random attributed multigraph: `n_types` vertex types (each a table
+/// with integer key `id` and integer attribute `w`), `n_edges` edge types
+/// with random endpoints, built through the real DDL machinery so edges
+/// carry a `w` attribute from their association tables.
+struct RandomDb {
+  StringPool pool;
+  storage::TableCatalog tables;
+  GraphView graph;
+  std::vector<std::pair<VertexTypeId, VertexTypeId>> edge_endpoints;
+
+  RandomDb(std::uint64_t seed, std::size_t n_types, std::size_t n_edges,
+           std::size_t vertices_per_type, double edge_density) {
+    Xoshiro256 rng(seed);
+    for (std::size_t t = 0; t < n_types; ++t) {
+      auto table = std::make_shared<Table>(
+          "T" + std::to_string(t),
+          Schema({{"id", DataType::int64()}, {"w", DataType::int64()}}),
+          pool);
+      const std::size_t n = 1 + rng.below(vertices_per_type);
+      for (std::size_t v = 0; v < n; ++v) {
+        table->append_row_unchecked(std::vector<Value>{
+            Value::int64(static_cast<std::int64_t>(v)),
+            Value::int64(rng.range(0, 9))});
+      }
+      GEMS_CHECK(tables.add(table).is_ok());
+      graph::VertexDecl decl{"V" + std::to_string(t), {"id"},
+                             "T" + std::to_string(t), nullptr};
+      GEMS_CHECK(graph::add_vertex_type(graph, decl, tables, pool).is_ok());
+    }
+    for (std::size_t e = 0; e < n_edges; ++e) {
+      const VertexTypeId src =
+          static_cast<VertexTypeId>(rng.below(n_types));
+      const VertexTypeId dst =
+          static_cast<VertexTypeId>(rng.below(n_types));
+      auto assoc = std::make_shared<Table>(
+          "A" + std::to_string(e),
+          Schema({{"s", DataType::int64()},
+                  {"d", DataType::int64()},
+                  {"w", DataType::int64()}}),
+          pool);
+      const std::size_t ns = graph.vertex_type(src).num_vertices();
+      const std::size_t nd = graph.vertex_type(dst).num_vertices();
+      for (std::size_t i = 0; i < ns; ++i) {
+        for (std::size_t j = 0; j < nd; ++j) {
+          // Multigraph: occasionally two parallel edges.
+          for (int k = 0; k < 2; ++k) {
+            if (!rng.chance(k == 0 ? edge_density : edge_density / 4)) {
+              continue;
+            }
+            assoc->append_row_unchecked(std::vector<Value>{
+                Value::int64(static_cast<std::int64_t>(i)),
+                Value::int64(static_cast<std::int64_t>(j)),
+                Value::int64(rng.range(0, 9))});
+          }
+        }
+      }
+      GEMS_CHECK(tables.add(assoc).is_ok());
+      using relational::BinaryOp;
+      using relational::Expr;
+      auto where = Expr::make_binary(
+          BinaryOp::kAnd,
+          Expr::make_binary(
+              BinaryOp::kEq,
+              Expr::make_column("A" + std::to_string(e), "s"),
+              Expr::make_column("SRC", "id")),
+          Expr::make_binary(
+              BinaryOp::kEq,
+              Expr::make_column("A" + std::to_string(e), "d"),
+              Expr::make_column("DST", "id")));
+      graph::EdgeDecl decl{"e" + std::to_string(e),
+                           {"V" + std::to_string(src), "SRC"},
+                           {"V" + std::to_string(dst), "DST"},
+                           {"A" + std::to_string(e)},
+                           where};
+      GEMS_CHECK(graph::add_edge_type(graph, decl, tables, pool).is_ok());
+      edge_endpoints.emplace_back(src, dst);
+    }
+  }
+};
+
+/// Random linear query over the random graph: picks a random walk over
+/// edge types (respecting endpoints, random direction), attaches random
+/// conditions, occasionally a foreach cycle closure or a variant step.
+std::string random_query(RandomDb& db, Xoshiro256& rng, int max_steps) {
+  std::string query = "select * from graph ";
+  // Start at a random edge's source (forward) or target (reverse).
+  const std::size_t e0 = rng.below(db.edge_endpoints.size());
+  bool forward = rng.chance(0.5);
+  VertexTypeId current = forward ? db.edge_endpoints[e0].first
+                                 : db.edge_endpoints[e0].second;
+  auto step_condition = [&](bool allow) -> std::string {
+    if (!allow || !rng.chance(0.5)) return "()";
+    const char* ops[] = {"<", "<=", ">", ">=", "=", "<>"};
+    return std::string("(w ") + ops[rng.below(6)] + " " +
+           std::to_string(rng.range(0, 9)) + ")";
+  };
+  const bool use_foreach = rng.chance(0.25);
+  const VertexTypeId head_type = current;
+  std::string head = "V" + std::to_string(current);
+  if (use_foreach) head = "foreach z: " + head;
+  query += head + step_condition(true);
+
+  const int steps = 1 + static_cast<int>(rng.below(max_steps));
+  std::size_t edge = e0;
+  for (int s = 0; s < steps; ++s) {
+    // Pick an edge type leaving/entering `current`.
+    std::vector<std::pair<std::size_t, bool>> options;
+    for (std::size_t e = 0; e < db.edge_endpoints.size(); ++e) {
+      if (db.edge_endpoints[e].first == current) options.emplace_back(e, true);
+      if (db.edge_endpoints[e].second == current) {
+        options.emplace_back(e, false);
+      }
+    }
+    if (options.empty()) break;
+    std::tie(edge, forward) = options[rng.below(options.size())];
+    const VertexTypeId next = forward ? db.edge_endpoints[edge].second
+                                      : db.edge_endpoints[edge].first;
+    const std::string econd = step_condition(true);
+    const std::string ename =
+        "e" + std::to_string(edge) + (econd == "()" ? "" : econd);
+    if (forward) {
+      query += " --" + ename + "--> ";
+    } else {
+      query += " <--" + ename + "-- ";
+    }
+    current = next;
+    if (use_foreach && s == steps - 1 && current == head_type &&
+        rng.chance(0.8)) {
+      query += "z";  // element-wise cycle closure (Eq. 8)
+    } else {
+      query += "V" + std::to_string(current) + step_condition(true);
+    }
+  }
+  query += " into table R";
+  return query;
+}
+
+/// Brute-force reference: tries every assignment of vertices to variables
+/// and every edge choice, checking constraints literally.
+struct BruteForce {
+  const ConstraintNetwork& net;
+  const GraphView& graph;
+  const StringPool& pool;
+
+  std::vector<std::set<VertexRef>> used_per_var;
+  std::uint64_t rows = 0;
+
+  explicit BruteForce(const ConstraintNetwork& n, const GraphView& g,
+                      const StringPool& p)
+      : net(n), graph(g), pool(p), used_per_var(n.num_vars()) {}
+
+  void run() {
+    std::vector<VertexRef> assignment(net.num_vars());
+    std::vector<graph::EdgeRef> edges(net.edges.size());
+    std::vector<relational::RowCursor> cursors(kEdgeSourceBase +
+                                               net.edges.size());
+    assign(0, assignment, edges, cursors);
+  }
+
+  void assign(std::size_t var, std::vector<VertexRef>& assignment,
+              std::vector<graph::EdgeRef>& edges,
+              std::vector<relational::RowCursor>& cursors) {
+    if (var == net.num_vars()) {
+      try_edges(0, assignment, edges, cursors);
+      return;
+    }
+    for (const VertexTypeId t : net.vars[var].types) {
+      const auto& vt = graph.vertex_type(t);
+      for (VertexIndex v = 0; v < vt.num_vertices(); ++v) {
+        if (!vertex_passes(net, graph, pool, static_cast<int>(var), t, v)) {
+          continue;
+        }
+        assignment[var] = VertexRef{t, v};
+        cursors[var] = {&vt.source(), vt.representative_row(v)};
+        assign(var + 1, assignment, edges, cursors);
+      }
+    }
+  }
+
+  void try_edges(std::size_t c, std::vector<VertexRef>& assignment,
+                 std::vector<graph::EdgeRef>& edges,
+                 std::vector<relational::RowCursor>& cursors) {
+    if (c == net.edges.size()) {
+      finish(assignment, cursors);
+      return;
+    }
+    const EdgeConstraint& con = net.edges[c];
+    const VertexRef left = assignment[con.left_var];
+    const VertexRef right = assignment[con.right_var];
+    for (const EdgeMove& move : con.moves) {
+      const EdgeType& et = graph.edge_type(move.type);
+      const VertexRef& src = move.forward ? left : right;
+      const VertexRef& dst = move.forward ? right : left;
+      if (src.type != et.source_type() || dst.type != et.target_type()) {
+        continue;
+      }
+      for (EdgeIndex e = 0; e < et.num_edges(); ++e) {
+        if (et.source_vertex(e) != src.index ||
+            et.target_vertex(e) != dst.index) {
+          continue;
+        }
+        if (!con.self_conds.empty()) {
+          GEMS_CHECK(et.attr_table() != nullptr);
+          cursors[kEdgeSourceBase + c] = {et.attr_table(), e};
+          bool ok = true;
+          for (const auto& pred : con.self_conds) {
+            if (!relational::eval_predicate(*pred, cursors, pool)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+        }
+        edges[c] = {move.type, e};
+        try_edges(c + 1, assignment, edges, cursors);
+      }
+    }
+  }
+
+  void finish(std::vector<VertexRef>& assignment,
+              std::vector<relational::RowCursor>& cursors) {
+    for (const CrossPred& pred : net.cross_preds) {
+      if (!relational::eval_predicate(*pred.pred, cursors, pool)) return;
+    }
+    ++rows;
+    for (std::size_t v = 0; v < assignment.size(); ++v) {
+      used_per_var[v].insert(assignment[v]);
+    }
+  }
+};
+
+class MatcherPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MatcherPropertyTest, FixpointAndEnumeratorMatchBruteForce) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed * 1000003 + 17);
+  RandomDb db(seed, /*n_types=*/2 + rng.below(3),
+              /*n_edges=*/2 + rng.below(4),
+              /*vertices_per_type=*/8, /*edge_density=*/0.25);
+
+  for (int q = 0; q < 8; ++q) {
+    const std::string query_text = random_query(db, rng, 3);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + query_text);
+
+    auto stmt = graql::parse_statement(query_text);
+    ASSERT_TRUE(stmt.is_ok()) << stmt.status().to_string();
+    const auto& gq = std::get<graql::GraphQueryStmt>(stmt.value());
+    auto resolver = [](const std::string&) -> Result<SubgraphPtr> {
+      return not_found("none");
+    };
+    auto lowered =
+        lower_graph_query(gq, db.graph, resolver, {}, db.pool);
+    ASSERT_TRUE(lowered.is_ok()) << lowered.status().to_string();
+    const ConstraintNetwork& net = lowered->networks[0];
+    ASSERT_TRUE(net.groups.empty());  // random queries have no groups
+
+    BruteForce brute(net, db.graph, db.pool);
+    brute.run();
+
+    auto match = match_network(net, db.graph, db.pool);
+    ASSERT_TRUE(match.is_ok()) << match.status().to_string();
+
+    // (a) The enumerator emits exactly the brute-force row count and
+    //     touches exactly the brute-force per-variable vertex sets.
+    std::vector<std::set<VertexRef>> enum_used(net.num_vars());
+    std::uint64_t enum_rows = 0;
+    auto emit = [&](std::span<const VertexRef> vertices,
+                    std::span<const graph::EdgeRef>) {
+      ++enum_rows;
+      for (std::size_t v = 0; v < vertices.size(); ++v) {
+        enum_used[v].insert(vertices[v]);
+      }
+      return true;
+    };
+    auto stats = enumerate_assignments(net, db.graph, db.pool, *match, {},
+                                       emit);
+    ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+    EXPECT_EQ(enum_rows, brute.rows);
+    for (std::size_t v = 0; v < net.num_vars(); ++v) {
+      EXPECT_EQ(enum_used[v], brute.used_per_var[v]) << "var " << v;
+    }
+
+    // Enumeration-order independence: pivoting the DFS at any variable
+    // (the planner's prerogative, Sec. III-B) must not change the row
+    // count or the per-variable sets.
+    for (int root = 0; root < static_cast<int>(net.num_vars()); ++root) {
+      std::uint64_t rooted_rows = 0;
+      std::vector<std::set<VertexRef>> rooted_used(net.num_vars());
+      EnumOptions options;
+      options.root_var = root;
+      auto rooted_emit = [&](std::span<const VertexRef> vertices,
+                             std::span<const graph::EdgeRef>) {
+        ++rooted_rows;
+        for (std::size_t v = 0; v < vertices.size(); ++v) {
+          rooted_used[v].insert(vertices[v]);
+        }
+        return true;
+      };
+      auto rooted_stats = enumerate_assignments(net, db.graph, db.pool,
+                                                *match, options,
+                                                rooted_emit);
+      ASSERT_TRUE(rooted_stats.is_ok());
+      EXPECT_EQ(rooted_rows, brute.rows) << "root " << root;
+      for (std::size_t v = 0; v < net.num_vars(); ++v) {
+        EXPECT_EQ(rooted_used[v], brute.used_per_var[v])
+            << "root " << root << " var " << v;
+      }
+    }
+
+    // (b) For tree networks without cross predicates, the fixpoint
+    //     domains are exact: they contain precisely the brute-force
+    //     per-variable sets.
+    if (net.tree_exact && net.set_eqs.empty()) {
+      for (std::size_t v = 0; v < net.num_vars(); ++v) {
+        std::set<VertexRef> domain_set;
+        for (const auto& [type, bits] : match->domains[v].sets) {
+          bits.for_each([&](std::size_t i) {
+            domain_set.insert(
+                VertexRef{type, static_cast<VertexIndex>(i)});
+          });
+        }
+        EXPECT_EQ(domain_set, brute.used_per_var[v]) << "var " << v;
+      }
+    } else {
+      // Otherwise the domains are a sound over-approximation.
+      for (std::size_t v = 0; v < net.num_vars(); ++v) {
+        for (const VertexRef& ref : brute.used_per_var[v]) {
+          const auto it = match->domains[v].sets.find(ref.type);
+          ASSERT_NE(it, match->domains[v].sets.end());
+          EXPECT_TRUE(it->second.test(ref.index)) << "var " << v;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MatcherPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace gems::exec

@@ -1,0 +1,455 @@
+// Tests for the relational engine: expression binding/type checking
+// (paper Sec. III-A), evaluation semantics, and every Table I operator.
+#include <gtest/gtest.h>
+
+#include "relational/bound_expr.hpp"
+#include "relational/eval.hpp"
+#include "relational/operators.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::relational {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::TypeKind;
+using storage::Value;
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  RelationalTest() {
+    offers_ = std::make_shared<Table>(
+        "Offers",
+        Schema({{"id", DataType::varchar(10)},
+                {"product", DataType::varchar(10)},
+                {"price", DataType::float64()},
+                {"deliveryDays", DataType::int64()},
+                {"validFrom", DataType::date()}}),
+        pool_);
+    const char* csv =
+        "o1,p1,10.0,3,2008-01-01\n"
+        "o2,p1,20.0,7,2008-02-01\n"
+        "o3,p2,15.0,,2008-03-01\n"
+        "o4,p2,15.0,2,2008-03-01\n"
+        "o5,p3,,14,2008-04-01\n";
+    GEMS_CHECK(storage::ingest_csv_text(*offers_, csv).is_ok());
+
+    products_ = std::make_shared<Table>(
+        "Products", Schema({{"id", DataType::varchar(10)},
+                            {"label", DataType::varchar(10)}}),
+        pool_);
+    GEMS_CHECK(storage::ingest_csv_text(*products_,
+                                        "p1,alpha\np2,beta\np4,gamma\n")
+                   .is_ok());
+  }
+
+  /// Binds a predicate over offers_ or fails the test.
+  BoundExprPtr bind_offers(const ExprPtr& e, const ParamMap& params = {}) {
+    TableScope scope(*offers_);
+    auto r = bind_predicate(e, scope, params, pool_);
+    GEMS_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+    return std::move(r).value();
+  }
+
+  StringPool pool_;
+  TablePtr offers_;
+  TablePtr products_;
+};
+
+// ---- Expr AST helpers -------------------------------------------------------
+
+TEST(ExprTest, ToStringRendersGraqlish) {
+  auto e = Expr::make_binary(
+      BinaryOp::kAnd,
+      Expr::make_binary(BinaryOp::kEq, Expr::make_column("", "country"),
+                        Expr::make_parameter("Country1")),
+      Expr::make_binary(BinaryOp::kGt, Expr::make_column("A", "price"),
+                        Expr::make_literal(Value::int64(10))));
+  EXPECT_EQ(e->to_string(),
+            "((country = %Country1%) and (A.price > 10))");
+}
+
+TEST(ExprTest, SplitAndRebuildConjuncts) {
+  auto a = Expr::make_column("", "a");
+  auto b = Expr::make_column("", "b");
+  auto c = Expr::make_column("", "c");
+  auto conj = Expr::make_binary(BinaryOp::kAnd,
+                                Expr::make_binary(BinaryOp::kAnd, a, b), c);
+  auto parts = split_conjuncts(conj);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_TRUE(parts[0]->equals(*a));
+  EXPECT_TRUE(parts[2]->equals(*c));
+  auto rebuilt = conjoin(parts);
+  ASSERT_EQ(split_conjuncts(rebuilt).size(), 3u);
+}
+
+TEST(ExprTest, OrIsNotSplit) {
+  auto e = Expr::make_binary(BinaryOp::kOr, Expr::make_column("", "a"),
+                             Expr::make_column("", "b"));
+  EXPECT_EQ(split_conjuncts(e).size(), 1u);
+}
+
+TEST(ExprTest, StructuralEquality) {
+  auto a = Expr::make_binary(BinaryOp::kLt, Expr::make_column("q", "x"),
+                             Expr::make_literal(Value::int64(3)));
+  auto b = Expr::make_binary(BinaryOp::kLt, Expr::make_column("q", "x"),
+                             Expr::make_literal(Value::int64(3)));
+  auto c = Expr::make_binary(BinaryOp::kLe, Expr::make_column("q", "x"),
+                             Expr::make_literal(Value::int64(3)));
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+}
+
+// ---- Binding / static type checking ----------------------------------------
+
+TEST_F(RelationalTest, BindResolvesColumnsAndTypes) {
+  TableScope scope(*offers_);
+  auto bound = bind_expr(Expr::make_column("", "price"), scope, {}, pool_);
+  ASSERT_TRUE(bound.is_ok());
+  EXPECT_EQ(bound.value()->type.kind, TypeKind::kDouble);
+  EXPECT_EQ(bound.value()->slot.column, 2u);
+}
+
+TEST_F(RelationalTest, BindRejectsUnknownColumn) {
+  TableScope scope(*offers_);
+  auto r = bind_expr(Expr::make_column("", "nosuch"), scope, {}, pool_);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RelationalTest, BindRejectsDateVsFloatComparison) {
+  // The paper's canonical static-check example (Sec. III-A).
+  TableScope scope(*offers_);
+  auto e = Expr::make_binary(BinaryOp::kLt,
+                             Expr::make_column("", "validFrom"),
+                             Expr::make_literal(Value::float64(1.5)));
+  EXPECT_EQ(bind_expr(e, scope, {}, pool_).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(RelationalTest, BindRejectsNonBooleanWhere) {
+  TableScope scope(*offers_);
+  auto r = bind_predicate(Expr::make_column("", "price"), scope, {}, pool_);
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(RelationalTest, BindRejectsLogicalOnNonBoolean) {
+  TableScope scope(*offers_);
+  auto e = Expr::make_binary(BinaryOp::kAnd, Expr::make_column("", "price"),
+                             Expr::make_literal(Value::boolean(true)));
+  EXPECT_EQ(bind_expr(e, scope, {}, pool_).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(RelationalTest, ParameterSubstitution) {
+  ParamMap params;
+  params.emplace("P", Value::varchar("p1"));
+  auto e = Expr::make_binary(BinaryOp::kEq, Expr::make_column("", "product"),
+                             Expr::make_parameter("P"));
+  auto rows = filter_rows(*offers_, *bind_offers(e, params));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(RelationalTest, UnboundParameterFails) {
+  TableScope scope(*offers_);
+  auto e = Expr::make_binary(BinaryOp::kEq, Expr::make_column("", "product"),
+                             Expr::make_parameter("Nope"));
+  EXPECT_FALSE(bind_expr(e, scope, {}, pool_).is_ok());
+}
+
+TEST_F(RelationalTest, QualifierMustMatchTableOrAlias) {
+  TableScope scope(*offers_, "o");
+  EXPECT_TRUE(bind_expr(Expr::make_column("o", "price"), scope, {}, pool_)
+                  .is_ok());
+  EXPECT_TRUE(
+      bind_expr(Expr::make_column("Offers", "price"), scope, {}, pool_)
+          .is_ok());
+  EXPECT_FALSE(
+      bind_expr(Expr::make_column("x", "price"), scope, {}, pool_).is_ok());
+}
+
+// ---- Evaluation semantics ---------------------------------------------------
+
+TEST_F(RelationalTest, FilterNumericComparison) {
+  auto e = Expr::make_binary(BinaryOp::kGe, Expr::make_column("", "price"),
+                             Expr::make_literal(Value::int64(15)));
+  // price >= 15: o2 (20), o3 (15), o4 (15). o5 has NULL price -> excluded.
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(e)),
+            (std::vector<storage::RowIndex>{1, 2, 3}));
+}
+
+TEST_F(RelationalTest, NullComparisonNeverMatches) {
+  auto lt = Expr::make_binary(BinaryOp::kLt,
+                              Expr::make_column("", "deliveryDays"),
+                              Expr::make_literal(Value::int64(100)));
+  auto ge = Expr::make_binary(BinaryOp::kGe,
+                              Expr::make_column("", "deliveryDays"),
+                              Expr::make_literal(Value::int64(100)));
+  // Row o3 has NULL deliveryDays: matches neither side.
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(lt)).size(), 4u);
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(ge)).size(), 0u);
+}
+
+TEST_F(RelationalTest, ThreeValuedOr) {
+  // deliveryDays < 100 or price > 0: o3's NULL deliveryDays must still
+  // match via the price disjunct.
+  auto e = Expr::make_binary(
+      BinaryOp::kOr,
+      Expr::make_binary(BinaryOp::kLt, Expr::make_column("", "deliveryDays"),
+                        Expr::make_literal(Value::int64(100))),
+      Expr::make_binary(BinaryOp::kGt, Expr::make_column("", "price"),
+                        Expr::make_literal(Value::int64(0))));
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(e)).size(), 5u);
+}
+
+TEST_F(RelationalTest, NotOperator) {
+  auto e = Expr::make_unary(
+      UnaryOp::kNot,
+      Expr::make_binary(BinaryOp::kEq, Expr::make_column("", "product"),
+                        Expr::make_literal(Value::varchar("p1"))));
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(e)).size(), 3u);
+}
+
+TEST_F(RelationalTest, StringOrderingComparison) {
+  auto e = Expr::make_binary(BinaryOp::kGt, Expr::make_column("", "id"),
+                             Expr::make_literal(Value::varchar("o3")));
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(e)),
+            (std::vector<storage::RowIndex>{3, 4}));
+}
+
+TEST_F(RelationalTest, DateComparison) {
+  auto e = Expr::make_binary(
+      BinaryOp::kGe, Expr::make_column("", "validFrom"),
+      Expr::make_literal(Value::date(storage::parse_date("2008-03-01")
+                                         .value())));
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(e)).size(), 3u);
+}
+
+TEST_F(RelationalTest, ArithmeticAndDivision) {
+  // price / deliveryDays > 2.8 : o1 (10/3=3.33), o2 (20/7=2.857),
+  // o4 (15/2=7.5). o3 has NULL days, o5 NULL price.
+  auto e = Expr::make_binary(
+      BinaryOp::kGt,
+      Expr::make_binary(BinaryOp::kDiv, Expr::make_column("", "price"),
+                        Expr::make_column("", "deliveryDays")),
+      Expr::make_literal(Value::float64(2.8)));
+  EXPECT_EQ(filter_rows(*offers_, *bind_offers(e)),
+            (std::vector<storage::RowIndex>{0, 1, 3}));
+}
+
+TEST_F(RelationalTest, DivisionByZeroYieldsNull) {
+  auto e = Expr::make_binary(
+      BinaryOp::kEq,
+      Expr::make_binary(BinaryOp::kDiv, Expr::make_column("", "price"),
+                        Expr::make_literal(Value::int64(0))),
+      Expr::make_column("", "price"));
+  EXPECT_TRUE(filter_rows(*offers_, *bind_offers(e)).empty());
+}
+
+// ---- Projection -------------------------------------------------------------
+
+TEST_F(RelationalTest, ProjectComputedColumns) {
+  TableScope scope(*offers_);
+  auto expr = bind_expr(
+      Expr::make_binary(BinaryOp::kMul, Expr::make_column("", "price"),
+                        Expr::make_literal(Value::int64(2))),
+      scope, {}, pool_);
+  ASSERT_TRUE(expr.is_ok());
+  std::vector<OutputColumn> outs;
+  outs.push_back({"doubled", std::move(expr).value()});
+  const std::vector<storage::RowIndex> rows{0, 1};
+  auto out = project(*offers_, rows, outs, "T");
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out->value_at(0, 0).as_double(), 20.0);
+  EXPECT_DOUBLE_EQ(out->value_at(1, 0).as_double(), 40.0);
+  EXPECT_EQ(out->schema().column(0).name, "doubled");
+}
+
+// ---- Join ---------------------------------------------------------------------
+
+TEST_F(RelationalTest, HashJoinPairs) {
+  const std::vector<storage::ColumnIndex> lk{1};  // offers.product
+  const std::vector<storage::ColumnIndex> rk{0};  // products.id
+  auto pairs = hash_join_pairs(*offers_, lk, *products_, rk);
+  ASSERT_TRUE(pairs.is_ok());
+  // o1,o2 -> p1 (row 0); o3,o4 -> p2 (row 1); o5 -> p3 missing.
+  EXPECT_EQ(pairs.value(),
+            (std::vector<std::pair<storage::RowIndex, storage::RowIndex>>{
+                {0, 0}, {1, 0}, {2, 1}, {3, 1}}));
+}
+
+TEST_F(RelationalTest, HashJoinMaterializesOutputs) {
+  const std::vector<storage::ColumnIndex> lk{1};
+  const std::vector<storage::ColumnIndex> rk{0};
+  const std::vector<JoinOutput> outs{{JoinOutput::kLeft, 0, "offer"},
+                                     {JoinOutput::kRight, 1, "label"}};
+  auto t = hash_join(*offers_, lk, *products_, rk, outs, "J");
+  ASSERT_TRUE(t.is_ok());
+  ASSERT_EQ((*t)->num_rows(), 4u);
+  EXPECT_EQ((*t)->value_at(0, 0).as_string(), "o1");
+  EXPECT_EQ((*t)->value_at(0, 1).as_string(), "alpha");
+  EXPECT_EQ((*t)->value_at(2, 1).as_string(), "beta");
+}
+
+TEST_F(RelationalTest, JoinRejectsMismatchedKeyTypes) {
+  const std::vector<storage::ColumnIndex> lk{2};  // price (double)
+  const std::vector<storage::ColumnIndex> rk{0};  // id (varchar)
+  EXPECT_EQ(hash_join_pairs(*offers_, lk, *products_, rk).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(RelationalTest, JoinSkipsNullKeys) {
+  // Join offers to itself on deliveryDays; o3's NULL never matches.
+  const std::vector<storage::ColumnIndex> k{3};
+  auto pairs = hash_join_pairs(*offers_, k, *offers_, k);
+  ASSERT_TRUE(pairs.is_ok());
+  for (const auto& [l, r] : pairs.value()) {
+    EXPECT_NE(l, 2u);
+    EXPECT_NE(r, 2u);
+  }
+  EXPECT_EQ(pairs->size(), 4u);  // o1,o2,o4,o5 each match only themselves
+}
+
+// ---- Group by / aggregates ---------------------------------------------------
+
+TEST_F(RelationalTest, GroupByCountsAndSums) {
+  const std::vector<storage::ColumnIndex> keys{1};  // product
+  const std::vector<AggSpec> aggs{{AggKind::kCountStar, 0, "n"},
+                                  {AggKind::kSum, 2, "total"},
+                                  {AggKind::kAvg, 2, "mean"},
+                                  {AggKind::kMin, 3, "fastest"},
+                                  {AggKind::kMax, 3, "slowest"}};
+  auto g = group_by(*offers_, keys, aggs, "G");
+  ASSERT_TRUE(g.is_ok());
+  const Table& t = **g;
+  ASSERT_EQ(t.num_rows(), 3u);  // p1, p2, p3 in first-seen order
+  EXPECT_EQ(t.value_at(0, 0).as_string(), "p1");
+  EXPECT_EQ(t.value_at(0, 1).as_int64(), 2);
+  EXPECT_DOUBLE_EQ(t.value_at(0, 2).as_double(), 30.0);
+  EXPECT_DOUBLE_EQ(t.value_at(0, 3).as_double(), 15.0);
+  EXPECT_EQ(t.value_at(0, 4).as_int64(), 3);
+  EXPECT_EQ(t.value_at(0, 5).as_int64(), 7);
+  // p2: one NULL deliveryDays -> min=max=2; sum over price = 30.
+  EXPECT_EQ(t.value_at(1, 4).as_int64(), 2);
+  EXPECT_EQ(t.value_at(1, 5).as_int64(), 2);
+  // p3: NULL price -> sum/avg NULL, count(*)=1.
+  EXPECT_EQ(t.value_at(2, 1).as_int64(), 1);
+  EXPECT_TRUE(t.value_at(2, 2).is_null());
+  EXPECT_TRUE(t.value_at(2, 3).is_null());
+}
+
+TEST_F(RelationalTest, CountColumnSkipsNulls) {
+  const std::vector<AggSpec> aggs{{AggKind::kCount, 3, "days"},
+                                  {AggKind::kCountStar, 0, "all"}};
+  auto g = group_by(*offers_, {}, aggs, "G");
+  ASSERT_TRUE(g.is_ok());
+  ASSERT_EQ((*g)->num_rows(), 1u);  // scalar aggregation
+  EXPECT_EQ((*g)->value_at(0, 0).as_int64(), 4);  // o3 NULL skipped
+  EXPECT_EQ((*g)->value_at(0, 1).as_int64(), 5);
+}
+
+TEST_F(RelationalTest, ScalarAggregationOnEmptyInput) {
+  Table empty("E", offers_->schema(), pool_);
+  const std::vector<AggSpec> aggs{{AggKind::kCountStar, 0, "n"},
+                                  {AggKind::kMin, 2, "m"}};
+  auto g = group_by(empty, {}, aggs, "G");
+  ASSERT_TRUE(g.is_ok());
+  ASSERT_EQ((*g)->num_rows(), 1u);
+  EXPECT_EQ((*g)->value_at(0, 0).as_int64(), 0);
+  EXPECT_TRUE((*g)->value_at(0, 1).is_null());
+}
+
+TEST_F(RelationalTest, SumRejectsNonNumeric) {
+  const std::vector<AggSpec> aggs{{AggKind::kSum, 0, "s"}};
+  EXPECT_EQ(group_by(*offers_, {}, aggs, "G").status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(RelationalTest, MinMaxOnStringsAndDates) {
+  const std::vector<AggSpec> aggs{{AggKind::kMin, 0, "first_id"},
+                                  {AggKind::kMax, 4, "latest"}};
+  auto g = group_by(*offers_, {}, aggs, "G");
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ((*g)->value_at(0, 0).as_string(), "o1");
+  EXPECT_EQ((*g)->value_at(0, 1).to_string(), "2008-04-01");
+}
+
+// ---- Order by / distinct / top ------------------------------------------------
+
+TEST_F(RelationalTest, OrderByDescWithNullsFirst) {
+  const std::vector<SortKey> keys{{2, /*descending=*/false}};
+  auto t = order_by(*offers_, keys, "S");
+  // Ascending: NULL price (o5) first, then 10, 15, 15, 20.
+  EXPECT_TRUE(t->value_at(0, 2).is_null());
+  EXPECT_DOUBLE_EQ(t->value_at(1, 2).as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(t->value_at(4, 2).as_double(), 20.0);
+}
+
+TEST_F(RelationalTest, OrderByIsStableOnTies) {
+  const std::vector<SortKey> keys{{2, true}};  // price desc
+  auto t = order_by(*offers_, keys, "S");
+  // o3 and o4 tie at 15; stability keeps o3 before o4.
+  EXPECT_EQ(t->value_at(1, 0).as_string(), "o3");
+  EXPECT_EQ(t->value_at(2, 0).as_string(), "o4");
+}
+
+TEST_F(RelationalTest, MultiKeySort) {
+  const std::vector<SortKey> keys{{1, false}, {2, true}};
+  auto t = order_by(*offers_, keys, "S");
+  EXPECT_EQ(t->value_at(0, 0).as_string(), "o2");  // p1 / 20
+  EXPECT_EQ(t->value_at(1, 0).as_string(), "o1");  // p1 / 10
+}
+
+TEST_F(RelationalTest, DistinctDropsDuplicateRows) {
+  // Project product only, then distinct.
+  const std::vector<storage::RowIndex> all{0, 1, 2, 3, 4};
+  const std::vector<storage::ColumnIndex> cols{1};
+  auto proj = materialize(*offers_, all, cols, "P");
+  auto d = distinct(*proj, "D");
+  EXPECT_EQ(d->num_rows(), 3u);
+  EXPECT_EQ(d->value_at(0, 0).as_string(), "p1");
+  EXPECT_EQ(d->value_at(2, 0).as_string(), "p3");
+}
+
+TEST_F(RelationalTest, HeadTruncates) {
+  EXPECT_EQ(head(*offers_, 2, "H")->num_rows(), 2u);
+  EXPECT_EQ(head(*offers_, 99, "H")->num_rows(), 5u);
+  EXPECT_EQ(head(*offers_, 0, "H")->num_rows(), 0u);
+}
+
+TEST_F(RelationalTest, ParallelFilterMatchesSerial) {
+  ThreadPool pool(4);
+  auto e = Expr::make_binary(BinaryOp::kGe, Expr::make_column("", "price"),
+                             Expr::make_literal(Value::int64(15)));
+  auto pred = bind_offers(e);
+  EXPECT_EQ(filter_rows_parallel(*offers_, *pred, pool),
+            filter_rows(*offers_, *pred));
+
+  // A larger synthetic table covering chunk boundaries.
+  auto big = std::make_shared<Table>(
+      "Big", Schema({{"x", DataType::int64()}}), pool_);
+  for (int i = 0; i < 10007; ++i) {
+    big->append_row_unchecked(std::vector<Value>{Value::int64(i % 97)});
+  }
+  TableScope scope(*big);
+  auto cond = bind_predicate(
+      Expr::make_binary(BinaryOp::kLt, Expr::make_column("", "x"),
+                        Expr::make_literal(Value::int64(13))),
+      scope, {}, pool_);
+  ASSERT_TRUE(cond.is_ok());
+  EXPECT_EQ(filter_rows_parallel(*big, **cond, pool),
+            filter_rows(*big, **cond));
+}
+
+TEST_F(RelationalTest, MaterializeRenames) {
+  const std::vector<storage::RowIndex> rows{0};
+  const std::vector<storage::ColumnIndex> cols{0, 2};
+  const std::vector<std::string> names{"offer_id", "cost"};
+  auto t = materialize(*offers_, rows, cols, "M", &names);
+  EXPECT_EQ(t->schema().column(0).name, "offer_id");
+  EXPECT_EQ(t->schema().column(1).name, "cost");
+}
+
+}  // namespace
+}  // namespace gems::relational

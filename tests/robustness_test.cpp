@@ -1,0 +1,137 @@
+// Robustness / fuzz-style tests: malformed GraQL never crashes the
+// front-end (it fails with a clean Status), mutated IR never crashes the
+// decoder, and hostile CSV never corrupts tables.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "graql/ir.hpp"
+#include "graql/lexer.hpp"
+#include "graql/parser.hpp"
+#include "storage/csv.hpp"
+
+namespace gems::graql {
+namespace {
+
+// ---- Lexer/parser on garbage ------------------------------------------------
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, RandomBytesNeverCrashLexerOrParser) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    const std::size_t len = rng.below(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Printable-heavy mix with occasional control bytes.
+      const char c = rng.chance(0.95)
+                         ? static_cast<char>(32 + rng.below(95))
+                         : static_cast<char>(rng.below(32));
+      input.push_back(c);
+    }
+    // Must return (ok or error), never crash.
+    auto script = parse_script(input);
+    (void)script;
+  }
+}
+
+TEST_P(FuzzTest, TokenSoupNeverCrashesParser) {
+  Xoshiro256 rng(GetParam() ^ 0x5eedu);
+  const char* fragments[] = {
+      "select", "create", "table", "vertex", "edge", "from", "graph",
+      "where",  "into",   "subgraph", "def",  "foreach", "and", "or",
+      "(",      ")",      "[",     "]",     "{",    "}",   "-->", "<--",
+      "--",     "*",      "+",     ",",     ".",    ":",   "ident",
+      "V1",     "'str'",  "%P%",   "42",    "3.5",  "top", "group", "by",
+      "order",  "count",  "as",    "=",     "<>",   "ingest", "output",
+  };
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const std::size_t n = rng.below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      input += fragments[rng.below(std::size(fragments))];
+      input += ' ';
+    }
+    auto script = parse_script(input);
+    (void)script;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---- IR mutation ---------------------------------------------------------------
+
+TEST(IrFuzzTest, MutatedIrFailsCleanly) {
+  auto script = parse_script(
+      "create table T(id varchar(10), w integer)\n"
+      "create vertex V(id) from table T\n"
+      "select V.id from graph V(w > 3) --e--> V2() into table R\n"
+      "select top 5 id, count(*) as n from table R group by id order by n "
+      "desc");
+  ASSERT_TRUE(script.is_ok());
+  const auto bytes = encode_script(script.value());
+
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    auto mutated = bytes;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    // Decode must return ok or a clean error — UB/crash is the failure.
+    auto decoded = decode_script(mutated);
+    if (decoded.is_ok()) {
+      // If it happens to decode, printing must work too.
+      (void)to_string(decoded.value());
+    }
+  }
+}
+
+TEST(IrFuzzTest, TruncationSweepFailsCleanly) {
+  auto script = parse_script(
+      "select * from graph A() ( --[]--> [ ] )+ --e(x = 1)--> B() into "
+      "subgraph g");
+  ASSERT_TRUE(script.is_ok());
+  const auto bytes = encode_script(script.value());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(decode_script(truncated).is_ok()) << "cut at " << cut;
+  }
+}
+
+// ---- CSV hostility ---------------------------------------------------------------
+
+TEST(CsvFuzzTest, RandomCsvNeverCorruptsTables) {
+  StringPool pool;
+  Xoshiro256 rng(7);
+  storage::Table table(
+      "T",
+      storage::Schema({{"a", storage::DataType::varchar(8)},
+                       {"b", storage::DataType::int64()},
+                       {"c", storage::DataType::date()}}),
+      pool);
+  const char bytes_pool[] = ",\"\n\r'ab1-x\\0";
+  for (int round = 0; round < 500; ++round) {
+    std::string csv;
+    const std::size_t len = rng.below(80);
+    for (std::size_t i = 0; i < len; ++i) {
+      csv.push_back(bytes_pool[rng.below(sizeof(bytes_pool) - 1)]);
+    }
+    const std::size_t before = table.num_rows();
+    auto r = storage::ingest_csv_text(table, csv);
+    if (!r.is_ok()) {
+      // Atomicity: failures leave the table untouched.
+      EXPECT_EQ(table.num_rows(), before);
+    }
+  }
+  // The table is still internally consistent: every row readable.
+  for (storage::RowIndex r = 0; r < table.num_rows(); ++r) {
+    for (storage::ColumnIndex c = 0; c < table.num_columns(); ++c) {
+      (void)table.value_at(r, c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gems::graql

@@ -1,0 +1,251 @@
+// Unit tests for src/storage: data types, dates, values, schemas, columns,
+// tables and the table catalog.
+#include <gtest/gtest.h>
+
+#include "storage/catalog.hpp"
+#include "storage/schema.hpp"
+#include "storage/table.hpp"
+#include "storage/type.hpp"
+#include "storage/value.hpp"
+
+namespace gems::storage {
+namespace {
+
+// ---- DataType parsing ------------------------------------------------------
+
+TEST(TypeTest, ParseBasicTypes) {
+  EXPECT_EQ(parse_data_type("integer").value(), DataType::int64());
+  EXPECT_EQ(parse_data_type("bigint").value(), DataType::int64());
+  EXPECT_EQ(parse_data_type("float").value(), DataType::float64());
+  EXPECT_EQ(parse_data_type("double").value(), DataType::float64());
+  EXPECT_EQ(parse_data_type("date").value(), DataType::date());
+  EXPECT_EQ(parse_data_type("boolean").value(), DataType::boolean());
+  EXPECT_EQ(parse_data_type("varchar(10)").value(), DataType::varchar(10));
+  EXPECT_EQ(parse_data_type("VARCHAR(255)").value(), DataType::varchar(255));
+}
+
+TEST(TypeTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_data_type("intger").is_ok());
+  EXPECT_FALSE(parse_data_type("varchar(0)").is_ok());
+  EXPECT_FALSE(parse_data_type("varchar(x)").is_ok());
+  EXPECT_FALSE(parse_data_type("varchar(10").is_ok());
+}
+
+TEST(TypeTest, Comparability) {
+  EXPECT_TRUE(DataType::int64().comparable_with(DataType::float64()));
+  EXPECT_TRUE(DataType::varchar(5).comparable_with(DataType::varchar(99)));
+  // The paper's example: comparing a date to a floating-point number.
+  EXPECT_FALSE(DataType::date().comparable_with(DataType::float64()));
+  EXPECT_FALSE(DataType::date().comparable_with(DataType::int64()));
+  EXPECT_FALSE(DataType::varchar(5).comparable_with(DataType::int64()));
+}
+
+TEST(TypeTest, ToString) {
+  EXPECT_EQ(DataType::varchar(10).to_string(), "varchar(10)");
+  EXPECT_EQ(DataType::int64().to_string(), "integer");
+  EXPECT_EQ(DataType::date().to_string(), "date");
+}
+
+// ---- Dates ---------------------------------------------------------------
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(civil_to_days(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(civil_to_days(1970, 1, 2), 1);
+  EXPECT_EQ(civil_to_days(1969, 12, 31), -1);
+  EXPECT_EQ(civil_to_days(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, RoundTripAcrossRange) {
+  // Every 13 days over ~80 years, plus leap-year edges.
+  for (std::int64_t d = -15000; d < 25000; d += 13) {
+    int y;
+    unsigned m, dd;
+    days_to_civil(d, y, m, dd);
+    EXPECT_EQ(civil_to_days(y, m, dd), d);
+  }
+}
+
+TEST(DateTest, ParseAndFormat) {
+  EXPECT_EQ(parse_date("2008-06-20").value(),
+            civil_to_days(2008, 6, 20));
+  EXPECT_EQ(format_date(parse_date("2008-06-20").value()), "2008-06-20");
+  EXPECT_EQ(format_date(0), "1970-01-01");
+}
+
+TEST(DateTest, ParseValidatesCalendar) {
+  EXPECT_FALSE(parse_date("2008-13-01").is_ok());
+  EXPECT_FALSE(parse_date("2008-02-30").is_ok());
+  EXPECT_TRUE(parse_date("2008-02-29").is_ok());   // leap year
+  EXPECT_FALSE(parse_date("1900-02-29").is_ok());  // not a leap year
+  EXPECT_TRUE(parse_date("2000-02-29").is_ok());   // 400-year rule
+  EXPECT_FALSE(parse_date("2008/06/20").is_ok());
+  EXPECT_FALSE(parse_date("20080620").is_ok());
+  EXPECT_FALSE(parse_date("2008-6-20").is_ok());
+}
+
+// ---- Value ------------------------------------------------------------------
+
+TEST(ValueTest, NullBehaviour) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.to_string(), "");
+  EXPECT_TRUE(Value::null() == Value::null());
+  EXPECT_FALSE(Value::null() == Value::int64(0));
+}
+
+TEST(ValueTest, NumericPromotionEquality) {
+  EXPECT_TRUE(Value::int64(3) == Value::float64(3.0));
+  EXPECT_FALSE(Value::int64(3) == Value::float64(3.5));
+  // Hash consistency with promoted equality.
+  EXPECT_EQ(Value::int64(3).hash(), Value::float64(3.0).hash());
+}
+
+TEST(ValueTest, DateIsNotAnInteger) {
+  EXPECT_FALSE(Value::date(100) == Value::int64(100));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::null().compare(Value::int64(-5)), 0);  // nulls first
+  EXPECT_EQ(Value::null().compare(Value::null()), 0);
+  EXPECT_LT(Value::int64(1).compare(Value::int64(2)), 0);
+  EXPECT_GT(Value::varchar("b").compare(Value::varchar("a")), 0);
+  EXPECT_LT(Value::date(1).compare(Value::date(2)), 0);
+  EXPECT_EQ(Value::float64(2.0).compare(Value::int64(2)), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::int64(-7).to_string(), "-7");
+  EXPECT_EQ(Value::boolean(true).to_string(), "true");
+  EXPECT_EQ(Value::varchar("xy").to_string(), "xy");
+  EXPECT_EQ(Value::date(0).to_string(), "1970-01-01");
+}
+
+// ---- Schema ------------------------------------------------------------------
+
+TEST(SchemaTest, FindByName) {
+  Schema s({{"id", DataType::varchar(10)}, {"price", DataType::float64()}});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.find("price"), ColumnIndex{1});
+  EXPECT_EQ(s.find("missing"), std::nullopt);
+  // Case sensitive.
+  EXPECT_EQ(s.find("Price"), std::nullopt);
+}
+
+TEST(SchemaTest, CreateRejectsDuplicates) {
+  EXPECT_FALSE(Schema::create({{"id", DataType::int64()},
+                               {"id", DataType::int64()}})
+                   .is_ok());
+}
+
+// ---- Table -------------------------------------------------------------------
+
+class TableTest : public ::testing::Test {
+ protected:
+  StringPool pool_;
+  Schema schema_{{{"id", DataType::varchar(10)},
+                  {"price", DataType::float64()},
+                  {"qty", DataType::int64()},
+                  {"when", DataType::date()}}};
+};
+
+TEST_F(TableTest, AppendAndRead) {
+  Table t("Offers", schema_, pool_);
+  ASSERT_TRUE(t.append_row(std::vector<Value>{
+                                Value::varchar("o1"), Value::float64(9.5),
+                                Value::int64(3), Value::date(100)})
+                  .is_ok());
+  ASSERT_TRUE(t.append_row(std::vector<Value>{Value::varchar("o2"),
+                                              Value::null(), Value::int64(1),
+                                              Value::null()})
+                  .is_ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.value_at(0, 0).as_string(), "o1");
+  EXPECT_EQ(t.value_at(0, 1).as_double(), 9.5);
+  EXPECT_TRUE(t.value_at(1, 1).is_null());
+  EXPECT_EQ(t.value_at(1, 2).as_int64(), 1);
+}
+
+TEST_F(TableTest, AppendValidatesArity) {
+  Table t("T", schema_, pool_);
+  EXPECT_FALSE(t.append_row(std::vector<Value>{Value::int64(1)}).is_ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(TableTest, AppendValidatesKinds) {
+  Table t("T", schema_, pool_);
+  // Integer into a varchar column.
+  const auto s = t.append_row(std::vector<Value>{
+      Value::int64(1), Value::float64(1), Value::int64(1), Value::date(1)});
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(TableTest, IntPromotesIntoFloatColumn) {
+  Table t("T", schema_, pool_);
+  ASSERT_TRUE(t.append_row(std::vector<Value>{Value::varchar("a"),
+                                              Value::int64(7), Value::int64(1),
+                                              Value::date(0)})
+                  .is_ok());
+  EXPECT_EQ(t.value_at(0, 1).as_double(), 7.0);
+}
+
+TEST_F(TableTest, VarcharLengthEnforced) {
+  Table t("T", schema_, pool_);
+  const auto s = t.append_row(std::vector<Value>{
+      Value::varchar("this-is-far-too-long"), Value::float64(1),
+      Value::int64(1), Value::date(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TableTest, SharedPoolInternsAcrossTables) {
+  Table a("A", Schema({{"s", DataType::varchar(10)}}), pool_);
+  Table b("B", Schema({{"s", DataType::varchar(10)}}), pool_);
+  ASSERT_TRUE(a.append_row(std::vector<Value>{Value::varchar("x")}).is_ok());
+  ASSERT_TRUE(b.append_row(std::vector<Value>{Value::varchar("x")}).is_ok());
+  EXPECT_EQ(a.column(0).string_at(0), b.column(0).string_at(0));
+}
+
+TEST_F(TableTest, ByteSizeGrows) {
+  Table t("T", schema_, pool_);
+  const auto empty = t.byte_size();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.append_row(std::vector<Value>{
+                                  Value::varchar("r"), Value::float64(i),
+                                  Value::int64(i), Value::date(i)})
+                    .is_ok());
+  }
+  EXPECT_GT(t.byte_size(), empty);
+}
+
+// ---- Catalog -------------------------------------------------------------
+
+TEST(CatalogTest, AddAndFind) {
+  StringPool pool;
+  TableCatalog catalog;
+  auto t = std::make_shared<Table>("Products",
+                                   Schema({{"id", DataType::varchar(10)}}),
+                                   pool);
+  ASSERT_TRUE(catalog.add(t).is_ok());
+  EXPECT_TRUE(catalog.contains("Products"));
+  EXPECT_EQ(catalog.find("Products").value().get(), t.get());
+  EXPECT_FALSE(catalog.find("Nope").is_ok());
+  // Duplicate registration fails.
+  EXPECT_EQ(catalog.add(t).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.names(), std::vector<std::string>{"Products"});
+}
+
+TEST(CatalogTest, AddOrReplace) {
+  StringPool pool;
+  TableCatalog catalog;
+  auto a = std::make_shared<Table>("T", Schema({{"x", DataType::int64()}}),
+                                   pool);
+  auto b = std::make_shared<Table>("T", Schema({{"y", DataType::int64()}}),
+                                   pool);
+  ASSERT_TRUE(catalog.add(a).is_ok());
+  catalog.add_or_replace(b);
+  EXPECT_EQ(catalog.find("T").value().get(), b.get());
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gems::storage
