@@ -1,0 +1,154 @@
+// E-NET — wire overhead and service throughput: Berlin Q1/Q2 shipped as
+// binary IR over a loopback TCP connection to gems::net::Server, at 1, 4
+// and 16 concurrent clients. Reports requests/s and client-observed
+// p50/p99 latency, plus the server-side queue-wait vs. execute split from
+// the per-request metrics registry (the kStats verb), so wire/queue cost
+// is separable from execution cost.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace gems::bench {
+namespace {
+
+constexpr std::size_t kScale = 500;
+
+net::ClientOptions client_options(std::uint16_t port) {
+  net::ClientOptions options;
+  options.port = port;
+  options.client_name = "bench-net";
+  return options;
+}
+
+/// Runs `total_requests` of `script` spread over `num_clients` connections
+/// and fills the client-observed per-request latencies (microseconds).
+void hammer(std::uint16_t port, const std::string& script,
+            const relational::ParamMap& params, int num_clients,
+            int total_requests, std::vector<std::uint64_t>& latencies_us) {
+  latencies_us.assign(static_cast<std::size_t>(total_requests), 0);
+  std::atomic<int> next{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&] {
+      net::Client client(client_options(port));
+      if (!client.connect().is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (;;) {
+        const int slot = next.fetch_add(1);
+        if (slot >= total_requests) return;
+        const auto start = std::chrono::steady_clock::now();
+        auto r = client.run_script(script, params);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!r.is_ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        latencies_us[static_cast<std::size_t>(slot)] =
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(stop -
+                                                                      start)
+                    .count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  GEMS_CHECK_MSG(failures.load() == 0, "wire benchmark request failed");
+}
+
+std::uint64_t percentile_us(std::vector<std::uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+void run_wire_benchmark(benchmark::State& state, const std::string& script) {
+  const int num_clients = static_cast<int>(state.range(0));
+  server::Database& db = berlin_db(kScale);
+  net::ServerOptions options;
+  options.num_workers = 4;
+  net::Server server(db, options);
+  GEMS_CHECK(server.start().is_ok());
+  const auto params = berlin_params();
+
+  const int requests_per_iter = std::max(16, num_clients * 4);
+  std::vector<std::uint64_t> latencies_us;
+  std::size_t total_requests = 0;
+  for (auto _ : state) {
+    hammer(server.port(), script, params, num_clients, requests_per_iter,
+           latencies_us);
+    total_requests += latencies_us.size();
+  }
+
+  state.counters["clients"] = static_cast<double>(num_clients);
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] =
+      static_cast<double>(percentile_us(latencies_us, 0.50));
+  state.counters["p99_us"] =
+      static_cast<double>(percentile_us(latencies_us, 0.99));
+
+  // Server-side split, over the wire like any other client would get it.
+  net::Client stats_client(client_options(server.port()));
+  GEMS_CHECK(stats_client.connect().is_ok());
+  auto snapshot = stats_client.stats();
+  GEMS_CHECK(snapshot.is_ok());
+  const auto& run = snapshot->verb(net::Verb::kRunScript);
+  state.counters["srv_queue_p50_us"] =
+      static_cast<double>(run.queue_wait.quantile_us(0.50));
+  state.counters["srv_queue_p99_us"] =
+      static_cast<double>(run.queue_wait.quantile_us(0.99));
+  state.counters["srv_exec_p50_us"] =
+      static_cast<double>(run.execute.quantile_us(0.50));
+  state.counters["srv_exec_p99_us"] =
+      static_cast<double>(run.execute.quantile_us(0.99));
+  server.stop();
+}
+
+void BM_Wire_BerlinQ1(benchmark::State& state) {
+  run_wire_benchmark(state, bsbm::berlin_q1());
+}
+BENCHMARK(BM_Wire_BerlinQ1)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Wire_BerlinQ2(benchmark::State& state) {
+  run_wire_benchmark(state, bsbm::berlin_q2());
+}
+BENCHMARK(BM_Wire_BerlinQ2)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Baseline: the same scripts without the wire (direct Database calls),
+/// for the "what does the network layer cost" comparison.
+void BM_Direct_BerlinQ1(benchmark::State& state) {
+  server::Database& db = berlin_db(kScale);
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db, bsbm::berlin_q1(), params);
+    benchmark::DoNotOptimize(r.table);
+  }
+}
+BENCHMARK(BM_Direct_BerlinQ1)->Unit(benchmark::kMillisecond);
+
+void BM_Direct_BerlinQ2(benchmark::State& state) {
+  server::Database& db = berlin_db(kScale);
+  const auto params = berlin_params();
+  for (auto _ : state) {
+    auto r = must_run(db, bsbm::berlin_q2(), params);
+    benchmark::DoNotOptimize(r.table);
+  }
+}
+BENCHMARK(BM_Direct_BerlinQ2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gems::bench
+
+BENCHMARK_MAIN();

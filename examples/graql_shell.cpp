@@ -4,6 +4,14 @@
 // pipeline, prints result tables/subgraphs.
 //
 //   $ ./examples/graql_shell [--berlin N] [--data-dir DIR]
+//   $ ./examples/graql_shell --serve 7687 [--berlin N]     # wire server
+//   $ ./examples/graql_shell --connect host:7687           # wire client
+//
+// By default the shell runs the whole GEMS stack in-process. With
+// `--serve` it becomes the server end of the gems::net wire (and serves
+// until a client sends the shutdown verb or stdin closes); with
+// `--connect` it parses and compiles GraQL locally and ships the binary
+// IR to a remote server.
 //
 // Shell meta-commands:
 //   \catalog          list all database objects with sizes
@@ -12,16 +20,21 @@
 //   \params           show bound parameters
 //   \check            only statically analyze the next statement
 //   \explain          show the query plan for the next statement
+//   \stats            server-side request metrics (remote mode)
+//   \shutdown         ask the remote server to shut down (remote mode)
 //   \quit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "bsbm/generator.hpp"
 #include "bsbm/schema.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "server/database.hpp"
 
 namespace {
@@ -57,39 +70,199 @@ gems::Result<Value> parse_param_value(const std::string& text) {
   return Value::int64(v);
 }
 
+/// The two execution ends the shell can drive: the in-process Database or
+/// a remote server over the gems::net wire. Same API either way — that is
+/// the point of the serialized-IR hand-off.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual gems::Result<std::vector<gems::exec::StatementResult>> run(
+      const std::string& text, const gems::relational::ParamMap& params) = 0;
+  virtual gems::Status check(const std::string& text,
+                             const gems::relational::ParamMap& params) = 0;
+  virtual gems::Result<std::string> explain(
+      const std::string& text, const gems::relational::ParamMap& params) = 0;
+  virtual gems::Result<std::string> catalog_summary() = 0;
+  virtual gems::Result<std::string> stats() {
+    return gems::unimplemented("\\stats needs --connect (remote mode)");
+  }
+  virtual gems::Status shutdown_server() {
+    return gems::unimplemented("\\shutdown needs --connect (remote mode)");
+  }
+};
+
+class LocalBackend : public Backend {
+ public:
+  explicit LocalBackend(gems::server::Database& db) : db_(db) {}
+  gems::Result<std::vector<gems::exec::StatementResult>> run(
+      const std::string& text,
+      const gems::relational::ParamMap& params) override {
+    return db_.run_script(text, params);
+  }
+  gems::Status check(const std::string& text,
+                     const gems::relational::ParamMap& params) override {
+    return db_.check_script(text, &params);
+  }
+  gems::Result<std::string> explain(
+      const std::string& text,
+      const gems::relational::ParamMap& params) override {
+    return db_.explain(text, params);
+  }
+  gems::Result<std::string> catalog_summary() override {
+    return db_.catalog_summary();
+  }
+
+ private:
+  gems::server::Database& db_;
+};
+
+class RemoteBackend : public Backend {
+ public:
+  explicit RemoteBackend(gems::net::Client& client) : client_(client) {}
+  gems::Result<std::vector<gems::exec::StatementResult>> run(
+      const std::string& text,
+      const gems::relational::ParamMap& params) override {
+    return client_.run_script(text, params);
+  }
+  gems::Status check(const std::string& text,
+                     const gems::relational::ParamMap& params) override {
+    return client_.check_script(text, &params);
+  }
+  gems::Result<std::string> explain(
+      const std::string& text,
+      const gems::relational::ParamMap& params) override {
+    return client_.explain(text, params);
+  }
+  gems::Result<std::string> catalog_summary() override {
+    auto entries = client_.catalog();
+    if (!entries.is_ok()) return entries.status();
+    auto kind_name = [](gems::server::CatalogEntry::Kind k) {
+      switch (k) {
+        case gems::server::CatalogEntry::Kind::kTable:
+          return "table   ";
+        case gems::server::CatalogEntry::Kind::kVertexType:
+          return "vertex  ";
+        case gems::server::CatalogEntry::Kind::kEdgeType:
+          return "edge    ";
+        case gems::server::CatalogEntry::Kind::kSubgraph:
+          return "subgraph";
+      }
+      return "?";
+    };
+    std::ostringstream out;
+    for (const auto& e : entries.value()) {
+      out << kind_name(e.kind) << "  " << e.name << "  " << e.instances
+          << " instances";
+      if (e.byte_size > 0) out << ", " << e.byte_size << " bytes";
+      out << "\n";
+    }
+    return out.str();
+  }
+  gems::Result<std::string> stats() override {
+    auto snapshot = client_.stats();
+    if (!snapshot.is_ok()) return snapshot.status();
+    return snapshot->to_string();
+  }
+  gems::Status shutdown_server() override {
+    return client_.shutdown_server();
+  }
+
+ private:
+  gems::net::Client& client_;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--berlin N] [--data-dir DIR] [--serve PORT | "
+               "--connect HOST:PORT] < script.graql\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   gems::server::DatabaseOptions options;
   std::size_t berlin_scale = 0;
+  int serve_port = -1;
+  std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--berlin") == 0 && i + 1 < argc) {
       berlin_scale = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       options.data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+      if (serve_port < 0 || serve_port > 65535) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_target = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--berlin N] [--data-dir DIR] < script.graql\n",
-                   argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
+  if (serve_port >= 0 && !connect_target.empty()) return usage(argv[0]);
 
-  gems::server::Database db(options);
-  if (berlin_scale > 0) {
-    auto ddl = db.run_script(gems::bsbm::full_ddl());
-    if (!ddl.is_ok()) {
-      std::fprintf(stderr, "%s\n", ddl.status().to_string().c_str());
+  // ---- Remote mode: the shell is a pure front-end ----------------------
+  std::unique_ptr<gems::net::Client> client;
+  std::unique_ptr<gems::server::Database> db;
+  std::unique_ptr<Backend> backend;
+  if (!connect_target.empty()) {
+    const std::size_t colon = connect_target.rfind(':');
+    if (colon == std::string::npos) return usage(argv[0]);
+    gems::net::ClientOptions copt;
+    copt.host = connect_target.substr(0, colon);
+    copt.port = static_cast<std::uint16_t>(
+        std::atoi(connect_target.c_str() + colon + 1));
+    copt.client_name = "graql_shell";
+    client = std::make_unique<gems::net::Client>(copt);
+    const gems::Status s = client->connect();
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
       return 1;
     }
-    auto gen = gems::bsbm::generate(
-        db, gems::bsbm::GeneratorConfig::derive(berlin_scale));
-    if (!gen.is_ok()) {
-      std::fprintf(stderr, "%s\n", gen.status().to_string().c_str());
+    std::fprintf(stderr, "connected to %s (session %llu)\n",
+                 connect_target.c_str(),
+                 static_cast<unsigned long long>(client->session_id()));
+    backend = std::make_unique<RemoteBackend>(*client);
+  } else {
+    db = std::make_unique<gems::server::Database>(options);
+    if (berlin_scale > 0) {
+      auto ddl = db->run_script(gems::bsbm::full_ddl());
+      if (!ddl.is_ok()) {
+        std::fprintf(stderr, "%s\n", ddl.status().to_string().c_str());
+        return 1;
+      }
+      auto gen = gems::bsbm::generate(
+          *db, gems::bsbm::GeneratorConfig::derive(berlin_scale));
+      if (!gen.is_ok()) {
+        std::fprintf(stderr, "%s\n", gen.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("loaded Berlin dataset: %zu rows total\n",
+                  gen->total_rows());
+    }
+    backend = std::make_unique<LocalBackend>(*db);
+  }
+
+  // ---- Serve mode: expose the database on the wire and block ----------
+  if (serve_port >= 0) {
+    gems::net::ServerOptions sopt;
+    sopt.port = static_cast<std::uint16_t>(serve_port);
+    sopt.bind_address = "0.0.0.0";
+    gems::net::Server server(*db, sopt);
+    const gems::Status s = server.start();
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
       return 1;
     }
-    std::printf("loaded Berlin dataset: %zu rows total\n",
-                gen->total_rows());
+    std::fprintf(stderr,
+                 "serving on port %u (send the shutdown verb, e.g. shell "
+                 "\\shutdown, to stop)\n",
+                 server.port());
+    server.wait();
+    server.stop();
+    std::fprintf(stderr, "%s", server.metrics_snapshot().to_string().c_str());
+    return 0;
   }
 
   gems::relational::ParamMap params;
@@ -106,21 +279,21 @@ int main(int argc, char** argv) {
     }
     if (check_only) {
       check_only = false;
-      const gems::Status s = db.check_script(buffer, &params);
+      const gems::Status s = backend->check(buffer, params);
       std::printf("%s\n", s.is_ok() ? "ok" : s.to_string().c_str());
       buffer.clear();
       return;
     }
     if (explain_only) {
       explain_only = false;
-      auto plan = db.explain(buffer, params);
+      auto plan = backend->explain(buffer, params);
       std::printf("%s\n", plan.is_ok()
                                ? plan.value().c_str()
                                : plan.status().to_string().c_str());
       buffer.clear();
       return;
     }
-    auto results = db.run_script(buffer, params);
+    auto results = backend->run(buffer, params);
     buffer.clear();
     if (!results.is_ok()) {
       std::printf("error: %s\n", results.status().to_string().c_str());
@@ -146,7 +319,10 @@ int main(int argc, char** argv) {
       cmd >> word;
       if (word == "quit" || word == "q") break;
       if (word == "catalog") {
-        std::printf("%s", db.catalog_summary().c_str());
+        auto summary = backend->catalog_summary();
+        std::printf("%s", summary.is_ok()
+                              ? summary.value().c_str()
+                              : (summary.status().to_string() + "\n").c_str());
       } else if (word == "params") {
         for (const auto& [name, value] : params) {
           std::printf("%%%s%% = %s\n", name.c_str(),
@@ -171,6 +347,15 @@ int main(int argc, char** argv) {
       } else if (word == "explain") {
         explain_only = true;
         std::printf("next statement will be explained, not executed\n");
+      } else if (word == "stats") {
+        auto stats = backend->stats();
+        std::printf("%s", stats.is_ok()
+                              ? stats.value().c_str()
+                              : (stats.status().to_string() + "\n").c_str());
+      } else if (word == "shutdown") {
+        const gems::Status s = backend->shutdown_server();
+        std::printf("%s\n", s.is_ok() ? "server shutting down"
+                                      : s.to_string().c_str());
       } else {
         std::printf("unknown command \\%s\n", word.c_str());
       }

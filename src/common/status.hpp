@@ -26,6 +26,10 @@ enum class StatusCode {
   kIoError,           // filesystem / CSV ingest failure
   kUnimplemented,     // declared-but-unsupported feature
   kInternal,          // invariant failure surfaced as a status
+  kOverloaded,        // admission control rejected (queue full); retryable
+  kDeadlineExceeded,  // request deadline/timeout elapsed
+  kCancelled,         // request cancelled by the client
+  kUnavailable,       // transport failure (connect/send/recv); retryable
 };
 
 /// Human-readable name of a status code ("Ok", "ParseError", ...).
@@ -83,6 +87,18 @@ inline Status unimplemented(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status overloaded(std::string msg) {
+  return Status(StatusCode::kOverloaded, std::move(msg));
+}
+inline Status deadline_exceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+inline Status unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 /// A value of type T or an error Status. Accessing the value of a failed

@@ -119,11 +119,17 @@ class Writer {
 
 // ---- Reader -----------------------------------------------------------------
 
-// Bounds guard used by Reader methods (references Reader members).
-#define GEMS_RETURN_IF_SHORT(n)                            \
-  do {                                                     \
-    if (pos_ + (n) > bytes_.size())                        \
-      return parse_error("malformed IR: truncated input"); \
+// Bounds guard used by Reader methods (references Reader members). The
+// offset pins down *where* a truncated/hostile input went bad, which is
+// what a wire peer needs to debug a corrupt frame.
+#define GEMS_RETURN_IF_SHORT(n)                                         \
+  do {                                                                  \
+    if ((n) > bytes_.size() - pos_)                                     \
+      return parse_error("malformed IR: need " + std::to_string(n) +    \
+                         " bytes but only " +                           \
+                         std::to_string(bytes_.size() - pos_) +         \
+                         " remain at byte offset " +                    \
+                         std::to_string(pos_));                         \
   } while (0)
 
 class Reader {
@@ -147,14 +153,31 @@ class Reader {
 
   Result<std::string> str() {
     GEMS_ASSIGN_OR_RETURN(std::uint32_t n, u32());
+    // Reject the length prefix against the remaining buffer *before* the
+    // string allocation: a mutated 4 GiB length must never reach new[].
     GEMS_RETURN_IF_SHORT(n);
     std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
     pos_ += n;
     return out;
   }
 
-  Result<std::vector<std::string>> strings() {
+  /// Reads an element count and rejects it up front if even one byte per
+  /// element would overrun the remaining buffer — so callers may size
+  /// containers from it without trusting the wire.
+  Result<std::uint32_t> count(const char* what) {
+    const std::size_t at = pos_;
     GEMS_ASSIGN_OR_RETURN(std::uint32_t n, u32());
+    if (n > bytes_.size() - pos_) {
+      return parse_error("malformed IR: " + std::string(what) + " count " +
+                         std::to_string(n) + " exceeds remaining " +
+                         std::to_string(bytes_.size() - pos_) +
+                         " bytes at byte offset " + std::to_string(at));
+    }
+    return n;
+  }
+
+  Result<std::vector<std::string>> strings() {
+    GEMS_ASSIGN_OR_RETURN(std::uint32_t n, count("string list"));
     std::vector<std::string> out;
     // Never trust a wire length for allocation (fuzz: a mutated count
     // must not trigger bad_alloc); the loop fails cleanly on truncation.
@@ -254,6 +277,7 @@ class Reader {
   }
 
   bool at_end() const { return pos_ == bytes_.size(); }
+  std::size_t position() const { return pos_; }
 
  private:
   template <typename T>
@@ -365,7 +389,7 @@ Result<PathElement> decode_element(Reader& r, int depth) {
 
 Result<PathGroup> decode_group(Reader& r, int depth) {
   PathGroup g;
-  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.u32());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("path group"));
   g.body.reserve(std::min<std::uint32_t>(n, 1024));
   for (std::uint32_t i = 0; i < n; ++i) {
     GEMS_ASSIGN_OR_RETURN(PathElement el, decode_element(r, depth));
@@ -489,7 +513,7 @@ Result<Statement> decode_statement(Reader& r) {
     case StmtTag::kCreateTable: {
       CreateTableStmt s;
       GEMS_ASSIGN_OR_RETURN(s.name, r.str());
-      GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.u32());
+      GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("column list"));
       for (std::uint32_t i = 0; i < n; ++i) {
         storage::ColumnDef def;
         GEMS_ASSIGN_OR_RETURN(def.name, r.str());
@@ -532,7 +556,7 @@ Result<Statement> decode_statement(Reader& r) {
     }
     case StmtTag::kGraphQuery: {
       GraphQueryStmt s;
-      GEMS_ASSIGN_OR_RETURN(std::uint32_t nt, r.u32());
+      GEMS_ASSIGN_OR_RETURN(std::uint32_t nt, r.count("select targets"));
       for (std::uint32_t i = 0; i < nt; ++i) {
         SelectTarget t;
         GEMS_ASSIGN_OR_RETURN(t.star, r.boolean());
@@ -541,12 +565,12 @@ Result<Statement> decode_statement(Reader& r) {
         GEMS_ASSIGN_OR_RETURN(t.alias, r.str());
         s.targets.push_back(std::move(t));
       }
-      GEMS_ASSIGN_OR_RETURN(std::uint32_t ng, r.u32());
+      GEMS_ASSIGN_OR_RETURN(std::uint32_t ng, r.count("or-groups"));
       for (std::uint32_t g = 0; g < ng; ++g) {
-        GEMS_ASSIGN_OR_RETURN(std::uint32_t np, r.u32());
+        GEMS_ASSIGN_OR_RETURN(std::uint32_t np, r.count("paths"));
         std::vector<PathPattern> group;
         for (std::uint32_t p = 0; p < np; ++p) {
-          GEMS_ASSIGN_OR_RETURN(std::uint32_t ne, r.u32());
+          GEMS_ASSIGN_OR_RETURN(std::uint32_t ne, r.count("path elements"));
           PathPattern path;
           for (std::uint32_t e = 0; e < ne; ++e) {
             GEMS_ASSIGN_OR_RETURN(PathElement el, decode_element(r, 0));
@@ -566,7 +590,7 @@ Result<Statement> decode_statement(Reader& r) {
     }
     case StmtTag::kTableQuery: {
       TableQueryStmt s;
-      GEMS_ASSIGN_OR_RETURN(std::uint32_t ni, r.u32());
+      GEMS_ASSIGN_OR_RETURN(std::uint32_t ni, r.count("select items"));
       for (std::uint32_t i = 0; i < ni; ++i) {
         SelectItem item;
         GEMS_ASSIGN_OR_RETURN(item.star, r.boolean());
@@ -584,7 +608,7 @@ Result<Statement> decode_statement(Reader& r) {
       GEMS_ASSIGN_OR_RETURN(s.from_table, r.str());
       GEMS_ASSIGN_OR_RETURN(s.where, r.expr());
       GEMS_ASSIGN_OR_RETURN(s.group_by, r.strings());
-      GEMS_ASSIGN_OR_RETURN(std::uint32_t no, r.u32());
+      GEMS_ASSIGN_OR_RETURN(std::uint32_t no, r.count("order-by list"));
       for (std::uint32_t i = 0; i < no; ++i) {
         OrderItem o;
         GEMS_ASSIGN_OR_RETURN(o.column, r.str());
@@ -623,7 +647,7 @@ Result<Script> decode_script(std::span<const std::uint8_t> bytes) {
   if (version != kIrVersion) {
     return parse_error("unsupported IR version " + std::to_string(version));
   }
-  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.u32());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("statement list"));
   Script script;
   script.statements.reserve(std::min<std::uint32_t>(n, 1024));
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -632,6 +656,50 @@ Result<Script> decode_script(std::span<const std::uint8_t> bytes) {
   }
   if (!r.at_end()) return parse_error("trailing bytes after IR script");
   return script;
+}
+
+void encode_value(const storage::Value& v, std::vector<std::uint8_t>& out) {
+  Writer w;
+  w.value(v);
+  std::vector<std::uint8_t> bytes = w.take();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+Result<storage::Value> decode_value(std::span<const std::uint8_t> bytes,
+                                    std::size_t& pos) {
+  if (pos > bytes.size()) {
+    return parse_error("malformed value: offset " + std::to_string(pos) +
+                       " past end of " + std::to_string(bytes.size()) +
+                       " bytes");
+  }
+  Reader r(bytes.subspan(pos));
+  GEMS_ASSIGN_OR_RETURN(Value v, r.value());
+  pos += r.position();
+  return v;
+}
+
+std::vector<std::uint8_t> encode_params(const relational::ParamMap& params) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& [name, value] : params) {
+    w.str(name);
+    w.value(value);
+  }
+  return w.take();
+}
+
+Result<relational::ParamMap> decode_params(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("parameter map"));
+  relational::ParamMap params;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GEMS_ASSIGN_OR_RETURN(std::string name, r.str());
+    GEMS_ASSIGN_OR_RETURN(Value value, r.value());
+    params.insert_or_assign(std::move(name), std::move(value));
+  }
+  if (!r.at_end()) return parse_error("trailing bytes after parameter map");
+  return params;
 }
 
 }  // namespace gems::graql

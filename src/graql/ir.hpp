@@ -16,6 +16,7 @@
 
 #include "common/status.hpp"
 #include "graql/ast.hpp"
+#include "relational/bound_expr.hpp"
 
 namespace gems::graql {
 
@@ -25,7 +26,30 @@ inline constexpr std::uint16_t kIrVersion = 1;
 /// Serializes a script to the binary IR.
 std::vector<std::uint8_t> encode_script(const Script& script);
 
-/// Deserializes; rejects wrong magic/version/truncated input.
+/// Deserializes; rejects wrong magic/version/truncated input. Hostile
+/// length prefixes (larger than the remaining buffer) are rejected before
+/// any allocation, with the byte offset of the bad field in the message.
 Result<Script> decode_script(std::span<const std::uint8_t> bytes);
+
+// ---- Value / parameter codec ----------------------------------------------
+// The tagged value encoding the IR uses for literals, exposed so the wire
+// layer (src/net) can ship parameter bindings and result tables in the
+// same format as the script IR.
+
+/// Appends one tagged value to `out`.
+void encode_value(const storage::Value& v, std::vector<std::uint8_t>& out);
+
+/// Decodes one tagged value at `pos`, advancing `pos` past the consumed
+/// bytes. Errors carry the byte offset.
+Result<storage::Value> decode_value(std::span<const std::uint8_t> bytes,
+                                    std::size_t& pos);
+
+/// Serializes a parameter map (name -> value) for the wire.
+std::vector<std::uint8_t> encode_params(const relational::ParamMap& params);
+
+/// Deserializes a parameter map; rejects truncated/hostile input without
+/// over-allocating.
+Result<relational::ParamMap> decode_params(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace gems::graql

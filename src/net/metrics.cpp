@@ -1,0 +1,196 @@
+#include "net/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace gems::net {
+
+void LatencyHistogram::record(std::uint64_t us) {
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
+  ++buckets[bucket];
+  ++count;
+  sum_us += us;
+  if (us > max_us) max_us = us;
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample, 1-based, then walk the buckets.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * count + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Upper edge of bucket i (samples with bit-width i), capped by the
+      // recorded maximum so an outlier-free p99 never exceeds max.
+      const std::uint64_t edge =
+          i == 0 ? 0 : (i >= 63 ? max_us : (std::uint64_t{1} << i) - 1);
+      return std::min(edge, max_us);
+    }
+  }
+  return max_us;
+}
+
+VerbMetrics MetricsSnapshot::total() const {
+  VerbMetrics t;
+  for (const auto& v : verbs) {
+    t.requests += v.requests;
+    t.ok += v.ok;
+    t.errors += v.errors;
+    t.overloaded += v.overloaded;
+    t.expired += v.expired;
+    t.cancelled += v.cancelled;
+    t.bytes_in += v.bytes_in;
+    t.bytes_out += v.bytes_out;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      t.queue_wait.buckets[i] += v.queue_wait.buckets[i];
+      t.execute.buckets[i] += v.execute.buckets[i];
+    }
+    t.queue_wait.count += v.queue_wait.count;
+    t.queue_wait.sum_us += v.queue_wait.sum_us;
+    t.queue_wait.max_us = std::max(t.queue_wait.max_us, v.queue_wait.max_us);
+    t.execute.count += v.execute.count;
+    t.execute.sum_us += v.execute.sum_us;
+    t.execute.max_us = std::max(t.execute.max_us, v.execute.max_us);
+  }
+  return t;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  out << "verb         reqs     ok    err  over  expd  canc   "
+         "bytes_in  bytes_out  queue p50/p99 us  exec p50/p99 us\n";
+  for (std::size_t i = 0; i < kNumVerbs; ++i) {
+    const VerbMetrics& v = verbs[i];
+    if (v.requests == 0) continue;
+    char line[192];
+    std::snprintf(
+        line, sizeof(line),
+        "%-10s %6llu %6llu %6llu %5llu %5llu %5llu %10llu %10llu "
+        "%7llu/%-7llu %7llu/%-7llu\n",
+        std::string(verb_name(static_cast<Verb>(i))).c_str(),
+        static_cast<unsigned long long>(v.requests),
+        static_cast<unsigned long long>(v.ok),
+        static_cast<unsigned long long>(v.errors),
+        static_cast<unsigned long long>(v.overloaded),
+        static_cast<unsigned long long>(v.expired),
+        static_cast<unsigned long long>(v.cancelled),
+        static_cast<unsigned long long>(v.bytes_in),
+        static_cast<unsigned long long>(v.bytes_out),
+        static_cast<unsigned long long>(v.queue_wait.quantile_us(0.5)),
+        static_cast<unsigned long long>(v.queue_wait.quantile_us(0.99)),
+        static_cast<unsigned long long>(v.execute.quantile_us(0.5)),
+        static_cast<unsigned long long>(v.execute.quantile_us(0.99)));
+    out << line;
+  }
+  return out.str();
+}
+
+namespace {
+
+void encode_histogram(const LatencyHistogram& h, WireWriter& w) {
+  w.u64(h.count);
+  w.u64(h.sum_us);
+  w.u64(h.max_us);
+  w.u32(static_cast<std::uint32_t>(LatencyHistogram::kBuckets));
+  for (const std::uint64_t b : h.buckets) w.u64(b);
+}
+
+Result<LatencyHistogram> decode_histogram(WireReader& r) {
+  LatencyHistogram h;
+  GEMS_ASSIGN_OR_RETURN(h.count, r.u64());
+  GEMS_ASSIGN_OR_RETURN(h.sum_us, r.u64());
+  GEMS_ASSIGN_OR_RETURN(h.max_us, r.u64());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("histogram buckets"));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GEMS_ASSIGN_OR_RETURN(std::uint64_t b, r.u64());
+    // Tolerate a peer with more/fewer buckets: clamp into ours.
+    h.buckets[std::min<std::size_t>(i, LatencyHistogram::kBuckets - 1)] += b;
+  }
+  return h;
+}
+
+}  // namespace
+
+void encode_snapshot(const MetricsSnapshot& snap,
+                     std::vector<std::uint8_t>& out) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(kNumVerbs));
+  for (const auto& v : snap.verbs) {
+    w.u64(v.requests);
+    w.u64(v.ok);
+    w.u64(v.errors);
+    w.u64(v.overloaded);
+    w.u64(v.expired);
+    w.u64(v.cancelled);
+    w.u64(v.bytes_in);
+    w.u64(v.bytes_out);
+    encode_histogram(v.queue_wait, w);
+    encode_histogram(v.execute, w);
+  }
+  std::vector<std::uint8_t> bytes = w.take();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+Result<MetricsSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
+  WireReader r(bytes);
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("verb metrics"));
+  MetricsSnapshot snap;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    VerbMetrics scratch;
+    VerbMetrics& v = i < kNumVerbs ? snap.verbs[i] : scratch;
+    GEMS_ASSIGN_OR_RETURN(v.requests, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.ok, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.errors, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.overloaded, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.expired, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.cancelled, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.bytes_in, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.bytes_out, r.u64());
+    GEMS_ASSIGN_OR_RETURN(v.queue_wait, decode_histogram(r));
+    GEMS_ASSIGN_OR_RETURN(v.execute, decode_histogram(r));
+  }
+  return snap;
+}
+
+void MetricsRegistry::record(Verb verb, const Outcome& outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  VerbMetrics& v = state_.verbs[static_cast<std::size_t>(verb)];
+  ++v.requests;
+  switch (outcome.code) {
+    case StatusCode::kOk:
+      ++v.ok;
+      break;
+    case StatusCode::kOverloaded:
+      ++v.overloaded;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++v.expired;
+      break;
+    case StatusCode::kCancelled:
+      ++v.cancelled;
+      break;
+    default:
+      ++v.errors;
+      break;
+  }
+  v.bytes_in += outcome.bytes_in;
+  v.bytes_out += outcome.bytes_out;
+  if (outcome.code == StatusCode::kOk ||
+      outcome.code == StatusCode::kDeadlineExceeded ||
+      outcome.code == StatusCode::kCancelled) {
+    v.queue_wait.record(outcome.queue_wait_us);
+  }
+  if (outcome.code == StatusCode::kOk) v.execute.record(outcome.execute_us);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+}  // namespace gems::net

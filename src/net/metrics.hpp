@@ -1,0 +1,95 @@
+// Per-request server metrics (request counters by verb and outcome, bytes
+// in/out, and latency histograms split into queue-wait vs. execute time).
+// A snapshot travels over the wire in response to a `stats` request, so a
+// remote bench can report *server-side* tail latency rather than inferring
+// it from client round-trips.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace gems::net {
+
+/// Log-scale latency histogram: bucket i counts samples whose latency in
+/// microseconds has bit-width i (i.e. [2^(i-1), 2^i)). 40 buckets cover
+/// up to ~12.7 days, so nothing ever clips.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 40;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+
+  void record(std::uint64_t us);
+
+  /// Quantile estimate (q in [0,1]) in microseconds: the upper edge of the
+  /// bucket holding the q-th sample. 0 when empty.
+  std::uint64_t quantile_us(double q) const;
+
+  double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) / count;
+  }
+};
+
+/// Counters for one request verb.
+struct VerbMetrics {
+  std::uint64_t requests = 0;   // everything that arrived, any outcome
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;     // non-OK statuses other than the two below
+  std::uint64_t overloaded = 0; // rejected by admission control
+  std::uint64_t expired = 0;    // deadline passed before execution
+  std::uint64_t cancelled = 0;
+  std::uint64_t bytes_in = 0;   // request frame bytes (header + payload)
+  std::uint64_t bytes_out = 0;  // response frame bytes
+  LatencyHistogram queue_wait;  // enqueue -> dequeue
+  LatencyHistogram execute;     // dequeue -> response written
+};
+
+/// Copyable point-in-time view of the registry; also the wire payload of a
+/// `stats` response.
+struct MetricsSnapshot {
+  std::array<VerbMetrics, kNumVerbs> verbs{};
+
+  const VerbMetrics& verb(Verb v) const {
+    return verbs[static_cast<std::size_t>(v)];
+  }
+
+  /// Aggregate over all verbs.
+  VerbMetrics total() const;
+
+  /// Human-readable table (one line per verb with traffic).
+  std::string to_string() const;
+};
+
+void encode_snapshot(const MetricsSnapshot& snap,
+                     std::vector<std::uint8_t>& out);
+Result<MetricsSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes);
+
+/// Thread-safe registry the server records into. One mutex is plenty: a
+/// record is a dozen integer adds, far below the cost of the request it
+/// describes.
+class MetricsRegistry {
+ public:
+  struct Outcome {
+    StatusCode code = StatusCode::kOk;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t queue_wait_us = 0;
+    std::uint64_t execute_us = 0;
+  };
+
+  void record(Verb verb, const Outcome& outcome);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot state_;
+};
+
+}  // namespace gems::net

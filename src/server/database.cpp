@@ -101,9 +101,27 @@ Status Database::check_script(const std::string& text,
   return graql::analyze_script(script, meta, params);
 }
 
+Status Database::check_ir(std::span<const std::uint8_t> ir,
+                          const relational::ParamMap* params) const {
+  GEMS_ASSIGN_OR_RETURN(Script script, graql::decode_script(ir));
+  MetaCatalog meta = meta_catalog();
+  return graql::analyze_script(script, meta, params);
+}
+
 Result<std::string> Database::explain(const std::string& text,
                                       const relational::ParamMap& params) {
   GEMS_ASSIGN_OR_RETURN(Script script, graql::parse_script(text));
+  return explain_parsed(script, params);
+}
+
+Result<std::string> Database::explain_ir(std::span<const std::uint8_t> ir,
+                                         const relational::ParamMap& params) {
+  GEMS_ASSIGN_OR_RETURN(Script script, graql::decode_script(ir));
+  return explain_parsed(script, params);
+}
+
+Result<std::string> Database::explain_parsed(
+    const Script& script, const relational::ParamMap& params) {
   MetaCatalog meta = meta_catalog();
   GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
 
@@ -164,21 +182,34 @@ Result<std::vector<StatementResult>> Database::run_script(
   // 1. Front-end: parse.
   GEMS_ASSIGN_OR_RETURN(Script script, graql::parse_script(text));
 
-  // 2. Front-end: static analysis against the metadata catalog
-  //    (Sec. III-A). Params are known here, so their types participate.
-  if (!options_.skip_static_analysis) {
-    MetaCatalog meta = meta_catalog();
-    GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
-  }
-
-  // 3. Hand-off: compile to the binary IR and decode it "on the backend"
-  //    (Sec. III). The decoded script is what executes.
+  // 2. Hand-off: compile to the binary IR and decode it "on the backend"
+  //    (Sec. III). The decoded script is what gets analyzed and executed,
+  //    exactly as if it had arrived over the wire (net::Server feeds
+  //    run_ir with remotely-encoded blobs through the same path).
   if (!options_.skip_ir_roundtrip) {
     const std::vector<std::uint8_t> ir = graql::encode_script(script);
     GEMS_ASSIGN_OR_RETURN(script, graql::decode_script(ir));
   }
 
-  // 4. Backend: dependence scheduling (Sec. III-B1) + execution.
+  return run_parsed(std::move(script), params);
+}
+
+Result<std::vector<StatementResult>> Database::run_ir(
+    std::span<const std::uint8_t> ir, const relational::ParamMap& params) {
+  GEMS_ASSIGN_OR_RETURN(Script script, graql::decode_script(ir));
+  return run_parsed(std::move(script), params);
+}
+
+Result<std::vector<StatementResult>> Database::run_parsed(
+    Script script, const relational::ParamMap& params) {
+  // Front-end: static analysis against the metadata catalog (Sec. III-A).
+  // Params are known here, so their types participate.
+  if (!options_.skip_static_analysis) {
+    MetaCatalog meta = meta_catalog();
+    GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
+  }
+
+  // Backend: dependence scheduling (Sec. III-B1) + execution.
   ctx_.params = params;
   const plan::Schedule schedule = plan::build_schedule(script);
   return plan::run_scheduled(script, schedule, ctx_,

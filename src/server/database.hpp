@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "common/status.hpp"
@@ -69,15 +70,31 @@ class Database {
   Result<exec::StatementResult> run_statement(
       const std::string& text, const relational::ParamMap& params = {});
 
+  /// Runs a pre-compiled binary IR blob (the wire hand-off, paper
+  /// Sec. III): decode -> static analysis -> schedule -> execute. This is
+  /// what `net::Server` calls for remote clients, which parse and encode
+  /// locally and ship only the IR.
+  Result<std::vector<exec::StatementResult>> run_ir(
+      std::span<const std::uint8_t> ir,
+      const relational::ParamMap& params = {});
+
   /// Front-end static analysis only (no execution).
   Status check_script(const std::string& text,
                       const relational::ParamMap* params = nullptr) const;
+
+  /// Static analysis of a pre-compiled IR blob (no execution).
+  Status check_ir(std::span<const std::uint8_t> ir,
+                  const relational::ParamMap* params = nullptr) const;
 
   /// Human-readable query plan (Sec. III-B) for a script, without
   /// executing it: per-statement variable cardinality estimates, the
   /// chosen pivot and propagation order, and the multi-statement schedule.
   Result<std::string> explain(const std::string& text,
                               const relational::ParamMap& params = {});
+
+  /// `explain` for a pre-compiled IR blob.
+  Result<std::string> explain_ir(std::span<const std::uint8_t> ir,
+                                 const relational::ParamMap& params = {});
 
   // ---- Introspection --------------------------------------------------
   const storage::TableCatalog& tables() const { return ctx_.tables; }
@@ -104,6 +121,15 @@ class Database {
   const plan::GraphStats& cached_stats();
 
  private:
+  /// Shared back half of run_script / run_ir: analyze (unless skipped),
+  /// schedule and execute an already-parsed script.
+  Result<std::vector<exec::StatementResult>> run_parsed(
+      graql::Script script, const relational::ParamMap& params);
+
+  /// Shared body of explain / explain_ir over a parsed+analyzed script.
+  Result<std::string> explain_parsed(const graql::Script& script,
+                                     const relational::ParamMap& params);
+
   DatabaseOptions options_;
   StringPool pool_;
   exec::ExecContext ctx_;

@@ -1,0 +1,536 @@
+// Tests for gems::net — the TCP wire for the front-end/backend hand-off:
+// loopback round-trips of every verb, byte-identical results vs. the
+// in-process Database, hostile-frame rejection, concurrent clients,
+// deadlines, cancellation, and admission control under overload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bsbm/generator.hpp"
+#include "common/check.hpp"
+#include "bsbm/queries.hpp"
+#include "bsbm/schema.hpp"
+#include "graql/ir.hpp"
+#include "graql/parser.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "server/database.hpp"
+
+namespace gems::net {
+namespace {
+
+using exec::StatementResult;
+using storage::Value;
+
+relational::ParamMap berlin_params() {
+  relational::ParamMap params;
+  params.emplace("Country1", Value::varchar("US"));
+  params.emplace("Country2", Value::varchar("DE"));
+  params.emplace("Product1", Value::varchar("p0"));
+  params.emplace("Type1", Value::varchar("t1"));
+  return params;
+}
+
+/// One populated Berlin database shared by the whole test binary. Tests
+/// that need exclusive server options start their own Server on it.
+server::Database& shared_db() {
+  static auto db = [] {
+    auto built =
+        bsbm::make_populated_database(bsbm::GeneratorConfig::derive(40, 7));
+    GEMS_CHECK_MSG(built.is_ok(), built.status().to_string().c_str());
+    return std::move(built).value();
+  }();
+  return *db;
+}
+
+/// Renders result tables deterministically for byte-identity assertions.
+std::string render_results(const std::vector<StatementResult>& results) {
+  std::string out;
+  for (const auto& r : results) {
+    out += "kind=" + std::to_string(static_cast<int>(r.kind));
+    out += " message=" + r.message;
+    out += " truncated=" + std::to_string(r.truncated ? 1 : 0);
+    if (r.table != nullptr) {
+      out += "\n" + r.table->to_string(1u << 20);
+    }
+    out += "\n--\n";
+  }
+  return out;
+}
+
+/// Raw wire connection for tests that pipeline frames or send hostile
+/// bytes the Client would never produce.
+struct RawConn {
+  Socket sock;
+
+  Status open(std::uint16_t port, bool handshake = true) {
+    auto connected = tcp_connect("127.0.0.1", port);
+    GEMS_RETURN_IF_ERROR(connected.status());
+    sock = std::move(connected).value();
+    GEMS_RETURN_IF_ERROR(set_recv_timeout(sock, 10000));
+    if (!handshake) return Status::ok();
+    GEMS_RETURN_IF_ERROR(
+        send_frame(sock, Verb::kHandshake, /*is_response=*/false, 1,
+                   encode_handshake_request({kWireVersion, "raw-test"})));
+    auto frame = recv_frame(sock, kDefaultMaxFrameBytes);
+    GEMS_RETURN_IF_ERROR(frame.status());
+    WireReader reader(frame->payload);
+    return decode_status(reader);
+  }
+
+  /// Reads response frames until `n` are collected; returns status by id.
+  std::map<std::uint64_t, Status> collect(std::size_t n) {
+    std::map<std::uint64_t, Status> got;
+    while (got.size() < n) {
+      auto frame = recv_frame(sock, kDefaultMaxFrameBytes);
+      if (!frame.is_ok()) {
+        got.emplace(std::uint64_t(-1), frame.status());
+        break;
+      }
+      WireReader reader(frame->payload);
+      got.emplace(frame->header.request_id, decode_status(reader));
+    }
+    return got;
+  }
+};
+
+std::vector<std::uint8_t> raw_script_request(const std::string& text,
+                                             std::uint32_t deadline_ms = 0) {
+  auto script = graql::parse_script(text);
+  GEMS_CHECK_MSG(script.is_ok(), script.status().to_string().c_str());
+  ScriptRequest request;
+  request.ir = graql::encode_script(script.value());
+  request.params = graql::encode_params({});
+  request.deadline_ms = deadline_ms;
+  return encode_script_request(request);
+}
+
+Client make_client(std::uint16_t port) {
+  ClientOptions options;
+  options.port = port;
+  options.connect_retries = 2;
+  options.retry_backoff_ms = 20;
+  return Client(options);
+}
+
+// ---- Every verb over loopback ---------------------------------------------
+
+TEST(NetTest, RoundTripEveryVerb) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  Client client = make_client(server.port());
+  ASSERT_TRUE(client.connect().is_ok());  // handshake verb
+  EXPECT_GT(client.session_id(), 0u);
+
+  // run-script
+  auto run = client.run_script("select id, label from table Products");
+  ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+  ASSERT_EQ(run->size(), 1u);
+  ASSERT_NE(run->front().table, nullptr);
+  EXPECT_EQ(run->front().table->num_rows(), 40u);
+
+  // check-only: ok and error statuses both cross the wire typed
+  EXPECT_TRUE(client.check_script("select id from table Products").is_ok());
+  const Status remote = client.check_script("select nope from table Products");
+  const Status direct = shared_db().check_script(
+      "select nope from table Products");
+  EXPECT_FALSE(remote.is_ok());
+  EXPECT_EQ(remote.code(), direct.code());
+
+  // explain matches the in-process plan rendering exactly
+  auto remote_plan = client.explain("select id from table Products");
+  auto direct_plan = shared_db().explain("select id from table Products");
+  ASSERT_TRUE(remote_plan.is_ok()) << remote_plan.status().to_string();
+  ASSERT_TRUE(direct_plan.is_ok());
+  EXPECT_EQ(remote_plan.value(), direct_plan.value());
+
+  // catalog matches the in-process catalog
+  auto remote_catalog = client.catalog();
+  ASSERT_TRUE(remote_catalog.is_ok()) << remote_catalog.status().to_string();
+  const auto direct_catalog = shared_db().catalog();
+  ASSERT_EQ(remote_catalog->size(), direct_catalog.size());
+  for (std::size_t i = 0; i < direct_catalog.size(); ++i) {
+    EXPECT_EQ((*remote_catalog)[i].name, direct_catalog[i].name);
+    EXPECT_EQ((*remote_catalog)[i].kind, direct_catalog[i].kind);
+    EXPECT_EQ((*remote_catalog)[i].instances, direct_catalog[i].instances);
+    EXPECT_EQ((*remote_catalog)[i].byte_size, direct_catalog[i].byte_size);
+  }
+
+  // cancel is best-effort: unknown ids are accepted
+  EXPECT_TRUE(client.cancel(99999).is_ok());
+
+  // stats reflects the traffic above
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(stats->verb(Verb::kHandshake).ok, 1u);
+  EXPECT_EQ(stats->verb(Verb::kRunScript).ok, 1u);
+  EXPECT_EQ(stats->verb(Verb::kCheck).requests, 2u);
+  EXPECT_EQ(stats->verb(Verb::kCheck).errors, 1u);
+  EXPECT_EQ(stats->verb(Verb::kExplain).ok, 1u);
+  EXPECT_EQ(stats->verb(Verb::kCatalog).ok, 1u);
+  EXPECT_GT(stats->total().bytes_out, 0u);
+
+  // shutdown unblocks Server::wait()
+  EXPECT_TRUE(client.shutdown_server().is_ok());
+  server.wait();  // must return promptly, not hang
+  server.stop();
+}
+
+// ---- Acceptance: byte-identical results vs. direct execution --------------
+
+TEST(NetTest, ResultTablesByteIdenticalToDirectExecution) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  Client client = make_client(server.port());
+  ASSERT_TRUE(client.connect().is_ok());
+
+  const auto params = berlin_params();
+  const std::vector<std::string> scripts = {
+      "select id, label, propertyNumeric_1 from table Products",
+      bsbm::berlin_q2(),
+      bsbm::berlin_q1(),
+  };
+  for (const auto& text : scripts) {
+    auto direct = shared_db().run_script(text, params);
+    ASSERT_TRUE(direct.is_ok()) << direct.status().to_string();
+    auto remote = client.run_script(text, params);
+    ASSERT_TRUE(remote.is_ok()) << remote.status().to_string();
+    EXPECT_EQ(render_results(remote.value()), render_results(direct.value()))
+        << "wire round-trip changed the result of: " << text;
+  }
+  server.stop();
+}
+
+// ---- Hostile frames --------------------------------------------------------
+
+TEST(NetTest, RejectsGarbageMagic) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port(), /*handshake=*/false).is_ok());
+
+  std::vector<std::uint8_t> junk(kFrameHeaderBytes, 0xAB);
+  ASSERT_TRUE(send_all(conn.sock, junk).is_ok());
+  // The server reports the parse error on request id 0, then drops us.
+  auto responses = conn.collect(1);
+  ASSERT_EQ(responses.count(0), 1u);
+  EXPECT_EQ(responses.at(0).code(), StatusCode::kParseError);
+  EXPECT_NE(responses.at(0).message().find("byte offset 0"),
+            std::string::npos);
+  auto eof = recv_frame(conn.sock, kDefaultMaxFrameBytes);
+  EXPECT_FALSE(eof.is_ok());  // connection closed after the report
+  server.stop();
+}
+
+TEST(NetTest, RejectsOversizedFrameBeforeAllocating) {
+  ServerOptions options;
+  options.max_frame_bytes = 4096;
+  Server server(shared_db(), options);
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port()).is_ok());
+
+  // Well-formed header whose payload length blows the 4 KiB frame budget.
+  WireWriter header;
+  header.u32(kFrameMagic);
+  header.u16(kWireVersion);
+  header.u8(static_cast<std::uint8_t>(Verb::kRunScript));
+  header.u8(0);
+  header.u64(7);
+  header.u32(512u << 20);  // declares a 512 MiB payload
+  ASSERT_TRUE(send_all(conn.sock, header.buffer()).is_ok());
+
+  auto responses = conn.collect(1);
+  ASSERT_EQ(responses.count(0), 1u);
+  EXPECT_EQ(responses.at(0).code(), StatusCode::kParseError);
+  EXPECT_NE(responses.at(0).message().find("frame budget"),
+            std::string::npos);
+  EXPECT_NE(responses.at(0).message().find("byte offset 16"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(NetTest, TruncatedFrameClosesConnectionQuietly) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port()).is_ok());
+
+  // Header promises 64 payload bytes; send 3 and half-close. The server
+  // sees EOF mid-frame (kUnavailable, not kParseError) and just closes.
+  WireWriter partial;
+  partial.u32(kFrameMagic);
+  partial.u16(kWireVersion);
+  partial.u8(static_cast<std::uint8_t>(Verb::kRunScript));
+  partial.u8(0);
+  partial.u64(8);
+  partial.u32(64);
+  partial.u8(1);
+  partial.u8(2);
+  partial.u8(3);
+  ASSERT_TRUE(send_all(conn.sock, partial.buffer()).is_ok());
+  conn.sock.shutdown();
+
+  auto eof = recv_frame(conn.sock, kDefaultMaxFrameBytes);
+  EXPECT_FALSE(eof.is_ok());
+  EXPECT_NE(eof.status().code(), StatusCode::kParseError);
+  server.stop();
+}
+
+TEST(NetTest, HandshakeRequiredBeforeOtherVerbs) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port(), /*handshake=*/false).is_ok());
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kCatalog, false, 3, {}).is_ok());
+  auto responses = conn.collect(1);
+  ASSERT_EQ(responses.count(3), 1u);
+  EXPECT_EQ(responses.at(3).code(), StatusCode::kInvalidArgument);
+  server.stop();
+}
+
+TEST(NetTest, RejectsUnsupportedWireVersion) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port(), /*handshake=*/false).is_ok());
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kHandshake, false, 1,
+                         encode_handshake_request({99, "time-traveler"}))
+                  .is_ok());
+  auto responses = conn.collect(1);
+  ASSERT_EQ(responses.count(1), 1u);
+  EXPECT_EQ(responses.at(1).code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(responses.at(1).message().find("unsupported wire version"),
+            std::string::npos);
+  server.stop();
+}
+
+// ---- Hardened IR / payload decoding ---------------------------------------
+
+TEST(NetTest, DecodeScriptSurvivesTruncationAtEveryByte) {
+  auto script = graql::parse_script(bsbm::berlin_q2());
+  ASSERT_TRUE(script.is_ok());
+  const std::vector<std::uint8_t> ir = graql::encode_script(script.value());
+  ASSERT_TRUE(graql::decode_script(ir).is_ok());
+  for (std::size_t cut = 0; cut < ir.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(ir.data(), cut);
+    auto decoded = graql::decode_script(prefix);  // must not crash or hang
+    EXPECT_FALSE(decoded.is_ok()) << "truncation at byte " << cut;
+  }
+}
+
+TEST(NetTest, DecodeScriptRejectsHostileLengthBeforeAllocating) {
+  auto script =
+      graql::parse_script("select id from table Products into table R1");
+  ASSERT_TRUE(script.is_ok());
+  std::vector<std::uint8_t> ir = graql::encode_script(script.value());
+  // The trailing bytes encode the `into` name: u8 kind, u32 len, chars.
+  // Rewrite the length prefix to claim ~4 GiB; the decoder must reject it
+  // (with the byte offset) instead of allocating.
+  const std::size_t len_at = ir.size() - 2 - 4;
+  ir[len_at] = 0xFF;
+  ir[len_at + 1] = 0xFF;
+  ir[len_at + 2] = 0xFF;
+  ir[len_at + 3] = 0xFF;
+  auto decoded = graql::decode_script(ir);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("byte offset"),
+            std::string::npos);
+}
+
+TEST(NetTest, DecodeParamsRejectsHostileCount) {
+  relational::ParamMap params;
+  params.emplace("a", Value::int64(1));
+  std::vector<std::uint8_t> bytes = graql::encode_params(params);
+  // First field is the entry count: claim 2^32-1 entries.
+  bytes[0] = 0xFF;
+  bytes[1] = 0xFF;
+  bytes[2] = 0xFF;
+  bytes[3] = 0xFF;
+  auto decoded = graql::decode_params(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+// ---- Concurrency -----------------------------------------------------------
+
+TEST(NetTest, EightConcurrentClients) {
+  Server server(shared_db());
+  ASSERT_TRUE(server.start().is_ok());
+  constexpr int kClients = 8;
+  constexpr int kRounds = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client = make_client(server.port());
+      if (!client.connect().is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        auto run = client.run_script(
+            "select id from table Products where propertyNumeric_1 > " +
+            std::to_string(c));
+        if (!run.is_ok()) failures.fetch_add(1);
+        if (!client.catalog().is_ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const MetricsSnapshot snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.verb(Verb::kHandshake).ok,
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(snapshot.verb(Verb::kRunScript).ok,
+            static_cast<std::uint64_t>(kClients * kRounds));
+  EXPECT_EQ(snapshot.verb(Verb::kCatalog).ok,
+            static_cast<std::uint64_t>(kClients * kRounds));
+  server.stop();
+}
+
+// ---- Deadlines, cancellation, admission control ---------------------------
+
+TEST(NetTest, DeadlineExpiresWhileQueued) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.debug_execute_delay_ms = 200;
+  Server server(shared_db(), options);
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port()).is_ok());
+
+  // Both requests carry a 50 ms deadline. The first is dequeued at once
+  // (no queue wait) and executes; the second sits behind the 200 ms debug
+  // delay and must be expired at dequeue without executing.
+  const auto payload =
+      raw_script_request("select id from table Products", /*deadline_ms=*/50);
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 10, payload)
+                  .is_ok());
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 11, payload)
+                  .is_ok());
+
+  auto responses = conn.collect(2);
+  ASSERT_EQ(responses.count(10), 1u);
+  ASSERT_EQ(responses.count(11), 1u);
+  EXPECT_TRUE(responses.at(10).is_ok()) << responses.at(10).to_string();
+  EXPECT_EQ(responses.at(11).code(), StatusCode::kDeadlineExceeded);
+
+  const MetricsSnapshot snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.verb(Verb::kRunScript).expired, 1u);
+  server.stop();
+}
+
+TEST(NetTest, CancelRemovesQueuedRequest) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.debug_execute_delay_ms = 200;
+  Server server(shared_db(), options);
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port()).is_ok());
+
+  const auto payload = raw_script_request("select id from table Products");
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 20, payload)
+                  .is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // 20 dequeued
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 21, payload)
+                  .is_ok());
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kCancel, false, 22,
+                         encode_cancel_request({21}))
+                  .is_ok());
+
+  auto responses = conn.collect(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses.at(22).is_ok());  // the cancel itself
+  EXPECT_TRUE(responses.at(20).is_ok());  // already executing: completes
+  EXPECT_EQ(responses.at(21).code(), StatusCode::kCancelled);
+
+  const MetricsSnapshot snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.verb(Verb::kRunScript).cancelled, 1u);
+  server.stop();
+}
+
+TEST(NetTest, AdmissionControlRejectsWhenQueueFull) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.debug_execute_delay_ms = 300;
+  Server server(shared_db(), options);
+  ASSERT_TRUE(server.start().is_ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.open(server.port()).is_ok());
+
+  const auto payload = raw_script_request("select id from table Products");
+  // 30 occupies the worker; 31 fills the queue; 32 and 33 must bounce.
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 30, payload)
+                  .is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 31, payload)
+                  .is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 32, payload)
+                  .is_ok());
+  ASSERT_TRUE(send_frame(conn.sock, Verb::kRunScript, false, 33, payload)
+                  .is_ok());
+
+  auto responses = conn.collect(4);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses.at(30).is_ok());
+  EXPECT_TRUE(responses.at(31).is_ok());
+  EXPECT_EQ(responses.at(32).code(), StatusCode::kOverloaded);
+  EXPECT_EQ(responses.at(33).code(), StatusCode::kOverloaded);
+  EXPECT_NE(responses.at(32).message().find("retry with backoff"),
+            std::string::npos);
+
+  const MetricsSnapshot snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.verb(Verb::kRunScript).overloaded, 2u);
+  EXPECT_EQ(snapshot.verb(Verb::kRunScript).ok, 2u);
+  server.stop();
+}
+
+// ---- Client resilience -----------------------------------------------------
+
+TEST(NetTest, ConnectFailsTypedWhenNobodyListens) {
+  ClientOptions options;
+  options.port = 1;  // privileged port nobody binds in the test env
+  options.connect_retries = 1;
+  options.retry_backoff_ms = 10;
+  Client client(options);
+  const Status status = client.connect();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(NetTest, ClientReconnectsAfterServerRestart) {
+  auto first = std::make_unique<Server>(shared_db());
+  ASSERT_TRUE(first->start().is_ok());
+  const std::uint16_t port = first->port();
+  Client client = make_client(port);
+  ASSERT_TRUE(client.connect().is_ok());
+  ASSERT_TRUE(client.run_script("select id from table Products").is_ok());
+
+  first->stop();
+  // The dead connection surfaces as a transport error, not a hang...
+  EXPECT_FALSE(client.run_script("select id from table Products").is_ok());
+
+  // ...and a fresh connect() to a new server on the same port recovers.
+  ServerOptions options;
+  options.port = port;
+  Server second(shared_db(), options);
+  ASSERT_TRUE(second.start().is_ok());
+  ASSERT_TRUE(client.connect().is_ok());
+  EXPECT_TRUE(client.run_script("select id from table Products").is_ok());
+  second.stop();
+}
+
+}  // namespace
+}  // namespace gems::net
