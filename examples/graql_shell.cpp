@@ -13,6 +13,11 @@
 // `--connect` it parses and compiles GraQL locally and ships the binary
 // IR to a remote server.
 //
+// `--data-dir DIR` makes the database durable (gems::store): DIR is the
+// base for relative ingest paths, and DIR/store holds the snapshot +
+// write-ahead log. Restarting the shell with the same --data-dir recovers
+// the previous state; `\checkpoint` snapshots on demand.
+//
 // Shell meta-commands:
 //   \catalog          list all database objects with sizes
 //   \set NAME VALUE   bind a %parameter% (values: int, float, 'string',
@@ -21,6 +26,8 @@
 //   \check            only statically analyze the next statement
 //   \explain          show the query plan for the next statement
 //   \stats            server-side request metrics (remote mode)
+//   \checkpoint       snapshot the database and rotate the WAL (durable)
+//   \storestats       durability metrics: WAL latency, snapshot sizes
 //   \shutdown         ask the remote server to shut down (remote mode)
 //   \quit
 #include <cstdio>
@@ -89,6 +96,12 @@ class Backend {
   virtual gems::Status shutdown_server() {
     return gems::unimplemented("\\shutdown needs --connect (remote mode)");
   }
+  virtual gems::Status checkpoint() {
+    return gems::unimplemented("\\checkpoint needs a local --data-dir store");
+  }
+  virtual gems::Result<std::string> store_stats() {
+    return gems::unimplemented("\\storestats needs a local --data-dir store");
+  }
 };
 
 class LocalBackend : public Backend {
@@ -110,6 +123,10 @@ class LocalBackend : public Backend {
   }
   gems::Result<std::string> catalog_summary() override {
     return db_.catalog_summary();
+  }
+  gems::Status checkpoint() override { return db_.checkpoint(); }
+  gems::Result<std::string> store_stats() override {
+    return db_.store_stats();
   }
 
  private:
@@ -191,6 +208,9 @@ int main(int argc, char** argv) {
       berlin_scale = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       options.data_dir = argv[++i];
+      // DIR doubles as the persistence root: CSV ingest paths resolve
+      // against DIR, snapshot + WAL live under DIR/store.
+      options.store_dir = options.data_dir + "/store";
     } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_port = std::atoi(argv[++i]);
       if (serve_port < 0 || serve_port > 65535) return usage(argv[0]);
@@ -226,6 +246,20 @@ int main(int argc, char** argv) {
     backend = std::make_unique<RemoteBackend>(*client);
   } else {
     db = std::make_unique<gems::server::Database>(options);
+    if (!db->store_status().is_ok()) {
+      std::fprintf(stderr, "%s\n", db->store_status().to_string().c_str());
+      return 1;
+    }
+    if (db->durable() && db->tables().size() > 0) {
+      std::fprintf(stderr, "recovered %zu table(s) from %s\n",
+                   db->tables().size(), options.store_dir.c_str());
+      if (berlin_scale > 0) {
+        std::fprintf(stderr,
+                     "store already populated; ignoring --berlin %zu\n",
+                     berlin_scale);
+        berlin_scale = 0;
+      }
+    }
     if (berlin_scale > 0) {
       auto ddl = db->run_script(gems::bsbm::full_ddl());
       if (!ddl.is_ok()) {
@@ -352,6 +386,15 @@ int main(int argc, char** argv) {
         std::printf("%s", stats.is_ok()
                               ? stats.value().c_str()
                               : (stats.status().to_string() + "\n").c_str());
+      } else if (word == "checkpoint") {
+        const gems::Status s = backend->checkpoint();
+        std::printf("%s\n",
+                    s.is_ok() ? "checkpoint written" : s.to_string().c_str());
+      } else if (word == "storestats") {
+        auto stats = backend->store_stats();
+        std::printf("%s\n", stats.is_ok()
+                                ? stats.value().c_str()
+                                : stats.status().to_string().c_str());
       } else if (word == "shutdown") {
         const gems::Status s = backend->shutdown_server();
         std::printf("%s\n", s.is_ok() ? "server shutting down"

@@ -55,6 +55,23 @@ DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) noexcept {
   return *this;
 }
 
+Result<DynamicBitset> DynamicBitset::from_words(
+    std::size_t size, std::vector<std::uint64_t> words) {
+  if (words.size() != (size + 63) / 64) {
+    return invalid_argument("bitset word count " +
+                            std::to_string(words.size()) +
+                            " does not match size " + std::to_string(size));
+  }
+  if (size % 64 != 0 && !words.empty() &&
+      (words.back() & ~((1ull << (size % 64)) - 1)) != 0) {
+    return invalid_argument("bitset has bits set past its size");
+  }
+  DynamicBitset out;
+  out.size_ = size;
+  out.words_ = std::move(words);
+  return out;
+}
+
 std::vector<std::uint32_t> DynamicBitset::to_indices() const {
   std::vector<std::uint32_t> out;
   out.reserve(count());

@@ -5,9 +5,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/status.hpp"
 
 namespace gems {
 
@@ -79,6 +81,17 @@ class DynamicBitset {
 
   /// Indices of all set bits.
   std::vector<std::uint32_t> to_indices() const;
+
+  /// Raw 64-bit words (little-endian bit order within each word), for the
+  /// snapshot serializer. Trailing bits past size() are guaranteed zero.
+  std::span<const std::uint64_t> words() const noexcept {
+    return {words_.data(), words_.size()};
+  }
+
+  /// Rebuilds a bitset from serialized words. Rejects a word count that
+  /// does not match `size`, or set bits past `size` (corrupt input).
+  static Result<DynamicBitset> from_words(std::size_t size,
+                                          std::vector<std::uint64_t> words);
 
  private:
   void clear_trailing() noexcept {

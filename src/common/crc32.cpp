@@ -1,0 +1,44 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace gems {
+
+namespace {
+
+// Table generated once at startup from the reflected polynomial; a plain
+// byte-at-a-time table CRC runs well above disk bandwidth, which is all
+// the snapshot/WAL paths need.
+std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() noexcept {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> bytes) noexcept {
+  const auto& t = table();
+  for (const std::uint8_t b : bytes) {
+    state = t[(state ^ b) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  return crc32_final(crc32_update(kCrc32Init, bytes));
+}
+
+}  // namespace gems

@@ -1,0 +1,45 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace gems {
+
+void LatencyHistogram::record(std::uint64_t us) {
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
+  ++buckets[bucket];
+  ++count;
+  sum_us += us;
+  if (us > max_us) max_us = us;
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample, 1-based, then walk the buckets.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * count + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Upper edge of bucket i (samples with bit-width i), capped by the
+      // recorded maximum so an outlier-free p99 never exceeds max.
+      const std::uint64_t edge =
+          i == 0 ? 0 : (i >= 63 ? max_us : (std::uint64_t{1} << i) - 1);
+      return std::min(edge, max_us);
+    }
+  }
+  return max_us;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+}
+
+}  // namespace gems

@@ -48,6 +48,21 @@ class StringPool {
   /// Total bytes of interned character data (for catalog sizing stats).
   std::size_t byte_size() const;
 
+  /// Calls `fn(id, string)` for every interned string in ascending id
+  /// order, under one lock acquisition. The enumeration order is
+  /// *deterministic* — ids are assigned densely in intern order and the
+  /// deque is indexed by id — which is what makes gems::store snapshots
+  /// byte-reproducible: two snapshots of the same database state produce
+  /// identical pool sections. (Never iterate `index_` for serialization;
+  /// unordered_map order is not stable across runs.)
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t id = 0; id < strings_.size(); ++id) {
+      fn(static_cast<StringId>(id), std::string_view(strings_[id]));
+    }
+  }
+
  private:
   mutable std::mutex mutex_;
   std::deque<std::string> strings_;

@@ -2,6 +2,10 @@
 #pragma once
 
 #include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/logging.hpp"
 
 namespace gems {
 
@@ -21,6 +25,36 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII scope timer: logs "<label>: <elapsed> ms" at Info level on
+/// destruction. Used by the ingest and recovery paths so a re-ingest run
+/// and a snapshot+WAL recovery of the same data can be compared from the
+/// logs alone. `append` lets the scope add detail ("42 rows") before the
+/// line is emitted.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(std::string label) : label_(std::move(label)) {}
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  ~ScopeTimer() {
+    GEMS_LOG(Info) << label_ << (detail_.empty() ? "" : " (" + detail_ + ")")
+                   << ": " << timer_.elapsed_ms() << " ms";
+  }
+
+  void append(const std::string& detail) {
+    if (!detail_.empty()) detail_ += ", ";
+    detail_ += detail;
+  }
+
+  double elapsed_ms() const { return timer_.elapsed_ms(); }
+
+ private:
+  std::string label_;
+  std::string detail_;
+  Timer timer_;
 };
 
 }  // namespace gems

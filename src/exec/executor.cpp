@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "exec/enumerate.hpp"
 #include "exec/lowering.hpp"
 #include "exec/matcher.hpp"
@@ -741,6 +742,7 @@ void commit_result(const StatementResult& result, ExecContext& ctx) {
 // =====================  DDL / ingest  ======================================
 
 Status ExecContext::rebuild_graph() {
+  ScopeTimer timer("graph rebuild");
   graph::GraphView fresh;
   for (const auto& decl : vertex_decls) {
     GEMS_RETURN_IF_ERROR(
@@ -751,11 +753,31 @@ Status ExecContext::rebuild_graph() {
         graph::add_edge_type(fresh, decl, tables, *pool, params));
   }
   graph = std::move(fresh);
+  timer.append(std::to_string(graph.total_vertices()) + " vertices, " +
+               std::to_string(graph.total_edges()) + " edges");
   ++graph_version;
   // Prior subgraph results index the old instance numbering.
   subgraphs.clear();
   return Status::ok();
 }
+
+namespace {
+
+/// Fires the durability hook for a successful mutation (no-op when the
+/// database runs without a store).
+Status notify_mutation(ExecContext& ctx, const graql::Statement& stmt,
+                       const storage::Table* table = nullptr,
+                       std::size_t first_row = 0, std::size_t num_rows = 0) {
+  if (!ctx.on_mutation) return Status::ok();
+  MutationEvent ev;
+  ev.statement = &stmt;
+  ev.table = table;
+  ev.first_row = first_row;
+  ev.num_rows = num_rows;
+  return ctx.on_mutation(ev).with_context("write-ahead log");
+}
+
+}  // namespace
 
 Result<StatementResult> execute_statement(const graql::Statement& stmt,
                                           ExecContext& ctx) {
@@ -766,6 +788,7 @@ Result<StatementResult> execute_statement(const graql::Statement& stmt,
     GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(s->columns));
     GEMS_RETURN_IF_ERROR(ctx.tables.add(
         std::make_shared<Table>(s->name, std::move(schema), *ctx.pool)));
+    GEMS_RETURN_IF_ERROR(notify_mutation(ctx, stmt));
     result.message = "created table " + s->name;
     return result;
   }
@@ -775,6 +798,7 @@ Result<StatementResult> execute_statement(const graql::Statement& stmt,
                                                 ctx.params));
     ctx.vertex_decls.push_back(s->decl);
     ++ctx.graph_version;
+    GEMS_RETURN_IF_ERROR(notify_mutation(ctx, stmt));
     result.message = "created vertex type " + s->decl.name;
     return result;
   }
@@ -783,10 +807,14 @@ Result<StatementResult> execute_statement(const graql::Statement& stmt,
                                               *ctx.pool, ctx.params));
     ctx.edge_decls.push_back(s->decl);
     ++ctx.graph_version;
+    GEMS_RETURN_IF_ERROR(notify_mutation(ctx, stmt));
     result.message = "created edge type " + s->decl.name;
     return result;
   }
   if (const auto* s = std::get_if<graql::IngestStmt>(&stmt)) {
+    // Timed + logged so a CSV re-ingest and a store recovery of the same
+    // data can be compared from the logs (see gems::store).
+    ScopeTimer timer("ingest " + s->table);
     GEMS_ASSIGN_OR_RETURN(TablePtr table, ctx.tables.find(s->table));
     std::string path = s->path;
     if (!ctx.data_dir.empty() && !path.empty() && path.front() != '/') {
@@ -794,11 +822,16 @@ Result<StatementResult> execute_statement(const graql::Statement& stmt,
     }
     storage::CsvOptions options;
     options.has_header = s->has_header;
+    const std::size_t rows_before = table->num_rows();
     GEMS_ASSIGN_OR_RETURN(storage::CsvIngestStats stats,
                           storage::ingest_csv_file(*table, path, options));
+    timer.append(std::to_string(stats.rows) + " rows, " +
+                 std::to_string(stats.bytes) + " bytes");
     // Paper Sec. II-A2: ingest also (re)generates derived vertex and edge
     // instances.
     GEMS_RETURN_IF_ERROR(ctx.rebuild_graph());
+    GEMS_RETURN_IF_ERROR(
+        notify_mutation(ctx, stmt, table.get(), rows_before, stats.rows));
     result.message = "ingested " + std::to_string(stats.rows) +
                      " rows into " + s->table;
     return result;

@@ -19,6 +19,19 @@
 
 namespace gems::exec {
 
+/// Notification of a successful base-state mutation, fired for the
+/// durability layer (src/store) right after the statement applies and
+/// before its result is returned. `statement` is always set; the row
+/// fields describe the appended range for ingest statements (the write-
+/// ahead log records the parsed rows themselves, so replay does not
+/// depend on the CSV file still existing).
+struct MutationEvent {
+  const graql::Statement* statement = nullptr;
+  const storage::Table* table = nullptr;  // ingest target, else nullptr
+  std::size_t first_row = 0;              // ingest: first appended row
+  std::size_t num_rows = 0;               // ingest: appended row count
+};
+
 /// Mutable database state shared by all statements of a session.
 struct ExecContext {
   storage::TableCatalog tables;
@@ -59,6 +72,13 @@ struct ExecContext {
   /// multi-statement scheduler, paper Sec. III-B1, so that independent
   /// statements can run concurrently against read-only state).
   bool defer_catalog_writes = false;
+
+  /// Durability hook (src/store): invoked after each successful DDL or
+  /// ingest mutation. A failing hook fails the statement — the mutation
+  /// is already applied in memory, so the caller must treat the store as
+  /// broken (fail-stop) rather than continue with a diverged log. Unset
+  /// during recovery replay so replayed statements are not re-logged.
+  std::function<Status(const MutationEvent&)> on_mutation;
 
   /// Rebuilds all vertex/edge types from their declarations (after an
   /// ingest). Invalidates named subgraphs, which reference the old

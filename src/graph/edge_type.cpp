@@ -27,6 +27,38 @@ CsrIndex CsrIndex::build(std::size_t n, std::span<const VertexIndex> indexed,
   return out;
 }
 
+Result<CsrIndex> CsrIndex::restore(std::vector<std::uint32_t> offsets,
+                                   std::vector<VertexIndex> neighbor,
+                                   std::vector<EdgeIndex> edge) {
+  if (offsets.empty()) {
+    return invalid_argument("CSR restore: empty offsets array");
+  }
+  if (offsets.front() != 0 || offsets.back() != neighbor.size()) {
+    return invalid_argument("CSR restore: offsets do not bracket " +
+                            std::to_string(neighbor.size()) + " entries");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return invalid_argument("CSR restore: offsets not monotone at " +
+                              std::to_string(i));
+    }
+  }
+  if (neighbor.size() != edge.size()) {
+    return invalid_argument("CSR restore: parallel array size mismatch");
+  }
+  for (const EdgeIndex e : edge) {
+    if (e >= neighbor.size()) {
+      return invalid_argument("CSR restore: edge id " + std::to_string(e) +
+                              " out of range");
+    }
+  }
+  CsrIndex out;
+  out.offsets_ = std::move(offsets);
+  out.neighbor_ = std::move(neighbor);
+  out.edge_ = std::move(edge);
+  return out;
+}
+
 EdgeType EdgeType::assemble(EdgeTypeId id, std::string name,
                             VertexTypeId src_type, VertexTypeId dst_type,
                             std::size_t num_src_vertices,
@@ -49,6 +81,50 @@ EdgeType EdgeType::assemble(EdgeTypeId id, std::string name,
   // have it, and bench_planner_ablation quantifies what it buys).
   et.forward_ = CsrIndex::build(num_src_vertices, et.src_, et.dst_);
   et.reverse_ = CsrIndex::build(num_dst_vertices, et.dst_, et.src_);
+  return et;
+}
+
+Result<EdgeType> EdgeType::restore(EdgeTypeId id, std::string name,
+                                   VertexTypeId src_type,
+                                   VertexTypeId dst_type,
+                                   std::vector<VertexIndex> src,
+                                   std::vector<VertexIndex> dst,
+                                   storage::TablePtr attr_table,
+                                   CsrIndex forward, CsrIndex reverse) {
+  if (src.size() != dst.size()) {
+    return invalid_argument("edge type '" + name +
+                            "' restore: endpoint array size mismatch");
+  }
+  if (attr_table != nullptr && attr_table->num_rows() != src.size()) {
+    return invalid_argument("edge type '" + name +
+                            "' restore: attribute table rows != edges");
+  }
+  if (forward.num_edges() != src.size() || reverse.num_edges() != src.size()) {
+    return invalid_argument("edge type '" + name +
+                            "' restore: CSR entry count != edges");
+  }
+  for (const VertexIndex v : src) {
+    if (v >= forward.num_vertices()) {
+      return invalid_argument("edge type '" + name +
+                              "' restore: source vertex out of range");
+    }
+  }
+  for (const VertexIndex v : dst) {
+    if (v >= reverse.num_vertices()) {
+      return invalid_argument("edge type '" + name +
+                              "' restore: target vertex out of range");
+    }
+  }
+  EdgeType et;
+  et.id_ = id;
+  et.name_ = std::move(name);
+  et.src_type_ = src_type;
+  et.dst_type_ = dst_type;
+  et.src_ = std::move(src);
+  et.dst_ = std::move(dst);
+  et.attr_table_ = std::move(attr_table);
+  et.forward_ = std::move(forward);
+  et.reverse_ = std::move(reverse);
   return et;
 }
 

@@ -48,6 +48,23 @@ class CsrIndex {
            edge_.size() * sizeof(EdgeIndex);
   }
 
+  // ---- Snapshot serialization (gems::store) ---------------------------
+  /// Raw offsets array (size num_vertices()+1), for the serializer.
+  std::span<const std::uint32_t> raw_offsets() const noexcept {
+    return offsets_;
+  }
+  std::span<const VertexIndex> raw_neighbors() const noexcept {
+    return neighbor_;
+  }
+  std::span<const EdgeIndex> raw_edges() const noexcept { return edge_; }
+
+  /// Rebuilds an index from serialized arrays, validating the CSR
+  /// invariants (monotone offsets bracketing the arrays, parallel array
+  /// sizes) so corrupt input is rejected rather than read out of bounds.
+  static Result<CsrIndex> restore(std::vector<std::uint32_t> offsets,
+                                  std::vector<VertexIndex> neighbor,
+                                  std::vector<EdgeIndex> edge);
+
  private:
   std::vector<std::uint32_t> offsets_;  // size n+1
   std::vector<VertexIndex> neighbor_;   // other endpoint, grouped by owner
@@ -91,6 +108,18 @@ class EdgeType {
   storage::TablePtr attr_table_ptr() const noexcept { return attr_table_; }
 
   Result<storage::ColumnIndex> resolve_attribute(std::string_view name) const;
+
+  /// Snapshot restore (gems::store): reassembles an edge type from
+  /// serialized endpoint arrays and prebuilt CSR indices (no join re-run,
+  /// no index rebuild — recovery loads at deserialization speed).
+  /// Validates that the pieces are mutually consistent.
+  static Result<EdgeType> restore(EdgeTypeId id, std::string name,
+                                  VertexTypeId src_type,
+                                  VertexTypeId dst_type,
+                                  std::vector<VertexIndex> src,
+                                  std::vector<VertexIndex> dst,
+                                  storage::TablePtr attr_table,
+                                  CsrIndex forward, CsrIndex reverse);
 
  private:
   EdgeType() = default;

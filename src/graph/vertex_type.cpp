@@ -51,6 +51,56 @@ Result<VertexType> VertexType::build(VertexTypeId id, std::string name,
   return vt;
 }
 
+Result<VertexType> VertexType::restore(
+    VertexTypeId id, std::string name, storage::TablePtr source,
+    std::vector<ColumnIndex> key_cols, bool one_to_one,
+    std::vector<RowIndex> representative_rows, DynamicBitset matching_rows) {
+  if (source == nullptr) {
+    return invalid_argument("vertex type '" + name +
+                            "' restore: missing source table");
+  }
+  if (key_cols.empty()) {
+    return invalid_argument("vertex type '" + name +
+                            "' restore: no key columns");
+  }
+  for (const ColumnIndex c : key_cols) {
+    if (c >= source->num_columns()) {
+      return invalid_argument("vertex type '" + name +
+                              "' restore: key column out of range");
+    }
+  }
+  if (matching_rows.size() != source->num_rows()) {
+    return invalid_argument("vertex type '" + name +
+                            "' restore: matching-rows size != table rows");
+  }
+  for (const RowIndex r : representative_rows) {
+    if (r >= source->num_rows()) {
+      return invalid_argument("vertex type '" + name +
+                              "' restore: representative row out of range");
+    }
+  }
+  VertexType vt;
+  vt.id_ = id;
+  vt.name_ = std::move(name);
+  vt.source_ = std::move(source);
+  vt.key_cols_ = std::move(key_cols);
+  vt.one_to_one_ = one_to_one;
+  vt.representative_row_ = std::move(representative_rows);
+  vt.matching_rows_ = std::move(matching_rows);
+  vt.key_index_.reserve(vt.representative_row_.size());
+  for (std::size_t v = 0; v < vt.representative_row_.size(); ++v) {
+    std::string key = relational::encode_row_key(
+        *vt.source_, vt.representative_row_[v], vt.key_cols_);
+    auto [it, inserted] =
+        vt.key_index_.emplace(std::move(key), static_cast<VertexIndex>(v));
+    if (!inserted) {
+      return invalid_argument("vertex type '" + vt.name_ +
+                              "' restore: duplicate vertex key");
+    }
+  }
+  return vt;
+}
+
 bool VertexType::attribute_visible(ColumnIndex col) const noexcept {
   if (one_to_one_) return true;
   for (const auto k : key_cols_) {

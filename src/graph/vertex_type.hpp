@@ -75,6 +75,18 @@ class VertexType {
     return matching_rows_;
   }
 
+  /// Snapshot restore (gems::store): rebuilds the type from its
+  /// serialized fields without re-running the Eq. 1 selection. The
+  /// key->vertex index is recomputed from the representative rows (it is
+  /// fully derived, and collapsed rows encode to the same key), so it is
+  /// not part of the on-disk format. Validates row references against the
+  /// source table.
+  static Result<VertexType> restore(
+      VertexTypeId id, std::string name, storage::TablePtr source,
+      std::vector<storage::ColumnIndex> key_cols, bool one_to_one,
+      std::vector<storage::RowIndex> representative_rows,
+      DynamicBitset matching_rows);
+
  private:
   VertexType() = default;
 

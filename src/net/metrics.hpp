@@ -10,31 +10,15 @@
 #include <mutex>
 #include <string>
 
+#include "common/histogram.hpp"
 #include "net/wire.hpp"
 
 namespace gems::net {
 
-/// Log-scale latency histogram: bucket i counts samples whose latency in
-/// microseconds has bit-width i (i.e. [2^(i-1), 2^i)). 40 buckets cover
-/// up to ~12.7 days, so nothing ever clips.
-struct LatencyHistogram {
-  static constexpr std::size_t kBuckets = 40;
-
-  std::array<std::uint64_t, kBuckets> buckets{};
-  std::uint64_t count = 0;
-  std::uint64_t sum_us = 0;
-  std::uint64_t max_us = 0;
-
-  void record(std::uint64_t us);
-
-  /// Quantile estimate (q in [0,1]) in microseconds: the upper edge of the
-  /// bucket holding the q-th sample. 0 when empty.
-  std::uint64_t quantile_us(double q) const;
-
-  double mean_us() const {
-    return count == 0 ? 0.0 : static_cast<double>(sum_us) / count;
-  }
-};
+/// The log-scale latency histogram now lives in common/histogram.hpp so
+/// the durability layer (src/store) can meter with the same type; this
+/// alias keeps the wire layer's established spelling.
+using LatencyHistogram = ::gems::LatencyHistogram;
 
 /// Counters for one request verb.
 struct VerbMetrics {

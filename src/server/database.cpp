@@ -1,8 +1,10 @@
 #include "server/database.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "exec/lowering.hpp"
 #include "graql/ir.hpp"
 #include "graql/parser.hpp"
@@ -37,9 +39,87 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
     intra_pool_ = std::make_unique<ThreadPool>(options_.intra_node_threads);
     ctx_.intra_pool = intra_pool_.get();
   }
+
+  if (!options_.store_dir.empty()) {
+    // Recovery runs with the mutation hook unset, so replayed statements
+    // are not re-logged. A failed open is fail-stop (see store_status()).
+    store::StoreOptions sopts;
+    sopts.dir = options_.store_dir;
+    sopts.wal_fsync = options_.wal_fsync;
+    auto store = store::Store::open(std::move(sopts), ctx_);
+    if (!store.is_ok()) {
+      store_status_ =
+          store.status().with_context("opening persistent store");
+      GEMS_LOG(Error) << store_status_.to_string();
+      return;
+    }
+    store_ = std::move(store).value();
+    ctx_.on_mutation = [this](const exec::MutationEvent& ev) {
+      std::lock_guard<std::mutex> lock(wal_mutex_);
+      Status s = store_->log_mutation(ev);
+      if (!s.is_ok()) {
+        // The mutation is applied in memory but missing from the log:
+        // continuing would serve state a restart cannot reproduce.
+        store_status_ = s;
+      }
+      return s;
+    };
+    if (options_.checkpoint_interval_ms > 0) {
+      checkpoint_thread_ = std::thread([this] {
+        std::unique_lock<std::mutex> lk(checkpoint_mutex_);
+        while (!stop_checkpoint_) {
+          checkpoint_cv_.wait_for(
+              lk, std::chrono::milliseconds(options_.checkpoint_interval_ms));
+          if (stop_checkpoint_) break;
+          lk.unlock();
+          const Status s = checkpoint();
+          if (!s.is_ok()) {
+            GEMS_LOG(Warning) << "background checkpoint failed: "
+                              << s.to_string();
+          }
+          lk.lock();
+        }
+      });
+    }
+  }
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(checkpoint_mutex_);
+      stop_checkpoint_ = true;
+    }
+    checkpoint_cv_.notify_all();
+    checkpoint_thread_.join();
+  }
+}
+
+Status Database::checkpoint() {
+  std::lock_guard<std::mutex> lock(exec_mutex_);
+  if (store_ == nullptr) {
+    return invalid_argument(
+        "database has no persistent store (open with store_dir)");
+  }
+  GEMS_RETURN_IF_ERROR(store_status_);
+  return store_->checkpoint(ctx_);
+}
+
+store::StoreMetricsSnapshot Database::store_metrics() const {
+  if (store_ == nullptr) return {};
+  return store_->metrics().snapshot();
+}
+
+std::string Database::store_stats() const {
+  if (store_ == nullptr) {
+    std::string out = "no persistent store";
+    if (!store_status_.is_ok()) {
+      out += " (open failed: " + store_status_.to_string() + ")";
+    }
+    return out;
+  }
+  return store_->metrics().snapshot().to_string();
+}
 
 const plan::GraphStats& Database::cached_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -202,6 +282,14 @@ Result<std::vector<StatementResult>> Database::run_ir(
 
 Result<std::vector<StatementResult>> Database::run_parsed(
     Script script, const relational::ParamMap& params) {
+  // Serialize whole scripts against each other and against checkpoints
+  // (the background checkpoint thread snapshots under the same mutex).
+  std::lock_guard<std::mutex> lock(exec_mutex_);
+
+  // Fail-stop: a broken store (failed open, or a WAL append that diverged
+  // the log from memory) refuses all further scripts.
+  GEMS_RETURN_IF_ERROR(store_status_);
+
   // Front-end: static analysis against the metadata catalog (Sec. III-A).
   // Params are known here, so their types participate.
   if (!options_.skip_static_analysis) {

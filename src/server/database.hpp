@@ -11,10 +11,12 @@
 // across a wire needs no query-path changes.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
@@ -22,6 +24,7 @@
 #include "graql/analyzer.hpp"
 #include "plan/schedule.hpp"
 #include "plan/stats.hpp"
+#include "store/store.hpp"
 
 namespace gems::server {
 
@@ -40,6 +43,22 @@ struct DatabaseOptions {
   bool skip_static_analysis = false;
   /// Skip the IR encode/decode round-trip (for ablation benches only).
   bool skip_ir_roundtrip = false;
+
+  /// Persistent store directory (gems::store). Empty = in-memory only.
+  /// When set, opening the database recovers the directory's snapshot +
+  /// WAL, every DDL/ingest statement is write-ahead logged, and
+  /// checkpoint() snapshots the live state. If the directory holds a
+  /// corrupt snapshot the database is fail-stop: every script returns the
+  /// open error (see store_status()) instead of silently running
+  /// non-durably over partial state.
+  std::string store_dir;
+  /// fsync the WAL on every logged mutation (see StoreOptions::wal_fsync).
+  bool wal_fsync = true;
+  /// Background checkpoint period in milliseconds (0 = only explicit
+  /// checkpoint() calls). The background thread serializes against the
+  /// statement path on the same mutex, so a checkpoint never observes a
+  /// half-applied script.
+  std::uint64_t checkpoint_interval_ms = 0;
 };
 
 /// Catalog entry sizes, as the GEMS server's metadata repository reports
@@ -120,6 +139,24 @@ class Database {
   /// instance sets.
   const plan::GraphStats& cached_stats();
 
+  // ---- Durability (gems::store) ---------------------------------------
+  /// True when the database runs over a persistent store.
+  bool durable() const { return store_ != nullptr; }
+
+  /// Error from opening the store, or from a WAL append that diverged the
+  /// log from memory. Non-OK means fail-stop: run_script returns this.
+  Status store_status() const { return store_status_; }
+
+  /// Snapshots the current state and rotates the WAL. Serializes against
+  /// running statements. Fails when the database has no store.
+  Status checkpoint();
+
+  /// Recovery info from open (zeroed for in-memory databases).
+  store::StoreMetricsSnapshot store_metrics() const;
+
+  /// Human-readable `\storestats` rendering.
+  std::string store_stats() const;
+
  private:
   /// Shared back half of run_script / run_ir: analyze (unless skipped),
   /// schedule and execute an already-parsed script.
@@ -139,6 +176,18 @@ class Database {
   std::mutex stats_mutex_;
   std::unique_ptr<plan::GraphStats> stats_;
   std::uint64_t stats_version_ = ~0ull;
+
+  /// Serializes script execution (mutations) against checkpoints, so the
+  /// background checkpoint thread always snapshots a statement boundary.
+  std::mutex exec_mutex_;
+  std::unique_ptr<store::Store> store_;
+  Status store_status_;
+  std::mutex wal_mutex_;  // serializes WAL appends from parallel statements
+
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+  bool stop_checkpoint_ = false;
 };
 
 /// A client session: per-session parameters layered over the database

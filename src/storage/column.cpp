@@ -123,6 +123,56 @@ Value Column::value_at(RowIndex row, const StringPool& pool) const {
   GEMS_UNREACHABLE("bad column kind");
 }
 
+namespace {
+
+Status load_size_mismatch(std::size_t data, std::size_t valid) {
+  return invalid_argument("column restore: data size " +
+                          std::to_string(data) +
+                          " != validity size " + std::to_string(valid));
+}
+
+}  // namespace
+
+Status Column::load_ints(std::vector<std::int64_t> data, DynamicBitset valid) {
+  if (type_.kind != TypeKind::kBool && type_.kind != TypeKind::kInt64 &&
+      type_.kind != TypeKind::kDate) {
+    return invalid_argument("column restore: int data for a " +
+                            type_.to_string() + " column");
+  }
+  if (data.size() != valid.size()) {
+    return load_size_mismatch(data.size(), valid.size());
+  }
+  data_ = std::move(data);
+  valid_ = std::move(valid);
+  return Status::ok();
+}
+
+Status Column::load_doubles(std::vector<double> data, DynamicBitset valid) {
+  if (type_.kind != TypeKind::kDouble) {
+    return invalid_argument("column restore: double data for a " +
+                            type_.to_string() + " column");
+  }
+  if (data.size() != valid.size()) {
+    return load_size_mismatch(data.size(), valid.size());
+  }
+  data_ = std::move(data);
+  valid_ = std::move(valid);
+  return Status::ok();
+}
+
+Status Column::load_strings(std::vector<StringId> data, DynamicBitset valid) {
+  if (type_.kind != TypeKind::kVarchar) {
+    return invalid_argument("column restore: string data for a " +
+                            type_.to_string() + " column");
+  }
+  if (data.size() != valid.size()) {
+    return load_size_mismatch(data.size(), valid.size());
+  }
+  data_ = std::move(data);
+  valid_ = std::move(valid);
+  return Status::ok();
+}
+
 std::size_t Column::byte_size() const noexcept {
   std::size_t bytes = valid_.size() / 8;
   switch (type_.kind) {

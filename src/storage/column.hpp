@@ -80,6 +80,15 @@ class Column {
   /// Approximate in-memory footprint in bytes (catalog sizing, Sec. III).
   std::size_t byte_size() const noexcept;
 
+  // ---- Snapshot restore (gems::store) ---------------------------------
+  // Bulk-replace the column contents from deserialized arrays. The data
+  // vector must match the column's storage kind and the validity bitmap's
+  // size; mismatches are corrupt input and reported as a Status, never
+  // applied partially.
+  Status load_ints(std::vector<std::int64_t> data, DynamicBitset valid);
+  Status load_doubles(std::vector<double> data, DynamicBitset valid);
+  Status load_strings(std::vector<StringId> data, DynamicBitset valid);
+
  private:
   const std::vector<std::int64_t>& ints() const {
     return std::get<std::vector<std::int64_t>>(data_);

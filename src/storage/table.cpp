@@ -60,6 +60,20 @@ std::vector<Value> Table::row(RowIndex r) const {
   return out;
 }
 
+Status Table::finish_restore() {
+  const std::size_t rows = columns_.empty() ? 0 : columns_.front().size();
+  for (const auto& col : columns_) {
+    if (col.size() != rows) {
+      return invalid_argument("table '" + name_ +
+                              "' restore: ragged column sizes (" +
+                              std::to_string(col.size()) + " vs " +
+                              std::to_string(rows) + ")");
+    }
+  }
+  num_rows_ = rows;
+  return Status::ok();
+}
+
 std::size_t Table::byte_size() const noexcept {
   std::size_t bytes = 0;
   for (const auto& col : columns_) bytes += col.byte_size();

@@ -57,6 +57,12 @@ class Table {
   /// Approximate in-memory footprint (catalog sizing, paper Sec. III).
   std::size_t byte_size() const noexcept;
 
+  /// Snapshot restore (gems::store): after every column has been
+  /// bulk-loaded via column_mut().load_*, validates that all columns have
+  /// the same length and adopts it as the row count. Corrupt input (ragged
+  /// columns) is reported as a Status, never adopted.
+  Status finish_restore();
+
   /// Debug rendering: header + first `max_rows` rows.
   std::string to_string(std::size_t max_rows = 20) const;
 

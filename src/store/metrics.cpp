@@ -1,0 +1,46 @@
+#include "store/metrics.hpp"
+
+#include <sstream>
+
+namespace gems::store {
+
+namespace {
+
+void render_histogram(std::ostringstream& out, const char* label,
+                      const LatencyHistogram& h) {
+  out << label << ": n=" << h.count;
+  if (h.count > 0) {
+    out << " mean=" << static_cast<std::uint64_t>(h.mean_us())
+        << "us p50=" << h.quantile_us(0.5) << "us p99=" << h.quantile_us(0.99)
+        << "us max=" << h.max_us << "us";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string StoreMetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  render_histogram(out, "wal append", wal_append_us);
+  out << "wal records: " << wal_records << " (" << wal_bytes << " bytes)\n";
+  render_histogram(out, "snapshot write", snapshot_write_us);
+  out << "snapshots written: " << snapshots_written;
+  if (snapshots_written > 0) {
+    out << " (last " << snapshot_bytes_last << " bytes)";
+  }
+  out << "\n";
+  if (recovered) {
+    out << "recovery: "
+        << (recovered_from_snapshot ? "snapshot (" : "no snapshot (")
+        << recovery_snapshot_bytes << " bytes, " << recovery_snapshot_seconds
+        << " s) + " << recovery_records_applied << " wal records ("
+        << recovery_records_skipped << " skipped, "
+        << recovery_truncated_bytes << " torn bytes truncated, "
+        << recovery_replay_seconds << " s replay)";
+  } else {
+    out << "recovery: fresh store";
+  }
+  return out.str();
+}
+
+}  // namespace gems::store

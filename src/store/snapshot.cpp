@@ -1,0 +1,558 @@
+#include "store/snapshot.hpp"
+
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "graql/ir.hpp"
+#include "store/format.hpp"
+
+namespace gems::store {
+
+namespace {
+
+using graph::EdgeType;
+using graph::EdgeTypeId;
+using graph::VertexIndex;
+using graph::VertexType;
+using graph::VertexTypeId;
+using storage::Column;
+using storage::ColumnDef;
+using storage::RowIndex;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::TypeKind;
+
+// Source-table reference modes for vertex types. Almost always the source
+// is a catalog table referenced by name (shared TablePtr after restore);
+// the inline mode covers the corner where an `into table` overwrote the
+// catalog entry after the vertex type was built, leaving the type bound
+// to a table the catalog no longer points at.
+constexpr std::uint8_t kSourceByName = 1;
+constexpr std::uint8_t kSourceInline = 0;
+
+void encode_bitset(Writer& w, const DynamicBitset& b) {
+  w.u64(b.size());
+  w.pod_array<std::uint64_t>(b.words());
+}
+
+Result<DynamicBitset> decode_bitset(Reader& r, const char* what) {
+  const std::size_t at = r.pos();
+  GEMS_ASSIGN_OR_RETURN(std::uint64_t size, r.u64());
+  GEMS_ASSIGN_OR_RETURN(std::vector<std::uint64_t> words,
+                        r.pod_array<std::uint64_t>(what));
+  auto bits = DynamicBitset::from_words(static_cast<std::size_t>(size),
+                                        std::move(words));
+  if (!bits.is_ok()) return r.corrupt(what + (": " + bits.status().message()), at);
+  return std::move(bits).value();
+}
+
+void encode_table(Writer& w, const Table& t) {
+  w.str(t.name());
+  w.u32(static_cast<std::uint32_t>(t.schema().num_columns()));
+  for (const ColumnDef& def : t.schema().columns()) {
+    w.str(def.name);
+    w.u8(static_cast<std::uint8_t>(def.type.kind));
+    w.u32(def.type.varchar_length);
+  }
+  w.u64(t.num_rows());
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    const Column& col = t.column(static_cast<storage::ColumnIndex>(c));
+    switch (col.type().kind) {
+      case TypeKind::kBool:
+      case TypeKind::kInt64:
+      case TypeKind::kDate:
+        w.pod_array<std::int64_t>(col.int_span());
+        break;
+      case TypeKind::kDouble:
+        w.pod_array<double>(col.double_span());
+        break;
+      case TypeKind::kVarchar:
+        w.pod_array<StringId>(col.string_span());
+        break;
+    }
+    encode_bitset(w, col.validity());
+  }
+}
+
+Result<TablePtr> decode_table(Reader& r, StringPool& pool) {
+  const std::size_t table_at = r.pos();
+  GEMS_ASSIGN_OR_RETURN(std::string name, r.str());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t ncols, r.u32());
+  if (ncols > (1u << 20)) {
+    return r.corrupt("table '" + name + "': implausible column count " +
+                         std::to_string(ncols),
+                     table_at);
+  }
+  std::vector<ColumnDef> defs;
+  defs.reserve(ncols);
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    ColumnDef def;
+    GEMS_ASSIGN_OR_RETURN(def.name, r.str());
+    GEMS_ASSIGN_OR_RETURN(std::uint8_t kind, r.u8());
+    if (kind > static_cast<std::uint8_t>(TypeKind::kDate)) {
+      return r.corrupt("table '" + name + "': bad column kind " +
+                           std::to_string(kind),
+                       table_at);
+    }
+    def.type.kind = static_cast<TypeKind>(kind);
+    GEMS_ASSIGN_OR_RETURN(def.type.varchar_length, r.u32());
+    defs.push_back(std::move(def));
+  }
+  auto schema = Schema::create(std::move(defs));
+  if (!schema.is_ok()) {
+    return r.corrupt("table '" + name + "': " + schema.status().message(),
+                     table_at);
+  }
+  GEMS_ASSIGN_OR_RETURN(std::uint64_t nrows, r.u64());
+  auto table =
+      std::make_shared<Table>(name, std::move(schema).value(), pool);
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    const std::size_t col_at = r.pos();
+    Column& col = table->column_mut(c);
+    Status load = Status::ok();
+    switch (col.type().kind) {
+      case TypeKind::kBool:
+      case TypeKind::kInt64:
+      case TypeKind::kDate: {
+        GEMS_ASSIGN_OR_RETURN(std::vector<std::int64_t> data,
+                              r.pod_array<std::int64_t>("int column"));
+        GEMS_ASSIGN_OR_RETURN(DynamicBitset bits,
+                              decode_bitset(r, "column validity"));
+        load = col.load_ints(std::move(data), std::move(bits));
+        break;
+      }
+      case TypeKind::kDouble: {
+        GEMS_ASSIGN_OR_RETURN(std::vector<double> data,
+                              r.pod_array<double>("double column"));
+        GEMS_ASSIGN_OR_RETURN(DynamicBitset bits,
+                              decode_bitset(r, "column validity"));
+        load = col.load_doubles(std::move(data), std::move(bits));
+        break;
+      }
+      case TypeKind::kVarchar: {
+        GEMS_ASSIGN_OR_RETURN(std::vector<StringId> data,
+                              r.pod_array<StringId>("varchar column"));
+        for (const StringId id : data) {
+          if (id != kInvalidStringId && id >= pool.size()) {
+            return r.corrupt("table '" + name + "': string id " +
+                                 std::to_string(id) + " outside pool (" +
+                                 std::to_string(pool.size()) + " strings)",
+                             col_at);
+          }
+        }
+        GEMS_ASSIGN_OR_RETURN(DynamicBitset bits,
+                              decode_bitset(r, "column validity"));
+        load = col.load_strings(std::move(data), std::move(bits));
+        break;
+      }
+    }
+    if (!load.is_ok()) {
+      return r.corrupt("table '" + name + "': " + load.message(), col_at);
+    }
+  }
+  const Status finish = table->finish_restore();
+  if (!finish.is_ok()) {
+    return r.corrupt("table '" + name + "': " + finish.message(), table_at);
+  }
+  if (table->num_rows() != nrows) {
+    return r.corrupt("table '" + name + "': row count " +
+                         std::to_string(table->num_rows()) +
+                         " != declared " + std::to_string(nrows),
+                     table_at);
+  }
+  return table;
+}
+
+void encode_body(const exec::ExecContext& ctx, std::uint64_t wal_seq,
+                 std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u64(wal_seq);
+
+  // String pool, in id order (deterministic; ids in column data stay
+  // valid because restore re-interns in the same order).
+  w.u64(ctx.pool->size());
+  ctx.pool->for_each([&](StringId, std::string_view s) { w.str(s); });
+
+  // Catalog tables, in name order (names() sorts).
+  const std::vector<std::string> names = ctx.tables.names();
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    encode_table(w, *ctx.tables.find(name).value());
+  }
+
+  // DDL declarations, as a single GraQL IR script (reuses the IR codec
+  // for the expression trees inside the decls).
+  graql::Script decls;
+  decls.statements.reserve(ctx.vertex_decls.size() + ctx.edge_decls.size());
+  for (const auto& d : ctx.vertex_decls) {
+    decls.statements.push_back(graql::CreateVertexStmt{d});
+  }
+  for (const auto& d : ctx.edge_decls) {
+    decls.statements.push_back(graql::CreateEdgeStmt{d});
+  }
+  w.u32(static_cast<std::uint32_t>(ctx.vertex_decls.size()));
+  w.u32(static_cast<std::uint32_t>(ctx.edge_decls.size()));
+  const std::vector<std::uint8_t> script = graql::encode_script(decls);
+  w.pod_array<std::uint8_t>(script);
+
+  // Built vertex types, in id order.
+  w.u32(static_cast<std::uint32_t>(ctx.graph.num_vertex_types()));
+  for (std::size_t i = 0; i < ctx.graph.num_vertex_types(); ++i) {
+    const VertexType& vt =
+        ctx.graph.vertex_type(static_cast<VertexTypeId>(i));
+    w.str(vt.name());
+    auto by_name = ctx.tables.find(vt.source().name());
+    if (by_name.is_ok() && by_name.value().get() == &vt.source()) {
+      w.u8(kSourceByName);
+      w.str(vt.source().name());
+    } else {
+      w.u8(kSourceInline);
+      encode_table(w, vt.source());
+    }
+    w.pod_array<storage::ColumnIndex>(vt.key_columns());
+    w.u8(vt.one_to_one() ? 1 : 0);
+    std::vector<RowIndex> reps;
+    reps.reserve(vt.num_vertices());
+    for (std::size_t v = 0; v < vt.num_vertices(); ++v) {
+      reps.push_back(vt.representative_row(static_cast<VertexIndex>(v)));
+    }
+    w.pod_array<RowIndex>(reps);
+    encode_bitset(w, vt.matching_rows());
+  }
+
+  // Built edge types, in id order, with both CSR directions.
+  w.u32(static_cast<std::uint32_t>(ctx.graph.num_edge_types()));
+  for (std::size_t i = 0; i < ctx.graph.num_edge_types(); ++i) {
+    const EdgeType& et = ctx.graph.edge_type(static_cast<EdgeTypeId>(i));
+    w.str(et.name());
+    w.u16(et.source_type());
+    w.u16(et.target_type());
+    std::vector<VertexIndex> src, dst;
+    src.reserve(et.num_edges());
+    dst.reserve(et.num_edges());
+    for (std::size_t e = 0; e < et.num_edges(); ++e) {
+      src.push_back(et.source_vertex(static_cast<graph::EdgeIndex>(e)));
+      dst.push_back(et.target_vertex(static_cast<graph::EdgeIndex>(e)));
+    }
+    w.pod_array<VertexIndex>(src);
+    w.pod_array<VertexIndex>(dst);
+    w.u8(et.attr_table() != nullptr ? 1 : 0);
+    if (et.attr_table() != nullptr) encode_table(w, *et.attr_table());
+    for (const graph::CsrIndex* csr : {&et.forward(), &et.reverse()}) {
+      w.pod_array<std::uint32_t>(csr->raw_offsets());
+      w.pod_array<VertexIndex>(csr->raw_neighbors());
+      w.pod_array<graph::EdgeIndex>(csr->raw_edges());
+    }
+  }
+
+  // Named subgraphs (std::map iteration: name order).
+  w.u32(static_cast<std::uint32_t>(ctx.subgraphs.size()));
+  for (const auto& [name, sub] : ctx.subgraphs) {
+    w.str(name);
+    std::uint32_t nv = 0, ne = 0;
+    for (std::size_t t = 0; t < ctx.graph.num_vertex_types(); ++t) {
+      if (sub->vertices(static_cast<VertexTypeId>(t)) != nullptr) ++nv;
+    }
+    for (std::size_t t = 0; t < ctx.graph.num_edge_types(); ++t) {
+      if (sub->edges(static_cast<EdgeTypeId>(t)) != nullptr) ++ne;
+    }
+    w.u32(nv);
+    for (std::size_t t = 0; t < ctx.graph.num_vertex_types(); ++t) {
+      const DynamicBitset* bits = sub->vertices(static_cast<VertexTypeId>(t));
+      if (bits == nullptr) continue;
+      w.u16(static_cast<std::uint16_t>(t));
+      encode_bitset(w, *bits);
+    }
+    w.u32(ne);
+    for (std::size_t t = 0; t < ctx.graph.num_edge_types(); ++t) {
+      const DynamicBitset* bits = sub->edges(static_cast<EdgeTypeId>(t));
+      if (bits == nullptr) continue;
+      w.u16(static_cast<std::uint16_t>(t));
+      encode_bitset(w, *bits);
+    }
+  }
+}
+
+Status decode_body(Reader& r, exec::ExecContext& ctx,
+                   SnapshotInfo& info) {
+  GEMS_ASSIGN_OR_RETURN(info.wal_seq, r.u64());
+
+  // Pool: re-intern in id order so ids referenced by column data and row
+  // keys stay stable.
+  GEMS_ASSIGN_OR_RETURN(std::uint64_t num_strings, r.u64());
+  for (std::uint64_t i = 0; i < num_strings; ++i) {
+    const std::size_t at = r.pos();
+    GEMS_ASSIGN_OR_RETURN(std::string s, r.str());
+    const StringId id = ctx.pool->intern(s);
+    if (id != static_cast<StringId>(i)) {
+      return r.corrupt("pool string " + std::to_string(i) +
+                           " re-interned to id " + std::to_string(id) +
+                           " (duplicate in pool section)",
+                       at);
+    }
+  }
+
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t num_tables, r.u32());
+  for (std::uint32_t i = 0; i < num_tables; ++i) {
+    GEMS_ASSIGN_OR_RETURN(TablePtr table, decode_table(r, *ctx.pool));
+    GEMS_RETURN_IF_ERROR(ctx.tables.add(std::move(table)));
+  }
+
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t num_vdecls, r.u32());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t num_edecls, r.u32());
+  const std::size_t decls_at = r.pos();
+  GEMS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> script_bytes,
+                        r.pod_array<std::uint8_t>("decl script"));
+  auto script = graql::decode_script(script_bytes);
+  if (!script.is_ok()) {
+    return r.corrupt("decl script: " + script.status().message(), decls_at);
+  }
+  if (script->statements.size() !=
+      static_cast<std::size_t>(num_vdecls) + num_edecls) {
+    return r.corrupt("decl script statement count mismatch", decls_at);
+  }
+  for (std::size_t i = 0; i < script->statements.size(); ++i) {
+    graql::Statement& stmt = script->statements[i];
+    if (i < num_vdecls) {
+      auto* s = std::get_if<graql::CreateVertexStmt>(&stmt);
+      if (s == nullptr) {
+        return r.corrupt("decl script: statement " + std::to_string(i) +
+                             " is not a vertex declaration",
+                         decls_at);
+      }
+      ctx.vertex_decls.push_back(std::move(s->decl));
+    } else {
+      auto* s = std::get_if<graql::CreateEdgeStmt>(&stmt);
+      if (s == nullptr) {
+        return r.corrupt("decl script: statement " + std::to_string(i) +
+                             " is not an edge declaration",
+                         decls_at);
+      }
+      ctx.edge_decls.push_back(std::move(s->decl));
+    }
+  }
+
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t num_vtypes, r.u32());
+  if (num_vtypes >= graph::kInvalidVertexType) {
+    return r.corrupt("implausible vertex type count " +
+                         std::to_string(num_vtypes),
+                     r.pos());
+  }
+  for (std::uint32_t i = 0; i < num_vtypes; ++i) {
+    const std::size_t at = r.pos();
+    GEMS_ASSIGN_OR_RETURN(std::string name, r.str());
+    GEMS_ASSIGN_OR_RETURN(std::uint8_t mode, r.u8());
+    TablePtr source;
+    if (mode == kSourceByName) {
+      GEMS_ASSIGN_OR_RETURN(std::string tname, r.str());
+      auto found = ctx.tables.find(tname);
+      if (!found.is_ok()) {
+        return r.corrupt("vertex type '" + name +
+                             "': source table '" + tname + "' not in snapshot",
+                         at);
+      }
+      source = std::move(found).value();
+    } else if (mode == kSourceInline) {
+      GEMS_ASSIGN_OR_RETURN(source, decode_table(r, *ctx.pool));
+    } else {
+      return r.corrupt("vertex type '" + name + "': bad source mode " +
+                           std::to_string(mode),
+                       at);
+    }
+    GEMS_ASSIGN_OR_RETURN(std::vector<storage::ColumnIndex> key_cols,
+                          r.pod_array<storage::ColumnIndex>("key columns"));
+    GEMS_ASSIGN_OR_RETURN(std::uint8_t one_to_one, r.u8());
+    if (one_to_one > 1) {
+      return r.corrupt("vertex type '" + name + "': bad one_to_one flag", at);
+    }
+    GEMS_ASSIGN_OR_RETURN(std::vector<RowIndex> reps,
+                          r.pod_array<RowIndex>("representative rows"));
+    GEMS_ASSIGN_OR_RETURN(DynamicBitset matching,
+                          decode_bitset(r, "matching rows"));
+    auto vt = VertexType::restore(static_cast<VertexTypeId>(i),
+                                  std::move(name), std::move(source),
+                                  std::move(key_cols), one_to_one != 0,
+                                  std::move(reps), std::move(matching));
+    if (!vt.is_ok()) return r.corrupt(vt.status().message(), at);
+    GEMS_RETURN_IF_ERROR(ctx.graph.add_vertex_type(std::move(vt).value()));
+  }
+
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t num_etypes, r.u32());
+  if (num_etypes >= graph::kInvalidEdgeType) {
+    return r.corrupt("implausible edge type count " +
+                         std::to_string(num_etypes),
+                     r.pos());
+  }
+  for (std::uint32_t i = 0; i < num_etypes; ++i) {
+    const std::size_t at = r.pos();
+    GEMS_ASSIGN_OR_RETURN(std::string name, r.str());
+    GEMS_ASSIGN_OR_RETURN(std::uint16_t src_type, r.u16());
+    GEMS_ASSIGN_OR_RETURN(std::uint16_t dst_type, r.u16());
+    if (src_type >= num_vtypes || dst_type >= num_vtypes) {
+      return r.corrupt("edge type '" + name + "': endpoint type out of range",
+                       at);
+    }
+    GEMS_ASSIGN_OR_RETURN(std::vector<VertexIndex> src,
+                          r.pod_array<VertexIndex>("edge sources"));
+    GEMS_ASSIGN_OR_RETURN(std::vector<VertexIndex> dst,
+                          r.pod_array<VertexIndex>("edge targets"));
+    GEMS_ASSIGN_OR_RETURN(std::uint8_t has_attrs, r.u8());
+    TablePtr attr_table;
+    if (has_attrs == 1) {
+      GEMS_ASSIGN_OR_RETURN(attr_table, decode_table(r, *ctx.pool));
+    } else if (has_attrs != 0) {
+      return r.corrupt("edge type '" + name + "': bad attr-table flag", at);
+    }
+    graph::CsrIndex csrs[2];
+    for (graph::CsrIndex& csr : csrs) {
+      GEMS_ASSIGN_OR_RETURN(std::vector<std::uint32_t> offsets,
+                            r.pod_array<std::uint32_t>("CSR offsets"));
+      GEMS_ASSIGN_OR_RETURN(std::vector<VertexIndex> neighbor,
+                            r.pod_array<VertexIndex>("CSR neighbors"));
+      GEMS_ASSIGN_OR_RETURN(std::vector<graph::EdgeIndex> edge,
+                            r.pod_array<graph::EdgeIndex>("CSR edges"));
+      auto restored = graph::CsrIndex::restore(
+          std::move(offsets), std::move(neighbor), std::move(edge));
+      if (!restored.is_ok()) {
+        return r.corrupt("edge type '" + name + "': " +
+                             restored.status().message(),
+                         at);
+      }
+      csr = std::move(restored).value();
+    }
+    // The CSR vertex counts must match the endpoint types they index.
+    if (csrs[0].num_vertices() !=
+            ctx.graph.vertex_type(src_type).num_vertices() ||
+        csrs[1].num_vertices() !=
+            ctx.graph.vertex_type(dst_type).num_vertices()) {
+      return r.corrupt("edge type '" + name +
+                           "': CSR vertex count != endpoint type size",
+                       at);
+    }
+    auto et = EdgeType::restore(static_cast<EdgeTypeId>(i), std::move(name),
+                                src_type, dst_type, std::move(src),
+                                std::move(dst), std::move(attr_table),
+                                std::move(csrs[0]), std::move(csrs[1]));
+    if (!et.is_ok()) return r.corrupt(et.status().message(), at);
+    GEMS_RETURN_IF_ERROR(ctx.graph.add_edge_type(std::move(et).value()));
+  }
+
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t num_subgraphs, r.u32());
+  for (std::uint32_t i = 0; i < num_subgraphs; ++i) {
+    const std::size_t at = r.pos();
+    GEMS_ASSIGN_OR_RETURN(std::string name, r.str());
+    auto sub = std::make_shared<exec::Subgraph>(name);
+    GEMS_ASSIGN_OR_RETURN(std::uint32_t nv, r.u32());
+    for (std::uint32_t j = 0; j < nv; ++j) {
+      GEMS_ASSIGN_OR_RETURN(std::uint16_t type, r.u16());
+      GEMS_ASSIGN_OR_RETURN(DynamicBitset bits,
+                            decode_bitset(r, "subgraph vertices"));
+      if (type >= num_vtypes ||
+          bits.size() !=
+              ctx.graph.vertex_type(type).num_vertices()) {
+        return r.corrupt("subgraph '" + name +
+                             "': bad vertex membership entry",
+                         at);
+      }
+      sub->vertices(type, bits.size()) = std::move(bits);
+    }
+    GEMS_ASSIGN_OR_RETURN(std::uint32_t ne, r.u32());
+    for (std::uint32_t j = 0; j < ne; ++j) {
+      GEMS_ASSIGN_OR_RETURN(std::uint16_t type, r.u16());
+      GEMS_ASSIGN_OR_RETURN(DynamicBitset bits,
+                            decode_bitset(r, "subgraph edges"));
+      if (type >= num_etypes ||
+          bits.size() != ctx.graph.edge_type(type).num_edges()) {
+        return r.corrupt("subgraph '" + name +
+                             "': bad edge membership entry",
+                         at);
+      }
+      sub->edges(type, bits.size()) = std::move(bits);
+    }
+    ctx.subgraphs.emplace(std::move(name), std::move(sub));
+  }
+
+  if (!r.at_end()) {
+    return r.corrupt(std::to_string(r.remaining()) +
+                         " trailing bytes after snapshot body",
+                     r.pos());
+  }
+  if (ctx.graph.num_vertex_types() > 0 || ctx.graph.num_edge_types() > 0) {
+    ctx.graph_version = 1;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const exec::ExecContext& ctx,
+                                          std::uint64_t wal_seq) {
+  std::vector<std::uint8_t> body;
+  encode_body(ctx, wal_seq, body);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kSnapshotHeaderBytes + body.size());
+  Writer h(out);
+  h.u32(kSnapshotMagic);
+  h.u16(kSnapshotVersion);
+  h.u16(0);  // reserved
+  h.u64(body.size());
+  h.u32(crc32(body));
+  h.u32(crc32(out));  // header CRC over the 20 bytes written so far
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<SnapshotInfo> decode_snapshot(std::span<const std::uint8_t> bytes,
+                                     exec::ExecContext& ctx) {
+  if (ctx.pool == nullptr) {
+    return internal_error("decode_snapshot: context has no string pool");
+  }
+  if (ctx.pool->size() != 0 || ctx.tables.size() != 0) {
+    return internal_error(
+        "decode_snapshot: context must be fresh (non-empty pool or catalog)");
+  }
+  if (bytes.size() < kSnapshotHeaderBytes) {
+    return io_error("snapshot truncated: " + std::to_string(bytes.size()) +
+                    " bytes, header needs " +
+                    std::to_string(kSnapshotHeaderBytes));
+  }
+  Reader h(bytes.subspan(0, kSnapshotHeaderBytes));
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t magic, h.u32());
+  GEMS_ASSIGN_OR_RETURN(std::uint16_t version, h.u16());
+  GEMS_ASSIGN_OR_RETURN(std::uint16_t reserved, h.u16());
+  GEMS_ASSIGN_OR_RETURN(std::uint64_t body_len, h.u64());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t body_crc, h.u32());
+  GEMS_ASSIGN_OR_RETURN(std::uint32_t header_crc, h.u32());
+  if (crc32(bytes.subspan(0, kSnapshotHeaderBytes - 4)) != header_crc) {
+    return io_error("snapshot header CRC mismatch (corrupt header)");
+  }
+  if (magic != kSnapshotMagic) {
+    return io_error("not a GEMS snapshot (bad magic)");
+  }
+  if (version != kSnapshotVersion) {
+    return io_error("unsupported snapshot version " + std::to_string(version) +
+                    " (this build reads version " +
+                    std::to_string(kSnapshotVersion) + ")");
+  }
+  (void)reserved;
+  if (body_len != bytes.size() - kSnapshotHeaderBytes) {
+    return io_error("snapshot body length " + std::to_string(body_len) +
+                    " != file body of " +
+                    std::to_string(bytes.size() - kSnapshotHeaderBytes) +
+                    " bytes (truncated or padded file)");
+  }
+  const auto body = bytes.subspan(kSnapshotHeaderBytes);
+  if (crc32(body) != body_crc) {
+    return io_error("snapshot body CRC mismatch (corrupt body)");
+  }
+
+  SnapshotInfo info;
+  info.body_bytes = body.size();
+  Reader r(body);
+  GEMS_RETURN_IF_ERROR(decode_body(r, ctx, info));
+  return info;
+}
+
+}  // namespace gems::store

@@ -1,0 +1,51 @@
+// Versioned, checksummed binary snapshots of the full database state:
+// string pool, columnar tables, DDL declarations, built graph views
+// (vertex/edge types with their bidirectional CSR indices) and named
+// subgraphs. Recovery loads the graph at deserialization speed — no joins,
+// no key-index hashing of raw strings, no CSV parsing.
+//
+// File image = 24-byte header + body:
+//   u32 magic "GSN1" | u16 version | u16 reserved | u64 body_len |
+//   u32 body_crc32 | u32 header_crc32 (over the first 20 bytes)
+// Both CRCs are validated before any body field is interpreted, so a
+// bit-flip anywhere in the file is reported as a typed kIoError, never
+// acted on.
+//
+// Encoding is deterministic: the pool is written in id order, tables in
+// name order, types in id order, subgraphs in map order. Two snapshots of
+// the same database state are byte-identical (tested), which makes
+// snapshot diffs meaningful and checkpoints idempotent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "exec/executor.hpp"
+
+namespace gems::store {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x47534E31;  // "GSN1"
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 24;
+
+struct SnapshotInfo {
+  /// WAL sequence number the snapshot is consistent with: replay skips
+  /// records with seq <= wal_seq.
+  std::uint64_t wal_seq = 0;
+  std::uint64_t body_bytes = 0;
+};
+
+/// Serializes `ctx` to a complete snapshot file image (header + body).
+std::vector<std::uint8_t> encode_snapshot(const exec::ExecContext& ctx,
+                                          std::uint64_t wal_seq);
+
+/// Validates and decodes a snapshot image into `ctx`, which must be fresh
+/// (empty catalog, empty string pool). On error, `ctx` may hold partially
+/// restored state and must be discarded — the database layer treats a
+/// failed open as fail-stop, so partial state is never served.
+Result<SnapshotInfo> decode_snapshot(std::span<const std::uint8_t> bytes,
+                                     exec::ExecContext& ctx);
+
+}  // namespace gems::store

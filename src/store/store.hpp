@@ -1,0 +1,71 @@
+// The durability façade: one Store per database data directory, owning the
+// snapshot file and the write-ahead log.
+//
+//   <dir>/snapshot.gsnp   latest complete snapshot (atomically replaced)
+//   <dir>/wal.gwal        mutations since that snapshot
+//
+// Open = recovery: load the snapshot (if any), replay the WAL tail,
+// truncate torn records. Checkpoint = snapshot the live state, then
+// rotate the WAL. Both ends of the crash-consistency contract live here;
+// the server layer (server::Database) only decides *when* to call them
+// and serializes callers against the statement path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "exec/executor.hpp"
+#include "store/metrics.hpp"
+#include "store/wal.hpp"
+
+namespace gems::store {
+
+struct StoreOptions {
+  /// Data directory; created if missing.
+  std::string dir;
+  /// fsync the WAL on every append (default). Turning this off trades the
+  /// crash-durability of the last few statements for append throughput —
+  /// the file stays *consistent* either way (torn tails truncate).
+  bool wal_fsync = true;
+};
+
+class Store {
+ public:
+  /// Opens the store at `options.dir`, recovering any existing state into
+  /// `ctx` (which must be fresh: empty pool, empty catalog). A corrupt
+  /// snapshot fails the open with a typed kIoError — `ctx` must then be
+  /// discarded. A torn WAL tail is truncated and logged, never fatal.
+  static Result<std::unique_ptr<Store>> open(StoreOptions options,
+                                             exec::ExecContext& ctx);
+
+  /// Durability hook (wired to exec::ExecContext::on_mutation): appends
+  /// the mutation to the WAL, fsyncing when enabled.
+  Status log_mutation(const exec::MutationEvent& ev);
+
+  /// Writes a snapshot of `ctx` (atomically replacing the previous one)
+  /// and rotates the WAL. The caller must hold the database's statement
+  /// lock so the state is consistent for the duration of the encode.
+  Status checkpoint(const exec::ExecContext& ctx);
+
+  StoreMetrics& metrics() { return metrics_; }
+  const StoreMetrics& metrics() const { return metrics_; }
+
+  /// WAL seq covered by the on-disk snapshot (0 = none yet this run).
+  std::uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
+
+  std::string snapshot_path() const { return options_.dir + "/snapshot.gsnp"; }
+  std::string wal_path() const { return options_.dir + "/wal.gwal"; }
+
+ private:
+  Store(StoreOptions options, std::unique_ptr<Wal> wal)
+      : options_(std::move(options)), wal_(std::move(wal)) {}
+
+  StoreOptions options_;
+  std::unique_ptr<Wal> wal_;
+  StoreMetrics metrics_;
+  std::uint64_t last_checkpoint_seq_ = 0;
+};
+
+}  // namespace gems::store

@@ -1,0 +1,114 @@
+// Write-ahead log for the in-memory database: DDL and ingest mutations
+// are recorded as framed, CRC-protected records and (by default) fsynced
+// before the statement's result is returned, so any state change a client
+// has seen acknowledged survives a crash.
+//
+// File layout:
+//   header: u32 magic "GWL1" | u16 version | u16 reserved |
+//           u64 snapshot_seq (records with seq <= this are already
+//           captured by the paired snapshot)
+//   records: u32 payload_len | u32 crc32(seq|type|payload) | u64 seq |
+//            u8 type | payload
+//
+// The frame discipline mirrors the wire layer (src/net): the length is
+// validated against the remaining file before the payload is touched, and
+// the CRC covers everything after itself. A torn or corrupt tail — the
+// normal result of a crash mid-append — is truncated at the last valid
+// record boundary during open, never replayed and never fatal. Corruption
+// *before* the tail (a valid-CRC record followed by garbage followed by
+// more records cannot be distinguished from a torn tail, so everything
+// from the first bad frame on is dropped) is also truncated; the snapshot
+// CRC protects against silently losing acknowledged state in that case
+// only up to the last checkpoint, which is the standard WAL contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gems::store {
+
+inline constexpr std::uint32_t kWalMagic = 0x47574C31;  // "GWL1"
+inline constexpr std::uint16_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderBytes = 16;
+inline constexpr std::size_t kWalFrameBytes = 17;  // len+crc+seq+type
+
+enum class WalRecordType : std::uint8_t {
+  kStatement = 1,   // one DDL statement as GraQL IR
+  kIngestRows = 2,  // parsed rows appended to a table
+};
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kStatement;
+  std::vector<std::uint8_t> payload;
+};
+
+class Wal {
+ public:
+  struct OpenResult {
+    std::unique_ptr<Wal> wal;
+    /// Existing valid records, in file order, for replay.
+    std::vector<WalRecord> records;
+    /// snapshot_seq from the file header (0 for a fresh log).
+    std::uint64_t header_snapshot_seq = 0;
+    /// Bytes dropped from a torn/corrupt tail (0 = clean).
+    std::uint64_t truncated_bytes = 0;
+    std::uint64_t scanned_bytes = 0;
+  };
+
+  /// Opens the log at `path`, creating it (with `snapshot_seq_if_create`
+  /// in the header) if missing. Scans existing records, truncating a
+  /// torn or corrupt tail in place, and positions the log for appending.
+  /// The caller must advance_seq() past the snapshot's wal_seq before the
+  /// first append.
+  static Result<OpenResult> open(std::string path,
+                                 std::uint64_t snapshot_seq_if_create,
+                                 bool fsync_on_append);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record, assigning it the next sequence number, and
+  /// fsyncs when enabled. Returns the assigned seq.
+  Result<std::uint64_t> append(WalRecordType type,
+                               std::span<const std::uint8_t> payload);
+
+  /// Restarts the log after a checkpoint: atomically replaces the file
+  /// with a fresh header whose snapshot_seq is `snapshot_seq`. Sequence
+  /// numbers keep counting (they are global, not per-file).
+  Status rotate(std::uint64_t snapshot_seq);
+
+  /// Seq that the next append will use.
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Highest seq assigned so far (0 = none).
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
+
+  /// Ensures the next append uses a seq > `seq` (called by recovery with
+  /// the snapshot's wal_seq, which may exceed everything in the log).
+  void advance_seq(std::uint64_t seq) {
+    if (seq + 1 > next_seq_) next_seq_ = seq + 1;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd, bool fsync_on_append, std::uint64_t next_seq)
+      : path_(std::move(path)),
+        fd_(fd),
+        fsync_on_append_(fsync_on_append),
+        next_seq_(next_seq) {}
+
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_on_append_ = true;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace gems::store
