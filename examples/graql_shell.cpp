@@ -28,6 +28,7 @@
 //   \stats            server-side request metrics (remote mode)
 //   \checkpoint       snapshot the database and rotate the WAL (durable)
 //   \storestats       durability metrics: WAL latency, snapshot sizes
+//   \matchstats       matcher metrics: passes, traversals, parallel tasks
 //   \shutdown         ask the remote server to shut down (remote mode)
 //   \quit
 #include <cstdio>
@@ -102,6 +103,9 @@ class Backend {
   virtual gems::Result<std::string> store_stats() {
     return gems::unimplemented("\\storestats needs a local --data-dir store");
   }
+  virtual gems::Result<std::string> match_stats() {
+    return gems::unimplemented("\\matchstats needs a local database");
+  }
 };
 
 class LocalBackend : public Backend {
@@ -127,6 +131,9 @@ class LocalBackend : public Backend {
   gems::Status checkpoint() override { return db_.checkpoint(); }
   gems::Result<std::string> store_stats() override {
     return db_.store_stats();
+  }
+  gems::Result<std::string> match_stats() override {
+    return db_.match_stats();
   }
 
  private:
@@ -190,8 +197,8 @@ class RemoteBackend : public Backend {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--berlin N] [--data-dir DIR] [--serve PORT | "
-               "--connect HOST:PORT] < script.graql\n",
+               "usage: %s [--berlin N] [--threads N] [--data-dir DIR] "
+               "[--serve PORT | --connect HOST:PORT] < script.graql\n",
                argv0);
   return 2;
 }
@@ -211,6 +218,11 @@ int main(int argc, char** argv) {
       // DIR doubles as the persistence root: CSV ingest paths resolve
       // against DIR, snapshot + WAL live under DIR/store.
       options.store_dir = options.data_dir + "/store";
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Intra-node pool for parallel matching (DESIGN.md §5e);
+      // \matchstats shows whether it engages.
+      options.intra_node_threads =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_port = std::atoi(argv[++i]);
       if (serve_port < 0 || serve_port > 65535) return usage(argv[0]);
@@ -395,6 +407,11 @@ int main(int argc, char** argv) {
         std::printf("%s\n", stats.is_ok()
                                 ? stats.value().c_str()
                                 : stats.status().to_string().c_str());
+      } else if (word == "matchstats") {
+        auto stats = backend->match_stats();
+        std::printf("%s", stats.is_ok()
+                              ? stats.value().c_str()
+                              : (stats.status().to_string() + "\n").c_str());
       } else if (word == "shutdown") {
         const gems::Status s = backend->shutdown_server();
         std::printf("%s\n", s.is_ok() ? "server shutting down"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs one benchmark binary with JSON output into the repo root, so the
+# checked-in BENCH_*.json baselines can be regenerated reproducibly:
+#
+#   scripts/bench_json.sh bench_parallel_matcher           # -> BENCH_matcher.json
+#   scripts/bench_json.sh bench_dist_scaling dist.json     # explicit name
+#   BENCH_ARGS='--benchmark_filter=Chain' scripts/bench_json.sh bench_parallel_matcher
+#
+# The JSON includes google-benchmark's context block (num_cpus, load,
+# caches), which is what qualifies a baseline: compare timings only
+# against baselines recorded on comparable hardware.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bench="${1:?usage: scripts/bench_json.sh <bench-target> [out.json]}"
+case "$bench" in
+  bench_parallel_matcher) default_out="BENCH_matcher.json" ;;
+  *) default_out="BENCH_${bench#bench_}.json" ;;
+esac
+out="${2:-$default_out}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target "$bench"
+
+# shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+./build/bench/"$bench" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+
+echo "wrote $out"

@@ -49,6 +49,17 @@ DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) noexcept {
   return *this;
 }
 
+bool DynamicBitset::intersect_changed(const DynamicBitset& other) noexcept {
+  GEMS_DCHECK(size_ == other.size_);
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t next = words_[i] & other.words_[i];
+    diff |= words_[i] ^ next;
+    words_[i] = next;
+  }
+  return diff != 0;
+}
+
 DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) noexcept {
   GEMS_DCHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];

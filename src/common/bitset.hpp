@@ -64,12 +64,39 @@ class DynamicBitset {
   DynamicBitset& operator|=(const DynamicBitset& other) noexcept;
   DynamicBitset& subtract(const DynamicBitset& other) noexcept;
 
+  /// In-place AND that reports whether any bit changed, from the word
+  /// compare of the same pass. Equivalent to comparing count() before and
+  /// after `*this &= other`, without the two extra popcount passes — the
+  /// matcher fixpoint runs this on every constraint of every pass.
+  bool intersect_changed(const DynamicBitset& other) noexcept;
+
   bool operator==(const DynamicBitset& other) const noexcept = default;
 
   /// Calls fn(index) for every set bit in ascending order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Number of backing 64-bit words. Word w covers bits [w*64, w*64+64);
+  /// the parallel matcher shards frontier iteration on word boundaries so
+  /// concurrent writers never touch the same word.
+  std::size_t num_words() const noexcept { return words_.size(); }
+
+  /// Calls fn(index) for every set bit whose word index lies in
+  /// [word_begin, word_end), ascending. `word_end` is clamped.
+  template <typename Fn>
+  void for_each_in_range(std::size_t word_begin, std::size_t word_end,
+                         Fn&& fn) const {
+    if (word_end > words_.size()) word_end = words_.size();
+    for (std::size_t w = word_begin; w < word_end; ++w) {
       std::uint64_t word = words_[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);

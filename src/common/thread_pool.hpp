@@ -44,6 +44,16 @@ class ThreadPool {
   /// Work is chunked to keep per-task overhead low.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(chunk, begin, end) for `num_chunks` contiguous ranges that
+  /// partition [0, n), and waits for completion. Chunk boundaries are a
+  /// deterministic function of (n, num_chunks) alone, so callers can give
+  /// every chunk a private output shard and merge in chunk order — the
+  /// shape behind the matcher's sharded frontier expansion. Trailing
+  /// chunks may be empty (fn is not called for them).
+  void parallel_for_ranges(
+      std::size_t n, std::size_t num_chunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

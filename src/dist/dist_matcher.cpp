@@ -1,5 +1,6 @@
 #include "dist/dist_matcher.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 
@@ -24,6 +25,10 @@ using relational::RowCursor;
 constexpr int kTagActivations = 1;
 constexpr int kTagGather = 2;
 
+/// Frontiers narrower than this many words expand on the rank thread even
+/// when a pool is available (matches the single-node matcher's threshold).
+constexpr std::size_t kParallelFrontierWords = 8;
+
 /// Evaluates an edge constraint's self conditions for one concrete edge.
 bool edge_passes(const ConstraintNetwork& net, const GraphView& graph,
                  const StringPool& pool, int con_index,
@@ -44,6 +49,8 @@ bool edge_passes(const ConstraintNetwork& net, const GraphView& graph,
 struct RankState {
   std::vector<Domain> domains;  // owned portions only
   std::vector<RowCursor> cursors;
+  // Private predicate scratch per worker shard of this rank's pool slice.
+  std::vector<std::vector<RowCursor>> shard_cursors;
   std::uint64_t activations_sent = 0;
 };
 
@@ -62,7 +69,8 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
                                               const GraphView& graph,
                                               const StringPool& pool,
                                               std::size_t num_ranks,
-                                              DistStats* stats) {
+                                              DistStats* stats,
+                                              ThreadPool* intra_pool) {
   if (!net.cross_preds.empty()) {
     return unimplemented(
         "distributed execution covers the fixpoint; cross-step predicates "
@@ -77,6 +85,15 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
   const VertexPartition partition(graph, num_ranks);
   SimCluster cluster(num_ranks);
 
+  // Every rank fans its frontier expansion out to a bounded slice of the
+  // shared pool: size / num_ranks chunks (at least one). Rank threads are
+  // dedicated (not pool workers), so a rank blocking on its slice's
+  // futures can never deadlock the pool.
+  const std::size_t rank_shards =
+      intra_pool != nullptr
+          ? std::max<std::size_t>(1, intra_pool->size() / num_ranks)
+          : 1;
+
   std::vector<RankState> states(num_ranks);
   std::atomic<std::size_t> supersteps{0};
   Status worker_status = Status::ok();  // rank 0 writes on failure
@@ -86,6 +103,12 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
     const int n = ctx.size();
     RankState& st = states[rank];
     st.cursors.resize(exec::kEdgeSourceBase + net.edges.size());
+    if (intra_pool != nullptr) {
+      st.shard_cursors.resize(rank_shards);
+      for (auto& sc : st.shard_cursors) {
+        sc.resize(exec::kEdgeSourceBase + net.edges.size());
+      }
+    }
 
     // ---- Initialize owned domains ------------------------------------
     st.domains.reserve(net.num_vars());
@@ -331,25 +354,71 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
           if (!support.sets.contains(to_type)) continue;
           const CsrIndex& index =
               walk_forward ? et.forward() : et.reverse();
-          from_it->second.for_each([&](std::size_t v) {
-            const auto neighbors =
-                index.neighbors(static_cast<VertexIndex>(v));
-            const auto edge_ids = index.edges(static_cast<VertexIndex>(v));
-            for (std::size_t i = 0; i < neighbors.size(); ++i) {
-              if (!edge_passes(net, graph, pool, static_cast<int>(c),
-                               move.type, edge_ids[i], st.cursors)) {
-                continue;
+          const DynamicBitset& frontier = from_it->second;
+
+          // Walks frontier words [wb, we): owned targets set bits, remote
+          // targets append (type, vertex) activations to the outbox.
+          auto walk = [&](std::size_t wb, std::size_t we,
+                          DynamicBitset& bits,
+                          std::vector<std::vector<std::uint8_t>>& box,
+                          std::uint64_t& sent,
+                          std::vector<RowCursor>& cursors) {
+            frontier.for_each_in_range(wb, we, [&](std::size_t v) {
+              const auto neighbors =
+                  index.neighbors(static_cast<VertexIndex>(v));
+              const auto edge_ids =
+                  index.edges(static_cast<VertexIndex>(v));
+              for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                if (!edge_passes(net, graph, pool, static_cast<int>(c),
+                                 move.type, edge_ids[i], cursors)) {
+                  continue;
+                }
+                const int owner = partition.owner(to_type, neighbors[i]);
+                if (owner == rank) {
+                  bits.set(neighbors[i]);
+                } else {
+                  put_u32(box[owner], to_type);
+                  put_u32(box[owner], neighbors[i]);
+                  ++sent;
+                }
               }
-              const int owner = partition.owner(to_type, neighbors[i]);
-              if (owner == rank) {
-                support.sets.at(to_type).set(neighbors[i]);
-              } else {
-                put_u32(outbox[owner], to_type);
-                put_u32(outbox[owner], neighbors[i]);
-                ++st.activations_sent;
-              }
+            });
+          };
+
+          if (intra_pool == nullptr || rank_shards <= 1 ||
+              frontier.num_words() < kParallelFrontierWords) {
+            walk(0, frontier.num_words(), support.sets.at(to_type), outbox,
+                 st.activations_sent, st.cursors);
+            continue;
+          }
+          // Morsel-style: private shards merged in shard order. Shards
+          // cover ascending word ranges, so the concatenated outbox byte
+          // stream is exactly the serial stream — deterministic wire
+          // bytes for any pool size.
+          struct Shard {
+            DynamicBitset bits;
+            std::vector<std::vector<std::uint8_t>> box;
+            std::uint64_t sent = 0;
+          };
+          std::vector<Shard> shards(rank_shards);
+          for (auto& s : shards) {
+            s.bits = DynamicBitset(support.sets.at(to_type).size());
+            s.box.resize(static_cast<std::size_t>(n));
+          }
+          intra_pool->parallel_for_ranges(
+              frontier.num_words(), rank_shards,
+              [&](std::size_t shard, std::size_t wb, std::size_t we) {
+                walk(wb, we, shards[shard].bits, shards[shard].box,
+                     shards[shard].sent, st.shard_cursors[shard]);
+              });
+          for (auto& s : shards) {
+            support.sets.at(to_type) |= s.bits;
+            for (int peer = 0; peer < n; ++peer) {
+              outbox[peer].insert(outbox[peer].end(), s.box[peer].begin(),
+                                  s.box[peer].end());
             }
-          });
+            st.activations_sent += s.sent;
+          }
         }
 
         // Exchange: exactly one (possibly empty) message to every peer.
@@ -440,38 +509,11 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
   // domains with the local closure helpers — result assembly happens on
   // the front-end, like the paper's result hand-back.
 
-  // Matched edges, computed from the converged domains (same logic as the
-  // single-node matcher).
-  std::vector<RowCursor> cursors(exec::kEdgeSourceBase + net.edges.size());
-  result.matched_edges.resize(net.edges.size());
-  for (std::size_t c = 0; c < net.edges.size(); ++c) {
-    const EdgeConstraint& con = net.edges[c];
-    for (const EdgeMove& move : con.moves) {
-      const EdgeType& et = graph.edge_type(move.type);
-      const Domain& src_dom =
-          result.domains[move.forward ? con.left_var : con.right_var];
-      const Domain& dst_dom =
-          result.domains[move.forward ? con.right_var : con.left_var];
-      auto src_it = src_dom.sets.find(et.source_type());
-      auto dst_it = dst_dom.sets.find(et.target_type());
-      if (src_it == src_dom.sets.end() || dst_it == dst_dom.sets.end()) {
-        continue;
-      }
-      DynamicBitset bits(et.num_edges());
-      for (graph::EdgeIndex e = 0; e < et.num_edges(); ++e) {
-        if (!src_it->second.test(et.source_vertex(e))) continue;
-        if (!dst_it->second.test(et.target_vertex(e))) continue;
-        if (!edge_passes(net, graph, pool, static_cast<int>(c), move.type, e,
-                         cursors)) {
-          continue;
-        }
-        bits.set(e);
-      }
-      auto [it, inserted] =
-          result.matched_edges[c].emplace(move.type, std::move(bits));
-      if (!inserted) it->second |= bits;
-    }
-  }
+  // Matched edges, computed from the converged domains with the shared
+  // CSR-walk helper (same code path as the single-node matcher, never a
+  // full edge scan).
+  result.matched_edges = exec::matched_edge_sets(
+      net, graph, pool, result.domains, /*stats=*/nullptr, intra_pool);
 
   if (stats != nullptr) {
     stats->ranks = num_ranks;

@@ -30,9 +30,14 @@ struct DistStats {
 
 /// Runs the distributed fixpoint on `num_ranks` simulated compute nodes
 /// and returns the same domains/matched-edges a single-node
-/// match_network() produces (asserted by tests).
+/// match_network() produces (asserted by tests). `intra_pool` (may be
+/// null = serial) parallelizes each rank's frontier expansion; every rank
+/// fans out to a bounded slice of the pool (size / num_ranks chunks) so
+/// ranks contend fairly for the shared workers. Results are bit-identical
+/// with or without the pool.
 Result<exec::MatchResult> match_network_distributed(
     const exec::ConstraintNetwork& net, const graph::GraphView& graph,
-    const StringPool& pool, std::size_t num_ranks, DistStats* stats);
+    const StringPool& pool, std::size_t num_ranks, DistStats* stats,
+    ThreadPool* intra_pool = nullptr);
 
 }  // namespace gems::dist

@@ -430,7 +430,9 @@ Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
         plans[i].constraint_order.empty() ? nullptr
                                           : &plans[i].constraint_order;
     GEMS_ASSIGN_OR_RETURN(MatchResult m,
-                          match_network(net, ctx.graph, *ctx.pool, order));
+                          match_network(net, ctx.graph, *ctx.pool, order,
+                                        ctx.intra_pool));
+    if (ctx.matcher_metrics) ctx.matcher_metrics->record(m.stats);
     matches.push_back(std::move(m));
   }
 

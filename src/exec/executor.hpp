@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "exec/matcher.hpp"
 #include "exec/network.hpp"
 #include "exec/subgraph.hpp"
 #include "graph/builder.hpp"
@@ -56,10 +57,17 @@ struct ExecContext {
   /// Safety cap for graph-query row enumeration (0 = unlimited).
   std::uint64_t max_result_rows = 0;
 
-  /// Intra-node worker pool for parallel scans (nullptr = serial). Tables
-  /// below kParallelScanThreshold rows always scan serially.
+  /// Intra-node worker pool for parallel scans and the matcher's sharded
+  /// frontier expansion (nullptr = serial). Tables below
+  /// kParallelScanThreshold rows always scan serially.
   ThreadPool* intra_pool = nullptr;
   static constexpr std::size_t kParallelScanThreshold = 1 << 14;
+
+  /// Matcher activity counters, shared across statements (the parallel
+  /// multi-statement scheduler records from several threads). shared_ptr
+  /// so copies of the context made by the scheduler feed one aggregate.
+  std::shared_ptr<MatcherMetrics> matcher_metrics =
+      std::make_shared<MatcherMetrics>();
 
   /// Optional query planner hook (paper Sec. III-B): returns the pivot
   /// variable and propagation order for a lowered network. Installed by

@@ -11,12 +11,24 @@
 // reverse-edge-index traversal of paper Sec. III-B; bench_planner_ablation
 // quantifies it.
 //
+// Intra-node parallelism (DESIGN.md §5e): every frontier expansion —
+// edge-constraint support, group-hop closure, matched-edge and
+// group-interior marking — optionally fans out over a ThreadPool. Workers
+// take contiguous word-ranges of the source frontier bitset and write
+// private per-type output shards that are OR-merged at the join, so
+// results are bit-identical for every thread count (including serial) and
+// the inner loops carry no atomics.
+//
 // The fixpoint is exact (arc consistency == satisfiability) when the
 // constraint graph is a tree and there are no cross predicates
 // (network.tree_exact). Otherwise the enumerator refines it.
 #pragma once
 
+#include <mutex>
+
+#include "common/histogram.hpp"
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "exec/network.hpp"
 
 namespace gems::exec {
@@ -24,6 +36,19 @@ namespace gems::exec {
 struct MatchStats {
   std::size_t propagation_passes = 0;
   std::size_t edge_traversals = 0;  // CSR adjacency visits
+  std::size_t parallel_tasks = 0;   // sharded frontier-expansion tasks run
+  std::uint64_t merge_ns = 0;       // wall time OR-merging worker shards
+  LatencyHistogram worker_us;       // per-task worker wall time
+
+  /// Folds a worker shard's counters into this (aggregate) stats object.
+  /// edge_traversals is partitioned across shards, so the sum is identical
+  /// to the serial count; timings are additive.
+  void absorb(const MatchStats& shard) {
+    edge_traversals += shard.edge_traversals;
+    parallel_tasks += shard.parallel_tasks;
+    merge_ns += shard.merge_ns;
+    worker_us.merge(shard.worker_us);
+  }
 };
 
 struct MatchResult {
@@ -49,11 +74,14 @@ struct MatchResult {
 
 /// Runs the fixpoint. `order` optionally gives the constraint visit order
 /// for the first pass (the planner's choice, Sec. III-B); subsequent
-/// passes run until quiescent regardless.
+/// passes run until quiescent regardless. `intra_pool` (may be null =
+/// serial) parallelizes frontier expansion; the result is bit-identical
+/// either way.
 Result<MatchResult> match_network(const ConstraintNetwork& net,
                                   const graph::GraphView& graph,
                                   const StringPool& pool,
-                                  const std::vector<int>* order = nullptr);
+                                  const std::vector<int>* order = nullptr,
+                                  ThreadPool* intra_pool = nullptr);
 
 /// Shared helper: evaluates a vertex variable's self conditions for one
 /// vertex (cursor at the representative row).
@@ -62,10 +90,12 @@ bool vertex_passes(const ConstraintNetwork& net, const graph::GraphView& graph,
                    graph::VertexTypeId type, graph::VertexIndex v);
 
 /// Initial (pre-propagation) domain of a variable: type extents filtered
-/// by self conditions and seeds.
+/// by self conditions and seeds. Condition evaluation parallelizes over
+/// `intra_pool` (workers own disjoint word-aligned ranges of the output
+/// bitset, so no merge is needed).
 Domain initial_domain(const ConstraintNetwork& net,
                       const graph::GraphView& graph, const StringPool& pool,
-                      int var);
+                      int var, ThreadPool* intra_pool = nullptr);
 
 /// Closure of a regex group: all end vertices reachable from `start` with
 /// an admissible number of body iterations (forward), or all start
@@ -74,10 +104,49 @@ Domain initial_domain(const ConstraintNetwork& net,
 Result<Domain> group_closure_forward(const graph::GraphView& graph,
                                      const StringPool& pool,
                                      const GroupConstraint& g,
-                                     const Domain& start, MatchStats* stats);
+                                     const Domain& start, MatchStats* stats,
+                                     ThreadPool* intra_pool = nullptr);
 Result<Domain> group_closure_backward(const graph::GraphView& graph,
                                       const StringPool& pool,
                                       const GroupConstraint& g,
-                                      const Domain& end, MatchStats* stats);
+                                      const Domain& end, MatchStats* stats,
+                                      ThreadPool* intra_pool = nullptr);
+
+/// Eq. 5's matched-edge sets E(q), computed from converged domains: for
+/// every edge constraint, the edges whose endpoints lie in the final
+/// domains and whose self conditions hold. Walks the CSR from the smaller
+/// endpoint domain (never a full edge scan) and shards the walk over
+/// `intra_pool`. Shared by the single-node and distributed matchers.
+std::vector<std::map<graph::EdgeTypeId, DynamicBitset>> matched_edge_sets(
+    const ConstraintNetwork& net, const graph::GraphView& graph,
+    const StringPool& pool, const std::vector<Domain>& domains,
+    MatchStats* stats, ThreadPool* intra_pool = nullptr);
+
+// ---- Matcher observability ------------------------------------------------
+
+/// Point-in-time aggregate of matcher activity since the database opened,
+/// the `\matchstats` sibling of store::StoreMetricsSnapshot.
+struct MatcherMetricsSnapshot {
+  std::uint64_t queries = 0;             // match_network runs recorded
+  std::uint64_t propagation_passes = 0;
+  std::uint64_t edge_traversals = 0;
+  std::uint64_t parallel_tasks = 0;
+  std::uint64_t merge_ns = 0;
+  LatencyHistogram worker_us;
+
+  std::string to_string() const;
+};
+
+/// Thread-safe accumulator, shared by all statements of a database (the
+/// parallel multi-statement scheduler records from several threads).
+class MatcherMetrics {
+ public:
+  void record(const MatchStats& stats);
+  MatcherMetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MatcherMetricsSnapshot agg_;
+};
 
 }  // namespace gems::exec

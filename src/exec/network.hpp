@@ -44,6 +44,9 @@ struct Domain {
   std::size_t count() const;
   bool empty() const;
   bool intersect(const Domain& other);  // returns true if changed
+
+  /// Bit-exact equality (the closure cache's reuse test).
+  bool operator==(const Domain& other) const = default;
 };
 
 struct VertexVar {

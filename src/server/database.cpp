@@ -121,6 +121,14 @@ std::string Database::store_stats() const {
   return store_->metrics().snapshot().to_string();
 }
 
+exec::MatcherMetricsSnapshot Database::match_metrics() const {
+  return ctx_.matcher_metrics->snapshot();
+}
+
+std::string Database::match_stats() const {
+  return ctx_.matcher_metrics->snapshot().to_string();
+}
+
 const plan::GraphStats& Database::cached_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (stats_ == nullptr || stats_version_ != ctx_.graph_version) {

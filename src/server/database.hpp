@@ -157,6 +157,14 @@ class Database {
   /// Human-readable `\storestats` rendering.
   std::string store_stats() const;
 
+  // ---- Matcher observability -------------------------------------------
+  /// Aggregate matcher activity since open (fixpoint passes, edge
+  /// traversals, parallel task/merge accounting).
+  exec::MatcherMetricsSnapshot match_metrics() const;
+
+  /// Human-readable `\matchstats` rendering.
+  std::string match_stats() const;
+
  private:
   /// Shared back half of run_script / run_ir: analyze (unless skipped),
   /// schedule and execute an already-parsed script.

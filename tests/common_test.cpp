@@ -2,7 +2,10 @@
 // thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <mutex>
 #include <set>
 
 #include "common/bitset.hpp"
@@ -149,6 +152,40 @@ TEST(BitsetTest, ToIndices) {
   EXPECT_EQ(b.to_indices(), (std::vector<std::uint32_t>{2, 7}));
 }
 
+TEST(BitsetTest, IntersectChangedReportsShrink) {
+  DynamicBitset a(130), b(130);
+  a.set(1);
+  a.set(64);
+  a.set(129);
+  b.set_all();
+  EXPECT_FALSE(a.intersect_changed(b));  // superset: no change
+  EXPECT_EQ(a.count(), 3u);
+  DynamicBitset c(130);
+  c.set(1);
+  c.set(129);
+  EXPECT_TRUE(a.intersect_changed(c));  // drops bit 64
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_FALSE(a.test(64));
+  EXPECT_FALSE(a.intersect_changed(c));  // idempotent
+}
+
+TEST(BitsetTest, ForEachInRangeCoversExactlyTheWords) {
+  DynamicBitset b(300);
+  const std::vector<std::size_t> want = {0, 63, 64, 127, 128, 191, 299};
+  for (auto i : want) b.set(i);
+  // Words [1, 3) cover bits [64, 192).
+  std::vector<std::size_t> got;
+  b.for_each_in_range(1, 3, [&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, (std::vector<std::size_t>{64, 127, 128, 191}));
+  // Whole-range iteration equals for_each.
+  got.clear();
+  b.for_each_in_range(0, b.num_words(), [&](std::size_t i) {
+    got.push_back(i);
+  });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(b.num_words(), 5u);  // ceil(300 / 64)
+}
+
 // ---- StringPool -----------------------------------------------------------
 
 TEST(StringPoolTest, InternDeduplicates) {
@@ -274,6 +311,43 @@ TEST(ThreadPoolTest, PropagatesExceptions) {
   ThreadPool pool(1);
   auto fut = pool.submit([] { throw std::runtime_error("boom"); });
   EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesDeterministicChunks) {
+  ThreadPool pool(4);
+  // Chunk boundaries depend only on (n, num_chunks), never on worker
+  // scheduling — the matcher's determinism rests on this.
+  std::mutex mu;
+  std::vector<std::array<std::size_t, 3>> seen;
+  pool.parallel_for_ranges(103, 4, [&](std::size_t chunk, std::size_t begin,
+                                       std::size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back({chunk, begin, end});
+  });
+  std::sort(seen.begin(), seen.end());
+  const std::vector<std::array<std::size_t, 3>> want = {
+      {0, 0, 26}, {1, 26, 52}, {2, 52, 78}, {3, 78, 103}};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesSkipsEmptyChunks) {
+  ThreadPool pool(4);
+  // n < num_chunks: trailing chunks are empty and must not be invoked.
+  std::mutex mu;
+  std::vector<std::array<std::size_t, 3>> seen;
+  pool.parallel_for_ranges(3, 8, [&](std::size_t chunk, std::size_t begin,
+                                     std::size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back({chunk, begin, end});
+  });
+  std::sort(seen.begin(), seen.end());
+  const std::vector<std::array<std::size_t, 3>> want = {
+      {0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  EXPECT_EQ(seen, want);
+
+  pool.parallel_for_ranges(0, 4, [](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "must not be called for an empty range";
+  });
 }
 
 // ---- hash -----------------------------------------------------------------

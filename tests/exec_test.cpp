@@ -3,9 +3,14 @@
 // parse -> lower -> match -> enumerate -> materialize.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
+#include <thread>
 
+#include "common/thread_pool.hpp"
 #include "exec/executor.hpp"
+#include "exec/lowering.hpp"
+#include "exec/matcher.hpp"
 #include "graql/parser.hpp"
 #include "storage/csv.hpp"
 
@@ -494,6 +499,73 @@ TEST_F(ExecTest, VariantStepIntoTableRejected) {
   EXPECT_FALSE(run_expect_error("select * from graph ProductVtx(id = 'p1') "
                                 "<--[]-- [ ] into table R")
                    .is_ok());
+}
+
+// ---- Concurrent matchers over one shared pool (TSan target) -----------------
+//
+// Several query threads funnel their sharded frontier expansions through
+// the same intra-node ThreadPool, as the parallel multi-statement
+// scheduler does. Run under TSan this exercises the no-shared-mutable-
+// state claim of DESIGN.md §5e; functionally every run must equal the
+// serial result.
+TEST_F(ExecTest, ConcurrentMatchersShareOnePool) {
+  // A 1500-vertex graph so frontiers cross the parallel threshold (512
+  // vertices / 8 words) that the mini-Berlin fixture stays under.
+  run_script(
+      "create table Nodes(id varchar(10), w integer)\n"
+      "create table Links(src varchar(10), dst varchar(10))");
+  std::string nodes, links;
+  for (int i = 0; i < 1500; ++i) {
+    nodes += "n" + std::to_string(i) + "," + std::to_string(i % 10) + "\n";
+    links += "n" + std::to_string(i) + ",n" + std::to_string((i * 7 + 1) % 1500) + "\n";
+    if (i % 3 == 0) {
+      links +=
+          "n" + std::to_string(i) + ",n" + std::to_string((i * 13 + 5) % 1500) + "\n";
+    }
+  }
+  fill("Nodes", nodes);
+  fill("Links", links);
+  run_script(
+      "create vertex NodeVtx(id) from table Nodes\n"
+      "create edge link with vertices (NodeVtx as A, NodeVtx as B)\n"
+      "  from table Links where Links.src = A.id and Links.dst = B.id");
+
+  auto stmt = parse_script(
+      "select * from graph NodeVtx(w < 8) --link--> NodeVtx() "
+      "--link--> NodeVtx(w > 1) into table R");
+  ASSERT_TRUE(stmt.is_ok());
+  const auto& gq =
+      std::get<graql::GraphQueryStmt>(stmt->statements[0]);
+  auto resolver = [](const std::string&) -> Result<SubgraphPtr> {
+    return not_found("none");
+  };
+  auto lowered = lower_graph_query(gq, ctx_.graph, resolver, {}, pool_);
+  ASSERT_TRUE(lowered.is_ok()) << lowered.status().to_string();
+  const ConstraintNetwork& net = lowered->networks[0];
+
+  auto serial = match_network(net, ctx_.graph, pool_);
+  ASSERT_TRUE(serial.is_ok());
+
+  ThreadPool shared_pool(4);
+  std::atomic<int> mismatches{0};
+  std::atomic<std::size_t> parallel_tasks{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) {
+        auto r = match_network(net, ctx_.graph, pool_, nullptr, &shared_pool);
+        if (!r.is_ok() || !(r->domains == serial->domains) ||
+            !(r->matched_edges == serial->matched_edges)) {
+          ++mismatches;
+          continue;
+        }
+        parallel_tasks += r->stats.parallel_tasks;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(parallel_tasks.load(), 0u);  // the parallel path actually ran
 }
 
 }  // namespace

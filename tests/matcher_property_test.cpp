@@ -6,6 +6,8 @@
 
 #include <set>
 
+#include "bsbm/generator.hpp"
+#include "common/check.hpp"
 #include "common/prng.hpp"
 #include "exec/enumerate.hpp"
 #include "exec/lowering.hpp"
@@ -40,14 +42,15 @@ struct RandomDb {
   std::vector<std::pair<VertexTypeId, VertexTypeId>> edge_endpoints;
 
   RandomDb(std::uint64_t seed, std::size_t n_types, std::size_t n_edges,
-           std::size_t vertices_per_type, double edge_density) {
+           std::size_t vertices_per_type, double edge_density,
+           std::size_t min_vertices = 1) {
     Xoshiro256 rng(seed);
     for (std::size_t t = 0; t < n_types; ++t) {
       auto table = std::make_shared<Table>(
           "T" + std::to_string(t),
           Schema({{"id", DataType::int64()}, {"w", DataType::int64()}}),
           pool);
-      const std::size_t n = 1 + rng.below(vertices_per_type);
+      const std::size_t n = min_vertices + rng.below(vertices_per_type);
       for (std::size_t v = 0; v < n; ++v) {
         table->append_row_unchecked(std::vector<Value>{
             Value::int64(static_cast<std::int64_t>(v)),
@@ -368,6 +371,167 @@ TEST_P(MatcherPropertyTest, FixpointAndEnumeratorMatchBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, MatcherPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// ---- Determinism across thread counts (DESIGN.md §5e) -----------------------
+//
+// The sharded frontier expansion must produce bit-identical MatchResults
+// for every pool size (including no pool at all): domains, matched-edge
+// sets, group-interior subgraphs, and the partition-invariant counters.
+
+ConstraintNetwork lower_query(const std::string& text, const GraphView& graph,
+                              StringPool& pool) {
+  auto stmt = graql::parse_statement(text);
+  GEMS_CHECK_MSG(stmt.is_ok(), stmt.status().to_string().c_str());
+  const auto& gq = std::get<graql::GraphQueryStmt>(stmt.value());
+  auto resolver = [](const std::string&) -> Result<SubgraphPtr> {
+    return not_found("none");
+  };
+  auto lowered = lower_graph_query(gq, graph, resolver, {}, pool);
+  GEMS_CHECK_MSG(lowered.is_ok(), lowered.status().to_string().c_str());
+  return std::move(lowered.value().networks[0]);
+}
+
+MatchResult must_match(const ConstraintNetwork& net, const GraphView& graph,
+                       const StringPool& pool, ThreadPool* intra) {
+  auto r = match_network(net, graph, pool, /*order=*/nullptr, intra);
+  GEMS_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+  return std::move(r).value();
+}
+
+void expect_bit_identical(const MatchResult& a, const MatchResult& b,
+                          const GraphView& graph, const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.domains.size(), b.domains.size());
+  for (std::size_t v = 0; v < a.domains.size(); ++v) {
+    EXPECT_TRUE(a.domains[v] == b.domains[v]) << "domain of var " << v;
+  }
+  EXPECT_TRUE(a.matched_edges == b.matched_edges);
+  ASSERT_EQ(a.group_elements.size(), b.group_elements.size());
+  for (std::size_t g = 0; g < a.group_elements.size(); ++g) {
+    for (VertexTypeId t = 0; t < graph.num_vertex_types(); ++t) {
+      const DynamicBitset* av = a.group_elements[g].vertices(t);
+      const DynamicBitset* bv = b.group_elements[g].vertices(t);
+      ASSERT_EQ(av == nullptr, bv == nullptr)
+          << "group " << g << " vertex type " << static_cast<int>(t);
+      if (av != nullptr) {
+        EXPECT_TRUE(*av == *bv)
+            << "group " << g << " vertex type " << static_cast<int>(t);
+      }
+    }
+    for (graph::EdgeTypeId t = 0; t < graph.num_edge_types(); ++t) {
+      const DynamicBitset* ae = a.group_elements[g].edges(t);
+      const DynamicBitset* be = b.group_elements[g].edges(t);
+      ASSERT_EQ(ae == nullptr, be == nullptr)
+          << "group " << g << " edge type " << static_cast<int>(t);
+      if (ae != nullptr) {
+        EXPECT_TRUE(*ae == *be)
+            << "group " << g << " edge type " << static_cast<int>(t);
+      }
+    }
+  }
+  // Partition-invariant counters (edge_traversals counts per-neighbor
+  // visits before dedup, so sharding cannot change the sum).
+  EXPECT_EQ(a.stats.propagation_passes, b.stats.propagation_passes);
+  EXPECT_EQ(a.stats.edge_traversals, b.stats.edge_traversals);
+}
+
+/// Runs the query serially and under pools of 1, 2 and 8 workers and
+/// asserts all four MatchResults are bit-identical. Returns the 8-thread
+/// result so callers can assert the parallel path actually engaged.
+MatchResult check_thread_count_invariance(const ConstraintNetwork& net,
+                                          const GraphView& graph,
+                                          const StringPool& pool) {
+  const MatchResult serial = must_match(net, graph, pool, nullptr);
+  ThreadPool pool1(1), pool2(2), pool8(8);
+  const MatchResult r1 = must_match(net, graph, pool, &pool1);
+  const MatchResult r2 = must_match(net, graph, pool, &pool2);
+  MatchResult r8 = must_match(net, graph, pool, &pool8);
+  expect_bit_identical(serial, r1, graph, "serial vs 1 thread");
+  expect_bit_identical(serial, r2, graph, "serial vs 2 threads");
+  expect_bit_identical(serial, r8, graph, "serial vs 8 threads");
+  return r8;
+}
+
+class MatcherDeterminismTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherDeterminismTest, RandomGraphsIdenticalAcrossThreadCounts) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed * 7919 + 3);
+  // Extents past 512 vertices (8 frontier words) so the parallel path is
+  // actually exercised, with enough headroom that every type qualifies.
+  RandomDb db(seed, /*n_types=*/2 + rng.below(2), /*n_edges=*/3 + rng.below(3),
+              /*vertices_per_type=*/500, /*edge_density=*/0.01,
+              /*min_vertices=*/520);
+
+  bool parallel_seen = false;
+  for (int q = 0; q < 4; ++q) {
+    const std::string query_text = random_query(db, rng, 3);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + query_text);
+    const ConstraintNetwork net = lower_query(query_text, db.graph, db.pool);
+    const MatchResult r8 =
+        check_thread_count_invariance(net, db.graph, db.pool);
+    parallel_seen = parallel_seen || r8.stats.parallel_tasks > 0;
+  }
+  EXPECT_TRUE(parallel_seen) << "no query crossed the parallel threshold";
+}
+
+TEST_P(MatcherDeterminismTest, RegexGroupsIdenticalAcrossThreadCounts) {
+  const std::uint64_t seed = GetParam();
+  RandomDb db(seed * 31 + 7, /*n_types=*/2, /*n_edges=*/4,
+              /*vertices_per_type=*/400, /*edge_density=*/0.008,
+              /*min_vertices=*/540);
+  // Prefer a same-type edge so +/* closures can iterate more than once.
+  std::size_t edge = 0;
+  for (std::size_t e = 0; e < db.edge_endpoints.size(); ++e) {
+    if (db.edge_endpoints[e].first == db.edge_endpoints[e].second) {
+      edge = e;
+      break;
+    }
+  }
+  const VertexTypeId start = db.edge_endpoints[edge].first;
+  for (const char* quant : {"+", "*", "{2}"}) {
+    const std::string query_text =
+        "select * from graph V" + std::to_string(start) + "(w < 8) ( --e" +
+        std::to_string(edge) + "--> [ ] )" + quant + " into table R";
+    SCOPED_TRACE(query_text);
+    const ConstraintNetwork net = lower_query(query_text, db.graph, db.pool);
+    GEMS_CHECK(!net.groups.empty());
+    const MatchResult r8 =
+        check_thread_count_invariance(net, db.graph, db.pool);
+    EXPECT_GT(r8.stats.parallel_tasks, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MatcherDeterminismTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(MatcherDeterminismBerlinTest, BerlinIdenticalAcrossThreadCounts) {
+  auto db = bsbm::make_populated_database(
+      bsbm::GeneratorConfig::derive(/*num_products=*/300, /*seed=*/13));
+  ASSERT_TRUE(db.is_ok()) << db.status().to_string();
+  const GraphView& graph = (*db)->graph();
+  StringPool& pool = (*db)->pool();
+
+  // OfferVtx/ReviewVtx extents (5x/3x products) cross the parallel
+  // threshold; the subclass closure exercises the group machinery.
+  const char* queries[] = {
+      "select * from graph OfferVtx() --product--> ProductVtx() "
+      "--producer--> ProducerVtx() into table R",
+      "select * from graph PersonVtx() <--reviewer-- ReviewVtx(ratings_1 > 5) "
+      "--reviewFor--> ProductVtx() into table R",
+      "select * from graph ProductVtx() ( --type--> [ ] )+ "
+      "into table R",
+  };
+  bool parallel_seen = false;
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    const ConstraintNetwork net = lower_query(q, graph, pool);
+    const MatchResult r8 = check_thread_count_invariance(net, graph, pool);
+    parallel_seen = parallel_seen || r8.stats.parallel_tasks > 0;
+  }
+  EXPECT_TRUE(parallel_seen);
+}
 
 }  // namespace
 }  // namespace gems::exec
