@@ -24,6 +24,9 @@
 //                     date 'YYYY-MM-DD', true/false)
 //   \params           show bound parameters
 //   \check            only statically analyze the next statement
+//   \lint FILE        multi-error static analysis of a script file:
+//                     file:line:col: warning[GQL0042]: ... (colored on a
+//                     terminal; \-meta-command lines are skipped)
 //   \explain          show the query plan for the next statement
 //   \stats            server-side request metrics (remote mode)
 //   \checkpoint       snapshot the database and rotate the WAL (durable)
@@ -34,13 +37,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 
 #include "bsbm/generator.hpp"
 #include "bsbm/schema.hpp"
+#include "graql/diag.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "server/database.hpp"
@@ -88,6 +94,8 @@ class Backend {
       const std::string& text, const gems::relational::ParamMap& params) = 0;
   virtual gems::Status check(const std::string& text,
                              const gems::relational::ParamMap& params) = 0;
+  virtual gems::Result<std::vector<gems::graql::Diagnostic>> lint(
+      const std::string& text, const gems::relational::ParamMap& params) = 0;
   virtual gems::Result<std::string> explain(
       const std::string& text, const gems::relational::ParamMap& params) = 0;
   virtual gems::Result<std::string> catalog_summary() = 0;
@@ -120,6 +128,11 @@ class LocalBackend : public Backend {
                      const gems::relational::ParamMap& params) override {
     return db_.check_script(text, &params);
   }
+  gems::Result<std::vector<gems::graql::Diagnostic>> lint(
+      const std::string& text,
+      const gems::relational::ParamMap& params) override {
+    return db_.check(text, &params);
+  }
   gems::Result<std::string> explain(
       const std::string& text,
       const gems::relational::ParamMap& params) override {
@@ -151,6 +164,11 @@ class RemoteBackend : public Backend {
   gems::Status check(const std::string& text,
                      const gems::relational::ParamMap& params) override {
     return client_.check_script(text, &params);
+  }
+  gems::Result<std::vector<gems::graql::Diagnostic>> lint(
+      const std::string& text,
+      const gems::relational::ParamMap& params) override {
+    return client_.check(text, &params);
   }
   gems::Result<std::string> explain(
       const std::string& text,
@@ -390,6 +408,41 @@ int main(int argc, char** argv) {
       } else if (word == "check") {
         check_only = true;
         std::printf("next statement will only be analyzed\n");
+      } else if (word == "lint") {
+        std::string path;
+        cmd >> path;
+        if (path.empty()) {
+          std::printf("usage: \\lint FILE\n");
+        } else {
+          std::ifstream in(path);
+          if (!in) {
+            std::printf("cannot open %s\n", path.c_str());
+          } else {
+            // Blank out \-meta-command lines instead of dropping them so
+            // every diagnostic's line number matches the file on disk.
+            std::string text;
+            std::string file_line;
+            while (std::getline(in, file_line)) {
+              const std::size_t first = file_line.find_first_not_of(" \t");
+              if (first != std::string::npos && file_line[first] == '\\') {
+                file_line.clear();
+              }
+              text += file_line;
+              text += '\n';
+            }
+            auto diags = backend->lint(text, params);
+            if (!diags.is_ok()) {
+              std::printf("%s\n", diags.status().to_string().c_str());
+            } else if (diags.value().empty()) {
+              std::printf("%s: no problems found\n", path.c_str());
+            } else {
+              const bool color = ::isatty(STDOUT_FILENO) != 0;
+              std::printf("%s", gems::graql::render_diagnostics(
+                                    diags.value(), path, color)
+                                    .c_str());
+            }
+          }
+        }
       } else if (word == "explain") {
         explain_only = true;
         std::printf("next statement will be explained, not executed\n");

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: /.clang-tidy) over the first-party sources
+# against a compile-commands database.
+#
+#   scripts/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR defaults to ./build and must contain compile_commands.json;
+# configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON to produce one (the
+# top-level CMakeLists already turns it on). Exits 0 with a notice when
+# clang-tidy is not installed, so the script is safe to call from hooks
+# on machines without LLVM; CI installs it and fails on findings.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (install LLVM" \
+       "or set CLANG_TIDY=/path/to/clang-tidy)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $build_dir/compile_commands.json not found;" \
+       "configure with: cmake -B $build_dir -S $repo_root" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# First-party translation units only: the libraries and the example
+# front-ends. Tests are skipped — gtest macros trip bugprone checks the
+# production tree must stay clean of.
+mapfile -t sources < <(cd "$repo_root" && find src examples -name '*.cpp' | sort)
+
+echo "run_clang_tidy.sh: $tidy_bin over ${#sources[@]} files" >&2
+status=0
+for src in "${sources[@]}"; do
+  "$tidy_bin" -p "$build_dir" --quiet "$@" "$repo_root/$src" || status=1
+done
+exit $status

@@ -1,5 +1,7 @@
 #include "graql/analyzer.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <unordered_map>
 
@@ -18,6 +20,14 @@ using storage::DataType;
 using storage::Schema;
 using storage::TypeKind;
 using storage::Value;
+
+SourceSpan expr_span(const Expr& e) {
+  return SourceSpan{e.src_line, e.src_column, e.src_end_line, e.src_end_column};
+}
+
+SourceSpan span_or(SourceSpan span, SourceSpan fallback) {
+  return span.known() ? span : fallback;
+}
 
 // ---- Schema-level expression type inference --------------------------------
 // Mirrors relational/bind.cpp but works without data and treats unbound
@@ -59,9 +69,16 @@ bool is_comparison(BinaryOp op) {
   }
 }
 
+// On failure `err_span` (when non-null) receives the span of the deepest
+// node where the problem originated, so diagnostics point at the offending
+// sub-expression, not the whole condition.
 Result<MaybeType> infer_type(const ExprPtr& expr, const Resolver& resolve,
-                             const ParamMap* params) {
+                             const ParamMap* params, SourceSpan* err_span) {
   GEMS_CHECK(expr != nullptr);
+  auto fail_here = [&](Status s) -> Status {
+    if (err_span != nullptr && !err_span->known()) *err_span = expr_span(*expr);
+    return s;
+  };
   switch (expr->kind) {
     case Expr::Kind::kLiteral:
       return value_type(expr->literal);
@@ -69,8 +86,8 @@ Result<MaybeType> infer_type(const ExprPtr& expr, const Resolver& resolve,
       if (params != nullptr) {
         auto it = params->find(expr->param_name);
         if (it == params->end()) {
-          return invalid_argument("unbound query parameter %" +
-                                  expr->param_name + "%");
+          return fail_here(invalid_argument("unbound query parameter %" +
+                                            expr->param_name + "%"));
         }
         return value_type(it->second);
       }
@@ -78,52 +95,52 @@ Result<MaybeType> infer_type(const ExprPtr& expr, const Resolver& resolve,
     }
     case Expr::Kind::kColumnRef: {
       auto t = resolve(expr->qualifier, expr->column);
-      if (!t.is_ok()) return t.status();
+      if (!t.is_ok()) return fail_here(t.status());
       return MaybeType(t.value());
     }
     case Expr::Kind::kUnary: {
       GEMS_ASSIGN_OR_RETURN(MaybeType operand,
-                            infer_type(expr->lhs, resolve, params));
+                            infer_type(expr->lhs, resolve, params, err_span));
       if (expr->uop == UnaryOp::kNot) {
         if (operand && operand->kind != TypeKind::kBool) {
-          return type_error("'not' requires a boolean, got " +
-                            operand->to_string());
+          return fail_here(type_error("'not' requires a boolean, got " +
+                                      operand->to_string()));
         }
         return MaybeType(DataType::boolean());
       }
       if (operand && !operand->is_numeric()) {
-        return type_error("unary '-' requires a numeric operand, got " +
-                          operand->to_string());
+        return fail_here(type_error("unary '-' requires a numeric operand, "
+                                    "got " + operand->to_string()));
       }
       return operand;
     }
     case Expr::Kind::kBinary: {
       GEMS_ASSIGN_OR_RETURN(MaybeType lt,
-                            infer_type(expr->lhs, resolve, params));
+                            infer_type(expr->lhs, resolve, params, err_span));
       GEMS_ASSIGN_OR_RETURN(MaybeType rt,
-                            infer_type(expr->rhs, resolve, params));
+                            infer_type(expr->rhs, resolve, params, err_span));
       if (expr->bop == BinaryOp::kAnd || expr->bop == BinaryOp::kOr) {
         if ((lt && lt->kind != TypeKind::kBool) ||
             (rt && rt->kind != TypeKind::kBool)) {
-          return type_error("'" + std::string(binary_op_name(expr->bop)) +
-                            "' requires boolean operands");
+          return fail_here(
+              type_error("'" + std::string(binary_op_name(expr->bop)) +
+                         "' requires boolean operands"));
         }
         return MaybeType(DataType::boolean());
       }
       if (is_comparison(expr->bop)) {
         if (lt && rt && !lt->comparable_with(*rt)) {
-          return type_error("cannot compare " + lt->to_string() + " with " +
-                            rt->to_string() + " in '" + expr->to_string() +
-                            "'");
+          return fail_here(type_error(
+              "cannot compare " + lt->to_string() + " with " +
+              rt->to_string() + " in '" + expr->to_string() + "'"));
         }
         return MaybeType(DataType::boolean());
       }
       // Arithmetic.
       if ((lt && !lt->is_numeric()) || (rt && !rt->is_numeric())) {
-        return type_error("operator '" +
-                          std::string(binary_op_name(expr->bop)) +
-                          "' requires numeric operands in '" +
-                          expr->to_string() + "'");
+        return fail_here(type_error(
+            "operator '" + std::string(binary_op_name(expr->bop)) +
+            "' requires numeric operands in '" + expr->to_string() + "'"));
       }
       if (!lt || !rt) return MaybeType(std::nullopt);
       return MaybeType((lt->kind == TypeKind::kDouble ||
@@ -136,14 +153,189 @@ Result<MaybeType> infer_type(const ExprPtr& expr, const Resolver& resolve,
   GEMS_UNREACHABLE("bad expr kind");
 }
 
-Status require_boolean(const ExprPtr& expr, const Resolver& resolve,
-                       const ParamMap* params) {
-  GEMS_ASSIGN_OR_RETURN(MaybeType t, infer_type(expr, resolve, params));
-  if (t && t->kind != TypeKind::kBool) {
-    return type_error("condition '" + expr->to_string() +
-                      "' is not boolean (type " + t->to_string() + ")");
+// Diag code for an error bubbled out of expression inference: the only
+// sources are resolver misses (kNotFound), type errors, and unbound
+// parameters (kInvalidArgument).
+DiagCode expr_error_code(StatusCode code) {
+  switch (code) {
+    case StatusCode::kNotFound:
+      return DiagCode::kUnknownAttribute;
+    case StatusCode::kInvalidArgument:
+      return DiagCode::kBadParameter;
+    default:
+      return DiagCode::kTypeMismatch;
   }
-  return Status::ok();
+}
+
+/// Type-checks a condition, reporting into `diags` on failure. Returns
+/// true when the condition is a well-typed boolean.
+bool check_boolean(const ExprPtr& expr, const Resolver& resolve,
+                   const ParamMap* params, DiagnosticEngine& diags,
+                   SourceSpan fallback) {
+  SourceSpan err_span;
+  auto t = infer_type(expr, resolve, params, &err_span);
+  if (!t.is_ok()) {
+    diags.error(expr_error_code(t.status().code()), t.status().code(),
+                span_or(err_span, fallback),
+                std::string(t.status().message()));
+    return false;
+  }
+  const MaybeType& mt = t.value();
+  if (mt && mt->kind != TypeKind::kBool) {
+    diags.error(DiagCode::kNotBoolean, StatusCode::kTypeError,
+                span_or(expr_span(*expr), fallback),
+                "condition '" + expr->to_string() + "' is not boolean (type " +
+                    mt->to_string() + ")");
+    return false;
+  }
+  return true;
+}
+
+// ---- Pass 2: constant folding ----------------------------------------------
+// Partial evaluation over the metadata-only domain: literals and bound
+// parameters fold, column references don't. NULL literals are treated as
+// unknown (no three-valued logic here — the lint only fires on outcomes
+// that hold for every row). and/or short-circuit over partial knowledge:
+// `false and <anything>` folds even when the other side is dynamic.
+
+std::optional<Value> fold_expr(const ExprPtr& expr, const ParamMap* params) {
+  if (!expr) return std::nullopt;
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      if (expr->literal.is_null()) return std::nullopt;
+      return expr->literal;
+    case Expr::Kind::kParameter: {
+      if (params == nullptr) return std::nullopt;
+      auto it = params->find(expr->param_name);
+      if (it == params->end() || it->second.is_null()) return std::nullopt;
+      return it->second;
+    }
+    case Expr::Kind::kColumnRef:
+      return std::nullopt;
+    case Expr::Kind::kUnary: {
+      auto v = fold_expr(expr->lhs, params);
+      if (expr->uop == UnaryOp::kNot) {
+        if (v && v->kind() == TypeKind::kBool) {
+          return Value::boolean(!v->as_bool());
+        }
+        return std::nullopt;
+      }
+      if (!v) return std::nullopt;
+      if (v->kind() == TypeKind::kInt64) return Value::int64(-v->as_int64());
+      if (v->kind() == TypeKind::kDouble) {
+        return Value::float64(-v->as_double());
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::kBinary: {
+      auto l = fold_expr(expr->lhs, params);
+      auto r = fold_expr(expr->rhs, params);
+      const BinaryOp op = expr->bop;
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        auto as_bool = [](const std::optional<Value>& v) -> std::optional<bool> {
+          if (v && v->kind() == TypeKind::kBool) return v->as_bool();
+          return std::nullopt;
+        };
+        const auto lb = as_bool(l);
+        const auto rb = as_bool(r);
+        if (op == BinaryOp::kAnd) {
+          if ((lb && !*lb) || (rb && !*rb)) return Value::boolean(false);
+          if (lb && rb) return Value::boolean(true);
+          return std::nullopt;
+        }
+        if ((lb && *lb) || (rb && *rb)) return Value::boolean(true);
+        if (lb && rb) return Value::boolean(false);
+        return std::nullopt;
+      }
+      if (!l || !r) return std::nullopt;
+      auto numeric = [](const Value& v) {
+        return v.kind() == TypeKind::kInt64 || v.kind() == TypeKind::kDouble;
+      };
+      if (is_comparison(op)) {
+        int cmp = 0;
+        if (numeric(*l) && numeric(*r)) {
+          const double a = l->as_numeric();
+          const double b = r->as_numeric();
+          cmp = a < b ? -1 : (a > b ? 1 : 0);
+        } else if (l->kind() == r->kind()) {
+          cmp = l->compare(*r);
+        } else {
+          return std::nullopt;
+        }
+        switch (op) {
+          case BinaryOp::kEq:
+            return Value::boolean(cmp == 0);
+          case BinaryOp::kNe:
+            return Value::boolean(cmp != 0);
+          case BinaryOp::kLt:
+            return Value::boolean(cmp < 0);
+          case BinaryOp::kLe:
+            return Value::boolean(cmp <= 0);
+          case BinaryOp::kGt:
+            return Value::boolean(cmp > 0);
+          default:
+            return Value::boolean(cmp >= 0);
+        }
+      }
+      if (!numeric(*l) || !numeric(*r)) return std::nullopt;
+      if (op == BinaryOp::kDiv) {
+        const double d = r->as_numeric();
+        if (d == 0.0) return std::nullopt;
+        return Value::float64(l->as_numeric() / d);
+      }
+      if (l->kind() == TypeKind::kInt64 && r->kind() == TypeKind::kInt64) {
+        // Unsigned arithmetic sidesteps signed-overflow UB; wrap-around
+        // results just mean the lint stays silent on absurd constants.
+        const auto a = static_cast<std::uint64_t>(l->as_int64());
+        const auto b = static_cast<std::uint64_t>(r->as_int64());
+        std::uint64_t out = 0;
+        switch (op) {
+          case BinaryOp::kAdd:
+            out = a + b;
+            break;
+          case BinaryOp::kSub:
+            out = a - b;
+            break;
+          default:
+            out = a * b;
+            break;
+        }
+        return Value::int64(static_cast<std::int64_t>(out));
+      }
+      const double a = l->as_numeric();
+      const double b = r->as_numeric();
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::float64(a + b);
+        case BinaryOp::kSub:
+          return Value::float64(a - b);
+        default:
+          return Value::float64(a * b);
+      }
+    }
+  }
+  GEMS_UNREACHABLE("bad expr kind");
+}
+
+/// Pass 2 reporting: warns when a (type-correct) condition folds to a
+/// constant. `empty_consequence` states what an always-false condition
+/// means for this context ("this step never matches", ...).
+void fold_and_warn(const ExprPtr& cond, const ParamMap* params,
+                   DiagnosticEngine& diags, SourceSpan fallback,
+                   std::string_view empty_consequence) {
+  auto v = fold_expr(cond, params);
+  if (!v || v->kind() != TypeKind::kBool) return;
+  const SourceSpan span = span_or(expr_span(*cond), fallback);
+  if (v->as_bool()) {
+    diags.warning(DiagCode::kAlwaysTrue, span,
+                  "condition '" + cond->to_string() + "' is always true")
+        .fixit = "remove the condition; it filters nothing";
+  } else {
+    diags.warning(DiagCode::kAlwaysFalse, span,
+                  "condition '" + cond->to_string() + "' is always false; " +
+                      std::string(empty_consequence))
+        .fixit = "fix or remove the contradictory condition";
+  }
 }
 
 // ---- Graph query analysis ------------------------------------------------
@@ -156,22 +348,36 @@ struct StepInfo {
   const Schema* attr_schema = nullptr;  // null for variant / attr-less edges
 };
 
+SourceSpan element_span(const PathElement& el) {
+  return std::visit([](const auto& s) { return s.span; }, el);
+}
+
+std::string format_avg(double avg) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", avg);
+  return buf;
+}
+
 class GraphQueryAnalyzer {
  public:
-  GraphQueryAnalyzer(const MetaCatalog& catalog, const ParamMap* params)
-      : catalog_(catalog), params_(params) {}
+  GraphQueryAnalyzer(const MetaCatalog& catalog, const AnalyzeOptions& opts,
+                     DiagnosticEngine& diags)
+      : catalog_(catalog), opts_(opts), params_(opts.params), diags_(diags) {}
 
-  Status analyze(const GraphQueryStmt& stmt) {
+  void analyze(const GraphQueryStmt& stmt) {
+    stmt_span_ = stmt.span;
     if (stmt.or_groups.empty() || stmt.or_groups[0].empty()) {
-      return invalid_argument("graph query has no path pattern");
+      diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                   stmt.span, "graph query has no path pattern");
+      return;
     }
     for (const auto& and_group : stmt.or_groups) {
       for (const auto& path : and_group) {
-        GEMS_RETURN_IF_ERROR(analyze_path(path));
+        analyze_path(path);
       }
     }
-    GEMS_RETURN_IF_ERROR(check_targets(stmt));
-    return Status::ok();
+    check_targets(stmt);
+    warn_unused_labels();  // pass 3
   }
 
   /// Steps usable as subgraph-seed names (vertex type names that appear).
@@ -236,58 +442,102 @@ class GraphQueryAnalyzer {
   }
 
  private:
-  Status analyze_path(const PathPattern& path) {
+  void analyze_path(const PathPattern& path) {
     if (path.elements.empty()) {
-      return invalid_argument("empty path pattern");
+      diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                   stmt_span_, "empty path pattern");
+      return;
     }
     if (!std::holds_alternative<VertexStep>(path.elements.front())) {
-      return invalid_argument("a path query must start with a vertex step");
+      diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                   element_span(path.elements.front()),
+                   "a path query must start with a vertex step");
+      return;
     }
     // The previous *vertex* step's info, for edge adjacency checks.
     StepInfo prev_vertex;
     bool have_prev = false;
+    // Pass 1 pin state: when the last vertex step was a variant `[ ]`
+    // reached over a known edge, that edge pins the variant's type; a
+    // known outgoing edge demanding a different type makes the
+    // intersection empty (GQL0042).
+    const VertexStep* variant_step = nullptr;
+    std::string variant_pin;
+    std::string variant_pin_edge;
 
     for (std::size_t i = 0; i < path.elements.size(); ++i) {
       const PathElement& el = path.elements[i];
       if (const auto* v = std::get_if<VertexStep>(&el)) {
         if (have_prev && i > 0 &&
             std::holds_alternative<VertexStep>(path.elements[i - 1])) {
-          return invalid_argument(
-              "two consecutive vertex steps; an edge step must connect "
-              "them");
+          diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                       v->span,
+                       "two consecutive vertex steps; an edge step must "
+                       "connect them");
         }
-        GEMS_ASSIGN_OR_RETURN(StepInfo info, analyze_vertex_step(*v));
+        StepInfo info = analyze_vertex_step(*v);
+        variant_step = nullptr;
+        variant_pin.clear();
+        variant_pin_edge.clear();
         // Adjacency check against a preceding edge step.
         if (i > 0) {
           if (const auto* e = std::get_if<EdgeStep>(&path.elements[i - 1])) {
-            GEMS_RETURN_IF_ERROR(
-                check_edge_adjacency(*e, prev_vertex, info));
+            check_edge_adjacency(*e, prev_vertex, info);
+            if (v->variant) {
+              variant_step = v;
+              if (!e->variant) {
+                if (const EdgeMeta* meta = catalog_.find_edge(e->type_name)) {
+                  variant_pin =
+                      e->reversed ? meta->source_vertex : meta->target_vertex;
+                  variant_pin_edge = e->type_name;
+                }
+              }
+            }
           }
+        } else if (v->variant) {
+          variant_step = v;
         }
         prev_vertex = info;
         have_prev = true;
         continue;
       }
       if (const auto* e = std::get_if<EdgeStep>(&el)) {
-        GEMS_RETURN_IF_ERROR(analyze_edge_step(*e, /*in_group=*/false));
+        analyze_edge_step(*e, /*in_group=*/false);
+        // Pass 1: a known edge leaving a pinned variant vertex must agree
+        // with the type the incoming edge pinned.
+        if (variant_step != nullptr && !variant_pin.empty() && !e->variant) {
+          if (const EdgeMeta* meta = catalog_.find_edge(e->type_name)) {
+            const std::string& need =
+                e->reversed ? meta->target_vertex : meta->source_vertex;
+            if (!need.empty() && need != variant_pin) {
+              diags_
+                  .error(DiagCode::kEmptyIntersection,
+                         StatusCode::kInvalidArgument, variant_step->span,
+                         "statically empty query: the '[ ]' step must be a "
+                         "'" + variant_pin + "' (edge '" + variant_pin_edge +
+                             "') and a '" + need + "' (edge '" +
+                             e->type_name + "') at the same time")
+                  .fixit = "replace '[ ]' with a concrete vertex type or "
+                           "fix an edge direction";
+            }
+          }
+        }
         if (i + 1 >= path.elements.size()) {
-          return invalid_argument(
-              "a path query must end with a vertex step");
+          diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                       e->span, "a path query must end with a vertex step");
         }
         continue;
       }
       const auto& group = std::get<PathGroup>(el);
-      GEMS_ASSIGN_OR_RETURN(prev_vertex,
-                            analyze_group(group, prev_vertex));
+      prev_vertex = analyze_group(group, prev_vertex);
       have_prev = true;
+      variant_step = nullptr;
+      variant_pin.clear();
+      variant_pin_edge.clear();
     }
-    if (std::holds_alternative<EdgeStep>(path.elements.back())) {
-      return invalid_argument("a path query must end with a vertex step");
-    }
-    return Status::ok();
   }
 
-  Result<StepInfo> analyze_vertex_step(const VertexStep& v) {
+  StepInfo analyze_vertex_step(const VertexStep& v) {
     StepInfo info;
     info.is_edge = false;
 
@@ -297,47 +547,60 @@ class GraphQueryAnalyzer {
                labeled != nullptr && v.seed_result.empty()) {
       // Bare label reference (Eq. 6/8): adopts the labeled step's type.
       if (labeled->is_edge) {
-        return type_error("label '" + v.type_name +
-                          "' names an edge step but is used as a vertex "
-                          "step");
+        diags_.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                     v.span,
+                     "label '" + v.type_name +
+                         "' names an edge step but is used as a vertex "
+                         "step");
+        return info;
       }
       info = *labeled;
+      note_label_use(v.type_name);
     } else {
       if (!v.seed_result.empty()) {
         const SubgraphMeta* sub = catalog_.find_subgraph(v.seed_result);
         if (sub == nullptr) {
-          return not_found("unknown result subgraph '" + v.seed_result +
+          diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound, v.span,
+                       "unknown result subgraph '" + v.seed_result +
                            "' (Fig. 12 seeding requires a prior 'into "
                            "subgraph')");
+          return info;
         }
         if (!sub->vertex_steps.contains(v.type_name)) {
-          return not_found("subgraph '" + v.seed_result +
+          diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound, v.span,
+                       "subgraph '" + v.seed_result +
                            "' has no vertex step '" + v.type_name + "'");
+          return info;
         }
       }
       const VertexMeta* meta = catalog_.find_vertex(v.type_name);
       if (meta == nullptr) {
         if (catalog_.find_table(v.type_name) != nullptr) {
-          return type_error("'" + v.type_name +
-                            "' is a table, but a vertex type is required "
-                            "in a path step");
+          diags_.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                       v.span,
+                       "'" + v.type_name +
+                           "' is a table, but a vertex type is required "
+                           "in a path step");
+        } else if (catalog_.find_edge(v.type_name) != nullptr) {
+          diags_.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                       v.span,
+                       "'" + v.type_name +
+                           "' is an edge type, but a vertex type is "
+                           "required here");
+        } else {
+          diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound, v.span,
+                       "unknown vertex type '" + v.type_name + "'");
         }
-        if (catalog_.find_edge(v.type_name) != nullptr) {
-          return type_error("'" + v.type_name +
-                            "' is an edge type, but a vertex type is "
-                            "required here");
-        }
-        return not_found("unknown vertex type '" + v.type_name + "'");
+        return info;
       }
       info.type_name = v.type_name;
       info.attr_schema = &meta->attr_schema;
     }
 
     if (v.condition) {
-      GEMS_RETURN_IF_ERROR(check_step_condition(v.condition, info,
-                                                v.type_name, v.label));
+      check_step_condition(v.condition, info, v.type_name, v.label, v.span);
     }
-    GEMS_RETURN_IF_ERROR(define_label(v.label_kind, v.label, info));
+    define_label(v.label_kind, v.label, v.span, info);
     if (!info.variant && !info.type_name.empty()) {
       steps_.emplace(info.type_name, info);
     }
@@ -354,7 +617,7 @@ class GraphQueryAnalyzer {
     return info;
   }
 
-  Status analyze_edge_step(const EdgeStep& e, bool in_group) {
+  void analyze_edge_step(const EdgeStep& e, bool in_group) {
     StepInfo info;
     info.is_edge = true;
     if (e.variant) {
@@ -363,11 +626,16 @@ class GraphQueryAnalyzer {
       const EdgeMeta* meta = catalog_.find_edge(e.type_name);
       if (meta == nullptr) {
         if (catalog_.find_vertex(e.type_name) != nullptr) {
-          return type_error("'" + e.type_name +
-                            "' is a vertex type, but an edge type is "
-                            "required between '--' arrows");
+          diags_.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                       e.span,
+                       "'" + e.type_name +
+                           "' is a vertex type, but an edge type is "
+                           "required between '--' arrows");
+        } else {
+          diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound, e.span,
+                       "unknown edge type '" + e.type_name + "'");
         }
-        return not_found("unknown edge type '" + e.type_name + "'");
+        return;
       }
       info.type_name = e.type_name;
       info.attr_schema =
@@ -375,82 +643,164 @@ class GraphQueryAnalyzer {
     }
     if (e.condition) {
       if (info.attr_schema == nullptr && !info.variant) {
-        return type_error("edge type '" + e.type_name +
-                          "' has no attributes to filter on");
+        diags_.error(DiagCode::kTypeMismatch, StatusCode::kTypeError, e.span,
+                     "edge type '" + e.type_name +
+                         "' has no attributes to filter on");
+        return;
       }
-      GEMS_RETURN_IF_ERROR(
-          check_step_condition(e.condition, info, e.type_name, e.label));
+      check_step_condition(e.condition, info, e.type_name, e.label, e.span);
     }
     if (e.label_kind != LabelKind::kNone && in_group) {
-      return invalid_argument(
-          "labels are not allowed inside path regular expressions "
-          "(paper Sec. II-B4)");
+      diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                   e.span,
+                   "labels are not allowed inside path regular expressions "
+                   "(paper Sec. II-B4)");
+      return;
     }
-    GEMS_RETURN_IF_ERROR(define_label(e.label_kind, e.label, info));
+    define_label(e.label_kind, e.label, e.span, info);
     if (!e.label.empty()) steps_[e.label] = info;
     if (!info.variant && !info.type_name.empty()) {
       steps_.emplace(info.type_name, info);
     }
     ordered_steps_.emplace_back(!e.label.empty() ? e.label : e.type_name,
                                 info);
-    return Status::ok();
   }
 
-  Result<StepInfo> analyze_group(const PathGroup& group,
-                                 const StepInfo& entry) {
+  StepInfo analyze_group(const PathGroup& group, const StepInfo& entry) {
     StepInfo last_vertex = entry;
+    const EdgeStep* first_edge = nullptr;
     for (std::size_t i = 0; i < group.body.size(); ++i) {
       const PathElement& el = group.body[i];
       if (const auto* e = std::get_if<EdgeStep>(&el)) {
         if (e->label_kind != LabelKind::kNone) {
-          return invalid_argument(
-              "labels are not allowed inside path regular expressions");
+          diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                       e->span,
+                       "labels are not allowed inside path regular "
+                       "expressions");
+          continue;
         }
-        GEMS_RETURN_IF_ERROR(analyze_edge_step(*e, /*in_group=*/true));
+        analyze_edge_step(*e, /*in_group=*/true);
+        if (i == 0) first_edge = e;
         continue;
       }
       if (const auto* v = std::get_if<VertexStep>(&el)) {
         if (v->label_kind != LabelKind::kNone) {
-          return invalid_argument(
-              "labels are not allowed inside path regular expressions");
+          diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                       v->span,
+                       "labels are not allowed inside path regular "
+                       "expressions");
+          continue;
         }
-        GEMS_ASSIGN_OR_RETURN(StepInfo info, analyze_vertex_step(*v));
+        StepInfo info = analyze_vertex_step(*v);
         // Adjacency within the group.
         if (i > 0) {
           if (const auto* e = std::get_if<EdgeStep>(&group.body[i - 1])) {
-            GEMS_RETURN_IF_ERROR(
-                check_edge_adjacency(*e, last_vertex, info));
+            check_edge_adjacency(*e, last_vertex, info);
           }
         }
         last_vertex = info;
         continue;
       }
-      return invalid_argument("nested path groups are not supported");
+      diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                   element_span(el), "nested path groups are not supported");
     }
+    check_closure(group, first_edge, last_vertex);
     return last_vertex;
+  }
+
+  /// Passes 1 and 4 over a regex group: can the body chain onto itself at
+  /// all (GQL0043), and is an unbounded closure affordable (GQL0070)?
+  void check_closure(const PathGroup& group, const EdgeStep* first_edge,
+                     const StepInfo& last_vertex) {
+    const bool repeats =
+        group.quant == PathGroup::Quant::kStar ||
+        group.quant == PathGroup::Quant::kPlus ||
+        (group.quant == PathGroup::Quant::kExact && group.count > 1);
+    if (!repeats || first_edge == nullptr) return;
+    // GQL0043: on every iteration after the first, the body's first edge
+    // leaves the vertex its last step arrived at; contradictory types
+    // mean the closure degenerates to at most one traversal.
+    if (!first_edge->variant && !last_vertex.variant &&
+        !last_vertex.type_name.empty()) {
+      if (const EdgeMeta* meta = catalog_.find_edge(first_edge->type_name)) {
+        const std::string& need = first_edge->reversed
+                                      ? meta->target_vertex
+                                      : meta->source_vertex;
+        if (need != last_vertex.type_name) {
+          diags_
+              .warning(DiagCode::kClosureCannotRepeat, group.span,
+                       "closure body cannot repeat: edge '" +
+                           first_edge->type_name + "' leaves '" + need +
+                           "' but the body ends at '" +
+                           last_vertex.type_name + "'")
+              .fixit = "use '{1}' or make the body end where its first "
+                       "edge starts";
+        }
+      }
+    }
+    // Pass 4 (GQL0070): unbounded closures over dense edge types. The
+    // planner's degree statistics arrive through AnalyzeOptions; without
+    // them (no data loaded, or a bare front-end) the pass is silent.
+    if (group.quant == PathGroup::Quant::kExact || !opts_.edge_stats) return;
+    for (const auto& el : group.body) {
+      const auto* e = std::get_if<EdgeStep>(&el);
+      if (e == nullptr) continue;
+      std::vector<std::string> names;
+      if (e->variant) {
+        names = catalog_.edge_names();
+      } else {
+        names.push_back(e->type_name);
+      }
+      for (const auto& name : names) {
+        auto stats = opts_.edge_stats(name);
+        if (!stats) continue;
+        const double avg = e->reversed ? stats->avg_in : stats->avg_out;
+        const std::uint32_t mx = e->reversed ? stats->max_in : stats->max_out;
+        if (avg <= opts_.closure_avg_degree_warn &&
+            mx <= opts_.closure_max_degree_warn) {
+          continue;
+        }
+        diags_
+            .warning(DiagCode::kCostlyClosure, span_or(e->span, group.span),
+                     "unbounded closure over dense edge type '" + name +
+                         "' (avg " + format_avg(avg) + ", max " +
+                         std::to_string(mx) +
+                         (e->reversed ? " in-edges" : " out-edges") +
+                         " per vertex): the match frontier can grow "
+                         "exponentially with path length")
+            .fixit = "bound the repetition with '{n}' or tighten the step "
+                     "conditions";
+        break;  // one warning per edge step
+      }
+    }
   }
 
   /// Non-variant edge between two (possibly variant/unknown) vertex steps:
   /// endpoints must match declared source/target given the direction.
-  Status check_edge_adjacency(const EdgeStep& e, const StepInfo& left,
-                              const StepInfo& right) {
+  void check_edge_adjacency(const EdgeStep& e, const StepInfo& left,
+                            const StepInfo& right) {
     const std::string& lt = left.type_name;
     const std::string& rt = right.type_name;
     if (!e.variant) {
       const EdgeMeta* meta = catalog_.find_edge(e.type_name);
-      if (meta == nullptr) return Status::ok();  // reported elsewhere
+      if (meta == nullptr) return;  // reported elsewhere
       const std::string& want_src = e.reversed ? rt : lt;
       const std::string& want_dst = e.reversed ? lt : rt;
       if (!want_src.empty() && meta->source_vertex != want_src) {
-        return type_error("edge '" + e.type_name + "' starts at '" +
-                          meta->source_vertex + "', not '" + want_src +
-                          "' (check the arrow direction)");
+        diags_.error(DiagCode::kEndpointMismatch, StatusCode::kTypeError,
+                     e.span,
+                     "edge '" + e.type_name + "' starts at '" +
+                         meta->source_vertex + "', not '" + want_src +
+                         "' (check the arrow direction)");
+        return;
       }
       if (!want_dst.empty() && meta->target_vertex != want_dst) {
-        return type_error("edge '" + e.type_name + "' ends at '" +
-                          meta->target_vertex + "', not '" + want_dst + "'");
+        diags_.error(DiagCode::kEndpointMismatch, StatusCode::kTypeError,
+                     e.span,
+                     "edge '" + e.type_name + "' ends at '" +
+                         meta->target_vertex + "', not '" + want_dst + "'");
       }
-      return Status::ok();
+      return;
     }
     // Variant edge between two known vertex types: at least one edge type
     // must connect them, else the query is statically empty (Sec. III-A
@@ -459,16 +809,18 @@ class GraphQueryAnalyzer {
       const std::string& src = e.reversed ? rt : lt;
       const std::string& dst = e.reversed ? lt : rt;
       if (catalog_.edges_between(src, dst).empty()) {
-        return invalid_argument("statically empty query: no edge type "
-                                "connects '" + src + "' to '" + dst + "'");
+        diags_.error(DiagCode::kNoEdgeBetween, StatusCode::kInvalidArgument,
+                     e.span,
+                     "statically empty query: no edge type connects '" + src +
+                         "' to '" + dst + "'");
       }
     }
-    return Status::ok();
   }
 
-  Status check_step_condition(const ExprPtr& cond, const StepInfo& self,
-                              const std::string& self_name,
-                              const std::string& self_label) {
+  void check_step_condition(const ExprPtr& cond, const StepInfo& self,
+                            const std::string& self_name,
+                            const std::string& self_label,
+                            SourceSpan step_span) {
     Resolver resolve = [&](std::string_view qual,
                            std::string_view col) -> Result<DataType> {
       const StepInfo* target = nullptr;
@@ -477,6 +829,7 @@ class GraphQueryAnalyzer {
         target = &self;
       } else if (const StepInfo* labeled = find_label(qual)) {
         target = labeled;
+        note_label_use(qual);
       } else if (auto it = steps_.find(std::string(qual));
                  it != steps_.end()) {
         target = &it->second;
@@ -497,23 +850,29 @@ class GraphQueryAnalyzer {
       }
       return target->attr_schema->column(*idx).type;
     };
-    return require_boolean(cond, resolve, params_);
+    if (!check_boolean(cond, resolve, params_, diags_, step_span)) return;
+    fold_and_warn(cond, params_, diags_, step_span,
+                  "this step can never match");
   }
 
-  Status define_label(LabelKind kind, const std::string& label,
-                      const StepInfo& info) {
-    if (kind == LabelKind::kNone) return Status::ok();
+  void define_label(LabelKind kind, const std::string& label,
+                    SourceSpan span, const StepInfo& info) {
+    if (kind == LabelKind::kNone) return;
     if (labels_.contains(label)) {
-      return already_exists("label '" + label +
-                            "' defined twice in one query");
+      diags_.error(DiagCode::kDuplicateLabel, StatusCode::kAlreadyExists,
+                   span,
+                   "label '" + label + "' defined twice in one query");
+      return;
     }
     if (catalog_.find_vertex(label) != nullptr ||
         catalog_.find_edge(label) != nullptr) {
-      return already_exists("label '" + label +
-                            "' shadows a declared graph type");
+      diags_.error(DiagCode::kLabelShadowsType, StatusCode::kAlreadyExists,
+                   span,
+                   "label '" + label + "' shadows a declared graph type");
+      return;
     }
     labels_.emplace(label, info);
-    return Status::ok();
+    label_sites_.push_back({label, span, kind});
   }
 
   const StepInfo* find_label(std::string_view name) const {
@@ -521,58 +880,110 @@ class GraphQueryAnalyzer {
     return it == labels_.end() ? nullptr : &it->second;
   }
 
-  Status check_targets(const GraphQueryStmt& stmt) {
+  void note_label_use(std::string_view name) {
+    used_labels_.insert(std::string(name));
+  }
+
+  void check_targets(const GraphQueryStmt& stmt) {
     if (stmt.targets.empty()) {
-      return invalid_argument("graph query selects nothing");
+      diags_.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                   stmt.span, "graph query selects nothing");
+      return;
     }
     for (const auto& t : stmt.targets) {
       if (t.star) continue;
       auto it = steps_.find(t.qualifier);
       if (it == steps_.end()) {
-        return not_found("select target '" + t.qualifier +
+        diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound,
+                     span_or(t.span, stmt.span),
+                     "select target '" + t.qualifier +
                          "' does not name a step or label of this query");
+        continue;
       }
+      if (labels_.contains(t.qualifier)) note_label_use(t.qualifier);
       if (!t.column.empty()) {
         if (it->second.attr_schema == nullptr) {
-          return type_error("step '" + t.qualifier + "' has no attributes");
+          diags_.error(DiagCode::kTypeMismatch, StatusCode::kTypeError,
+                       span_or(t.span, stmt.span),
+                       "step '" + t.qualifier + "' has no attributes");
+          continue;
         }
         if (!it->second.attr_schema->find(t.column)) {
-          return not_found("step '" + t.qualifier + "' has no attribute '" +
+          diags_.error(DiagCode::kUnknownAttribute, StatusCode::kNotFound,
+                       span_or(t.span, stmt.span),
+                       "step '" + t.qualifier + "' has no attribute '" +
                            t.column + "'");
         }
       }
     }
-    return Status::ok();
   }
 
+  /// Pass 3: a `def`/`foreach` label nothing ever references is either
+  /// dead weight or a typo for a reference elsewhere in the query.
+  void warn_unused_labels() {
+    for (const auto& site : label_sites_) {
+      if (used_labels_.contains(site.label)) continue;
+      const char* kw = site.kind == LabelKind::kForeach ? "foreach" : "def";
+      diags_
+          .warning(DiagCode::kUnusedLabel, site.span,
+                   "label '" + site.label + "' is defined but never "
+                   "referenced")
+          .fixit = std::string("drop '") + kw + " " + site.label +
+                   ":' or reference the label in a condition, step or "
+                   "select target";
+    }
+  }
+
+  struct LabelSite {
+    std::string label;
+    SourceSpan span;
+    LabelKind kind;
+  };
+
   const MetaCatalog& catalog_;
+  const AnalyzeOptions& opts_;
   const ParamMap* params_;
+  DiagnosticEngine& diags_;
+  SourceSpan stmt_span_;
   // All addressable steps of this statement: type names and labels.
   std::unordered_map<std::string, StepInfo> steps_;
   std::unordered_map<std::string, StepInfo> labels_;
   // Steps in first-mention order, for `select *` output schemas.
   std::vector<std::pair<std::string, StepInfo>> ordered_steps_;
+  // Pass 3 bookkeeping.
+  std::vector<LabelSite> label_sites_;
+  std::set<std::string, std::less<>> used_labels_;
 };
 
 // ---- Table query analysis --------------------------------------------------
 
-Status analyze_table_query(const TableQueryStmt& stmt,
-                           const MetaCatalog& catalog,
-                           const ParamMap* params,
-                           Schema* out_schema) {
+/// Reports every problem in a table query; returns the output schema when
+/// the query is clean enough to have one.
+std::optional<Schema> analyze_table_query(const TableQueryStmt& stmt,
+                                          const MetaCatalog& catalog,
+                                          const AnalyzeOptions& opts,
+                                          DiagnosticEngine& diags) {
+  const ParamMap* params = opts.params;
+  const std::size_t errs_before = diags.error_count();
   const Schema* schema = catalog.find_table(stmt.from_table);
   if (schema == nullptr) {
     // Paper Sec. III-A: "a table name should be used when a table is
     // required, rather than a vertex type name".
     if (catalog.find_vertex(stmt.from_table) != nullptr) {
-      return type_error("'" + stmt.from_table +
-                        "' is a vertex type; 'from table' requires a table");
+      diags.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                  stmt.span,
+                  "'" + stmt.from_table +
+                      "' is a vertex type; 'from table' requires a table");
+    } else if (catalog.find_edge(stmt.from_table) != nullptr) {
+      diags.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                  stmt.span,
+                  "'" + stmt.from_table +
+                      "' is an edge type; 'from table' requires a table");
+    } else {
+      diags.error(DiagCode::kUnknownName, StatusCode::kNotFound, stmt.span,
+                  "unknown table '" + stmt.from_table + "'");
     }
-    if (catalog.find_edge(stmt.from_table) != nullptr) {
-      return type_error("'" + stmt.from_table +
-                        "' is an edge type; 'from table' requires a table");
-    }
-    return not_found("unknown table '" + stmt.from_table + "'");
+    return std::nullopt;
   }
 
   Resolver resolve = [&](std::string_view qual,
@@ -589,12 +1000,17 @@ Status analyze_table_query(const TableQueryStmt& stmt,
   };
 
   if (stmt.where) {
-    GEMS_RETURN_IF_ERROR(require_boolean(stmt.where, resolve, params));
+    if (check_boolean(stmt.where, resolve, params, diags, stmt.span)) {
+      fold_and_warn(stmt.where, params, diags, stmt.span,
+                    "the query returns no rows");
+    }
   }
   for (const auto& col : stmt.group_by) {
     if (!schema->find(col)) {
-      return not_found("group by column '" + col + "' is not in table '" +
-                       stmt.from_table + "'");
+      diags.error(DiagCode::kUnknownAttribute, StatusCode::kNotFound,
+                  stmt.span,
+                  "group by column '" + col + "' is not in table '" +
+                      stmt.from_table + "'");
     }
   }
 
@@ -606,10 +1022,12 @@ Status analyze_table_query(const TableQueryStmt& stmt,
   std::vector<storage::ColumnDef> out_cols;
   std::size_t anon = 0;
   for (const auto& item : stmt.items) {
+    const SourceSpan ispan = span_or(item.span, stmt.span);
     if (item.star) {
       if (grouped) {
-        return type_error(
-            "'*' cannot be combined with aggregates or group by");
+        diags.error(DiagCode::kBadAggregate, StatusCode::kTypeError, ispan,
+                    "'*' cannot be combined with aggregates or group by");
+        continue;
       }
       for (const auto& c : schema->columns()) out_cols.push_back(c);
       continue;
@@ -620,11 +1038,20 @@ Status analyze_table_query(const TableQueryStmt& stmt,
       type = DataType::int64();
       default_name = "count";
     } else if (item.agg != AggFunc::kNone) {
-      GEMS_ASSIGN_OR_RETURN(MaybeType input,
-                            infer_type(item.expr, resolve, params));
+      SourceSpan err_span;
+      auto input_r = infer_type(item.expr, resolve, params, &err_span);
+      if (!input_r.is_ok()) {
+        diags.error(expr_error_code(input_r.status().code()),
+                    input_r.status().code(), span_or(err_span, ispan),
+                    std::string(input_r.status().message()));
+        continue;
+      }
+      const MaybeType input = input_r.value();
       if ((item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) && input &&
           !input->is_numeric()) {
-        return type_error("sum/avg require a numeric column");
+        diags.error(DiagCode::kBadAggregate, StatusCode::kTypeError, ispan,
+                    "sum/avg require a numeric column");
+        continue;
       }
       switch (item.agg) {
         case AggFunc::kCount:
@@ -651,7 +1078,15 @@ Status analyze_table_query(const TableQueryStmt& stmt,
           GEMS_UNREACHABLE("handled");
       }
     } else {
-      GEMS_ASSIGN_OR_RETURN(type, infer_type(item.expr, resolve, params));
+      SourceSpan err_span;
+      auto type_r = infer_type(item.expr, resolve, params, &err_span);
+      if (!type_r.is_ok()) {
+        diags.error(expr_error_code(type_r.status().code()),
+                    type_r.status().code(), span_or(err_span, ispan),
+                    std::string(type_r.status().message()));
+        continue;
+      }
+      type = type_r.value();
       if (grouped) {
         // SQL rule: non-aggregate outputs must be grouping columns.
         const bool is_group_col =
@@ -659,8 +1094,10 @@ Status analyze_table_query(const TableQueryStmt& stmt,
             std::find(stmt.group_by.begin(), stmt.group_by.end(),
                       item.expr->column) != stmt.group_by.end();
         if (!is_group_col) {
-          return type_error("select item '" + item.expr->to_string() +
-                            "' must be aggregated or listed in group by");
+          diags.error(DiagCode::kBadAggregate, StatusCode::kTypeError, ispan,
+                      "select item '" + item.expr->to_string() +
+                          "' must be aggregated or listed in group by");
+          continue;
         }
       }
       default_name = item.expr->kind == Expr::Kind::kColumnRef
@@ -680,51 +1117,69 @@ Status analyze_table_query(const TableQueryStmt& stmt,
   }
 
   for (const auto& ord : stmt.order_by) {
+    const SourceSpan ospan = span_or(ord.span, stmt.span);
     const bool in_output =
         std::any_of(out_cols.begin(), out_cols.end(),
                     [&](const auto& c) { return c.name == ord.column; });
     if (!in_output && !schema->find(ord.column)) {
-      return not_found("order by column '" + ord.column +
-                       "' is neither an output column nor a column of '" +
-                       stmt.from_table + "'");
+      diags.error(DiagCode::kUnknownAttribute, StatusCode::kNotFound, ospan,
+                  "order by column '" + ord.column +
+                      "' is neither an output column nor a column of '" +
+                      stmt.from_table + "'");
+      continue;
     }
     if (grouped && !in_output) {
-      return type_error("order by column '" + ord.column +
-                        "' must be an output column of the grouped query");
+      diags.error(DiagCode::kBadAggregate, StatusCode::kTypeError, ospan,
+                  "order by column '" + ord.column +
+                      "' must be an output column of the grouped query");
     }
   }
 
-  if (out_schema != nullptr) {
-    GEMS_ASSIGN_OR_RETURN(*out_schema, Schema::create(std::move(out_cols)));
+  if (diags.error_count() > errs_before) return std::nullopt;
+  auto out = Schema::create(std::move(out_cols));
+  if (!out.is_ok()) {
+    diags.error(DiagCode::kBadStructure, out.status().code(), stmt.span,
+                std::string(out.status().message()));
+    return std::nullopt;
   }
-  return Status::ok();
+  return std::move(out).value();
 }
 
 // ---- DDL analysis -----------------------------------------------------------
 
-Status analyze_create_vertex(const CreateVertexStmt& stmt,
-                             const MetaCatalog& catalog,
-                             const ParamMap* params) {
+void analyze_create_vertex(const CreateVertexStmt& stmt,
+                           const MetaCatalog& catalog,
+                           const AnalyzeOptions& opts,
+                           DiagnosticEngine& diags) {
   const graph::VertexDecl& d = stmt.decl;
   const Schema* schema = catalog.find_table(d.table);
   if (schema == nullptr) {
     if (catalog.find_vertex(d.table) != nullptr) {
-      return type_error("'" + d.table +
-                        "' is a vertex type; vertices are created from "
-                        "tables");
+      diags.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                  stmt.span,
+                  "'" + d.table +
+                      "' is a vertex type; vertices are created from "
+                      "tables");
+    } else {
+      diags.error(DiagCode::kUnknownName, StatusCode::kNotFound, stmt.span,
+                  "unknown table '" + d.table + "'");
     }
-    return not_found("unknown table '" + d.table + "'");
+    return;
   }
   if (catalog.name_in_use(d.name)) {
-    return already_exists("name '" + d.name + "' is already in use");
+    diags.error(DiagCode::kNameInUse, StatusCode::kAlreadyExists, stmt.span,
+                "name '" + d.name + "' is already in use");
   }
   if (d.key_columns.empty()) {
-    return invalid_argument("vertex '" + d.name + "' needs a key column");
+    diags.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                stmt.span, "vertex '" + d.name + "' needs a key column");
   }
   for (const auto& key : d.key_columns) {
     if (!schema->find(key)) {
-      return not_found("table '" + d.table + "' has no column '" + key +
-                       "' (vertex '" + d.name + "' key)");
+      diags.error(DiagCode::kUnknownAttribute, StatusCode::kNotFound,
+                  stmt.span,
+                  "table '" + d.table + "' has no column '" + key +
+                      "' (vertex '" + d.name + "' key)");
     }
   }
   if (d.where) {
@@ -740,34 +1195,45 @@ Status analyze_create_vertex(const CreateVertexStmt& stmt,
       }
       return schema->column(*idx).type;
     };
-    GEMS_RETURN_IF_ERROR(require_boolean(d.where, resolve, params));
+    if (check_boolean(d.where, resolve, opts.params, diags, stmt.span)) {
+      fold_and_warn(d.where, opts.params, diags, stmt.span,
+                    "the vertex set is empty");
+    }
   }
-  return Status::ok();
 }
 
-Status analyze_create_edge(const CreateEdgeStmt& stmt,
-                           const MetaCatalog& catalog,
-                           const ParamMap* params) {
+void analyze_create_edge(const CreateEdgeStmt& stmt,
+                         const MetaCatalog& catalog,
+                         const AnalyzeOptions& opts,
+                         DiagnosticEngine& diags) {
   const graph::EdgeDecl& d = stmt.decl;
   if (catalog.name_in_use(d.name)) {
-    return already_exists("name '" + d.name + "' is already in use");
+    diags.error(DiagCode::kNameInUse, StatusCode::kAlreadyExists, stmt.span,
+                "name '" + d.name + "' is already in use");
   }
   const VertexMeta* src = catalog.find_vertex(d.source.vertex_type);
   const VertexMeta* dst = catalog.find_vertex(d.target.vertex_type);
   if (src == nullptr) {
-    return not_found("unknown vertex type '" + d.source.vertex_type + "'");
+    diags.error(DiagCode::kUnknownName, StatusCode::kNotFound, stmt.span,
+                "unknown vertex type '" + d.source.vertex_type + "'");
   }
   if (dst == nullptr) {
-    return not_found("unknown vertex type '" + d.target.vertex_type + "'");
+    diags.error(DiagCode::kUnknownName, StatusCode::kNotFound, stmt.span,
+                "unknown vertex type '" + d.target.vertex_type + "'");
   }
   if (d.source.vertex_type == d.target.vertex_type &&
       (d.source.alias.empty() || d.target.alias.empty())) {
-    return invalid_argument("edge '" + d.name +
-                            "': same-type endpoints need 'as' aliases");
+    diags.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                stmt.span,
+                "edge '" + d.name +
+                    "': same-type endpoints need 'as' aliases");
   }
   if (!d.where) {
-    return invalid_argument("edge '" + d.name + "' requires a where clause");
+    diags.error(DiagCode::kBadStructure, StatusCode::kInvalidArgument,
+                stmt.span,
+                "edge '" + d.name + "' requires a where clause");
   }
+  if (src == nullptr || dst == nullptr || !d.where) return;
 
   struct Source {
     std::vector<std::string> quals;
@@ -786,8 +1252,10 @@ Status analyze_create_edge(const CreateEdgeStmt& stmt,
   for (const auto& name : d.assoc_tables) {
     const Schema* s = catalog.find_table(name);
     if (s == nullptr) {
-      return not_found("unknown associated table '" + name + "' in edge '" +
-                       d.name + "'");
+      diags.error(DiagCode::kUnknownName, StatusCode::kNotFound, stmt.span,
+                  "unknown associated table '" + name + "' in edge '" +
+                      d.name + "'");
+      return;
     }
     sources.push_back({{name}, s});
   }
@@ -826,8 +1294,223 @@ Status analyze_create_edge(const CreateEdgeStmt& stmt,
     }
     return not_found("unknown qualifier '" + std::string(qual) + "'");
   };
-  return require_boolean(d.where, resolve, params);
+  if (check_boolean(d.where, resolve, opts.params, diags, stmt.span)) {
+    fold_and_warn(d.where, opts.params, diags, stmt.span,
+                  "the edge set is empty");
+  }
 }
+
+// ---- Script-level driver (statement dispatch + pass 5) ---------------------
+
+/// Runs the per-statement analyses, applies catalog effects of clean
+/// statements, and maintains the cross-statement state pass 5 reads:
+/// which tables this script created, which have been filled, and which
+/// results are still waiting for a reader.
+class ScriptAnalyzer {
+ public:
+  ScriptAnalyzer(MetaCatalog& catalog, DiagnosticEngine& diags,
+                 const AnalyzeOptions& opts)
+      : catalog_(catalog), diags_(diags), opts_(opts) {}
+
+  bool statement(const Statement& stmt, std::size_t index) {
+    const std::size_t errs_before = diags_.error_count();
+    const SourceSpan sspan = statement_span(stmt);
+
+    if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
+      auto schema = Schema::create(s->columns);
+      if (!schema.is_ok()) {
+        diags_.error(DiagCode::kBadStructure, schema.status().code(), sspan,
+                     std::string(schema.status().message()));
+      } else if (catalog_.name_in_use(s->name)) {
+        diags_.error(DiagCode::kNameInUse, StatusCode::kAlreadyExists, sspan,
+                     "name '" + s->name + "' is already in use");
+      } else {
+        GEMS_CHECK(catalog_.add_table(s->name, std::move(schema).value())
+                       .is_ok());
+        tables_[s->name].created_here = true;
+      }
+    } else if (const auto* s = std::get_if<CreateVertexStmt>(&stmt)) {
+      analyze_create_vertex(*s, catalog_, opts_, diags_);
+      if (diags_.error_count() == errs_before) {
+        const Schema* source = catalog_.find_table(s->decl.table);
+        GEMS_CHECK(catalog_
+                       .add_vertex(s->decl.name,
+                                   VertexMeta{s->decl.table, *source,
+                                              s->decl.key_columns})
+                       .is_ok());
+      }
+    } else if (const auto* s = std::get_if<CreateEdgeStmt>(&stmt)) {
+      analyze_create_edge(*s, catalog_, opts_, diags_);
+      if (diags_.error_count() == errs_before) {
+        std::optional<Schema> attr;
+        if (s->decl.assoc_tables.size() == 1) {
+          attr = *catalog_.find_table(s->decl.assoc_tables[0]);
+        }
+        GEMS_CHECK(catalog_
+                       .add_edge(s->decl.name,
+                                 EdgeMeta{s->decl.source.vertex_type,
+                                          s->decl.target.vertex_type,
+                                          std::move(attr)})
+                       .is_ok());
+      }
+    } else if (const auto* s = std::get_if<IngestStmt>(&stmt)) {
+      if (catalog_.find_table(s->table) == nullptr) {
+        if (catalog_.find_vertex(s->table) != nullptr) {
+          diags_.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                       sspan,
+                       "'" + s->table +
+                           "' is a vertex type; ingest targets tables");
+        } else {
+          diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound, sspan,
+                       "unknown table '" + s->table + "'");
+        }
+      } else {
+        tables_[s->table].has_data = true;
+      }
+    } else if (const auto* s = std::get_if<OutputStmt>(&stmt)) {
+      if (catalog_.find_table(s->table) == nullptr) {
+        if (catalog_.find_vertex(s->table) != nullptr ||
+            catalog_.find_edge(s->table) != nullptr) {
+          diags_.error(DiagCode::kWrongEntityKind, StatusCode::kTypeError,
+                       sspan,
+                       "'" + s->table +
+                           "' is a graph type; output targets tables");
+        } else {
+          diags_.error(DiagCode::kUnknownName, StatusCode::kNotFound, sspan,
+                       "unknown table '" + s->table + "'");
+        }
+      } else {
+        note_data_read(s->table, sspan,
+                       "table '" + s->table + "' is written out here");
+      }
+    } else if (const auto* s = std::get_if<GraphQueryStmt>(&stmt)) {
+      GraphQueryAnalyzer analyzer(catalog_, opts_, diags_);
+      analyzer.analyze(*s);
+      note_graph_reads(*s, sspan);
+      if (diags_.error_count() == errs_before) {
+        if (s->into == IntoKind::kSubgraph) {
+          catalog_.add_subgraph(s->into_name, analyzer.subgraph_meta(*s));
+          note_result_write(s->into_name, index, sspan);
+        }
+        if (s->into == IntoKind::kTable) {
+          auto schema = analyzer.output_schema(*s);
+          if (!schema.is_ok()) {
+            diags_.error(DiagCode::kBadStructure, schema.status().code(),
+                         sspan, std::string(schema.status().message()));
+          } else {
+            catalog_.put_table(s->into_name, std::move(schema).value());
+            tables_[s->into_name].has_data = true;
+            note_result_write(s->into_name, index, sspan);
+          }
+        }
+      }
+    } else if (const auto* s = std::get_if<TableQueryStmt>(&stmt)) {
+      auto schema = analyze_table_query(*s, catalog_, opts_, diags_);
+      if (catalog_.find_table(s->from_table) != nullptr) {
+        note_data_read(s->from_table, sspan,
+                       "table '" + s->from_table + "' is queried here");
+      }
+      if (schema.has_value() && diags_.error_count() == errs_before &&
+          s->into == IntoKind::kTable) {
+        catalog_.put_table(s->into_name, std::move(*schema));
+        tables_[s->into_name].has_data = true;
+        note_result_write(s->into_name, index, sspan);
+      }
+    } else {
+      GEMS_UNREACHABLE("unhandled statement kind");
+    }
+    return diags_.error_count() == errs_before;
+  }
+
+ private:
+  struct TableState {
+    bool created_here = false;   // `create table` in this script
+    bool has_data = false;       // ingested or written by a query result
+    int last_writer = -1;        // statement index of the last result write
+    SourceSpan writer_span;
+    bool read_since_write = true;
+  };
+
+  /// Pass 5a (GQL0080): reading the *data* of a table this script created
+  /// but never filled — the classic "forgot the ingest" mistake the
+  /// scheduler (plan::schedule) would otherwise surface only as an empty
+  /// result at run time. DDL reads (create vertex/edge `from table`) are
+  /// exempt: declaring graph types over a still-empty table is the normal
+  /// statement order, and ingest regenerates derived instances.
+  void note_data_read(const std::string& table, SourceSpan span,
+                      const std::string& what) {
+    auto& st = tables_[table];
+    st.read_since_write = true;
+    if (st.created_here && !st.has_data) {
+      diags_
+          .warning(DiagCode::kUseBeforeIngest, span,
+                   what + ", but it was created in this script and never "
+                   "ingested or filled — it is empty")
+          .fixit = "add \"ingest table " + table +
+                   " '<file.csv>'\" (or reorder the statements) first";
+    }
+  }
+
+  /// Pass 5b (GQL0081): two statements writing the same result name with
+  /// no read in between — under plan::schedule's dependence rules the
+  /// first write is dead, which is almost always a copy-paste slip.
+  void note_result_write(const std::string& name, std::size_t index,
+                         SourceSpan span) {
+    auto& st = tables_[name];
+    if (st.last_writer >= 0 && !st.read_since_write) {
+      diags_
+          .warning(DiagCode::kOverwrittenResult, span,
+                   "result '" + name + "' overwrites the result of "
+                   "statement " + std::to_string(st.last_writer + 1) +
+                   " before anything reads it")
+          .fixit = "drop the earlier statement or consume its result "
+                   "before this one";
+    }
+    st.last_writer = static_cast<int>(index);
+    st.writer_span = span;
+    st.read_since_write = false;
+  }
+
+  /// Graph queries read vertex data materialized from source tables and
+  /// seed from prior subgraph results; surface both to pass 5.
+  void note_graph_reads(const GraphQueryStmt& stmt, SourceSpan sspan) {
+    std::set<std::string> source_tables;
+    auto visit_vertex = [&](const VertexStep& v) {
+      if (!v.seed_result.empty()) {
+        tables_[v.seed_result].read_since_write = true;
+      }
+      if (v.variant || v.type_name.empty()) return;
+      if (const VertexMeta* meta = catalog_.find_vertex(v.type_name)) {
+        source_tables.insert(meta->source_table);
+      }
+    };
+    for (const auto& and_group : stmt.or_groups) {
+      for (const auto& path : and_group) {
+        for (const auto& el : path.elements) {
+          if (const auto* v = std::get_if<VertexStep>(&el)) {
+            visit_vertex(*v);
+          } else if (const auto* g = std::get_if<PathGroup>(&el)) {
+            for (const auto& bel : g->body) {
+              if (const auto* bv = std::get_if<VertexStep>(&bel)) {
+                visit_vertex(*bv);
+              }
+            }
+          }
+        }
+      }
+    }
+    for (const auto& table : source_tables) {
+      note_data_read(table, sspan,
+                     "this query matches vertices built from table '" +
+                         table + "'");
+    }
+  }
+
+  MetaCatalog& catalog_;
+  DiagnosticEngine& diags_;
+  const AnalyzeOptions& opts_;
+  std::map<std::string, TableState> tables_;
+};
 
 }  // namespace
 
@@ -901,83 +1584,53 @@ std::vector<std::string> MetaCatalog::edges_between(
   return out;
 }
 
+std::vector<std::string> MetaCatalog::edge_names() const {
+  std::vector<std::string> out;
+  out.reserve(edges_.size());
+  for (const auto& [name, meta] : edges_) out.push_back(name);
+  return out;
+}
+
 // ---- Entry points ------------------------------------------------------------
+
+bool analyze_statement_collect(const Statement& stmt, MetaCatalog& catalog,
+                               DiagnosticEngine& diags,
+                               const AnalyzeOptions& opts) {
+  ScriptAnalyzer analyzer(catalog, diags, opts);
+  return analyzer.statement(stmt, 0);
+}
+
+void analyze_script_collect(const Script& script, MetaCatalog& catalog,
+                            DiagnosticEngine& diags,
+                            const AnalyzeOptions& opts) {
+  ScriptAnalyzer analyzer(catalog, diags, opts);
+  for (std::size_t i = 0; i < script.statements.size(); ++i) {
+    analyzer.statement(script.statements[i], i);
+  }
+}
 
 Status analyze_statement(const Statement& stmt, MetaCatalog& catalog,
                          const relational::ParamMap* params) {
-  if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
-    GEMS_ASSIGN_OR_RETURN(Schema schema, Schema::create(s->columns));
-    return catalog.add_table(s->name, std::move(schema));
-  }
-  if (const auto* s = std::get_if<CreateVertexStmt>(&stmt)) {
-    GEMS_RETURN_IF_ERROR(analyze_create_vertex(*s, catalog, params));
-    const Schema* source = catalog.find_table(s->decl.table);
-    return catalog.add_vertex(
-        s->decl.name, VertexMeta{s->decl.table, *source,
-                                 s->decl.key_columns});
-  }
-  if (const auto* s = std::get_if<CreateEdgeStmt>(&stmt)) {
-    GEMS_RETURN_IF_ERROR(analyze_create_edge(*s, catalog, params));
-    std::optional<Schema> attr;
-    if (s->decl.assoc_tables.size() == 1) {
-      attr = *catalog.find_table(s->decl.assoc_tables[0]);
-    }
-    return catalog.add_edge(s->decl.name,
-                            EdgeMeta{s->decl.source.vertex_type,
-                                     s->decl.target.vertex_type,
-                                     std::move(attr)});
-  }
-  if (const auto* s = std::get_if<IngestStmt>(&stmt)) {
-    if (catalog.find_table(s->table) == nullptr) {
-      if (catalog.find_vertex(s->table) != nullptr) {
-        return type_error("'" + s->table +
-                          "' is a vertex type; ingest targets tables");
-      }
-      return not_found("unknown table '" + s->table + "'");
-    }
-    return Status::ok();
-  }
-  if (const auto* s = std::get_if<OutputStmt>(&stmt)) {
-    if (catalog.find_table(s->table) == nullptr) {
-      if (catalog.find_vertex(s->table) != nullptr ||
-          catalog.find_edge(s->table) != nullptr) {
-        return type_error("'" + s->table +
-                          "' is a graph type; output targets tables");
-      }
-      return not_found("unknown table '" + s->table + "'");
-    }
-    return Status::ok();
-  }
-  if (const auto* s = std::get_if<GraphQueryStmt>(&stmt)) {
-    GraphQueryAnalyzer analyzer(catalog, params);
-    GEMS_RETURN_IF_ERROR(analyzer.analyze(*s));
-    if (s->into == IntoKind::kSubgraph) {
-      catalog.add_subgraph(s->into_name, analyzer.subgraph_meta(*s));
-    }
-    if (s->into == IntoKind::kTable) {
-      GEMS_ASSIGN_OR_RETURN(Schema schema, analyzer.output_schema(*s));
-      catalog.put_table(s->into_name, std::move(schema));
-    }
-    return Status::ok();
-  }
-  if (const auto* s = std::get_if<TableQueryStmt>(&stmt)) {
-    Schema out_schema;
-    GEMS_RETURN_IF_ERROR(
-        analyze_table_query(*s, catalog, params, &out_schema));
-    if (s->into == IntoKind::kTable) {
-      catalog.put_table(s->into_name, std::move(out_schema));
-    }
-    return Status::ok();
-  }
-  GEMS_UNREACHABLE("unhandled statement kind");
+  DiagnosticEngine diags;
+  AnalyzeOptions opts;
+  opts.params = params;
+  ScriptAnalyzer analyzer(catalog, diags, opts);
+  analyzer.statement(stmt, 0);
+  return diags.to_status();
 }
 
 Status analyze_script(const Script& script, MetaCatalog& catalog,
                       const relational::ParamMap* params) {
+  DiagnosticEngine diags;
+  AnalyzeOptions opts;
+  opts.params = params;
+  ScriptAnalyzer analyzer(catalog, diags, opts);
   for (std::size_t i = 0; i < script.statements.size(); ++i) {
-    Status s = analyze_statement(script.statements[i], catalog, params);
-    if (!s.is_ok()) {
-      return s.with_context("statement " + std::to_string(i + 1));
+    const std::size_t errs_before = diags.error_count();
+    analyzer.statement(script.statements[i], i);
+    if (diags.error_count() > errs_before) {
+      return diags.to_status().with_context("statement " +
+                                            std::to_string(i + 1));
     }
   }
   return Status::ok();

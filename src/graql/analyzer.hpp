@@ -9,9 +9,26 @@
 //   * statically-empty queries (no edge type connects two vertex types),
 //   * select-target resolution and output-schema inference.
 //
+// The analyzer is multi-error: every check reports into a DiagnosticEngine
+// (graql/diag.hpp) with a source span and a stable GQLxxxx code, and
+// analysis continues past errors so one `check` call surfaces every
+// problem in the script. On top of the legacy checks it runs five
+// semantic passes:
+//   1. empty type-intersection detection for `[ ]` steps and closure
+//      bodies that cannot chain (GQL004x),
+//   2. constant folding of step/where conditions to flag always-false and
+//      always-true predicates (GQL005x),
+//   3. unbound/duplicate/unused `def`/`foreach` label analysis (GQL006x),
+//   4. regex-closure cost lint over catalog degree statistics, fed
+//      through AnalyzeOptions::edge_stats (GQL0070),
+//   5. cross-statement dependence validation: use-before-ingest and
+//      results overwritten before any read (GQL008x).
+//
 // The analyzer maintains a MetaCatalog that evolves as the script's DDL
 // and `into` clauses introduce new objects, so later statements can
-// reference earlier results (Fig. 12).
+// reference earlier results (Fig. 12). A statement's catalog effects are
+// applied only when it produced no errors; later statements may then see
+// follow-on errors, which is the conventional cascade behavior.
 #pragma once
 
 #include <map>
@@ -22,6 +39,7 @@
 
 #include "common/status.hpp"
 #include "graql/ast.hpp"
+#include "graql/diag.hpp"
 #include "relational/bound_expr.hpp"
 #include "storage/schema.hpp"
 
@@ -69,6 +87,10 @@ class MetaCatalog {
   std::vector<std::string> edges_between(const std::string& src,
                                          const std::string& dst) const;
 
+  /// All declared edge type names (pass 4 expands variant `--[]-->` steps
+  /// over these).
+  std::vector<std::string> edge_names() const;
+
  private:
   std::map<std::string, storage::Schema> tables_;
   std::map<std::string, VertexMeta> vertices_;
@@ -76,13 +98,34 @@ class MetaCatalog {
   std::map<std::string, SubgraphMeta> subgraphs_;
 };
 
+// ---- Multi-error entry points ---------------------------------------------
+
+/// Analyzes one statement, reporting every problem (errors and pass 1–4
+/// warnings) into `diags`. Catalog effects are applied only when the
+/// statement produced no new errors; returns true in that case. Pass 5
+/// needs script context and only fires through analyze_script_collect.
+bool analyze_statement_collect(const Statement& stmt, MetaCatalog& catalog,
+                               DiagnosticEngine& diags,
+                               const AnalyzeOptions& opts = {});
+
+/// Analyzes a whole script front to back, collecting every diagnostic,
+/// including the cross-statement pass 5 (use-before-ingest, results
+/// overwritten before any read).
+void analyze_script_collect(const Script& script, MetaCatalog& catalog,
+                            DiagnosticEngine& diags,
+                            const AnalyzeOptions& opts = {});
+
+// ---- Fail-stop compatibility wrappers -------------------------------------
+
 /// Analyzes one statement against (and updates) `catalog`. When `params`
 /// is non-null, parameter types participate in type checking; otherwise
-/// parameters type-check as wildcards.
+/// parameters type-check as wildcards. Returns the first error (same
+/// StatusCode and message a pre-diag caller saw); warnings are dropped.
 Status analyze_statement(const Statement& stmt, MetaCatalog& catalog,
                          const relational::ParamMap* params = nullptr);
 
-/// Analyzes a whole script front to back.
+/// Analyzes a whole script front to back, stopping at the first statement
+/// with an error (its Status carries "statement N" context).
 Status analyze_script(const Script& script, MetaCatalog& catalog,
                       const relational::ParamMap* params = nullptr);
 

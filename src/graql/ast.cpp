@@ -263,4 +263,8 @@ std::string to_string(const Script& script) {
   return out;
 }
 
+SourceSpan statement_span(const Statement& stmt) {
+  return std::visit([](const auto& s) { return s.span; }, stmt);
+}
+
 }  // namespace gems::graql

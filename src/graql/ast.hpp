@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "graql/token.hpp"
 #include "relational/expr.hpp"
 #include "storage/schema.hpp"
 
@@ -31,20 +32,24 @@ namespace gems::graql {
 struct CreateTableStmt {
   std::string name;
   std::vector<storage::ColumnDef> columns;
+  SourceSpan span;
 };
 
 struct CreateVertexStmt {
   graph::VertexDecl decl;
+  SourceSpan span;
 };
 
 struct CreateEdgeStmt {
   graph::EdgeDecl decl;
+  SourceSpan span;
 };
 
 struct IngestStmt {
   std::string table;
   std::string path;      // CSV file
   bool has_header = false;  // `ingest table T 'f.csv' with header`
+  SourceSpan span;
 };
 
 /// `output table T 'file.csv'` — the converse of ingest (paper Sec. III:
@@ -53,6 +58,7 @@ struct IngestStmt {
 struct OutputStmt {
   std::string table;
   std::string path;
+  SourceSpan span;
 };
 
 // ---- Path queries ----------------------------------------------------------
@@ -69,6 +75,7 @@ struct VertexStep {
   relational::ExprPtr condition;  // may be null ("( )" = no filter)
   LabelKind label_kind = LabelKind::kNone;  // def X: / foreach x:
   std::string label;
+  SourceSpan span;
 };
 
 /// An edge step: `--producer-->` (forward) or `<--reviewer--` (reverse,
@@ -81,6 +88,7 @@ struct EdgeStep {
   relational::ExprPtr condition;
   LabelKind label_kind = LabelKind::kNone;
   std::string label;
+  SourceSpan span;
 };
 
 struct PathGroup;
@@ -95,6 +103,7 @@ struct PathGroup {
   std::vector<PathElement> body;
   Quant quant = Quant::kPlus;
   std::uint32_t count = 0;  // for kExact ({n})
+  SourceSpan span;
 };
 
 /// One linear path pattern (Eq. 3): alternating vertex/edge steps with
@@ -109,6 +118,7 @@ struct SelectTarget {
   std::string qualifier;    // step type name, alias or label (V0, y)
   std::string column;       // empty = the whole step
   std::string alias;        // `as x`
+  SourceSpan span;
 };
 
 enum class IntoKind : std::uint8_t { kNone, kSubgraph, kTable };
@@ -121,6 +131,7 @@ struct GraphQueryStmt {
   std::vector<std::vector<PathPattern>> or_groups;  // outer: or, inner: and
   IntoKind into = IntoKind::kNone;
   std::string into_name;
+  SourceSpan span;
 };
 
 // ---- Relational queries -----------------------------------------------------
@@ -140,11 +151,13 @@ struct SelectItem {
   AggFunc agg = AggFunc::kNone;
   relational::ExprPtr expr;  // null for * and count(*)
   std::string alias;
+  SourceSpan span;
 };
 
 struct OrderItem {
   std::string column;  // output-column name (may be an alias)
   bool descending = false;
+  SourceSpan span;
 };
 
 struct TableQueryStmt {
@@ -157,6 +170,7 @@ struct TableQueryStmt {
   std::vector<OrderItem> order_by;
   IntoKind into = IntoKind::kNone;  // only kTable is legal here
   std::string into_name;
+  SourceSpan span;
 };
 
 // ---- Script ------------------------------------------------------------------
@@ -168,6 +182,10 @@ using Statement = std::variant<CreateTableStmt, CreateVertexStmt,
 struct Script {
   std::vector<Statement> statements;
 };
+
+/// Position of a statement in its source script (unknown-span when the
+/// statement was decoded from a pre-span binary IR).
+SourceSpan statement_span(const Statement& stmt);
 
 /// Pretty-prints a statement back to (canonical) GraQL — used by error
 /// messages, the shell's `explain`, and IR round-trip tests.

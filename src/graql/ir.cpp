@@ -34,6 +34,13 @@ class Writer {
     raw(s.data(), s.size());
   }
 
+  void span(const SourceSpan& s) {
+    u32(s.line);
+    u32(s.column);
+    u32(s.end_line);
+    u32(s.end_column);
+  }
+
   void strings(const std::vector<std::string>& v) {
     u32(static_cast<std::uint32_t>(v.size()));
     for (const auto& s : v) str(s);
@@ -80,17 +87,23 @@ class Writer {
       return;
     }
     switch (e->kind) {
+      // Only leaves carry spans on the wire: unary/binary spans are the
+      // covering range of their operands, which make_unary/make_binary
+      // rederive identically on decode.
       case Expr::Kind::kLiteral:
         u8(1);
+        expr_span(*e);
         value(e->literal);
         return;
       case Expr::Kind::kColumnRef:
         u8(2);
+        expr_span(*e);
         str(e->qualifier);
         str(e->column);
         return;
       case Expr::Kind::kParameter:
         u8(3);
+        expr_span(*e);
         str(e->param_name);
         return;
       case Expr::Kind::kUnary:
@@ -109,6 +122,13 @@ class Writer {
   }
 
  private:
+  void expr_span(const Expr& e) {
+    u32(e.src_line);
+    u32(e.src_column);
+    u32(e.src_end_line);
+    u32(e.src_end_column);
+  }
+
   void raw(const void* p, std::size_t n) {
     const auto* bytes = static_cast<const std::uint8_t*>(p);
     buf_.insert(buf_.end(), bytes, bytes + n);
@@ -149,6 +169,15 @@ class Reader {
   Result<bool> boolean() {
     GEMS_ASSIGN_OR_RETURN(std::uint8_t v, u8());
     return v != 0;
+  }
+
+  Result<SourceSpan> span() {
+    SourceSpan s;
+    GEMS_ASSIGN_OR_RETURN(s.line, u32());
+    GEMS_ASSIGN_OR_RETURN(s.column, u32());
+    GEMS_ASSIGN_OR_RETURN(s.end_line, u32());
+    GEMS_ASSIGN_OR_RETURN(s.end_column, u32());
+    return s;
   }
 
   Result<std::string> str() {
@@ -234,17 +263,23 @@ class Reader {
       case 0:
         return ExprPtr(nullptr);
       case 1: {
+        GEMS_ASSIGN_OR_RETURN(SourceSpan sp, span());
         GEMS_ASSIGN_OR_RETURN(Value v, value());
-        return Expr::make_literal(std::move(v));
+        return Expr::make_literal(std::move(v), sp.line, sp.column,
+                                  sp.end_line, sp.end_column);
       }
       case 2: {
+        GEMS_ASSIGN_OR_RETURN(SourceSpan sp, span());
         GEMS_ASSIGN_OR_RETURN(std::string qual, str());
         GEMS_ASSIGN_OR_RETURN(std::string col, str());
-        return Expr::make_column(std::move(qual), std::move(col));
+        return Expr::make_column(std::move(qual), std::move(col), sp.line,
+                                 sp.column, sp.end_line, sp.end_column);
       }
       case 3: {
+        GEMS_ASSIGN_OR_RETURN(SourceSpan sp, span());
         GEMS_ASSIGN_OR_RETURN(std::string name, str());
-        return Expr::make_parameter(std::move(name));
+        return Expr::make_parameter(std::move(name), sp.line, sp.column,
+                                    sp.end_line, sp.end_column);
       }
       case 4: {
         GEMS_ASSIGN_OR_RETURN(std::uint8_t op, u8());
@@ -306,6 +341,7 @@ enum class StmtTag : std::uint8_t {
 };
 
 void encode_vertex_step(Writer& w, const VertexStep& v) {
+  w.span(v.span);
   w.boolean(v.variant);
   w.str(v.type_name);
   w.str(v.label_ref);
@@ -317,6 +353,7 @@ void encode_vertex_step(Writer& w, const VertexStep& v) {
 
 Result<VertexStep> decode_vertex_step(Reader& r) {
   VertexStep v;
+  GEMS_ASSIGN_OR_RETURN(v.span, r.span());
   GEMS_ASSIGN_OR_RETURN(v.variant, r.boolean());
   GEMS_ASSIGN_OR_RETURN(v.type_name, r.str());
   GEMS_ASSIGN_OR_RETURN(v.label_ref, r.str());
@@ -332,6 +369,7 @@ Result<VertexStep> decode_vertex_step(Reader& r) {
 }
 
 void encode_edge_step(Writer& w, const EdgeStep& e) {
+  w.span(e.span);
   w.boolean(e.variant);
   w.str(e.type_name);
   w.boolean(e.reversed);
@@ -342,6 +380,7 @@ void encode_edge_step(Writer& w, const EdgeStep& e) {
 
 Result<EdgeStep> decode_edge_step(Reader& r) {
   EdgeStep e;
+  GEMS_ASSIGN_OR_RETURN(e.span, r.span());
   GEMS_ASSIGN_OR_RETURN(e.variant, r.boolean());
   GEMS_ASSIGN_OR_RETURN(e.type_name, r.str());
   GEMS_ASSIGN_OR_RETURN(e.reversed, r.boolean());
@@ -358,6 +397,7 @@ Result<EdgeStep> decode_edge_step(Reader& r) {
 void encode_element(Writer& w, const PathElement& el);
 
 void encode_group(Writer& w, const PathGroup& g) {
+  w.span(g.span);
   w.u32(static_cast<std::uint32_t>(g.body.size()));
   for (const auto& el : g.body) encode_element(w, el);
   w.u8(static_cast<std::uint8_t>(g.quant));
@@ -389,6 +429,7 @@ Result<PathElement> decode_element(Reader& r, int depth) {
 
 Result<PathGroup> decode_group(Reader& r, int depth) {
   PathGroup g;
+  GEMS_ASSIGN_OR_RETURN(g.span, r.span());
   GEMS_ASSIGN_OR_RETURN(std::uint32_t n, r.count("path group"));
   g.body.reserve(std::min<std::uint32_t>(n, 1024));
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -464,6 +505,7 @@ void encode_statement(Writer& w, const Statement& stmt) {
     w.u8(static_cast<std::uint8_t>(StmtTag::kGraphQuery));
     w.u32(static_cast<std::uint32_t>(s->targets.size()));
     for (const auto& t : s->targets) {
+      w.span(t.span);
       w.boolean(t.star);
       w.str(t.qualifier);
       w.str(t.column);
@@ -485,6 +527,7 @@ void encode_statement(Writer& w, const Statement& stmt) {
     w.u8(static_cast<std::uint8_t>(StmtTag::kTableQuery));
     w.u32(static_cast<std::uint32_t>(s->items.size()));
     for (const auto& item : s->items) {
+      w.span(item.span);
       w.boolean(item.star);
       w.u8(static_cast<std::uint8_t>(item.agg));
       w.expr(item.expr);
@@ -497,6 +540,7 @@ void encode_statement(Writer& w, const Statement& stmt) {
     w.strings(s->group_by);
     w.u32(static_cast<std::uint32_t>(s->order_by.size()));
     for (const auto& o : s->order_by) {
+      w.span(o.span);
       w.str(o.column);
       w.boolean(o.descending);
     }
@@ -559,6 +603,7 @@ Result<Statement> decode_statement(Reader& r) {
       GEMS_ASSIGN_OR_RETURN(std::uint32_t nt, r.count("select targets"));
       for (std::uint32_t i = 0; i < nt; ++i) {
         SelectTarget t;
+        GEMS_ASSIGN_OR_RETURN(t.span, r.span());
         GEMS_ASSIGN_OR_RETURN(t.star, r.boolean());
         GEMS_ASSIGN_OR_RETURN(t.qualifier, r.str());
         GEMS_ASSIGN_OR_RETURN(t.column, r.str());
@@ -593,6 +638,7 @@ Result<Statement> decode_statement(Reader& r) {
       GEMS_ASSIGN_OR_RETURN(std::uint32_t ni, r.count("select items"));
       for (std::uint32_t i = 0; i < ni; ++i) {
         SelectItem item;
+        GEMS_ASSIGN_OR_RETURN(item.span, r.span());
         GEMS_ASSIGN_OR_RETURN(item.star, r.boolean());
         GEMS_ASSIGN_OR_RETURN(std::uint8_t agg, r.u8());
         if (agg > static_cast<std::uint8_t>(AggFunc::kMax)) {
@@ -611,6 +657,7 @@ Result<Statement> decode_statement(Reader& r) {
       GEMS_ASSIGN_OR_RETURN(std::uint32_t no, r.count("order-by list"));
       for (std::uint32_t i = 0; i < no; ++i) {
         OrderItem o;
+        GEMS_ASSIGN_OR_RETURN(o.span, r.span());
         GEMS_ASSIGN_OR_RETURN(o.column, r.str());
         GEMS_ASSIGN_OR_RETURN(o.descending, r.boolean());
         s.order_by.push_back(std::move(o));
@@ -635,7 +682,12 @@ std::vector<std::uint8_t> encode_script(const Script& script) {
   w.u32(kIrMagic);
   w.u16(kIrVersion);
   w.u32(static_cast<std::uint32_t>(script.statements.size()));
-  for (const auto& stmt : script.statements) encode_statement(w, stmt);
+  for (const auto& stmt : script.statements) {
+    // Statement spans ride in the script frame (IR v2) so each decoded
+    // statement diagnoses at its original source location.
+    w.span(statement_span(stmt));
+    encode_statement(w, stmt);
+  }
   return w.take();
 }
 
@@ -651,7 +703,9 @@ Result<Script> decode_script(std::span<const std::uint8_t> bytes) {
   Script script;
   script.statements.reserve(std::min<std::uint32_t>(n, 1024));
   for (std::uint32_t i = 0; i < n; ++i) {
+    GEMS_ASSIGN_OR_RETURN(SourceSpan sp, r.span());
     GEMS_ASSIGN_OR_RETURN(Statement stmt, decode_statement(r));
+    std::visit([&](auto& st) { st.span = sp; }, stmt);
     script.statements.push_back(std::move(stmt));
   }
   if (!r.at_end()) return parse_error("trailing bytes after IR script");

@@ -21,7 +21,10 @@
 namespace gems::graql {
 
 inline constexpr std::uint32_t kIrMagic = 0x47514C31;  // "GQL1"
-inline constexpr std::uint16_t kIrVersion = 1;
+// v2: statements, steps, groups, select targets/items, order items and
+// leaf expressions carry source spans, so a decoded IR produces the same
+// located diagnostics as the original text (the net `check` contract).
+inline constexpr std::uint16_t kIrVersion = 2;
 
 /// Serializes a script to the binary IR.
 std::vector<std::uint8_t> encode_script(const Script& script);

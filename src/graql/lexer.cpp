@@ -104,11 +104,16 @@ bool is_graql_keyword(std::string_view lowercased) noexcept {
   return false;
 }
 
-Result<std::vector<Token>> lex(std::string_view src) {
+Result<std::vector<Token>> lex(std::string_view src, SourceSpan* error_span) {
   std::vector<Token> out;
   std::size_t i = 0;
   std::size_t line = 1;
   std::size_t col = 1;
+  // Start position of the token currently being scanned. Recorded before
+  // any of its characters are consumed, so multi-character tokens
+  // (strings, numbers, identifiers) report where they *begin*.
+  std::size_t tok_line = 1;
+  std::size_t tok_col = 1;
 
   auto advance = [&](std::size_t n = 1) {
     for (std::size_t k = 0; k < n; ++k) {
@@ -124,16 +129,26 @@ Result<std::vector<Token>> lex(std::string_view src) {
   auto peek = [&](std::size_t off = 0) -> char {
     return i + off < src.size() ? src[i + off] : '\0';
   };
+  // Pushed after the token's characters are consumed: start comes from
+  // tok_line/tok_col, end from the current cursor.
   auto push = [&](TokenKind kind, std::string text = {}) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.line = line;
-    t.column = col;
+    t.line = tok_line;
+    t.column = tok_col;
+    t.end_line = line;
+    t.end_column = col;
     out.push_back(std::move(t));
     return &out.back();
   };
   auto err = [&](std::string msg) {
+    if (error_span != nullptr) {
+      *error_span = SourceSpan{static_cast<std::uint32_t>(line),
+                               static_cast<std::uint32_t>(col),
+                               static_cast<std::uint32_t>(line),
+                               static_cast<std::uint32_t>(col + 1)};
+    }
     return parse_error(msg + " at line " + std::to_string(line) + ":" +
                        std::to_string(col));
   };
@@ -156,115 +171,107 @@ Result<std::vector<Token>> lex(std::string_view src) {
       advance(2);
       continue;
     }
+    tok_line = line;
+    tok_col = col;
     // Arrows and dashes. Longest match first.
     if (c == '<') {
       if (peek(1) == '-' && peek(2) == '-') {
-        push(TokenKind::kArrowLeft);
         advance(3);
+        push(TokenKind::kArrowLeft);
       } else if (peek(1) == '=') {
+        advance(2);
         push(TokenKind::kLe);
-        advance(2);
       } else if (peek(1) == '>') {
-        push(TokenKind::kNe);
         advance(2);
+        push(TokenKind::kNe);
       } else {
-        push(TokenKind::kLt);
         advance();
+        push(TokenKind::kLt);
       }
       continue;
     }
     if (c == '-') {
       if (peek(1) == '-') {
         if (peek(2) == '>') {
-          push(TokenKind::kArrowRight);
           advance(3);
+          push(TokenKind::kArrowRight);
         } else {
-          push(TokenKind::kDashDash);
           advance(2);
+          push(TokenKind::kDashDash);
         }
       } else if (peek(1) == '>') {
         // `->` : tolerate the single-dash arrow some figures use.
-        push(TokenKind::kArrowRight);
         advance(2);
+        push(TokenKind::kArrowRight);
       } else {
-        push(TokenKind::kMinus);
         advance();
+        push(TokenKind::kMinus);
       }
       continue;
     }
     if (c == '!') {
       if (peek(1) != '=') return err("stray '!'");
-      push(TokenKind::kNe);
       advance(2);
+      push(TokenKind::kNe);
       continue;
     }
     if (c == '>') {
       if (peek(1) == '=') {
-        push(TokenKind::kGe);
         advance(2);
+        push(TokenKind::kGe);
       } else {
-        push(TokenKind::kGt);
         advance();
+        push(TokenKind::kGt);
       }
       continue;
     }
     // Single-character tokens.
+    auto single = [&](TokenKind kind) {
+      advance();
+      push(kind);
+    };
     switch (c) {
       case '(':
-        push(TokenKind::kLParen);
-        advance();
+        single(TokenKind::kLParen);
         continue;
       case ')':
-        push(TokenKind::kRParen);
-        advance();
+        single(TokenKind::kRParen);
         continue;
       case '[':
-        push(TokenKind::kLBracket);
-        advance();
+        single(TokenKind::kLBracket);
         continue;
       case ']':
-        push(TokenKind::kRBracket);
-        advance();
+        single(TokenKind::kRBracket);
         continue;
       case '{':
-        push(TokenKind::kLBrace);
-        advance();
+        single(TokenKind::kLBrace);
         continue;
       case '}':
-        push(TokenKind::kRBrace);
-        advance();
+        single(TokenKind::kRBrace);
         continue;
       case ',':
-        push(TokenKind::kComma);
-        advance();
+        single(TokenKind::kComma);
         continue;
       case '.':
-        push(TokenKind::kDot);
-        advance();
+        single(TokenKind::kDot);
         continue;
       case ':':
-        push(TokenKind::kColon);
-        advance();
+        single(TokenKind::kColon);
         continue;
       case ';':
-        push(TokenKind::kSemicolon);
-        advance();
+        single(TokenKind::kSemicolon);
         continue;
       case '*':
-        push(TokenKind::kStar);
-        advance();
+        single(TokenKind::kStar);
         continue;
       case '+':
-        push(TokenKind::kPlus);
-        advance();
+        single(TokenKind::kPlus);
         continue;
       case '/':
-        push(TokenKind::kSlash);
-        advance();
+        single(TokenKind::kSlash);
         continue;
       case '=':
-        push(TokenKind::kEq);
-        advance();
+        single(TokenKind::kEq);
         continue;
       default:
         break;
@@ -351,6 +358,8 @@ Result<std::vector<Token>> lex(std::string_view src) {
     }
     return err(std::string("unexpected character '") + c + "'");
   }
+  tok_line = line;
+  tok_col = col;
   push(TokenKind::kEof);
   return out;
 }

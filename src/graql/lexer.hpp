@@ -11,7 +11,10 @@
 
 namespace gems::graql {
 
-/// Tokenizes an entire GraQL script. Errors carry line/column positions.
-Result<std::vector<Token>> lex(std::string_view source);
+/// Tokenizes an entire GraQL script. Errors carry line/column positions
+/// in the message; when `error_span` is non-null it also receives the
+/// exact source location of a lex error (untouched on success).
+Result<std::vector<Token>> lex(std::string_view source,
+                               SourceSpan* error_span = nullptr);
 
 }  // namespace gems::graql

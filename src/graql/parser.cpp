@@ -33,12 +33,34 @@ class Parser {
   }
 
   Result<Statement> parse_statement() {
-    const Token& t = peek();
-    if (t.is_keyword("create")) return parse_create();
-    if (t.is_keyword("ingest")) return parse_ingest();
-    if (t.is_keyword("output")) return parse_output();
-    if (t.is_keyword("select")) return parse_select();
-    return error("expected 'create', 'ingest', 'output' or 'select'");
+    const Token& start = peek();
+    Result<Statement> stmt = parse_statement_dispatch();
+    if (stmt.is_ok()) {
+      // Every statement carries the span from its first to its last token.
+      std::visit([&](auto& s) { s.span = span_from(start); },
+                 stmt.value());
+    }
+    return stmt;
+  }
+
+  /// Error-collecting variant: records each statement's parse error into
+  /// `diags` and re-synchronizes at the next ';' (see parser.hpp).
+  Script parse_script_collect(DiagnosticEngine& diags) {
+    Script script;
+    while (!at_eof()) {
+      while (accept(TokenKind::kSemicolon)) {
+      }
+      if (at_eof()) break;
+      Result<Statement> stmt = parse_statement();
+      if (stmt.is_ok()) {
+        script.statements.push_back(std::move(stmt).value());
+        continue;
+      }
+      diags.error(DiagCode::kParseError, stmt.status().code(),
+                  last_error_span_, stmt.status().message());
+      while (!at_eof() && !check(TokenKind::kSemicolon)) advance();
+    }
+    return script;
   }
 
   bool at_eof() const { return peek().kind == TokenKind::kEof; }
@@ -62,8 +84,20 @@ class Parser {
     advance();
     return true;
   }
+  /// Last consumed token (the start token before anything was consumed).
+  const Token& prev() const { return tokens_[pos_ > 0 ? pos_ - 1 : 0]; }
+  /// Span from `start`'s first character to the end of the last consumed
+  /// token.
+  SourceSpan span_from(const Token& start) const {
+    SourceSpan span = start.span();
+    const Token& last = prev();
+    span.end_line = static_cast<std::uint32_t>(last.end_line);
+    span.end_column = static_cast<std::uint32_t>(last.end_column);
+    return span;
+  }
   Status error(std::string msg) const {
     const Token& t = peek();
+    last_error_span_ = t.span();
     return parse_error(msg + " (found " +
                        std::string(token_kind_name(t.kind)) +
                        (t.text.empty() ? "" : " '" + t.text + "'") +
@@ -81,6 +115,15 @@ class Parser {
   Result<std::string> expect_ident(std::string what) {
     if (!check(TokenKind::kIdent)) return error("expected " + what);
     return advance().text;
+  }
+
+  Result<Statement> parse_statement_dispatch() {
+    const Token& t = peek();
+    if (t.is_keyword("create")) return parse_create();
+    if (t.is_keyword("ingest")) return parse_ingest();
+    if (t.is_keyword("output")) return parse_output();
+    if (t.is_keyword("select")) return parse_select();
+    return error("expected 'create', 'ingest', 'output' or 'select'");
   }
 
   // ---- DDL -------------------------------------------------------------
@@ -239,9 +282,11 @@ class Parser {
   }
 
   Result<SelectItem> parse_select_item() {
+    const Token& start = peek();
     SelectItem item;
     if (accept(TokenKind::kStar)) {
       item.star = true;
+      item.span = span_from(start);
       return item;
     }
     if (check_keyword("count") || check_keyword("sum") ||
@@ -265,6 +310,7 @@ class Parser {
     if (accept_keyword("as")) {
       GEMS_ASSIGN_OR_RETURN(item.alias, expect_ident("alias"));
     }
+    item.span = span_from(start);
     return item;
   }
 
@@ -292,6 +338,7 @@ class Parser {
         return error("graph queries select steps or step attributes");
       }
       target.alias = std::move(item.alias);
+      target.span = item.span;
       stmt.targets.push_back(std::move(target));
     }
 
@@ -350,6 +397,7 @@ class Parser {
   }
 
   Result<PathGroup> parse_path_group() {
+    const Token& start = peek();
     GEMS_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('"));
     PathGroup group;
     // Body: (edge vertex)+ — starts with an edge so that repeating the
@@ -374,6 +422,7 @@ class Parser {
     } else {
       return error("expected '*', '+' or '{n}' after a path group");
     }
+    group.span = span_from(start);
     return group;
   }
 
@@ -392,6 +441,7 @@ class Parser {
   }
 
   Result<VertexStep> parse_vertex_step() {
+    const Token& start = peek();
     VertexStep step;
     GEMS_ASSIGN_OR_RETURN(auto label, parse_optional_label());
     step.label_kind = label.first;
@@ -417,10 +467,12 @@ class Parser {
           "conditions are not allowed on variant '[ ]' steps (attributes "
           "are not common across matching types)");
     }
+    step.span = span_from(start);
     return step;
   }
 
   Result<EdgeStep> parse_edge_step() {
+    const Token& start = peek();
     EdgeStep step;
     if (accept(TokenKind::kArrowLeft)) {
       step.reversed = true;  // <--e--
@@ -447,6 +499,7 @@ class Parser {
       GEMS_RETURN_IF_ERROR(
           expect(TokenKind::kArrowRight, "'-->' closing the edge"));
     }
+    step.span = span_from(start);
     return step;
   }
 
@@ -487,6 +540,7 @@ class Parser {
     if (accept_keyword("order")) {
       GEMS_RETURN_IF_ERROR(expect_keyword("by"));
       do {
+        const Token& ostart = peek();
         OrderItem item;
         GEMS_ASSIGN_OR_RETURN(item.column, expect_ident("column"));
         if (accept_keyword("desc")) {
@@ -494,6 +548,7 @@ class Parser {
         } else {
           accept_keyword("asc");
         }
+        item.span = span_from(ostart);
         stmt.order_by.push_back(std::move(item));
       } while (accept(TokenKind::kComma));
     }
@@ -608,28 +663,32 @@ class Parser {
     switch (t.kind) {
       case TokenKind::kInt: {
         advance();
-        return Expr::make_literal(Value::int64(t.ival));
+        return spanned_literal(Value::int64(t.ival), t);
       }
       case TokenKind::kFloat: {
         advance();
-        return Expr::make_literal(Value::float64(t.fval));
+        return spanned_literal(Value::float64(t.fval), t);
       }
       case TokenKind::kString: {
         advance();
-        return Expr::make_literal(Value::varchar(t.text));
+        return spanned_literal(Value::varchar(t.text), t);
       }
       case TokenKind::kParam: {
         advance();
-        return Expr::make_parameter(t.text);
+        return Expr::make_parameter(
+            t.text, static_cast<std::uint32_t>(t.line),
+            static_cast<std::uint32_t>(t.column),
+            static_cast<std::uint32_t>(t.end_line),
+            static_cast<std::uint32_t>(t.end_column));
       }
       case TokenKind::kKeyword: {
         if (t.text == "null") {
           advance();
-          return Expr::make_literal(Value::null());
+          return spanned_literal(Value::null(), t);
         }
         if (t.text == "true" || t.text == "false") {
           advance();
-          return Expr::make_literal(Value::boolean(t.text == "true"));
+          return spanned_literal(Value::boolean(t.text == "true"), t);
         }
         return error("unexpected keyword in expression");
       }
@@ -647,24 +706,45 @@ class Parser {
           const Token& s = advance();
           auto days = storage::parse_date(s.text);
           if (!days.is_ok()) return days.status();
-          return Expr::make_literal(Value::date(days.value()));
+          return Expr::make_literal(Value::date(days.value()),
+                                    static_cast<std::uint32_t>(t.line),
+                                    static_cast<std::uint32_t>(t.column),
+                                    static_cast<std::uint32_t>(s.end_line),
+                                    static_cast<std::uint32_t>(s.end_column));
         }
         advance();
         std::string first = t.text;
         if (accept(TokenKind::kDot)) {
           GEMS_ASSIGN_OR_RETURN(std::string col,
                                 expect_ident("attribute name"));
-          return Expr::make_column(std::move(first), std::move(col));
+          const Token& last = prev();
+          return Expr::make_column(std::move(first), std::move(col),
+                                   static_cast<std::uint32_t>(t.line),
+                                   static_cast<std::uint32_t>(t.column),
+                                   static_cast<std::uint32_t>(last.end_line),
+                                   static_cast<std::uint32_t>(last.end_column));
         }
-        return Expr::make_column("", std::move(first));
+        return Expr::make_column("", std::move(first),
+                                 static_cast<std::uint32_t>(t.line),
+                                 static_cast<std::uint32_t>(t.column),
+                                 static_cast<std::uint32_t>(t.end_line),
+                                 static_cast<std::uint32_t>(t.end_column));
       }
       default:
         return error("expected an expression");
     }
   }
 
+  static ExprPtr spanned_literal(Value v, const Token& t) {
+    return Expr::make_literal(std::move(v), static_cast<std::uint32_t>(t.line),
+                              static_cast<std::uint32_t>(t.column),
+                              static_cast<std::uint32_t>(t.end_line),
+                              static_cast<std::uint32_t>(t.end_column));
+  }
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  mutable SourceSpan last_error_span_;
 };
 
 }  // namespace
@@ -683,6 +763,19 @@ Result<Statement> parse_statement(std::string_view source) {
     return parse_error("trailing input after statement");
   }
   return stmt;
+}
+
+Script parse_script_collect(std::string_view source, DiagnosticEngine& diags) {
+  SourceSpan lex_span;
+  auto tokens = lex(source, &lex_span);
+  if (!tokens.is_ok()) {
+    // Lexing is not recoverable: the character stream itself is broken.
+    diags.error(DiagCode::kLexError, tokens.status().code(), lex_span,
+                tokens.status().message());
+    return {};
+  }
+  Parser parser(std::move(tokens).value());
+  return parser.parse_script_collect(diags);
 }
 
 }  // namespace gems::graql

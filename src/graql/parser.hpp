@@ -4,14 +4,23 @@
 
 #include "common/status.hpp"
 #include "graql/ast.hpp"
+#include "graql/diag.hpp"
 
 namespace gems::graql {
 
 /// Parses a whole GraQL script (any number of statements, optionally
-/// separated by semicolons).
+/// separated by semicolons). Fail-stop: the first syntax error aborts the
+/// parse (this is the execution path's entry point).
 Result<Script> parse_script(std::string_view source);
 
 /// Parses exactly one statement.
 Result<Statement> parse_statement(std::string_view source);
+
+/// Error-collecting parse for `check`/`\lint`: every lex/syntax error is
+/// reported into `diags` with its source span (codes GQL0001/GQL0002),
+/// and parsing re-synchronizes at the next ';' so one bad statement does
+/// not hide problems in the rest of the script. Returns the statements
+/// that did parse (possibly none).
+Script parse_script_collect(std::string_view source, DiagnosticEngine& diags);
 
 }  // namespace gems::graql

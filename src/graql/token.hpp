@@ -44,16 +44,58 @@ enum class TokenKind : std::uint8_t {
 
 std::string_view token_kind_name(TokenKind kind) noexcept;
 
+/// A half-open source region, 1-based. `line == 0` means "unknown" (e.g.
+/// a statement that was decoded from a binary IR produced by an older
+/// encoder). `end_*` point one column past the last character, so a
+/// single-character token at 3:7 spans {3, 7, 3, 8}.
+struct SourceSpan {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+  std::uint32_t end_line = 0;
+  std::uint32_t end_column = 0;
+
+  bool known() const { return line != 0; }
+
+  /// Smallest span covering both operands (unknown spans are ignored).
+  SourceSpan merge(const SourceSpan& other) const {
+    if (!known()) return other;
+    if (!other.known()) return *this;
+    SourceSpan out = *this;
+    if (other.line < out.line ||
+        (other.line == out.line && other.column < out.column)) {
+      out.line = other.line;
+      out.column = other.column;
+    }
+    if (other.end_line > out.end_line ||
+        (other.end_line == out.end_line && other.end_column > out.end_column)) {
+      out.end_line = other.end_line;
+      out.end_column = other.end_column;
+    }
+    return out;
+  }
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
 struct Token {
   TokenKind kind = TokenKind::kEof;
   std::string text;    // identifier/keyword/string/param payload
   std::int64_t ival = 0;
   double fval = 0.0;
-  std::size_t line = 1;
+  std::size_t line = 1;      // start of the token
   std::size_t column = 1;
+  std::size_t end_line = 1;  // one past the last character
+  std::size_t end_column = 1;
 
   bool is_keyword(std::string_view kw) const {
     return kind == TokenKind::kKeyword && text == kw;
+  }
+
+  SourceSpan span() const {
+    return SourceSpan{static_cast<std::uint32_t>(line),
+                      static_cast<std::uint32_t>(column),
+                      static_cast<std::uint32_t>(end_line),
+                      static_cast<std::uint32_t>(end_column)};
   }
 };
 

@@ -122,15 +122,32 @@ Result<std::vector<exec::StatementResult>> Client::run_script(
 
 Status Client::check_script(const std::string& text,
                             const relational::ParamMap* params) {
+  GEMS_ASSIGN_OR_RETURN(std::vector<graql::Diagnostic> diags,
+                        check(text, params));
+  return graql::first_error_status(diags);
+}
+
+Result<std::vector<graql::Diagnostic>> Client::check(
+    const std::string& text, const relational::ParamMap* params) {
   static const relational::ParamMap kNoParams;
+  // Lex/parse problems are found client-side — a script that does not
+  // parse has no IR to ship. The server only ever sees well-formed IR.
+  graql::DiagnosticEngine local;
+  graql::Script script = graql::parse_script_collect(text, local);
+  if (!local.empty()) return local.take();
+
+  ScriptRequest request;
+  request.ir = graql::encode_script(script);
+  request.params = graql::encode_params(params != nullptr ? *params
+                                                          : kNoParams);
+  request.deadline_ms = options_.request_timeout_ms;
   GEMS_ASSIGN_OR_RETURN(
-      std::vector<std::uint8_t> payload,
-      make_script_request(text, params != nullptr ? *params : kNoParams));
-  GEMS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> response,
-                        round_trip(Verb::kCheck, payload));
+      std::vector<std::uint8_t> response,
+      round_trip(Verb::kCheck, encode_script_request(request)));
   WireReader reader(response);
-  const Status status = decode_status(reader);
-  return status;
+  GEMS_RETURN_IF_ERROR(decode_status(reader));
+  GEMS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> blob, reader.blob());
+  return graql::decode_diagnostics(blob);
 }
 
 Result<std::string> Client::explain(const std::string& text,

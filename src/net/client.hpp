@@ -58,8 +58,16 @@ class Client {
   Result<std::vector<exec::StatementResult>> run_script(
       const std::string& text, const relational::ParamMap& params = {});
 
+  /// Fail-stop check: first problem as a Status (wraps `check`).
   Status check_script(const std::string& text,
                       const relational::ParamMap* params = nullptr);
+
+  /// Multi-error check: the server's full structured diagnostic list for
+  /// the script, byte-identical to a local Database::check. Lex/parse
+  /// problems are diagnosed locally (the IR never ships).
+  Result<std::vector<graql::Diagnostic>> check(
+      const std::string& text,
+      const relational::ParamMap* params = nullptr);
 
   Result<std::string> explain(const std::string& text,
                               const relational::ParamMap& params = {});

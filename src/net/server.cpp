@@ -362,9 +362,18 @@ void Server::process_request(Request& request) {
           }
           break;
         }
-        case Verb::kCheck:
-          status = db_.check_ir(script.ir, &params);
+        case Verb::kCheck: {
+          // The response stays kOk even for a faulty script: the payload
+          // carries the full structured diagnostic list (the client's
+          // fail-stop wrapper reconstructs the legacy Status from it).
+          auto diags = db_.check_ir(script.ir, &params);
+          if (diags.is_ok()) {
+            w.blob(graql::encode_diagnostics(diags.value()));
+          } else {
+            status = diags.status();
+          }
           break;
+        }
         case Verb::kExplain: {
           auto plan = db_.explain_ir(script.ir, params);
           if (plan.is_ok()) {

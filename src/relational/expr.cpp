@@ -36,25 +36,69 @@ std::string_view binary_op_name(BinaryOp op) noexcept {
   return "?";
 }
 
-ExprPtr Expr::make_literal(storage::Value v) {
+namespace {
+
+void set_span(Expr& e, std::uint32_t line, std::uint32_t column,
+              std::uint32_t end_line, std::uint32_t end_column) {
+  e.src_line = line;
+  e.src_column = column;
+  e.src_end_line = end_line;
+  e.src_end_column = end_column;
+}
+
+// Covering range of two (possibly unknown) node spans.
+void merge_spans(Expr& e, const Expr* a, const Expr* b) {
+  const Expr* first = a;
+  const Expr* last = a;
+  if (b != nullptr && b->src_line != 0) {
+    if (first == nullptr || first->src_line == 0 ||
+        b->src_line < first->src_line ||
+        (b->src_line == first->src_line &&
+         b->src_column < first->src_column)) {
+      first = b;
+    }
+    if (last == nullptr || last->src_line == 0 ||
+        b->src_end_line > last->src_end_line ||
+        (b->src_end_line == last->src_end_line &&
+         b->src_end_column > last->src_end_column)) {
+      last = b;
+    }
+  }
+  if (first == nullptr || first->src_line == 0) return;
+  set_span(e, first->src_line, first->src_column, last->src_end_line,
+           last->src_end_column);
+}
+
+}  // namespace
+
+ExprPtr Expr::make_literal(storage::Value v, std::uint32_t line,
+                           std::uint32_t column, std::uint32_t end_line,
+                           std::uint32_t end_column) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kLiteral;
   e->literal = std::move(v);
+  set_span(*e, line, column, end_line, end_column);
   return e;
 }
 
-ExprPtr Expr::make_column(std::string qualifier, std::string column) {
+ExprPtr Expr::make_column(std::string qualifier, std::string column,
+                          std::uint32_t line, std::uint32_t col,
+                          std::uint32_t end_line, std::uint32_t end_column) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kColumnRef;
   e->qualifier = std::move(qualifier);
   e->column = std::move(column);
+  set_span(*e, line, col, end_line, end_column);
   return e;
 }
 
-ExprPtr Expr::make_parameter(std::string name) {
+ExprPtr Expr::make_parameter(std::string name, std::uint32_t line,
+                             std::uint32_t column, std::uint32_t end_line,
+                             std::uint32_t end_column) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kParameter;
   e->param_name = std::move(name);
+  set_span(*e, line, column, end_line, end_column);
   return e;
 }
 
@@ -64,6 +108,7 @@ ExprPtr Expr::make_unary(UnaryOp op, ExprPtr operand) {
   e->kind = Kind::kUnary;
   e->uop = op;
   e->lhs = std::move(operand);
+  merge_spans(*e, e->lhs.get(), nullptr);
   return e;
 }
 
@@ -74,6 +119,7 @@ ExprPtr Expr::make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
   e->bop = op;
   e->lhs = std::move(lhs);
   e->rhs = std::move(rhs);
+  merge_spans(*e, e->lhs.get(), e->rhs.get());
   return e;
 }
 

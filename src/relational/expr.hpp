@@ -60,9 +60,30 @@ struct Expr {
   ExprPtr lhs;
   ExprPtr rhs;
 
-  static ExprPtr make_literal(storage::Value v);
-  static ExprPtr make_column(std::string qualifier, std::string column);
-  static ExprPtr make_parameter(std::string name);
+  // Source location, 1-based (0 = unknown, e.g. synthesized expressions).
+  // `src_end_*` point one past the last character. Ignored by equals() —
+  // two structurally identical expressions from different places are
+  // equal. The graql layer wraps these into a diag SourceSpan; they live
+  // here as plain integers because relational sits below graql.
+  std::uint32_t src_line = 0;
+  std::uint32_t src_column = 0;
+  std::uint32_t src_end_line = 0;
+  std::uint32_t src_end_column = 0;
+
+  /// Leaf factories take an optional source position; make_unary and
+  /// make_binary derive theirs from the operands (covering range).
+  static ExprPtr make_literal(storage::Value v, std::uint32_t line = 0,
+                              std::uint32_t column = 0,
+                              std::uint32_t end_line = 0,
+                              std::uint32_t end_column = 0);
+  static ExprPtr make_column(std::string qualifier, std::string column,
+                             std::uint32_t line = 0, std::uint32_t col = 0,
+                             std::uint32_t end_line = 0,
+                             std::uint32_t end_column = 0);
+  static ExprPtr make_parameter(std::string name, std::uint32_t line = 0,
+                                std::uint32_t column = 0,
+                                std::uint32_t end_line = 0,
+                                std::uint32_t end_column = 0);
   static ExprPtr make_unary(UnaryOp op, ExprPtr operand);
   static ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
 

@@ -189,11 +189,47 @@ Status Database::check_script(const std::string& text,
   return graql::analyze_script(script, meta, params);
 }
 
-Status Database::check_ir(std::span<const std::uint8_t> ir,
-                          const relational::ParamMap* params) const {
+Result<std::vector<graql::Diagnostic>> Database::check(
+    const std::string& text, const relational::ParamMap* params) {
+  graql::DiagnosticEngine diags;
+  Script script = graql::parse_script_collect(text, diags);
+  check_parsed(script, diags, params);
+  return diags.take();
+}
+
+Result<std::vector<graql::Diagnostic>> Database::check_ir(
+    std::span<const std::uint8_t> ir, const relational::ParamMap* params) {
   GEMS_ASSIGN_OR_RETURN(Script script, graql::decode_script(ir));
+  graql::DiagnosticEngine diags;
+  check_parsed(script, diags, params);
+  return diags.take();
+}
+
+void Database::check_parsed(const Script& script,
+                            graql::DiagnosticEngine& diags,
+                            const relational::ParamMap* params) {
   MetaCatalog meta = meta_catalog();
-  return graql::analyze_script(script, meta, params);
+  const plan::GraphStats& stats = cached_stats();
+  graql::AnalyzeOptions opts;
+  opts.params = params;
+  // Pass 4 consumes plan-layer degree statistics; graql sits below plan in
+  // the dependency order, so they arrive through this callback.
+  opts.edge_stats = [this, &stats](const std::string& name)
+      -> std::optional<graql::EdgeDegreeInfo> {
+    auto id = ctx_.graph.find_edge_type(name);
+    if (!id.is_ok() || id.value() >= stats.edge_stats.size()) {
+      return std::nullopt;
+    }
+    const plan::EdgeTypeStats& es = stats.edge_stats[id.value()];
+    graql::EdgeDegreeInfo info;
+    info.num_edges = es.num_edges;
+    info.avg_out = es.degrees.avg_out;
+    info.avg_in = es.degrees.avg_in;
+    info.max_out = es.degrees.max_out;
+    info.max_in = es.degrees.max_in;
+    return info;
+  };
+  graql::analyze_script_collect(script, meta, diags, opts);
 }
 
 Result<std::string> Database::explain(const std::string& text,

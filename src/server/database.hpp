@@ -97,13 +97,26 @@ class Database {
       std::span<const std::uint8_t> ir,
       const relational::ParamMap& params = {});
 
-  /// Front-end static analysis only (no execution).
+  /// Front-end static analysis only (no execution). Fail-stop: the first
+  /// problem as a bare Status. Kept for callers that only need ok/err;
+  /// `check` below returns the full structured list.
   Status check_script(const std::string& text,
                       const relational::ParamMap* params = nullptr) const;
 
-  /// Static analysis of a pre-compiled IR blob (no execution).
-  Status check_ir(std::span<const std::uint8_t> ir,
-                  const relational::ParamMap* params = nullptr) const;
+  /// Multi-error static analysis: every lex, parse, and semantic problem
+  /// in the script, with source spans and stable GQLxxxx codes (the
+  /// shell's `\lint`). Lex/parse problems are diagnostics, not a failed
+  /// Result. Non-const: pass 4 (closure cost) consults the cached degree
+  /// statistics.
+  Result<std::vector<graql::Diagnostic>> check(
+      const std::string& text,
+      const relational::ParamMap* params = nullptr);
+
+  /// Multi-error static analysis of a pre-compiled IR blob (what the net
+  /// `check` verb calls). Fails only when the blob itself is undecodable.
+  Result<std::vector<graql::Diagnostic>> check_ir(
+      std::span<const std::uint8_t> ir,
+      const relational::ParamMap* params = nullptr);
 
   /// Human-readable query plan (Sec. III-B) for a script, without
   /// executing it: per-statement variable cardinality estimates, the
@@ -174,6 +187,12 @@ class Database {
   /// Shared body of explain / explain_ir over a parsed+analyzed script.
   Result<std::string> explain_parsed(const graql::Script& script,
                                      const relational::ParamMap& params);
+
+  /// Shared back half of check / check_ir: runs the multi-pass analyzer
+  /// over a parsed script with degree statistics wired in for pass 4.
+  void check_parsed(const graql::Script& script,
+                    graql::DiagnosticEngine& diags,
+                    const relational::ParamMap* params);
 
   DatabaseOptions options_;
   StringPool pool_;

@@ -1,0 +1,508 @@
+// Tests for gems::diag — the multi-pass static analyzer's structured
+// diagnostics: one golden case per semantic pass (empty intersections,
+// constant folding, label analysis, closure cost, cross-statement
+// dependences), multi-error collection with exact spans and stable GQL
+// codes, the byte codec, the clang-style renderer, and byte-identity of
+// the net `check` verb against a local Database::check.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bsbm/generator.hpp"
+#include "common/check.hpp"
+#include "graql/analyzer.hpp"
+#include "graql/diag.hpp"
+#include "graql/parser.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "server/database.hpp"
+
+namespace gems::graql {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+
+/// Miniature Berlin-style catalog, matching graql_test's AnalyzerTest so
+/// the collect-mode results can be compared against the legacy wrappers.
+class DiagTest : public ::testing::Test {
+ protected:
+  DiagTest() {
+    GEMS_CHECK(catalog_
+                   .add_table("Products",
+                              Schema({{"id", DataType::varchar(10)},
+                                      {"producer", DataType::varchar(10)},
+                                      {"price", DataType::float64()},
+                                      {"date", DataType::date()}}))
+                   .is_ok());
+    GEMS_CHECK(catalog_
+                   .add_table("Producers",
+                              Schema({{"id", DataType::varchar(10)},
+                                      {"country", DataType::varchar(10)}}))
+                   .is_ok());
+    GEMS_CHECK(catalog_
+                   .add_table("Types",
+                              Schema({{"id", DataType::varchar(10)},
+                                      {"parent", DataType::varchar(10)}}))
+                   .is_ok());
+    seed_ok("create vertex ProductVtx(id) from table Products");
+    seed_ok("create vertex ProducerVtx(id) from table Producers");
+    seed_ok("create vertex TypeVtx(id) from table Types");
+    seed_ok(
+        "create edge producer with vertices (ProductVtx, ProducerVtx) "
+        "where ProductVtx.producer = ProducerVtx.id");
+    seed_ok(
+        "create edge subclass with vertices (TypeVtx as A, TypeVtx as B) "
+        "where A.parent = B.id");
+  }
+
+  void seed_ok(const std::string& text) {
+    auto stmt = parse_statement(text);
+    GEMS_CHECK_MSG(stmt.is_ok(), stmt.status().to_string().c_str());
+    const Status s = analyze_statement(stmt.value(), catalog_);
+    GEMS_CHECK_MSG(s.is_ok(), s.to_string().c_str());
+  }
+
+  /// Collect-mode analysis of a whole script against the fixture catalog.
+  std::vector<Diagnostic> lint(const std::string& text,
+                               const AnalyzeOptions& opts = {}) {
+    DiagnosticEngine diags;
+    Script script = parse_script_collect(text, diags);
+    if (!diags.has_errors()) {
+      analyze_script_collect(script, catalog_, diags, opts);
+    }
+    return diags.take();
+  }
+
+  static std::vector<Diagnostic> with_code(
+      const std::vector<Diagnostic>& diags, DiagCode code) {
+    std::vector<Diagnostic> out;
+    for (const auto& d : diags) {
+      if (d.code == code) out.push_back(d);
+    }
+    return out;
+  }
+
+  MetaCatalog catalog_;
+};
+
+// ---- Pass 1: statically-empty type intersections (GQL0042) -----------------
+
+TEST_F(DiagTest, Pass1EmptyIntersectionOnVariantStep) {
+  // 'producer' pins the '[ ]' to ProducerVtx; 'producer' leaving it again
+  // (forward) demands ProductVtx. The variant step is pinched empty — a
+  // query the fail-stop analyzer accepted and matched zero rows on.
+  const auto diags = lint(
+      "select * from graph\n"
+      "  ProductVtx ()\n"
+      "  --producer--> [ ]\n"
+      "  --producer--> ProducerVtx ()\n"
+      "into subgraph G");
+  const auto hits = with_code(diags, DiagCode::kEmptyIntersection);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kError);
+  EXPECT_EQ(hits[0].span.line, 3u);
+  EXPECT_EQ(hits[0].span.column, 17u);  // the '[' of '[ ]'
+  EXPECT_NE(hits[0].message.find("statically empty"), std::string::npos);
+  EXPECT_FALSE(hits[0].fixit.empty());
+  EXPECT_EQ(diag_code_name(hits[0].code), "GQL0042");
+}
+
+TEST_F(DiagTest, Pass1ConsistentPinIsClean) {
+  // Same shape, but the second edge is reversed: it *arrives* at the
+  // pinned ProducerVtx, so the intersection is non-empty.
+  const auto diags = lint(
+      "select * from graph\n"
+      "  ProductVtx () --producer--> [ ] <--producer-- ProductVtx ()\n"
+      "into subgraph G");
+  EXPECT_TRUE(with_code(diags, DiagCode::kEmptyIntersection).empty());
+  EXPECT_TRUE(diags.empty()) << render_diagnostics(diags, "", false);
+}
+
+// ---- Pass 2: constant-folded predicates (GQL0050/GQL0051) ------------------
+
+TEST_F(DiagTest, Pass2AlwaysFalseCondition) {
+  const auto diags = lint(
+      "select * from graph\n"
+      "  ProductVtx (1 = 2) --producer--> ProducerVtx ()\n"
+      "into subgraph G");
+  const auto hits = with_code(diags, DiagCode::kAlwaysFalse);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_EQ(hits[0].span.line, 2u);
+  EXPECT_NE(hits[0].message.find("always false"), std::string::npos);
+  EXPECT_EQ(diag_code_name(hits[0].code), "GQL0050");
+}
+
+TEST_F(DiagTest, Pass2AlwaysTrueAndShortCircuit) {
+  // 'true or X' folds true whatever X is.
+  const auto diags = lint(
+      "select * from table Products where true or price > 50.0");
+  const auto hits = with_code(diags, DiagCode::kAlwaysTrue);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_EQ(diag_code_name(hits[0].code), "GQL0051");
+}
+
+TEST_F(DiagTest, Pass2NonConstantPredicateIsSilent) {
+  const auto diags =
+      lint("select * from table Products where price > 50.0");
+  EXPECT_TRUE(diags.empty()) << render_diagnostics(diags, "", false);
+}
+
+// ---- Pass 3: labels and captures (GQL0060/61/62) ---------------------------
+
+TEST_F(DiagTest, Pass3UnusedLabelWarns) {
+  const auto diags = lint(
+      "select ProducerVtx.country from graph\n"
+      "  def y: ProductVtx () --producer--> ProducerVtx ()\n"
+      "into table R");
+  const auto hits = with_code(diags, DiagCode::kUnusedLabel);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_EQ(hits[0].span.line, 2u);
+  EXPECT_NE(hits[0].message.find("'y'"), std::string::npos);
+  EXPECT_NE(hits[0].fixit.find("def y:"), std::string::npos);
+}
+
+TEST_F(DiagTest, Pass3UsedLabelIsSilent) {
+  const auto diags = lint(
+      "select y.id from graph\n"
+      "  def y: ProductVtx () --producer--> ProducerVtx ()\n"
+      "into table R");
+  EXPECT_TRUE(with_code(diags, DiagCode::kUnusedLabel).empty());
+}
+
+TEST_F(DiagTest, Pass3DuplicateLabelIsError) {
+  const auto diags = lint(
+      "select y.id from graph\n"
+      "  def y: ProductVtx () --producer--> def y: ProducerVtx ()\n"
+      "into table R");
+  const auto hits = with_code(diags, DiagCode::kDuplicateLabel);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kError);
+  EXPECT_EQ(hits[0].status_code, StatusCode::kAlreadyExists);
+}
+
+TEST_F(DiagTest, Pass3LabelShadowingTypeIsError) {
+  const auto diags = lint(
+      "select * from graph\n"
+      "  def TypeVtx: ProductVtx () --producer--> ProducerVtx ()\n"
+      "into subgraph G");
+  const auto hits = with_code(diags, DiagCode::kLabelShadowsType);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("shadows"), std::string::npos);
+}
+
+// ---- Pass 4: closure cost from degree statistics (GQL0070) -----------------
+
+AnalyzeOptions dense_subclass_stats() {
+  AnalyzeOptions opts;
+  opts.edge_stats =
+      [](const std::string& edge) -> std::optional<EdgeDegreeInfo> {
+    if (edge != "subclass") return std::nullopt;
+    EdgeDegreeInfo info;
+    info.num_edges = 100000;
+    info.avg_out = 12.5;
+    info.max_out = 4000;
+    info.avg_in = 1.0;
+    info.max_in = 2;
+    return info;
+  };
+  return opts;
+}
+
+TEST_F(DiagTest, Pass4WarnsOnUnboundedClosureOverDenseEdge) {
+  const std::string query =
+      "select * from graph\n"
+      "  TypeVtx () ( --subclass--> TypeVtx () )+\n"
+      "into subgraph G";
+  // Without statistics the pass is silent — this is exactly the query the
+  // pre-diag analyzer accepted without a word.
+  EXPECT_TRUE(lint(query).empty());
+  const auto diags = lint(query, dense_subclass_stats());
+  const auto hits = with_code(diags, DiagCode::kCostlyClosure);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_EQ(hits[0].span.line, 2u);
+  EXPECT_NE(hits[0].message.find("subclass"), std::string::npos);
+  EXPECT_NE(hits[0].fixit.find("{n}"), std::string::npos);
+  EXPECT_EQ(diag_code_name(hits[0].code), "GQL0070");
+}
+
+TEST_F(DiagTest, Pass4DirectionAware) {
+  // Reversed traversal uses in-degrees, which are tiny here: no warning.
+  const auto diags = lint(
+      "select * from graph\n"
+      "  TypeVtx () ( <--subclass-- TypeVtx () )+\n"
+      "into subgraph G",
+      dense_subclass_stats());
+  EXPECT_TRUE(with_code(diags, DiagCode::kCostlyClosure).empty());
+}
+
+TEST_F(DiagTest, Pass4BoundedRepetitionIsSilent) {
+  const auto diags = lint(
+      "select * from graph\n"
+      "  TypeVtx () ( --subclass--> TypeVtx () ){3}\n"
+      "into subgraph G",
+      dense_subclass_stats());
+  EXPECT_TRUE(with_code(diags, DiagCode::kCostlyClosure).empty());
+}
+
+// ---- Pass 5: cross-statement dependences (GQL0080/GQL0081) -----------------
+
+TEST_F(DiagTest, Pass5UseBeforeIngest) {
+  const auto diags = lint(
+      "create table Fresh(id varchar(10));\n"
+      "select * from table Fresh");
+  const auto hits = with_code(diags, DiagCode::kUseBeforeIngest);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_EQ(hits[0].span.line, 2u);
+  EXPECT_NE(hits[0].fixit.find("ingest table Fresh"), std::string::npos);
+}
+
+TEST_F(DiagTest, Pass5IngestClearsTheWarning) {
+  const auto diags = lint(
+      "create table Fresh(id varchar(10));\n"
+      "ingest table Fresh 'fresh.csv';\n"
+      "select * from table Fresh");
+  EXPECT_TRUE(diags.empty()) << render_diagnostics(diags, "", false);
+}
+
+TEST_F(DiagTest, Pass5PreexistingTablesAreExempt) {
+  // Products was created before this script ran (e.g. a recovered store);
+  // the analyzer cannot know it is empty, so it must stay quiet.
+  EXPECT_TRUE(lint("select * from table Products").empty());
+}
+
+TEST_F(DiagTest, Pass5OverwrittenResult) {
+  const auto diags = lint(
+      "select id from table Products into table R;\n"
+      "select id from table Producers into table R");
+  const auto hits = with_code(diags, DiagCode::kOverwrittenResult);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_EQ(hits[0].span.line, 2u);
+  EXPECT_NE(hits[0].message.find("statement 1"), std::string::npos);
+}
+
+TEST_F(DiagTest, Pass5ReadBetweenWritesIsSilent) {
+  const auto diags = lint(
+      "select id from table Products into table R;\n"
+      "select * from table R;\n"
+      "select id from table Producers into table R");
+  EXPECT_TRUE(with_code(diags, DiagCode::kOverwrittenResult).empty());
+}
+
+// ---- Multi-error collection ------------------------------------------------
+
+TEST_F(DiagTest, CollectsEveryProblemInOneCall) {
+  // Three distinct defects in one script: an unknown edge type, a select
+  // from an unknown table, and an edge used against its direction.
+  const auto diags = lint(
+      "select * from graph\n"
+      "  ProductVtx () --nosuchedge--> ProducerVtx ()\n"
+      "into table T9;\n"
+      "select nosuchcol from table NoTable;\n"
+      "select * from graph\n"
+      "  ProducerVtx () --producer--> ProductVtx ()\n"
+      "into subgraph G9");
+  ASSERT_EQ(with_code(diags, DiagCode::kUnknownName).size(), 2u);
+  ASSERT_EQ(with_code(diags, DiagCode::kEndpointMismatch).size(), 1u);
+  std::size_t errors = 0;
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+  }
+  EXPECT_GE(errors, 3u);
+  // Source order, with correct per-statement spans.
+  EXPECT_EQ(with_code(diags, DiagCode::kUnknownName)[0].span.line, 2u);
+  EXPECT_EQ(with_code(diags, DiagCode::kUnknownName)[1].span.line, 4u);
+  EXPECT_EQ(with_code(diags, DiagCode::kEndpointMismatch)[0].span.line, 6u);
+}
+
+TEST_F(DiagTest, LegacyWrapperReturnsFirstErrorWithStatementContext) {
+  DiagnosticEngine diags;
+  Script script = parse_script_collect(
+      "select * from table Products;\n"
+      "select * from table NoTable", diags);
+  ASSERT_FALSE(diags.has_errors());
+  const Status s = analyze_script(script, catalog_);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("statement 2"), std::string::npos);
+  EXPECT_NE(s.message().find("NoTable"), std::string::npos);
+}
+
+TEST_F(DiagTest, LexAndParseErrorsCarrySpans) {
+  DiagnosticEngine diags;
+  (void)parse_script_collect("select * from table Products where x ~ 1",
+                             diags);
+  ASSERT_TRUE(diags.has_errors());
+  const auto& d = diags.diagnostics().front();
+  EXPECT_TRUE(d.code == DiagCode::kLexError ||
+              d.code == DiagCode::kParseError);
+  EXPECT_GT(d.span.line, 0u);
+  EXPECT_GT(d.span.column, 0u);
+}
+
+// ---- Renderer --------------------------------------------------------------
+
+TEST(DiagRenderTest, ClangStyleFormat) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = DiagCode::kEmptyIntersection;
+  d.span = SourceSpan{3, 17, 3, 20};
+  d.message = "pinched empty";
+  d.fixit = "fix it";
+  const std::string plain = format_diagnostic(d, "q.graql", false);
+  EXPECT_NE(plain.find("q.graql:3:17: warning[GQL0042]: pinched empty"),
+            std::string::npos);
+  EXPECT_NE(plain.find("fix it"), std::string::npos);
+  EXPECT_EQ(plain.find('\x1b'), std::string::npos);
+  const std::string colored = format_diagnostic(d, "q.graql", true);
+  EXPECT_NE(colored.find('\x1b'), std::string::npos);
+}
+
+TEST(DiagRenderTest, SummaryLineCountsBySeverity) {
+  std::vector<Diagnostic> diags(2);
+  diags[0].severity = Severity::kError;
+  diags[1].severity = Severity::kWarning;
+  const std::string out = render_diagnostics(diags, "", false);
+  EXPECT_NE(out.find("1 error(s), 1 warning(s)"), std::string::npos);
+}
+
+// ---- Wire codec ------------------------------------------------------------
+
+TEST(DiagCodecTest, RoundTripIdentity) {
+  std::vector<Diagnostic> diags(3);
+  diags[0].severity = Severity::kError;
+  diags[0].code = DiagCode::kEndpointMismatch;
+  diags[0].status_code = StatusCode::kTypeError;
+  diags[0].span = SourceSpan{1, 2, 3, 4};
+  diags[0].message = "endpoints contradict";
+  diags[1].severity = Severity::kWarning;
+  diags[1].code = DiagCode::kCostlyClosure;
+  diags[1].message = "dense closure";
+  diags[1].fixit = "bound it with '{n}'";
+  diags[2].severity = Severity::kNote;
+  diags[2].code = DiagCode::kAlwaysTrue;
+  const auto bytes = encode_diagnostics(diags);
+  auto decoded = decode_diagnostics(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), diags);
+  EXPECT_EQ(encode_diagnostics(decoded.value()), bytes);
+}
+
+TEST(DiagCodecTest, RejectsHostileBytes) {
+  EXPECT_FALSE(decode_diagnostics(std::vector<std::uint8_t>{1, 2, 3}).is_ok());
+  std::vector<Diagnostic> one(1);
+  one[0].message = "hello";
+  auto bytes = encode_diagnostics(one);
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2}) {
+    std::vector<std::uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(decode_diagnostics(trunc).is_ok()) << "cut at " << cut;
+  }
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_diagnostics(bytes).is_ok());
+}
+
+// ---- End-to-end: Database::check and the net `check` verb ------------------
+
+server::Database& shared_db() {
+  static auto db = [] {
+    auto built =
+        bsbm::make_populated_database(bsbm::GeneratorConfig::derive(40, 7));
+    GEMS_CHECK_MSG(built.is_ok(), built.status().to_string().c_str());
+    return std::move(built).value();
+  }();
+  return *db;
+}
+
+TEST(DiagEndToEndTest, DatabaseCheckCollectsAcrossStatements) {
+  auto diags = shared_db().check(
+      "select * from graph\n"
+      "  ProductVtx () --nosuchedge--> FeatureVtx ()\n"
+      "into table T9;\n"
+      "select nosuchcol from table NoTable");
+  ASSERT_TRUE(diags.is_ok()) << diags.status().to_string();
+  std::size_t errors = 0;
+  for (const auto& d : diags.value()) {
+    if (d.severity == Severity::kError) ++errors;
+  }
+  EXPECT_GE(errors, 2u);
+  EXPECT_EQ(first_error_status(diags.value()).code(), StatusCode::kNotFound);
+}
+
+TEST(DiagEndToEndTest, RemoteCheckIsByteIdenticalToLocal) {
+  net::ServerOptions sopt;
+  sopt.port = 0;
+  net::Server server(shared_db(), sopt);
+  ASSERT_TRUE(server.start().is_ok());
+  net::ClientOptions copt;
+  copt.port = server.port();
+  net::Client client(copt);
+  ASSERT_TRUE(client.connect().is_ok());
+
+  const char* scripts[] = {
+      // Analyzer errors + warnings (server-side analysis).
+      "select * from graph\n"
+      "  ProductVtx (1 = 2) --nosuchedge--> FeatureVtx ()\n"
+      "into table T9;\n"
+      "select nosuchcol from table NoTable",
+      // Clean script: both sides return the empty list.
+      "select * from table Products",
+      // Parse error: diagnosed client-side, same bytes as a local check.
+      "select * frum table Products",
+  };
+  for (const char* text : scripts) {
+    auto local = shared_db().check(text);
+    auto remote = client.check(text);
+    ASSERT_TRUE(local.is_ok()) << local.status().to_string();
+    ASSERT_TRUE(remote.is_ok()) << remote.status().to_string();
+    EXPECT_EQ(encode_diagnostics(remote.value()),
+              encode_diagnostics(local.value()))
+        << "script: " << text << "\nlocal:\n"
+        << render_diagnostics(local.value(), "", false) << "remote:\n"
+        << render_diagnostics(remote.value(), "", false);
+  }
+  server.stop();
+}
+
+// ---- The repo's demo scripts must lint clean -------------------------------
+
+std::string read_script_skipping_meta(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  GEMS_CHECK_MSG(in.good(), path.string().c_str());
+  std::string text;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '\\') line.clear();
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+class ScriptLintTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScriptLintTest, DemoScriptIsWarningClean) {
+  const auto path = std::filesystem::path(__FILE__).parent_path()
+                        .parent_path() / "scripts" / GetParam();
+  const std::string text = read_script_skipping_meta(path);
+  auto diags = shared_db().check(text);
+  ASSERT_TRUE(diags.is_ok()) << diags.status().to_string();
+  EXPECT_TRUE(diags.value().empty())
+      << render_diagnostics(diags.value(), GetParam(), false);
+}
+
+INSTANTIATE_TEST_SUITE_P(RepoScripts, ScriptLintTest,
+                         ::testing::Values("berlin_queries.graql",
+                                           "figures_tour.graql"));
+
+}  // namespace
+}  // namespace gems::graql

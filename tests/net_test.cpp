@@ -169,8 +169,11 @@ TEST(NetTest, RoundTripEveryVerb) {
   ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
   EXPECT_EQ(stats->verb(Verb::kHandshake).ok, 1u);
   EXPECT_EQ(stats->verb(Verb::kRunScript).ok, 1u);
+  // A faulty-but-parseable script is a *successful* check: the response
+  // carries the diagnostic list, not an error status.
   EXPECT_EQ(stats->verb(Verb::kCheck).requests, 2u);
-  EXPECT_EQ(stats->verb(Verb::kCheck).errors, 1u);
+  EXPECT_EQ(stats->verb(Verb::kCheck).errors, 0u);
+  EXPECT_EQ(stats->verb(Verb::kCheck).ok, 2u);
   EXPECT_EQ(stats->verb(Verb::kExplain).ok, 1u);
   EXPECT_EQ(stats->verb(Verb::kCatalog).ok, 1u);
   EXPECT_GT(stats->total().bytes_out, 0u);
