@@ -126,6 +126,61 @@ void BM_Wire_BerlinQ2(benchmark::State& state) {
 BENCHMARK(BM_Wire_BerlinQ2)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// E-NETCONC — read-only throughput scaling across server workers: Berlin
+/// Q1 (read-only, so it runs under *shared* access) hammered at 1/4/16
+/// clients against a server with 1 vs 4 worker threads. Before the access
+/// layer every script serialized behind one mutex and extra workers only
+/// overlapped decode/IO; now read-only scripts execute concurrently, so
+/// multi-worker throughput should scale on multi-core hosts (on a
+/// single-core container the ratio collapses toward 1x — see
+/// EXPERIMENTS.md). The access counters from the stats verb ride along so
+/// the JSON trail shows the concurrency actually achieved.
+void BM_WireReadScaling(benchmark::State& state) {
+  const int num_workers = static_cast<int>(state.range(0));
+  const int num_clients = static_cast<int>(state.range(1));
+  server::Database& db = berlin_db(kScale);
+  net::ServerOptions options;
+  options.num_workers = static_cast<std::size_t>(num_workers);
+  net::Server server(db, options);
+  GEMS_CHECK(server.start().is_ok());
+  const auto params = berlin_params();
+  const std::string script = bsbm::berlin_q1();
+
+  const int requests_per_iter = std::max(16, num_clients * 4);
+  std::vector<std::uint64_t> latencies_us;
+  std::size_t total_requests = 0;
+  for (auto _ : state) {
+    hammer(server.port(), script, params, num_clients, requests_per_iter,
+           latencies_us);
+    total_requests += latencies_us.size();
+  }
+
+  state.counters["workers"] = static_cast<double>(num_workers);
+  state.counters["clients"] = static_cast<double>(num_clients);
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] =
+      static_cast<double>(percentile_us(latencies_us, 0.50));
+  state.counters["p99_us"] =
+      static_cast<double>(percentile_us(latencies_us, 0.99));
+
+  net::Client stats_client(client_options(server.port()));
+  GEMS_CHECK(stats_client.connect().is_ok());
+  auto snapshot = stats_client.stats();
+  GEMS_CHECK(snapshot.is_ok());
+  // Cumulative over the shared bench database, but the peak still shows
+  // whether shared holders genuinely overlapped.
+  state.counters["peak_shared"] =
+      static_cast<double>(snapshot->access.peak_concurrent_shared);
+  state.counters["shared_acq"] =
+      static_cast<double>(snapshot->access.shared_acquired);
+  server.stop();
+}
+BENCHMARK(BM_WireReadScaling)
+    ->Args({1, 1})->Args({1, 4})->Args({1, 16})
+    ->Args({4, 1})->Args({4, 4})->Args({4, 16})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 /// Baseline: the same scripts without the wire (direct Database calls),
 /// for the "what does the network layer cost" comparison.
 void BM_Direct_BerlinQ1(benchmark::State& state) {

@@ -32,6 +32,7 @@
 //   \checkpoint       snapshot the database and rotate the WAL (durable)
 //   \storestats       durability metrics: WAL latency, snapshot sizes
 //   \matchstats       matcher metrics: passes, traversals, parallel tasks
+//   \accessstats      shared/exclusive access counters (read concurrency)
 //   \shutdown         ask the remote server to shut down (remote mode)
 //   \quit
 #include <cstdio>
@@ -114,6 +115,9 @@ class Backend {
   virtual gems::Result<std::string> match_stats() {
     return gems::unimplemented("\\matchstats needs a local database");
   }
+  virtual gems::Result<std::string> access_stats() {
+    return gems::unimplemented("\\accessstats needs a database");
+  }
 };
 
 class LocalBackend : public Backend {
@@ -147,6 +151,9 @@ class LocalBackend : public Backend {
   }
   gems::Result<std::string> match_stats() override {
     return db_.match_stats();
+  }
+  gems::Result<std::string> access_stats() override {
+    return db_.access_stats();
   }
 
  private:
@@ -207,6 +214,13 @@ class RemoteBackend : public Backend {
   }
   gems::Status shutdown_server() override {
     return client_.shutdown_server();
+  }
+  gems::Result<std::string> access_stats() override {
+    // The stats verb carries the server's access counters at the tail of
+    // the snapshot; render just that slice.
+    auto snapshot = client_.stats();
+    if (!snapshot.is_ok()) return snapshot.status();
+    return snapshot->access.to_string();
   }
 
  private:
@@ -462,6 +476,11 @@ int main(int argc, char** argv) {
                                 : stats.status().to_string().c_str());
       } else if (word == "matchstats") {
         auto stats = backend->match_stats();
+        std::printf("%s", stats.is_ok()
+                              ? stats.value().c_str()
+                              : (stats.status().to_string() + "\n").c_str());
+      } else if (word == "accessstats") {
+        auto stats = backend->access_stats();
         std::printf("%s", stats.is_ok()
                               ? stats.value().c_str()
                               : (stats.status().to_string() + "\n").c_str());

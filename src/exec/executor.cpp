@@ -279,7 +279,7 @@ void mark_domain(Subgraph& out, const GraphView& graph, const Domain& d) {
 
 Result<SubgraphPtr> collect_subgraph(const GraphQueryStmt& stmt,
                                      const LoweredQuery& lowered,
-                                     ExecContext& ctx,
+                                     const ExecContext& ctx,
                                      const std::vector<MatchResult>& matches,
                                      const std::vector<NetworkPlan>& plans,
                                      bool* truncated) {
@@ -344,7 +344,8 @@ Result<SubgraphPtr> collect_subgraph(const GraphQueryStmt& stmt,
 }
 
 Result<TablePtr> collect_table(const GraphQueryStmt& stmt,
-                               const LoweredQuery& lowered, ExecContext& ctx,
+                               const LoweredQuery& lowered,
+                               const ExecContext& ctx,
                                const std::vector<MatchResult>& matches,
                                const std::vector<NetworkPlan>& plans,
                                bool* truncated) {
@@ -404,12 +405,34 @@ Result<TablePtr> collect_table(const GraphQueryStmt& stmt,
   return out;
 }
 
-}  // namespace
+/// Resolves the `from table` / `output` source: the script-local overlay
+/// shadows the shared catalog (shared-path scripts see their own staged
+/// `into` results, exactly as a serial script would).
+Result<TablePtr> find_source_table(const ExecContext& ctx,
+                                   const CatalogOverlay* overlay,
+                                   const std::string& name) {
+  if (overlay != nullptr) {
+    auto it = overlay->tables.find(name);
+    if (it != overlay->tables.end()) return it->second;
+  }
+  return ctx.tables.find(name);
+}
 
-Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
-                                            ExecContext& ctx) {
+/// Shared body of execute_graph_query / execute_statement_read: runs the
+/// query against an immutable context with explicit params and returns
+/// the result *without* registering `into` objects anywhere — the caller
+/// decides between the shared catalog (exclusive path) and a script-local
+/// overlay (shared path).
+Result<StatementResult> graph_query_core(const GraphQueryStmt& stmt,
+                                         const ExecContext& ctx,
+                                         const relational::ParamMap& params,
+                                         const CatalogOverlay* overlay) {
   SubgraphResolver resolver =
-      [&ctx](const std::string& name) -> Result<SubgraphPtr> {
+      [&ctx, overlay](const std::string& name) -> Result<SubgraphPtr> {
+    if (overlay != nullptr) {
+      auto staged = overlay->subgraphs.find(name);
+      if (staged != overlay->subgraphs.end()) return staged->second;
+    }
     auto it = ctx.subgraphs.find(name);
     if (it == ctx.subgraphs.end()) {
       return not_found("unknown result subgraph '" + name + "'");
@@ -418,7 +441,7 @@ Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
   };
   GEMS_ASSIGN_OR_RETURN(
       LoweredQuery lowered,
-      lower_graph_query(stmt, ctx.graph, resolver, ctx.params, *ctx.pool));
+      lower_graph_query(stmt, ctx.graph, resolver, params, *ctx.pool));
 
   std::vector<MatchResult> matches;
   std::vector<NetworkPlan> plans(lowered.networks.size());
@@ -444,7 +467,6 @@ Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
         SubgraphPtr sub,
         collect_subgraph(stmt, lowered, ctx, matches, plans,
                          &result.truncated));
-    if (!ctx.defer_catalog_writes) ctx.subgraphs[stmt.into_name] = sub;
     result.kind = StatementResult::Kind::kSubgraph;
     result.subgraph = std::move(sub);
     result.message = result.subgraph->summary();
@@ -455,13 +477,21 @@ Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
       TablePtr table,
       collect_table(stmt, lowered, ctx, matches, plans,
                     &result.truncated));
-  if (stmt.into == IntoKind::kTable && !ctx.defer_catalog_writes) {
-    ctx.tables.add_or_replace(table);
-  }
   result.kind = StatementResult::Kind::kTable;
   result.table = std::move(table);
   result.message = result.table->name() + ": " +
                    std::to_string(result.table->num_rows()) + " rows";
+  return result;
+}
+
+}  // namespace
+
+Result<StatementResult> execute_graph_query(const GraphQueryStmt& stmt,
+                                            ExecContext& ctx) {
+  GEMS_ASSIGN_OR_RETURN(
+      StatementResult result,
+      graph_query_core(stmt, ctx, ctx.params, /*overlay=*/nullptr));
+  if (!ctx.defer_catalog_writes) commit_result(result, ctx);
   return result;
 }
 
@@ -514,9 +544,17 @@ std::string default_item_name(const graql::SelectItem& item,
 
 }  // namespace
 
-Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
-                                            ExecContext& ctx) {
-  GEMS_ASSIGN_OR_RETURN(TablePtr source, ctx.tables.find(stmt.from_table));
+namespace {
+
+/// Shared body of execute_table_query / execute_statement_read (see
+/// graph_query_core for the contract: immutable context, explicit params,
+/// no catalog registration).
+Result<StatementResult> table_query_core(const TableQueryStmt& stmt,
+                                         const ExecContext& ctx,
+                                         const relational::ParamMap& params,
+                                         const CatalogOverlay* overlay) {
+  GEMS_ASSIGN_OR_RETURN(TablePtr source,
+                        find_source_table(ctx, overlay, stmt.from_table));
   StringPool& pool = *ctx.pool;
   relational::TableScope scope(*source);
 
@@ -526,7 +564,7 @@ Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
   if (stmt.where) {
     GEMS_ASSIGN_OR_RETURN(
         BoundExprPtr pred,
-        relational::bind_predicate(stmt.where, scope, ctx.params, pool));
+        relational::bind_predicate(stmt.where, scope, params, pool));
     if (ctx.intra_pool != nullptr &&
         source->num_rows() >= ExecContext::kParallelScanThreshold) {
       rows = relational::filter_rows_parallel(*source, *pred,
@@ -563,7 +601,7 @@ Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
               oc.expr, relational::bind_expr(
                            relational::Expr::make_column(
                                "", source->schema().column(c).name),
-                           scope, ctx.params, pool));
+                           scope, params, pool));
           outputs.push_back(std::move(oc));
         }
         continue;
@@ -573,7 +611,7 @@ Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
           item.alias.empty() ? default_item_name(item, &anon) : item.alias;
       oc.name = namer.assign(base, "");
       GEMS_ASSIGN_OR_RETURN(
-          oc.expr, relational::bind_expr(item.expr, scope, ctx.params, pool));
+          oc.expr, relational::bind_expr(item.expr, scope, params, pool));
       outputs.push_back(std::move(oc));
     }
 
@@ -632,7 +670,7 @@ Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
           oc.expr,
           relational::bind_expr(
               relational::Expr::make_column("", stmt.group_by[k]), scope,
-              ctx.params, pool));
+              params, pool));
       pre_outputs.push_back(std::move(oc));
     }
     // Aggregate inputs (named a<i> aligned with item order).
@@ -659,7 +697,7 @@ Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
         oc.name = "in" + std::to_string(i);
         GEMS_ASSIGN_OR_RETURN(
             oc.expr,
-            relational::bind_expr(item.expr, scope, ctx.params, pool));
+            relational::bind_expr(item.expr, scope, params, pool));
         spec.input = static_cast<ColumnIndex>(pre_outputs.size());
         pre_outputs.push_back(std::move(oc));
       }
@@ -723,12 +761,20 @@ Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
   result.kind = StatementResult::Kind::kTable;
   result.into = stmt.into;
   result.into_name = stmt.into_name;
-  if (stmt.into == IntoKind::kTable && !ctx.defer_catalog_writes) {
-    ctx.tables.add_or_replace(out);
-  }
   result.table = std::move(out);
   result.message = result.table->name() + ": " +
                    std::to_string(result.table->num_rows()) + " rows";
+  return result;
+}
+
+}  // namespace
+
+Result<StatementResult> execute_table_query(const TableQueryStmt& stmt,
+                                            ExecContext& ctx) {
+  GEMS_ASSIGN_OR_RETURN(
+      StatementResult result,
+      table_query_core(stmt, ctx, ctx.params, /*overlay=*/nullptr));
+  if (!ctx.defer_catalog_writes) commit_result(result, ctx);
   return result;
 }
 
@@ -738,6 +784,25 @@ void commit_result(const StatementResult& result, ExecContext& ctx) {
   }
   if (result.into == IntoKind::kSubgraph && result.subgraph != nullptr) {
     ctx.subgraphs[result.into_name] = result.subgraph;
+  }
+}
+
+void stage_result(const StatementResult& result, CatalogOverlay& overlay) {
+  if (result.into == IntoKind::kTable && result.table != nullptr) {
+    overlay.tables[result.into_name] = result.table;
+  }
+  if (result.into == IntoKind::kSubgraph && result.subgraph != nullptr) {
+    overlay.subgraphs[result.into_name] = result.subgraph;
+  }
+}
+
+void commit_overlay(const CatalogOverlay& overlay, ExecContext& ctx) {
+  for (const auto& [name, table] : overlay.tables) {
+    (void)name;
+    ctx.tables.add_or_replace(table);
+  }
+  for (const auto& [name, subgraph] : overlay.subgraphs) {
+    ctx.subgraphs[name] = subgraph;
   }
 }
 
@@ -856,6 +921,36 @@ Result<StatementResult> execute_statement(const graql::Statement& stmt,
     return execute_table_query(*s, ctx);
   }
   GEMS_UNREACHABLE("unhandled statement kind");
+}
+
+Result<StatementResult> execute_statement_read(const graql::Statement& stmt,
+                                               const ReadView& view) {
+  GEMS_CHECK(view.base != nullptr && view.params != nullptr);
+  const ExecContext& ctx = *view.base;
+  GEMS_CHECK(ctx.pool != nullptr);
+
+  if (const auto* s = std::get_if<graql::OutputStmt>(&stmt)) {
+    GEMS_ASSIGN_OR_RETURN(TablePtr table,
+                          find_source_table(ctx, view.overlay, s->table));
+    std::string path = s->path;
+    if (!ctx.data_dir.empty() && !path.empty() && path.front() != '/') {
+      path = ctx.data_dir + "/" + path;
+    }
+    GEMS_RETURN_IF_ERROR(storage::write_csv_file(*table, path));
+    StatementResult result;
+    result.message = "wrote " + std::to_string(table->num_rows()) +
+                     " rows of " + s->table + " to " + s->path;
+    return result;
+  }
+  if (const auto* s = std::get_if<graql::GraphQueryStmt>(&stmt)) {
+    return graph_query_core(*s, ctx, *view.params, view.overlay);
+  }
+  if (const auto* s = std::get_if<graql::TableQueryStmt>(&stmt)) {
+    return table_query_core(*s, ctx, *view.params, view.overlay);
+  }
+  // DDL / ingest: the server's classification routes such scripts to the
+  // exclusive path before execution ever starts.
+  return internal_error("mutating statement reached the shared execution path");
 }
 
 }  // namespace gems::exec

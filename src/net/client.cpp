@@ -103,7 +103,9 @@ Result<std::vector<std::uint8_t>> Client::make_script_request(
   GEMS_ASSIGN_OR_RETURN(graql::Script script, graql::parse_script(text));
   ScriptRequest request;
   request.ir = graql::encode_script(script);
-  request.params = graql::encode_params(params);
+  // No params: ship an empty blob (the server treats it as "no params")
+  // instead of encoding a zero-entry map on every request.
+  if (!params.empty()) request.params = graql::encode_params(params);
   request.deadline_ms = options_.request_timeout_ms;
   return encode_script_request(request);
 }
@@ -129,7 +131,6 @@ Status Client::check_script(const std::string& text,
 
 Result<std::vector<graql::Diagnostic>> Client::check(
     const std::string& text, const relational::ParamMap* params) {
-  static const relational::ParamMap kNoParams;
   // Lex/parse problems are found client-side — a script that does not
   // parse has no IR to ship. The server only ever sees well-formed IR.
   graql::DiagnosticEngine local;
@@ -138,8 +139,9 @@ Result<std::vector<graql::Diagnostic>> Client::check(
 
   ScriptRequest request;
   request.ir = graql::encode_script(script);
-  request.params = graql::encode_params(params != nullptr ? *params
-                                                          : kNoParams);
+  if (params != nullptr && !params->empty()) {
+    request.params = graql::encode_params(*params);
+  }
   request.deadline_ms = options_.request_timeout_ms;
   GEMS_ASSIGN_OR_RETURN(
       std::vector<std::uint8_t> response,

@@ -57,6 +57,9 @@ std::string MetricsSnapshot::to_string() const {
         static_cast<unsigned long long>(v.execute.quantile_us(0.99)));
     out << line;
   }
+  if (access.shared_acquired > 0 || access.exclusive_acquired > 0) {
+    out << access.to_string();
+  }
   return out.str();
 }
 
@@ -102,6 +105,16 @@ void encode_snapshot(const MetricsSnapshot& snap,
     encode_histogram(v.queue_wait, w);
     encode_histogram(v.execute, w);
   }
+  // Access-layer counters ride at the tail: old decoders stop before them
+  // (the snapshot decode has always tolerated trailing bytes), so this is
+  // wire-compatible without a version bump.
+  w.u64(snap.access.shared_acquired);
+  w.u64(snap.access.exclusive_acquired);
+  w.u64(snap.access.shared_wait_us);
+  w.u64(snap.access.exclusive_wait_us);
+  w.u64(snap.access.shared_held_us);
+  w.u64(snap.access.exclusive_held_us);
+  w.u64(snap.access.peak_concurrent_shared);
   std::vector<std::uint8_t> bytes = w.take();
   out.insert(out.end(), bytes.begin(), bytes.end());
 }
@@ -123,6 +136,15 @@ Result<MetricsSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
     GEMS_ASSIGN_OR_RETURN(v.bytes_out, r.u64());
     GEMS_ASSIGN_OR_RETURN(v.queue_wait, decode_histogram(r));
     GEMS_ASSIGN_OR_RETURN(v.execute, decode_histogram(r));
+  }
+  if (!r.at_end()) {
+    GEMS_ASSIGN_OR_RETURN(snap.access.shared_acquired, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.access.exclusive_acquired, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.access.shared_wait_us, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.access.exclusive_wait_us, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.access.shared_held_us, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.access.exclusive_held_us, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.access.peak_concurrent_shared, r.u64());
   }
   return snap;
 }

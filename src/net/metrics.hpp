@@ -12,6 +12,7 @@
 
 #include "common/histogram.hpp"
 #include "net/wire.hpp"
+#include "server/access.hpp"
 
 namespace gems::net {
 
@@ -38,6 +39,13 @@ struct VerbMetrics {
 /// `stats` response.
 struct MetricsSnapshot {
   std::array<VerbMetrics, kNumVerbs> verbs{};
+
+  /// Database access-layer counters (shared/exclusive acquisitions and
+  /// wait/hold times) merged in by the server when answering `stats`, so
+  /// a remote bench can see read concurrency server-side. Appended to the
+  /// wire payload; old peers ignore it, and decoding tolerates its
+  /// absence, so kWireVersion is unchanged.
+  server::AccessMetricsSnapshot access{};
 
   const VerbMetrics& verb(Verb v) const {
     return verbs[static_cast<std::size_t>(v)];

@@ -229,7 +229,7 @@ void Server::session_loop(const std::shared_ptr<SessionConn>& session) {
       }
       case Verb::kStats: {
         std::vector<std::uint8_t> body;
-        encode_snapshot(metrics_.snapshot(), body);
+        encode_snapshot(metrics_snapshot(), body);
         const MetricsRegistry::Outcome outcome{StatusCode::kOk, bytes_in, 0,
                                                0, 0};
         respond(*session, header.verb, header.request_id, Status::ok(), body,
@@ -340,7 +340,9 @@ void Server::process_request(Request& request) {
 
   if (status.is_ok()) {
     relational::ParamMap params;
-    if (have_script) {
+    // An empty blob means "no params" (clients skip encoding entirely in
+    // that case) — don't run the decoder just to produce an empty map.
+    if (have_script && !script.params.empty()) {
       auto decoded = graql::decode_params(script.params);
       if (decoded.is_ok()) {
         params = std::move(decoded).value();

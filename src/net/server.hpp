@@ -48,11 +48,12 @@ struct ServerOptions {
   /// Frame budget: frames with a larger payload length are rejected
   /// before allocation and the connection is closed.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Serialize Database calls under one mutex. The in-memory Database
-  /// mutates shared session state (catalog registrations, bound params)
-  /// per script, so concurrent execution is unsafe until it grows
-  /// snapshot isolation; workers still overlap decode, metering and I/O.
-  bool serialize_execution = true;
+  /// Debug aid: serialize Database calls under one server-side mutex,
+  /// recovering the pre-access-layer behavior. Off by default — the
+  /// Database now classifies scripts and runs read-only ones concurrently
+  /// under shared access (server::AccessGuard), so workers genuinely
+  /// overlap read execution, not just decode, metering and I/O.
+  bool serialize_execution = false;
   /// Test hook: sleep this long inside each worker before executing, to
   /// make queue-wait, deadline and admission behavior deterministic.
   std::uint32_t debug_execute_delay_ms = 0;
@@ -81,8 +82,13 @@ class Server {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Live request counters/latency; also served remotely via kStats.
-  MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+  /// Live request counters/latency with the database's access-layer
+  /// counters merged in; also served remotely via kStats.
+  MetricsSnapshot metrics_snapshot() const {
+    MetricsSnapshot snap = metrics_.snapshot();
+    snap.access = db_.access_metrics();
+    return snap;
+  }
   MetricsRegistry& metrics() { return metrics_; }
 
  private:

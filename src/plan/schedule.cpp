@@ -132,6 +132,13 @@ Schedule build_schedule(const Script& script) {
   return schedule;
 }
 
+bool script_is_read_only(const Script& script) {
+  for (const Statement& stmt : script.statements) {
+    if (analyze_io(stmt).barrier) return false;
+  }
+  return true;
+}
+
 Result<std::vector<StatementResult>> run_scheduled(const Script& script,
                                                    const Schedule& schedule,
                                                    ExecContext& ctx,
@@ -163,6 +170,46 @@ Result<std::vector<StatementResult>> run_scheduled(const Script& script,
       if (!outcomes[k].is_ok()) return outcomes[k].status();
       results[level[k]] = std::move(outcomes[k]).value();
       exec::commit_result(results[level[k]], ctx);
+    }
+  }
+  return results;
+}
+
+Result<std::vector<StatementResult>> run_scheduled_shared(
+    const Script& script, const Schedule& schedule, const ExecContext& ctx,
+    const relational::ParamMap& params, exec::CatalogOverlay& overlay,
+    ThreadPool* pool) {
+  const exec::ReadView view{&ctx, &params, &overlay};
+  std::vector<StatementResult> results(script.statements.size());
+  for (const auto& level : schedule.levels) {
+    if (pool == nullptr || level.size() == 1) {
+      for (const std::size_t i : level) {
+        GEMS_ASSIGN_OR_RETURN(
+            results[i], execute_statement_read(script.statements[i], view));
+        // Stage immediately: the next serial statement may read this name.
+        exec::stage_result(results[i], overlay);
+      }
+      continue;
+    }
+    // Parallel level: statements in one level are independent by
+    // construction, so they share the (immutable) view; their results are
+    // staged afterwards in script order, exactly like run_scheduled
+    // commits deferred results.
+    std::vector<Result<StatementResult>> outcomes(
+        level.size(), Status(StatusCode::kInternal, "not run"));
+    std::vector<std::future<void>> futures;
+    futures.reserve(level.size());
+    for (std::size_t k = 0; k < level.size(); ++k) {
+      futures.push_back(pool->submit([&, k] {
+        outcomes[k] =
+            exec::execute_statement_read(script.statements[level[k]], view);
+      }));
+    }
+    for (auto& f : futures) f.get();
+    for (std::size_t k = 0; k < level.size(); ++k) {
+      if (!outcomes[k].is_ok()) return outcomes[k].status();
+      results[level[k]] = std::move(outcomes[k]).value();
+      exec::stage_result(results[level[k]], overlay);
     }
   }
   return results;

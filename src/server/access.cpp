@@ -1,0 +1,131 @@
+#include "server/access.hpp"
+
+#include <sstream>
+
+namespace gems::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+std::string_view access_mode_name(AccessMode mode) noexcept {
+  return mode == AccessMode::kShared ? "shared" : "exclusive";
+}
+
+std::string AccessMetricsSnapshot::to_string() const {
+  auto avg = [](std::uint64_t total_us, std::uint64_t n) {
+    return n == 0 ? 0ull : total_us / n;
+  };
+  std::ostringstream out;
+  out << "access     shared: " << shared_acquired << " acquisitions, avg wait "
+      << avg(shared_wait_us, shared_acquired) << " us, avg hold "
+      << avg(shared_held_us, shared_acquired) << " us, peak concurrent "
+      << peak_concurrent_shared << "\n"
+      << "        exclusive: " << exclusive_acquired
+      << " acquisitions, avg wait "
+      << avg(exclusive_wait_us, exclusive_acquired) << " us, avg hold "
+      << avg(exclusive_held_us, exclusive_acquired) << " us\n";
+  return out.str();
+}
+
+AccessGuard::Lock& AccessGuard::Lock::operator=(Lock&& other) noexcept {
+  if (this != &other) {
+    release();
+    guard_ = other.guard_;
+    mode_ = other.mode_;
+    acquired_ = other.acquired_;
+    other.guard_ = nullptr;
+  }
+  return *this;
+}
+
+void AccessGuard::Lock::release() {
+  if (guard_ == nullptr) return;
+  guard_->release(mode_, acquired_);
+  guard_ = nullptr;
+}
+
+AccessGuard::Lock AccessGuard::acquire(AccessMode mode) {
+  const Clock::time_point requested = Clock::now();
+  if (mode == AccessMode::kShared) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      // Writer preference: a queued exclusive blocks *new* readers, so
+      // mutations only wait for in-flight readers to drain.
+      cv_.wait(lk, [this] {
+        return !writer_active_ && writers_waiting_ == 0;
+      });
+      ++readers_;
+    }
+    const Clock::time_point acquired = Clock::now();
+    shared_acquired_.fetch_add(1, std::memory_order_relaxed);
+    shared_wait_us_.fetch_add(elapsed_us(requested, acquired),
+                              std::memory_order_relaxed);
+    const std::uint64_t active =
+        active_shared_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = peak_shared_.load(std::memory_order_relaxed);
+    while (active > peak &&
+           !peak_shared_.compare_exchange_weak(peak, active,
+                                               std::memory_order_relaxed)) {
+    }
+    return Lock(this, mode, acquired);
+  }
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    ++writers_waiting_;
+    cv_.wait(lk, [this] { return !writer_active_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+  const Clock::time_point acquired = Clock::now();
+  exclusive_acquired_.fetch_add(1, std::memory_order_relaxed);
+  exclusive_wait_us_.fetch_add(elapsed_us(requested, acquired),
+                               std::memory_order_relaxed);
+  return Lock(this, mode, acquired);
+}
+
+void AccessGuard::release(AccessMode mode, Clock::time_point acquired) {
+  const std::uint64_t held_us = elapsed_us(acquired, Clock::now());
+  if (mode == AccessMode::kShared) {
+    shared_held_us_.fetch_add(held_us, std::memory_order_relaxed);
+    active_shared_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --readers_;
+    }
+    cv_.notify_all();
+    return;
+  }
+  exclusive_held_us_.fetch_add(held_us, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    writer_active_ = false;
+  }
+  cv_.notify_all();
+}
+
+AccessMetricsSnapshot AccessGuard::snapshot() const {
+  AccessMetricsSnapshot snap;
+  snap.shared_acquired = shared_acquired_.load(std::memory_order_relaxed);
+  snap.exclusive_acquired =
+      exclusive_acquired_.load(std::memory_order_relaxed);
+  snap.shared_wait_us = shared_wait_us_.load(std::memory_order_relaxed);
+  snap.exclusive_wait_us =
+      exclusive_wait_us_.load(std::memory_order_relaxed);
+  snap.shared_held_us = shared_held_us_.load(std::memory_order_relaxed);
+  snap.exclusive_held_us =
+      exclusive_held_us_.load(std::memory_order_relaxed);
+  snap.peak_concurrent_shared =
+      peak_shared_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace gems::server

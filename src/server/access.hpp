@@ -1,0 +1,117 @@
+// The database's shared/exclusive access layer (readers-writer
+// discipline): read-only scripts execute concurrently under *shared*
+// access; mutating scripts, catalog commits of deferred `into` results,
+// and checkpoints take brief *exclusive* access. This is what turns the
+// multi-worker net::Server into actual read parallelism — before this
+// layer every script, including pure path queries, serialized behind one
+// mutex.
+//
+// The guard also meters itself: per-mode acquisition counts, time spent
+// blocked waiting for the lock, time spent holding it, and the peak
+// number of concurrent shared holders. Those counters surface in
+// Database metrics, the net `stats` verb, and the shell's `\accessstats`.
+//
+// Lock order (see DESIGN.md §5g): the access guard is always the
+// *outermost* lock; `stats_mutex_` and `wal_mutex_` are only ever taken
+// while it is held, and never the other way around.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace gems::server {
+
+/// How a script (or maintenance task) may touch the shared state.
+enum class AccessMode : std::uint8_t {
+  kShared,     // read-only: any number of concurrent holders
+  kExclusive,  // mutating: sole holder, waits out all readers
+};
+
+std::string_view access_mode_name(AccessMode mode) noexcept;
+
+/// Point-in-time view of the guard's counters. All durations are
+/// microseconds, aggregated since database open.
+struct AccessMetricsSnapshot {
+  std::uint64_t shared_acquired = 0;
+  std::uint64_t exclusive_acquired = 0;
+  std::uint64_t shared_wait_us = 0;     // total time blocked acquiring
+  std::uint64_t exclusive_wait_us = 0;
+  std::uint64_t shared_held_us = 0;     // total time held (sums overlaps)
+  std::uint64_t exclusive_held_us = 0;
+  std::uint64_t peak_concurrent_shared = 0;
+
+  /// Human-readable `\accessstats` rendering.
+  std::string to_string() const;
+};
+
+/// A writer-preferring readers-writer lock with RAII acquisition and
+/// wait/hold-time accounting. Hand-rolled over mutex + condvar rather
+/// than std::shared_mutex because glibc's pthread_rwlock default prefers
+/// readers: a steady stream of read-only scripts would starve ingest and
+/// checkpoints indefinitely. Here a waiting writer blocks *new* shared
+/// acquisitions, so mutations wait only for in-flight readers to drain
+/// (read-mostly workloads keep that wait brief). Counter updates are
+/// relaxed atomics: they order nothing, they only have to add up.
+class AccessGuard {
+ public:
+  /// Movable RAII hold on the guard. `release()` ends the hold early —
+  /// the shared execution path uses that to drop shared access before
+  /// re-acquiring exclusively for the overlay commit (there is no
+  /// shared->exclusive upgrade, and holding shared while requesting
+  /// exclusive would deadlock).
+  class [[nodiscard]] Lock {
+   public:
+    Lock() = default;
+    Lock(Lock&& other) noexcept { *this = std::move(other); }
+    Lock& operator=(Lock&& other) noexcept;
+    Lock(const Lock&) = delete;
+    Lock& operator=(const Lock&) = delete;
+    ~Lock() { release(); }
+
+    void release();
+    bool held() const { return guard_ != nullptr; }
+    AccessMode mode() const { return mode_; }
+
+   private:
+    friend class AccessGuard;
+    Lock(AccessGuard* guard, AccessMode mode,
+         std::chrono::steady_clock::time_point acquired)
+        : guard_(guard), mode_(mode), acquired_(acquired) {}
+
+    AccessGuard* guard_ = nullptr;
+    AccessMode mode_ = AccessMode::kShared;
+    std::chrono::steady_clock::time_point acquired_{};
+  };
+
+  /// Blocks until access is granted. Shared requests coexist; an
+  /// exclusive request waits for every holder to release and excludes
+  /// everyone (including new shared requests) while pending or held.
+  Lock acquire(AccessMode mode);
+
+  AccessMetricsSnapshot snapshot() const;
+
+ private:
+  void release(AccessMode mode,
+               std::chrono::steady_clock::time_point acquired);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t readers_ = 0;        // active shared holders   (mutex_)
+  std::uint64_t writers_waiting_ = 0;  // queued exclusives      (mutex_)
+  bool writer_active_ = false;       // exclusive holder present (mutex_)
+
+  std::atomic<std::uint64_t> shared_acquired_{0};
+  std::atomic<std::uint64_t> exclusive_acquired_{0};
+  std::atomic<std::uint64_t> shared_wait_us_{0};
+  std::atomic<std::uint64_t> exclusive_wait_us_{0};
+  std::atomic<std::uint64_t> shared_held_us_{0};
+  std::atomic<std::uint64_t> exclusive_held_us_{0};
+  std::atomic<std::uint64_t> active_shared_{0};
+  std::atomic<std::uint64_t> peak_shared_{0};
+};
+
+}  // namespace gems::server

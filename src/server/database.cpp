@@ -25,9 +25,12 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
     // collected lazily and cached until DDL/ingest changes the instances
     // (graph_version), so per-query planning costs only the pivot choice.
     ctx_.planner = [this](const exec::ConstraintNetwork& net) {
-      const plan::GraphStats& stats = cached_stats();
+      // Keep the snapshot alive across planning: a concurrent DDL/ingest
+      // (impossible while we hold shared access, but cheap to be safe)
+      // would otherwise swap the cache out from under us.
+      const std::shared_ptr<const plan::GraphStats> stats = cached_stats();
       const plan::PathPlan plan =
-          plan::plan_network(net, ctx_.graph, pool_, stats);
+          plan::plan_network(net, ctx_.graph, pool_, *stats);
       return exec::NetworkPlan{plan.root_var, plan.constraint_order};
     };
   }
@@ -96,7 +99,10 @@ Database::~Database() {
 }
 
 Status Database::checkpoint() {
-  std::lock_guard<std::mutex> lock(exec_mutex_);
+  // Exclusive: the snapshot must see a statement boundary, with no reader
+  // mid-script either (readers share the intra-node pool the checkpoint
+  // serializer may also want).
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
   if (store_ == nullptr) {
     return invalid_argument(
         "database has no persistent store (open with store_dir)");
@@ -129,17 +135,22 @@ std::string Database::match_stats() const {
   return ctx_.matcher_metrics->snapshot().to_string();
 }
 
-const plan::GraphStats& Database::cached_stats() {
+std::shared_ptr<const plan::GraphStats> Database::cached_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (stats_ == nullptr || stats_version_ != ctx_.graph_version) {
-    stats_ = std::make_unique<plan::GraphStats>(
+    stats_ = std::make_shared<const plan::GraphStats>(
         plan::GraphStats::collect(ctx_.graph));
     stats_version_ = ctx_.graph_version;
   }
-  return *stats_;
+  return stats_;
 }
 
 MetaCatalog Database::meta_catalog() const {
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  return meta_catalog_unlocked();
+}
+
+MetaCatalog Database::meta_catalog_unlocked() const {
   MetaCatalog meta;
   for (const auto& name : ctx_.tables.names()) {
     auto table = ctx_.tables.find(name);
@@ -208,19 +219,24 @@ Result<std::vector<graql::Diagnostic>> Database::check_ir(
 void Database::check_parsed(const Script& script,
                             graql::DiagnosticEngine& diags,
                             const relational::ParamMap* params) {
-  MetaCatalog meta = meta_catalog();
-  const plan::GraphStats& stats = cached_stats();
+  // Analysis only reads the catalog/graph: shared access is enough, and
+  // lets `check` run concurrently with other readers.
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  MetaCatalog meta = meta_catalog_unlocked();
+  const std::shared_ptr<const plan::GraphStats> stats = cached_stats();
   graql::AnalyzeOptions opts;
   opts.params = params;
   // Pass 4 consumes plan-layer degree statistics; graql sits below plan in
-  // the dependency order, so they arrive through this callback.
-  opts.edge_stats = [this, &stats](const std::string& name)
+  // the dependency order, so they arrive through this callback. The
+  // snapshot is captured by value (shared_ptr): a concurrent invalidation
+  // cannot destroy it mid-analysis.
+  opts.edge_stats = [this, stats](const std::string& name)
       -> std::optional<graql::EdgeDegreeInfo> {
     auto id = ctx_.graph.find_edge_type(name);
-    if (!id.is_ok() || id.value() >= stats.edge_stats.size()) {
+    if (!id.is_ok() || id.value() >= stats->edge_stats.size()) {
       return std::nullopt;
     }
-    const plan::EdgeTypeStats& es = stats.edge_stats[id.value()];
+    const plan::EdgeTypeStats& es = stats->edge_stats[id.value()];
     graql::EdgeDegreeInfo info;
     info.num_edges = es.num_edges;
     info.avg_out = es.degrees.avg_out;
@@ -246,11 +262,14 @@ Result<std::string> Database::explain_ir(std::span<const std::uint8_t> ir,
 
 Result<std::string> Database::explain_parsed(
     const Script& script, const relational::ParamMap& params) {
-  MetaCatalog meta = meta_catalog();
+  // Planning reads the graph, statistics and subgraph catalog but mutates
+  // nothing: run under shared access, concurrently with other readers.
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  MetaCatalog meta = meta_catalog_unlocked();
   GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
 
   std::ostringstream out;
-  const plan::GraphStats& stats = cached_stats();
+  const std::shared_ptr<const plan::GraphStats> stats = cached_stats();
   exec::SubgraphResolver resolver =
       [this](const std::string& name) -> Result<exec::SubgraphPtr> {
     auto it = ctx_.subgraphs.find(name);
@@ -278,7 +297,7 @@ Result<std::string> Database::explain_parsed(
       if (lowered.networks.size() > 1) out << "   or-branch " << n << ":\n";
       for (std::size_t v = 0; v < net.num_vars(); ++v) {
         const double card = plan::estimate_cardinality(
-            net, ctx_.graph, pool_, stats, static_cast<int>(v));
+            net, ctx_.graph, pool_, *stats, static_cast<int>(v));
         out << "   var " << v << " (" << net.vars[v].display
             << "): est. " << static_cast<std::size_t>(card)
             << " candidates\n";
@@ -286,7 +305,7 @@ Result<std::string> Database::explain_parsed(
       const plan::PathPlan path_plan = options_.enable_planner
                                            ? plan::plan_network(
                                                  net, ctx_.graph, pool_,
-                                                 stats)
+                                                 *stats)
                                            : plan::lexical_plan(net);
       out << "   pivot: var " << path_plan.root_var << " ("
           << net.vars[path_plan.root_var].display << "), order:";
@@ -326,9 +345,16 @@ Result<std::vector<StatementResult>> Database::run_ir(
 
 Result<std::vector<StatementResult>> Database::run_parsed(
     Script script, const relational::ParamMap& params) {
-  // Serialize whole scripts against each other and against checkpoints
-  // (the background checkpoint thread snapshots under the same mutex).
-  std::lock_guard<std::mutex> lock(exec_mutex_);
+  // Classify before locking: the schedule (and its barrier analysis) only
+  // depends on the script text, not on database state.
+  const plan::Schedule schedule = plan::build_schedule(script);
+  if (plan::script_is_read_only(script)) {
+    return run_parsed_shared(script, schedule, params);
+  }
+
+  // Mutating script: sole holder — waits out all concurrent readers and
+  // excludes everyone (including checkpoints) while it applies.
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
 
   // Fail-stop: a broken store (failed open, or a WAL append that diverged
   // the log from memory) refuses all further scripts.
@@ -337,17 +363,61 @@ Result<std::vector<StatementResult>> Database::run_parsed(
   // Front-end: static analysis against the metadata catalog (Sec. III-A).
   // Params are known here, so their types participate.
   if (!options_.skip_static_analysis) {
-    MetaCatalog meta = meta_catalog();
+    MetaCatalog meta = meta_catalog_unlocked();
     GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
   }
 
-  // Backend: dependence scheduling (Sec. III-B1) + execution.
-  ctx_.params = params;
-  const plan::Schedule schedule = plan::build_schedule(script);
+  // Backend: dependence scheduling (Sec. III-B1) + execution. Skip the
+  // ParamMap copy when both maps are empty (the common no-params case);
+  // when the previous script bound params, assignment also clears them.
+  if (!params.empty() || !ctx_.params.empty()) ctx_.params = params;
   return plan::run_scheduled(script, schedule, ctx_,
                              options_.parallel_statements
                                  ? statement_pool_.get()
                                  : nullptr);
+}
+
+Result<std::vector<StatementResult>> Database::run_parsed_shared(
+    const Script& script, const plan::Schedule& schedule,
+    const relational::ParamMap& params) {
+  AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  GEMS_RETURN_IF_ERROR(store_status_);
+
+  if (!options_.skip_static_analysis) {
+    MetaCatalog meta = meta_catalog_unlocked();
+    GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
+  }
+
+  // Execute against the immutable shared state. Params stay script-local
+  // (never written into ctx_), and `into` results land in the overlay.
+  exec::CatalogOverlay overlay;
+  const std::uint64_t version_at_read = ctx_.graph_version;
+  GEMS_ASSIGN_OR_RETURN(
+      std::vector<StatementResult> results,
+      plan::run_scheduled_shared(script, schedule, ctx_, params, overlay,
+                                 options_.parallel_statements
+                                     ? statement_pool_.get()
+                                     : nullptr));
+  if (overlay.empty()) return results;
+
+  // Publish the script's `into` results under brief exclusive access so no
+  // concurrent reader observes a half-committed catalog. std::shared_mutex
+  // has no shared->exclusive upgrade: release first (holding shared while
+  // requesting exclusive would deadlock against the writer queue).
+  lock.release();
+  const AccessGuard::Lock commit = access_.acquire(AccessMode::kExclusive);
+  if (!overlay.subgraphs.empty() && ctx_.graph_version != version_at_read) {
+    // A mutating script slipped in between release and re-acquire and
+    // rebuilt the graph: the staged subgraphs reference the *old* instance
+    // numbering and must not be published. (Tables are self-contained
+    // column data and would still be valid, but publishing half a script's
+    // results is worse than asking for a retry.)
+    return unavailable(
+        "concurrent ingest/DDL invalidated this script's subgraph "
+        "results; re-run the script");
+  }
+  exec::commit_overlay(overlay, ctx_);
+  return results;
 }
 
 Result<StatementResult> Database::run_statement(
@@ -360,6 +430,7 @@ Result<StatementResult> Database::run_statement(
 }
 
 Result<exec::SubgraphPtr> Database::subgraph(const std::string& name) const {
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
   auto it = ctx_.subgraphs.find(name);
   if (it == ctx_.subgraphs.end()) {
     return not_found("no subgraph named '" + name + "'");
@@ -368,6 +439,11 @@ Result<exec::SubgraphPtr> Database::subgraph(const std::string& name) const {
 }
 
 std::vector<CatalogEntry> Database::catalog() const {
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  return catalog_unlocked();
+}
+
+std::vector<CatalogEntry> Database::catalog_unlocked() const {
   std::vector<CatalogEntry> entries;
   for (const auto& name : ctx_.tables.names()) {
     auto table = ctx_.tables.find(name);
@@ -394,6 +470,7 @@ std::vector<CatalogEntry> Database::catalog() const {
 }
 
 std::string Database::catalog_summary() const {
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
   std::ostringstream out;
   auto kind_name = [](CatalogEntry::Kind k) {
     switch (k) {
@@ -408,7 +485,7 @@ std::string Database::catalog_summary() const {
     }
     return "?";
   };
-  for (const auto& e : catalog()) {
+  for (const auto& e : catalog_unlocked()) {
     out << kind_name(e.kind) << "  " << e.name << "  " << e.instances
         << " instances";
     if (e.byte_size > 0) out << ", " << e.byte_size << " bytes";

@@ -24,6 +24,7 @@
 #include "graql/analyzer.hpp"
 #include "plan/schedule.hpp"
 #include "plan/stats.hpp"
+#include "server/access.hpp"
 #include "store/store.hpp"
 
 namespace gems::server {
@@ -55,9 +56,8 @@ struct DatabaseOptions {
   /// fsync the WAL on every logged mutation (see StoreOptions::wal_fsync).
   bool wal_fsync = true;
   /// Background checkpoint period in milliseconds (0 = only explicit
-  /// checkpoint() calls). The background thread serializes against the
-  /// statement path on the same mutex, so a checkpoint never observes a
-  /// half-applied script.
+  /// checkpoint() calls). The background thread takes exclusive access,
+  /// so a checkpoint never observes a half-applied script.
   std::uint64_t checkpoint_interval_ms = 0;
 };
 
@@ -149,8 +149,12 @@ class Database {
   graql::MetaCatalog meta_catalog() const;
 
   /// Graph statistics (Sec. III-B), cached until DDL/ingest changes the
-  /// instance sets.
-  const plan::GraphStats& cached_stats();
+  /// instance sets. Returns a shared_ptr so a concurrent invalidation
+  /// (DDL/ingest re-collects) cannot destroy the object under a reader —
+  /// callers keep the snapshot they were handed. Precondition: the caller
+  /// holds the access guard (shared is enough; statistics only read the
+  /// graph).
+  std::shared_ptr<const plan::GraphStats> cached_stats();
 
   // ---- Durability (gems::store) ---------------------------------------
   /// True when the database runs over a persistent store.
@@ -178,11 +182,27 @@ class Database {
   /// Human-readable `\matchstats` rendering.
   std::string match_stats() const;
 
+  // ---- Access-layer observability --------------------------------------
+  /// Shared/exclusive acquisition, wait and hold counters since open.
+  AccessMetricsSnapshot access_metrics() const { return access_.snapshot(); }
+
+  /// Human-readable `\accessstats` rendering.
+  std::string access_stats() const { return access_.snapshot().to_string(); }
+
  private:
   /// Shared back half of run_script / run_ir: analyze (unless skipped),
-  /// schedule and execute an already-parsed script.
+  /// schedule and execute an already-parsed script. Classifies the script
+  /// (plan::script_is_read_only) and routes it to the shared or exclusive
+  /// access path.
   Result<std::vector<exec::StatementResult>> run_parsed(
       graql::Script script, const relational::ParamMap& params);
+
+  /// Shared-access execution of a read-only script: concurrent with other
+  /// readers; `into` results are staged in a script-local overlay and
+  /// published under brief exclusive access at the end.
+  Result<std::vector<exec::StatementResult>> run_parsed_shared(
+      const graql::Script& script, const plan::Schedule& schedule,
+      const relational::ParamMap& params);
 
   /// Shared body of explain / explain_ir over a parsed+analyzed script.
   Result<std::string> explain_parsed(const graql::Script& script,
@@ -194,6 +214,12 @@ class Database {
                     graql::DiagnosticEngine& diags,
                     const relational::ParamMap* params);
 
+  /// Lock-free bodies of meta_catalog() / catalog() for callers that
+  /// already hold the access guard (re-locking shared on the same thread
+  /// is undefined for std::shared_mutex).
+  graql::MetaCatalog meta_catalog_unlocked() const;
+  std::vector<CatalogEntry> catalog_unlocked() const;
+
   DatabaseOptions options_;
   StringPool pool_;
   exec::ExecContext ctx_;
@@ -201,12 +227,15 @@ class Database {
   std::unique_ptr<ThreadPool> intra_pool_;      // for parallel scans
 
   std::mutex stats_mutex_;
-  std::unique_ptr<plan::GraphStats> stats_;
+  std::shared_ptr<const plan::GraphStats> stats_;
   std::uint64_t stats_version_ = ~0ull;
 
-  /// Serializes script execution (mutations) against checkpoints, so the
-  /// background checkpoint thread always snapshots a statement boundary.
-  std::mutex exec_mutex_;
+  /// The readers-writer access layer (see access.hpp): read-only scripts
+  /// hold it shared and run concurrently; mutating scripts, overlay
+  /// commits and checkpoints hold it exclusively, so the checkpoint thread
+  /// still always snapshots a statement boundary. Outermost in the lock
+  /// order; `mutable` so const introspection can take shared access.
+  mutable AccessGuard access_;
   std::unique_ptr<store::Store> store_;
   Status store_status_;
   std::mutex wal_mutex_;  // serializes WAL appends from parallel statements

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <thread>
 #include <vector>
@@ -533,6 +535,154 @@ TEST(NetTest, ClientReconnectsAfterServerRestart) {
   ASSERT_TRUE(client.connect().is_ok());
   EXPECT_TRUE(client.run_script("select id from table Products").is_ok());
   second.stop();
+}
+
+// ---- Concurrent read execution (shared/exclusive access layer) ------------
+
+TEST(NetConcurrencyTest, EightReadersByteIdenticalAcrossWorkers) {
+  // With the access layer, workers genuinely overlap read-only scripts;
+  // every client must still see exactly the serial result bytes.
+  ServerOptions options;
+  options.num_workers = 4;
+  Server server(shared_db(), options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  const std::vector<std::string> scripts = {
+      "select ProductVtx.id from graph ProductVtx() --producer--> "
+      "ProducerVtx(country = 'US') into table NetRo\n"
+      "select count(*) as n from table NetRo",
+      "select id, price from table Offers where price > 500.0 order by id",
+      "select count(*) as n from table Reviews",
+  };
+  std::vector<std::string> baseline;
+  {
+    Client client = make_client(server.port());
+    ASSERT_TRUE(client.connect().is_ok());
+    for (const auto& s : scripts) {
+      auto r = client.run_script(s);
+      ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+      baseline.push_back(render_results(r.value()));
+    }
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 4;
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      Client client = make_client(server.port());
+      if (!client.connect().is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t s = 0; s < scripts.size(); ++s) {
+          auto r = client.run_script(scripts[s]);
+          if (!r.is_ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          if (render_results(r.value()) != baseline[s]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The access counters travel the wire at the tail of the stats payload.
+  Client client = make_client(server.port());
+  ASSERT_TRUE(client.connect().is_ok());
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_GE(stats->access.shared_acquired,
+            static_cast<std::uint64_t>(kClients * kRounds * scripts.size()));
+  EXPECT_GE(stats->access.exclusive_acquired, 1u);  // overlay publishes
+  EXPECT_GE(stats->access.peak_concurrent_shared, 1u);
+  server.stop();
+}
+
+TEST(NetConcurrencyTest, ReadersInterleavedWithIngestAndCheckpoint) {
+  // A durable database behind the wire: 8 reader clients loop while one
+  // writer client ingests batches and the owner takes checkpoints. Reads
+  // must only ever observe whole-batch states.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      ::testing::TempDir() + "gems_net_access_store";
+  fs::remove_all(dir);  // stale store from an aborted run
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir + "/more_producers.csv");
+    for (int i = 0; i < 50; ++i) {
+      f << "nx" << i << ",Producer,P" << i << ",c,hp,US,gen,2008-01-01\n";
+    }
+  }
+  server::DatabaseOptions db_options;
+  db_options.data_dir = dir;
+  db_options.store_dir = dir + "/store";
+  db_options.wal_fsync = false;
+  server::Database db(db_options);
+  ASSERT_TRUE(db.store_status().is_ok()) << db.store_status().to_string();
+  ASSERT_TRUE(db.run_script(bsbm::full_ddl()).is_ok());
+  ASSERT_TRUE(bsbm::generate(db, bsbm::GeneratorConfig::derive(30, 9)).is_ok());
+  const auto base = static_cast<std::int64_t>((*db.table("Producers"))->num_rows());
+
+  ServerOptions options;
+  options.num_workers = 4;
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kReaders = 8;
+  constexpr int kBatches = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      Client client = make_client(server.port());
+      if (!client.connect().is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        auto r = client.run_script(
+            "select count(*) as n from table Producers");
+        if (!r.is_ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const std::int64_t n =
+            r->back().table->value_at(0, 0).as_int64();
+        if (n < base || (n - base) % 50 != 0) torn_reads.fetch_add(1);
+      }
+    });
+  }
+  {
+    Client writer = make_client(server.port());
+    ASSERT_TRUE(writer.connect().is_ok());
+    for (int b = 0; b < kBatches; ++b) {
+      auto r = writer.run_script("ingest table Producers more_producers.csv");
+      ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+      const Status s = db.checkpoint();
+      ASSERT_TRUE(s.is_ok()) << s.to_string();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  server.stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ((*db.table("Producers"))->num_rows(),
+            static_cast<std::size_t>(base) + 50 * kBatches);
+  fs::remove_all(dir);
 }
 
 }  // namespace
