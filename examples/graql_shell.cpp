@@ -6,12 +6,22 @@
 //   $ ./examples/graql_shell [--berlin N] [--data-dir DIR]
 //   $ ./examples/graql_shell --serve 7687 [--berlin N]     # wire server
 //   $ ./examples/graql_shell --connect host:7687           # wire client
+//   $ ./examples/graql_shell --cluster-coordinator 2 [--cluster-port P]
+//   $ ./examples/graql_shell --cluster-rank R --connect host:7688
 //
 // By default the shell runs the whole GEMS stack in-process. With
 // `--serve` it becomes the server end of the gems::net wire (and serves
 // until a client sends the shutdown verb or stdin closes); with
 // `--connect` it parses and compiles GraQL locally and ships the binary
 // IR to a remote server.
+//
+// Cluster modes (DESIGN.md §5h) make the paper's multi-node backend
+// literal: `--cluster-coordinator N` keeps the normal shell loop (and
+// composes with `--serve`) but routes distributable graph queries to N
+// rank worker processes over the BSP wire; `--cluster-rank R` turns the
+// process into rank R, using `--connect HOST:PORT` as the coordinator
+// address and `--data-dir DIR` (DIR/store) as its recoverable state
+// directory.
 //
 // `--data-dir DIR` makes the database durable (gems::store): DIR is the
 // base for relative ingest paths, and DIR/store holds the snapshot +
@@ -33,6 +43,7 @@
 //   \storestats       durability metrics: WAL latency, snapshot sizes
 //   \matchstats       matcher metrics: passes, traversals, parallel tasks
 //   \accessstats      shared/exclusive access counters (read concurrency)
+//   \clusterstats     per-rank BSP traffic counters (cluster attached)
 //   \shutdown         ask the remote server to shut down (remote mode)
 //   \quit
 #include <cstdio>
@@ -47,6 +58,8 @@
 
 #include "bsbm/generator.hpp"
 #include "bsbm/schema.hpp"
+#include "cluster/coordinator.hpp"
+#include "cluster/rank_worker.hpp"
 #include "graql/diag.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -118,6 +131,11 @@ class Backend {
   virtual gems::Result<std::string> access_stats() {
     return gems::unimplemented("\\accessstats needs a database");
   }
+  virtual gems::Result<std::string> cluster_stats() {
+    return gems::unimplemented(
+        "\\clusterstats needs an attached cluster (--cluster-coordinator) "
+        "or a remote server");
+  }
 };
 
 class LocalBackend : public Backend {
@@ -126,7 +144,16 @@ class LocalBackend : public Backend {
   gems::Result<std::vector<gems::exec::StatementResult>> run(
       const std::string& text,
       const gems::relational::ParamMap& params) override {
-    return db_.run_script(text, params);
+    auto results = db_.run_script(text, params);
+    // Same bounded retry the net client performs: kUnavailable is the
+    // typed "nothing executed, transient" status (a cluster rank died
+    // before the job ran, or a named subgraph was invalidated between
+    // statements) — one re-run usually finds the condition healed.
+    if (!results.is_ok() &&
+        results.status().code() == gems::StatusCode::kUnavailable) {
+      results = db_.run_script(text, params);
+    }
+    return results;
   }
   gems::Status check(const std::string& text,
                      const gems::relational::ParamMap& params) override {
@@ -154,6 +181,9 @@ class LocalBackend : public Backend {
   }
   gems::Result<std::string> access_stats() override {
     return db_.access_stats();
+  }
+  gems::Result<std::string> cluster_stats() override {
+    return db_.cluster_stats();
   }
 
  private:
@@ -222,6 +252,11 @@ class RemoteBackend : public Backend {
     if (!snapshot.is_ok()) return snapshot.status();
     return snapshot->access.to_string();
   }
+  gems::Result<std::string> cluster_stats() override {
+    auto snapshot = client_.stats();
+    if (!snapshot.is_ok()) return snapshot.status();
+    return snapshot->cluster.to_string();
+  }
 
  private:
   gems::net::Client& client_;
@@ -230,7 +265,10 @@ class RemoteBackend : public Backend {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--berlin N] [--threads N] [--data-dir DIR] "
-               "[--serve PORT | --connect HOST:PORT] < script.graql\n",
+               "[--serve PORT | --connect HOST:PORT]\n"
+               "          [--cluster-coordinator N [--cluster-port P]]\n"
+               "          [--cluster-rank R --connect HOST:PORT] "
+               "< script.graql\n",
                argv0);
   return 2;
 }
@@ -242,6 +280,9 @@ int main(int argc, char** argv) {
   std::size_t berlin_scale = 0;
   int serve_port = -1;
   std::string connect_target;
+  int cluster_ranks = 0;                // --cluster-coordinator N
+  std::uint16_t cluster_port = 7688;    // BSP listener (0 = ephemeral)
+  int cluster_rank = -1;                // --cluster-rank R
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--berlin") == 0 && i + 1 < argc) {
       berlin_scale = static_cast<std::size_t>(std::atoll(argv[++i]));
@@ -260,11 +301,55 @@ int main(int argc, char** argv) {
       if (serve_port < 0 || serve_port > 65535) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_target = argv[++i];
+    } else if (std::strcmp(argv[i], "--cluster-coordinator") == 0 &&
+               i + 1 < argc) {
+      cluster_ranks = std::atoi(argv[++i]);
+      if (cluster_ranks < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--cluster-port") == 0 && i + 1 < argc) {
+      const int p = std::atoi(argv[++i]);
+      if (p < 0 || p > 65535) return usage(argv[0]);
+      cluster_port = static_cast<std::uint16_t>(p);
+    } else if (std::strcmp(argv[i], "--cluster-rank") == 0 && i + 1 < argc) {
+      cluster_rank = std::atoi(argv[++i]);
+      if (cluster_rank < 0) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
   }
-  if (serve_port >= 0 && !connect_target.empty()) return usage(argv[0]);
+  if (cluster_rank < 0 && serve_port >= 0 && !connect_target.empty()) {
+    return usage(argv[0]);
+  }
+  if (cluster_ranks > 0 && (cluster_rank >= 0 || !connect_target.empty())) {
+    return usage(argv[0]);
+  }
+
+  // ---- Rank worker mode: serve BSP jobs until shutdown -----------------
+  if (cluster_rank >= 0) {
+    if (connect_target.empty()) {
+      std::fprintf(stderr,
+                   "--cluster-rank needs --connect HOST:PORT (the "
+                   "coordinator address)\n");
+      return 2;
+    }
+    const std::size_t colon = connect_target.rfind(':');
+    if (colon == std::string::npos) return usage(argv[0]);
+    gems::cluster::RankWorkerOptions wopt;
+    wopt.coordinator_host = connect_target.substr(0, colon);
+    wopt.coordinator_port = static_cast<std::uint16_t>(
+        std::atoi(connect_target.c_str() + colon + 1));
+    wopt.rank = static_cast<std::uint32_t>(cluster_rank);
+    wopt.store_dir = options.store_dir;  // "" when no --data-dir: no recovery
+    wopt.intra_node_threads = options.intra_node_threads;
+    wopt.worker_name = "graql_shell-rank" + std::to_string(cluster_rank);
+    gems::cluster::RankWorker worker(wopt);
+    const gems::Status s = worker.run();
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "rank %d: %s\n", cluster_rank,
+                   s.to_string().c_str());
+      return 1;
+    }
+    return 0;
+  }
 
   // ---- Remote mode: the shell is a pure front-end ----------------------
   std::unique_ptr<gems::net::Client> client;
@@ -320,6 +405,32 @@ int main(int argc, char** argv) {
                   gen->total_rows());
     }
     backend = std::make_unique<LocalBackend>(*db);
+  }
+
+  // ---- Cluster coordinator: recruit ranks, then route graph queries ---
+  std::unique_ptr<gems::cluster::Coordinator> coordinator;
+  if (cluster_ranks > 0) {
+    gems::cluster::CoordinatorOptions copt;
+    copt.num_ranks = static_cast<std::size_t>(cluster_ranks);
+    copt.port = cluster_port;
+    coordinator = std::make_unique<gems::cluster::Coordinator>(*db, copt);
+    gems::Status s = coordinator->start();
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "cluster coordinator on port %u, waiting for %d "
+                 "rank(s)...\n",
+                 coordinator->port(), cluster_ranks);
+    s = coordinator->wait_for_ranks();
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    coordinator->attach();
+    std::fprintf(stderr, "cluster attached: %d rank(s) connected and "
+                 "synced\n",
+                 cluster_ranks);
   }
 
   // ---- Serve mode: expose the database on the wire and block ----------
@@ -481,6 +592,11 @@ int main(int argc, char** argv) {
                               : (stats.status().to_string() + "\n").c_str());
       } else if (word == "accessstats") {
         auto stats = backend->access_stats();
+        std::printf("%s", stats.is_ok()
+                              ? stats.value().c_str()
+                              : (stats.status().to_string() + "\n").c_str());
+      } else if (word == "clusterstats") {
+        auto stats = backend->cluster_stats();
         std::printf("%s", stats.is_ok()
                               ? stats.value().c_str()
                               : (stats.status().to_string() + "\n").c_str());

@@ -1,0 +1,112 @@
+#include "cluster/channel.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace gems::cluster {
+
+namespace {
+
+class StallTimer {
+ public:
+  explicit StallTimer(std::uint64_t& counter) : counter_(counter) {}
+  ~StallTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    counter_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  std::uint64_t& counter_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace
+
+void RankChannel::send(int to, int tag,
+                       std::span<const std::uint8_t> payload) {
+  if (to == rank_) {
+    // Delivered locally, not counted as network traffic — same contract
+    // as SimCluster::deliver.
+    dist::Message m;
+    m.from = rank_;
+    m.tag = tag;
+    m.payload.assign(payload.begin(), payload.end());
+    mailbox_.push_back(std::move(m));
+    return;
+  }
+  BspFrame frame;
+  frame.kind = BspKind::kData;
+  frame.from = static_cast<std::uint32_t>(rank_);
+  frame.dest = static_cast<std::uint32_t>(to);
+  frame.tag = tag;
+  frame.payload.assign(payload.begin(), payload.end());
+  const Status sent = send_bsp_frame(socket_, frame);
+  GEMS_CHECK_MSG(sent.is_ok(),
+                 ("rank channel send failed: " + sent.to_string()).c_str());
+  metrics_.messages += 1;
+  metrics_.payload_bytes += payload.size();
+  metrics_.wire_bytes += frame.wire_size();
+}
+
+dist::Message RankChannel::recv() {
+  for (;;) {
+    if (!mailbox_.empty()) {
+      dist::Message m = std::move(mailbox_.front());
+      mailbox_.pop_front();
+      return m;
+    }
+    BspFrame frame = read_frame();
+    GEMS_CHECK_MSG(frame.kind == BspKind::kData,
+                   ("rank channel expected a data frame, got " +
+                    std::string(bsp_kind_name(frame.kind)))
+                       .c_str());
+    dist::Message m;
+    m.from = static_cast<int>(frame.from);
+    m.tag = frame.tag;
+    m.payload = std::move(frame.payload);
+    return m;
+  }
+}
+
+void RankChannel::barrier() {
+  BspFrame arrive;
+  arrive.kind = BspKind::kBarrier;
+  arrive.from = static_cast<std::uint32_t>(rank_);
+  const Status sent = send_bsp_frame(socket_, arrive);
+  GEMS_CHECK_MSG(
+      sent.is_ok(),
+      ("rank channel barrier failed: " + sent.to_string()).c_str());
+  metrics_.wire_bytes += arrive.wire_size();
+  // Data frames can overtake the release: a released peer may start its
+  // next exchange while we still wait. Queue them for the next recv().
+  for (;;) {
+    BspFrame frame = read_frame();
+    if (frame.kind == BspKind::kBarrierRelease) break;
+    GEMS_CHECK_MSG(frame.kind == BspKind::kData,
+                   ("rank channel expected data/release in barrier, got " +
+                    std::string(bsp_kind_name(frame.kind)))
+                       .c_str());
+    dist::Message m;
+    m.from = static_cast<int>(frame.from);
+    m.tag = frame.tag;
+    m.payload = std::move(frame.payload);
+    mailbox_.push_back(std::move(m));
+  }
+  metrics_.barriers += 1;
+}
+
+BspFrame RankChannel::read_frame() {
+  StallTimer stall(metrics_.stall_us);
+  Result<BspFrame> frame = recv_bsp_frame(socket_, max_frame_bytes_);
+  GEMS_CHECK_MSG(frame.is_ok(), ("rank channel lost the coordinator: " +
+                                 frame.status().to_string())
+                                    .c_str());
+  return std::move(frame).value();
+}
+
+}  // namespace gems::cluster

@@ -1,0 +1,70 @@
+// The rank-side BSP transport: a dist::Comm implementation over one TCP
+// connection to the coordinator (star topology — the coordinator routes
+// rank-to-rank kData frames and implements the barrier as collect-all /
+// broadcast-release). The distributed matcher body runs over this exactly
+// as it runs over the SimCluster; the application send stream is
+// byte-identical by construction (self-sends stay local and uncounted,
+// the collective pattern lives in dist::Comm::allreduce_sum).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "cluster/bsp_wire.hpp"
+#include "dist/runtime.hpp"
+#include "net/socket.hpp"
+
+namespace gems::cluster {
+
+/// Per-channel communication counters, reset per job.
+struct ChannelMetrics {
+  std::uint64_t messages = 0;       // app messages sent (excl. self-sends)
+  std::uint64_t payload_bytes = 0;  // app payload bytes (sim-comparable)
+  std::uint64_t wire_bytes = 0;     // frame bytes sent incl. headers
+  std::uint64_t stall_us = 0;       // blocked in socket reads
+  std::uint64_t barriers = 0;
+};
+
+/// One rank's Comm for the duration of one job. Not thread-safe: the rank
+/// body is single-threaded over its channel (intra-rank parallelism stays
+/// below the Comm surface, as in the sim).
+///
+/// Transport failure mid-superstep is fail-stop for the rank process
+/// (GEMS_CHECK): the BSP protocol cannot make progress without the
+/// coordinator, and the coordinator owns recovery — it fails the job with
+/// a typed retryable kUnavailable and re-syncs the rank when it returns.
+class RankChannel : public dist::Comm {
+ public:
+  RankChannel(const net::Socket& socket, int rank, int size,
+              std::size_t max_frame_bytes = kDefaultMaxBspFrameBytes)
+      : socket_(socket),
+        rank_(rank),
+        size_(size),
+        max_frame_bytes_(max_frame_bytes) {}
+
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return size_; }
+
+  void send(int to, int tag, std::span<const std::uint8_t> payload) override;
+  dist::Message recv() override;
+  void barrier() override;
+
+  const ChannelMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  /// Blocking framed read with stall accounting; fail-stop on transport
+  /// or protocol errors.
+  BspFrame read_frame();
+
+  const net::Socket& socket_;
+  int rank_;
+  int size_;
+  std::size_t max_frame_bytes_;
+  /// Local mailbox: self-sends, and kData frames that arrive while this
+  /// rank is blocked inside barrier() (a peer can race ahead into its
+  /// next exchange before our release frame is delivered).
+  std::deque<dist::Message> mailbox_;
+  ChannelMetrics metrics_;
+};
+
+}  // namespace gems::cluster

@@ -1,0 +1,589 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "cluster/bsp_wire.hpp"
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
+#include "dist/dist_matcher.hpp"
+#include "graql/ir.hpp"
+#include "net/wire.hpp"
+#include "store/snapshot.hpp"
+
+namespace gems::cluster {
+
+namespace {
+
+/// True when any vertex step of the query seeds from a previous result
+/// (Fig. 12). Seeded queries stay on the front-end: the seed may live in
+/// a script-local overlay that rank replicas never see.
+bool element_has_seed(const graql::PathElement& el);
+
+bool group_has_seed(const graql::PathGroup& g) {
+  return std::any_of(g.body.begin(), g.body.end(), element_has_seed);
+}
+
+bool element_has_seed(const graql::PathElement& el) {
+  if (const auto* v = std::get_if<graql::VertexStep>(&el)) {
+    return !v->seed_result.empty();
+  }
+  if (const auto* g = std::get_if<graql::PathGroup>(&el)) {
+    return group_has_seed(*g);
+  }
+  return false;
+}
+
+bool query_has_seed(const graql::GraphQueryStmt& stmt) {
+  for (const auto& group : stmt.or_groups) {
+    for (const auto& path : group) {
+      if (std::any_of(path.elements.begin(), path.elements.end(),
+                      element_has_seed)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(server::Database& db, CoordinatorOptions options)
+    : db_(db), options_(std::move(options)) {
+  GEMS_CHECK(options_.num_ranks >= 1);
+  conns_.reserve(options_.num_ranks);
+  for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+    conns_.push_back(std::make_unique<RankConn>());
+  }
+  totals_.num_ranks = static_cast<std::uint32_t>(options_.num_ranks);
+  totals_.ranks.resize(options_.num_ranks);
+}
+
+Coordinator::~Coordinator() { shutdown(); }
+
+Status Coordinator::start() {
+  GEMS_ASSIGN_OR_RETURN(
+      listener_, net::tcp_listen(options_.bind_address, options_.port));
+  GEMS_ASSIGN_OR_RETURN(port_, net::local_port(listener_));
+
+  // Prime the state image so admission can compare rank CRCs at once.
+  std::uint64_t version = 0;
+  std::vector<std::uint8_t> image = db_.snapshot_bytes(&version);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_crc_ = crc32(image);
+    state_bytes_ = std::move(image);
+    state_version_ = version;
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+Status Coordinator::wait_for_ranks() {
+  std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+  for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+    GEMS_RETURN_IF_ERROR(ensure_rank_synced(static_cast<std::uint32_t>(r)));
+  }
+  return Status::ok();
+}
+
+void Coordinator::attach() {
+  db_.context().dist_matcher =
+      [this](const graql::GraphQueryStmt& stmt, std::size_t network_index,
+             const exec::ConstraintNetwork& net,
+             const relational::ParamMap& params)
+      -> Result<exec::MatchResult> {
+    Result<exec::MatchResult> result =
+        match_distributed(stmt, network_index, net, params);
+    if (!result.is_ok() &&
+        result.status().code() == StatusCode::kUnimplemented) {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++totals_.fallbacks;
+    }
+    return result;
+  };
+  db_.set_cluster_metrics_provider([this] { return metrics(); });
+  attached_ = true;
+}
+
+Result<exec::MatchResult> Coordinator::match_distributed(
+    const graql::GraphQueryStmt& stmt, std::size_t network_index,
+    const exec::ConstraintNetwork& net, const relational::ParamMap& params) {
+  // ---- Eligibility: what the BSP fixpoint does not cover runs locally.
+  GEMS_RETURN_IF_ERROR(dist::distributable(net));
+  if (stmt.into == graql::IntoKind::kSubgraph && !net.groups.empty()) {
+    return unimplemented(
+        "group interiors for subgraph output are derived on the "
+        "front-end; running this network locally");
+  }
+  if (query_has_seed(stmt)) {
+    return unimplemented(
+        "result-seeded queries resolve against the front-end catalog; "
+        "running this network locally");
+  }
+
+  // One collective job at a time on the wire.
+  std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+
+  // The hook runs inside statement execution, so the caller already holds
+  // database access — reading the context here is safe.
+  refresh_state(db_.context());
+
+  for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+    GEMS_RETURN_IF_ERROR(ensure_rank_synced(static_cast<std::uint32_t>(r)));
+  }
+
+  // A fresh job starts with clean collective state: any queued control
+  // events are leftovers of a failed predecessor, and a dead rank cannot
+  // be stuck in a barrier (jobs are serialized).
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_arrivals_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_.clear();
+  }
+
+  const std::uint64_t job_id = next_job_id_++;
+  JobPayload job;
+  job.job_id = job_id;
+  job.num_ranks = static_cast<std::uint32_t>(options_.num_ranks);
+  job.network_index = static_cast<std::uint32_t>(network_index);
+  job.record_transcript = options_.record_transcripts;
+  {
+    // Rank replicas re-lower the statement deterministically, so the job
+    // ships source IR, not lowered networks.
+    graql::Script script;
+    script.statements.emplace_back(stmt);
+    job.ir = graql::encode_script(script);
+  }
+  job.params = graql::encode_params(params);
+
+  const std::vector<std::uint8_t> job_bytes = encode_job(job);
+  for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+    BspFrame frame;
+    frame.kind = BspKind::kJob;
+    frame.dest = static_cast<std::uint32_t>(r);
+    frame.payload = job_bytes;
+    enqueue(static_cast<std::uint32_t>(r), std::move(frame));
+  }
+
+  // ---- Collect one kJobDone per rank ----------------------------------
+  std::vector<std::optional<JobDonePayload>> done(options_.num_ranks);
+  std::size_t remaining = options_.num_ranks;
+  Status failure = Status::ok();
+  while (remaining > 0) {
+    Result<BspFrame> ev = await_control(options_.rank_wait_timeout_ms);
+    if (!ev.is_ok()) {
+      failure = ev.status();
+      break;
+    }
+    BspFrame frame = std::move(ev).value();
+    if (frame.kind == BspKind::kError) {
+      failure = decode_error(frame.payload);
+      break;
+    }
+    Result<JobDonePayload> decoded = decode_job_done(frame.payload);
+    if (!decoded.is_ok()) {
+      failure = decoded.status();
+      break;
+    }
+    JobDonePayload report = std::move(decoded).value();
+    if (report.job_id != job_id) continue;  // stale, from a failed job
+    const std::uint32_t r = frame.from;
+    if (r >= options_.num_ranks || done[r].has_value()) {
+      failure = parse_error("cluster job report from unexpected rank " +
+                            std::to_string(r));
+      break;
+    }
+    done[r] = std::move(report);
+    --remaining;
+  }
+
+  if (!failure.is_ok()) {
+    // Abort the collective: survivors between jobs ignore the kError;
+    // a rank blocked mid-superstep fail-stops and is restarted by its
+    // supervisor with its store-recovered state (see DESIGN §5h).
+    BspFrame abort_frame;
+    abort_frame.kind = BspKind::kError;
+    abort_frame.payload = encode_error(failure);
+    for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+      enqueue(static_cast<std::uint32_t>(r), BspFrame(abort_frame));
+    }
+    if (failure.code() == StatusCode::kUnavailable ||
+        failure.code() == StatusCode::kDeadlineExceeded) {
+      return unavailable("cluster rank became unavailable during the "
+                         "distributed match; re-run the script (" +
+                         failure.to_string() + ")");
+    }
+    return failure;
+  }
+
+  // ---- Merge: rank 0 carries the gathered domains ----------------------
+  GEMS_ASSIGN_OR_RETURN(std::vector<exec::Domain> domains,
+                        dist::decode_domains(done[0]->domains));
+  exec::MatchResult result;
+  result.domains = std::move(domains);
+  result.matched_edges = exec::matched_edge_sets(
+      net, db_.graph(), db_.pool(), result.domains, /*stats=*/nullptr,
+      db_.context().intra_pool);
+
+  // ---- Account ---------------------------------------------------------
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++totals_.jobs;
+    if (options_.record_transcripts) {
+      last_transcripts_.assign(options_.num_ranks, {});
+    }
+    for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+      server::ClusterRankMetrics& m = totals_.ranks[r];
+      const JobDonePayload& report = *done[r];
+      ++m.jobs;
+      m.messages += report.messages;
+      m.payload_bytes += report.payload_bytes;
+      m.wire_bytes += report.wire_bytes;
+      m.supersteps += report.supersteps;
+      m.stall_us += report.stall_us;
+      if (options_.record_transcripts) {
+        last_transcripts_[r] = std::move(done[r]->transcript);
+      }
+    }
+  }
+  return result;
+}
+
+server::ClusterMetricsSnapshot Coordinator::metrics() const {
+  server::ClusterMetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    snap = totals_;
+  }
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  for (std::size_t r = 0; r < conns_.size(); ++r) {
+    snap.ranks[r].connected = conns_[r]->connected;
+  }
+  return snap;
+}
+
+std::vector<std::vector<std::uint8_t>> Coordinator::last_transcripts()
+    const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return last_transcripts_;
+}
+
+std::uint64_t Coordinator::sync_count() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return totals_.syncs;
+}
+
+void Coordinator::shutdown() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (attached_) {
+    db_.context().dist_matcher = nullptr;
+    db_.set_cluster_metrics_provider(nullptr);
+    attached_ = false;
+  }
+  // Ask every live rank to exit; the writer drains the outbox (so the
+  // kShutdown really goes out) before stopping.
+  for (std::size_t r = 0; r < conns_.size(); ++r) {
+    RankConn& conn = *conns_[r];
+    bool live = false;
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      live = conn.connected;
+    }
+    if (live) {
+      BspFrame frame;
+      frame.kind = BspKind::kShutdown;
+      frame.dest = static_cast<std::uint32_t>(r);
+      enqueue(static_cast<std::uint32_t>(r), std::move(frame));
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn.mutex);
+      conn.writer_stop = true;
+    }
+    conn.cv.notify_all();
+  }
+  for (auto& conn_ptr : conns_) {
+    RankConn& conn = *conn_ptr;
+    if (conn.writer.joinable()) conn.writer.join();
+    conn.socket.shutdown();  // unblocks the reader
+    if (conn.reader.joinable()) conn.reader.join();
+  }
+  if (started_) listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+// ---- Internals -------------------------------------------------------------
+
+void Coordinator::accept_loop() {
+  while (!stopping_.load()) {
+    Result<net::Socket> accepted = net::tcp_accept(listener_);
+    if (stopping_.load()) return;
+    if (!accepted.is_ok()) {
+      if (!listener_.valid()) return;
+      continue;
+    }
+    net::Socket sock = std::move(accepted).value();
+
+    // Admission: the first frame must be a hello naming a valid rank.
+    Result<BspFrame> first =
+        recv_bsp_frame(sock, options_.max_frame_bytes);
+    if (!first.is_ok() || first->kind != BspKind::kHello) {
+      GEMS_LOG(Warning) << "cluster: dropping connection without hello";
+      continue;
+    }
+    Result<HelloPayload> hello = decode_hello(first->payload);
+    if (!hello.is_ok() ||
+        hello->rank >= static_cast<std::uint32_t>(options_.num_ranks)) {
+      GEMS_LOG(Warning) << "cluster: dropping connection with bad hello";
+      continue;
+    }
+    const std::uint32_t r = hello->rank;
+    RankConn& conn = *conns_[r];
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      if (conn.connected) {
+        GEMS_LOG(Warning) << "cluster: duplicate rank " << r
+                          << " connection rejected";
+        continue;
+      }
+    }
+    // A previous session's threads may still be unwinding.
+    if (conn.reader.joinable()) conn.reader.join();
+    if (conn.writer.joinable()) conn.writer.join();
+
+    std::uint32_t current_crc = 0;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      current_crc = state_crc_;
+    }
+    WelcomePayload welcome;
+    welcome.num_ranks = static_cast<std::uint32_t>(options_.num_ranks);
+    welcome.sync_needed = hello->state_crc != current_crc;
+    BspFrame wf;
+    wf.kind = BspKind::kWelcome;
+    wf.dest = r;
+    wf.payload = encode_welcome(welcome);
+    if (!send_bsp_frame(sock, wf).is_ok()) continue;
+
+    conn.socket = std::move(sock);
+    {
+      std::lock_guard<std::mutex> lock(conn.mutex);
+      conn.outbox.clear();
+      conn.writer_stop = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      conn.connected = true;
+      conn.state_crc = hello->state_crc;
+    }
+    control_cv_.notify_all();
+    conn.reader = std::thread([this, r] { reader_loop(r); });
+    conn.writer = std::thread([this, r] { writer_loop(r); });
+    GEMS_LOG(Info) << "cluster: rank " << r << " connected ("
+                   << hello->worker_name << ", state "
+                   << (welcome.sync_needed ? "stale" : "current") << ")";
+  }
+}
+
+void Coordinator::reader_loop(std::uint32_t rank) {
+  RankConn& conn = *conns_[rank];
+  for (;;) {
+    Result<BspFrame> frame =
+        recv_bsp_frame(conn.socket, options_.max_frame_bytes);
+    if (!frame.is_ok()) {
+      disconnect(rank);
+      return;
+    }
+    switch (frame->kind) {
+      case BspKind::kData: {
+        const std::uint32_t dest = frame->dest;
+        if (dest >= static_cast<std::uint32_t>(options_.num_ranks)) {
+          GEMS_LOG(Warning) << "cluster: rank " << rank
+                            << " sent data to bogus rank " << dest;
+          break;
+        }
+        frame->from = rank;  // the star routes; the origin authenticates
+        enqueue(dest, std::move(frame).value());
+        break;
+      }
+      case BspKind::kBarrier: {
+        std::size_t arrivals = 0;
+        {
+          std::lock_guard<std::mutex> lock(barrier_mutex_);
+          arrivals = ++barrier_arrivals_;
+          if (arrivals == options_.num_ranks) barrier_arrivals_ = 0;
+        }
+        if (arrivals == options_.num_ranks) {
+          for (std::size_t r = 0; r < options_.num_ranks; ++r) {
+            BspFrame release;
+            release.kind = BspKind::kBarrierRelease;
+            release.dest = static_cast<std::uint32_t>(r);
+            enqueue(static_cast<std::uint32_t>(r), std::move(release));
+          }
+        }
+        break;
+      }
+      case BspKind::kSyncAck: {
+        net::WireReader r(frame->payload);
+        Result<std::uint32_t> crc = r.u32();
+        if (crc.is_ok()) {
+          std::lock_guard<std::mutex> lock(control_mutex_);
+          conn.state_crc = crc.value();
+        }
+        control_cv_.notify_all();
+        break;
+      }
+      case BspKind::kJobDone:
+      case BspKind::kError: {
+        frame->from = rank;
+        post_control(rank, std::move(frame).value());
+        break;
+      }
+      default:
+        GEMS_LOG(Warning) << "cluster: rank " << rank
+                          << " sent unexpected "
+                          << bsp_kind_name(frame->kind) << " frame";
+        disconnect(rank);
+        return;
+    }
+  }
+}
+
+void Coordinator::writer_loop(std::uint32_t rank) {
+  RankConn& conn = *conns_[rank];
+  for (;;) {
+    BspFrame frame;
+    {
+      std::unique_lock<std::mutex> lock(conn.mutex);
+      conn.cv.wait(lock, [&] {
+        return conn.writer_stop || !conn.outbox.empty();
+      });
+      if (conn.outbox.empty()) return;  // stopped and drained
+      frame = std::move(conn.outbox.front());
+      conn.outbox.pop_front();
+    }
+    if (!send_bsp_frame(conn.socket, frame).is_ok()) return;
+  }
+}
+
+void Coordinator::enqueue(std::uint32_t rank, BspFrame frame) {
+  RankConn& conn = *conns_[rank];
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    if (conn.writer_stop) return;
+    conn.outbox.push_back(std::move(frame));
+  }
+  conn.cv.notify_one();
+}
+
+void Coordinator::post_control(std::uint32_t rank,
+                               std::optional<BspFrame> frame) {
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_.push_back(ControlEvent{rank, std::move(frame)});
+  }
+  control_cv_.notify_all();
+}
+
+void Coordinator::disconnect(std::uint32_t rank) {
+  RankConn& conn = *conns_[rank];
+  conn.socket.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    conn.writer_stop = true;
+  }
+  conn.cv.notify_all();
+  bool was_connected = false;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    was_connected = conn.connected;
+    conn.connected = false;
+  }
+  if (was_connected) {
+    GEMS_LOG(Info) << "cluster: rank " << rank << " disconnected";
+    post_control(rank, std::nullopt);
+  }
+}
+
+void Coordinator::refresh_state(const exec::ExecContext& ctx) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (state_version_ == ctx.graph_version) return;
+  state_bytes_ = store::encode_snapshot(ctx, /*wal_seq=*/0);
+  state_crc_ = crc32(state_bytes_);
+  state_version_ = ctx.graph_version;
+}
+
+Status Coordinator::ensure_rank_synced(std::uint32_t rank) {
+  RankConn& conn = *conns_[rank];
+  const auto timeout =
+      std::chrono::milliseconds(options_.rank_wait_timeout_ms);
+  std::uint32_t want = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    want = state_crc_;
+  }
+  {
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    if (!control_cv_.wait_for(lock, timeout,
+                              [&] { return conn.connected; })) {
+      return unavailable("cluster rank " + std::to_string(rank) +
+                         " is not connected; re-run the script");
+    }
+    if (conn.state_crc == want) return Status::ok();
+  }
+
+  BspFrame sync;
+  sync.kind = BspKind::kSync;
+  sync.dest = rank;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync.payload = state_bytes_;
+  }
+  const std::size_t image_bytes = sync.payload.size();
+  enqueue(rank, std::move(sync));
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++totals_.syncs;
+    totals_.sync_bytes += image_bytes;
+  }
+
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  if (!control_cv_.wait_for(lock, timeout, [&] {
+        return !conn.connected || conn.state_crc == want;
+      })) {
+    return unavailable("cluster rank " + std::to_string(rank) +
+                       " state sync timed out; re-run the script");
+  }
+  if (!conn.connected) {
+    return unavailable("cluster rank " + std::to_string(rank) +
+                       " disconnected during state sync; re-run the "
+                       "script");
+  }
+  return Status::ok();
+}
+
+Result<BspFrame> Coordinator::await_control(std::uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  if (!control_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [&] { return !control_.empty(); })) {
+    return deadline_exceeded("timed out waiting for cluster ranks");
+  }
+  ControlEvent ev = std::move(control_.front());
+  control_.pop_front();
+  if (!ev.frame.has_value()) {
+    return unavailable("cluster rank " + std::to_string(ev.rank) +
+                       " disconnected");
+  }
+  return std::move(*ev.frame);
+}
+
+}  // namespace gems::cluster

@@ -1,0 +1,181 @@
+// The cluster coordinator: owns the catalog (a server::Database), accepts
+// rank worker connections, keeps their state images in sync, routes
+// rank-to-rank BSP traffic (star topology), dispatches distributed match
+// jobs and merges rank results — the front-end/backend split of the
+// paper's GEMS architecture (Sec. III) across real process boundaries.
+//
+// Threading model. One accept thread admits ranks; each connected rank
+// gets a reader thread (dispatches kData/kBarrier to routing state,
+// everything else to the control inbox) and a writer thread draining an
+// unbounded outbox queue. Routing through queues — never writing a peer's
+// socket from a reader — means a slow rank can never deadlock the star.
+// Jobs are serialized by a coordinator-level mutex: concurrent read
+// scripts may both reach the dist_matcher hook, but the BSP wire runs one
+// collective job at a time.
+//
+// Recovery contract. A rank greeting with the CRC of the coordinator's
+// current state image skips the sync (the restart fast path: it recovered
+// the identical image from its per-rank store directory). A rank dying
+// mid-job fails that job with a typed retryable kUnavailable; net::Client
+// and the shell auto-retry once, by which time the returned rank has been
+// re-admitted.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/bsp_wire.hpp"
+#include "common/status.hpp"
+#include "exec/matcher.hpp"
+#include "net/socket.hpp"
+#include "server/cluster_metrics.hpp"
+#include "server/database.hpp"
+
+namespace gems::cluster {
+
+struct CoordinatorOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral (tests); port() reports the bound port.
+  std::uint16_t port = 0;
+  std::size_t num_ranks = 2;
+  std::size_t max_frame_bytes = kDefaultMaxBspFrameBytes;
+  /// Ask ranks to record their send streams and keep the last job's
+  /// per-rank transcripts (the byte-identity oracle's wire side).
+  bool record_transcripts = false;
+  /// How long wait_for_ranks()/jobs wait for a rank before giving up.
+  std::uint32_t rank_wait_timeout_ms = 30000;
+};
+
+class Coordinator {
+ public:
+  Coordinator(server::Database& db, CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds the listener and starts the accept loop.
+  Status start();
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until every rank is connected and state-synced (or the rank
+  /// wait timeout elapses).
+  Status wait_for_ranks();
+
+  /// Installs the distributed-matcher hook and the cluster metrics
+  /// provider on the database. Call after start().
+  void attach();
+
+  /// Runs one distributed match over the connected ranks. kUnimplemented
+  /// when the network is not distributable (caller falls back to the
+  /// local matcher); kUnavailable when a rank is down (typed, retryable).
+  Result<exec::MatchResult> match_distributed(
+      const graql::GraphQueryStmt& stmt, std::size_t network_index,
+      const exec::ConstraintNetwork& net,
+      const relational::ParamMap& params);
+
+  server::ClusterMetricsSnapshot metrics() const;
+
+  /// Per-rank send streams of the last completed job (only populated when
+  /// options.record_transcripts is set).
+  std::vector<std::vector<std::uint8_t>> last_transcripts() const;
+
+  /// State images shipped since start (the recovery tests assert a
+  /// restarted rank does NOT bump this).
+  std::uint64_t sync_count() const;
+
+  /// Sends kShutdown to every connected rank and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+ private:
+  struct RankConn {
+    net::Socket socket;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mutex;  // guards outbox / writer_stop
+    std::condition_variable cv;
+    std::deque<BspFrame> outbox;
+    bool writer_stop = false;
+
+    // Guarded by the coordinator's control_mutex_ (waiters use
+    // control_cv_): admission, disconnect, and the state-sync handshake.
+    bool connected = false;
+    std::uint32_t state_crc = 0;  // last greeted/acked image CRC
+  };
+
+  /// A control frame (kJobDone / kSyncAck / kError) from a rank, or a
+  /// disconnect notice (frame absent).
+  struct ControlEvent {
+    std::uint32_t rank = 0;
+    std::optional<BspFrame> frame;  // nullopt = rank disconnected
+  };
+
+  void accept_loop();
+  void reader_loop(std::uint32_t rank);
+  void writer_loop(std::uint32_t rank);
+  void enqueue(std::uint32_t rank, BspFrame frame);
+  void post_control(std::uint32_t rank, std::optional<BspFrame> frame);
+  void disconnect(std::uint32_t rank);
+
+  /// Re-encodes the cached state image from `ctx` when the graph version
+  /// moved. Caller must already hold database access (the hook path) —
+  /// the encode only reads.
+  void refresh_state(const exec::ExecContext& ctx);
+
+  /// Ensures `rank` holds the current image: ships kSync and waits for
+  /// the ack when its CRC differs. Expects jobs_mutex_ held.
+  Status ensure_rank_synced(std::uint32_t rank);
+
+  /// Waits for the next control event (kJobDone/kError/disconnect).
+  Result<BspFrame> await_control(std::uint32_t timeout_ms);
+
+  server::Database& db_;
+  CoordinatorOptions options_;
+  net::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool attached_ = false;
+
+  std::vector<std::unique_ptr<RankConn>> conns_;
+
+  // Barrier state: release every rank's outbox once all arrive.
+  std::mutex barrier_mutex_;
+  std::size_t barrier_arrivals_ = 0;
+
+  // Control inbox: reader threads post, the job driver consumes.
+  mutable std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  std::deque<ControlEvent> control_;
+
+  // Cached state image (what every rank must hold before a job).
+  mutable std::mutex state_mutex_;
+  std::vector<std::uint8_t> state_bytes_;
+  std::uint32_t state_crc_ = 0;
+  std::uint64_t state_version_ = ~0ull;  // ctx.graph_version at encode
+
+  // One BSP job at a time.
+  std::mutex jobs_mutex_;
+  std::uint64_t next_job_id_ = 1;
+
+  // Metrics (guarded by metrics_mutex_).
+  mutable std::mutex metrics_mutex_;
+  server::ClusterMetricsSnapshot totals_;
+  std::vector<std::vector<std::uint8_t>> last_transcripts_;
+};
+
+}  // namespace gems::cluster

@@ -1,7 +1,6 @@
 #include "dist/dist_matcher.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
 
 #include "relational/eval.hpp"
@@ -45,15 +44,6 @@ bool edge_passes(const ConstraintNetwork& net, const GraphView& graph,
   return true;
 }
 
-/// Per-rank worker state for one fixpoint run.
-struct RankState {
-  std::vector<Domain> domains;  // owned portions only
-  std::vector<RowCursor> cursors;
-  // Private predicate scratch per worker shard of this rank's pool slice.
-  std::vector<std::vector<RowCursor>> shard_cursors;
-  std::uint64_t activations_sent = 0;
-};
-
 Domain empty_like(const GraphView& graph,
                   const std::vector<VertexTypeId>& types) {
   Domain d;
@@ -65,12 +55,7 @@ Domain empty_like(const GraphView& graph,
 
 }  // namespace
 
-Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
-                                              const GraphView& graph,
-                                              const StringPool& pool,
-                                              std::size_t num_ranks,
-                                              DistStats* stats,
-                                              ThreadPool* intra_pool) {
+Status distributable(const ConstraintNetwork& net) {
   if (!net.cross_preds.empty()) {
     return unimplemented(
         "distributed execution covers the fixpoint; cross-step predicates "
@@ -81,6 +66,478 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
       return invalid_argument("path repetition count exceeds 1024");
     }
   }
+  return Status::ok();
+}
+
+void run_match_rank(const ConstraintNetwork& net, const GraphView& graph,
+                    const StringPool& pool, const VertexPartition& partition,
+                    Comm& comm, RankMatchOutput& out, ThreadPool* intra_pool,
+                    std::size_t rank_shards) {
+  const int rank = comm.rank();
+  const int n = comm.size();
+  GEMS_DCHECK(intra_pool != nullptr || rank_shards <= 1);
+
+  std::vector<RowCursor> cursors(exec::kEdgeSourceBase + net.edges.size());
+  // Private predicate scratch per worker shard of this rank's pool slice.
+  std::vector<std::vector<RowCursor>> shard_cursors;
+  if (intra_pool != nullptr) {
+    shard_cursors.resize(rank_shards);
+    for (auto& sc : shard_cursors) {
+      sc.resize(exec::kEdgeSourceBase + net.edges.size());
+    }
+  }
+
+  // ---- Initialize owned domains ------------------------------------
+  out.domains.clear();
+  out.domains.reserve(net.num_vars());
+  for (std::size_t v = 0; v < net.num_vars(); ++v) {
+    Domain d = exec::initial_domain(net, graph, pool, static_cast<int>(v));
+    for (auto& [type, bits] : d.sets) {
+      bits &= partition.owned(rank, type);
+    }
+    out.domains.push_back(std::move(d));
+  }
+  comm.barrier();
+
+  // ---- Fixpoint over constraints ------------------------------------
+  bool global_changed = true;
+  while (global_changed) {
+    std::uint64_t local_changed = 0;
+
+    // ---- Distributed group-hop expansion (Fig. 10 closures) -------
+    // One BSP exchange per hop: expand owned vertices, send remote
+    // activations to their owners, merge, filter locally.
+    auto exchange_domain = [&](Domain support,
+                               std::vector<std::vector<std::uint8_t>>
+                                   outbox) {
+      for (int peer = 0; peer < n; ++peer) {
+        if (peer == rank) continue;
+        comm.send(peer, kTagActivations, outbox[peer]);
+      }
+      for (int i = 0; i < n - 1; ++i) {
+        Message m = comm.recv();
+        GEMS_CHECK(m.tag == kTagActivations);
+        std::size_t pos = 0;
+        while (pos < m.payload.size()) {
+          const VertexTypeId type =
+              static_cast<VertexTypeId>(get_u32(m.payload, pos));
+          const VertexIndex v = get_u32(m.payload, pos);
+          auto it = support.sets.find(type);
+          if (it != support.sets.end()) it->second.set(v);
+        }
+      }
+      comm.barrier();
+      return support;
+    };
+
+    auto hop_vertex_passes = [&](const exec::GroupHop& hop,
+                                 VertexTypeId t, VertexIndex v,
+                                 bool backward,
+                                 const exec::GroupHop* target_hop) {
+      const auto& conds =
+          backward ? (target_hop != nullptr ? target_hop->vertex_conds
+                                            : hop.vertex_conds)
+                   : hop.vertex_conds;
+      if (backward && target_hop == nullptr) return true;
+      if (conds.empty()) return true;
+      const graph::VertexType& vt = graph.vertex_type(t);
+      RowCursor cursor{&vt.source(), vt.representative_row(v)};
+      const std::span<const RowCursor> span(&cursor, 1);
+      for (const auto& cond : conds) {
+        if (!relational::eval_predicate(*cond, span, pool)) return false;
+      }
+      return true;
+    };
+
+    auto hop_edge_passes = [&](const exec::GroupHop& hop,
+                               const EdgeType& et, graph::EdgeIndex e) {
+      if (hop.edge_conds.empty()) return true;
+      RowCursor cursor{et.attr_table(), e};
+      const std::span<const RowCursor> span(&cursor, 1);
+      for (const auto& cond : hop.edge_conds) {
+        if (!relational::eval_predicate(*cond, span, pool)) return false;
+      }
+      return true;
+    };
+
+    // Expands one hop from the rank-local (owned) `from` domain;
+    // returns the rank-local portion of the result. `backward` walks
+    // the hop right-to-left with the preceding position's filters.
+    std::function<Domain(const exec::GroupHop&, const Domain&, bool,
+                         const exec::GroupHop*)>
+        expand_hop_dist = [&](const exec::GroupHop& hop,
+                              const Domain& from, bool backward,
+                              const exec::GroupHop* target_hop) {
+          // Result shape: hop target types (forward) or the preceding
+          // position's types (backward; all types at position 0).
+          Domain support;
+          std::vector<VertexTypeId> out_types;
+          if (!backward) {
+            out_types = hop.vertex_types;
+          } else if (target_hop != nullptr) {
+            out_types = target_hop->vertex_types;
+          } else {
+            out_types.resize(graph.num_vertex_types());
+            for (std::size_t t = 0; t < out_types.size(); ++t) {
+              out_types[t] = static_cast<VertexTypeId>(t);
+            }
+          }
+          for (const VertexTypeId t : out_types) {
+            support.sets.emplace(
+                t, DynamicBitset(graph.vertex_type(t).num_vertices()));
+          }
+          std::vector<std::vector<std::uint8_t>> outbox(
+              static_cast<std::size_t>(n));
+          auto traverse = [&](const EdgeType& et) {
+            const bool walk_forward = backward == hop.reversed;
+            const VertexTypeId cur_type =
+                walk_forward ? et.source_type() : et.target_type();
+            const VertexTypeId out_type =
+                walk_forward ? et.target_type() : et.source_type();
+            if (!support.sets.contains(out_type)) return;
+            auto it = from.sets.find(cur_type);
+            if (it == from.sets.end() || !it->second.any()) return;
+            const CsrIndex& index =
+                walk_forward ? et.forward() : et.reverse();
+            it->second.for_each([&](std::size_t v) {
+              const auto neighbors =
+                  index.neighbors(static_cast<VertexIndex>(v));
+              const auto edge_ids =
+                  index.edges(static_cast<VertexIndex>(v));
+              for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                if (!hop_edge_passes(hop, et, edge_ids[i])) continue;
+                if (!hop_vertex_passes(hop, out_type, neighbors[i],
+                                       backward, target_hop)) {
+                  continue;
+                }
+                const int owner = partition.owner(out_type, neighbors[i]);
+                if (owner == rank) {
+                  support.sets.at(out_type).set(neighbors[i]);
+                } else {
+                  put_u32(outbox[owner], out_type);
+                  put_u32(outbox[owner], neighbors[i]);
+                  ++out.activations_sent;
+                }
+              }
+            });
+          };
+          if (!hop.edge_types.empty()) {
+            for (const auto id : hop.edge_types) {
+              traverse(graph.edge_type(id));
+            }
+          } else {
+            for (graph::EdgeTypeId id = 0; id < graph.num_edge_types();
+                 ++id) {
+              traverse(graph.edge_type(id));
+            }
+          }
+          if (rank == 0) ++out.supersteps;
+          return exchange_domain(std::move(support), std::move(outbox));
+        };
+
+    auto apply_body_dist = [&](const exec::GroupConstraint& g, Domain d,
+                               bool backward) {
+      if (!backward) {
+        for (const auto& hop : g.hops) {
+          d = expand_hop_dist(hop, d, false, nullptr);
+        }
+      } else {
+        for (std::size_t i = g.hops.size(); i-- > 0;) {
+          const exec::GroupHop* target =
+              i == 0 ? nullptr : &g.hops[i - 1];
+          d = expand_hop_dist(g.hops[i], d, true, target);
+        }
+      }
+      return d;
+    };
+
+    auto domain_or = [](Domain& into, const Domain& from) {
+      for (const auto& [type, bits] : from.sets) {
+        auto it = into.sets.find(type);
+        if (it == into.sets.end()) {
+          into.sets.emplace(type, bits);
+        } else {
+          it->second |= bits;
+        }
+      }
+    };
+
+    // Distributed closure over the group boundary. All ranks iterate in
+    // lockstep (the continue/stop decision is an allreduce).
+    auto group_closure_dist =
+        [&](const exec::GroupConstraint& g, const Domain& start,
+            bool backward) -> Domain {
+      using Quant = graql::PathGroup::Quant;
+      if (g.quant == Quant::kExact) {
+        Domain d = start;
+        for (std::uint32_t i = 0; i < g.count; ++i) {
+          d = apply_body_dist(g, std::move(d), backward);
+        }
+        return d;
+      }
+      Domain reached = apply_body_dist(g, start, backward);
+      Domain frontier = reached;
+      for (;;) {
+        Domain next = apply_body_dist(g, std::move(frontier), backward);
+        // Remove already-reached (rank-local; domains are owned parts).
+        std::uint64_t fresh = 0;
+        for (auto& [type, bits] : next.sets) {
+          auto it = reached.sets.find(type);
+          if (it != reached.sets.end()) bits.subtract(it->second);
+          fresh += bits.count();
+        }
+        if (comm.allreduce_sum(fresh) == 0) {
+          comm.barrier();
+          break;
+        }
+        comm.barrier();
+        domain_or(reached, next);
+        frontier = std::move(next);
+      }
+      if (g.quant == Quant::kStar) domain_or(reached, start);
+      return reached;
+    };
+
+    auto propagate_group = [&](const exec::GroupConstraint& g) {
+      Domain fwd =
+          group_closure_dist(g, out.domains[g.left_var], false);
+      if (out.domains[g.right_var].intersect(fwd)) local_changed = 1;
+      Domain bwd =
+          group_closure_dist(g, out.domains[g.right_var], true);
+      if (out.domains[g.left_var].intersect(bwd)) local_changed = 1;
+    };
+
+    auto propagate_edge = [&](std::size_t c, bool from_left) {
+      const EdgeConstraint& con = net.edges[c];
+      const int from_var = from_left ? con.left_var : con.right_var;
+      const int to_var = from_left ? con.right_var : con.left_var;
+
+      // Support for MY owned targets, accumulated from local expansion
+      // plus received activations.
+      Domain support = empty_like(graph, net.vars[to_var].types);
+      std::vector<std::vector<std::uint8_t>> outbox(
+          static_cast<std::size_t>(n));
+
+      for (const EdgeMove& move : con.moves) {
+        const EdgeType& et = graph.edge_type(move.type);
+        const bool walk_forward = move.forward == from_left;
+        const VertexTypeId from_type =
+            walk_forward ? et.source_type() : et.target_type();
+        const VertexTypeId to_type =
+            walk_forward ? et.target_type() : et.source_type();
+        auto from_it = out.domains[from_var].sets.find(from_type);
+        if (from_it == out.domains[from_var].sets.end()) continue;
+        if (!support.sets.contains(to_type)) continue;
+        const CsrIndex& index =
+            walk_forward ? et.forward() : et.reverse();
+        const DynamicBitset& frontier = from_it->second;
+
+        // Walks frontier words [wb, we): owned targets set bits, remote
+        // targets append (type, vertex) activations to the outbox.
+        auto walk = [&](std::size_t wb, std::size_t we,
+                        DynamicBitset& bits,
+                        std::vector<std::vector<std::uint8_t>>& box,
+                        std::uint64_t& sent,
+                        std::vector<RowCursor>& shard_scratch) {
+          frontier.for_each_in_range(wb, we, [&](std::size_t v) {
+            const auto neighbors =
+                index.neighbors(static_cast<VertexIndex>(v));
+            const auto edge_ids =
+                index.edges(static_cast<VertexIndex>(v));
+            for (std::size_t i = 0; i < neighbors.size(); ++i) {
+              if (!edge_passes(net, graph, pool, static_cast<int>(c),
+                               move.type, edge_ids[i], shard_scratch)) {
+                continue;
+              }
+              const int owner = partition.owner(to_type, neighbors[i]);
+              if (owner == rank) {
+                bits.set(neighbors[i]);
+              } else {
+                put_u32(box[owner], to_type);
+                put_u32(box[owner], neighbors[i]);
+                ++sent;
+              }
+            }
+          });
+        };
+
+        if (intra_pool == nullptr || rank_shards <= 1 ||
+            frontier.num_words() < kParallelFrontierWords) {
+          walk(0, frontier.num_words(), support.sets.at(to_type), outbox,
+               out.activations_sent, cursors);
+          continue;
+        }
+        // Morsel-style: private shards merged in shard order. Shards
+        // cover ascending word ranges, so the concatenated outbox byte
+        // stream is exactly the serial stream — deterministic wire
+        // bytes for any pool size.
+        struct Shard {
+          DynamicBitset bits;
+          std::vector<std::vector<std::uint8_t>> box;
+          std::uint64_t sent = 0;
+        };
+        std::vector<Shard> shards(rank_shards);
+        for (auto& s : shards) {
+          s.bits = DynamicBitset(support.sets.at(to_type).size());
+          s.box.resize(static_cast<std::size_t>(n));
+        }
+        intra_pool->parallel_for_ranges(
+            frontier.num_words(), rank_shards,
+            [&](std::size_t shard, std::size_t wb, std::size_t we) {
+              walk(wb, we, shards[shard].bits, shards[shard].box,
+                   shards[shard].sent, shard_cursors[shard]);
+            });
+        for (auto& s : shards) {
+          support.sets.at(to_type) |= s.bits;
+          for (int peer = 0; peer < n; ++peer) {
+            outbox[peer].insert(outbox[peer].end(), s.box[peer].begin(),
+                                s.box[peer].end());
+          }
+          out.activations_sent += s.sent;
+        }
+      }
+
+      // Exchange: exactly one (possibly empty) message to every peer.
+      for (int peer = 0; peer < n; ++peer) {
+        if (peer == rank) continue;
+        comm.send(peer, kTagActivations, outbox[peer]);
+      }
+      for (int i = 0; i < n - 1; ++i) {
+        Message m = comm.recv();
+        GEMS_CHECK(m.tag == kTagActivations);
+        std::size_t pos = 0;
+        while (pos < m.payload.size()) {
+          const VertexTypeId type =
+              static_cast<VertexTypeId>(get_u32(m.payload, pos));
+          const VertexIndex v = get_u32(m.payload, pos);
+          auto it = support.sets.find(type);
+          if (it != support.sets.end()) it->second.set(v);
+        }
+      }
+
+      // Cull my owned portion of the target domain.
+      if (out.domains[to_var].intersect(support)) local_changed = 1;
+      if (rank == 0) ++out.supersteps;
+      comm.barrier();
+    };
+
+    for (std::size_t c = 0; c < net.edges.size(); ++c) {
+      propagate_edge(c, /*from_left=*/true);
+      propagate_edge(c, /*from_left=*/false);
+    }
+    for (const auto& g : net.groups) propagate_group(g);
+    for (const auto& se : net.set_eqs) {
+      // Both variables live in the same partitioned space: the
+      // intersection is purely rank-local.
+      if (out.domains[se.var_a].intersect(out.domains[se.var_b])) {
+        local_changed = 1;
+      }
+      if (out.domains[se.var_b].intersect(out.domains[se.var_a])) {
+        local_changed = 1;
+      }
+    }
+    global_changed = comm.allreduce_sum(local_changed) != 0;
+    // Keep supersteps aligned: without this barrier a fast rank could
+    // inject next-iteration activations into a peer still waiting for
+    // its allreduce result.
+    comm.barrier();
+  }
+
+  // ---- Gather domains on rank 0 --------------------------------------
+  if (rank != 0) {
+    std::vector<std::uint8_t> payload;
+    for (std::size_t v = 0; v < net.num_vars(); ++v) {
+      for (const auto& [type, bits] : out.domains[v].sets) {
+        const auto indices = bits.to_indices();
+        put_u32(payload, static_cast<std::uint32_t>(v));
+        put_u32(payload, type);
+        put_u32(payload, static_cast<std::uint32_t>(indices.size()));
+        for (const auto idx : indices) put_u32(payload, idx);
+      }
+    }
+    comm.send(0, kTagGather, payload);
+    return;
+  }
+  for (int i = 0; i < n - 1; ++i) {
+    Message m = comm.recv();
+    GEMS_CHECK(m.tag == kTagGather);
+    std::size_t pos = 0;
+    while (pos < m.payload.size()) {
+      const std::size_t v = get_u32(m.payload, pos);
+      const VertexTypeId type =
+          static_cast<VertexTypeId>(get_u32(m.payload, pos));
+      const std::uint32_t count = get_u32(m.payload, pos);
+      auto it = out.domains[v].sets.find(type);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const VertexIndex idx = get_u32(m.payload, pos);
+        if (it != out.domains[v].sets.end()) it->second.set(idx);
+      }
+    }
+  }
+}
+
+void encode_domains(const std::vector<Domain>& domains,
+                    std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(domains.size()));
+  for (const Domain& d : domains) {
+    put_u32(out, static_cast<std::uint32_t>(d.sets.size()));
+    for (const auto& [type, bits] : d.sets) {  // std::map: type order
+      put_u32(out, type);
+      put_u64(out, bits.size());
+      const auto indices = bits.to_indices();
+      put_u32(out, static_cast<std::uint32_t>(indices.size()));
+      for (const auto idx : indices) put_u32(out, idx);
+    }
+  }
+}
+
+Result<std::vector<Domain>> decode_domains(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n) {
+    return pos + n <= bytes.size();
+  };
+  if (!need(4)) return parse_error("domains: truncated header");
+  const std::uint32_t num_vars = get_u32(bytes, pos);
+  std::vector<Domain> domains;
+  domains.reserve(num_vars);
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    if (!need(4)) return parse_error("domains: truncated set count");
+    const std::uint32_t num_sets = get_u32(bytes, pos);
+    Domain d;
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+      if (!need(16)) return parse_error("domains: truncated set header");
+      const VertexTypeId type =
+          static_cast<VertexTypeId>(get_u32(bytes, pos));
+      const std::uint64_t size = get_u64(bytes, pos);
+      const std::uint32_t count = get_u32(bytes, pos);
+      // Reject before allocating: the bitset can't be larger than the
+      // remaining payload could justify, and every index must fit.
+      if (count > (bytes.size() - pos) / 4) {
+        return parse_error("domains: index count exceeds payload");
+      }
+      DynamicBitset bits(static_cast<std::size_t>(size));
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint32_t idx = get_u32(bytes, pos);
+        if (idx >= size) return parse_error("domains: index out of range");
+        bits.set(idx);
+      }
+      if (!d.sets.emplace(type, std::move(bits)).second) {
+        return parse_error("domains: duplicate vertex type");
+      }
+    }
+    domains.push_back(std::move(d));
+  }
+  if (pos != bytes.size()) return parse_error("domains: trailing bytes");
+  return domains;
+}
+
+Result<MatchResult> match_network_distributed(
+    const ConstraintNetwork& net, const GraphView& graph,
+    const StringPool& pool, std::size_t num_ranks, DistStats* stats,
+    ThreadPool* intra_pool,
+    std::vector<std::vector<std::uint8_t>>* transcripts) {
+  GEMS_RETURN_IF_ERROR(distributable(net));
 
   const VertexPartition partition(graph, num_ranks);
   SimCluster cluster(num_ranks);
@@ -94,420 +551,27 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
           ? std::max<std::size_t>(1, intra_pool->size() / num_ranks)
           : 1;
 
-  std::vector<RankState> states(num_ranks);
-  std::atomic<std::size_t> supersteps{0};
-  Status worker_status = Status::ok();  // rank 0 writes on failure
+  std::vector<RankMatchOutput> states(num_ranks);
+  if (transcripts != nullptr) {
+    transcripts->assign(num_ranks, {});
+  }
 
   cluster.run([&](RankCtx& ctx) {
-    const int rank = ctx.rank();
-    const int n = ctx.size();
-    RankState& st = states[rank];
-    st.cursors.resize(exec::kEdgeSourceBase + net.edges.size());
-    if (intra_pool != nullptr) {
-      st.shard_cursors.resize(rank_shards);
-      for (auto& sc : st.shard_cursors) {
-        sc.resize(exec::kEdgeSourceBase + net.edges.size());
-      }
-    }
-
-    // ---- Initialize owned domains ------------------------------------
-    st.domains.reserve(net.num_vars());
-    for (std::size_t v = 0; v < net.num_vars(); ++v) {
-      Domain d = exec::initial_domain(net, graph, pool, static_cast<int>(v));
-      for (auto& [type, bits] : d.sets) {
-        bits &= partition.owned(rank, type);
-      }
-      st.domains.push_back(std::move(d));
-    }
-    ctx.barrier();
-
-    // ---- Fixpoint over constraints ------------------------------------
-    bool global_changed = true;
-    while (global_changed) {
-      std::uint64_t local_changed = 0;
-
-      // ---- Distributed group-hop expansion (Fig. 10 closures) -------
-      // One BSP exchange per hop: expand owned vertices, send remote
-      // activations to their owners, merge, filter locally.
-      auto exchange_domain = [&](Domain support,
-                                 std::vector<std::vector<std::uint8_t>>
-                                     outbox) {
-        for (int peer = 0; peer < n; ++peer) {
-          if (peer == rank) continue;
-          ctx.send(peer, kTagActivations, outbox[peer]);
-        }
-        for (int i = 0; i < n - 1; ++i) {
-          Message m = ctx.recv();
-          GEMS_CHECK(m.tag == kTagActivations);
-          std::size_t pos = 0;
-          while (pos < m.payload.size()) {
-            const VertexTypeId type =
-                static_cast<VertexTypeId>(get_u32(m.payload, pos));
-            const VertexIndex v = get_u32(m.payload, pos);
-            auto it = support.sets.find(type);
-            if (it != support.sets.end()) it->second.set(v);
-          }
-        }
-        ctx.barrier();
-        return support;
-      };
-
-      auto hop_vertex_passes = [&](const exec::GroupHop& hop,
-                                   VertexTypeId t, VertexIndex v,
-                                   bool backward,
-                                   const exec::GroupHop* target_hop) {
-        const auto& conds =
-            backward ? (target_hop != nullptr ? target_hop->vertex_conds
-                                              : hop.vertex_conds)
-                     : hop.vertex_conds;
-        if (backward && target_hop == nullptr) return true;
-        if (conds.empty()) return true;
-        const graph::VertexType& vt = graph.vertex_type(t);
-        RowCursor cursor{&vt.source(), vt.representative_row(v)};
-        const std::span<const RowCursor> span(&cursor, 1);
-        for (const auto& cond : conds) {
-          if (!relational::eval_predicate(*cond, span, pool)) return false;
-        }
-        return true;
-      };
-
-      auto hop_edge_passes = [&](const exec::GroupHop& hop,
-                                 const EdgeType& et, graph::EdgeIndex e) {
-        if (hop.edge_conds.empty()) return true;
-        RowCursor cursor{et.attr_table(), e};
-        const std::span<const RowCursor> span(&cursor, 1);
-        for (const auto& cond : hop.edge_conds) {
-          if (!relational::eval_predicate(*cond, span, pool)) return false;
-        }
-        return true;
-      };
-
-      // Expands one hop from the rank-local (owned) `from` domain;
-      // returns the rank-local portion of the result. `backward` walks
-      // the hop right-to-left with the preceding position's filters.
-      std::function<Domain(const exec::GroupHop&, const Domain&, bool,
-                           const exec::GroupHop*)>
-          expand_hop_dist = [&](const exec::GroupHop& hop,
-                                const Domain& from, bool backward,
-                                const exec::GroupHop* target_hop) {
-            // Result shape: hop target types (forward) or the preceding
-            // position's types (backward; all types at position 0).
-            Domain support;
-            std::vector<VertexTypeId> out_types;
-            if (!backward) {
-              out_types = hop.vertex_types;
-            } else if (target_hop != nullptr) {
-              out_types = target_hop->vertex_types;
-            } else {
-              out_types.resize(graph.num_vertex_types());
-              for (std::size_t t = 0; t < out_types.size(); ++t) {
-                out_types[t] = static_cast<VertexTypeId>(t);
-              }
-            }
-            for (const VertexTypeId t : out_types) {
-              support.sets.emplace(
-                  t, DynamicBitset(graph.vertex_type(t).num_vertices()));
-            }
-            std::vector<std::vector<std::uint8_t>> outbox(
-                static_cast<std::size_t>(n));
-            auto traverse = [&](const EdgeType& et) {
-              const bool walk_forward = backward == hop.reversed;
-              const VertexTypeId cur_type =
-                  walk_forward ? et.source_type() : et.target_type();
-              const VertexTypeId out_type =
-                  walk_forward ? et.target_type() : et.source_type();
-              if (!support.sets.contains(out_type)) return;
-              auto it = from.sets.find(cur_type);
-              if (it == from.sets.end() || !it->second.any()) return;
-              const CsrIndex& index =
-                  walk_forward ? et.forward() : et.reverse();
-              it->second.for_each([&](std::size_t v) {
-                const auto neighbors =
-                    index.neighbors(static_cast<VertexIndex>(v));
-                const auto edge_ids =
-                    index.edges(static_cast<VertexIndex>(v));
-                for (std::size_t i = 0; i < neighbors.size(); ++i) {
-                  if (!hop_edge_passes(hop, et, edge_ids[i])) continue;
-                  if (!hop_vertex_passes(hop, out_type, neighbors[i],
-                                         backward, target_hop)) {
-                    continue;
-                  }
-                  const int owner = partition.owner(out_type, neighbors[i]);
-                  if (owner == rank) {
-                    support.sets.at(out_type).set(neighbors[i]);
-                  } else {
-                    put_u32(outbox[owner], out_type);
-                    put_u32(outbox[owner], neighbors[i]);
-                    ++st.activations_sent;
-                  }
-                }
-              });
-            };
-            if (!hop.edge_types.empty()) {
-              for (const auto id : hop.edge_types) {
-                traverse(graph.edge_type(id));
-              }
-            } else {
-              for (graph::EdgeTypeId id = 0; id < graph.num_edge_types();
-                   ++id) {
-                traverse(graph.edge_type(id));
-              }
-            }
-            if (rank == 0) {
-              supersteps.fetch_add(1, std::memory_order_relaxed);
-            }
-            return exchange_domain(std::move(support), std::move(outbox));
-          };
-
-      auto apply_body_dist = [&](const exec::GroupConstraint& g, Domain d,
-                                 bool backward) {
-        if (!backward) {
-          for (const auto& hop : g.hops) {
-            d = expand_hop_dist(hop, d, false, nullptr);
-          }
-        } else {
-          for (std::size_t i = g.hops.size(); i-- > 0;) {
-            const exec::GroupHop* target =
-                i == 0 ? nullptr : &g.hops[i - 1];
-            d = expand_hop_dist(g.hops[i], d, true, target);
-          }
-        }
-        return d;
-      };
-
-      auto domain_or = [](Domain& into, const Domain& from) {
-        for (const auto& [type, bits] : from.sets) {
-          auto it = into.sets.find(type);
-          if (it == into.sets.end()) {
-            into.sets.emplace(type, bits);
-          } else {
-            it->second |= bits;
-          }
-        }
-      };
-
-      // Distributed closure over the group boundary. All ranks iterate in
-      // lockstep (the continue/stop decision is an allreduce).
-      auto group_closure_dist =
-          [&](const exec::GroupConstraint& g, const Domain& start,
-              bool backward) -> Domain {
-        using Quant = graql::PathGroup::Quant;
-        if (g.quant == Quant::kExact) {
-          Domain d = start;
-          for (std::uint32_t i = 0; i < g.count; ++i) {
-            d = apply_body_dist(g, std::move(d), backward);
-          }
-          return d;
-        }
-        Domain reached = apply_body_dist(g, start, backward);
-        Domain frontier = reached;
-        for (;;) {
-          Domain next = apply_body_dist(g, std::move(frontier), backward);
-          // Remove already-reached (rank-local; domains are owned parts).
-          std::uint64_t fresh = 0;
-          for (auto& [type, bits] : next.sets) {
-            auto it = reached.sets.find(type);
-            if (it != reached.sets.end()) bits.subtract(it->second);
-            fresh += bits.count();
-          }
-          if (ctx.allreduce_sum(fresh) == 0) {
-            ctx.barrier();
-            break;
-          }
-          ctx.barrier();
-          domain_or(reached, next);
-          frontier = std::move(next);
-        }
-        if (g.quant == Quant::kStar) domain_or(reached, start);
-        return reached;
-      };
-
-      auto propagate_group = [&](const exec::GroupConstraint& g) {
-        Domain fwd =
-            group_closure_dist(g, st.domains[g.left_var], false);
-        if (st.domains[g.right_var].intersect(fwd)) local_changed = 1;
-        Domain bwd =
-            group_closure_dist(g, st.domains[g.right_var], true);
-        if (st.domains[g.left_var].intersect(bwd)) local_changed = 1;
-      };
-
-      auto propagate_edge = [&](std::size_t c, bool from_left) {
-        const EdgeConstraint& con = net.edges[c];
-        const int from_var = from_left ? con.left_var : con.right_var;
-        const int to_var = from_left ? con.right_var : con.left_var;
-
-        // Support for MY owned targets, accumulated from local expansion
-        // plus received activations.
-        Domain support = empty_like(graph, net.vars[to_var].types);
-        std::vector<std::vector<std::uint8_t>> outbox(
-            static_cast<std::size_t>(n));
-
-        for (const EdgeMove& move : con.moves) {
-          const EdgeType& et = graph.edge_type(move.type);
-          const bool walk_forward = move.forward == from_left;
-          const VertexTypeId from_type =
-              walk_forward ? et.source_type() : et.target_type();
-          const VertexTypeId to_type =
-              walk_forward ? et.target_type() : et.source_type();
-          auto from_it = st.domains[from_var].sets.find(from_type);
-          if (from_it == st.domains[from_var].sets.end()) continue;
-          if (!support.sets.contains(to_type)) continue;
-          const CsrIndex& index =
-              walk_forward ? et.forward() : et.reverse();
-          const DynamicBitset& frontier = from_it->second;
-
-          // Walks frontier words [wb, we): owned targets set bits, remote
-          // targets append (type, vertex) activations to the outbox.
-          auto walk = [&](std::size_t wb, std::size_t we,
-                          DynamicBitset& bits,
-                          std::vector<std::vector<std::uint8_t>>& box,
-                          std::uint64_t& sent,
-                          std::vector<RowCursor>& cursors) {
-            frontier.for_each_in_range(wb, we, [&](std::size_t v) {
-              const auto neighbors =
-                  index.neighbors(static_cast<VertexIndex>(v));
-              const auto edge_ids =
-                  index.edges(static_cast<VertexIndex>(v));
-              for (std::size_t i = 0; i < neighbors.size(); ++i) {
-                if (!edge_passes(net, graph, pool, static_cast<int>(c),
-                                 move.type, edge_ids[i], cursors)) {
-                  continue;
-                }
-                const int owner = partition.owner(to_type, neighbors[i]);
-                if (owner == rank) {
-                  bits.set(neighbors[i]);
-                } else {
-                  put_u32(box[owner], to_type);
-                  put_u32(box[owner], neighbors[i]);
-                  ++sent;
-                }
-              }
-            });
-          };
-
-          if (intra_pool == nullptr || rank_shards <= 1 ||
-              frontier.num_words() < kParallelFrontierWords) {
-            walk(0, frontier.num_words(), support.sets.at(to_type), outbox,
-                 st.activations_sent, st.cursors);
-            continue;
-          }
-          // Morsel-style: private shards merged in shard order. Shards
-          // cover ascending word ranges, so the concatenated outbox byte
-          // stream is exactly the serial stream — deterministic wire
-          // bytes for any pool size.
-          struct Shard {
-            DynamicBitset bits;
-            std::vector<std::vector<std::uint8_t>> box;
-            std::uint64_t sent = 0;
-          };
-          std::vector<Shard> shards(rank_shards);
-          for (auto& s : shards) {
-            s.bits = DynamicBitset(support.sets.at(to_type).size());
-            s.box.resize(static_cast<std::size_t>(n));
-          }
-          intra_pool->parallel_for_ranges(
-              frontier.num_words(), rank_shards,
-              [&](std::size_t shard, std::size_t wb, std::size_t we) {
-                walk(wb, we, shards[shard].bits, shards[shard].box,
-                     shards[shard].sent, st.shard_cursors[shard]);
-              });
-          for (auto& s : shards) {
-            support.sets.at(to_type) |= s.bits;
-            for (int peer = 0; peer < n; ++peer) {
-              outbox[peer].insert(outbox[peer].end(), s.box[peer].begin(),
-                                  s.box[peer].end());
-            }
-            st.activations_sent += s.sent;
-          }
-        }
-
-        // Exchange: exactly one (possibly empty) message to every peer.
-        for (int peer = 0; peer < n; ++peer) {
-          if (peer == rank) continue;
-          ctx.send(peer, kTagActivations, outbox[peer]);
-        }
-        for (int i = 0; i < n - 1; ++i) {
-          Message m = ctx.recv();
-          GEMS_CHECK(m.tag == kTagActivations);
-          std::size_t pos = 0;
-          while (pos < m.payload.size()) {
-            const VertexTypeId type =
-                static_cast<VertexTypeId>(get_u32(m.payload, pos));
-            const VertexIndex v = get_u32(m.payload, pos);
-            auto it = support.sets.find(type);
-            if (it != support.sets.end()) it->second.set(v);
-          }
-        }
-
-        // Cull my owned portion of the target domain.
-        if (st.domains[to_var].intersect(support)) local_changed = 1;
-        if (rank == 0) supersteps.fetch_add(1, std::memory_order_relaxed);
-        ctx.barrier();
-      };
-
-      for (std::size_t c = 0; c < net.edges.size(); ++c) {
-        propagate_edge(c, /*from_left=*/true);
-        propagate_edge(c, /*from_left=*/false);
-      }
-      for (const auto& g : net.groups) propagate_group(g);
-      for (const auto& se : net.set_eqs) {
-        // Both variables live in the same partitioned space: the
-        // intersection is purely rank-local.
-        if (st.domains[se.var_a].intersect(st.domains[se.var_b])) {
-          local_changed = 1;
-        }
-        if (st.domains[se.var_b].intersect(st.domains[se.var_a])) {
-          local_changed = 1;
-        }
-      }
-      global_changed = ctx.allreduce_sum(local_changed) != 0;
-      // Keep supersteps aligned: without this barrier a fast rank could
-      // inject next-iteration activations into a peer still waiting for
-      // its allreduce result.
-      ctx.barrier();
-    }
-
-    // ---- Gather domains on rank 0 --------------------------------------
-    if (rank != 0) {
-      std::vector<std::uint8_t> payload;
-      for (std::size_t v = 0; v < net.num_vars(); ++v) {
-        for (const auto& [type, bits] : states[rank].domains[v].sets) {
-          const auto indices = bits.to_indices();
-          put_u32(payload, static_cast<std::uint32_t>(v));
-          put_u32(payload, type);
-          put_u32(payload, static_cast<std::uint32_t>(indices.size()));
-          for (const auto idx : indices) put_u32(payload, idx);
-        }
-      }
-      ctx.send(0, kTagGather, payload);
-      return;
-    }
-    for (int i = 0; i < n - 1; ++i) {
-      Message m = ctx.recv();
-      GEMS_CHECK(m.tag == kTagGather);
-      std::size_t pos = 0;
-      while (pos < m.payload.size()) {
-        const std::size_t v = get_u32(m.payload, pos);
-        const VertexTypeId type =
-            static_cast<VertexTypeId>(get_u32(m.payload, pos));
-        const std::uint32_t count = get_u32(m.payload, pos);
-        auto it = states[0].domains[v].sets.find(type);
-        for (std::uint32_t k = 0; k < count; ++k) {
-          const VertexIndex idx = get_u32(m.payload, pos);
-          if (it != states[0].domains[v].sets.end()) it->second.set(idx);
-        }
-      }
+    const std::size_t rank = static_cast<std::size_t>(ctx.rank());
+    if (transcripts != nullptr) {
+      RecordingComm rec(ctx);
+      run_match_rank(net, graph, pool, partition, rec, states[rank],
+                     intra_pool, rank_shards);
+      (*transcripts)[rank] = std::move(rec.transcript());
+    } else {
+      run_match_rank(net, graph, pool, partition, ctx, states[rank],
+                     intra_pool, rank_shards);
     }
   });
-  GEMS_RETURN_IF_ERROR(worker_status);
 
   // ---- Assemble the MatchResult on the "front-end" -----------------------
   MatchResult result;
   result.domains = std::move(states[0].domains);
-
-  // Group interiors (subgraph output) are derived from the converged
-  // domains with the local closure helpers — result assembly happens on
-  // the front-end, like the paper's result hand-back.
 
   // Matched edges, computed from the converged domains with the shared
   // CSR-walk helper (same code path as the single-node matcher, never a
@@ -517,7 +581,7 @@ Result<MatchResult> match_network_distributed(const ConstraintNetwork& net,
 
   if (stats != nullptr) {
     stats->ranks = num_ranks;
-    stats->supersteps = supersteps.load();
+    stats->supersteps = states[0].supersteps;
     stats->messages = cluster.total_messages();
     stats->bytes = cluster.total_bytes();
     stats->activations = 0;

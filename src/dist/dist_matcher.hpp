@@ -1,15 +1,21 @@
-// Distributed path matching over the simulated cluster: the Eq. 5 culling
+// Distributed path matching over a cluster of ranks: the Eq. 5 culling
 // fixpoint executed as bulk-synchronous supersteps. Each rank expands the
-// frontier from the vertices it owns using the shared edge indices, sends
+// frontier from the vertices it owns using its edge indices, sends
 // activations for remote targets to their owners, and the ranks agree on
 // convergence with an allreduce — the execution structure of the paper's
 // "massively parallel execution of graph queries over the database
 // primarily resident on the aggregated memory of the compute nodes".
 //
-// Supported networks: edge constraints (any direction/variant) and
-// set-label constraints. Regex groups and cross predicates fall back to
-// single-node execution (they are front-end features whose distributed
-// formulation the paper does not discuss).
+// The per-rank body (`run_match_rank`) is transport-agnostic: it talks BSP
+// through `dist::Comm`, so the same code runs over the in-process
+// SimCluster (match_network_distributed below) and over real sockets
+// (src/cluster/). Byte-identity of the two send streams is the wire path's
+// correctness oracle.
+//
+// Supported networks: edge constraints (any direction/variant), set-label
+// constraints, and regex-group closures. Cross predicates fall back to
+// single-node execution (they are checked during enumeration, which runs
+// on the front-end).
 #pragma once
 
 #include "common/status.hpp"
@@ -28,16 +34,53 @@ struct DistStats {
   std::vector<std::uint64_t> bytes_per_rank;
 };
 
+/// Checks the structural preconditions of the distributed fixpoint.
+/// kUnimplemented = "run this network on a single node instead".
+Status distributable(const exec::ConstraintNetwork& net);
+
+/// One rank's outputs from run_match_rank.
+struct RankMatchOutput {
+  /// This rank's owned portion of every variable domain — except on rank
+  /// 0, which ends holding the fully merged domains (the kTagGather
+  /// hand-back ships every other rank's portion there).
+  std::vector<exec::Domain> domains;
+  std::uint64_t activations_sent = 0;
+  std::size_t supersteps = 0;  // counted on rank 0 only
+};
+
+/// Runs one rank's share of the distributed fixpoint over `comm`.
+/// Preconditions: distributable(net).is_ok(), and `partition` built with
+/// comm.size() ranks. `rank_shards` > 1 fans each frontier expansion out
+/// over `intra_pool` (which must then be non-null); the wire byte stream
+/// is identical for any shard count.
+void run_match_rank(const exec::ConstraintNetwork& net,
+                    const graph::GraphView& graph, const StringPool& pool,
+                    const VertexPartition& partition, Comm& comm,
+                    RankMatchOutput& out, ThreadPool* intra_pool = nullptr,
+                    std::size_t rank_shards = 1);
+
+/// Codec for the rank-0 → coordinator domain hand-back (control plane, not
+/// part of the recorded BSP stream). Self-describing: every per-variable,
+/// per-type bitset travels with its size, so the receiver rebuilds the
+/// exact Domain shapes without consulting its own graph.
+void encode_domains(const std::vector<exec::Domain>& domains,
+                    std::vector<std::uint8_t>& out);
+Result<std::vector<exec::Domain>> decode_domains(
+    std::span<const std::uint8_t> bytes);
+
 /// Runs the distributed fixpoint on `num_ranks` simulated compute nodes
 /// and returns the same domains/matched-edges a single-node
 /// match_network() produces (asserted by tests). `intra_pool` (may be
 /// null = serial) parallelizes each rank's frontier expansion; every rank
 /// fans out to a bounded slice of the pool (size / num_ranks chunks) so
 /// ranks contend fairly for the shared workers. Results are bit-identical
-/// with or without the pool.
+/// with or without the pool. When `transcripts` is non-null it receives
+/// each rank's recorded send stream (the byte-identity oracle's reference
+/// side).
 Result<exec::MatchResult> match_network_distributed(
     const exec::ConstraintNetwork& net, const graph::GraphView& graph,
     const StringPool& pool, std::size_t num_ranks, DistStats* stats,
-    ThreadPool* intra_pool = nullptr);
+    ThreadPool* intra_pool = nullptr,
+    std::vector<std::vector<std::uint8_t>>* transcripts = nullptr);
 
 }  // namespace gems::dist

@@ -14,10 +14,10 @@ Message RankCtx::recv() { return cluster_->take(rank_); }
 
 void RankCtx::barrier() { cluster_->barrier_wait(); }
 
-std::uint64_t RankCtx::allreduce_sum(std::uint64_t value) {
+std::uint64_t Comm::allreduce_sum(std::uint64_t value) {
   constexpr int kTagReduce = -101;
   constexpr int kTagResult = -102;
-  if (rank_ == 0) {
+  if (rank() == 0) {
     std::uint64_t sum = value;
     for (int i = 1; i < size(); ++i) {
       Message m = recv();

@@ -1,14 +1,21 @@
-// Simulated cluster runtime — the stand-in for the paper's GEMS backend
-// ("a cluster of high-performance servers with ample DRAM connected via a
-// high speed network", Sec. III). N ranks run as threads that communicate
-// ONLY through typed mailboxes with per-rank byte/message accounting, so
-// the algorithms exercise the same structure a real distributed backend
-// would (local work + explicit exchanges + collectives) and the benches
-// can report communication volume — the cluster-relevant metric.
+// Cluster runtime abstractions for the paper's GEMS backend ("a cluster of
+// high-performance servers with ample DRAM connected via a high speed
+// network", Sec. III). The BSP algorithms (dist_matcher) are written against
+// the abstract `Comm` surface below, so the same rank body runs unchanged
+// over two transports:
 //
-// Immutable graph structure is shared in memory (the standard shortcut of
-// in-process cluster simulation); all *algorithmic* state moves through
-// messages.
+//   * SimCluster — N ranks as threads with typed in-process mailboxes and
+//     per-rank byte/message accounting (this file);
+//   * cluster::RankChannel — N ranks as real processes exchanging framed
+//     messages over TCP through a coordinator (src/cluster/).
+//
+// Byte-identity across the two transports is the correctness oracle for the
+// wire path: for the same graph, query and rank count, each rank's ordered
+// application send stream must match bit for bit (see RecordingComm).
+//
+// Immutable graph structure is shared in memory within one process (the
+// standard shortcut of in-process cluster simulation); all *algorithmic*
+// state moves through messages.
 #pragma once
 
 #include <atomic>
@@ -37,28 +44,111 @@ struct RankCommStats {
   std::uint64_t bytes = 0;
 };
 
-class SimCluster;
+// ---- Payload serialization helpers ---------------------------------------
 
-/// Per-rank handle passed to the rank body. Not thread-safe across ranks;
-/// each rank uses only its own context.
-class RankCtx {
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline std::uint32_t get_u32(std::span<const std::uint8_t> in,
+                             std::size_t& pos) {
+  GEMS_DCHECK(pos + 4 <= in.size());
+  const std::uint32_t v = static_cast<std::uint32_t>(in[pos]) |
+                          static_cast<std::uint32_t>(in[pos + 1]) << 8 |
+                          static_cast<std::uint32_t>(in[pos + 2]) << 16 |
+                          static_cast<std::uint32_t>(in[pos + 3]) << 24;
+  pos += 4;
+  return v;
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint64_t get_u64(std::span<const std::uint8_t> in,
+                             std::size_t& pos) {
+  const std::uint64_t lo = get_u32(in, pos);
+  const std::uint64_t hi = get_u32(in, pos);
+  return lo | (hi << 32);
+}
+
+// ---- Transport surface ----------------------------------------------------
+
+/// Abstract rank-communication surface. A rank body sees only its own Comm;
+/// instances are not shared across ranks. `allreduce_sum` is implemented
+/// here, on top of send/recv, so every transport produces the identical
+/// collective message stream — a requirement of the byte-identity oracle.
+class Comm {
  public:
-  int rank() const noexcept { return rank_; }
-  int size() const noexcept;
+  virtual ~Comm() = default;
 
-  /// Sends `payload` to `to` (copies the bytes). Self-sends are allowed.
-  void send(int to, int tag, std::span<const std::uint8_t> payload);
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
 
-  /// Blocking receive from this rank's mailbox (any source, any tag;
-  /// FIFO).
-  Message recv();
+  /// Sends `payload` to `to` (copies the bytes). Self-sends are allowed;
+  /// they are delivered locally and not counted as network traffic.
+  virtual void send(int to, int tag, std::span<const std::uint8_t> payload) = 0;
 
-  /// Synchronizes all ranks.
-  void barrier();
+  /// Blocking receive from this rank's mailbox (any source, any tag; FIFO
+  /// per sender).
+  virtual Message recv() = 0;
+
+  /// Synchronizes all ranks. Control-plane: how the barrier travels is
+  /// transport-specific and not part of the recorded send stream.
+  virtual void barrier() = 0;
 
   /// Sum-allreduce implemented with real messages: every rank sends its
   /// value to rank 0, which reduces and broadcasts the result.
   std::uint64_t allreduce_sum(std::uint64_t value);
+};
+
+/// Decorator that captures a rank's ordered application send stream —
+/// `(to, tag, length, payload bytes)` per send — which the cluster
+/// byte-identity oracle compares across transports.
+class RecordingComm : public Comm {
+ public:
+  explicit RecordingComm(Comm& inner) : inner_(inner) {}
+
+  int rank() const noexcept override { return inner_.rank(); }
+  int size() const noexcept override { return inner_.size(); }
+
+  void send(int to, int tag, std::span<const std::uint8_t> payload) override {
+    put_u32(transcript_, static_cast<std::uint32_t>(to));
+    put_u32(transcript_, static_cast<std::uint32_t>(tag));
+    put_u32(transcript_, static_cast<std::uint32_t>(payload.size()));
+    transcript_.insert(transcript_.end(), payload.begin(), payload.end());
+    inner_.send(to, tag, payload);
+  }
+
+  Message recv() override { return inner_.recv(); }
+  void barrier() override { inner_.barrier(); }
+
+  std::vector<std::uint8_t>& transcript() noexcept { return transcript_; }
+  const std::vector<std::uint8_t>& transcript() const noexcept {
+    return transcript_;
+  }
+
+ private:
+  Comm& inner_;
+  std::vector<std::uint8_t> transcript_;
+};
+
+class SimCluster;
+
+/// Per-rank handle passed to the rank body by SimCluster. Not thread-safe
+/// across ranks; each rank uses only its own context.
+class RankCtx : public Comm {
+ public:
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override;
+
+  void send(int to, int tag, std::span<const std::uint8_t> payload) override;
+  Message recv() override;
+  void barrier() override;
 
  private:
   friend class SimCluster;
@@ -108,37 +198,5 @@ class SimCluster {
   std::size_t barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 };
-
-// ---- Payload serialization helpers ---------------------------------------
-
-inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-inline std::uint32_t get_u32(std::span<const std::uint8_t> in,
-                             std::size_t& pos) {
-  GEMS_DCHECK(pos + 4 <= in.size());
-  const std::uint32_t v = static_cast<std::uint32_t>(in[pos]) |
-                          static_cast<std::uint32_t>(in[pos + 1]) << 8 |
-                          static_cast<std::uint32_t>(in[pos + 2]) << 16 |
-                          static_cast<std::uint32_t>(in[pos + 3]) << 24;
-  pos += 4;
-  return v;
-}
-
-inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
-}
-
-inline std::uint64_t get_u64(std::span<const std::uint8_t> in,
-                             std::size_t& pos) {
-  const std::uint64_t lo = get_u32(in, pos);
-  const std::uint64_t hi = get_u32(in, pos);
-  return lo | (hi << 32);
-}
 
 }  // namespace gems::dist

@@ -452,6 +452,19 @@ Result<StatementResult> graph_query_core(const GraphQueryStmt& stmt,
     const std::vector<int>* order =
         plans[i].constraint_order.empty() ? nullptr
                                           : &plans[i].constraint_order;
+    // Cluster hand-off: offer the network to the distributed matcher
+    // first. kUnimplemented = not distributable, fall through to the
+    // local matcher; any other error fails the statement.
+    if (ctx.dist_matcher) {
+      Result<MatchResult> dist = ctx.dist_matcher(stmt, i, net, params);
+      if (dist.is_ok()) {
+        matches.push_back(std::move(dist).value());
+        continue;
+      }
+      if (dist.status().code() != StatusCode::kUnimplemented) {
+        return dist.status();
+      }
+    }
     GEMS_ASSIGN_OR_RETURN(MatchResult m,
                           match_network(net, ctx.graph, *ctx.pool, order,
                                         ctx.intra_pool));

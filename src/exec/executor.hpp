@@ -75,6 +75,19 @@ struct ExecContext {
   /// execution uses lexical order.
   std::function<NetworkPlan(const ConstraintNetwork&)> planner;
 
+  /// Optional distributed-matcher hook (src/cluster): when set, every
+  /// graph-query network is offered to the cluster coordinator before the
+  /// local matcher runs. kUnimplemented means "not distributable, run it
+  /// locally"; any other error fails the statement (kUnavailable is the
+  /// typed retryable error when a rank is down mid-query). `network_index`
+  /// identifies the or-group so rank replicas can lower the same statement
+  /// and pick the same network.
+  std::function<Result<MatchResult>(const graql::GraphQueryStmt& stmt,
+                                    std::size_t network_index,
+                                    const ConstraintNetwork& net,
+                                    const relational::ParamMap& params)>
+      dist_matcher;
+
   /// When true, query statements do not register their `into` results in
   /// the catalog; the caller commits them later (used by the parallel
   /// multi-statement scheduler, paper Sec. III-B1, so that independent

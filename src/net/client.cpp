@@ -114,12 +114,27 @@ Result<std::vector<exec::StatementResult>> Client::run_script(
     const std::string& text, const relational::ParamMap& params) {
   GEMS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> payload,
                         make_script_request(text, params));
-  GEMS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> response,
-                        round_trip(Verb::kRunScript, payload));
-  WireReader reader(response);
-  const Status status = decode_status(reader);
-  GEMS_RETURN_IF_ERROR(status);
-  return decode_results(reader, pool_);
+  // Bounded auto-retry, for *in-band* kUnavailable statuses only: the
+  // server decoded and answered, so nothing executed — re-running is
+  // safe. A transport failure from round_trip is returned as-is (the
+  // outcome server-side is unknown; see ClientOptions).
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    GEMS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> response,
+                          round_trip(Verb::kRunScript, payload));
+    WireReader reader(response);
+    const Status status = decode_status(reader);
+    if (status.code() == StatusCode::kUnavailable &&
+        attempt < options_.unavailable_retries) {
+      ++unavailable_retries_used_;
+      if (options_.unavailable_backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.unavailable_backoff_ms));
+      }
+      continue;
+    }
+    GEMS_RETURN_IF_ERROR(status);
+    return decode_results(reader, pool_);
+  }
 }
 
 Status Client::check_script(const std::string& text,

@@ -31,6 +31,14 @@ struct ClientOptions {
   std::uint32_t request_timeout_ms = 30000;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   std::string client_name = "gems-net-client";
+  /// Auto-retry budget for *in-band* kUnavailable responses — the server
+  /// executed nothing and reported a typed transient condition (e.g. a
+  /// cluster rank died before the job ran, or a named subgraph was
+  /// invalidated between statements). Transport failures are never
+  /// retried here: a lost connection mid-request leaves the server-side
+  /// outcome unknown, and re-sending could execute a mutation twice.
+  std::uint32_t unavailable_retries = 1;
+  std::uint32_t unavailable_backoff_ms = 100;
 };
 
 class Client {
@@ -87,6 +95,12 @@ class Client {
   /// Id the next request will use (for pairing with cancel()).
   std::uint64_t next_request_id() const { return next_request_id_; }
 
+  /// In-band kUnavailable responses transparently retried so far (the
+  /// retry tests assert on this).
+  std::uint64_t unavailable_retries_used() const {
+    return unavailable_retries_used_;
+  }
+
   StringPool& pool() { return pool_; }
 
  private:
@@ -105,6 +119,7 @@ class Client {
   StringPool pool_;
   std::uint64_t session_id_ = 0;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t unavailable_retries_used_ = 0;
 };
 
 }  // namespace gems::net

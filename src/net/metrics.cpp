@@ -60,6 +60,9 @@ std::string MetricsSnapshot::to_string() const {
   if (access.shared_acquired > 0 || access.exclusive_acquired > 0) {
     out << access.to_string();
   }
+  if (cluster.num_ranks > 0) {
+    out << cluster.to_string();
+  }
   return out.str();
 }
 
@@ -115,6 +118,23 @@ void encode_snapshot(const MetricsSnapshot& snap,
   w.u64(snap.access.shared_held_us);
   w.u64(snap.access.exclusive_held_us);
   w.u64(snap.access.peak_concurrent_shared);
+  // The cluster block follows the access block at the tail, same
+  // compatibility contract (tolerant trailing decode, no version bump).
+  w.u32(snap.cluster.num_ranks);
+  w.u64(snap.cluster.jobs);
+  w.u64(snap.cluster.fallbacks);
+  w.u64(snap.cluster.syncs);
+  w.u64(snap.cluster.sync_bytes);
+  w.u32(static_cast<std::uint32_t>(snap.cluster.ranks.size()));
+  for (const auto& m : snap.cluster.ranks) {
+    w.boolean(m.connected);
+    w.u64(m.jobs);
+    w.u64(m.messages);
+    w.u64(m.payload_bytes);
+    w.u64(m.wire_bytes);
+    w.u64(m.supersteps);
+    w.u64(m.stall_us);
+  }
   std::vector<std::uint8_t> bytes = w.take();
   out.insert(out.end(), bytes.begin(), bytes.end());
 }
@@ -145,6 +165,25 @@ Result<MetricsSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
     GEMS_ASSIGN_OR_RETURN(snap.access.shared_held_us, r.u64());
     GEMS_ASSIGN_OR_RETURN(snap.access.exclusive_held_us, r.u64());
     GEMS_ASSIGN_OR_RETURN(snap.access.peak_concurrent_shared, r.u64());
+  }
+  if (!r.at_end()) {
+    GEMS_ASSIGN_OR_RETURN(snap.cluster.num_ranks, r.u32());
+    GEMS_ASSIGN_OR_RETURN(snap.cluster.jobs, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.cluster.fallbacks, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.cluster.syncs, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.cluster.sync_bytes, r.u64());
+    GEMS_ASSIGN_OR_RETURN(std::uint32_t n_ranks, r.count("cluster ranks"));
+    snap.cluster.ranks.resize(n_ranks);
+    for (std::uint32_t i = 0; i < n_ranks; ++i) {
+      server::ClusterRankMetrics& m = snap.cluster.ranks[i];
+      GEMS_ASSIGN_OR_RETURN(m.connected, r.boolean());
+      GEMS_ASSIGN_OR_RETURN(m.jobs, r.u64());
+      GEMS_ASSIGN_OR_RETURN(m.messages, r.u64());
+      GEMS_ASSIGN_OR_RETURN(m.payload_bytes, r.u64());
+      GEMS_ASSIGN_OR_RETURN(m.wire_bytes, r.u64());
+      GEMS_ASSIGN_OR_RETURN(m.supersteps, r.u64());
+      GEMS_ASSIGN_OR_RETURN(m.stall_us, r.u64());
+    }
   }
   return snap;
 }

@@ -13,6 +13,7 @@
 #include "common/histogram.hpp"
 #include "net/wire.hpp"
 #include "server/access.hpp"
+#include "server/cluster_metrics.hpp"
 
 namespace gems::net {
 
@@ -46,6 +47,12 @@ struct MetricsSnapshot {
   /// wire payload; old peers ignore it, and decoding tolerates its
   /// absence, so kWireVersion is unchanged.
   server::AccessMetricsSnapshot access{};
+
+  /// Cluster coordinator counters (per-rank BSP traffic), merged in by the
+  /// server when a cluster is attached. Rides after the access block at
+  /// the payload tail under the same compatibility discipline; num_ranks
+  /// == 0 means "no cluster" and renders as such.
+  server::ClusterMetricsSnapshot cluster{};
 
   const VerbMetrics& verb(Verb v) const {
     return verbs[static_cast<std::size_t>(v)];

@@ -87,6 +87,7 @@ class Server {
   MetricsSnapshot metrics_snapshot() const {
     MetricsSnapshot snap = metrics_.snapshot();
     snap.access = db_.access_metrics();
+    snap.cluster = db_.cluster_metrics();
     return snap;
   }
   MetricsRegistry& metrics() { return metrics_; }

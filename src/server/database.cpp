@@ -9,6 +9,7 @@
 #include "graql/ir.hpp"
 #include "graql/parser.hpp"
 #include "plan/planner.hpp"
+#include "store/snapshot.hpp"
 
 namespace gems::server {
 
@@ -109,6 +110,34 @@ Status Database::checkpoint() {
   }
   GEMS_RETURN_IF_ERROR(store_status_);
   return store_->checkpoint(ctx_);
+}
+
+std::vector<std::uint8_t> Database::snapshot_bytes(
+    std::uint64_t* graph_version) const {
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  if (graph_version != nullptr) *graph_version = ctx_.graph_version;
+  return store::encode_snapshot(ctx_, 0);
+}
+
+void Database::set_cluster_metrics_provider(
+    std::function<ClusterMetricsSnapshot()> provider) {
+  const std::lock_guard<std::mutex> lock(cluster_mutex_);
+  cluster_provider_ = std::move(provider);
+}
+
+bool Database::has_cluster() const {
+  const std::lock_guard<std::mutex> lock(cluster_mutex_);
+  return cluster_provider_ != nullptr;
+}
+
+ClusterMetricsSnapshot Database::cluster_metrics() const {
+  std::function<ClusterMetricsSnapshot()> provider;
+  {
+    const std::lock_guard<std::mutex> lock(cluster_mutex_);
+    provider = cluster_provider_;
+  }
+  if (!provider) return {};
+  return provider();
 }
 
 store::StoreMetricsSnapshot Database::store_metrics() const {

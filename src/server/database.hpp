@@ -12,6 +12,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -25,6 +26,7 @@
 #include "plan/schedule.hpp"
 #include "plan/stats.hpp"
 #include "server/access.hpp"
+#include "server/cluster_metrics.hpp"
 #include "store/store.hpp"
 
 namespace gems::server {
@@ -189,6 +191,28 @@ class Database {
   /// Human-readable `\accessstats` rendering.
   std::string access_stats() const { return access_.snapshot().to_string(); }
 
+  // ---- Cluster attachment ----------------------------------------------
+  /// Deterministic image of the live state (store snapshot encoding) plus
+  /// its graph version, under shared access. The cluster coordinator uses
+  /// this to prime rank state before any script runs; do not call from a
+  /// thread already holding the access guard.
+  std::vector<std::uint8_t> snapshot_bytes(
+      std::uint64_t* graph_version = nullptr) const;
+
+  /// Installed by cluster::Coordinator::attach(); nullptr detaches.
+  void set_cluster_metrics_provider(
+      std::function<ClusterMetricsSnapshot()> provider);
+
+  /// True when a cluster coordinator is attached.
+  bool has_cluster() const;
+
+  /// Per-rank communication counters from the attached coordinator
+  /// (zeroed snapshot when no cluster is attached).
+  ClusterMetricsSnapshot cluster_metrics() const;
+
+  /// Human-readable `\clusterstats` rendering.
+  std::string cluster_stats() const { return cluster_metrics().to_string(); }
+
  private:
   /// Shared back half of run_script / run_ir: analyze (unless skipped),
   /// schedule and execute an already-parsed script. Classifies the script
@@ -236,6 +260,11 @@ class Database {
   /// still always snapshots a statement boundary. Outermost in the lock
   /// order; `mutable` so const introspection can take shared access.
   mutable AccessGuard access_;
+
+  /// Cluster metrics provider (set while a coordinator is attached).
+  mutable std::mutex cluster_mutex_;
+  std::function<ClusterMetricsSnapshot()> cluster_provider_;
+
   std::unique_ptr<store::Store> store_;
   Status store_status_;
   std::mutex wal_mutex_;  // serializes WAL appends from parallel statements

@@ -685,5 +685,103 @@ TEST(NetConcurrencyTest, ReadersInterleavedWithIngestAndCheckpoint) {
   fs::remove_all(dir);
 }
 
+// ---- Client auto-retry on in-band kUnavailable -----------------------------
+// A scripted fake server: answers the handshake, then plays back one
+// canned response per kRunScript request. Distinguishes the in-band case
+// (a decoded kUnavailable status — safe to retry, nothing executed) from
+// a transport failure (connection dropped — never retried: the outcome
+// server-side is unknown).
+
+TEST(NetTest, ClientRetriesInBandUnavailableOnce) {
+  auto listener = tcp_listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  auto port = local_port(*listener);
+  ASSERT_TRUE(port.is_ok());
+
+  std::atomic<int> scripts_seen{0};
+  std::thread fake([&listener, &scripts_seen] {
+    auto conn = tcp_accept(*listener);
+    ASSERT_TRUE(conn.is_ok()) << conn.status().to_string();
+    for (;;) {
+      auto frame = recv_frame(*conn, kDefaultMaxFrameBytes);
+      if (!frame.is_ok()) return;  // client disconnected
+      WireWriter w;
+      if (frame->header.verb == Verb::kHandshake) {
+        encode_status(Status::ok(), w);
+        HandshakeResponse hs;
+        hs.session_id = 1;
+        hs.server_name = "fake";
+        const auto body = encode_handshake_response(hs);
+        w.buffer().insert(w.buffer().end(), body.begin(), body.end());
+      } else if (frame->header.verb == Verb::kRunScript) {
+        // First attempt: the typed retryable status. Second: success.
+        if (scripts_seen.fetch_add(1) == 0) {
+          encode_status(unavailable("rank down, try again"), w);
+        } else {
+          encode_status(Status::ok(), w);
+          encode_results({}, w);
+        }
+      } else {
+        encode_status(unimplemented("fake server"), w);
+      }
+      const auto payload = w.take();
+      ASSERT_TRUE(send_frame(*conn, frame->header.verb, /*is_response=*/true,
+                             frame->header.request_id, payload)
+                      .is_ok());
+    }
+  });
+
+  ClientOptions options;
+  options.port = port.value();
+  options.unavailable_backoff_ms = 1;
+  Client client(options);
+  ASSERT_TRUE(client.connect().is_ok());
+  auto results = client.run_script("select id from table Products");
+  EXPECT_TRUE(results.is_ok()) << results.status().to_string();
+  EXPECT_EQ(scripts_seen.load(), 2);
+  EXPECT_EQ(client.unavailable_retries_used(), 1u);
+  client.disconnect();
+  fake.join();
+}
+
+TEST(NetTest, ClientDoesNotRetryTransportFailures) {
+  auto listener = tcp_listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  auto port = local_port(*listener);
+  ASSERT_TRUE(port.is_ok());
+
+  std::thread fake([&listener] {
+    auto conn = tcp_accept(*listener);
+    ASSERT_TRUE(conn.is_ok()) << conn.status().to_string();
+    auto hello = recv_frame(*conn, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(hello.is_ok());
+    WireWriter w;
+    encode_status(Status::ok(), w);
+    HandshakeResponse hs;
+    hs.session_id = 1;
+    const auto body = encode_handshake_response(hs);
+    w.buffer().insert(w.buffer().end(), body.begin(), body.end());
+    const auto payload = w.take();
+    ASSERT_TRUE(send_frame(*conn, Verb::kHandshake, /*is_response=*/true,
+                           hello->header.request_id, payload)
+                    .is_ok());
+    // Read the script request, then vanish without answering: the script
+    // may or may not have executed, so the client must NOT retry.
+    auto script = recv_frame(*conn, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(script.is_ok());
+    conn->close();
+  });
+
+  ClientOptions options;
+  options.port = port.value();
+  options.request_timeout_ms = 2000;
+  Client client(options);
+  ASSERT_TRUE(client.connect().is_ok());
+  auto results = client.run_script("select id from table Products");
+  EXPECT_FALSE(results.is_ok());
+  EXPECT_EQ(client.unavailable_retries_used(), 0u);
+  fake.join();
+}
+
 }  // namespace
 }  // namespace gems::net
