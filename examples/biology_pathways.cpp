@@ -106,7 +106,9 @@ gems::Status build_pathways(gems::server::Database& db, std::size_t genes,
         Value::varchar("g" + std::to_string(rng.below(genes))),
         Value::varchar(rng.chance(0.6) ? "up" : "down")});
   }
-  return db.context().rebuild_graph();
+  GEMS_RETURN_IF_ERROR(db.context().rebuild_graph());
+  db.refresh_epoch();  // the context was mutated directly, not via a script
+  return gems::Status::ok();
 }
 
 }  // namespace

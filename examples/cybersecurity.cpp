@@ -95,7 +95,9 @@ gems::Status build_network(gems::server::Database& db, std::size_t hosts,
             Value::int64(rng.range(1, 10)),
             Value::varchar(rng.chance(0.5) ? "malware" : "bruteforce")});
   }
-  return db.context().rebuild_graph();
+  GEMS_RETURN_IF_ERROR(db.context().rebuild_graph());
+  db.refresh_epoch();  // the context was mutated directly, not via a script
+  return gems::Status::ok();
 }
 
 }  // namespace

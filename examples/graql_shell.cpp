@@ -43,6 +43,7 @@
 //   \storestats       durability metrics: WAL latency, snapshot sizes
 //   \matchstats       matcher metrics: passes, traversals, parallel tasks
 //   \accessstats      shared/exclusive access counters (read concurrency)
+//   \epochstats       mvcc epoch lifecycle: publishes, pins, delta ingests
 //   \clusterstats     per-rank BSP traffic counters (cluster attached)
 //   \shutdown         ask the remote server to shut down (remote mode)
 //   \quit
@@ -131,6 +132,9 @@ class Backend {
   virtual gems::Result<std::string> access_stats() {
     return gems::unimplemented("\\accessstats needs a database");
   }
+  virtual gems::Result<std::string> epoch_stats() {
+    return gems::unimplemented("\\epochstats needs a database");
+  }
   virtual gems::Result<std::string> cluster_stats() {
     return gems::unimplemented(
         "\\clusterstats needs an attached cluster (--cluster-coordinator) "
@@ -181,6 +185,9 @@ class LocalBackend : public Backend {
   }
   gems::Result<std::string> access_stats() override {
     return db_.access_stats();
+  }
+  gems::Result<std::string> epoch_stats() override {
+    return db_.epoch_stats();
   }
   gems::Result<std::string> cluster_stats() override {
     return db_.cluster_stats();
@@ -251,6 +258,12 @@ class RemoteBackend : public Backend {
     auto snapshot = client_.stats();
     if (!snapshot.is_ok()) return snapshot.status();
     return snapshot->access.to_string();
+  }
+  gems::Result<std::string> epoch_stats() override {
+    // Same wire snapshot, epoch block at the tail.
+    auto snapshot = client_.stats();
+    if (!snapshot.is_ok()) return snapshot.status();
+    return snapshot->epoch.to_string() + "\n";
   }
   gems::Result<std::string> cluster_stats() override {
     auto snapshot = client_.stats();
@@ -592,6 +605,11 @@ int main(int argc, char** argv) {
                               : (stats.status().to_string() + "\n").c_str());
       } else if (word == "accessstats") {
         auto stats = backend->access_stats();
+        std::printf("%s", stats.is_ok()
+                              ? stats.value().c_str()
+                              : (stats.status().to_string() + "\n").c_str());
+      } else if (word == "epochstats") {
+        auto stats = backend->epoch_stats();
         std::printf("%s", stats.is_ok()
                               ? stats.value().c_str()
                               : (stats.status().to_string() + "\n").c_str());

@@ -254,8 +254,10 @@ Result<DatasetCounts> generate(server::Database& db,
   }
 
   // Paper Sec. II-A2: populating tables triggers regeneration of the
-  // derived vertex/edge instances.
+  // derived vertex/edge instances. The generator mutated the live context
+  // directly, so re-publish it as a fresh epoch for the read paths.
   GEMS_RETURN_IF_ERROR(db.context().rebuild_graph());
+  db.refresh_epoch();
   return counts;
 }
 

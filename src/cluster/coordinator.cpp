@@ -94,10 +94,11 @@ void Coordinator::attach() {
   db_.context().dist_matcher =
       [this](const graql::GraphQueryStmt& stmt, std::size_t network_index,
              const exec::ConstraintNetwork& net,
-             const relational::ParamMap& params)
+             const relational::ParamMap& params,
+             const exec::ExecContext& ctx)
       -> Result<exec::MatchResult> {
     Result<exec::MatchResult> result =
-        match_distributed(stmt, network_index, net, params);
+        match_distributed(stmt, network_index, net, params, ctx);
     if (!result.is_ok() &&
         result.status().code() == StatusCode::kUnimplemented) {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -107,11 +108,15 @@ void Coordinator::attach() {
   };
   db_.set_cluster_metrics_provider([this] { return metrics(); });
   attached_ = true;
+  // Re-publish so read scripts (which execute against pinned epochs) see
+  // the hook: epochs snapshotted before the attach do not carry it.
+  db_.refresh_epoch();
 }
 
 Result<exec::MatchResult> Coordinator::match_distributed(
     const graql::GraphQueryStmt& stmt, std::size_t network_index,
-    const exec::ConstraintNetwork& net, const relational::ParamMap& params) {
+    const exec::ConstraintNetwork& net, const relational::ParamMap& params,
+    const exec::ExecContext& ctx) {
   // ---- Eligibility: what the BSP fixpoint does not cover runs locally.
   GEMS_RETURN_IF_ERROR(dist::distributable(net));
   if (stmt.into == graql::IntoKind::kSubgraph && !net.groups.empty()) {
@@ -128,9 +133,11 @@ Result<exec::MatchResult> Coordinator::match_distributed(
   // One collective job at a time on the wire.
   std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
 
-  // The hook runs inside statement execution, so the caller already holds
-  // database access — reading the context here is safe.
-  refresh_state(db_.context());
+  // `ctx` is the state the query executes against — a pinned epoch's
+  // immutable snapshot on the read path (safe to encode with no lock), or
+  // the live context under exclusive access on the writer path. Syncing
+  // ranks from it keeps distributed and local results consistent.
+  refresh_state(ctx);
 
   for (std::size_t r = 0; r < options_.num_ranks; ++r) {
     GEMS_RETURN_IF_ERROR(ensure_rank_synced(static_cast<std::uint32_t>(r)));
@@ -289,6 +296,8 @@ void Coordinator::shutdown() {
     db_.context().dist_matcher = nullptr;
     db_.set_cluster_metrics_provider(nullptr);
     attached_ = false;
+    // New epochs must not carry a hook into a coordinator being torn down.
+    db_.refresh_epoch();
   }
   // Ask every live rank to exit; the writer drains the outbox (so the
   // kShutdown really goes out) before stopping.

@@ -83,7 +83,7 @@ class Coordinator {
   Result<exec::MatchResult> match_distributed(
       const graql::GraphQueryStmt& stmt, std::size_t network_index,
       const exec::ConstraintNetwork& net,
-      const relational::ParamMap& params);
+      const relational::ParamMap& params, const exec::ExecContext& ctx);
 
   server::ClusterMetricsSnapshot metrics() const;
 
@@ -131,8 +131,9 @@ class Coordinator {
   void disconnect(std::uint32_t rank);
 
   /// Re-encodes the cached state image from `ctx` when the graph version
-  /// moved. Caller must already hold database access (the hook path) —
-  /// the encode only reads.
+  /// moved. `ctx` must be quiescent for the duration of the encode — a
+  /// pinned epoch's immutable context, or the live one under exclusive
+  /// access.
   void refresh_state(const exec::ExecContext& ctx);
 
   /// Ensures `rank` holds the current image: ships kSync and waits for

@@ -1,6 +1,8 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include "graph/delta.hpp"
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
@@ -456,7 +458,8 @@ Result<StatementResult> graph_query_core(const GraphQueryStmt& stmt,
     // first. kUnimplemented = not distributable, fall through to the
     // local matcher; any other error fails the statement.
     if (ctx.dist_matcher) {
-      Result<MatchResult> dist = ctx.dist_matcher(stmt, i, net, params);
+      Result<MatchResult> dist =
+          ctx.dist_matcher(stmt, i, net, params, ctx);
       if (dist.is_ok()) {
         matches.push_back(std::move(dist).value());
         continue;
@@ -836,6 +839,7 @@ Status ExecContext::rebuild_graph() {
   timer.append(std::to_string(graph.total_vertices()) + " vertices, " +
                std::to_string(graph.total_edges()) + " edges");
   ++graph_version;
+  ++renumber_version;
   // Prior subgraph results index the old instance numbering.
   subgraphs.clear();
   return Status::ok();
@@ -902,14 +906,49 @@ Result<StatementResult> execute_statement(const graql::Statement& stmt,
     }
     storage::CsvOptions options;
     options.has_header = s->has_header;
+    if (ctx.copy_on_write) {
+      // Epochs pinned on the previous catalog share the Table object;
+      // append to a clone and swap it in so they never see the new rows.
+      table = std::make_shared<Table>(*table);
+      ctx.tables.add_or_replace(table);
+    }
     const std::size_t rows_before = table->num_rows();
     GEMS_ASSIGN_OR_RETURN(storage::CsvIngestStats stats,
                           storage::ingest_csv_file(*table, path, options));
     timer.append(std::to_string(stats.rows) + " rows, " +
                  std::to_string(stats.bytes) + " bytes");
     // Paper Sec. II-A2: ingest also (re)generates derived vertex and edge
-    // instances.
-    GEMS_RETURN_IF_ERROR(ctx.rebuild_graph());
+    // instances — incrementally when possible (gems::mvcc), with a full
+    // rebuild as the sound fallback.
+    const auto maintain_start = std::chrono::steady_clock::now();
+    bool delta_applied = false;
+    if (ctx.incremental_ingest) {
+      GEMS_ASSIGN_OR_RETURN(
+          delta_applied,
+          graph::extend_graph_for_ingest(
+              ctx.graph, s->table,
+              static_cast<storage::RowIndex>(rows_before), ctx.vertex_decls,
+              ctx.edge_decls, ctx.tables, *ctx.pool, ctx.params));
+    }
+    if (delta_applied) {
+      ++ctx.graph_version;
+      // Instance numbering is preserved: named subgraphs stay valid,
+      // zero-padded to the grown type sizes (fresh copies — the old ones
+      // may be shared with pinned epochs).
+      for (auto& [name, sub] : ctx.subgraphs) {
+        sub = sub->resized_for(ctx.graph);
+      }
+    } else {
+      GEMS_RETURN_IF_ERROR(ctx.rebuild_graph());
+    }
+    if (ctx.on_graph_maintenance) {
+      ctx.on_graph_maintenance(
+          delta_applied,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - maintain_start)
+                  .count()));
+    }
     GEMS_RETURN_IF_ERROR(
         notify_mutation(ctx, stmt, table.get(), rows_before, stats.rows));
     result.message = "ingested " + std::to_string(stats.rows) +

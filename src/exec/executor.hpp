@@ -54,6 +54,13 @@ struct ExecContext {
   /// ingest rebuilds). Lets planners cache per-graph statistics.
   std::uint64_t graph_version = 0;
 
+  /// Monotone counter bumped only when existing instance numbering may
+  /// have changed (full rebuild_graph()). Incremental ingest and
+  /// type-appending DDL preserve prior vertex/edge indices, so results
+  /// computed against an older graph (subgraph bitsets, overlay commits)
+  /// stay valid as long as this counter is unchanged.
+  std::uint64_t renumber_version = 0;
+
   /// Safety cap for graph-query row enumeration (0 = unlimited).
   std::uint64_t max_result_rows = 0;
 
@@ -81,11 +88,15 @@ struct ExecContext {
   /// locally"; any other error fails the statement (kUnavailable is the
   /// typed retryable error when a rank is down mid-query). `network_index`
   /// identifies the or-group so rank replicas can lower the same statement
-  /// and pick the same network.
+  /// and pick the same network. `ctx` is the context the query executes
+  /// against — with gems::mvcc that is a pinned epoch's immutable
+  /// snapshot, which the coordinator encodes (lock-free) to sync rank
+  /// replicas, so distributed and local results come from the same state.
   std::function<Result<MatchResult>(const graql::GraphQueryStmt& stmt,
                                     std::size_t network_index,
                                     const ConstraintNetwork& net,
-                                    const relational::ParamMap& params)>
+                                    const relational::ParamMap& params,
+                                    const ExecContext& ctx)>
       dist_matcher;
 
   /// When true, query statements do not register their `into` results in
@@ -93,6 +104,23 @@ struct ExecContext {
   /// multi-statement scheduler, paper Sec. III-B1, so that independent
   /// statements can run concurrently against read-only state).
   bool defer_catalog_writes = false;
+
+  /// gems::mvcc: when true, ingest appends to a copy-on-write clone of the
+  /// target table (swapped into `tables`) instead of mutating it in place,
+  /// so epochs pinned on the previous catalog never observe the new rows.
+  bool copy_on_write = false;
+
+  /// gems::mvcc: when true, ingest maintains the graph incrementally
+  /// (graph::extend_graph_for_ingest) and falls back to rebuild_graph()
+  /// only when the delta is unsound (parameterized declarations, a
+  /// one-to-one key collapse). WAL replay applies the same per-record
+  /// decision, so recovered and live graphs are byte-identical.
+  bool incremental_ingest = false;
+
+  /// gems::mvcc: observation hook for the ingest maintenance path —
+  /// called with (was_delta, elapsed_ns) after each ingest's graph
+  /// maintenance so the epoch manager can account delta vs. rebuild cost.
+  std::function<void(bool, std::uint64_t)> on_graph_maintenance;
 
   /// Durability hook (src/store): invoked after each successful DDL or
   /// ingest mutation. A failing hook fails the statement — the mutation

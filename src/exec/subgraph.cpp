@@ -72,6 +72,25 @@ void Subgraph::merge(const Subgraph& other) {
   }
 }
 
+SubgraphPtr Subgraph::resized_for(const graph::GraphView& graph) const {
+  auto out = std::make_shared<Subgraph>(name_);
+  for (const auto& [type, set] : vertices_) {
+    DynamicBitset grown = set;
+    if (type < graph.num_vertex_types()) {
+      grown.resize(graph.vertex_type(type).num_vertices(), false);
+    }
+    out->vertices_.emplace(type, std::move(grown));
+  }
+  for (const auto& [type, set] : edges_) {
+    DynamicBitset grown = set;
+    if (type < graph.num_edge_types()) {
+      grown.resize(graph.edge_type(type).num_edges(), false);
+    }
+    out->edges_.emplace(type, std::move(grown));
+  }
+  return out;
+}
+
 std::string Subgraph::summary() const {
   return name_ + ": " + std::to_string(num_vertices()) + " vertices, " +
          std::to_string(num_edges()) + " edges";

@@ -13,6 +13,9 @@
 
 namespace gems::exec {
 
+class Subgraph;
+using SubgraphPtr = std::shared_ptr<Subgraph>;
+
 class Subgraph {
  public:
   explicit Subgraph(std::string name) : name_(std::move(name)) {}
@@ -36,6 +39,14 @@ class Subgraph {
   /// Union with another subgraph (or-composition, Eq. 9).
   void merge(const Subgraph& other);
 
+  /// Deep copy with every membership bitset zero-padded to the current
+  /// size of its type in `graph`. Incremental ingest preserves instance
+  /// numbering while growing the types, so a pre-ingest subgraph stays
+  /// valid — the new instances are simply not members. The copy leaves
+  /// the original untouched (it may be shared with pinned epochs whose
+  /// graphs still have the old sizes).
+  SubgraphPtr resized_for(const graph::GraphView& graph) const;
+
   /// Human-readable summary ("resultsG: 120 vertices, 204 edges").
   std::string summary() const;
 
@@ -45,6 +56,6 @@ class Subgraph {
   std::map<graph::EdgeTypeId, DynamicBitset> edges_;
 };
 
-using SubgraphPtr = std::shared_ptr<Subgraph>;
+
 
 }  // namespace gems::exec

@@ -148,11 +148,16 @@ struct TupleSet {
   }
 };
 
-}  // namespace
-
-Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
-                     const storage::TableCatalog& tables, StringPool& pool,
-                     const ParamMap& params) {
+/// The Eq. 2 join, shared by the full build (delta == nullptr: one pass
+/// over every candidate row) and incremental maintenance (one pass per
+/// occurrence of the ingested table, restricted to newly appended rows,
+/// appended after the base's edges). Edge ordering is deterministic for a
+/// given operation sequence — WAL replay re-runs the identical per-record
+/// path, so recovered state is byte-identical to the live build.
+Result<EdgeType> build_edge_type(const GraphView& graph, const EdgeDecl& decl,
+                                 const storage::TableCatalog& tables,
+                                 StringPool& pool, const ParamMap& params,
+                                 EdgeTypeId id, const EdgeDelta* delta) {
   if (!decl.where) {
     return invalid_argument("edge '" + decl.name +
                             "' requires a where clause");
@@ -252,130 +257,109 @@ Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
     }
   }
 
-  // ---- Join order: start at source 0, greedily attach connected sources
-  TupleSet tuples;
-  tuples.width = n_sources;
-  std::vector<bool> joined(n_sources, false);
-
-  auto start_with = [&](std::size_t s) {
-    joined[s] = true;
-    tuples.rows.reserve(candidates[s].size() * n_sources);
-    for (const RowIndex r : candidates[s]) {
+  // ---- Join: start at `start`, greedily attach connected sources --------
+  auto run_join = [&](std::size_t start,
+                      const std::vector<std::vector<RowIndex>>& cand)
+      -> Result<TupleSet> {
+    TupleSet tuples;
+    tuples.width = n_sources;
+    std::vector<bool> joined(n_sources, false);
+    joined[start] = true;
+    tuples.rows.reserve(cand[start].size() * n_sources);
+    for (const RowIndex r : cand[start]) {
       for (std::size_t i = 0; i < n_sources; ++i) {
-        tuples.rows.push_back(i == s ? r : kInvalidVertex);
+        tuples.rows.push_back(i == start ? r : kInvalidVertex);
       }
     }
-  };
-  start_with(0);
 
-  std::size_t joined_count = 1;
-  while (joined_count < n_sources) {
-    // Find an unjoined source connected to the joined set.
-    std::size_t next = n_sources;
-    for (std::size_t s = 0; s < n_sources && next == n_sources; ++s) {
-      if (joined[s]) continue;
-      for (const auto& jc : join_conjuncts) {
-        const bool links =
-            (jc.left.source == s && joined[jc.right.source]) ||
-            (jc.right.source == s && joined[jc.left.source]);
-        if (links) {
-          next = s;
-          break;
+    std::size_t joined_count = 1;
+    while (joined_count < n_sources) {
+      // Find an unjoined source connected to the joined set.
+      std::size_t next = n_sources;
+      for (std::size_t s = 0; s < n_sources && next == n_sources; ++s) {
+        if (joined[s]) continue;
+        for (const auto& jc : join_conjuncts) {
+          const bool links =
+              (jc.left.source == s && joined[jc.right.source]) ||
+              (jc.right.source == s && joined[jc.left.source]);
+          if (links) {
+            next = s;
+            break;
+          }
         }
       }
-    }
-    if (next == n_sources) {
-      return invalid_argument(
-          "edge '" + decl.name +
-          "': where clause does not connect all tables with equality "
-          "conditions (cross products are not supported)");
-    }
-
-    // Composite key: all conjuncts linking `next` to the joined set.
-    std::vector<ColumnIndex> new_cols;
-    std::vector<Slot> old_slots;
-    for (const auto& jc : join_conjuncts) {
-      if (jc.left.source == next && joined[jc.right.source]) {
-        new_cols.push_back(jc.left.column);
-        old_slots.push_back(jc.right);
-      } else if (jc.right.source == next && joined[jc.left.source]) {
-        new_cols.push_back(jc.right.column);
-        old_slots.push_back(jc.left);
+      if (next == n_sources) {
+        return invalid_argument(
+            "edge '" + decl.name +
+            "': where clause does not connect all tables with equality "
+            "conditions (cross products are not supported)");
       }
-    }
 
-    // Hash the new source's candidate rows by composite key.
-    const Table& next_table = *sources[next].table;
-    std::unordered_map<std::string, std::vector<RowIndex>> index;
-    index.reserve(candidates[next].size());
-    {
+      // Composite key: all conjuncts linking `next` to the joined set.
+      std::vector<ColumnIndex> new_cols;
+      std::vector<Slot> old_slots;
+      for (const auto& jc : join_conjuncts) {
+        if (jc.left.source == next && joined[jc.right.source]) {
+          new_cols.push_back(jc.left.column);
+          old_slots.push_back(jc.right);
+        } else if (jc.right.source == next && joined[jc.left.source]) {
+          new_cols.push_back(jc.right.column);
+          old_slots.push_back(jc.left);
+        }
+      }
+
+      // Hash the new source's candidate rows by composite key.
+      const Table& next_table = *sources[next].table;
+      std::unordered_map<std::string, std::vector<RowIndex>> index;
+      index.reserve(cand[next].size());
+      {
+        std::string key;
+        for (const RowIndex r : cand[next]) {
+          key.clear();
+          bool null_key = false;
+          for (const ColumnIndex c : new_cols) {
+            if (next_table.column(c).is_null(r)) {
+              null_key = true;
+              break;
+            }
+            relational::append_key_part(next_table, r, c, key);
+          }
+          if (!null_key) index[key].push_back(r);
+        }
+      }
+
+      // Probe with each existing tuple.
+      TupleSet next_tuples;
+      next_tuples.width = n_sources;
       std::string key;
-      for (const RowIndex r : candidates[next]) {
+      for (std::size_t t = 0; t < tuples.size(); ++t) {
+        const auto tuple = tuples.tuple(t);
         key.clear();
         bool null_key = false;
-        for (const ColumnIndex c : new_cols) {
-          if (next_table.column(c).is_null(r)) {
+        for (const Slot& slot : old_slots) {
+          const Table& ot = *sources[slot.source].table;
+          const RowIndex orow = tuple[slot.source];
+          if (ot.column(slot.column).is_null(orow)) {
             null_key = true;
             break;
           }
-          relational::append_key_part(next_table, r, c, key);
+          relational::append_key_part(ot, orow, slot.column, key);
         }
-        if (!null_key) index[key].push_back(r);
-      }
-    }
-
-    // Probe with each existing tuple.
-    TupleSet next_tuples;
-    next_tuples.width = n_sources;
-    std::string key;
-    for (std::size_t t = 0; t < tuples.size(); ++t) {
-      const auto tuple = tuples.tuple(t);
-      key.clear();
-      bool null_key = false;
-      for (const Slot& slot : old_slots) {
-        const Table& ot = *sources[slot.source].table;
-        const RowIndex orow = tuple[slot.source];
-        if (ot.column(slot.column).is_null(orow)) {
-          null_key = true;
-          break;
-        }
-        relational::append_key_part(ot, orow, slot.column, key);
-      }
-      if (null_key) continue;
-      auto it = index.find(key);
-      if (it == index.end()) continue;
-      for (const RowIndex r : it->second) {
-        for (std::size_t i = 0; i < n_sources; ++i) {
-          next_tuples.rows.push_back(i == next ? r : tuple[i]);
+        if (null_key) continue;
+        auto it = index.find(key);
+        if (it == index.end()) continue;
+        for (const RowIndex r : it->second) {
+          for (std::size_t i = 0; i < n_sources; ++i) {
+            next_tuples.rows.push_back(i == next ? r : tuple[i]);
+          }
         }
       }
+      tuples = std::move(next_tuples);
+      joined[next] = true;
+      ++joined_count;
     }
-    tuples = std::move(next_tuples);
-    joined[next] = true;
-    ++joined_count;
-  }
-
-  // ---- Residual predicates over full tuples ----------------------------
-  std::vector<std::size_t> surviving;
-  {
-    std::array<RowCursor, kMaxSources> cursors{};
-    for (std::size_t s = 0; s < n_sources; ++s) {
-      cursors[s].table = sources[s].table.get();
-    }
-    const std::span<const RowCursor> cspan(cursors.data(), n_sources);
-    for (std::size_t t = 0; t < tuples.size(); ++t) {
-      const auto tuple = tuples.tuple(t);
-      for (std::size_t s = 0; s < n_sources; ++s) cursors[s].row = tuple[s];
-      bool ok = true;
-      for (const auto& pred : residual) {
-        if (!relational::eval_predicate(*pred, cspan, pool)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) surviving.push_back(t);
-    }
-  }
+    return tuples;
+  };
 
   // ---- Map tuples to endpoint vertices and dedup ------------------------
   // Fig. 5 semantics: edges collapse onto distinct (source, target) vertex
@@ -409,33 +393,111 @@ Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
   std::unordered_set<std::uint64_t> seen_pairs;
   std::unordered_set<std::string> seen_full;
 
-  for (const std::size_t t : surviving) {
-    const auto tuple = tuples.tuple(t);
-    const VertexIndex sv = src_vt.find_by_key(*sources[0].table, tuple[0],
-                                              src_vt.key_columns());
-    const VertexIndex dv = dst_vt.find_by_key(*sources[1].table, tuple[1],
-                                              dst_vt.key_columns());
-    if (sv == kInvalidVertex || dv == kInvalidVertex) continue;
-    if (collapse) {
-      const std::uint64_t pair =
-          (static_cast<std::uint64_t>(sv) << 32) | dv;
-      if (!seen_pairs.insert(pair).second) continue;
-    } else {
-      // One edge per distinct join entry: key on the full tuple.
-      std::string full;
-      for (const RowIndex r : tuple) {
-        full.append(reinterpret_cast<const char*>(&r), sizeof(r));
+  // Delta passes start from the base's edges: endpoint arrays are copied
+  // verbatim (vertex numbering is stable across VertexType::extend), the
+  // pair-dedup set is seeded so collapsed edges are not re-added, and the
+  // attribute table is extended by appending to a clone. Tuple-identity
+  // dedup needs no seeding: a new tuple contains at least one row index
+  // >= first_new_row, which no base tuple can.
+  TablePtr attr_table;
+  if (delta != nullptr) {
+    const EdgeType& base = *delta->base;
+    src_out.reserve(base.num_edges());
+    dst_out.reserve(base.num_edges());
+    for (EdgeIndex e = 0; e < base.num_edges(); ++e) {
+      src_out.push_back(base.source_vertex(e));
+      dst_out.push_back(base.target_vertex(e));
+      if (collapse) {
+        seen_pairs.insert(
+            (static_cast<std::uint64_t>(base.source_vertex(e)) << 32) |
+            base.target_vertex(e));
       }
-      if (!seen_full.insert(std::move(full)).second) continue;
     }
-    src_out.push_back(sv);
-    dst_out.push_back(dv);
-    if (keep_attrs) attr_rows.push_back(tuple[2]);
+    if (keep_attrs) {
+      GEMS_CHECK(base.attr_table_ptr() != nullptr);
+      attr_table = std::make_shared<Table>(*base.attr_table_ptr());
+    }
+  }
+
+  // Residual filter + vertex mapping + dedup for one join pass.
+  auto process_pass = [&](std::size_t start,
+                          const std::vector<std::vector<RowIndex>>& cand)
+      -> Status {
+    GEMS_ASSIGN_OR_RETURN(TupleSet tuples, run_join(start, cand));
+    std::array<RowCursor, kMaxSources> cursors{};
+    for (std::size_t s = 0; s < n_sources; ++s) {
+      cursors[s].table = sources[s].table.get();
+    }
+    const std::span<const RowCursor> cspan(cursors.data(), n_sources);
+    for (std::size_t t = 0; t < tuples.size(); ++t) {
+      const auto tuple = tuples.tuple(t);
+      for (std::size_t s = 0; s < n_sources; ++s) cursors[s].row = tuple[s];
+      bool ok = true;
+      for (const auto& pred : residual) {
+        if (!relational::eval_predicate(*pred, cspan, pool)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      const VertexIndex sv = src_vt.find_by_key(*sources[0].table, tuple[0],
+                                                src_vt.key_columns());
+      const VertexIndex dv = dst_vt.find_by_key(*sources[1].table, tuple[1],
+                                                dst_vt.key_columns());
+      if (sv == kInvalidVertex || dv == kInvalidVertex) continue;
+      if (collapse) {
+        const std::uint64_t pair =
+            (static_cast<std::uint64_t>(sv) << 32) | dv;
+        if (!seen_pairs.insert(pair).second) continue;
+      } else {
+        // One edge per distinct join entry: key on the full tuple.
+        std::string full;
+        for (const RowIndex r : tuple) {
+          full.append(reinterpret_cast<const char*>(&r), sizeof(r));
+        }
+        if (!seen_full.insert(std::move(full)).second) continue;
+      }
+      src_out.push_back(sv);
+      dst_out.push_back(dv);
+      if (keep_attrs) {
+        if (delta != nullptr) {
+          const Table& assoc = *sources[2].table;
+          for (std::size_t c = 0; c < assoc.num_columns(); ++c) {
+            attr_table->column_mut(static_cast<ColumnIndex>(c))
+                .append_from(assoc.column(static_cast<ColumnIndex>(c)),
+                             tuple[2]);
+          }
+          attr_table->bump_row_count();
+        } else {
+          attr_rows.push_back(tuple[2]);
+        }
+      }
+    }
+    return Status::ok();
+  };
+
+  if (delta == nullptr) {
+    GEMS_RETURN_IF_ERROR(process_pass(0, candidates));
+  } else {
+    // One pass per occurrence of the ingested table among the join
+    // sources, with that occurrence restricted to the newly appended rows
+    // (candidate lists are in ascending row order, so the restriction is a
+    // suffix). A tuple joining new rows in several occurrences is found by
+    // several passes; the dedup sets above collapse it to one edge.
+    for (std::size_t o = 0; o < n_sources; ++o) {
+      if (sources[o].table->name() != delta->ingested_table) continue;
+      auto cand = candidates;
+      auto& rows = cand[o];
+      rows.erase(rows.begin(),
+                 std::lower_bound(rows.begin(), rows.end(),
+                                  delta->first_new_row));
+      GEMS_RETURN_IF_ERROR(process_pass(o, cand));
+    }
   }
 
   // ---- Edge attribute table ---------------------------------------------
-  TablePtr attr_table;
-  if (keep_attrs) {
+  if (keep_attrs && delta == nullptr) {
     const Table& assoc = *sources[2].table;
     std::vector<ColumnIndex> all_cols(assoc.num_columns());
     for (std::size_t i = 0; i < all_cols.size(); ++i) {
@@ -445,11 +507,30 @@ Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
                                          decl.name + "$attrs");
   }
 
-  EdgeType et = EdgeType::assemble(
-      graph.next_edge_type_id(), decl.name, src_id, dst_id,
-      src_vt.num_vertices(), dst_vt.num_vertices(), std::move(src_out),
-      std::move(dst_out), std::move(attr_table));
+  return EdgeType::assemble(id, decl.name, src_id, dst_id,
+                            src_vt.num_vertices(), dst_vt.num_vertices(),
+                            std::move(src_out), std::move(dst_out),
+                            std::move(attr_table));
+}
+
+}  // namespace
+
+Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
+                     const storage::TableCatalog& tables, StringPool& pool,
+                     const ParamMap& params) {
+  GEMS_ASSIGN_OR_RETURN(
+      EdgeType et, build_edge_type(graph, decl, tables, pool, params,
+                                   graph.next_edge_type_id(), nullptr));
   return graph.add_edge_type(std::move(et));
+}
+
+Result<EdgeType> extend_edge_type(const GraphView& graph, const EdgeDecl& decl,
+                                  const storage::TableCatalog& tables,
+                                  StringPool& pool, const ParamMap& params,
+                                  const EdgeDelta& delta) {
+  GEMS_CHECK(delta.base != nullptr);
+  return build_edge_type(graph, decl, tables, pool, params, delta.base->id(),
+                         &delta);
 }
 
 }  // namespace gems::graph

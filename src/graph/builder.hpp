@@ -57,4 +57,28 @@ Status add_edge_type(GraphView& graph, const EdgeDecl& decl,
                      const storage::TableCatalog& tables, StringPool& pool,
                      const relational::ParamMap& params = {});
 
+/// Incremental maintenance input (gems::mvcc): the ingest appended rows
+/// `>= first_new_row` to the table named `ingested_table` (already swapped
+/// into `tables` as a copy-on-write clone), and `base` is the edge type
+/// built before the ingest.
+struct EdgeDelta {
+  std::string ingested_table;
+  storage::RowIndex first_new_row = 0;
+  const EdgeType* base = nullptr;
+};
+
+/// Re-runs the Eq. 2 join only for tuples that involve at least one newly
+/// ingested row (one pass per occurrence of the ingested table among the
+/// join sources, deduplicated across passes and against the base edges),
+/// and appends the resulting edges after the base's. Endpoint vertex types
+/// are resolved against `graph`, which must already hold the extended
+/// (post-ingest) vertex types; vertex numbering is stable across
+/// VertexType::extend, so the base endpoint arrays remain valid. The CSR
+/// indices are reassembled over the combined arrays (O(V+E)).
+Result<EdgeType> extend_edge_type(const GraphView& graph, const EdgeDecl& decl,
+                                  const storage::TableCatalog& tables,
+                                  StringPool& pool,
+                                  const relational::ParamMap& params,
+                                  const EdgeDelta& delta);
+
 }  // namespace gems::graph

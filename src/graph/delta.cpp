@@ -1,0 +1,107 @@
+#include "graph/delta.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "relational/bound_expr.hpp"
+
+namespace gems::graph {
+
+namespace {
+
+bool has_parameter(const relational::ExprPtr& e) {
+  if (!e) return false;
+  if (e->kind == relational::Expr::Kind::kParameter) return true;
+  return has_parameter(e->lhs) || has_parameter(e->rhs);
+}
+
+}  // namespace
+
+Result<bool> extend_graph_for_ingest(
+    GraphView& graph, std::string_view table_name,
+    storage::RowIndex first_new_row,
+    const std::vector<VertexDecl>& vertex_decls,
+    const std::vector<EdgeDecl>& edge_decls,
+    const storage::TableCatalog& tables, StringPool& pool,
+    const relational::ParamMap& params) {
+  // Parameterized declarations make maintenance depend on whichever
+  // parameter values happen to be in scope at each ingest — the full
+  // rebuild is the only order-independent semantics for those.
+  for (const auto& d : vertex_decls) {
+    if (has_parameter(d.where)) return false;
+  }
+  for (const auto& d : edge_decls) {
+    if (has_parameter(d.where)) return false;
+  }
+  // The graph must mirror the declaration lists one-to-one (it always
+  // does outside of mid-DDL states, which rebuild instead).
+  if (graph.num_vertex_types() != vertex_decls.size() ||
+      graph.num_edge_types() != edge_decls.size()) {
+    return false;
+  }
+
+  GraphView fresh;
+
+  for (const auto& decl : vertex_decls) {
+    auto id = graph.find_vertex_type(decl.name);
+    if (!id.is_ok() || *id != fresh.next_vertex_type_id()) return false;
+    if (decl.table != table_name) {
+      // Untouched table: share the type with the previous graph.
+      GEMS_RETURN_IF_ERROR(fresh.add_vertex_type(graph.vertex_type_ptr(*id)));
+      continue;
+    }
+    GEMS_ASSIGN_OR_RETURN(storage::TablePtr source, tables.find(decl.table));
+    relational::BoundExprPtr filter;
+    if (decl.where) {
+      relational::TableScope scope(*source, decl.name);
+      GEMS_ASSIGN_OR_RETURN(
+          filter, relational::bind_predicate(decl.where, scope, params, pool));
+    }
+    bool flipped = false;
+    GEMS_ASSIGN_OR_RETURN(
+        VertexType vt,
+        VertexType::extend(graph.vertex_type(*id), std::move(source),
+                           filter.get(), first_new_row, &flipped));
+    if (flipped) return false;
+    GEMS_RETURN_IF_ERROR(
+        fresh.add_vertex_type(std::make_shared<const VertexType>(
+            std::move(vt))));
+  }
+
+  for (const auto& decl : edge_decls) {
+    auto id = graph.find_edge_type(decl.name);
+    if (!id.is_ok() || *id != fresh.next_edge_type_id()) return false;
+
+    // An edge type is affected iff the ingested table occurs among its
+    // join sources: an endpoint's source table or an associated table.
+    bool affected = false;
+    for (const auto& ep : {decl.source, decl.target}) {
+      auto vid = fresh.find_vertex_type(ep.vertex_type);
+      if (!vid.is_ok()) return false;
+      if (fresh.vertex_type(*vid).source().name() == table_name) {
+        affected = true;
+      }
+    }
+    for (const auto& assoc : decl.assoc_tables) {
+      if (assoc == table_name) affected = true;
+    }
+    if (!affected) {
+      GEMS_RETURN_IF_ERROR(fresh.add_edge_type(graph.edge_type_ptr(*id)));
+      continue;
+    }
+
+    EdgeDelta delta{std::string(table_name), first_new_row,
+                    &graph.edge_type(*id)};
+    GEMS_ASSIGN_OR_RETURN(
+        EdgeType et,
+        extend_edge_type(fresh, decl, tables, pool, params, delta));
+    GEMS_RETURN_IF_ERROR(fresh.add_edge_type(
+        std::make_shared<const EdgeType>(std::move(et))));
+  }
+
+  graph = std::move(fresh);
+  return true;
+}
+
+}  // namespace gems::graph

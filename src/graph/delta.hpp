@@ -1,0 +1,42 @@
+// Incremental CSR maintenance for ingest (gems::mvcc). When a CSV batch
+// is appended to one table, only the vertex types viewing that table and
+// the edge types joining it change — every other type is shared with the
+// previous graph by shared_ptr, affected vertex types are extended in
+// place-equivalent fashion (stable vertex numbering), and affected edge
+// types re-run the Eq. 2 join only for tuples touching the new rows.
+// Replaces the full ctx.rebuild_graph() on the ingest hot path.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/string_pool.hpp"
+#include "graph/builder.hpp"
+#include "graph/graph_view.hpp"
+#include "storage/catalog.hpp"
+
+namespace gems::graph {
+
+/// Builds the post-ingest graph from `graph` after `first_new_row`-onward
+/// rows were appended to the table named `table_name` (whose copy-on-write
+/// clone is already registered in `tables`; `graph`'s types still point at
+/// the pre-ingest table). On success replaces `graph` with the extended
+/// view and returns true. Returns false when the delta cannot be applied
+/// soundly and the caller must fall back to a full rebuild:
+///   * some declaration's WHERE references a %parameter% (re-binding under
+///     different parameters would make maintenance order-dependent), or
+///   * a new row collapses a previously one-to-one vertex key (attribute
+///     visibility and edge collapse semantics change).
+/// The decision depends only on the declarations and the ingested data, so
+/// WAL replay of the same record sequence takes the same path and
+/// reproduces the live graph byte-for-byte.
+Result<bool> extend_graph_for_ingest(
+    GraphView& graph, std::string_view table_name,
+    storage::RowIndex first_new_row,
+    const std::vector<VertexDecl>& vertex_decls,
+    const std::vector<EdgeDecl>& edge_decls,
+    const storage::TableCatalog& tables, StringPool& pool,
+    const relational::ParamMap& params);
+
+}  // namespace gems::graph

@@ -3,25 +3,33 @@
 namespace gems::graph {
 
 Status GraphView::add_vertex_type(VertexType vt) {
-  GEMS_CHECK(vt.id() == next_vertex_type_id());
-  if (vertex_by_name_.contains(vt.name()) ||
-      edge_by_name_.contains(vt.name())) {
-    return already_exists("graph element '" + vt.name() +
+  return add_vertex_type(std::make_shared<const VertexType>(std::move(vt)));
+}
+
+Status GraphView::add_edge_type(EdgeType et) {
+  return add_edge_type(std::make_shared<const EdgeType>(std::move(et)));
+}
+
+Status GraphView::add_vertex_type(std::shared_ptr<const VertexType> vt) {
+  GEMS_CHECK(vt != nullptr && vt->id() == next_vertex_type_id());
+  if (vertex_by_name_.contains(vt->name()) ||
+      edge_by_name_.contains(vt->name())) {
+    return already_exists("graph element '" + vt->name() +
                           "' already declared");
   }
-  vertex_by_name_.emplace(vt.name(), vt.id());
+  vertex_by_name_.emplace(vt->name(), vt->id());
   vertex_types_.push_back(std::move(vt));
   return Status::ok();
 }
 
-Status GraphView::add_edge_type(EdgeType et) {
-  GEMS_CHECK(et.id() == next_edge_type_id());
-  if (edge_by_name_.contains(et.name()) ||
-      vertex_by_name_.contains(et.name())) {
-    return already_exists("graph element '" + et.name() +
+Status GraphView::add_edge_type(std::shared_ptr<const EdgeType> et) {
+  GEMS_CHECK(et != nullptr && et->id() == next_edge_type_id());
+  if (edge_by_name_.contains(et->name()) ||
+      vertex_by_name_.contains(et->name())) {
+    return already_exists("graph element '" + et->name() +
                           "' already declared");
   }
-  edge_by_name_.emplace(et.name(), et.id());
+  edge_by_name_.emplace(et->name(), et->id());
   edge_types_.push_back(std::move(et));
   return Status::ok();
 }
@@ -54,8 +62,8 @@ std::vector<EdgeTypeId> GraphView::edge_types_between(VertexTypeId src,
                                                       VertexTypeId dst) const {
   std::vector<EdgeTypeId> out;
   for (const auto& et : edge_types_) {
-    if (et.source_type() == src && et.target_type() == dst) {
-      out.push_back(et.id());
+    if (et->source_type() == src && et->target_type() == dst) {
+      out.push_back(et->id());
     }
   }
   return out;
@@ -64,7 +72,7 @@ std::vector<EdgeTypeId> GraphView::edge_types_between(VertexTypeId src,
 std::vector<EdgeTypeId> GraphView::edge_types_from(VertexTypeId src) const {
   std::vector<EdgeTypeId> out;
   for (const auto& et : edge_types_) {
-    if (et.source_type() == src) out.push_back(et.id());
+    if (et->source_type() == src) out.push_back(et->id());
   }
   return out;
 }
@@ -72,20 +80,20 @@ std::vector<EdgeTypeId> GraphView::edge_types_from(VertexTypeId src) const {
 std::vector<EdgeTypeId> GraphView::edge_types_into(VertexTypeId dst) const {
   std::vector<EdgeTypeId> out;
   for (const auto& et : edge_types_) {
-    if (et.target_type() == dst) out.push_back(et.id());
+    if (et->target_type() == dst) out.push_back(et->id());
   }
   return out;
 }
 
 std::size_t GraphView::total_vertices() const noexcept {
   std::size_t n = 0;
-  for (const auto& vt : vertex_types_) n += vt.num_vertices();
+  for (const auto& vt : vertex_types_) n += vt->num_vertices();
   return n;
 }
 
 std::size_t GraphView::total_edges() const noexcept {
   std::size_t n = 0;
-  for (const auto& et : edge_types_) n += et.num_edges();
+  for (const auto& et : edge_types_) n += et->num_edges();
   return n;
 }
 

@@ -2,8 +2,14 @@
 // partition V, edge types partition E. Holds every materialized type and
 // answers the type-level queries the matcher and planner need (which edge
 // types connect two vertex types — Eq. 10's variant steps).
+//
+// Types are held behind shared_ptr<const>: copying a GraphView is a cheap
+// shallow snapshot (the mvcc epoch chain relies on this), and an
+// incremental ingest can share every unaffected type with the previous
+// graph while swapping in freshly built replacements for the affected ones.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,8 +23,8 @@ namespace gems::graph {
 class GraphView {
  public:
   GraphView() = default;
-  GraphView(const GraphView&) = delete;
-  GraphView& operator=(const GraphView&) = delete;
+  GraphView(const GraphView&) = default;
+  GraphView& operator=(const GraphView&) = default;
   GraphView(GraphView&&) = default;
   GraphView& operator=(GraphView&&) = default;
 
@@ -34,6 +40,8 @@ class GraphView {
   /// id must equal next_*_type_id() at the time of the call.
   Status add_vertex_type(VertexType vt);
   Status add_edge_type(EdgeType et);
+  Status add_vertex_type(std::shared_ptr<const VertexType> vt);
+  Status add_edge_type(std::shared_ptr<const EdgeType> et);
 
   Result<VertexTypeId> find_vertex_type(std::string_view name) const;
   Result<EdgeTypeId> find_edge_type(std::string_view name) const;
@@ -42,9 +50,16 @@ class GraphView {
   bool has_edge_type(std::string_view name) const;
 
   const VertexType& vertex_type(VertexTypeId id) const {
+    return *vertex_types_.at(id);
+  }
+  const EdgeType& edge_type(EdgeTypeId id) const { return *edge_types_.at(id); }
+
+  /// Shared ownership of a type — lets an incremental rebuild reuse the
+  /// unaffected types of a previous graph without copying them.
+  std::shared_ptr<const VertexType> vertex_type_ptr(VertexTypeId id) const {
     return vertex_types_.at(id);
   }
-  const EdgeType& edge_type(EdgeTypeId id) const {
+  std::shared_ptr<const EdgeType> edge_type_ptr(EdgeTypeId id) const {
     return edge_types_.at(id);
   }
 
@@ -67,8 +82,8 @@ class GraphView {
   std::size_t total_edges() const noexcept;
 
  private:
-  std::vector<VertexType> vertex_types_;
-  std::vector<EdgeType> edge_types_;
+  std::vector<std::shared_ptr<const VertexType>> vertex_types_;
+  std::vector<std::shared_ptr<const EdgeType>> edge_types_;
   std::unordered_map<std::string, VertexTypeId> vertex_by_name_;
   std::unordered_map<std::string, EdgeTypeId> edge_by_name_;
 };

@@ -51,6 +51,45 @@ Result<VertexType> VertexType::build(VertexTypeId id, std::string name,
   return vt;
 }
 
+Result<VertexType> VertexType::extend(const VertexType& base,
+                                      storage::TablePtr new_source,
+                                      const relational::BoundExpr* filter,
+                                      RowIndex first_new_row, bool* flipped) {
+  GEMS_CHECK(new_source != nullptr && flipped != nullptr);
+  GEMS_CHECK(first_new_row <= new_source->num_rows());
+  GEMS_CHECK(base.matching_rows_.size() == first_new_row);
+  *flipped = false;
+
+  VertexType vt = base;
+  vt.source_ = new_source;
+  vt.matching_rows_.resize(new_source->num_rows(), false);
+
+  const storage::Table& table = *new_source;
+  RowCursor cursor{&table, 0};
+  const std::span<const RowCursor> sources(&cursor, 1);
+  const StringPool& pool = table.pool();
+
+  for (std::size_t r = first_new_row; r < table.num_rows(); ++r) {
+    cursor.row = static_cast<RowIndex>(r);
+    if (filter && !relational::eval_predicate(*filter, sources, pool)) {
+      continue;
+    }
+    vt.matching_rows_.set(r);
+    std::string key =
+        relational::encode_row_key(table, cursor.row, vt.key_cols_);
+    auto [it, inserted] = vt.key_index_.emplace(
+        std::move(key),
+        static_cast<VertexIndex>(vt.representative_row_.size()));
+    if (inserted) {
+      vt.representative_row_.push_back(cursor.row);
+    } else if (vt.one_to_one_) {
+      *flipped = true;  // visibility/collapse semantics change: rebuild
+      return vt;
+    }
+  }
+  return vt;
+}
+
 Result<VertexType> VertexType::restore(
     VertexTypeId id, std::string name, storage::TablePtr source,
     std::vector<ColumnIndex> key_cols, bool one_to_one,

@@ -75,6 +75,22 @@ class VertexType {
     return matching_rows_;
   }
 
+  /// Incremental ingest (gems::mvcc): extends `base` with the rows of
+  /// `new_source` at indices >= `first_new_row` (the CSV batch just
+  /// appended to a copy-on-write clone of the source table). Vertex
+  /// numbering, representative rows and matching-rows bits are identical
+  /// to a full build() over the grown table, because build() assigns
+  /// vertex indices in first-occurrence order and all base rows precede
+  /// the new ones. When a new row collapses into an existing key while
+  /// the base was one-to-one, the type's attribute visibility (and the
+  /// collapse decisions of every edge type touching it) would change —
+  /// `*flipped` is set and the caller must fall back to a full rebuild.
+  static Result<VertexType> extend(const VertexType& base,
+                                   storage::TablePtr new_source,
+                                   const relational::BoundExpr* filter,
+                                   storage::RowIndex first_new_row,
+                                   bool* flipped);
+
   /// Snapshot restore (gems::store): rebuilds the type from its
   /// serialized fields without re-running the Eq. 1 selection. The
   /// key->vertex index is recomputed from the representative rows (it is

@@ -1,0 +1,134 @@
+#include "mvcc/epoch.hpp"
+
+#include <utility>
+
+namespace gems::mvcc {
+
+std::shared_ptr<const plan::GraphStats> GraphEpoch::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (!stats_) {
+    stats_ = std::make_shared<const plan::GraphStats>(
+        plan::GraphStats::collect(ctx_.graph));
+  }
+  return stats_;
+}
+
+void EpochPin::release() {
+  if (manager_ != nullptr) {
+    manager_->unpin(epoch_.get(), pin_id_);
+    manager_ = nullptr;
+  }
+  epoch_.reset();
+}
+
+std::uint64_t EpochManager::publish(const exec::ExecContext& base) {
+  auto epoch = std::shared_ptr<GraphEpoch>(new GraphEpoch());
+  epoch->ctx_ = base;
+  // The snapshot is a pure read view: no durability hooks, no staging
+  // flags, no leftover script parameters. Graph payloads (tables, types,
+  // subgraph bitsets) are all shared_ptr — the copy is shallow.
+  epoch->ctx_.on_mutation = nullptr;
+  epoch->ctx_.on_graph_maintenance = nullptr;
+  epoch->ctx_.defer_catalog_writes = false;
+  epoch->ctx_.params.clear();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch->id_ = ++next_epoch_id_;
+  if (planner_factory_) {
+    // The closure captures the epoch raw — it is stored inside the epoch
+    // itself, so it can never outlive what it points at (and holding a
+    // shared_ptr instead would cycle).
+    epoch->ctx_.planner = planner_factory_(*epoch);
+  } else {
+    epoch->ctx_.planner = nullptr;
+  }
+  if (current_ && current_->ctx_.graph_version == base.graph_version) {
+    // Same graph (e.g. an overlay-only publication): adopt the previous
+    // epoch's memoized planner stats instead of recollecting.
+    std::lock_guard<std::mutex> stats_lock(current_->stats_mutex_);
+    epoch->stats_ = current_->stats_;
+  }
+  if (current_) {
+    if (current_->pins_ > 0) {
+      retired_.push_back(std::move(current_));
+      ++retired_count_;
+    } else {
+      ++freed_;
+    }
+  }
+  current_ = std::move(epoch);
+  ++published_;
+  drain_locked();
+  return current_->id_;
+}
+
+EpochPin EpochManager::pin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GEMS_CHECK(current_ != nullptr);
+  ++pins_taken_;
+  ++current_->pins_;
+  const std::uint64_t pin_id = ++next_pin_id_;
+  outstanding_.emplace(pin_id, std::chrono::steady_clock::now());
+  peak_pinned_ = std::max<std::uint64_t>(peak_pinned_, outstanding_.size());
+  return EpochPin(this, current_, pin_id);
+}
+
+bool EpochManager::has_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ != nullptr;
+}
+
+void EpochManager::unpin(GraphEpoch* epoch, std::uint64_t pin_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outstanding_.erase(pin_id);
+  if (epoch != nullptr && epoch->pins_ > 0) --epoch->pins_;
+  drain_locked();
+}
+
+void EpochManager::drain_locked() {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if ((*it)->pins_ == 0) {
+      it = retired_.erase(it);
+      ++freed_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EpochManager::record_maintenance(bool delta, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (delta) {
+    ++delta_ingests_;
+    delta_ns_ += ns;
+  } else {
+    ++full_rebuilds_;
+    rebuild_ns_ += ns;
+  }
+}
+
+EpochMetricsSnapshot EpochManager::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EpochMetricsSnapshot snap;
+  snap.published = published_;
+  snap.retired = retired_count_;
+  snap.freed = freed_;
+  snap.live = (current_ != nullptr ? 1 : 0) + retired_.size();
+  snap.pins_taken = pins_taken_;
+  snap.pinned_readers = outstanding_.size();
+  snap.peak_pinned_readers = peak_pinned_;
+  if (!outstanding_.empty()) {
+    snap.oldest_pin_age_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - outstanding_.begin()->second)
+            .count());
+  }
+  snap.delta_ingests = delta_ingests_;
+  snap.full_rebuilds = full_rebuilds_;
+  snap.delta_build_ns = delta_ns_;
+  snap.rebuild_ns = rebuild_ns_;
+  snap.current_epoch = current_ != nullptr ? current_->id_ : 0;
+  return snap;
+}
+
+}  // namespace gems::mvcc

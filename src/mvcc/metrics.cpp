@@ -1,0 +1,23 @@
+#include "mvcc/metrics.hpp"
+
+namespace gems::mvcc {
+
+std::string EpochMetricsSnapshot::to_string() const {
+  std::string out;
+  out += "epochs:   published=" + std::to_string(published) +
+         " retired=" + std::to_string(retired) +
+         " freed=" + std::to_string(freed) +
+         " live=" + std::to_string(live) +
+         " current=" + std::to_string(current_epoch) + "\n";
+  out += "pins:     taken=" + std::to_string(pins_taken) +
+         " outstanding=" + std::to_string(pinned_readers) +
+         " peak=" + std::to_string(peak_pinned_readers) +
+         " oldest_age_us=" + std::to_string(oldest_pin_age_us) + "\n";
+  out += "ingest:   delta=" + std::to_string(delta_ingests) +
+         " rebuild=" + std::to_string(full_rebuilds) +
+         " delta_ns=" + std::to_string(delta_build_ns) +
+         " rebuild_ns=" + std::to_string(rebuild_ns);
+  return out;
+}
+
+}  // namespace gems::mvcc

@@ -1,0 +1,36 @@
+// Epoch lifecycle counters (gems::mvcc), exposed through
+// Database::epoch_stats(), the kStats wire tail and the shell's
+// \epochstats. Small standalone header so src/net can embed a snapshot in
+// its MetricsSnapshot without pulling in the epoch machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gems::mvcc {
+
+struct EpochMetricsSnapshot {
+  std::uint64_t published = 0;       // epochs made current
+  std::uint64_t retired = 0;         // superseded while still pinned
+  std::uint64_t freed = 0;           // retired epochs whose pins drained
+  std::uint64_t live = 0;            // current + still-pinned retired
+  std::uint64_t pins_taken = 0;      // EpochPins ever handed out
+  std::uint64_t pinned_readers = 0;  // pins currently outstanding
+  std::uint64_t peak_pinned_readers = 0;
+  std::uint64_t oldest_pin_age_us = 0;  // age of the longest-held pin
+  std::uint64_t delta_ingests = 0;      // incremental CSR maintenance runs
+  std::uint64_t full_rebuilds = 0;      // fallback full graph rebuilds
+  std::uint64_t delta_build_ns = 0;     // total ns in delta maintenance
+  std::uint64_t rebuild_ns = 0;         // total ns in fallback rebuilds
+  std::uint64_t current_epoch = 0;      // id of the current epoch
+
+  bool empty() const {
+    return published == 0 && pins_taken == 0 && delta_ingests == 0 &&
+           full_rebuilds == 0;
+  }
+
+  /// Multi-line human-readable rendering (shell \epochstats).
+  std::string to_string() const;
+};
+
+}  // namespace gems::mvcc

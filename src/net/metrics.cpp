@@ -63,6 +63,9 @@ std::string MetricsSnapshot::to_string() const {
   if (cluster.num_ranks > 0) {
     out << cluster.to_string();
   }
+  if (!epoch.empty()) {
+    out << epoch.to_string() << "\n";
+  }
   return out.str();
 }
 
@@ -135,6 +138,21 @@ void encode_snapshot(const MetricsSnapshot& snap,
     w.u64(m.supersteps);
     w.u64(m.stall_us);
   }
+  // The epoch block (gems::mvcc) follows the cluster block at the tail,
+  // same compatibility contract.
+  w.u64(snap.epoch.published);
+  w.u64(snap.epoch.retired);
+  w.u64(snap.epoch.freed);
+  w.u64(snap.epoch.live);
+  w.u64(snap.epoch.pins_taken);
+  w.u64(snap.epoch.pinned_readers);
+  w.u64(snap.epoch.peak_pinned_readers);
+  w.u64(snap.epoch.oldest_pin_age_us);
+  w.u64(snap.epoch.delta_ingests);
+  w.u64(snap.epoch.full_rebuilds);
+  w.u64(snap.epoch.delta_build_ns);
+  w.u64(snap.epoch.rebuild_ns);
+  w.u64(snap.epoch.current_epoch);
   std::vector<std::uint8_t> bytes = w.take();
   out.insert(out.end(), bytes.begin(), bytes.end());
 }
@@ -184,6 +202,21 @@ Result<MetricsSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
       GEMS_ASSIGN_OR_RETURN(m.supersteps, r.u64());
       GEMS_ASSIGN_OR_RETURN(m.stall_us, r.u64());
     }
+  }
+  if (!r.at_end()) {
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.published, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.retired, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.freed, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.live, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.pins_taken, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.pinned_readers, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.peak_pinned_readers, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.oldest_pin_age_us, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.delta_ingests, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.full_rebuilds, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.delta_build_ns, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.rebuild_ns, r.u64());
+    GEMS_ASSIGN_OR_RETURN(snap.epoch.current_epoch, r.u64());
   }
   return snap;
 }

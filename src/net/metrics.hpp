@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/histogram.hpp"
+#include "mvcc/metrics.hpp"
 #include "net/wire.hpp"
 #include "server/access.hpp"
 #include "server/cluster_metrics.hpp"
@@ -53,6 +54,12 @@ struct MetricsSnapshot {
   /// the payload tail under the same compatibility discipline; num_ranks
   /// == 0 means "no cluster" and renders as such.
   server::ClusterMetricsSnapshot cluster{};
+
+  /// gems::mvcc epoch lifecycle counters (publish/pin/retire, delta vs.
+  /// rebuild ingest maintenance), merged in by the server. Rides after
+  /// the cluster block at the payload tail under the same compatibility
+  /// discipline; empty() renders as absent.
+  mvcc::EpochMetricsSnapshot epoch{};
 
   const VerbMetrics& verb(Verb v) const {
     return verbs[static_cast<std::size_t>(v)];

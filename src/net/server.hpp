@@ -88,6 +88,7 @@ class Server {
     MetricsSnapshot snap = metrics_.snapshot();
     snap.access = db_.access_metrics();
     snap.cluster = db_.cluster_metrics();
+    snap.epoch = db_.epoch_metrics();
     return snap;
   }
   MetricsRegistry& metrics() { return metrics_; }

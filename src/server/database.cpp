@@ -21,19 +21,45 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   ctx_.pool = &pool_;
   ctx_.data_dir = options_.data_dir;
   ctx_.max_result_rows = options_.max_result_rows;
+  // gems::mvcc: ingest appends to copy-on-write table clones (epochs
+  // pinned on the previous catalog keep their rows) and maintains the CSR
+  // graph incrementally. Set before Store::open so WAL replay takes the
+  // identical per-record delta-or-rebuild decisions the live execution
+  // took — that is what makes recovery byte-identical.
+  ctx_.copy_on_write = true;
+  ctx_.incremental_ingest = options_.incremental_ingest;
+  ctx_.on_graph_maintenance = [this](bool delta, std::uint64_t ns) {
+    epochs_.record_maintenance(delta, ns);
+  };
   if (options_.enable_planner) {
     // Sec. III-B's "dynamic properties of the data": graph statistics are
     // collected lazily and cached until DDL/ingest changes the instances
     // (graph_version), so per-query planning costs only the pivot choice.
+    // This hook serves the writer path, which executes against the live
+    // context under exclusive access.
     ctx_.planner = [this](const exec::ConstraintNetwork& net) {
       // Keep the snapshot alive across planning: a concurrent DDL/ingest
-      // (impossible while we hold shared access, but cheap to be safe)
-      // would otherwise swap the cache out from under us.
+      // (impossible under exclusive access, but cheap to be safe) would
+      // otherwise swap the cache out from under us.
       const std::shared_ptr<const plan::GraphStats> stats = cached_stats();
       const plan::PathPlan plan =
           plan::plan_network(net, ctx_.graph, pool_, *stats);
       return exec::NetworkPlan{plan.root_var, plan.constraint_order};
     };
+    // Read paths execute against pinned epochs; each epoch carries a
+    // planner over its own immutable graph with per-epoch memoized stats
+    // (adopted from the previous epoch when the graph is unchanged). The
+    // closure captures the epoch raw: it is stored inside that epoch's
+    // context, so it cannot outlive what it points at.
+    epochs_.set_planner_factory([this](const mvcc::GraphEpoch& epoch) {
+      const mvcc::GraphEpoch* e = &epoch;
+      return [this, e](const exec::ConstraintNetwork& net) {
+        const std::shared_ptr<const plan::GraphStats> stats = e->stats();
+        const plan::PathPlan plan =
+            plan::plan_network(net, e->ctx().graph, pool_, *stats);
+        return exec::NetworkPlan{plan.root_var, plan.constraint_order};
+      };
+    });
   }
   if (options_.parallel_statements) {
     statement_pool_ = std::make_unique<ThreadPool>(
@@ -55,6 +81,9 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
       store_status_ =
           store.status().with_context("opening persistent store");
       GEMS_LOG(Error) << store_status_.to_string();
+      // Publish whatever recovered so introspection (catalog, stats) can
+      // still pin an epoch; scripts fail-stop on store_status_ regardless.
+      epochs_.publish(ctx_);
       return;
     }
     store_ = std::move(store).value();
@@ -64,10 +93,17 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
       if (!s.is_ok()) {
         // The mutation is applied in memory but missing from the log:
         // continuing would serve state a restart cannot reproduce.
+        std::lock_guard<std::mutex> status_lock(store_status_mutex_);
         store_status_ = s;
       }
       return s;
     };
+  }
+  // Epoch zero: the recovered (or empty) state. Every read path pins an
+  // epoch, so one must exist before the first script — and before the
+  // background checkpoint thread starts pinning.
+  epochs_.publish(ctx_);
+  if (store_ != nullptr) {
     if (options_.checkpoint_interval_ms > 0) {
       checkpoint_thread_ = std::thread([this] {
         std::unique_lock<std::mutex> lk(checkpoint_mutex_);
@@ -99,24 +135,53 @@ Database::~Database() {
   }
 }
 
+Status Database::store_status() const {
+  const std::lock_guard<std::mutex> lock(store_status_mutex_);
+  return store_status_;
+}
+
 Status Database::checkpoint() {
-  // Exclusive: the snapshot must see a statement boundary, with no reader
-  // mid-script either (readers share the intra-node pool the checkpoint
-  // serializer may also want).
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
   if (store_ == nullptr) {
     return invalid_argument(
         "database has no persistent store (open with store_dir)");
   }
-  GEMS_RETURN_IF_ERROR(store_status_);
-  return store_->checkpoint(ctx_);
+  // Serialize whole checkpoints: two interleaved capture/encode/finish
+  // sequences could rotate the WAL on a stale sequence number.
+  const std::lock_guard<std::mutex> serial(checkpoint_serial_mutex_);
+  mvcc::EpochPin pin;
+  std::uint64_t seq = 0;
+  {
+    // Brief exclusive window — a statement boundary. The pinned epoch and
+    // the WAL sequence number are captured consistently: the current
+    // epoch is exactly the state the log reaches at `seq` (every
+    // mutating script publishes before releasing exclusive access).
+    const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+    GEMS_RETURN_IF_ERROR(store_status());
+    pin = epochs_.pin();
+    seq = store_->wal_seq();
+  }
+  // Encode outside every lock: writers keep publishing while the
+  // (possibly large) image is built from the pinned immutable epoch.
+  GEMS_RETURN_IF_ERROR(store_->write_snapshot(pin.ctx(), seq));
+  pin.release();
+  // Rotate under exclusive access so no writer appends mid-rotate.
+  // finish_checkpoint skips the rotation when the WAL advanced past
+  // `seq` while we encoded — the snapshot is still valid, replay skips
+  // the records it covers.
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+  return store_->finish_checkpoint(seq);
+}
+
+void Database::refresh_epoch() {
+  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+  epochs_.publish(ctx_);
 }
 
 std::vector<std::uint8_t> Database::snapshot_bytes(
     std::uint64_t* graph_version) const {
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  if (graph_version != nullptr) *graph_version = ctx_.graph_version;
-  return store::encode_snapshot(ctx_, 0);
+  const mvcc::EpochPin pin = epochs_.pin();
+  if (graph_version != nullptr) *graph_version = pin.ctx().graph_version;
+  return store::encode_snapshot(pin.ctx(), 0);
 }
 
 void Database::set_cluster_metrics_provider(
@@ -148,8 +213,9 @@ store::StoreMetricsSnapshot Database::store_metrics() const {
 std::string Database::store_stats() const {
   if (store_ == nullptr) {
     std::string out = "no persistent store";
-    if (!store_status_.is_ok()) {
-      out += " (open failed: " + store_status_.to_string() + ")";
+    const Status status = store_status();
+    if (!status.is_ok()) {
+      out += " (open failed: " + status.to_string() + ")";
     }
     return out;
   }
@@ -175,19 +241,19 @@ std::shared_ptr<const plan::GraphStats> Database::cached_stats() {
 }
 
 MetaCatalog Database::meta_catalog() const {
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  return meta_catalog_unlocked();
+  const mvcc::EpochPin pin = epochs_.pin();
+  return meta_catalog_from(pin.ctx());
 }
 
-MetaCatalog Database::meta_catalog_unlocked() const {
+MetaCatalog Database::meta_catalog_from(const exec::ExecContext& ctx) const {
   MetaCatalog meta;
-  for (const auto& name : ctx_.tables.names()) {
-    auto table = ctx_.tables.find(name);
+  for (const auto& name : ctx.tables.names()) {
+    auto table = ctx.tables.find(name);
     GEMS_CHECK(table.is_ok());
     GEMS_CHECK(meta.add_table(name, (*table)->schema()).is_ok());
   }
-  for (const auto& decl : ctx_.vertex_decls) {
-    auto table = ctx_.tables.find(decl.table);
+  for (const auto& decl : ctx.vertex_decls) {
+    auto table = ctx.tables.find(decl.table);
     GEMS_CHECK(table.is_ok());
     GEMS_CHECK(meta.add_vertex(decl.name,
                                graql::VertexMeta{decl.table,
@@ -195,12 +261,12 @@ MetaCatalog Database::meta_catalog_unlocked() const {
                                                  decl.key_columns})
                    .is_ok());
   }
-  for (const auto& decl : ctx_.edge_decls) {
+  for (const auto& decl : ctx.edge_decls) {
     std::optional<storage::Schema> attrs;
-    auto id = ctx_.graph.find_edge_type(decl.name);
+    auto id = ctx.graph.find_edge_type(decl.name);
     if (id.is_ok()) {
       const storage::Table* attr_table =
-          ctx_.graph.edge_type(id.value()).attr_table();
+          ctx.graph.edge_type(id.value()).attr_table();
       if (attr_table != nullptr) attrs = attr_table->schema();
     }
     GEMS_CHECK(meta.add_edge(decl.name,
@@ -209,12 +275,12 @@ MetaCatalog Database::meta_catalog_unlocked() const {
                                              std::move(attrs)})
                    .is_ok());
   }
-  for (const auto& [name, subgraph] : ctx_.subgraphs) {
+  for (const auto& [name, subgraph] : ctx.subgraphs) {
     graql::SubgraphMeta sm;
-    for (graph::VertexTypeId t = 0; t < ctx_.graph.num_vertex_types(); ++t) {
+    for (graph::VertexTypeId t = 0; t < ctx.graph.num_vertex_types(); ++t) {
       const DynamicBitset* bits = subgraph->vertices(t);
       if (bits != nullptr && bits->any()) {
-        sm.vertex_steps.insert(ctx_.graph.vertex_type(t).name());
+        sm.vertex_steps.insert(ctx.graph.vertex_type(t).name());
       }
     }
     meta.add_subgraph(name, std::move(sm));
@@ -248,20 +314,22 @@ Result<std::vector<graql::Diagnostic>> Database::check_ir(
 void Database::check_parsed(const Script& script,
                             graql::DiagnosticEngine& diags,
                             const relational::ParamMap* params) {
-  // Analysis only reads the catalog/graph: shared access is enough, and
-  // lets `check` run concurrently with other readers.
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  MetaCatalog meta = meta_catalog_unlocked();
-  const std::shared_ptr<const plan::GraphStats> stats = cached_stats();
+  // Analysis only reads catalog/graph state: pin the current epoch and
+  // analyze against that immutable snapshot — zero coordination with
+  // writers or other readers.
+  const mvcc::EpochPin pin = epochs_.pin();
+  const exec::ExecContext& snap = pin.ctx();
+  MetaCatalog meta = meta_catalog_from(snap);
+  const std::shared_ptr<const plan::GraphStats> stats = pin.epoch().stats();
   graql::AnalyzeOptions opts;
   opts.params = params;
   // Pass 4 consumes plan-layer degree statistics; graql sits below plan in
-  // the dependency order, so they arrive through this callback. The
-  // snapshot is captured by value (shared_ptr): a concurrent invalidation
-  // cannot destroy it mid-analysis.
-  opts.edge_stats = [this, stats](const std::string& name)
+  // the dependency order, so they arrive through this callback. Both the
+  // stats snapshot and the epoch outlive the analysis (the pin holds the
+  // epoch for this whole function).
+  opts.edge_stats = [&snap, stats](const std::string& name)
       -> std::optional<graql::EdgeDegreeInfo> {
-    auto id = ctx_.graph.find_edge_type(name);
+    auto id = snap.graph.find_edge_type(name);
     if (!id.is_ok() || id.value() >= stats->edge_stats.size()) {
       return std::nullopt;
     }
@@ -292,17 +360,18 @@ Result<std::string> Database::explain_ir(std::span<const std::uint8_t> ir,
 Result<std::string> Database::explain_parsed(
     const Script& script, const relational::ParamMap& params) {
   // Planning reads the graph, statistics and subgraph catalog but mutates
-  // nothing: run under shared access, concurrently with other readers.
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  MetaCatalog meta = meta_catalog_unlocked();
+  // nothing: pin the current epoch and plan against it.
+  const mvcc::EpochPin pin = epochs_.pin();
+  const exec::ExecContext& snap = pin.ctx();
+  MetaCatalog meta = meta_catalog_from(snap);
   GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
 
   std::ostringstream out;
-  const std::shared_ptr<const plan::GraphStats> stats = cached_stats();
+  const std::shared_ptr<const plan::GraphStats> stats = pin.epoch().stats();
   exec::SubgraphResolver resolver =
-      [this](const std::string& name) -> Result<exec::SubgraphPtr> {
-    auto it = ctx_.subgraphs.find(name);
-    if (it == ctx_.subgraphs.end()) {
+      [&snap](const std::string& name) -> Result<exec::SubgraphPtr> {
+    auto it = snap.subgraphs.find(name);
+    if (it == snap.subgraphs.end()) {
       return not_found("unknown result subgraph '" + name + "'");
     }
     return it->second;
@@ -320,20 +389,20 @@ Result<std::string> Database::explain_parsed(
     }
     GEMS_ASSIGN_OR_RETURN(
         exec::LoweredQuery lowered,
-        exec::lower_graph_query(*q, ctx_.graph, resolver, params, pool_));
+        exec::lower_graph_query(*q, snap.graph, resolver, params, pool_));
     for (std::size_t n = 0; n < lowered.networks.size(); ++n) {
       const exec::ConstraintNetwork& net = lowered.networks[n];
       if (lowered.networks.size() > 1) out << "   or-branch " << n << ":\n";
       for (std::size_t v = 0; v < net.num_vars(); ++v) {
         const double card = plan::estimate_cardinality(
-            net, ctx_.graph, pool_, *stats, static_cast<int>(v));
+            net, snap.graph, pool_, *stats, static_cast<int>(v));
         out << "   var " << v << " (" << net.vars[v].display
             << "): est. " << static_cast<std::size_t>(card)
             << " candidates\n";
       }
       const plan::PathPlan path_plan = options_.enable_planner
                                            ? plan::plan_network(
-                                                 net, ctx_.graph, pool_,
+                                                 net, snap.graph, pool_,
                                                  *stats)
                                            : plan::lexical_plan(net);
       out << "   pivot: var " << path_plan.root_var << " ("
@@ -381,18 +450,19 @@ Result<std::vector<StatementResult>> Database::run_parsed(
     return run_parsed_shared(script, schedule, params);
   }
 
-  // Mutating script: sole holder — waits out all concurrent readers and
-  // excludes everyone (including checkpoints) while it applies.
+  // Mutating script: sole holder — excludes other writers, overlay
+  // commits and checkpoint capture windows while it applies. Readers are
+  // unaffected: they execute against previously pinned epochs.
   const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
 
   // Fail-stop: a broken store (failed open, or a WAL append that diverged
   // the log from memory) refuses all further scripts.
-  GEMS_RETURN_IF_ERROR(store_status_);
+  GEMS_RETURN_IF_ERROR(store_status());
 
   // Front-end: static analysis against the metadata catalog (Sec. III-A).
   // Params are known here, so their types participate.
   if (!options_.skip_static_analysis) {
-    MetaCatalog meta = meta_catalog_unlocked();
+    MetaCatalog meta = meta_catalog_from(ctx_);
     GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
   }
 
@@ -400,52 +470,76 @@ Result<std::vector<StatementResult>> Database::run_parsed(
   // ParamMap copy when both maps are empty (the common no-params case);
   // when the previous script bound params, assignment also clears them.
   if (!params.empty() || !ctx_.params.empty()) ctx_.params = params;
-  return plan::run_scheduled(script, schedule, ctx_,
-                             options_.parallel_statements
-                                 ? statement_pool_.get()
-                                 : nullptr);
+  auto results = plan::run_scheduled(script, schedule, ctx_,
+                                     options_.parallel_statements
+                                         ? statement_pool_.get()
+                                         : nullptr);
+  // Publish the post-script state as a new epoch — also on error: a
+  // mid-script failure may have applied earlier statements, and readers
+  // must see that state, not a snapshot that pretends it never happened.
+  epochs_.publish(ctx_);
+  return results;
 }
 
 Result<std::vector<StatementResult>> Database::run_parsed_shared(
     const Script& script, const plan::Schedule& schedule,
     const relational::ParamMap& params) {
-  AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  GEMS_RETURN_IF_ERROR(store_status_);
+  GEMS_RETURN_IF_ERROR(store_status());
+
+  // Pin the current epoch and execute against that immutable snapshot —
+  // no lock is held for the read, so a writer can publish any number of
+  // new epochs while this script runs; the pin keeps our state alive and
+  // byte-stable (deferred retirement).
+  mvcc::EpochPin pin = epochs_.pin();
+  const exec::ExecContext& snap = pin.ctx();
 
   if (!options_.skip_static_analysis) {
-    MetaCatalog meta = meta_catalog_unlocked();
+    MetaCatalog meta = meta_catalog_from(snap);
     GEMS_RETURN_IF_ERROR(graql::analyze_script(script, meta, &params));
   }
 
-  // Execute against the immutable shared state. Params stay script-local
-  // (never written into ctx_), and `into` results land in the overlay.
+  // Params stay script-local (never written into the epoch), and `into`
+  // results land in the overlay.
   exec::CatalogOverlay overlay;
-  const std::uint64_t version_at_read = ctx_.graph_version;
+  const std::uint64_t renumber_at_read = snap.renumber_version;
+  const std::uint64_t version_at_read = snap.graph_version;
   GEMS_ASSIGN_OR_RETURN(
       std::vector<StatementResult> results,
-      plan::run_scheduled_shared(script, schedule, ctx_, params, overlay,
+      plan::run_scheduled_shared(script, schedule, snap, params, overlay,
                                  options_.parallel_statements
                                      ? statement_pool_.get()
                                      : nullptr));
   if (overlay.empty()) return results;
 
-  // Publish the script's `into` results under brief exclusive access so no
-  // concurrent reader observes a half-committed catalog. std::shared_mutex
-  // has no shared->exclusive upgrade: release first (holding shared while
-  // requesting exclusive would deadlock against the writer queue).
-  lock.release();
+  // Fold the script's `into` results into the live context and publish a
+  // fresh epoch, all under brief exclusive access — no reader ever
+  // observes a half-committed catalog (they pin whole epochs).
+  pin.release();
   const AccessGuard::Lock commit = access_.acquire(AccessMode::kExclusive);
-  if (!overlay.subgraphs.empty() && ctx_.graph_version != version_at_read) {
-    // A mutating script slipped in between release and re-acquire and
-    // rebuilt the graph: the staged subgraphs reference the *old* instance
-    // numbering and must not be published. (Tables are self-contained
-    // column data and would still be valid, but publishing half a script's
-    // results is worse than asking for a retry.)
+  if (!overlay.subgraphs.empty() &&
+      ctx_.renumber_version != renumber_at_read) {
+    // A full graph rebuild happened between pin and commit, so existing
+    // vertex/edge numbering may have changed and the staged subgraph
+    // bitsets are meaningless against the live graph. Rare: incremental
+    // ingest preserves numbering (base rows keep their indices) and does
+    // not bump renumber_version — only a fallback rebuild (parameterized
+    // declarations, a one-to-one key collapse) or explicit DDL does.
     return unavailable(
-        "concurrent ingest/DDL invalidated this script's subgraph "
-        "results; re-run the script");
+        "concurrent ingest/DDL renumbered the graph under this script's "
+        "subgraph results; re-run the script");
   }
   exec::commit_overlay(overlay, ctx_);
+  if (!overlay.subgraphs.empty() && ctx_.graph_version != version_at_read) {
+    // Numbering is intact but the graph grew (delta ingests since the
+    // pin): pad the committed bitsets to the live type sizes.
+    for (const auto& entry : overlay.subgraphs) {
+      auto it = ctx_.subgraphs.find(entry.first);
+      if (it != ctx_.subgraphs.end()) {
+        it->second = it->second->resized_for(ctx_.graph);
+      }
+    }
+  }
+  epochs_.publish(ctx_);
   return results;
 }
 
@@ -459,39 +553,40 @@ Result<StatementResult> Database::run_statement(
 }
 
 Result<exec::SubgraphPtr> Database::subgraph(const std::string& name) const {
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  auto it = ctx_.subgraphs.find(name);
-  if (it == ctx_.subgraphs.end()) {
+  const mvcc::EpochPin pin = epochs_.pin();
+  auto it = pin.ctx().subgraphs.find(name);
+  if (it == pin.ctx().subgraphs.end()) {
     return not_found("no subgraph named '" + name + "'");
   }
   return it->second;
 }
 
 std::vector<CatalogEntry> Database::catalog() const {
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
-  return catalog_unlocked();
+  const mvcc::EpochPin pin = epochs_.pin();
+  return catalog_from(pin.ctx());
 }
 
-std::vector<CatalogEntry> Database::catalog_unlocked() const {
+std::vector<CatalogEntry> Database::catalog_from(
+    const exec::ExecContext& ctx) const {
   std::vector<CatalogEntry> entries;
-  for (const auto& name : ctx_.tables.names()) {
-    auto table = ctx_.tables.find(name);
+  for (const auto& name : ctx.tables.names()) {
+    auto table = ctx.tables.find(name);
     GEMS_CHECK(table.is_ok());
     entries.push_back({CatalogEntry::Kind::kTable, name,
                        (*table)->num_rows(), (*table)->byte_size()});
   }
-  for (graph::VertexTypeId t = 0; t < ctx_.graph.num_vertex_types(); ++t) {
-    const auto& vt = ctx_.graph.vertex_type(t);
+  for (graph::VertexTypeId t = 0; t < ctx.graph.num_vertex_types(); ++t) {
+    const auto& vt = ctx.graph.vertex_type(t);
     entries.push_back({CatalogEntry::Kind::kVertexType, vt.name(),
                        vt.num_vertices(), 0});
   }
-  for (graph::EdgeTypeId e = 0; e < ctx_.graph.num_edge_types(); ++e) {
-    const auto& et = ctx_.graph.edge_type(e);
+  for (graph::EdgeTypeId e = 0; e < ctx.graph.num_edge_types(); ++e) {
+    const auto& et = ctx.graph.edge_type(e);
     entries.push_back(
         {CatalogEntry::Kind::kEdgeType, et.name(), et.num_edges(),
          et.forward().byte_size() + et.reverse().byte_size()});
   }
-  for (const auto& [name, subgraph] : ctx_.subgraphs) {
+  for (const auto& [name, subgraph] : ctx.subgraphs) {
     entries.push_back({CatalogEntry::Kind::kSubgraph, name,
                        subgraph->num_vertices() + subgraph->num_edges(), 0});
   }
@@ -499,7 +594,7 @@ std::vector<CatalogEntry> Database::catalog_unlocked() const {
 }
 
 std::string Database::catalog_summary() const {
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kShared);
+  const mvcc::EpochPin pin = epochs_.pin();
   std::ostringstream out;
   auto kind_name = [](CatalogEntry::Kind k) {
     switch (k) {
@@ -514,7 +609,7 @@ std::string Database::catalog_summary() const {
     }
     return "?";
   };
-  for (const auto& e : catalog_unlocked()) {
+  for (const auto& e : catalog_from(pin.ctx())) {
     out << kind_name(e.kind) << "  " << e.name << "  " << e.instances
         << " instances";
     if (e.byte_size > 0) out << ", " << e.byte_size << " bytes";

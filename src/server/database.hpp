@@ -23,6 +23,7 @@
 #include "common/thread_pool.hpp"
 #include "exec/executor.hpp"
 #include "graql/analyzer.hpp"
+#include "mvcc/epoch.hpp"
 #include "plan/schedule.hpp"
 #include "plan/stats.hpp"
 #include "server/access.hpp"
@@ -58,9 +59,18 @@ struct DatabaseOptions {
   /// fsync the WAL on every logged mutation (see StoreOptions::wal_fsync).
   bool wal_fsync = true;
   /// Background checkpoint period in milliseconds (0 = only explicit
-  /// checkpoint() calls). The background thread takes exclusive access,
-  /// so a checkpoint never observes a half-applied script.
+  /// checkpoint() calls). The background thread pins the current epoch
+  /// under a brief exclusive window (a statement boundary) and encodes
+  /// the snapshot outside every lock, so checkpoints never observe a
+  /// half-applied script and never stall readers or writers.
   std::uint64_t checkpoint_interval_ms = 0;
+
+  /// gems::mvcc: maintain the CSR graph incrementally on ingest (share
+  /// unaffected types, extend affected ones from the appended rows) and
+  /// fall back to a full rebuild only when the delta is unsound
+  /// (parameterized declarations, a one-to-one key collapse). Off =
+  /// every ingest rebuilds the whole graph, as before.
+  bool incremental_ingest = true;
 };
 
 /// Catalog entry sizes, as the GEMS server's metadata repository reports
@@ -150,12 +160,10 @@ class Database {
   /// metadata mirror).
   graql::MetaCatalog meta_catalog() const;
 
-  /// Graph statistics (Sec. III-B), cached until DDL/ingest changes the
-  /// instance sets. Returns a shared_ptr so a concurrent invalidation
-  /// (DDL/ingest re-collects) cannot destroy the object under a reader —
-  /// callers keep the snapshot they were handed. Precondition: the caller
-  /// holds the access guard (shared is enough; statistics only read the
-  /// graph).
+  /// Graph statistics over the *live* context (Sec. III-B), cached until
+  /// DDL/ingest changes the instance sets. Used by the writer-path
+  /// planner; precondition: the caller holds exclusive access. Read paths
+  /// use the pinned epoch's memoized stats (GraphEpoch::stats()) instead.
   std::shared_ptr<const plan::GraphStats> cached_stats();
 
   // ---- Durability (gems::store) ---------------------------------------
@@ -164,10 +172,12 @@ class Database {
 
   /// Error from opening the store, or from a WAL append that diverged the
   /// log from memory. Non-OK means fail-stop: run_script returns this.
-  Status store_status() const { return store_status_; }
+  Status store_status() const;
 
-  /// Snapshots the current state and rotates the WAL. Serializes against
-  /// running statements. Fails when the database has no store.
+  /// Snapshots the current state and rotates the WAL. Pins the current
+  /// epoch under a brief exclusive window, then encodes the image outside
+  /// all locks (writers keep running). Fails when the database has no
+  /// store.
   Status checkpoint();
 
   /// Recovery info from open (zeroed for in-memory databases).
@@ -188,14 +198,38 @@ class Database {
   /// Shared/exclusive acquisition, wait and hold counters since open.
   AccessMetricsSnapshot access_metrics() const { return access_.snapshot(); }
 
-  /// Human-readable `\accessstats` rendering.
-  std::string access_stats() const { return access_.snapshot().to_string(); }
+  /// Human-readable `\accessstats` rendering: lock-layer counters plus the
+  /// epoch lifecycle block (read-only scripts no longer touch the lock —
+  /// they pin epochs, which is where their activity shows up).
+  std::string access_stats() const {
+    return access_.snapshot().to_string() + "\n" + epoch_stats();
+  }
+
+  // ---- Epoch observability (gems::mvcc) ---------------------------------
+  /// Epoch lifecycle counters: publish/retire/free, pin activity, and the
+  /// incremental-vs-rebuild ingest maintenance split.
+  mvcc::EpochMetricsSnapshot epoch_metrics() const {
+    return epochs_.snapshot();
+  }
+
+  /// Human-readable `\epochstats` rendering.
+  std::string epoch_stats() const { return epochs_.snapshot().to_string(); }
+
+  /// Pins the current epoch (RAII). Test and tooling hook: the returned
+  /// pin keeps that database state alive and byte-stable across any
+  /// number of concurrent publications.
+  mvcc::EpochPin pin_epoch() const { return epochs_.pin(); }
+
+  /// Re-publishes the live context as a fresh epoch under brief exclusive
+  /// access. Call after mutating `context()` directly (benchmark
+  /// generators do); scripts publish automatically.
+  void refresh_epoch();
 
   // ---- Cluster attachment ----------------------------------------------
-  /// Deterministic image of the live state (store snapshot encoding) plus
-  /// its graph version, under shared access. The cluster coordinator uses
-  /// this to prime rank state before any script runs; do not call from a
-  /// thread already holding the access guard.
+  /// Deterministic image of a pinned epoch (store snapshot encoding) plus
+  /// its graph version. The cluster coordinator uses this to prime rank
+  /// state before any script runs; zero coordination with running
+  /// scripts — safe to call from any thread.
   std::vector<std::uint8_t> snapshot_bytes(
       std::uint64_t* graph_version = nullptr) const;
 
@@ -221,9 +255,10 @@ class Database {
   Result<std::vector<exec::StatementResult>> run_parsed(
       graql::Script script, const relational::ParamMap& params);
 
-  /// Shared-access execution of a read-only script: concurrent with other
-  /// readers; `into` results are staged in a script-local overlay and
-  /// published under brief exclusive access at the end.
+  /// Read-only script execution against a pinned epoch: zero coordination
+  /// with writers (no lock acquired for the read itself); `into` results
+  /// are staged in a script-local overlay and folded into a fresh epoch
+  /// publication under brief exclusive access at the end.
   Result<std::vector<exec::StatementResult>> run_parsed_shared(
       const graql::Script& script, const plan::Schedule& schedule,
       const relational::ParamMap& params);
@@ -238,11 +273,11 @@ class Database {
                     graql::DiagnosticEngine& diags,
                     const relational::ParamMap* params);
 
-  /// Lock-free bodies of meta_catalog() / catalog() for callers that
-  /// already hold the access guard (re-locking shared on the same thread
-  /// is undefined for std::shared_mutex).
-  graql::MetaCatalog meta_catalog_unlocked() const;
-  std::vector<CatalogEntry> catalog_unlocked() const;
+  /// Bodies of meta_catalog() / catalog() over an explicit context —
+  /// either a pinned epoch's (read paths) or the live ctx_ (the exclusive
+  /// writer path).
+  graql::MetaCatalog meta_catalog_from(const exec::ExecContext& ctx) const;
+  std::vector<CatalogEntry> catalog_from(const exec::ExecContext& ctx) const;
 
   DatabaseOptions options_;
   StringPool pool_;
@@ -254,20 +289,33 @@ class Database {
   std::shared_ptr<const plan::GraphStats> stats_;
   std::uint64_t stats_version_ = ~0ull;
 
-  /// The readers-writer access layer (see access.hpp): read-only scripts
-  /// hold it shared and run concurrently; mutating scripts, overlay
-  /// commits and checkpoints hold it exclusively, so the checkpoint thread
-  /// still always snapshots a statement boundary. Outermost in the lock
-  /// order; `mutable` so const introspection can take shared access.
+  /// The writer-side access layer (see access.hpp): mutating scripts,
+  /// overlay commits and checkpoint capture windows hold it exclusively.
+  /// Read-only scripts no longer acquire it at all — they pin an epoch
+  /// (epochs_) and execute against that immutable snapshot, so writers
+  /// never block readers and readers never block writers beyond the brief
+  /// publication window. Outermost in the lock order.
   mutable AccessGuard access_;
+
+  /// gems::mvcc epoch chain: every mutating script (and overlay commit)
+  /// ends by publishing ctx_ as a new immutable epoch; every read path
+  /// pins the current one. `mutable` so const introspection can pin.
+  mutable mvcc::EpochManager epochs_;
 
   /// Cluster metrics provider (set while a coordinator is attached).
   mutable std::mutex cluster_mutex_;
   std::function<ClusterMetricsSnapshot()> cluster_provider_;
 
   std::unique_ptr<store::Store> store_;
+  /// Guards store_status_: the WAL hook writes it under wal_mutex_ while
+  /// pinned-epoch readers poll it without holding any access lock.
+  mutable std::mutex store_status_mutex_;
   Status store_status_;
   std::mutex wal_mutex_;  // serializes WAL appends from parallel statements
+  /// Serializes whole checkpoints against each other: two interleaved
+  /// capture/encode/finish sequences could rotate the WAL on a stale
+  /// sequence number.
+  std::mutex checkpoint_serial_mutex_;
 
   std::thread checkpoint_thread_;
   std::mutex checkpoint_mutex_;

@@ -170,9 +170,18 @@ void encode_body(const exec::ExecContext& ctx, std::uint64_t wal_seq,
   w.u64(wal_seq);
 
   // String pool, in id order (deterministic; ids in column data stay
-  // valid because restore re-interns in the same order).
-  w.u64(ctx.pool->size());
-  ctx.pool->for_each([&](StringId, std::string_view s) { w.str(s); });
+  // valid because restore re-interns in the same order). The pool is
+  // database-global and append-only, and checkpoints encode pinned epochs
+  // outside every database lock — capture one consistent prefix under a
+  // single for_each (one lock acquisition) rather than calling size()
+  // separately, which could tear the count against the entries when a
+  // writer interns concurrently.
+  std::vector<std::string_view> pool_strings;
+  ctx.pool->for_each([&](StringId, std::string_view s) {
+    pool_strings.push_back(s);  // views are stable: storage never relocates
+  });
+  w.u64(pool_strings.size());
+  for (const std::string_view s : pool_strings) w.str(s);
 
   // Catalog tables, in name order (names() sorts).
   const std::vector<std::string> names = ctx.tables.names();

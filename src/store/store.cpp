@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "graph/delta.hpp"
 #include "graql/ir.hpp"
 #include "store/format.hpp"
 #include "store/snapshot.hpp"
@@ -18,9 +19,12 @@ static_assert(std::endian::native == std::endian::little,
 
 namespace {
 
-/// Applies one WAL record to the context. `needs_rebuild` is set when a
-/// row-append record applies (the graph is rebuilt once after the full
-/// replay instead of per record).
+/// Applies one WAL record to the context. With incremental ingest enabled
+/// (gems::mvcc) each row-append record maintains the graph immediately via
+/// the same delta-or-rebuild decision the live execution took, so the
+/// recovered graph is byte-identical to the pre-crash one (edge ordering
+/// included). Otherwise `needs_rebuild` is set and the graph is rebuilt
+/// once after the full replay, matching the full-rebuild live path.
 Status replay_record(const WalRecord& rec, exec::ExecContext& ctx,
                      bool& needs_rebuild) {
   const std::string where = "WAL record seq " + std::to_string(rec.seq);
@@ -75,6 +79,35 @@ Status replay_record(const WalRecord& rec, exec::ExecContext& ctx,
   if (pos != rec.payload.size()) {
     return io_error(where + ": " + std::to_string(rec.payload.size() - pos) +
                     " trailing bytes after the declared rows");
+  }
+  if (ctx.incremental_ingest) {
+    // A deferred rebuild here would let a later record's delta run against
+    // a stale graph and diverge from the live ordering; apply the
+    // maintenance (or its eager-rebuild fallback) per record instead.
+    Timer maintain_timer;
+    const auto first_new_row =
+        static_cast<storage::RowIndex>((*table)->num_rows() - nrows);
+    GEMS_ASSIGN_OR_RETURN(
+        bool delta_applied,
+        graph::extend_graph_for_ingest(ctx.graph, table_name, first_new_row,
+                                       ctx.vertex_decls, ctx.edge_decls,
+                                       ctx.tables, *ctx.pool, ctx.params));
+    if (delta_applied) {
+      ++ctx.graph_version;
+      for (auto& [name, sub] : ctx.subgraphs) {
+        sub = sub->resized_for(ctx.graph);
+      }
+    } else {
+      GEMS_RETURN_IF_ERROR(ctx.rebuild_graph().with_context(where));
+    }
+    if (ctx.on_graph_maintenance) {
+      // Recovery maintenance shows up in the epoch metrics like live
+      // ingest maintenance does (delta vs. rebuild accounting).
+      ctx.on_graph_maintenance(
+          delta_applied,
+          static_cast<std::uint64_t>(maintain_timer.elapsed_seconds() * 1e9));
+    }
+    return Status::ok();
   }
   needs_rebuild = true;
   return Status::ok();
@@ -204,20 +237,40 @@ Status Store::log_mutation(const exec::MutationEvent& ev) {
 }
 
 Status Store::checkpoint(const exec::ExecContext& ctx) {
-  Timer timer;
   const std::uint64_t seq = wal_->last_seq();
+  GEMS_RETURN_IF_ERROR(write_snapshot(ctx, seq));
+  return finish_checkpoint(seq);
+}
+
+Status Store::write_snapshot(const exec::ExecContext& ctx,
+                             std::uint64_t seq) {
+  Timer timer;
   const std::vector<std::uint8_t> image = encode_snapshot(ctx, seq);
   GEMS_RETURN_IF_ERROR(
       write_file_durable(snapshot_path(), image)
           .with_context("checkpoint snapshot"));
-  // Crash window here: new snapshot + old WAL. Safe — replay skips
-  // records with seq <= the snapshot's wal_seq.
-  GEMS_RETURN_IF_ERROR(wal_->rotate(seq).with_context("checkpoint rotate"));
   const double us = timer.elapsed_us();
   metrics_.record_snapshot(image.size(), static_cast<std::uint64_t>(us));
-  last_checkpoint_seq_ = seq;
   GEMS_LOG(Info) << "checkpoint: " << image.size() << " bytes at WAL seq "
                  << seq << " (" << us / 1e3 << " ms)";
+  return Status::ok();
+}
+
+Status Store::finish_checkpoint(std::uint64_t seq) {
+  // Crash window before the rotate: new snapshot + old WAL. Safe — replay
+  // skips records with seq <= the snapshot's wal_seq.
+  if (wal_->last_seq() != seq) {
+    // Writers appended while the snapshot was encoded outside the lock
+    // (gems::mvcc pinned-epoch checkpoints). rotate(seq) would drop those
+    // newer records; keep the WAL instead — the snapshot is still valid
+    // and replay skips the records it already covers.
+    GEMS_LOG(Info) << "checkpoint: WAL advanced past seq " << seq
+                   << " during snapshot encode; skipping rotation";
+    last_checkpoint_seq_ = seq;
+    return Status::ok();
+  }
+  GEMS_RETURN_IF_ERROR(wal_->rotate(seq).with_context("checkpoint rotate"));
+  last_checkpoint_seq_ = seq;
   return Status::ok();
 }
 

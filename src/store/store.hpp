@@ -47,7 +47,20 @@ class Store {
   /// Writes a snapshot of `ctx` (atomically replacing the previous one)
   /// and rotates the WAL. The caller must hold the database's statement
   /// lock so the state is consistent for the duration of the encode.
+  /// Equivalent to write_snapshot(ctx, wal_seq()) + finish_checkpoint().
   Status checkpoint(const exec::ExecContext& ctx);
+
+  /// Split checkpoint (gems::mvcc): capture `wal_seq()` together with a
+  /// pinned epoch under exclusive access, encode + durably write the
+  /// snapshot outside any lock via write_snapshot (ctx is the pinned
+  /// epoch's immutable state), then call finish_checkpoint(seq) under
+  /// exclusive access again — it rotates the WAL only if no writer
+  /// appended past `seq` in the meantime (rotation truncates all records,
+  /// so rotating past concurrent appends would lose them; skipping is
+  /// safe because replay ignores records the snapshot already covers).
+  std::uint64_t wal_seq() const { return wal_->last_seq(); }
+  Status write_snapshot(const exec::ExecContext& ctx, std::uint64_t seq);
+  Status finish_checkpoint(std::uint64_t seq);
 
   StoreMetrics& metrics() { return metrics_; }
   const StoreMetrics& metrics() const { return metrics_; }

@@ -339,13 +339,17 @@ TEST(ConcurrentAccessTest, EightReadersMatchSerialByteIdentical) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(mismatches.load(), 0);
 
-  const AccessMetricsSnapshot m = (*db)->access_metrics();
-  // Every script above is read-only: all executions took shared access.
-  EXPECT_GE(m.shared_acquired,
+  // Every script above is read-only: with gems::mvcc each execution pins
+  // an epoch instead of taking the access lock.
+  const mvcc::EpochMetricsSnapshot e = (*db)->epoch_metrics();
+  EXPECT_GE(e.pins_taken,
             static_cast<std::uint64_t>(kThreads * kRounds * scripts.size()));
-  // The `into table` scripts published their overlays exclusively.
+  EXPECT_EQ(e.pinned_readers, 0u);  // all pins released
+  const AccessMetricsSnapshot m = (*db)->access_metrics();
+  // Readers never touch the lock; only the `into table` scripts took
+  // brief exclusive windows to fold their overlays into new epochs.
+  EXPECT_EQ(m.shared_acquired, 0u);
   EXPECT_GE(m.exclusive_acquired, static_cast<std::uint64_t>(kThreads));
-  EXPECT_GE(m.peak_concurrent_shared, 1u);
 }
 
 TEST(ConcurrentAccessTest, ReadersNeverObserveHalfCommittedState) {
@@ -412,9 +416,13 @@ TEST(ConcurrentAccessTest, ReadersNeverObserveHalfCommittedState) {
   EXPECT_EQ((*db.table("Producers"))->num_rows(), base + 50 * kBatches);
 
   const AccessMetricsSnapshot m = db.access_metrics();
-  // Each ingest script and each checkpoint took exclusive access.
+  // Each ingest script and each checkpoint took exclusive access; the
+  // readers pinned epochs and never acquired the lock at all.
   EXPECT_GE(m.exclusive_acquired, static_cast<std::uint64_t>(2 * kBatches));
-  EXPECT_GE(m.shared_acquired, 1u);
+  EXPECT_EQ(m.shared_acquired, 0u);
+  const mvcc::EpochMetricsSnapshot e = db.epoch_metrics();
+  EXPECT_GE(e.pins_taken, static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(e.published, static_cast<std::uint64_t>(kBatches));
   std::filesystem::remove_all(dir);
 }
 

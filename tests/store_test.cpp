@@ -126,6 +126,7 @@ TEST(SnapshotTest, RoundTripPreservesState) {
   server::Database restored;  // fresh in-memory db as a decode target
   auto info = decode_snapshot(image, restored.context());
   ASSERT_TRUE(info.is_ok()) << info.status().to_string();
+  restored.refresh_epoch();  // decoded into the live context directly
   EXPECT_EQ(info->wal_seq, 7u);
   EXPECT_EQ(info->body_bytes + kSnapshotHeaderBytes, image.size());
 
