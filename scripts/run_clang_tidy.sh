@@ -44,9 +44,62 @@ fi
 # production tree must stay clean of.
 mapfile -t sources < <(cd "$repo_root" && find src examples -name '*.cpp' | sort)
 
+# Content-hash result cache: a TU whose source, included first-party
+# headers, tidy config and compile command are all unchanged since its
+# last clean run is skipped. Keyed by a hash over those inputs, so
+# touching one header only re-lints the TUs that include it (directly or
+# transitively — header content feeds the hash via the #include scan).
+# Only *clean* results are cached; findings always re-run. Disable with
+# GEMS_TIDY_NO_CACHE=1; the cache lives in BUILD_DIR/.tidy-cache.
+cache_dir="$build_dir/.tidy-cache"
+mkdir -p "$cache_dir"
+tu_hash() {
+  # Inputs: the TU, every first-party header it pulls in (computed with a
+  # transitive scan over quoted includes), .clang-tidy, the tidy binary
+  # version and the TU's entry in compile_commands.json.
+  local tu="$1"
+  {
+    "$tidy_bin" --version 2>/dev/null | head -n1
+    printf '%s\n' "$@"
+    cat "$repo_root/.clang-tidy" 2>/dev/null
+    python3 - "$repo_root" "$tu" <<'PY'
+import pathlib, re, sys
+root, tu = pathlib.Path(sys.argv[1]), sys.argv[2]
+seen, queue = set(), [root / tu]
+inc = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+while queue:
+    f = queue.pop()
+    if f in seen or not f.is_file():
+        continue
+    seen.add(f)
+    text = f.read_text(errors="replace")
+    sys.stdout.write(text)
+    for h in inc.findall(text):
+        queue.append(root / "src" / h)  # quoted includes resolve via -Isrc
+        queue.append(f.parent / h)
+PY
+    grep -F "$tu" "$build_dir/compile_commands.json" || true
+  } | sha256sum | cut -d' ' -f1
+}
+
 echo "run_clang_tidy.sh: $tidy_bin over ${#sources[@]} files" >&2
 status=0
+cached=0
 for src in "${sources[@]}"; do
-  "$tidy_bin" -p "$build_dir" --quiet "$@" "$repo_root/$src" || status=1
+  key=""
+  if [ -z "${GEMS_TIDY_NO_CACHE:-}" ]; then
+    key="$(tu_hash "$src" "$@")"
+    if [ -e "$cache_dir/$key" ]; then
+      cached=$((cached + 1))
+      continue
+    fi
+  fi
+  if "$tidy_bin" -p "$build_dir" --quiet "$@" "$repo_root/$src"; then
+    [ -n "$key" ] && touch "$cache_dir/$key"
+  else
+    status=1
+  fi
 done
+[ "$cached" -gt 0 ] && \
+  echo "run_clang_tidy.sh: $cached/${#sources[@]} unchanged (cache hit)" >&2
 exit $status

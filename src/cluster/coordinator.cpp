@@ -58,6 +58,7 @@ Coordinator::Coordinator(server::Database& db, CoordinatorOptions options)
   }
   totals_.num_ranks = static_cast<std::uint32_t>(options_.num_ranks);
   totals_.ranks.resize(options_.num_ranks);
+  rank_status_.resize(options_.num_ranks);
 }
 
 Coordinator::~Coordinator() { shutdown(); }
@@ -71,7 +72,7 @@ Status Coordinator::start() {
   std::uint64_t version = 0;
   std::vector<std::uint8_t> image = db_.snapshot_bytes(&version);
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     state_crc_ = crc32(image);
     state_bytes_ = std::move(image);
     state_version_ = version;
@@ -83,7 +84,7 @@ Status Coordinator::start() {
 }
 
 Status Coordinator::wait_for_ranks() {
-  std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+  sync::MutexLock jobs_lock(jobs_mutex_);
   for (std::size_t r = 0; r < options_.num_ranks; ++r) {
     GEMS_RETURN_IF_ERROR(ensure_rank_synced(static_cast<std::uint32_t>(r)));
   }
@@ -101,7 +102,7 @@ void Coordinator::attach() {
         match_distributed(stmt, network_index, net, params, ctx);
     if (!result.is_ok() &&
         result.status().code() == StatusCode::kUnimplemented) {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      sync::MutexLock lock(metrics_mutex_);
       ++totals_.fallbacks;
     }
     return result;
@@ -131,7 +132,7 @@ Result<exec::MatchResult> Coordinator::match_distributed(
   }
 
   // One collective job at a time on the wire.
-  std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+  sync::MutexLock jobs_lock(jobs_mutex_);
 
   // `ctx` is the state the query executes against — a pinned epoch's
   // immutable snapshot on the read path (safe to encode with no lock), or
@@ -147,15 +148,15 @@ Result<exec::MatchResult> Coordinator::match_distributed(
   // events are leftovers of a failed predecessor, and a dead rank cannot
   // be stuck in a barrier (jobs are serialized).
   {
-    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    sync::MutexLock lock(barrier_mutex_);
     barrier_arrivals_ = 0;
   }
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    sync::MutexLock lock(control_mutex_);
     control_.clear();
   }
 
-  const std::uint64_t job_id = next_job_id_++;
+  const std::uint64_t job_id = next_job_id_++;  // under jobs_mutex_
   JobPayload job;
   job.job_id = job_id;
   job.num_ranks = static_cast<std::uint32_t>(options_.num_ranks);
@@ -241,7 +242,7 @@ Result<exec::MatchResult> Coordinator::match_distributed(
 
   // ---- Account ---------------------------------------------------------
   {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    sync::MutexLock lock(metrics_mutex_);
     ++totals_.jobs;
     if (options_.record_transcripts) {
       last_transcripts_.assign(options_.num_ranks, {});
@@ -266,24 +267,24 @@ Result<exec::MatchResult> Coordinator::match_distributed(
 server::ClusterMetricsSnapshot Coordinator::metrics() const {
   server::ClusterMetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    sync::MutexLock lock(metrics_mutex_);
     snap = totals_;
   }
-  std::lock_guard<std::mutex> lock(control_mutex_);
-  for (std::size_t r = 0; r < conns_.size(); ++r) {
-    snap.ranks[r].connected = conns_[r]->connected;
+  sync::MutexLock lock(control_mutex_);
+  for (std::size_t r = 0; r < rank_status_.size(); ++r) {
+    snap.ranks[r].connected = rank_status_[r].connected;
   }
   return snap;
 }
 
 std::vector<std::vector<std::uint8_t>> Coordinator::last_transcripts()
     const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  sync::MutexLock lock(metrics_mutex_);
   return last_transcripts_;
 }
 
 std::uint64_t Coordinator::sync_count() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  sync::MutexLock lock(metrics_mutex_);
   return totals_.syncs;
 }
 
@@ -305,8 +306,8 @@ void Coordinator::shutdown() {
     RankConn& conn = *conns_[r];
     bool live = false;
     {
-      std::lock_guard<std::mutex> lock(control_mutex_);
-      live = conn.connected;
+      sync::MutexLock lock(control_mutex_);
+      live = rank_status_[r].connected;
     }
     if (live) {
       BspFrame frame;
@@ -315,7 +316,7 @@ void Coordinator::shutdown() {
       enqueue(static_cast<std::uint32_t>(r), std::move(frame));
     }
     {
-      std::lock_guard<std::mutex> lock(conn.mutex);
+      sync::MutexLock lock(conn.mutex);
       conn.writer_stop = true;
     }
     conn.cv.notify_all();
@@ -358,8 +359,8 @@ void Coordinator::accept_loop() {
     const std::uint32_t r = hello->rank;
     RankConn& conn = *conns_[r];
     {
-      std::lock_guard<std::mutex> lock(control_mutex_);
-      if (conn.connected) {
+      sync::MutexLock lock(control_mutex_);
+      if (rank_status_[r].connected) {
         GEMS_LOG(Warning) << "cluster: duplicate rank " << r
                           << " connection rejected";
         continue;
@@ -371,7 +372,7 @@ void Coordinator::accept_loop() {
 
     std::uint32_t current_crc = 0;
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      sync::MutexLock lock(state_mutex_);
       current_crc = state_crc_;
     }
     WelcomePayload welcome;
@@ -385,14 +386,14 @@ void Coordinator::accept_loop() {
 
     conn.socket = std::move(sock);
     {
-      std::lock_guard<std::mutex> lock(conn.mutex);
+      sync::MutexLock lock(conn.mutex);
       conn.outbox.clear();
       conn.writer_stop = false;
     }
     {
-      std::lock_guard<std::mutex> lock(control_mutex_);
-      conn.connected = true;
-      conn.state_crc = hello->state_crc;
+      sync::MutexLock lock(control_mutex_);
+      rank_status_[r].connected = true;
+      rank_status_[r].state_crc = hello->state_crc;
     }
     control_cv_.notify_all();
     conn.reader = std::thread([this, r] { reader_loop(r); });
@@ -427,7 +428,7 @@ void Coordinator::reader_loop(std::uint32_t rank) {
       case BspKind::kBarrier: {
         std::size_t arrivals = 0;
         {
-          std::lock_guard<std::mutex> lock(barrier_mutex_);
+          sync::MutexLock lock(barrier_mutex_);
           arrivals = ++barrier_arrivals_;
           if (arrivals == options_.num_ranks) barrier_arrivals_ = 0;
         }
@@ -445,8 +446,8 @@ void Coordinator::reader_loop(std::uint32_t rank) {
         net::WireReader r(frame->payload);
         Result<std::uint32_t> crc = r.u32();
         if (crc.is_ok()) {
-          std::lock_guard<std::mutex> lock(control_mutex_);
-          conn.state_crc = crc.value();
+          sync::MutexLock lock(control_mutex_);
+          rank_status_[rank].state_crc = crc.value();
         }
         control_cv_.notify_all();
         break;
@@ -472,10 +473,10 @@ void Coordinator::writer_loop(std::uint32_t rank) {
   for (;;) {
     BspFrame frame;
     {
-      std::unique_lock<std::mutex> lock(conn.mutex);
-      conn.cv.wait(lock, [&] {
-        return conn.writer_stop || !conn.outbox.empty();
-      });
+      sync::MutexLock lock(conn.mutex);
+      while (!conn.writer_stop && conn.outbox.empty()) {
+        conn.cv.wait(conn.mutex);
+      }
       if (conn.outbox.empty()) return;  // stopped and drained
       frame = std::move(conn.outbox.front());
       conn.outbox.pop_front();
@@ -487,7 +488,7 @@ void Coordinator::writer_loop(std::uint32_t rank) {
 void Coordinator::enqueue(std::uint32_t rank, BspFrame frame) {
   RankConn& conn = *conns_[rank];
   {
-    std::lock_guard<std::mutex> lock(conn.mutex);
+    sync::MutexLock lock(conn.mutex);
     if (conn.writer_stop) return;
     conn.outbox.push_back(std::move(frame));
   }
@@ -497,7 +498,7 @@ void Coordinator::enqueue(std::uint32_t rank, BspFrame frame) {
 void Coordinator::post_control(std::uint32_t rank,
                                std::optional<BspFrame> frame) {
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    sync::MutexLock lock(control_mutex_);
     control_.push_back(ControlEvent{rank, std::move(frame)});
   }
   control_cv_.notify_all();
@@ -507,15 +508,15 @@ void Coordinator::disconnect(std::uint32_t rank) {
   RankConn& conn = *conns_[rank];
   conn.socket.shutdown();
   {
-    std::lock_guard<std::mutex> lock(conn.mutex);
+    sync::MutexLock lock(conn.mutex);
     conn.writer_stop = true;
   }
   conn.cv.notify_all();
   bool was_connected = false;
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
-    was_connected = conn.connected;
-    conn.connected = false;
+    sync::MutexLock lock(control_mutex_);
+    was_connected = rank_status_[rank].connected;
+    rank_status_[rank].connected = false;
   }
   if (was_connected) {
     GEMS_LOG(Info) << "cluster: rank " << rank << " disconnected";
@@ -524,7 +525,7 @@ void Coordinator::disconnect(std::uint32_t rank) {
 }
 
 void Coordinator::refresh_state(const exec::ExecContext& ctx) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  sync::MutexLock lock(state_mutex_);
   if (state_version_ == ctx.graph_version) return;
   state_bytes_ = store::encode_snapshot(ctx, /*wal_seq=*/0);
   state_crc_ = crc32(state_bytes_);
@@ -532,47 +533,52 @@ void Coordinator::refresh_state(const exec::ExecContext& ctx) {
 }
 
 Status Coordinator::ensure_rank_synced(std::uint32_t rank) {
-  RankConn& conn = *conns_[rank];
-  const auto timeout =
+  const auto deadline =
+      std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.rank_wait_timeout_ms);
   std::uint32_t want = 0;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     want = state_crc_;
   }
   {
-    std::unique_lock<std::mutex> lock(control_mutex_);
-    if (!control_cv_.wait_for(lock, timeout,
-                              [&] { return conn.connected; })) {
-      return unavailable("cluster rank " + std::to_string(rank) +
-                         " is not connected; re-run the script");
+    sync::MutexLock lock(control_mutex_);
+    while (!rank_status_[rank].connected) {
+      if (!control_cv_.wait_until(control_mutex_, deadline) &&
+          !rank_status_[rank].connected) {
+        return unavailable("cluster rank " + std::to_string(rank) +
+                           " is not connected; re-run the script");
+      }
     }
-    if (conn.state_crc == want) return Status::ok();
+    if (rank_status_[rank].state_crc == want) return Status::ok();
   }
 
-  BspFrame sync;
-  sync.kind = BspKind::kSync;
-  sync.dest = rank;
+  BspFrame sync_frame;
+  sync_frame.kind = BspKind::kSync;
+  sync_frame.dest = rank;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    sync.payload = state_bytes_;
+    sync::MutexLock lock(state_mutex_);
+    sync_frame.payload = state_bytes_;
   }
-  const std::size_t image_bytes = sync.payload.size();
-  enqueue(rank, std::move(sync));
+  const std::size_t image_bytes = sync_frame.payload.size();
+  enqueue(rank, std::move(sync_frame));
   {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    sync::MutexLock lock(metrics_mutex_);
     ++totals_.syncs;
     totals_.sync_bytes += image_bytes;
   }
 
-  std::unique_lock<std::mutex> lock(control_mutex_);
-  if (!control_cv_.wait_for(lock, timeout, [&] {
-        return !conn.connected || conn.state_crc == want;
-      })) {
-    return unavailable("cluster rank " + std::to_string(rank) +
-                       " state sync timed out; re-run the script");
+  sync::MutexLock lock(control_mutex_);
+  while (rank_status_[rank].connected &&
+         rank_status_[rank].state_crc != want) {
+    if (!control_cv_.wait_until(control_mutex_, deadline) &&
+        rank_status_[rank].connected &&
+        rank_status_[rank].state_crc != want) {
+      return unavailable("cluster rank " + std::to_string(rank) +
+                         " state sync timed out; re-run the script");
+    }
   }
-  if (!conn.connected) {
+  if (!rank_status_[rank].connected) {
     return unavailable("cluster rank " + std::to_string(rank) +
                        " disconnected during state sync; re-run the "
                        "script");
@@ -581,10 +587,14 @@ Status Coordinator::ensure_rank_synced(std::uint32_t rank) {
 }
 
 Result<BspFrame> Coordinator::await_control(std::uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(control_mutex_);
-  if (!control_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                            [&] { return !control_.empty(); })) {
-    return deadline_exceeded("timed out waiting for cluster ranks");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  sync::MutexLock lock(control_mutex_);
+  while (control_.empty()) {
+    if (!control_cv_.wait_until(control_mutex_, deadline) &&
+        control_.empty()) {
+      return deadline_exceeded("timed out waiting for cluster ranks");
+    }
   }
   ControlEvent ev = std::move(control_.front());
   control_.pop_front();

@@ -22,12 +22,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -35,6 +33,7 @@
 
 #include "cluster/bsp_wire.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "exec/matcher.hpp"
 #include "net/socket.hpp"
 #include "server/cluster_metrics.hpp"
@@ -105,13 +104,18 @@ class Coordinator {
     std::thread reader;
     std::thread writer;
 
-    std::mutex mutex;  // guards outbox / writer_stop
-    std::condition_variable cv;
-    std::deque<BspFrame> outbox;
-    bool writer_stop = false;
+    sync::Mutex mutex;
+    sync::CondVar cv;
+    std::deque<BspFrame> outbox GEMS_GUARDED_BY(mutex);
+    bool writer_stop GEMS_GUARDED_BY(mutex) = false;
+  };
 
-    // Guarded by the coordinator's control_mutex_ (waiters use
-    // control_cv_): admission, disconnect, and the state-sync handshake.
+  /// Admission / state-sync view of one rank. Lives in the coordinator
+  /// (rank_status_, guarded by control_mutex_) rather than in RankConn:
+  /// its old home left the fields guarded by *another object's* mutex, a
+  /// relationship the thread safety analysis cannot express — now the
+  /// data and its capability share one owner.
+  struct RankStatus {
     bool connected = false;
     std::uint32_t state_crc = 0;  // last greeted/acked image CRC
   };
@@ -137,8 +141,10 @@ class Coordinator {
   void refresh_state(const exec::ExecContext& ctx);
 
   /// Ensures `rank` holds the current image: ships kSync and waits for
-  /// the ack when its CRC differs. Expects jobs_mutex_ held.
-  Status ensure_rank_synced(std::uint32_t rank);
+  /// the ack when its CRC differs. The REQUIRES annotation replaces the
+  /// old "expects jobs_mutex_ held" comment — calling it without the job
+  /// lock is now a compile error under clang.
+  Status ensure_rank_synced(std::uint32_t rank) GEMS_REQUIRES(jobs_mutex_);
 
   /// Waits for the next control event (kJobDone/kError/disconnect).
   Result<BspFrame> await_control(std::uint32_t timeout_ms);
@@ -154,29 +160,40 @@ class Coordinator {
 
   std::vector<std::unique_ptr<RankConn>> conns_;
 
-  // Barrier state: release every rank's outbox once all arrive.
-  std::mutex barrier_mutex_;
-  std::size_t barrier_arrivals_ = 0;
-
-  // Control inbox: reader threads post, the job driver consumes.
-  mutable std::mutex control_mutex_;
-  std::condition_variable control_cv_;
-  std::deque<ControlEvent> control_;
-
-  // Cached state image (what every rank must hold before a job).
-  mutable std::mutex state_mutex_;
-  std::vector<std::uint8_t> state_bytes_;
-  std::uint32_t state_crc_ = 0;
-  std::uint64_t state_version_ = ~0ull;  // ctx.graph_version at encode
+  // Lock order: jobs_mutex_ is the job driver's outermost lock; the four
+  // leaf mutexes below are taken (never nested in each other) under it.
+  // The ACQUIRED_BEFORE edges make an inversion a clang compile error.
 
   // One BSP job at a time.
-  std::mutex jobs_mutex_;
-  std::uint64_t next_job_id_ = 1;
+  sync::Mutex jobs_mutex_ GEMS_ACQUIRED_BEFORE(barrier_mutex_,
+                                               control_mutex_, state_mutex_,
+                                               metrics_mutex_);
+  std::uint64_t next_job_id_ GEMS_GUARDED_BY(jobs_mutex_) = 1;
 
-  // Metrics (guarded by metrics_mutex_).
-  mutable std::mutex metrics_mutex_;
-  server::ClusterMetricsSnapshot totals_;
-  std::vector<std::vector<std::uint8_t>> last_transcripts_;
+  // Barrier state: release every rank's outbox once all arrive.
+  sync::Mutex barrier_mutex_;
+  std::size_t barrier_arrivals_ GEMS_GUARDED_BY(barrier_mutex_) = 0;
+
+  // Control inbox: reader threads post, the job driver consumes. Also
+  // guards rank_status_ (waiters use control_cv_): admission, disconnect,
+  // and the state-sync handshake.
+  mutable sync::Mutex control_mutex_;
+  sync::CondVar control_cv_;
+  std::deque<ControlEvent> control_ GEMS_GUARDED_BY(control_mutex_);
+  std::vector<RankStatus> rank_status_ GEMS_GUARDED_BY(control_mutex_);
+
+  // Cached state image (what every rank must hold before a job).
+  mutable sync::Mutex state_mutex_;
+  std::vector<std::uint8_t> state_bytes_ GEMS_GUARDED_BY(state_mutex_);
+  std::uint32_t state_crc_ GEMS_GUARDED_BY(state_mutex_) = 0;
+  // ctx.graph_version at encode.
+  std::uint64_t state_version_ GEMS_GUARDED_BY(state_mutex_) = ~0ull;
+
+  // Metrics.
+  mutable sync::Mutex metrics_mutex_;
+  server::ClusterMetricsSnapshot totals_ GEMS_GUARDED_BY(metrics_mutex_);
+  std::vector<std::vector<std::uint8_t>> last_transcripts_
+      GEMS_GUARDED_BY(metrics_mutex_);
 };
 
 }  // namespace gems::cluster

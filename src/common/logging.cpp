@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace gems {
 namespace {
@@ -10,8 +11,8 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 // Serializes whole lines so concurrent ranks don't interleave mid-line.
-std::mutex& emit_mutex() {
-  static std::mutex m;
+sync::Mutex& emit_mutex() {
+  static sync::Mutex m;
   return m;
 }
 
@@ -51,7 +52,7 @@ LogLine::LogLine(LogLevel level, const char* file, int line)
 
 LogLine::~LogLine() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(emit_mutex());
+  sync::MutexLock lock(emit_mutex());
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

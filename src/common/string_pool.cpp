@@ -5,7 +5,7 @@
 namespace gems {
 
 StringId StringPool::intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   GEMS_CHECK_MSG(strings_.size() < kInvalidStringId,
@@ -19,24 +19,24 @@ StringId StringPool::intern(std::string_view s) {
 }
 
 StringId StringPool::find(std::string_view s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = index_.find(s);
   return it == index_.end() ? kInvalidStringId : it->second;
 }
 
 std::string_view StringPool::view(StringId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   GEMS_DCHECK(id < strings_.size());
   return strings_[id];
 }
 
 std::size_t StringPool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return strings_.size();
 }
 
 std::size_t StringPool::byte_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return bytes_;
 }
 

@@ -9,11 +9,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace gems {
 
@@ -57,17 +58,18 @@ class StringPool {
   /// unordered_map order is not stable across runs.)
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     for (std::size_t id = 0; id < strings_.size(); ++id) {
       fn(static_cast<StringId>(id), std::string_view(strings_[id]));
     }
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::string> strings_;
-  std::unordered_map<std::string_view, StringId> index_;
-  std::size_t bytes_ = 0;
+  mutable sync::Mutex mutex_;
+  std::deque<std::string> strings_ GEMS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string_view, StringId> index_
+      GEMS_GUARDED_BY(mutex_);
+  std::size_t bytes_ GEMS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gems

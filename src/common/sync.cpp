@@ -1,0 +1,14 @@
+#include "common/sync.hpp"
+
+namespace gems::sync {
+
+void CondVar::wait(Mutex& mu) {
+  // The caller's MutexLock (or annotated lock()) owns the capability; the
+  // adopt/release pair below moves the *native* mutex through the wait
+  // without ever transferring ownership as far as RAII is concerned.
+  std::unique_lock<std::mutex> native(mu.mutex_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace gems::sync

@@ -4,14 +4,14 @@
 // long-lived peers, not tasks.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace gems {
 
@@ -33,7 +33,7 @@ class ThreadPool {
         std::forward<Fn>(fn));
     std::future<void> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -57,10 +57,10 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  sync::Mutex mutex_;
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GEMS_GUARDED_BY(mutex_);
+  bool stop_ GEMS_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -51,7 +51,7 @@ SimCluster::SimCluster(std::size_t num_ranks) : num_ranks_(num_ranks) {
 void SimCluster::run(const std::function<void(RankCtx&)>& body) {
   for (auto& s : stats_) s = RankCommStats{};
   for (auto& mb : mailboxes_) {
-    std::lock_guard<std::mutex> lock(mb->mutex);
+    sync::MutexLock lock(mb->mutex);
     mb->queue.clear();
   }
   std::vector<std::thread> threads;
@@ -70,7 +70,7 @@ void SimCluster::deliver(int from, int to, int tag,
   GEMS_DCHECK(to >= 0 && static_cast<std::size_t>(to) < num_ranks_);
   {
     Mailbox& mb = *mailboxes_[to];
-    std::lock_guard<std::mutex> lock(mb.mutex);
+    sync::MutexLock lock(mb.mutex);
     Message m;
     m.from = from;
     m.tag = tag;
@@ -88,15 +88,15 @@ void SimCluster::deliver(int from, int to, int tag,
 
 Message SimCluster::take(int rank) {
   Mailbox& mb = *mailboxes_[rank];
-  std::unique_lock<std::mutex> lock(mb.mutex);
-  mb.cv.wait(lock, [&] { return !mb.queue.empty(); });
+  sync::MutexLock lock(mb.mutex);
+  while (mb.queue.empty()) mb.cv.wait(mb.mutex);
   Message m = std::move(mb.queue.front());
   mb.queue.pop_front();
   return m;
 }
 
 void SimCluster::barrier_wait() {
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  sync::MutexLock lock(barrier_mutex_);
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_count_ == num_ranks_) {
     barrier_count_ = 0;
@@ -104,8 +104,7 @@ void SimCluster::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock,
-                   [&] { return barrier_generation_ != generation; });
+  while (barrier_generation_ == generation) barrier_cv_.wait(barrier_mutex_);
 }
 
 std::uint64_t SimCluster::total_messages() const {

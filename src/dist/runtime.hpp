@@ -19,16 +19,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 
 namespace gems::dist {
 
@@ -178,9 +177,9 @@ class SimCluster {
   friend class RankCtx;
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> queue;
+    sync::Mutex mutex;
+    sync::CondVar cv;
+    std::deque<Message> queue GEMS_GUARDED_BY(mutex);
   };
 
   void deliver(int from, int to, int tag,
@@ -193,10 +192,10 @@ class SimCluster {
   std::vector<RankCommStats> stats_;
 
   // Reusable two-phase barrier.
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  std::size_t barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  sync::Mutex barrier_mutex_;
+  sync::CondVar barrier_cv_;
+  std::size_t barrier_count_ GEMS_GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_generation_ GEMS_GUARDED_BY(barrier_mutex_) = 0;
 };
 
 }  // namespace gems::dist

@@ -922,7 +922,7 @@ Result<MatchResult> match_network(const ConstraintNetwork& net,
 // ---- Matcher observability ------------------------------------------------
 
 void MatcherMetrics::record(const MatchStats& stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   ++agg_.queries;
   agg_.propagation_passes += stats.propagation_passes;
   agg_.edge_traversals += stats.edge_traversals;
@@ -932,7 +932,7 @@ void MatcherMetrics::record(const MatchStats& stats) {
 }
 
 MatcherMetricsSnapshot MatcherMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return agg_;
 }
 

@@ -24,9 +24,8 @@
 // (network.tree_exact). Otherwise the enumerator refines it.
 #pragma once
 
-#include <mutex>
-
 #include "common/histogram.hpp"
+#include "common/sync.hpp"
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "exec/network.hpp"
@@ -145,8 +144,8 @@ class MatcherMetrics {
   MatcherMetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  MatcherMetricsSnapshot agg_;
+  mutable sync::Mutex mutex_;
+  MatcherMetricsSnapshot agg_ GEMS_GUARDED_BY(mutex_);
 };
 
 }  // namespace gems::exec

@@ -5,7 +5,7 @@
 namespace gems::mvcc {
 
 std::shared_ptr<const plan::GraphStats> GraphEpoch::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   if (!stats_) {
     stats_ = std::make_shared<const plan::GraphStats>(
         plan::GraphStats::collect(ctx_.graph));
@@ -32,7 +32,7 @@ std::uint64_t EpochManager::publish(const exec::ExecContext& base) {
   epoch->ctx_.defer_catalog_writes = false;
   epoch->ctx_.params.clear();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   epoch->id_ = ++next_epoch_id_;
   if (planner_factory_) {
     // The closure captures the epoch raw — it is stored inside the epoch
@@ -44,12 +44,15 @@ std::uint64_t EpochManager::publish(const exec::ExecContext& base) {
   }
   if (current_ && current_->ctx_.graph_version == base.graph_version) {
     // Same graph (e.g. an overlay-only publication): adopt the previous
-    // epoch's memoized planner stats instead of recollecting.
-    std::lock_guard<std::mutex> stats_lock(current_->stats_mutex_);
+    // epoch's memoized planner stats instead of recollecting. Both stats
+    // mutexes are taken (the new epoch's is private and uncontended, but
+    // the guarded write still goes through its capability).
+    sync::MutexLock stats_lock(current_->stats_mutex_);
+    sync::MutexLock new_stats_lock(epoch->stats_mutex_);
     epoch->stats_ = current_->stats_;
   }
   if (current_) {
-    if (current_->pins_ > 0) {
+    if (pin_count_locked(current_.get()) > 0) {
       retired_.push_back(std::move(current_));
       ++retired_count_;
     } else {
@@ -63,10 +66,10 @@ std::uint64_t EpochManager::publish(const exec::ExecContext& base) {
 }
 
 EpochPin EpochManager::pin() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   GEMS_CHECK(current_ != nullptr);
   ++pins_taken_;
-  ++current_->pins_;
+  ++pin_counts_[current_.get()];
   const std::uint64_t pin_id = ++next_pin_id_;
   outstanding_.emplace(pin_id, std::chrono::steady_clock::now());
   peak_pinned_ = std::max<std::uint64_t>(peak_pinned_, outstanding_.size());
@@ -74,20 +77,28 @@ EpochPin EpochManager::pin() {
 }
 
 bool EpochManager::has_epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return current_ != nullptr;
 }
 
-void EpochManager::unpin(GraphEpoch* epoch, std::uint64_t pin_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+void EpochManager::unpin(const GraphEpoch* epoch, std::uint64_t pin_id) {
+  sync::MutexLock lock(mutex_);
   outstanding_.erase(pin_id);
-  if (epoch != nullptr && epoch->pins_ > 0) --epoch->pins_;
+  auto it = pin_counts_.find(epoch);
+  if (it != pin_counts_.end() && it->second > 0 && --it->second == 0) {
+    pin_counts_.erase(it);
+  }
   drain_locked();
+}
+
+std::uint64_t EpochManager::pin_count_locked(const GraphEpoch* epoch) const {
+  auto it = pin_counts_.find(epoch);
+  return it == pin_counts_.end() ? 0 : it->second;
 }
 
 void EpochManager::drain_locked() {
   for (auto it = retired_.begin(); it != retired_.end();) {
-    if ((*it)->pins_ == 0) {
+    if (pin_count_locked(it->get()) == 0) {
       it = retired_.erase(it);
       ++freed_;
     } else {
@@ -97,7 +108,7 @@ void EpochManager::drain_locked() {
 }
 
 void EpochManager::record_maintenance(bool delta, std::uint64_t ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (delta) {
     ++delta_ingests_;
     delta_ns_ += ns;
@@ -108,7 +119,7 @@ void EpochManager::record_maintenance(bool delta, std::uint64_t ns) {
 }
 
 EpochMetricsSnapshot EpochManager::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   EpochMetricsSnapshot snap;
   snap.published = published_;
   snap.retired = retired_count_;

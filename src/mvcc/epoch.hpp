@@ -23,9 +23,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "exec/executor.hpp"
 #include "mvcc/metrics.hpp"
 #include "plan/stats.hpp"
@@ -55,11 +56,9 @@ class GraphEpoch {
   std::uint64_t id_ = 0;
   exec::ExecContext ctx_;
 
-  mutable std::mutex stats_mutex_;
-  mutable std::shared_ptr<const plan::GraphStats> stats_;
-
-  // Outstanding pins; guarded by the owning manager's mutex.
-  std::uint64_t pins_ = 0;
+  mutable sync::Mutex stats_mutex_;
+  mutable std::shared_ptr<const plan::GraphStats> stats_
+      GEMS_GUARDED_BY(stats_mutex_);
 };
 
 using EpochPtr = std::shared_ptr<const GraphEpoch>;
@@ -116,6 +115,7 @@ class EpochManager {
   EpochManager() = default;
 
   void set_planner_factory(PlannerFactory factory) {
+    sync::MutexLock lock(mutex_);
     planner_factory_ = std::move(factory);
   }
 
@@ -141,30 +141,41 @@ class EpochManager {
 
  private:
   friend class EpochPin;
-  void unpin(GraphEpoch* epoch, std::uint64_t pin_id);
-  /// Frees retired epochs whose pins drained; call with mutex_ held.
-  void drain_locked();
+  void unpin(const GraphEpoch* epoch, std::uint64_t pin_id);
+  /// Frees retired epochs whose pins drained. The REQUIRES annotation is
+  /// the compiler-checked version of the old "call with mutex_ held"
+  /// comment: forgetting the lock is now a clang error, not a race.
+  void drain_locked() GEMS_REQUIRES(mutex_);
+  /// Outstanding pins for `epoch` (absent entry = zero).
+  std::uint64_t pin_count_locked(const GraphEpoch* epoch) const
+      GEMS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  PlannerFactory planner_factory_;
-  std::shared_ptr<GraphEpoch> current_;
-  std::vector<std::shared_ptr<GraphEpoch>> retired_;
+  mutable sync::Mutex mutex_;
+  PlannerFactory planner_factory_ GEMS_GUARDED_BY(mutex_);
+  std::shared_ptr<GraphEpoch> current_ GEMS_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<GraphEpoch>> retired_ GEMS_GUARDED_BY(mutex_);
 
-  std::uint64_t next_epoch_id_ = 0;
-  std::uint64_t next_pin_id_ = 0;
+  std::uint64_t next_epoch_id_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_pin_id_ GEMS_GUARDED_BY(mutex_) = 0;
   // pin id -> start time; ordered, so begin() is the oldest pin.
   std::map<std::uint64_t, std::chrono::steady_clock::time_point>
-      outstanding_;
+      outstanding_ GEMS_GUARDED_BY(mutex_);
+  // Per-epoch outstanding pin counts. Lives here (not in GraphEpoch)
+  // so the counter and the mutex that guards it share one owner — the
+  // old in-epoch counter was "guarded by the owning manager's mutex",
+  // a relationship the analysis cannot express or enforce.
+  std::unordered_map<const GraphEpoch*, std::uint64_t> pin_counts_
+      GEMS_GUARDED_BY(mutex_);
 
-  std::uint64_t published_ = 0;
-  std::uint64_t retired_count_ = 0;
-  std::uint64_t freed_ = 0;
-  std::uint64_t pins_taken_ = 0;
-  std::uint64_t peak_pinned_ = 0;
-  std::uint64_t delta_ingests_ = 0;
-  std::uint64_t full_rebuilds_ = 0;
-  std::uint64_t delta_ns_ = 0;
-  std::uint64_t rebuild_ns_ = 0;
+  std::uint64_t published_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retired_count_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t freed_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pins_taken_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t peak_pinned_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delta_ingests_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t full_rebuilds_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delta_ns_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rebuild_ns_ GEMS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gems::mvcc

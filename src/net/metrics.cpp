@@ -222,7 +222,7 @@ Result<MetricsSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
 }
 
 void MetricsRegistry::record(Verb verb, const Outcome& outcome) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   VerbMetrics& v = state_.verbs[static_cast<std::size_t>(verb)];
   ++v.requests;
   switch (outcome.code) {
@@ -253,7 +253,7 @@ void MetricsRegistry::record(Verb verb, const Outcome& outcome) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return state_;
 }
 

@@ -7,10 +7,10 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/histogram.hpp"
+#include "common/sync.hpp"
 #include "mvcc/metrics.hpp"
 #include "net/wire.hpp"
 #include "server/access.hpp"
@@ -94,8 +94,8 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  MetricsSnapshot state_;
+  mutable sync::Mutex mutex_;
+  MetricsSnapshot state_ GEMS_GUARDED_BY(mutex_);
 };
 
 }  // namespace gems::net

@@ -25,12 +25,12 @@ std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
 struct Server::SessionConn {
   Socket socket;
   std::uint64_t session_id = 0;
-  std::mutex write_mutex;
-  std::mutex cancel_mutex;
-  std::unordered_set<std::uint64_t> cancelled;
+  sync::Mutex write_mutex;
+  sync::Mutex cancel_mutex;
+  std::unordered_set<std::uint64_t> cancelled GEMS_GUARDED_BY(cancel_mutex);
 
   bool is_cancelled(std::uint64_t request_id) {
-    std::lock_guard<std::mutex> lock(cancel_mutex);
+    sync::MutexLock lock(cancel_mutex);
     return cancelled.erase(request_id) > 0;
   }
 };
@@ -77,28 +77,38 @@ void Server::stop() {
   listener_.shutdown();
   queue_cv_.notify_all();
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sync::MutexLock lock(sessions_mutex_);
     for (const auto& session : sessions_) session->socket.shutdown();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
-  for (auto& t : session_threads_) {
+  // Swap the reader threads out under the lock, join them outside it:
+  // joining under sessions_mutex_ would deadlock with a reader blocked
+  // on that same lock (and the analysis would flag the unlocked
+  // traversal the old code did after the accept join).
+  std::vector<std::thread> readers;
+  {
+    sync::MutexLock lock(sessions_mutex_);
+    readers.swap(session_threads_);
+  }
+  for (auto& t : readers) {
     if (t.joinable()) t.join();
   }
-  session_threads_.clear();
   workers_.reset();  // joins the drain tasks
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sync::MutexLock lock(sessions_mutex_);
     sessions_.clear();
   }
-  std::lock_guard<std::mutex> lock(shutdown_mutex_);
-  shutdown_requested_ = true;
+  {
+    sync::MutexLock lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
   shutdown_cv_.notify_all();
 }
 
 void Server::wait() {
-  std::unique_lock<std::mutex> lock(shutdown_mutex_);
-  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  sync::MutexLock lock(shutdown_mutex_);
+  while (!shutdown_requested_) shutdown_cv_.wait(shutdown_mutex_);
 }
 
 void Server::accept_loop() {
@@ -112,7 +122,7 @@ void Server::accept_loop() {
     session->socket = std::move(accepted).value();
     session->session_id =
         next_session_id_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sync::MutexLock lock(sessions_mutex_);
     if (!running_.load(std::memory_order_acquire)) return;
     sessions_.push_back(session);
     session_threads_.emplace_back(
@@ -137,7 +147,7 @@ std::size_t Server::respond(SessionConn& session, Verb verb,
     o.bytes_out = frame_bytes;
     metrics_.record(verb, o);
   }
-  std::lock_guard<std::mutex> lock(session.write_mutex);
+  sync::MutexLock lock(session.write_mutex);
   // A send failure means the client went away; the reader thread will see
   // the close and unwind, so the status is intentionally dropped here.
   (void)send_frame(session.socket, verb, /*is_response=*/true, request_id,
@@ -147,7 +157,7 @@ std::size_t Server::respond(SessionConn& session, Verb verb,
 
 bool Server::try_enqueue(Request request) {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    sync::MutexLock lock(queue_mutex_);
     if (queue_.size() >= options_.queue_capacity) return false;
     queue_.push_back(std::move(request));
   }
@@ -218,7 +228,7 @@ void Server::session_loop(const std::shared_ptr<SessionConn>& session) {
         auto request = decode_cancel_request(frame->payload);
         Status status = request.is_ok() ? Status::ok() : request.status();
         if (status.is_ok()) {
-          std::lock_guard<std::mutex> lock(session->cancel_mutex);
+          sync::MutexLock lock(session->cancel_mutex);
           session->cancelled.insert(request->target_request_id);
         }
         const MetricsRegistry::Outcome outcome{status.code(), bytes_in, 0, 0,
@@ -253,8 +263,10 @@ void Server::session_loop(const std::shared_ptr<SessionConn>& session) {
                 &outcome);
         // Flip the wait() latch; the owner decides to stop(). Stopping
         // from this thread would deadlock on joining ourselves.
-        std::lock_guard<std::mutex> lock(shutdown_mutex_);
-        shutdown_requested_ = true;
+        {
+          sync::MutexLock lock(shutdown_mutex_);
+          shutdown_requested_ = true;
+        }
         shutdown_cv_.notify_all();
         return;
       }
@@ -290,10 +302,10 @@ void Server::worker_loop() {
   for (;;) {
     Request request;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
-      });
+      sync::MutexLock lock(queue_mutex_);
+      while (!stopping_.load(std::memory_order_acquire) && queue_.empty()) {
+        queue_cv_.wait(queue_mutex_);
+      }
       if (stopping_.load(std::memory_order_acquire)) return;
       request = std::move(queue_.front());
       queue_.pop_front();

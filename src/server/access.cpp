@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/check.hpp"
+
 namespace gems::server {
 
 namespace {
@@ -36,80 +38,72 @@ std::string AccessMetricsSnapshot::to_string() const {
   return out.str();
 }
 
-AccessGuard::Lock& AccessGuard::Lock::operator=(Lock&& other) noexcept {
-  if (this != &other) {
-    release();
-    guard_ = other.guard_;
-    mode_ = other.mode_;
-    acquired_ = other.acquired_;
-    other.guard_ = nullptr;
-  }
-  return *this;
-}
-
-void AccessGuard::Lock::release() {
-  if (guard_ == nullptr) return;
-  guard_->release(mode_, acquired_);
-  guard_ = nullptr;
-}
-
-AccessGuard::Lock AccessGuard::acquire(AccessMode mode) {
+void AccessGuard::lock() {
   const Clock::time_point requested = Clock::now();
-  if (mode == AccessMode::kShared) {
-    {
-      std::unique_lock<std::mutex> lk(mutex_);
-      // Writer preference: a queued exclusive blocks *new* readers, so
-      // mutations only wait for in-flight readers to drain.
-      cv_.wait(lk, [this] {
-        return !writer_active_ && writers_waiting_ == 0;
-      });
-      ++readers_;
-    }
-    const Clock::time_point acquired = Clock::now();
-    shared_acquired_.fetch_add(1, std::memory_order_relaxed);
-    shared_wait_us_.fetch_add(elapsed_us(requested, acquired),
-                              std::memory_order_relaxed);
-    const std::uint64_t active =
-        active_shared_.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::uint64_t peak = peak_shared_.load(std::memory_order_relaxed);
-    while (active > peak &&
-           !peak_shared_.compare_exchange_weak(peak, active,
-                                               std::memory_order_relaxed)) {
-    }
-    return Lock(this, mode, acquired);
-  }
   {
-    std::unique_lock<std::mutex> lk(mutex_);
+    sync::MutexLock lk(mutex_);
     ++writers_waiting_;
-    cv_.wait(lk, [this] { return !writer_active_ && readers_ == 0; });
+    while (writer_active_ || readers_ != 0) cv_.wait(mutex_);
     --writers_waiting_;
     writer_active_ = true;
+    exclusive_acquired_at_ = Clock::now();
+    exclusive_wait_us_.fetch_add(elapsed_us(requested, exclusive_acquired_at_),
+                                 std::memory_order_relaxed);
   }
-  const Clock::time_point acquired = Clock::now();
   exclusive_acquired_.fetch_add(1, std::memory_order_relaxed);
-  exclusive_wait_us_.fetch_add(elapsed_us(requested, acquired),
-                               std::memory_order_relaxed);
-  return Lock(this, mode, acquired);
 }
 
-void AccessGuard::release(AccessMode mode, Clock::time_point acquired) {
-  const std::uint64_t held_us = elapsed_us(acquired, Clock::now());
-  if (mode == AccessMode::kShared) {
-    shared_held_us_.fetch_add(held_us, std::memory_order_relaxed);
-    active_shared_.fetch_sub(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lk(mutex_);
-      --readers_;
-    }
-    cv_.notify_all();
-    return;
-  }
-  exclusive_held_us_.fetch_add(held_us, std::memory_order_relaxed);
+void AccessGuard::unlock() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    sync::MutexLock lk(mutex_);
+    exclusive_held_us_.fetch_add(
+        elapsed_us(exclusive_acquired_at_, Clock::now()),
+        std::memory_order_relaxed);
     writer_active_ = false;
   }
   cv_.notify_all();
+}
+
+Clock::time_point AccessGuard::lock_shared() {
+  const Clock::time_point requested = Clock::now();
+  {
+    sync::MutexLock lk(mutex_);
+    // Writer preference: a queued exclusive blocks *new* readers, so
+    // mutations only wait for in-flight readers to drain.
+    while (writer_active_ || writers_waiting_ != 0) cv_.wait(mutex_);
+    ++readers_;
+  }
+  const Clock::time_point acquired = Clock::now();
+  shared_acquired_.fetch_add(1, std::memory_order_relaxed);
+  shared_wait_us_.fetch_add(elapsed_us(requested, acquired),
+                            std::memory_order_relaxed);
+  const std::uint64_t active =
+      active_shared_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_shared_.load(std::memory_order_relaxed);
+  while (active > peak &&
+         !peak_shared_.compare_exchange_weak(peak, active,
+                                             std::memory_order_relaxed)) {
+  }
+  return acquired;
+}
+
+void AccessGuard::unlock_shared(Clock::time_point acquired) {
+  shared_held_us_.fetch_add(elapsed_us(acquired, Clock::now()),
+                            std::memory_order_relaxed);
+  active_shared_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    sync::MutexLock lk(mutex_);
+    --readers_;
+  }
+  cv_.notify_all();
+}
+
+void AccessGuard::assert_exclusive_held() const {
+  sync::MutexLock lk(mutex_);
+  // Quiescent (readers_ == 0, nothing queued) covers single-threaded
+  // tooling that drives the live context without going through the
+  // guard; any concurrent shared holder makes this fail loudly.
+  GEMS_CHECK(writer_active_ || (readers_ == 0 && writers_waiting_ == 0));
 }
 
 AccessMetricsSnapshot AccessGuard::snapshot() const {

@@ -11,17 +11,26 @@
 // number of concurrent shared holders. Those counters surface in
 // Database metrics, the net `stats` verb, and the shell's `\accessstats`.
 //
-// Lock order (see DESIGN.md §5g): the access guard is always the
-// *outermost* lock; `stats_mutex_` and `wal_mutex_` are only ever taken
-// while it is held, and never the other way around.
+// Lock order (see DESIGN.md §5j): the access guard is always the
+// *outermost* database lock; `stats_mutex_` and `wal_mutex_` are only
+// ever taken while it is held, and never the other way around. That
+// order is encoded with GEMS_ACQUIRED_BEFORE in database.hpp so clang's
+// thread safety analysis rejects inversions at compile time.
+//
+// AccessGuard itself is a GEMS_CAPABILITY: members the guard protects
+// can be declared GEMS_GUARDED_BY(access_), functions that require it
+// held GEMS_REQUIRES(access_). Acquisition goes through the scoped
+// holders SharedAccessLock / ExclusiveAccessLock — there is no movable
+// hold object, because the analysis cannot track capabilities through
+// moves.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/sync.hpp"
 
 namespace gems::server {
 
@@ -48,61 +57,57 @@ struct AccessMetricsSnapshot {
   std::string to_string() const;
 };
 
-/// A writer-preferring readers-writer lock with RAII acquisition and
-/// wait/hold-time accounting. Hand-rolled over mutex + condvar rather
-/// than std::shared_mutex because glibc's pthread_rwlock default prefers
+/// A writer-preferring readers-writer lock with wait/hold-time
+/// accounting. Hand-rolled over mutex + condvar rather than
+/// std::shared_mutex because glibc's pthread_rwlock default prefers
 /// readers: a steady stream of read-only scripts would starve ingest and
 /// checkpoints indefinitely. Here a waiting writer blocks *new* shared
 /// acquisitions, so mutations wait only for in-flight readers to drain
 /// (read-mostly workloads keep that wait brief). Counter updates are
 /// relaxed atomics: they order nothing, they only have to add up.
-class AccessGuard {
+class GEMS_CAPABILITY("AccessGuard") AccessGuard {
  public:
-  /// Movable RAII hold on the guard. `release()` ends the hold early —
-  /// the shared execution path uses that to drop shared access before
-  /// re-acquiring exclusively for the overlay commit (there is no
-  /// shared->exclusive upgrade, and holding shared while requesting
-  /// exclusive would deadlock).
-  class [[nodiscard]] Lock {
-   public:
-    Lock() = default;
-    Lock(Lock&& other) noexcept { *this = std::move(other); }
-    Lock& operator=(Lock&& other) noexcept;
-    Lock(const Lock&) = delete;
-    Lock& operator=(const Lock&) = delete;
-    ~Lock() { release(); }
+  using Clock = std::chrono::steady_clock;
 
-    void release();
-    bool held() const { return guard_ != nullptr; }
-    AccessMode mode() const { return mode_; }
+  AccessGuard() = default;
+  AccessGuard(const AccessGuard&) = delete;
+  AccessGuard& operator=(const AccessGuard&) = delete;
 
-   private:
-    friend class AccessGuard;
-    Lock(AccessGuard* guard, AccessMode mode,
-         std::chrono::steady_clock::time_point acquired)
-        : guard_(guard), mode_(mode), acquired_(acquired) {}
+  /// Blocks until sole (exclusive) access is granted: waits for every
+  /// holder to release and excludes everyone — including new shared
+  /// requests — while pending or held. Prefer ExclusiveAccessLock.
+  void lock() GEMS_ACQUIRE();
+  void unlock() GEMS_RELEASE();
 
-    AccessGuard* guard_ = nullptr;
-    AccessMode mode_ = AccessMode::kShared;
-    std::chrono::steady_clock::time_point acquired_{};
-  };
+  /// Blocks until shared access is granted (coexists with other shared
+  /// holders; defers to queued writers). Returns the acquisition
+  /// timestamp — hand it back to unlock_shared() so hold time is
+  /// attributed per holder. Prefer SharedAccessLock.
+  Clock::time_point lock_shared() GEMS_ACQUIRE_SHARED();
+  void unlock_shared(Clock::time_point acquired) GEMS_RELEASE_SHARED();
 
-  /// Blocks until access is granted. Shared requests coexist; an
-  /// exclusive request waits for every holder to release and excludes
-  /// everyone (including new shared requests) while pending or held.
-  Lock acquire(AccessMode mode);
+  /// Runtime-verified assertion that the caller has sole use of the
+  /// guarded state: either it holds the exclusive lock, or the access
+  /// layer is quiescent (no readers, no queued writers — the documented
+  /// single-threaded tooling mode that drives `Database::context()`
+  /// directly). For closures (planner hooks, mutation callbacks) that
+  /// run under exclusive access but where the analysis cannot see the
+  /// caller's capability across the std::function boundary. A shared
+  /// reader reaching one of those closures registers as a reader and
+  /// fails the check.
+  void assert_exclusive_held() const GEMS_ASSERT_CAPABILITY(this);
 
   AccessMetricsSnapshot snapshot() const;
 
  private:
-  void release(AccessMode mode,
-               std::chrono::steady_clock::time_point acquired);
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t readers_ = 0;        // active shared holders   (mutex_)
-  std::uint64_t writers_waiting_ = 0;  // queued exclusives      (mutex_)
-  bool writer_active_ = false;       // exclusive holder present (mutex_)
+  mutable sync::Mutex mutex_;
+  sync::CondVar cv_;
+  std::uint64_t readers_ GEMS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t writers_waiting_ GEMS_GUARDED_BY(mutex_) = 0;
+  bool writer_active_ GEMS_GUARDED_BY(mutex_) = false;
+  // Exclusive holds never overlap, so one slot suffices (shared holds
+  // overlap; their timestamps live in each SharedAccessLock).
+  Clock::time_point exclusive_acquired_at_ GEMS_GUARDED_BY(mutex_){};
 
   std::atomic<std::uint64_t> shared_acquired_{0};
   std::atomic<std::uint64_t> exclusive_acquired_{0};
@@ -112,6 +117,40 @@ class AccessGuard {
   std::atomic<std::uint64_t> exclusive_held_us_{0};
   std::atomic<std::uint64_t> active_shared_{0};
   std::atomic<std::uint64_t> peak_shared_{0};
+};
+
+/// Scoped exclusive hold on an AccessGuard.
+class GEMS_SCOPED_CAPABILITY [[nodiscard]] ExclusiveAccessLock {
+ public:
+  explicit ExclusiveAccessLock(AccessGuard& guard) GEMS_ACQUIRE(guard)
+      : guard_(guard) {
+    guard_.lock();
+  }
+  ~ExclusiveAccessLock() GEMS_RELEASE() { guard_.unlock(); }
+
+  ExclusiveAccessLock(const ExclusiveAccessLock&) = delete;
+  ExclusiveAccessLock& operator=(const ExclusiveAccessLock&) = delete;
+
+ private:
+  AccessGuard& guard_;
+};
+
+/// Scoped shared hold on an AccessGuard. There is no shared->exclusive
+/// upgrade: holding shared while requesting exclusive would deadlock, so
+/// code that needs to commit drops its shared hold (end of scope) before
+/// constructing an ExclusiveAccessLock.
+class GEMS_SCOPED_CAPABILITY [[nodiscard]] SharedAccessLock {
+ public:
+  explicit SharedAccessLock(AccessGuard& guard) GEMS_ACQUIRE_SHARED(guard)
+      : guard_(guard), acquired_(guard.lock_shared()) {}
+  ~SharedAccessLock() GEMS_RELEASE_GENERIC() { guard_.unlock_shared(acquired_); }
+
+  SharedAccessLock(const SharedAccessLock&) = delete;
+  SharedAccessLock& operator=(const SharedAccessLock&) = delete;
+
+ private:
+  AccessGuard& guard_;
+  AccessGuard::Clock::time_point acquired_;
 };
 
 }  // namespace gems::server

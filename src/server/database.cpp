@@ -38,6 +38,13 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
     // This hook serves the writer path, which executes against the live
     // context under exclusive access.
     ctx_.planner = [this](const exec::ConstraintNetwork& net) {
+      // The executor invokes this while a mutating script holds
+      // exclusive access (or from single-threaded tooling driving the
+      // live context directly — the quiescent case the assert also
+      // accepts), but the std::function boundary hides that from the
+      // static analysis — assert the capability (runtime-checked) so
+      // the guarded reads below are verified, not waived.
+      access_.assert_exclusive_held();
       // Keep the snapshot alive across planning: a concurrent DDL/ingest
       // (impossible under exclusive access, but cheap to be safe) would
       // otherwise swap the cache out from under us.
@@ -88,12 +95,12 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
     }
     store_ = std::move(store).value();
     ctx_.on_mutation = [this](const exec::MutationEvent& ev) {
-      std::lock_guard<std::mutex> lock(wal_mutex_);
+      sync::MutexLock lock(wal_mutex_);
       Status s = store_->log_mutation(ev);
       if (!s.is_ok()) {
         // The mutation is applied in memory but missing from the log:
         // continuing would serve state a restart cannot reproduce.
-        std::lock_guard<std::mutex> status_lock(store_status_mutex_);
+        sync::MutexLock status_lock(store_status_mutex_);
         store_status_ = s;
       }
       return s;
@@ -106,11 +113,15 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   if (store_ != nullptr) {
     if (options_.checkpoint_interval_ms > 0) {
       checkpoint_thread_ = std::thread([this] {
-        std::unique_lock<std::mutex> lk(checkpoint_mutex_);
+        sync::MutexLock lk(checkpoint_mutex_);
         while (!stop_checkpoint_) {
           checkpoint_cv_.wait_for(
-              lk, std::chrono::milliseconds(options_.checkpoint_interval_ms));
+              checkpoint_mutex_,
+              std::chrono::milliseconds(options_.checkpoint_interval_ms));
           if (stop_checkpoint_) break;
+          // Drop checkpoint_mutex_ around the checkpoint: it sits outside
+          // the lock hierarchy and must never be held across the access
+          // guard acquisition inside checkpoint().
           lk.unlock();
           const Status s = checkpoint();
           if (!s.is_ok()) {
@@ -127,7 +138,7 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
 Database::~Database() {
   if (checkpoint_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lk(checkpoint_mutex_);
+      sync::MutexLock lk(checkpoint_mutex_);
       stop_checkpoint_ = true;
     }
     checkpoint_cv_.notify_all();
@@ -136,7 +147,7 @@ Database::~Database() {
 }
 
 Status Database::store_status() const {
-  const std::lock_guard<std::mutex> lock(store_status_mutex_);
+  sync::MutexLock lock(store_status_mutex_);
   return store_status_;
 }
 
@@ -147,7 +158,7 @@ Status Database::checkpoint() {
   }
   // Serialize whole checkpoints: two interleaved capture/encode/finish
   // sequences could rotate the WAL on a stale sequence number.
-  const std::lock_guard<std::mutex> serial(checkpoint_serial_mutex_);
+  sync::MutexLock serial(checkpoint_serial_mutex_);
   mvcc::EpochPin pin;
   std::uint64_t seq = 0;
   {
@@ -155,7 +166,9 @@ Status Database::checkpoint() {
     // the WAL sequence number are captured consistently: the current
     // epoch is exactly the state the log reaches at `seq` (every
     // mutating script publishes before releasing exclusive access).
-    const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+    // epoch-pin-lint: allow (pin taken *after* the acquisition; the scope
+    // releases the guard while the pin stays live, never the reverse)
+    const ExclusiveAccessLock lock(access_);
     GEMS_RETURN_IF_ERROR(store_status());
     pin = epochs_.pin();
     seq = store_->wal_seq();
@@ -168,12 +181,12 @@ Status Database::checkpoint() {
   // finish_checkpoint skips the rotation when the WAL advanced past
   // `seq` while we encoded — the snapshot is still valid, replay skips
   // the records it covers.
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+  const ExclusiveAccessLock lock(access_);
   return store_->finish_checkpoint(seq);
 }
 
 void Database::refresh_epoch() {
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+  const ExclusiveAccessLock lock(access_);
   epochs_.publish(ctx_);
 }
 
@@ -186,19 +199,19 @@ std::vector<std::uint8_t> Database::snapshot_bytes(
 
 void Database::set_cluster_metrics_provider(
     std::function<ClusterMetricsSnapshot()> provider) {
-  const std::lock_guard<std::mutex> lock(cluster_mutex_);
+  sync::MutexLock lock(cluster_mutex_);
   cluster_provider_ = std::move(provider);
 }
 
 bool Database::has_cluster() const {
-  const std::lock_guard<std::mutex> lock(cluster_mutex_);
+  sync::MutexLock lock(cluster_mutex_);
   return cluster_provider_ != nullptr;
 }
 
 ClusterMetricsSnapshot Database::cluster_metrics() const {
   std::function<ClusterMetricsSnapshot()> provider;
   {
-    const std::lock_guard<std::mutex> lock(cluster_mutex_);
+    sync::MutexLock lock(cluster_mutex_);
     provider = cluster_provider_;
   }
   if (!provider) return {};
@@ -231,7 +244,7 @@ std::string Database::match_stats() const {
 }
 
 std::shared_ptr<const plan::GraphStats> Database::cached_stats() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   if (stats_ == nullptr || stats_version_ != ctx_.graph_version) {
     stats_ = std::make_shared<const plan::GraphStats>(
         plan::GraphStats::collect(ctx_.graph));
@@ -453,7 +466,7 @@ Result<std::vector<StatementResult>> Database::run_parsed(
   // Mutating script: sole holder — excludes other writers, overlay
   // commits and checkpoint capture windows while it applies. Readers are
   // unaffected: they execute against previously pinned epochs.
-  const AccessGuard::Lock lock = access_.acquire(AccessMode::kExclusive);
+  const ExclusiveAccessLock lock(access_);
 
   // Fail-stop: a broken store (failed open, or a WAL append that diverged
   // the log from memory) refuses all further scripts.
@@ -515,7 +528,7 @@ Result<std::vector<StatementResult>> Database::run_parsed_shared(
   // fresh epoch, all under brief exclusive access — no reader ever
   // observes a half-committed catalog (they pin whole epochs).
   pin.release();
-  const AccessGuard::Lock commit = access_.acquire(AccessMode::kExclusive);
+  const ExclusiveAccessLock commit(access_);
   if (!overlay.subgraphs.empty() &&
       ctx_.renumber_version != renumber_at_read) {
     // A full graph rebuild happened between pin and commit, so existing

@@ -11,15 +11,14 @@
 // across a wire needs no query-path changes.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "exec/executor.hpp"
 #include "graql/analyzer.hpp"
@@ -141,14 +140,29 @@ class Database {
                                  const relational::ParamMap& params = {});
 
   // ---- Introspection --------------------------------------------------
-  const storage::TableCatalog& tables() const { return ctx_.tables; }
-  const graph::GraphView& graph() const { return ctx_.graph; }
-  Result<storage::TablePtr> table(const std::string& name) const {
+  // These accessors hand out references into the *live* context without
+  // holding the access guard: they exist for single-threaded tooling
+  // (benchmark generators, test fixtures) that owns the database outright.
+  // Concurrent readers must use the epoch-pinned paths (pin_epoch(),
+  // catalog(), meta_catalog()) instead — hence the explicit opt-out from
+  // the analysis rather than a GEMS_REQUIRES(access_) they could not
+  // satisfy.
+  const storage::TableCatalog& tables() const
+      GEMS_NO_THREAD_SAFETY_ANALYSIS {
+    return ctx_.tables;
+  }
+  const graph::GraphView& graph() const GEMS_NO_THREAD_SAFETY_ANALYSIS {
+    return ctx_.graph;
+  }
+  Result<storage::TablePtr> table(const std::string& name) const
+      GEMS_NO_THREAD_SAFETY_ANALYSIS {
     return ctx_.tables.find(name);
   }
   Result<exec::SubgraphPtr> subgraph(const std::string& name) const;
   StringPool& pool() { return pool_; }
-  exec::ExecContext& context() { return ctx_; }
+  exec::ExecContext& context() GEMS_NO_THREAD_SAFETY_ANALYSIS {
+    return ctx_;
+  }
 
   /// All catalog objects with sizes, sorted by name within kind.
   std::vector<CatalogEntry> catalog() const;
@@ -162,9 +176,12 @@ class Database {
 
   /// Graph statistics over the *live* context (Sec. III-B), cached until
   /// DDL/ingest changes the instance sets. Used by the writer-path
-  /// planner; precondition: the caller holds exclusive access. Read paths
-  /// use the pinned epoch's memoized stats (GraphEpoch::stats()) instead.
-  std::shared_ptr<const plan::GraphStats> cached_stats();
+  /// planner; the caller must hold exclusive access (compiler-enforced
+  /// under clang; closures that the analysis cannot see through call
+  /// access_.assert_exclusive_held() first). Read paths use the pinned
+  /// epoch's memoized stats (GraphEpoch::stats()) instead.
+  std::shared_ptr<const plan::GraphStats> cached_stats()
+      GEMS_REQUIRES(access_);
 
   // ---- Durability (gems::store) ---------------------------------------
   /// True when the database runs over a persistent store.
@@ -177,8 +194,9 @@ class Database {
   /// Snapshots the current state and rotates the WAL. Pins the current
   /// epoch under a brief exclusive window, then encodes the image outside
   /// all locks (writers keep running). Fails when the database has no
-  /// store.
-  Status checkpoint();
+  /// store. Callers must not already hold the access guard (the capture
+  /// window acquires it).
+  Status checkpoint() GEMS_EXCLUDES(access_);
 
   /// Recovery info from open (zeroed for in-memory databases).
   store::StoreMetricsSnapshot store_metrics() const;
@@ -189,10 +207,15 @@ class Database {
   // ---- Matcher observability -------------------------------------------
   /// Aggregate matcher activity since open (fixpoint passes, edge
   /// traversals, parallel task/merge accounting).
-  exec::MatcherMetricsSnapshot match_metrics() const;
+  ///
+  /// Analysis waiver: reaches through `ctx_` (guarded by `access_`), but
+  /// only to the `matcher_metrics` shared_ptr, which is set at open and
+  /// never reassigned; the metrics object is internally synchronized.
+  exec::MatcherMetricsSnapshot match_metrics() const
+      GEMS_NO_THREAD_SAFETY_ANALYSIS;
 
-  /// Human-readable `\matchstats` rendering.
-  std::string match_stats() const;
+  /// Human-readable `\matchstats` rendering. Same waiver as above.
+  std::string match_stats() const GEMS_NO_THREAD_SAFETY_ANALYSIS;
 
   // ---- Access-layer observability --------------------------------------
   /// Shared/exclusive acquisition, wait and hold counters since open.
@@ -281,21 +304,38 @@ class Database {
 
   DatabaseOptions options_;
   StringPool pool_;
-  exec::ExecContext ctx_;
-  std::unique_ptr<ThreadPool> statement_pool_;  // for parallel_statements
-  std::unique_ptr<ThreadPool> intra_pool_;      // for parallel scans
 
-  std::mutex stats_mutex_;
-  std::shared_ptr<const plan::GraphStats> stats_;
-  std::uint64_t stats_version_ = ~0ull;
+  // ---- Lock hierarchy (DESIGN.md §5j) ----------------------------------
+  // checkpoint_serial_mutex_ > access_ > stats_mutex_ > wal_mutex_ >
+  // store_status_mutex_. The GEMS_ACQUIRED_BEFORE chain below encodes the
+  // order: under clang -Wthread-safety-beta an inversion is a compile
+  // error, not a deadlock in production.
+
+  /// Serializes whole checkpoints against each other: two interleaved
+  /// capture/encode/finish sequences could rotate the WAL on a stale
+  /// sequence number. Taken before (outside) the access guard.
+  sync::Mutex checkpoint_serial_mutex_ GEMS_ACQUIRED_BEFORE(access_);
 
   /// The writer-side access layer (see access.hpp): mutating scripts,
   /// overlay commits and checkpoint capture windows hold it exclusively.
   /// Read-only scripts no longer acquire it at all — they pin an epoch
   /// (epochs_) and execute against that immutable snapshot, so writers
   /// never block readers and readers never block writers beyond the brief
-  /// publication window. Outermost in the lock order.
-  mutable AccessGuard access_;
+  /// publication window. Outermost of the database's per-statement locks.
+  mutable AccessGuard access_ GEMS_ACQUIRED_BEFORE(stats_mutex_, wal_mutex_);
+
+  /// Live execution context: tables, graph, subgraphs, bound params.
+  /// Mutated only under exclusive access; read paths never touch it (they
+  /// pin an epoch). The raw accessors above opt out of the analysis for
+  /// single-threaded tooling.
+  exec::ExecContext ctx_ GEMS_GUARDED_BY(access_);
+  std::unique_ptr<ThreadPool> statement_pool_;  // for parallel_statements
+  std::unique_ptr<ThreadPool> intra_pool_;      // for parallel scans
+
+  mutable sync::Mutex stats_mutex_ GEMS_ACQUIRED_BEFORE(wal_mutex_);
+  std::shared_ptr<const plan::GraphStats> stats_
+      GEMS_GUARDED_BY(stats_mutex_);
+  std::uint64_t stats_version_ GEMS_GUARDED_BY(stats_mutex_) = ~0ull;
 
   /// gems::mvcc epoch chain: every mutating script (and overlay commit)
   /// ends by publishing ctx_ as a new immutable epoch; every read path
@@ -303,24 +343,26 @@ class Database {
   mutable mvcc::EpochManager epochs_;
 
   /// Cluster metrics provider (set while a coordinator is attached).
-  mutable std::mutex cluster_mutex_;
-  std::function<ClusterMetricsSnapshot()> cluster_provider_;
+  mutable sync::Mutex cluster_mutex_;
+  std::function<ClusterMetricsSnapshot()> cluster_provider_
+      GEMS_GUARDED_BY(cluster_mutex_);
 
   std::unique_ptr<store::Store> store_;
-  /// Guards store_status_: the WAL hook writes it under wal_mutex_ while
-  /// pinned-epoch readers poll it without holding any access lock.
-  mutable std::mutex store_status_mutex_;
-  Status store_status_;
-  std::mutex wal_mutex_;  // serializes WAL appends from parallel statements
-  /// Serializes whole checkpoints against each other: two interleaved
-  /// capture/encode/finish sequences could rotate the WAL on a stale
-  /// sequence number.
-  std::mutex checkpoint_serial_mutex_;
+  /// Sole owner of store_status_: the WAL hook writes it (nested under
+  /// wal_mutex_) while pinned-epoch readers poll it without holding any
+  /// access lock — store_status_mutex_ is the one capability both sides
+  /// go through.
+  mutable sync::Mutex store_status_mutex_;
+  Status store_status_ GEMS_GUARDED_BY(store_status_mutex_);
+  /// Serializes WAL appends from parallel statements.
+  sync::Mutex wal_mutex_ GEMS_ACQUIRED_BEFORE(store_status_mutex_);
 
   std::thread checkpoint_thread_;
-  std::mutex checkpoint_mutex_;
-  std::condition_variable checkpoint_cv_;
-  bool stop_checkpoint_ = false;
+  /// Guards only the background thread's stop flag; disjoint from the
+  /// chain above (the thread drops it around the checkpoint() call).
+  sync::Mutex checkpoint_mutex_;
+  sync::CondVar checkpoint_cv_;
+  bool stop_checkpoint_ GEMS_GUARDED_BY(checkpoint_mutex_) = false;
 };
 
 /// A client session: per-session parameters layered over the database

@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/histogram.hpp"
+#include "common/sync.hpp"
 
 namespace gems::store {
 
@@ -42,14 +42,14 @@ struct StoreMetricsSnapshot {
 class StoreMetrics {
  public:
   void record_wal_append(std::uint64_t bytes, std::uint64_t us) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     ++data_.wal_records;
     data_.wal_bytes += bytes;
     data_.wal_append_us.record(us);
   }
 
   void record_snapshot(std::uint64_t bytes, std::uint64_t us) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     ++data_.snapshots_written;
     data_.snapshot_bytes_last = bytes;
     data_.snapshot_write_us.record(us);
@@ -59,7 +59,7 @@ class StoreMetrics {
                        double snapshot_seconds, std::uint64_t applied,
                        std::uint64_t skipped, std::uint64_t truncated_bytes,
                        double replay_seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     data_.recovered = true;
     data_.recovered_from_snapshot = from_snapshot;
     data_.recovery_snapshot_bytes = snapshot_bytes;
@@ -71,13 +71,13 @@ class StoreMetrics {
   }
 
   StoreMetricsSnapshot snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return data_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  StoreMetricsSnapshot data_;
+  mutable sync::Mutex mutex_;
+  StoreMetricsSnapshot data_ GEMS_GUARDED_BY(mutex_);
 };
 
 }  // namespace gems::store

@@ -1,0 +1,141 @@
+// Negative-compile corpus for the thread safety annotations in
+// common/sync.hpp. Each numbered case is one class of lock-discipline
+// violation that a clang build with -Wthread-safety (and, for the
+// lock-order cases, -Wthread-safety-beta) must REJECT. Case 0 is the
+// positive control: the same structures used correctly, which must
+// compile warning-free — it guards against the harness passing because
+// the whole file is broken rather than because the analysis fired.
+//
+// Driven by tests/sync_negative/run_negative.sh, which compiles this
+// file once per case with -DSYNC_NEGATIVE_CASE=<n> and asserts the
+// expected outcome. Keep cases self-contained: each violation lives in
+// its own function so a diagnostic in one cannot mask another.
+#include "common/sync.hpp"
+
+using gems::sync::CondVar;
+using gems::sync::Mutex;
+using gems::sync::MutexLock;
+
+// A miniature of the Database member layout: two mutexes with an
+// ACQUIRED_BEFORE edge, guarded fields, a REQUIRES-annotated `_locked`
+// helper, and an EXCLUDES-annotated self-locking entry point.
+class Account {
+ public:
+  void deposit(int amount) GEMS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    balance_ += amount;
+    audit_locked();
+  }
+
+  void audit_locked() GEMS_REQUIRES(mutex_) { ++audits_; }
+
+  int wait_for_funds() GEMS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (balance_ == 0) cv_.wait(mutex_);
+    return balance_;
+  }
+
+  void reconcile() GEMS_EXCLUDES(mutex_, journal_mutex_) {
+    MutexLock lock(mutex_);
+    MutexLock journal(journal_mutex_);
+    journal_ = balance_;
+  }
+
+ public:  // exposed so each case can violate the discipline directly
+  Mutex mutex_ GEMS_ACQUIRED_BEFORE(journal_mutex_);
+  CondVar cv_;
+  int balance_ GEMS_GUARDED_BY(mutex_) = 0;
+  int audits_ GEMS_GUARDED_BY(mutex_) = 0;
+  Mutex journal_mutex_;
+  int journal_ GEMS_GUARDED_BY(journal_mutex_) = 0;
+};
+
+#if SYNC_NEGATIVE_CASE == 0
+// Positive control: correct usage of every shape the cases below break.
+int positive_control() {
+  Account a;
+  a.deposit(7);
+  a.reconcile();
+  MutexLock lock(a.mutex_);
+  a.audit_locked();
+  return a.balance_;
+}
+
+#elif SYNC_NEGATIVE_CASE == 1
+// Violation: reading a GUARDED_BY field with no lock held.
+int unguarded_read() {
+  Account a;
+  return a.balance_;
+}
+
+#elif SYNC_NEGATIVE_CASE == 2
+// Violation: writing a GUARDED_BY field with no lock held.
+void unguarded_write() {
+  Account a;
+  a.balance_ = 41;
+}
+
+#elif SYNC_NEGATIVE_CASE == 3
+// Violation: calling a REQUIRES-annotated `_locked` helper without
+// holding its mutex — the compile-checked form of the old "caller must
+// hold the lock" comment.
+void locked_helper_without_lock() {
+  Account a;
+  a.audit_locked();
+}
+
+#elif SYNC_NEGATIVE_CASE == 4
+// Violation: lock-order inversion. mutex_ is declared ACQUIRED_BEFORE
+// journal_mutex_; taking them in the opposite order is the deadlock
+// shape -Wthread-safety-beta exists to catch.
+void lock_order_inversion() {
+  Account a;
+  MutexLock journal(a.journal_mutex_);
+  MutexLock lock(a.mutex_);
+  a.journal_ = a.balance_;
+}
+
+#elif SYNC_NEGATIVE_CASE == 5
+// Violation: calling an EXCLUDES-annotated entry point while already
+// holding the mutex it acquires — self-deadlock on a non-recursive lock.
+void reentrant_deadlock() {
+  Account a;
+  MutexLock lock(a.mutex_);
+  a.deposit(1);
+}
+
+#elif SYNC_NEGATIVE_CASE == 6
+// Violation: waiting on a CondVar without holding the mutex the wait
+// releases (CondVar::wait is GEMS_REQUIRES(mu)).
+void wait_without_lock() {
+  Account a;
+  a.cv_.wait(a.mutex_);
+}
+
+#elif SYNC_NEGATIVE_CASE == 7
+// Violation: releasing a mutex the function never acquired — the
+// MutexLock early-unlock path misused to unlock twice.
+void double_release() {
+  Account a;
+  MutexLock lock(a.mutex_);
+  lock.unlock();
+  lock.unlock();
+}
+
+#elif SYNC_NEGATIVE_CASE == 8
+// Violation: holding the lock across a return path but leaking it on
+// another — acquiring manually and forgetting the release on one branch.
+int leaked_acquire(bool fast) {
+  Account a;
+  a.mutex_.lock();
+  if (fast) return 0;  // lock never released on this path
+  const int v = a.balance_;
+  a.mutex_.unlock();
+  return v;
+}
+
+#else
+#error "SYNC_NEGATIVE_CASE must be 0..8"
+#endif
+
+int main() { return 0; }

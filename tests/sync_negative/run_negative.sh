@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the gems::sync thread safety annotations.
+#
+# Compiles tests/sync_negative/cases.cpp once per case with clang's
+# -Wthread-safety family promoted to errors and asserts:
+#   case 0          -> must COMPILE (positive control)
+#   cases 1..N      -> must FAIL, with a thread-safety diagnostic
+#
+# The analysis only exists in clang, and the container toolchain may be
+# gcc-only — in that case the harness SKIPS (exit 77, the ctest/automake
+# skip code) rather than silently "passing". CI runs it with clang.
+#
+# Usage: run_negative.sh [path/to/repo/src]
+#   CLANGXX=... overrides clang++ discovery.
+set -u
+
+src_dir="${1:-$(cd "$(dirname "$0")/../../src" && pwd)}"
+case_file="$(cd "$(dirname "$0")" && pwd)/cases.cpp"
+
+clangxx="${CLANGXX:-}"
+if [[ -z "${clangxx}" ]]; then
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      clangxx="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${clangxx}" ]]; then
+  echo "SKIP: no clang++ found; thread safety analysis is clang-only" >&2
+  exit 77
+fi
+# The attribute gate in sync.hpp also protects against ancient clangs;
+# probe that the flag is understood at all.
+if ! printf 'int main(){}' | "${clangxx}" -x c++ -fsyntax-only \
+    -Wthread-safety - >/dev/null 2>&1; then
+  echo "SKIP: ${clangxx} does not support -Wthread-safety" >&2
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only "-I${src_dir}"
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+last_case=8
+failures=0
+
+run_case() {
+  local n="$1"
+  "${clangxx}" "${flags[@]}" "-DSYNC_NEGATIVE_CASE=${n}" "${case_file}" \
+    >"/tmp/sync_negative_${n}.log" 2>&1
+}
+
+# Positive control: must compile clean.
+if run_case 0; then
+  echo "ok    case 0 (positive control compiles)"
+else
+  echo "FAIL  case 0: positive control did not compile:" >&2
+  cat "/tmp/sync_negative_0.log" >&2
+  failures=$((failures + 1))
+fi
+
+for n in $(seq 1 "${last_case}"); do
+  if run_case "${n}"; then
+    echo "FAIL  case ${n}: violation compiled without a diagnostic" >&2
+    failures=$((failures + 1))
+  elif ! grep -q 'thread-safety' "/tmp/sync_negative_${n}.log"; then
+    echo "FAIL  case ${n}: rejected, but not by the thread safety analysis:" >&2
+    cat "/tmp/sync_negative_${n}.log" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok    case ${n} (rejected: $(grep -m1 -o '\[-Werror,-Wthread-safety[^]]*\]' \
+      "/tmp/sync_negative_${n}.log" || echo thread-safety))"
+  fi
+done
+
+if [[ "${failures}" -ne 0 ]]; then
+  echo "${failures} case(s) failed" >&2
+  exit 1
+fi
+echo "all $((last_case + 1)) cases behaved as expected"
