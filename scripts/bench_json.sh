@@ -17,6 +17,7 @@ bench="${1:?usage: scripts/bench_json.sh <bench-target> [out.json]}"
 case "$bench" in
   bench_parallel_matcher) default_out="BENCH_matcher.json" ;;
   bench_net_throughput) default_out="BENCH_net_concurrency.json" ;;
+  bench_table1_relational_ops) default_out="BENCH_vectorized.json" ;;
   *) default_out="BENCH_${bench#bench_}.json" ;;
 esac
 out="${2:-$default_out}"

@@ -16,6 +16,7 @@
 #include "graph/builder.hpp"
 #include "graql/ast.hpp"
 #include "common/thread_pool.hpp"
+#include "relational/batch.hpp"
 #include "storage/catalog.hpp"
 
 namespace gems::exec {
@@ -69,6 +70,12 @@ struct ExecContext {
   /// kParallelScanThreshold rows always scan serially.
   ThreadPool* intra_pool = nullptr;
   static constexpr std::size_t kParallelScanThreshold = 1 << 14;
+
+  /// Batch policy for the relational operators and matcher domain scans:
+  /// vectorized kernel execution by default, BatchPolicy::row_engine()
+  /// for the row-at-a-time oracle (DatabaseOptions::vectorized_execution
+  /// maps here; the equivalence property tests sweep intermediate sizes).
+  relational::BatchPolicy batch_policy;
 
   /// Matcher activity counters, shared across statements (the parallel
   /// multi-statement scheduler records from several threads). shared_ptr

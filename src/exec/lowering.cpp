@@ -452,7 +452,14 @@ class NetworkBuilder {
           sources.empty() ||
           (sources.size() == 1 && sources[0] == self_var);
       if (self_only) {
-        net_.vars[self_var].self_conds.push_back(std::move(bound));
+        VertexVar& vv = net_.vars[self_var];
+        vv.self_conds.push_back(std::move(bound));
+        // Kernel form for the matcher's batched domain scan. A nullptr
+        // entry (conjunct not vectorizable) keeps the slot index-aligned;
+        // the matcher then falls back to row evaluation for this var.
+        vv.self_cond_kernels.push_back(relational::VectorExpr::compile(
+            *vv.self_conds.back(), static_cast<std::uint16_t>(self_var),
+            pool_));
       } else {
         CrossPred pred;
         pred.pred = std::move(bound);

@@ -1,11 +1,13 @@
 #include "exec/matcher.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "relational/eval.hpp"
+#include "relational/vector_eval.hpp"
 
 namespace gems::exec {
 
@@ -551,10 +553,65 @@ Domain initial_domain(const ConstraintNetwork& net, const GraphView& graph,
     // it directly — no shards, no merge. Self conditions reference only
     // this variable's slot (see vertex_passes): a right-sized private
     // cursor span per worker avoids the wide band.
+    //
+    // When every self conjunct compiled to a kernel (lowering), the scan
+    // gathers representative rows of seed-surviving vertices into batches
+    // and ANDs the kernels' accepting-lane words — bit-identical to the
+    // row loop (kernels reproduce eval_predicate; property-tested), and
+    // race-free because workers still own disjoint word ranges.
+    const bool use_kernels =
+        net.batch_policy.vectorized() &&
+        vv.self_cond_kernels.size() == vv.self_conds.size() &&
+        std::all_of(vv.self_cond_kernels.begin(), vv.self_cond_kernels.end(),
+                    [](const relational::VectorExprPtr& k) {
+                      return k != nullptr;
+                    });
     auto fill_range = [&](std::size_t word_begin, std::size_t word_end) {
-      std::vector<RowCursor> cursors(static_cast<std::size_t>(var) + 1);
       const std::size_t v_end =
           std::min<std::size_t>(vt.num_vertices(), word_end * 64);
+      if (use_kernels) {
+        const std::size_t window = net.batch_policy.clamped_rows();
+        std::vector<relational::EvalScratch> scratches;
+        scratches.reserve(vv.self_cond_kernels.size());
+        for (const auto& k : vv.self_cond_kernels) {
+          scratches.push_back(k->make_scratch());
+        }
+        std::array<storage::RowIndex, relational::kBatchRows> rows;
+        std::array<std::size_t, relational::kBatchRows> verts;
+        std::array<std::uint64_t, relational::kBatchWords> acc;
+        std::size_t count = 0;
+        auto flush = [&] {
+          if (count == 0) return;
+          const relational::RowBatch rb{&vt.source(), 0, rows.data(), count};
+          relational::fill_ones_words(acc.data(), count);
+          const std::size_t nw = relational::batch_words(count);
+          for (std::size_t k = 0; k < vv.self_cond_kernels.size(); ++k) {
+            const relational::ValueVector res =
+                vv.self_cond_kernels[k]->eval(rb, scratches[k]);
+            // bits ⊆ valid: set bits are exactly the truthy lanes.
+            bool any = false;
+            for (std::size_t w = 0; w < nw; ++w) {
+              acc[w] &= res.bits[w];
+              any |= acc[w] != 0;
+            }
+            if (!any) break;
+          }
+          relational::for_each_lane(
+              acc.data(), count,
+              [&](std::size_t lane) { bits.set(verts[lane]); });
+          count = 0;
+        };
+        for (std::size_t v = word_begin * 64; v < v_end; ++v) {
+          if (seed_bits != nullptr && !seed_bits->test(v)) continue;
+          rows[count] =
+              vt.representative_row(static_cast<VertexIndex>(v));
+          verts[count] = v;
+          if (++count == window) flush();
+        }
+        flush();
+        return;
+      }
+      std::vector<RowCursor> cursors(static_cast<std::size_t>(var) + 1);
       for (std::size_t v = word_begin * 64; v < v_end; ++v) {
         if (seed_bits != nullptr && !seed_bits->test(v)) continue;
         cursors[var] = {&vt.source(),

@@ -27,7 +27,9 @@
 #include "exec/subgraph.hpp"
 #include "graph/graph_view.hpp"
 #include "graql/ast.hpp"
+#include "relational/batch.hpp"
 #include "relational/bound_expr.hpp"
+#include "relational/vector_eval.hpp"
 
 namespace gems::exec {
 
@@ -54,6 +56,12 @@ struct VertexVar {
   bool variant = false;
   // Self-only predicates; Slot::source == this var's index.
   std::vector<relational::BoundExprPtr> self_conds;
+  // Kernel form of self_conds, index-aligned, compiled once at lowering
+  // against this variable's source id. The matcher's initial-domain scan
+  // evaluates these over batches of representative rows (bit-identical to
+  // the row path). A nullptr entry means that conjunct did not compile;
+  // the whole variable then falls back to row evaluation.
+  std::vector<relational::VectorExprPtr> self_cond_kernels;
   SubgraphPtr seed;        // Fig. 12: restrict to a previous result
   std::string display;     // label if labelled, else type name (for output)
   std::string type_name;   // original step type name ("" for variant)
@@ -148,6 +156,11 @@ struct ConstraintNetwork {
   /// no cross predicates and no constraint cycles through foreach
   /// aliases. Conservatively computed at lowering.
   bool tree_exact = true;
+
+  /// Batch policy for the matcher's vectorized domain scans. The executor
+  /// copies ExecContext::batch_policy here after lowering; the default is
+  /// the vectorized engine (row_engine() forces the oracle path).
+  relational::BatchPolicy batch_policy;
 
   std::size_t num_vars() const { return vars.size(); }
 };

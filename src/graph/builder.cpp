@@ -308,9 +308,13 @@ Result<EdgeType> build_edge_type(const GraphView& graph, const EdgeDecl& decl,
         }
       }
 
-      // Hash the new source's candidate rows by composite key.
+      // Hash the new source's candidate rows by composite key (mix64 via
+      // RowKeyHash — the std::string hash skews buckets on interned-id
+      // payloads; the encoded key format itself is unchanged).
       const Table& next_table = *sources[next].table;
-      std::unordered_map<std::string, std::vector<RowIndex>> index;
+      std::unordered_map<std::string, std::vector<RowIndex>,
+                         relational::RowKeyHash, std::equal_to<>>
+          index;
       index.reserve(cand[next].size());
       {
         std::string key;

@@ -16,6 +16,7 @@
 #include "common/status.hpp"
 #include "graph/ids.hpp"
 #include "relational/bound_expr.hpp"
+#include "relational/row_key.hpp"
 #include "storage/table.hpp"
 
 namespace gems::graph {
@@ -115,7 +116,12 @@ class VertexType {
   std::vector<storage::RowIndex> representative_row_;
   // encoded key -> vertex index (encoding from relational/row_key.hpp;
   // valid across tables because string ids come from the shared pool).
-  std::unordered_map<std::string, VertexIndex> key_index_;
+  // Hashed with the mix64 finalizer (RowKeyHash): std::hash<string>
+  // diffuses the dense interned-id payloads poorly, and vertex lookup is
+  // on the ingest/edge-join hot path.
+  std::unordered_map<std::string, VertexIndex, relational::RowKeyHash,
+                     std::equal_to<>>
+      key_index_;
   DynamicBitset matching_rows_;
 };
 

@@ -1,6 +1,7 @@
 #include "relational/eval.hpp"
 
 #include "common/check.hpp"
+#include "relational/null_semantics.hpp"
 
 namespace gems::relational {
 
@@ -57,32 +58,26 @@ int compare_cells(const Cell& a, const Cell& b, const StringPool& pool) {
 
 Cell eval_binary(const BoundExpr& expr, std::span<const RowCursor> sources,
                  const StringPool& pool) {
-  // Logical operators need three-valued logic, so handle them first
-  // (they must not blindly propagate NULL).
+  // Logical operators use the shared three-valued truth tables
+  // (null_semantics.hpp); the vectorized engine derives its word formulas
+  // from the same tables, so the two engines cannot drift.
   if (expr.bop == BinaryOp::kAnd || expr.bop == BinaryOp::kOr) {
-    const Cell l = eval_cell(*expr.lhs, sources, pool);
-    // Short-circuit where the result is decided.
-    if (expr.bop == BinaryOp::kAnd && !l.null && !l.b) {
-      return Cell::of_bool(false);
+    const bool is_and = expr.bop == BinaryOp::kAnd;
+    const Tri l = tri_of(eval_cell(*expr.lhs, sources, pool));
+    // Short-circuit exactly where the table says the lhs decides.
+    if (is_and ? and_decided_by(l) : or_decided_by(l)) {
+      return cell_of(is_and ? kAnd3[static_cast<int>(l)][0]
+                            : kOr3[static_cast<int>(l)][0]);
     }
-    if (expr.bop == BinaryOp::kOr && !l.null && l.b) {
-      return Cell::of_bool(true);
-    }
-    const Cell r = eval_cell(*expr.rhs, sources, pool);
-    if (expr.bop == BinaryOp::kAnd) {
-      if (!r.null && !r.b) return Cell::of_bool(false);
-      if (l.null || r.null) return Cell::null_cell();
-      return Cell::of_bool(true);
-    }
-    if (!r.null && r.b) return Cell::of_bool(true);
-    if (l.null || r.null) return Cell::null_cell();
-    return Cell::of_bool(false);
+    const Tri r = tri_of(eval_cell(*expr.rhs, sources, pool));
+    return cell_of(is_and ? kAnd3[static_cast<int>(l)][static_cast<int>(r)]
+                          : kOr3[static_cast<int>(l)][static_cast<int>(r)]);
   }
 
+  // Comparisons and arithmetic share one NULL rule: NULL in, NULL out.
   const Cell l = eval_cell(*expr.lhs, sources, pool);
-  if (l.null) return Cell::null_cell();
   const Cell r = eval_cell(*expr.rhs, sources, pool);
-  if (r.null) return Cell::null_cell();
+  if (binary_result_is_null(l.null, r.null)) return Cell::null_cell();
 
   switch (expr.bop) {
     case BinaryOp::kEq:
@@ -152,8 +147,10 @@ Cell eval_cell(const BoundExpr& expr, std::span<const RowCursor> sources,
       return load_column(expr.slot, sources);
     case BoundExpr::Kind::kUnary: {
       const Cell v = eval_cell(*expr.lhs, sources, pool);
+      if (expr.uop == UnaryOp::kNot) {
+        return cell_of(kNot3[static_cast<int>(tri_of(v))]);
+      }
       if (v.null) return Cell::null_cell();
-      if (expr.uop == UnaryOp::kNot) return Cell::of_bool(!v.b);
       if (v.kind == TypeKind::kDouble) return Cell::of_double(-v.d);
       return Cell::of_int64(-v.i);
     }

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 
 #include "common/check.hpp"
 #include "relational/eval.hpp"
 #include "relational/row_key.hpp"
+#include "relational/vector_eval.hpp"
 
 namespace gems::relational {
 
@@ -17,42 +19,229 @@ using storage::Schema;
 using storage::TypeKind;
 using storage::Value;
 
-std::vector<RowIndex> filter_rows(const Table& table,
-                                  const BoundExpr& predicate) {
-  std::vector<RowIndex> out;
-  const RowCursor cursor_template{&table, 0};
-  RowCursor cursor = cursor_template;
+namespace {
+
+inline constexpr std::uint32_t kChainEnd =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Flat open-addressing map from a 64-bit key hash to the head of a
+/// chain (linear probing, power-of-two capacity, no deletion). The
+/// vectorized group-by/join/distinct paths do one find-or-insert per
+/// input row; unordered_map's node allocations and pointer chases
+/// dominate at that rate. Chains carry hash collisions AND equal keys —
+/// callers verify exact key equality per chain entry, so two distinct
+/// keys sharing a hash never merge.
+class HashHeads {
+ public:
+  explicit HashHeads(std::size_t expected) { reset(expected); }
+
+  /// True when `entries` chain entries would push the load factor past
+  /// 1/2 — callers that discover entries as they go (group-by, distinct
+  /// — entry count is the number of DISTINCT keys, far below the row
+  /// count) start small and rebuild on demand, keeping the slot array
+  /// sized to live entries instead of input rows.
+  bool needs_capacity(std::size_t entries) const {
+    return entries * 2 > slots_.size();
+  }
+
+  /// Rebuilds with room for `entries`, reinserting entry i under
+  /// entry_hash[i] and relinking `next` (the callers' chain array) in
+  /// place. Chain order within a slot may change; chains only ever
+  /// carry distinct keys plus hash collisions, so order is never
+  /// observable in results.
+  void rebuild(std::size_t entries,
+               std::span<const std::uint64_t> entry_hash,
+               std::vector<std::uint32_t>& next) {
+    reset(entries * 2);  // headroom: next rebuild at 2x current entries
+    for (std::size_t g = 0; g < entry_hash.size(); ++g) {
+      std::uint32_t& head = slot(entry_hash[g]);
+      next[g] = head;
+      head = static_cast<std::uint32_t>(g);
+    }
+  }
+
+  /// The chain-head slot for `hash` (kChainEnd when new). Writable: the
+  /// caller pushes the new chain entry and stores it back.
+  std::uint32_t& slot(std::uint64_t hash) {
+    std::size_t i = hash & mask_;
+    while (slots_[i].head != kChainEnd && slots_[i].hash != hash) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i].hash = hash;
+    return slots_[i].head;
+  }
+
+  /// Read-only probe: the chain head for `hash`, kChainEnd if absent.
+  std::uint32_t find(std::uint64_t hash) const {
+    std::size_t i = hash & mask_;
+    while (slots_[i].head != kChainEnd && slots_[i].hash != hash) {
+      i = (i + 1) & mask_;
+    }
+    return slots_[i].head;
+  }
+
+  /// Hints the slot line for `hash` into cache. The batch loops run one
+  /// prefetch sweep over the just-hashed batch before probing, so the
+  /// (random) slot loads overlap instead of serializing a miss per row.
+  void prefetch(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[hash & mask_]);
+#endif
+  }
+
+ private:
+  void reset(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Slot{0, kChainEnd});
+  }
+
+  // Hash and head interleaved: one cache line per probe, not two.
+  struct Slot {
+    std::uint64_t hash;
+    std::uint32_t head;
+  };
+  std::size_t mask_ = 0;
+  std::vector<Slot> slots_;
+};
+
+/// Open-addressing map from a SINGLE normalized key cell to an entry id
+/// (the one-key-column fast path of group-by/distinct). The cell is
+/// narrow enough to live in the slot itself, so a probe resolves exact
+/// key equality in the slot line — one random load per input row, no
+/// chain indirection at all. Empty slots carry entry == kChainEnd.
+class KeyCellMap {
+ public:
+  explicit KeyCellMap(std::size_t expected) { reset(expected); }
+
+  struct Slot {
+    std::uint64_t bits;
+    std::uint32_t entry;
+    std::uint8_t null;
+  };
+
+  /// The slot whose cell equals (bits, null), or the empty slot where
+  /// that cell belongs. On a miss the caller registers the new entry id
+  /// by assigning the whole slot.
+  Slot& slot(std::uint64_t hash, std::uint64_t bits, std::uint8_t null) {
+    std::size_t i = hash & mask_;
+    while (slots_[i].entry != kChainEnd &&
+           (slots_[i].bits != bits || slots_[i].null != null)) {
+      i = (i + 1) & mask_;
+    }
+    return slots_[i];
+  }
+
+  bool needs_capacity(std::size_t entries) const {
+    return entries * 2 > slots_.size();
+  }
+
+  /// Rebuilds with room for `entries`, reinserting entry i as the cell
+  /// (bits[i], nulls[i]) with hash hashes[i].
+  void rebuild(std::size_t entries, std::span<const std::uint64_t> bits,
+               std::span<const std::uint8_t> nulls,
+               std::span<const std::uint64_t> hashes) {
+    reset(entries * 2);
+    for (std::size_t e = 0; e < hashes.size(); ++e) {
+      slot(hashes[e], bits[e], nulls[e]) =
+          Slot{bits[e], static_cast<std::uint32_t>(e), nulls[e]};
+    }
+  }
+
+  void prefetch(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[hash & mask_]);
+#endif
+  }
+
+ private:
+  void reset(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Slot{0, kChainEnd, 0});
+  }
+
+  std::size_t mask_ = 0;
+  std::vector<Slot> slots_;
+};
+
+/// Filters [begin, end) of `table`, appending accepting rows to `out` in
+/// ascending order. Batched when `kernel` is set, row-at-a-time otherwise.
+void filter_window(const Table& table, const BoundExpr& predicate,
+                   const VectorExpr* kernel, EvalScratch* scratch,
+                   std::size_t begin, std::size_t end, std::size_t batch_rows,
+                   std::vector<RowIndex>& out) {
+  if (kernel != nullptr) {
+    for (std::size_t b = begin; b < end; b += batch_rows) {
+      const RowBatch batch{&table, static_cast<RowIndex>(b), nullptr,
+                           std::min(batch_rows, end - b)};
+      filter_batch(*kernel, batch, *scratch, out);
+    }
+    return;
+  }
+  RowCursor cursor{&table, 0};
   const std::span<const RowCursor> sources(&cursor, 1);
   const StringPool& pool = table.pool();
-  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+  for (std::size_t r = begin; r < end; ++r) {
     cursor.row = static_cast<RowIndex>(r);
     if (eval_predicate(predicate, sources, pool)) {
       out.push_back(cursor.row);
     }
+  }
+}
+
+}  // namespace
+
+std::vector<RowIndex> filter_rows(const Table& table,
+                                  const BoundExpr& predicate,
+                                  const BatchPolicy& policy) {
+  VectorExprPtr kernel;
+  if (policy.vectorized()) {
+    kernel = VectorExpr::compile(predicate, 0, table.pool());
+  }
+  std::vector<RowIndex> out;
+  if (kernel != nullptr) {
+    EvalScratch scratch = kernel->make_scratch();
+    filter_window(table, predicate, kernel.get(), &scratch, 0,
+                  table.num_rows(), policy.clamped_rows(), out);
+  } else {
+    filter_window(table, predicate, nullptr, nullptr, 0, table.num_rows(), 0,
+                  out);
   }
   return out;
 }
 
 std::vector<RowIndex> filter_rows_parallel(const Table& table,
                                            const BoundExpr& predicate,
-                                           ThreadPool& pool) {
+                                           ThreadPool& pool,
+                                           const BatchPolicy& policy) {
   const std::size_t n = table.num_rows();
   const std::size_t num_chunks = std::min<std::size_t>(
       std::max<std::size_t>(1, pool.size() * 4), std::max<std::size_t>(1, n));
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
   std::vector<std::vector<RowIndex>> partials(num_chunks);
 
+  // One kernel compilation shared by all workers; scratches are per-chunk
+  // (kernels are immutable after compile, scratch is the only mutable
+  // state).
+  VectorExprPtr kernel;
+  if (policy.vectorized()) {
+    kernel = VectorExpr::compile(predicate, 0, table.pool());
+  }
+  const std::size_t batch_rows = policy.clamped_rows();
+
   pool.parallel_for(num_chunks, [&](std::size_t c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(n, begin + chunk);
-    RowCursor cursor{&table, 0};
-    const std::span<const RowCursor> sources(&cursor, 1);
-    const StringPool& string_pool = table.pool();
-    for (std::size_t r = begin; r < end; ++r) {
-      cursor.row = static_cast<RowIndex>(r);
-      if (eval_predicate(predicate, sources, string_pool)) {
-        partials[c].push_back(cursor.row);
-      }
+    if (kernel != nullptr) {
+      EvalScratch scratch = kernel->make_scratch();
+      filter_window(table, predicate, kernel.get(), &scratch, begin, end,
+                    batch_rows, partials[c]);
+    } else {
+      filter_window(table, predicate, nullptr, nullptr, begin, end, 0,
+                    partials[c]);
     }
   });
 
@@ -76,23 +265,56 @@ TablePtr materialize(const Table& src, std::span<const RowIndex> rows,
   }
   auto out = std::make_shared<Table>(std::move(name), Schema(std::move(defs)),
                                      src.pool());
-  for (const RowIndex r : rows) {
-    for (std::size_t c = 0; c < cols.size(); ++c) {
-      out->column_mut(static_cast<ColumnIndex>(c))
-          .append_from(src.column(cols[c]), r);
-    }
-    out->bump_row_count();
+  // Column-at-a-time: one source column stays hot per pass instead of
+  // cycling the whole row's columns through cache for every output row.
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    Column& dst = out->column_mut(static_cast<ColumnIndex>(c));
+    const Column& s = src.column(cols[c]);
+    for (const RowIndex r : rows) dst.append_from(s, r);
   }
+  out->bump_rows(rows.size());
   return out;
 }
 
 TablePtr project(const Table& src, std::span<const RowIndex> rows,
-                 std::span<const OutputColumn> outputs, std::string name) {
+                 std::span<const OutputColumn> outputs, std::string name,
+                 const BatchPolicy& policy) {
   std::vector<ColumnDef> defs;
   defs.reserve(outputs.size());
   for (const auto& o : outputs) defs.push_back({o.name, o.expr->type});
   auto out = std::make_shared<Table>(std::move(name), Schema(std::move(defs)),
                                      src.pool());
+
+  if (policy.vectorized()) {
+    std::vector<VectorExprPtr> kernels;
+    kernels.reserve(outputs.size());
+    bool all_compiled = true;
+    for (const auto& o : outputs) {
+      VectorExprPtr k = VectorExpr::compile(*o.expr, 0, src.pool());
+      if (k == nullptr) {
+        all_compiled = false;
+        break;
+      }
+      kernels.push_back(std::move(k));
+    }
+    if (all_compiled) {
+      std::vector<EvalScratch> scratches;
+      scratches.reserve(kernels.size());
+      for (const auto& k : kernels) scratches.push_back(k->make_scratch());
+      const std::size_t batch_rows = policy.clamped_rows();
+      for (std::size_t off = 0; off < rows.size(); off += batch_rows) {
+        const std::size_t n = std::min(batch_rows, rows.size() - off);
+        const RowBatch batch{&src, 0, rows.data() + off, n};
+        for (std::size_t c = 0; c < kernels.size(); ++c) {
+          const ValueVector v = kernels[c]->eval(batch, scratches[c]);
+          append_vector(out->column_mut(static_cast<ColumnIndex>(c)), v, n);
+        }
+        out->bump_rows(n);
+      }
+      return out;
+    }
+  }
+
   RowCursor cursor{&src, 0};
   const std::span<const RowCursor> sources(&cursor, 1);
   const StringPool& pool = src.pool();
@@ -101,7 +323,6 @@ TablePtr project(const Table& src, std::span<const RowIndex> rows,
     for (std::size_t c = 0; c < outputs.size(); ++c) {
       const Cell cell = eval_cell(*outputs[c].expr, sources, pool);
       append_cell(out->column_mut(static_cast<ColumnIndex>(c)), cell);
-
     }
     out->bump_row_count();
   }
@@ -110,7 +331,8 @@ TablePtr project(const Table& src, std::span<const RowIndex> rows,
 
 Result<std::vector<std::pair<RowIndex, RowIndex>>> hash_join_pairs(
     const Table& left, std::span<const ColumnIndex> left_keys,
-    const Table& right, std::span<const ColumnIndex> right_keys) {
+    const Table& right, std::span<const ColumnIndex> right_keys,
+    const BatchPolicy& policy) {
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return invalid_argument("join key arity mismatch");
   }
@@ -137,36 +359,88 @@ Result<std::vector<std::pair<RowIndex, RowIndex>>> hash_join_pairs(
   const std::span<const ColumnIndex> probe_keys =
       build_left ? right_keys : left_keys;
 
-  auto has_null_key = [](const Table& t, RowIndex r,
-                         std::span<const ColumnIndex> keys) {
-    for (const auto k : keys) {
-      if (t.column(k).is_null(r)) return true;
-    }
-    return false;
-  };
-
-  std::unordered_map<std::string, std::vector<RowIndex>> index;
-  index.reserve(build.num_rows());
-  for (std::size_t r = 0; r < build.num_rows(); ++r) {
-    const RowIndex row = static_cast<RowIndex>(r);
-    if (has_null_key(build, row, build_keys)) continue;
-    index[encode_row_key(build, row, build_keys)].push_back(row);
-  }
-
   std::vector<std::pair<RowIndex, RowIndex>> out;
-  std::string key;
-  for (std::size_t r = 0; r < probe.num_rows(); ++r) {
-    const RowIndex row = static_cast<RowIndex>(r);
-    if (has_null_key(probe, row, probe_keys)) continue;
-    key.clear();
-    for (const auto k : probe_keys) append_key_part(probe, row, k, key);
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (const RowIndex b : it->second) {
-      out.emplace_back(build_left ? b : row, build_left ? row : b);
+
+  if (policy.vectorized()) {
+    // Hash → chain table over raw 64-bit key hashes, filled and probed in
+    // batches with column-at-a-time bulk hashing (no per-row key-string
+    // allocations). Chains carry hash collisions AND equal keys; probes
+    // verify exact key equality per candidate. Pair order is normalized
+    // by the final sort, so chain order never shows in results.
+    const std::size_t batch_rows = policy.clamped_rows();
+    std::vector<std::uint64_t> hashes(batch_rows);
+    std::vector<std::uint8_t> nulls(batch_rows);
+
+    const std::size_t bn = build.num_rows();
+    HashHeads heads(bn);
+    std::vector<std::uint32_t> next(bn, kChainEnd);
+    for (std::size_t base = 0; base < bn; base += batch_rows) {
+      const std::size_t n = std::min(batch_rows, bn - base);
+      hash_row_key_batch(build, static_cast<RowIndex>(base), nullptr, n,
+                         build_keys, hashes.data(), nulls.data());
+      for (std::size_t i = 0; i < n; ++i) heads.prefetch(hashes[i]);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nulls[i] != 0) continue;  // SQL: NULL keys never match
+        const RowIndex row = static_cast<RowIndex>(base + i);
+        std::uint32_t& head = heads.slot(hashes[i]);
+        next[row] = head;  // LIFO chain; kChainEnd when first
+        head = row;
+      }
+    }
+
+    const std::size_t pn = probe.num_rows();
+    for (std::size_t base = 0; base < pn; base += batch_rows) {
+      const std::size_t n = std::min(batch_rows, pn - base);
+      hash_row_key_batch(probe, static_cast<RowIndex>(base), nullptr, n,
+                         probe_keys, hashes.data(), nulls.data());
+      for (std::size_t i = 0; i < n; ++i) heads.prefetch(hashes[i]);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nulls[i] != 0) continue;
+        const RowIndex row = static_cast<RowIndex>(base + i);
+        for (std::uint32_t b = heads.find(hashes[i]); b != kChainEnd;
+             b = next[b]) {
+          if (!row_keys_equal(build, b, build_keys, probe, row, probe_keys)) {
+            continue;
+          }
+          out.emplace_back(build_left ? b : row, build_left ? row : b);
+        }
+      }
+    }
+  } else {
+    auto has_null_key = [](const Table& t, RowIndex r,
+                           std::span<const ColumnIndex> keys) {
+      for (const auto k : keys) {
+        if (t.column(k).is_null(r)) return true;
+      }
+      return false;
+    };
+
+    std::unordered_map<std::string, std::vector<RowIndex>, RowKeyHash,
+                       std::equal_to<>>
+        index;
+    index.reserve(build.num_rows());
+    for (std::size_t r = 0; r < build.num_rows(); ++r) {
+      const RowIndex row = static_cast<RowIndex>(r);
+      if (has_null_key(build, row, build_keys)) continue;
+      index[encode_row_key(build, row, build_keys)].push_back(row);
+    }
+
+    std::string key;
+    for (std::size_t r = 0; r < probe.num_rows(); ++r) {
+      const RowIndex row = static_cast<RowIndex>(r);
+      if (has_null_key(probe, row, probe_keys)) continue;
+      key.clear();
+      for (const auto k : probe_keys) append_key_part(probe, row, k, key);
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (const RowIndex b : it->second) {
+        out.emplace_back(build_left ? b : row, build_left ? row : b);
+      }
     }
   }
-  // Deterministic output order regardless of build-side choice.
+
+  // Deterministic output order regardless of build-side choice (and, in
+  // the vectorized path, of hash/chain order).
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -176,9 +450,9 @@ Result<TablePtr> hash_join(const Table& left,
                            const Table& right,
                            std::span<const ColumnIndex> right_keys,
                            std::span<const JoinOutput> outputs,
-                           std::string name) {
-  GEMS_ASSIGN_OR_RETURN(auto pairs,
-                        hash_join_pairs(left, left_keys, right, right_keys));
+                           std::string name, const BatchPolicy& policy) {
+  GEMS_ASSIGN_OR_RETURN(
+      auto pairs, hash_join_pairs(left, left_keys, right, right_keys, policy));
   std::vector<ColumnDef> defs;
   defs.reserve(outputs.size());
   for (const auto& o : outputs) {
@@ -187,16 +461,21 @@ Result<TablePtr> hash_join(const Table& left,
   }
   auto out = std::make_shared<Table>(std::move(name), Schema(std::move(defs)),
                                      left.pool());
+  std::vector<RowIndex> left_rows, right_rows;
+  left_rows.reserve(pairs.size());
+  right_rows.reserve(pairs.size());
   for (const auto& [l, r] : pairs) {
-    for (std::size_t c = 0; c < outputs.size(); ++c) {
-      const auto& o = outputs[c];
-      const Table& t = o.side == JoinOutput::kLeft ? left : right;
-      const RowIndex row = o.side == JoinOutput::kLeft ? l : r;
-      out->column_mut(static_cast<ColumnIndex>(c))
-          .append_from(t.column(o.column), row);
-    }
-    out->bump_row_count();
+    left_rows.push_back(l);
+    right_rows.push_back(r);
   }
+  for (std::size_t c = 0; c < outputs.size(); ++c) {
+    const auto& o = outputs[c];
+    const Table& t = o.side == JoinOutput::kLeft ? left : right;
+    const auto& rows = o.side == JoinOutput::kLeft ? left_rows : right_rows;
+    out->column_mut(static_cast<ColumnIndex>(c))
+        .append_gather(t.column(o.column), rows.data(), pairs.size());
+  }
+  out->bump_rows(pairs.size());
   return out;
 }
 
@@ -220,10 +499,26 @@ std::string_view agg_kind_name(AggKind kind) noexcept {
 
 namespace {
 
-struct AggState {
+// Per-group accumulator state, split by aggregate kind so each
+// aggregate's array holds only what it reads. Accumulation does one
+// random `state[group_of_row[r]]` access per row; with many groups the
+// array's footprint decides whether that access hits cache (a boxed
+// any-aggregate state with two 48-byte Values is 128 bytes per group —
+// 5x the footprint of SumState, all of it dragged through cache even
+// for a count(*)).
+struct SumState {
   std::int64_t count = 0;
   std::int64_t isum = 0;
   double dsum = 0;
+};
+// Sum/avg over double columns never reads isum; 16 bytes packs four
+// groups per cache line instead of landing 24-byte states across line
+// boundaries.
+struct DoubleSumState {
+  std::int64_t count = 0;
+  double dsum = 0;
+};
+struct MinMaxState {
   bool has_value = false;
   Value min;
   Value max;
@@ -257,10 +552,145 @@ Result<DataType> agg_output_type(const AggSpec& spec, const Table& src) {
   GEMS_UNREACHABLE("bad agg kind");
 }
 
+/// Assigns every row its group id (first-seen order) via encoded string
+/// keys — the row-engine oracle path.
+void assign_groups_rowkey(const Table& src, std::span<const ColumnIndex> keys,
+                          std::uint32_t* group_of_row,
+                          std::vector<RowIndex>& representatives) {
+  std::unordered_map<std::string, std::uint32_t, RowKeyHash, std::equal_to<>>
+      group_index;
+  for (std::size_t r = 0; r < src.num_rows(); ++r) {
+    const RowIndex row = static_cast<RowIndex>(r);
+    const auto [it, inserted] = group_index.emplace(
+        encode_row_key(src, row, keys),
+        static_cast<std::uint32_t>(representatives.size()));
+    if (inserted) representatives.push_back(row);
+    group_of_row[r] = it->second;
+  }
+}
+
+/// Same group assignment through batched 64-bit key hashing and hash →
+/// group chains; exact key equality is verified against each candidate
+/// group's representative, so hash collisions cannot merge groups. Group
+/// ids come out in first-seen row order, identical to the rowkey path.
+/// First-seen dedup over `keys`, shared by group-by and distinct:
+/// `firsts` collects the first row of each distinct key (in row order)
+/// and, when non-null, entry_of_row[r] receives row r's entry id.
+///
+/// Keys are compared as normalized cells (key_cells_batch): the batch's
+/// own cells come from sequential column sweeps, each entry keeps one
+/// compact copy, and hashes derive from the cells — so after the single
+/// per-batch column sweep, probing never touches the source columns
+/// again (a row_keys_equal re-read of the first-seen row costs a cache
+/// miss per input row at high key cardinality). Tables are sized to the
+/// number of DISTINCT keys (grown on demand), not input rows, keeping
+/// the slot array cache-resident for the common aggregation shapes.
+void dedup_rows_hashed(const Table& src, std::span<const ColumnIndex> keys,
+                       std::size_t batch_rows, std::uint32_t* entry_of_row,
+                       std::vector<RowIndex>& firsts) {
+  const std::size_t n = src.num_rows();
+  const std::size_t nc = keys.size();
+  std::vector<std::uint64_t> hashes(batch_rows);
+  std::vector<std::uint64_t> cell_bits(batch_rows * nc);
+  std::vector<std::uint8_t> cell_null(batch_rows * nc);
+  std::vector<std::uint64_t> entry_hash;  // per entry, for rebuilds
+  std::vector<std::uint64_t> entry_bits;  // num_entries x nc, row-major
+  std::vector<std::uint8_t> entry_null;
+
+  if (nc == 1) {
+    // Single key column: the cell fits in the map slot itself, so a
+    // probe is one random load with no chain indirection.
+    KeyCellMap map(/*expected=*/128);
+    for (std::size_t base = 0; base < n; base += batch_rows) {
+      const std::size_t bn = std::min(batch_rows, n - base);
+      key_cells_batch(src, static_cast<RowIndex>(base), bn, keys[0],
+                      cell_bits.data(), cell_null.data());
+      hash_key_cells(cell_bits.data(), cell_null.data(), bn, 1, batch_rows,
+                     hashes.data());
+      // Conservative pre-batch growth check (every row could be new),
+      // so slot references stay stable across the probe loop.
+      if (map.needs_capacity(firsts.size() + bn)) {
+        map.rebuild(firsts.size() + bn, entry_bits, entry_null, entry_hash);
+      }
+      for (std::size_t i = 0; i < bn; ++i) map.prefetch(hashes[i]);
+      for (std::size_t i = 0; i < bn; ++i) {
+        KeyCellMap::Slot& s =
+            map.slot(hashes[i], cell_bits[i], cell_null[i]);
+        std::uint32_t e = s.entry;
+        if (e == kChainEnd) {
+          e = static_cast<std::uint32_t>(firsts.size());
+          firsts.push_back(static_cast<RowIndex>(base + i));
+          entry_hash.push_back(hashes[i]);
+          entry_bits.push_back(cell_bits[i]);
+          entry_null.push_back(cell_null[i]);
+          s = KeyCellMap::Slot{cell_bits[i], e, cell_null[i]};
+        }
+        if (entry_of_row != nullptr) entry_of_row[base + i] = e;
+      }
+    }
+    return;
+  }
+
+  // General arity: hash -> chain of entries, exact cell compare per
+  // candidate (chains carry hash collisions, so distinct keys never
+  // merge).
+  HashHeads heads(/*expected=*/128);
+  std::vector<std::uint32_t> next_entry;
+  for (std::size_t base = 0; base < n; base += batch_rows) {
+    const std::size_t bn = std::min(batch_rows, n - base);
+    for (std::size_t c = 0; c < nc; ++c) {
+      key_cells_batch(src, static_cast<RowIndex>(base), bn, keys[c],
+                      cell_bits.data() + c * batch_rows,
+                      cell_null.data() + c * batch_rows);
+    }
+    hash_key_cells(cell_bits.data(), cell_null.data(), bn, nc, batch_rows,
+                   hashes.data());
+    if (heads.needs_capacity(firsts.size() + bn)) {
+      heads.rebuild(firsts.size() + bn, entry_hash, next_entry);
+    }
+    for (std::size_t i = 0; i < bn; ++i) heads.prefetch(hashes[i]);
+    for (std::size_t i = 0; i < bn; ++i) {
+      std::uint32_t& head = heads.slot(hashes[i]);
+      std::uint32_t e = head;
+      for (; e != kChainEnd; e = next_entry[e]) {
+        bool eq = true;
+        for (std::size_t c = 0; c < nc; ++c) {
+          if (entry_bits[e * nc + c] != cell_bits[c * batch_rows + i] ||
+              entry_null[e * nc + c] != cell_null[c * batch_rows + i]) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) break;
+      }
+      if (e == kChainEnd) {
+        e = static_cast<std::uint32_t>(firsts.size());
+        firsts.push_back(static_cast<RowIndex>(base + i));
+        next_entry.push_back(head);
+        entry_hash.push_back(hashes[i]);
+        for (std::size_t c = 0; c < nc; ++c) {
+          entry_bits.push_back(cell_bits[c * batch_rows + i]);
+          entry_null.push_back(cell_null[c * batch_rows + i]);
+        }
+        head = e;
+      }
+      if (entry_of_row != nullptr) entry_of_row[base + i] = e;
+    }
+  }
+}
+
+void assign_groups_hashed(const Table& src, std::span<const ColumnIndex> keys,
+                          std::size_t batch_rows,
+                          std::uint32_t* group_of_row,
+                          std::vector<RowIndex>& representatives) {
+  dedup_rows_hashed(src, keys, batch_rows, group_of_row, representatives);
+}
+
 }  // namespace
 
 Result<TablePtr> group_by(const Table& src, std::span<const ColumnIndex> keys,
-                          std::span<const AggSpec> aggs, std::string name) {
+                          std::span<const AggSpec> aggs, std::string name,
+                          const BatchPolicy& policy) {
   std::vector<ColumnDef> defs;
   defs.reserve(keys.size() + aggs.size());
   for (const auto k : keys) defs.push_back(src.schema().column(k));
@@ -272,110 +702,200 @@ Result<TablePtr> group_by(const Table& src, std::span<const ColumnIndex> keys,
   auto out = std::make_shared<Table>(std::move(name), std::move(schema),
                                      src.pool());
 
-  // group key -> (representative row, per-agg state), first-seen order.
-  std::unordered_map<std::string, std::size_t> group_index;
+  // Group discovery: one group id per row, first-seen order.
+  // Fully overwritten by group assignment; skip the 4 bytes/row
+  // zero-initialization a vector would do.
+  auto group_of_row =
+      std::make_unique_for_overwrite<std::uint32_t[]>(src.num_rows());
   std::vector<RowIndex> representatives;
-  std::vector<std::vector<AggState>> states;
-
-  for (std::size_t r = 0; r < src.num_rows(); ++r) {
-    const RowIndex row = static_cast<RowIndex>(r);
-    const std::string key = encode_row_key(src, row, keys);
-    auto [it, inserted] = group_index.emplace(key, representatives.size());
-    if (inserted) {
-      representatives.push_back(row);
-      states.emplace_back(aggs.size());
-    }
-    std::vector<AggState>& group = states[it->second];
-    for (std::size_t a = 0; a < aggs.size(); ++a) {
-      const AggSpec& spec = aggs[a];
-      AggState& st = group[a];
-      if (spec.kind == AggKind::kCountStar) {
-        ++st.count;
-        continue;
-      }
-      const Column& col = src.column(spec.input);
-      if (col.is_null(row)) continue;
-      switch (spec.kind) {
-        case AggKind::kCount:
-          ++st.count;
-          break;
-        case AggKind::kSum:
-        case AggKind::kAvg:
-          ++st.count;
-          if (col.type().kind == TypeKind::kDouble) {
-            st.dsum += col.double_at(row);
-          } else {
-            st.isum += col.int64_at(row);
-            st.dsum += static_cast<double>(col.int64_at(row));
-          }
-          break;
-        case AggKind::kMin:
-        case AggKind::kMax: {
-          const Value v = src.value_at(row, spec.input);
-          if (!st.has_value) {
-            st.min = v;
-            st.max = v;
-            st.has_value = true;
-          } else {
-            if (v.compare(st.min) < 0) st.min = v;
-            if (v.compare(st.max) > 0) st.max = v;
-          }
-          break;
-        }
-        default:
-          GEMS_UNREACHABLE("handled above");
-      }
-    }
+  if (policy.vectorized()) {
+    assign_groups_hashed(src, keys, policy.clamped_rows(), group_of_row.get(),
+                         representatives);
+  } else {
+    assign_groups_rowkey(src, keys, group_of_row.get(), representatives);
   }
 
   // SQL scalar aggregation: no keys -> exactly one row even on empty input.
-  if (keys.empty() && representatives.empty()) {
-    representatives.push_back(0);
-    states.emplace_back(aggs.size());
+  const bool scalar_empty = keys.empty() && representatives.empty();
+  if (scalar_empty) representatives.push_back(0);
+
+  // Accumulation sweeps rows in global order per aggregate into flat,
+  // kind-compact state arrays (count(*)/count use 8 bytes per group,
+  // sum/avg 24, only min/max the boxed Values). The row order per
+  // aggregate is exactly the row engine's, so floating point sums add
+  // in the same order on both paths.
+  const std::size_t num_groups = representatives.size();
+  std::vector<std::vector<std::int64_t>> count_states(aggs.size());
+  std::vector<std::vector<SumState>> sum_states(aggs.size());
+  std::vector<std::vector<DoubleSumState>> dsum_states(aggs.size());
+  std::vector<std::vector<MinMaxState>> minmax_states(aggs.size());
+  const std::uint32_t* groups = group_of_row.get();
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& spec = aggs[a];
+    if (spec.kind == AggKind::kCountStar) {
+      count_states[a].resize(num_groups);
+      std::int64_t* st = count_states[a].data();
+      for (std::size_t r = 0; r < src.num_rows(); ++r) {
+        ++st[groups[r]];
+      }
+      continue;
+    }
+    const Column& col = src.column(spec.input);
+    switch (spec.kind) {
+      case AggKind::kCount: {
+        count_states[a].resize(num_groups);
+        std::int64_t* st = count_states[a].data();
+        for (std::size_t r = 0; r < src.num_rows(); ++r) {
+          if (col.is_null(static_cast<RowIndex>(r))) continue;
+          ++st[groups[r]];
+        }
+        break;
+      }
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        if (col.type().kind == TypeKind::kDouble) {
+          dsum_states[a].resize(num_groups);
+          DoubleSumState* st = dsum_states[a].data();
+          const std::span<const double> vals = col.double_span();
+          for (std::size_t r = 0; r < src.num_rows(); ++r) {
+            const RowIndex row = static_cast<RowIndex>(r);
+            if (col.is_null(row)) continue;
+            DoubleSumState& s = st[groups[r]];
+            ++s.count;
+            s.dsum += vals[row];
+          }
+        } else {
+          sum_states[a].resize(num_groups);
+          SumState* st = sum_states[a].data();
+          for (std::size_t r = 0; r < src.num_rows(); ++r) {
+            const RowIndex row = static_cast<RowIndex>(r);
+            if (col.is_null(row)) continue;
+            SumState& s = st[groups[r]];
+            ++s.count;
+            s.isum += col.int64_at(row);
+            s.dsum += static_cast<double>(col.int64_at(row));
+          }
+        }
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        minmax_states[a].resize(num_groups);
+        MinMaxState* st = minmax_states[a].data();
+        for (std::size_t r = 0; r < src.num_rows(); ++r) {
+          const RowIndex row = static_cast<RowIndex>(r);
+          if (col.is_null(row)) continue;
+          MinMaxState& s = st[groups[r]];
+          const Value v = src.value_at(row, spec.input);
+          if (!s.has_value) {
+            s.min = v;
+            s.max = v;
+            s.has_value = true;
+          } else {
+            if (v.compare(s.min) < 0) s.min = v;
+            if (v.compare(s.max) > 0) s.max = v;
+          }
+        }
+        break;
+      }
+      default:
+        GEMS_UNREACHABLE("handled above");
+    }
   }
 
-  StringPool& pool = src.pool();
-  for (std::size_t g = 0; g < representatives.size(); ++g) {
-    std::vector<Value> row_values;
-    row_values.reserve(keys.size() + aggs.size());
-    for (const auto k : keys) {
-      row_values.push_back(src.value_at(representatives[g], k));
-    }
-    for (std::size_t a = 0; a < aggs.size(); ++a) {
-      const AggSpec& spec = aggs[a];
-      const AggState& st = states[g][a];
-      switch (spec.kind) {
-        case AggKind::kCountStar:
-        case AggKind::kCount:
-          row_values.push_back(Value::int64(st.count));
-          break;
-        case AggKind::kSum:
-          if (st.count == 0) {
-            row_values.push_back(Value::null());
-          } else if (src.column(spec.input).type().kind == TypeKind::kDouble) {
-            row_values.push_back(Value::float64(st.dsum));
-          } else {
-            row_values.push_back(Value::int64(st.isum));
+  // Column-at-a-time emission. Byte-identical to boxed per-row appends:
+  // append_from copies payload+validity for key cells (NULL keys write the
+  // scalar append_null payload), typed appends write what append_value
+  // would for each aggregate kind.
+  for (std::size_t c = 0; c < keys.size(); ++c) {
+    out->column_mut(static_cast<ColumnIndex>(c))
+        .append_gather(src.column(keys[c]), representatives.data(),
+                       num_groups);
+  }
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& spec = aggs[a];
+    Column& oc =
+        out->column_mut(static_cast<ColumnIndex>(keys.size() + a));
+    switch (spec.kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount: {
+        const std::int64_t* st = count_states[a].data();
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          oc.append_int64(st[g]);
+        }
+        break;
+      }
+      case AggKind::kSum: {
+        if (src.column(spec.input).type().kind == TypeKind::kDouble) {
+          const DoubleSumState* st = dsum_states[a].data();
+          for (std::size_t g = 0; g < num_groups; ++g) {
+            if (st[g].count == 0) {
+              oc.append_null();
+            } else {
+              oc.append_double(st[g].dsum);
+            }
           }
-          break;
-        case AggKind::kAvg:
-          row_values.push_back(st.count == 0
-                                   ? Value::null()
-                                   : Value::float64(
-                                         st.dsum /
-                                         static_cast<double>(st.count)));
-          break;
-        case AggKind::kMin:
-          row_values.push_back(st.has_value ? st.min : Value::null());
-          break;
-        case AggKind::kMax:
-          row_values.push_back(st.has_value ? st.max : Value::null());
-          break;
+        } else {
+          const SumState* st = sum_states[a].data();
+          for (std::size_t g = 0; g < num_groups; ++g) {
+            if (st[g].count == 0) {
+              oc.append_null();
+            } else {
+              oc.append_int64(st[g].isum);
+            }
+          }
+        }
+        break;
+      }
+      case AggKind::kAvg: {
+        if (src.column(spec.input).type().kind == TypeKind::kDouble) {
+          const DoubleSumState* st = dsum_states[a].data();
+          for (std::size_t g = 0; g < num_groups; ++g) {
+            if (st[g].count == 0) {
+              oc.append_null();
+            } else {
+              oc.append_double(st[g].dsum /
+                               static_cast<double>(st[g].count));
+            }
+          }
+        } else {
+          const SumState* st = sum_states[a].data();
+          for (std::size_t g = 0; g < num_groups; ++g) {
+            if (st[g].count == 0) {
+              oc.append_null();
+            } else {
+              oc.append_double(st[g].dsum /
+                               static_cast<double>(st[g].count));
+            }
+          }
+        }
+        break;
+      }
+      case AggKind::kMin: {
+        const MinMaxState* st = minmax_states[a].data();
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          if (st[g].has_value) {
+            oc.append_value(st[g].min, src.pool());
+          } else {
+            oc.append_null();
+          }
+        }
+        break;
+      }
+      case AggKind::kMax: {
+        const MinMaxState* st = minmax_states[a].data();
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          if (st[g].has_value) {
+            oc.append_value(st[g].max, src.pool());
+          } else {
+            oc.append_null();
+          }
+        }
+        break;
       }
     }
-    (void)pool;
-    out->append_row_unchecked(row_values);
   }
+  out->bump_rows(num_groups);
   return out;
 }
 
@@ -443,14 +963,22 @@ TablePtr order_by(const Table& src, std::span<const SortKey> keys,
   return materialize(src, order, all_columns(src), std::move(name));
 }
 
-TablePtr distinct(const Table& src, std::string name) {
+TablePtr distinct(const Table& src, std::string name,
+                  const BatchPolicy& policy) {
   const auto cols = all_columns(src);
-  std::unordered_map<std::string, bool> seen;
   std::vector<RowIndex> keep;
-  for (std::size_t r = 0; r < src.num_rows(); ++r) {
-    const RowIndex row = static_cast<RowIndex>(r);
-    if (seen.emplace(encode_row_key(src, row, cols), true).second) {
-      keep.push_back(row);
+  if (policy.vectorized()) {
+    // First-seen dedup via the shared hashed path (batched key cells,
+    // exact equality per candidate — collisions never merge rows).
+    dedup_rows_hashed(src, cols, policy.clamped_rows(),
+                      /*entry_of_row=*/nullptr, keep);
+  } else {
+    std::unordered_map<std::string, bool, RowKeyHash, std::equal_to<>> seen;
+    for (std::size_t r = 0; r < src.num_rows(); ++r) {
+      const RowIndex row = static_cast<RowIndex>(r);
+      if (seen.emplace(encode_row_key(src, row, cols), true).second) {
+        keep.push_back(row);
+      }
     }
   }
   return materialize(src, keep, cols, std::move(name));

@@ -15,6 +15,7 @@
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
+#include "relational/batch.hpp"
 #include "relational/bound_expr.hpp"
 #include "storage/table.hpp"
 
@@ -26,18 +27,28 @@ using storage::Table;
 using storage::TablePtr;
 
 // ---- Selection ---------------------------------------------------------
+//
+// Operators taking a BatchPolicy run the vectorized kernel engine
+// (vector_eval.hpp) by default and fall back to the row-at-a-time
+// interpreter when the policy disables batching (BatchPolicy::row_engine)
+// or the expression is not vectorizable. Both paths are bit-identical for
+// every batch size and null pattern (property-tested; the row path is the
+// oracle).
 
 /// Row indices of `table` satisfying `predicate` (ascending order).
 std::vector<RowIndex> filter_rows(const Table& table,
-                                  const BoundExpr& predicate);
+                                  const BoundExpr& predicate,
+                                  const BatchPolicy& policy = {});
 
 /// Parallel selection over the intra-node thread pool (the shared-memory
 /// half of the paper's "massively parallel execution"): the table is
-/// chunked, chunks filter independently, results concatenate in order.
-/// Bit-identical to filter_rows (property-tested).
+/// chunked, chunks filter independently (each worker with its own kernel
+/// scratch), results concatenate in order. Bit-identical to filter_rows
+/// (property-tested).
 std::vector<RowIndex> filter_rows_parallel(const Table& table,
                                            const BoundExpr& predicate,
-                                           ThreadPool& pool);
+                                           ThreadPool& pool,
+                                           const BatchPolicy& policy = {});
 
 /// Copies `rows` × `cols` of `src` into a new table named `name`, keeping
 /// the source column names unless `rename` provides one per output column.
@@ -52,9 +63,12 @@ struct OutputColumn {
   BoundExprPtr expr;  // bound against a single-source TableScope
 };
 
-/// Evaluates each output expression for each listed row.
+/// Evaluates each output expression for each listed row. Vectorized:
+/// expressions compile to kernels once and evaluate per batch, appending
+/// whole lane windows into the output columns.
 TablePtr project(const Table& src, std::span<const RowIndex> rows,
-                 std::span<const OutputColumn> outputs, std::string name);
+                 std::span<const OutputColumn> outputs, std::string name,
+                 const BatchPolicy& policy = {});
 
 // ---- Join ---------------------------------------------------------------
 
@@ -63,7 +77,8 @@ TablePtr project(const Table& src, std::span<const RowIndex> rows,
 /// semantics). Key columns must be pairwise comparable (checked).
 Result<std::vector<std::pair<RowIndex, RowIndex>>> hash_join_pairs(
     const Table& left, std::span<const ColumnIndex> left_keys,
-    const Table& right, std::span<const ColumnIndex> right_keys);
+    const Table& right, std::span<const ColumnIndex> right_keys,
+    const BatchPolicy& policy = {});
 
 struct JoinOutput {
   enum Side { kLeft, kRight } side;
@@ -77,7 +92,8 @@ Result<TablePtr> hash_join(const Table& left,
                            const Table& right,
                            std::span<const ColumnIndex> right_keys,
                            std::span<const JoinOutput> outputs,
-                           std::string name);
+                           std::string name,
+                           const BatchPolicy& policy = {});
 
 // ---- Aggregation ----------------------------------------------------------
 
@@ -97,7 +113,8 @@ struct AggSpec {
 /// columns (source names) followed by one column per aggregate.
 /// Groups appear in first-encounter order (stable).
 Result<TablePtr> group_by(const Table& src, std::span<const ColumnIndex> keys,
-                          std::span<const AggSpec> aggs, std::string name);
+                          std::span<const AggSpec> aggs, std::string name,
+                          const BatchPolicy& policy = {});
 
 // ---- Ordering / dedup / top -----------------------------------------------
 
@@ -115,7 +132,8 @@ TablePtr order_by(const Table& src, std::span<const SortKey> keys,
                   std::string name);
 
 /// Distinct rows (over all columns), first occurrence kept, input order.
-TablePtr distinct(const Table& src, std::string name);
+TablePtr distinct(const Table& src, std::string name,
+                  const BatchPolicy& policy = {});
 
 /// First `n` rows (paper's `top n`; callers sort first).
 TablePtr head(const Table& src, std::size_t n, std::string name);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace gems::relational {
 
@@ -51,6 +52,178 @@ std::string encode_row_key(const storage::Table& table, storage::RowIndex row,
   out.reserve(cols.size() * 9);
   for (const auto col : cols) append_key_part(table, row, col, out);
   return out;
+}
+
+std::uint64_t hash_encoded_key(std::string_view key) noexcept {
+  // 8-byte chunks folded through the MurmurHash3 finalizer; the trailing
+  // partial chunk is zero-padded. Seeding with the length separates keys
+  // that differ only by zero-padding.
+  std::uint64_t h = mix64(0x9e3779b97f4a7c15ull ^ key.size());
+  std::size_t i = 0;
+  for (; i + 8 <= key.size(); i += 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, key.data() + i, sizeof(chunk));
+    h = mix64(h ^ chunk);
+  }
+  if (i < key.size()) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, key.data() + i, key.size() - i);
+    h = mix64(h ^ chunk);
+  }
+  return h;
+}
+
+namespace {
+
+// Tags mirror the encoded format's null/value marker bytes: a NULL part
+// and a value part can never hash from the same inputs.
+inline constexpr std::uint64_t kNullPartSeed = 0x9ae16a3b2f90404full;
+inline constexpr std::uint64_t kValuePartSeed = 0xc2b2ae3d27d4eb4full;
+
+/// Value payload of one non-null cell as raw 64 bits, normalized the same
+/// way append_key_part normalizes (-0.0 collapsed).
+inline std::uint64_t key_part_bits(const Column& column,
+                                   storage::RowIndex row) {
+  switch (column.type().kind) {
+    case TypeKind::kBool:
+      return column.bool_at(row) ? 1u : 0u;
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      return static_cast<std::uint64_t>(column.int64_at(row));
+    case TypeKind::kDouble: {
+      double v = column.double_at(row);
+      if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      return bits;
+    }
+    case TypeKind::kVarchar:
+      return column.string_at(row);
+  }
+  GEMS_UNREACHABLE("bad column kind");
+}
+
+}  // namespace
+
+std::uint64_t hash_row_key(const storage::Table& table,
+                           storage::RowIndex row,
+                           std::span<const storage::ColumnIndex> cols) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto col : cols) {
+    const Column& column = table.column(col);
+    if (column.is_null(row)) {
+      h = mix64(h ^ kNullPartSeed);
+    } else {
+      h = mix64(h ^ kValuePartSeed ^ key_part_bits(column, row));
+    }
+  }
+  return h;
+}
+
+void hash_row_key_batch(const storage::Table& table, storage::RowIndex base,
+                        const storage::RowIndex* rows, std::size_t n,
+                        std::span<const storage::ColumnIndex> cols,
+                        std::uint64_t* hashes, std::uint8_t* has_null) {
+  for (std::size_t i = 0; i < n; ++i) hashes[i] = 0x9e3779b97f4a7c15ull;
+  if (has_null != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) has_null[i] = 0;
+  }
+  for (const auto col : cols) {
+    const Column& column = table.column(col);
+    for (std::size_t i = 0; i < n; ++i) {
+      const storage::RowIndex row =
+          rows != nullptr ? rows[i]
+                          : base + static_cast<storage::RowIndex>(i);
+      if (column.is_null(row)) {
+        hashes[i] = mix64(hashes[i] ^ kNullPartSeed);
+        if (has_null != nullptr) has_null[i] = 1;
+      } else {
+        hashes[i] =
+            mix64(hashes[i] ^ kValuePartSeed ^ key_part_bits(column, row));
+      }
+    }
+  }
+}
+
+void key_cells_batch(const storage::Table& table, storage::RowIndex base,
+                     std::size_t n, storage::ColumnIndex col,
+                     std::uint64_t* bits, std::uint8_t* nulls) {
+  const Column& column = table.column(col);
+  for (std::size_t i = 0; i < n; ++i) {
+    nulls[i] = column.is_null(base + static_cast<storage::RowIndex>(i)) ? 1 : 0;
+  }
+  // Type dispatch hoisted out of the row loop; payload sweeps read the
+  // typed spans directly.
+  switch (column.type().kind) {
+    case TypeKind::kBool: {
+      const auto vals = column.int_span().subspan(base, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        bits[i] = nulls[i] != 0 ? 0 : (vals[i] != 0 ? 1u : 0u);
+      }
+      break;
+    }
+    case TypeKind::kInt64:
+    case TypeKind::kDate: {
+      const auto vals = column.int_span().subspan(base, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        bits[i] = nulls[i] != 0 ? 0 : static_cast<std::uint64_t>(vals[i]);
+      }
+      break;
+    }
+    case TypeKind::kDouble: {
+      const auto vals = column.double_span().subspan(base, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        double v = vals[i];
+        if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+        std::uint64_t b;
+        std::memcpy(&b, &v, sizeof(b));
+        bits[i] = nulls[i] != 0 ? 0 : b;
+      }
+      break;
+    }
+    case TypeKind::kVarchar: {
+      const auto vals = column.string_span().subspan(base, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        bits[i] = nulls[i] != 0 ? 0 : vals[i];
+      }
+      break;
+    }
+  }
+}
+
+void hash_key_cells(const std::uint64_t* bits, const std::uint8_t* nulls,
+                    std::size_t n, std::size_t ncols, std::size_t stride,
+                    std::uint64_t* hashes) {
+  for (std::size_t i = 0; i < n; ++i) hashes[i] = 0x9e3779b97f4a7c15ull;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const std::uint64_t* b = bits + c * stride;
+    const std::uint8_t* nl = nulls + c * stride;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t part =
+          nl[i] != 0 ? kNullPartSeed : (kValuePartSeed ^ b[i]);
+      hashes[i] = mix64(hashes[i] ^ part);
+    }
+  }
+}
+
+bool row_keys_equal(const storage::Table& a, storage::RowIndex row_a,
+                    std::span<const storage::ColumnIndex> cols_a,
+                    const storage::Table& b, storage::RowIndex row_b,
+                    std::span<const storage::ColumnIndex> cols_b) {
+  GEMS_DCHECK(cols_a.size() == cols_b.size());
+  for (std::size_t i = 0; i < cols_a.size(); ++i) {
+    const Column& ca = a.column(cols_a[i]);
+    const Column& cb = b.column(cols_b[i]);
+    const bool na = ca.is_null(row_a);
+    const bool nb = cb.is_null(row_b);
+    if (na != nb) return false;
+    if (na) continue;
+    // Bit comparison of the normalized payload matches the encoded-bytes
+    // comparison exactly (incl. NaN == same-bit-pattern NaN, which `==`
+    // on doubles would get wrong).
+    if (key_part_bits(ca, row_a) != key_part_bits(cb, row_b)) return false;
+  }
+  return true;
 }
 
 }  // namespace gems::relational

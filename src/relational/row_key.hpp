@@ -3,10 +3,20 @@
 // Two rows encode to the same bytes iff their key columns are pairwise
 // equal under the column's type (strings compare by interned id, which the
 // shared StringPool makes equivalent to string equality).
+//
+// Hashing of these keys goes through the 64-bit MurmurHash3 finalizer
+// (common/hash.hpp) — both the chunked hasher for encoded byte keys
+// (RowKeyHash) and the vectorized per-column hash stream (hash_rows) —
+// because std-hasher combining diffuses the low-entropy payloads (dense
+// interned ids, small integers) poorly and skews bucket occupancy. The
+// encoded byte format itself is unchanged: it is what vertex identity,
+// snapshots and the BSP wire already rely on.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "storage/table.hpp"
 
@@ -19,5 +29,70 @@ void append_key_part(const storage::Table& table, storage::RowIndex row,
 /// Encodes the given columns of one row.
 std::string encode_row_key(const storage::Table& table, storage::RowIndex row,
                            std::span<const storage::ColumnIndex> cols);
+
+/// Hashes an encoded row key: 8-byte little-endian chunks folded through
+/// mix64. Heterogeneous so unordered containers can probe with
+/// string_view without materializing a std::string.
+std::uint64_t hash_encoded_key(std::string_view key) noexcept;
+
+/// Hasher for unordered containers keyed on encoded row keys.
+struct RowKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view key) const noexcept {
+    return static_cast<std::size_t>(hash_encoded_key(key));
+  }
+  std::size_t operator()(const std::string& key) const noexcept {
+    return static_cast<std::size_t>(
+        hash_encoded_key(std::string_view(key)));
+  }
+};
+
+/// 64-bit key hash of one row without materializing the encoded bytes
+/// (the vectorized group-by/join/distinct path). Equal keys (in the
+/// encode_row_key sense) hash equal; exact equality is decided by
+/// row_keys_equal.
+std::uint64_t hash_row_key(const storage::Table& table,
+                           storage::RowIndex row,
+                           std::span<const storage::ColumnIndex> cols);
+
+/// Bulk form of hash_row_key, column-at-a-time: hashes[i] receives the
+/// key hash of row `rows[i]` (or `base + i` when rows == nullptr — the
+/// contiguous-window case). When `has_null` is non-null, has_null[i] is
+/// set to 1 iff any key column is NULL in that row (join key screening),
+/// 0 otherwise.
+void hash_row_key_batch(const storage::Table& table, storage::RowIndex base,
+                        const storage::RowIndex* rows, std::size_t n,
+                        std::span<const storage::ColumnIndex> cols,
+                        std::uint64_t* hashes, std::uint8_t* has_null);
+
+/// Normalized key cells of one column over a contiguous row window:
+/// bits[i] receives the normalized payload of row base+i (0 when NULL,
+/// -0.0 collapsed, strings as interned ids) and nulls[i] the NULL flag.
+/// Two cells are equal in the encode_row_key sense iff their (bits,
+/// null) pairs match, which lets hash-chain verification compare nine
+/// compact bytes per key column instead of re-reading a previously seen
+/// row from the source columns (a cache miss per probe once the table
+/// outgrows cache).
+void key_cells_batch(const storage::Table& table, storage::RowIndex base,
+                     std::size_t n, storage::ColumnIndex col,
+                     std::uint64_t* bits, std::uint8_t* nulls);
+
+/// Key hashes recomputed from normalized cells (column-major, columns
+/// `stride` apart): hashes[i] is exactly hash_row_key_batch's value for
+/// the row the cells came from, but produced by a pure arithmetic sweep
+/// over the compact cell arrays instead of a second pass over source
+/// columns and validity bitmaps.
+void hash_key_cells(const std::uint64_t* bits, const std::uint8_t* nulls,
+                    std::size_t n, std::size_t ncols, std::size_t stride,
+                    std::uint64_t* hashes);
+
+/// Exact key equality, byte-for-byte equivalent to comparing
+/// encode_row_key outputs (NULL == NULL, -0.0 collapsed into +0.0,
+/// doubles otherwise by bit pattern, strings by interned id) without
+/// allocating either encoding.
+bool row_keys_equal(const storage::Table& a, storage::RowIndex row_a,
+                    std::span<const storage::ColumnIndex> cols_a,
+                    const storage::Table& b, storage::RowIndex row_b,
+                    std::span<const storage::ColumnIndex> cols_b);
 
 }  // namespace gems::relational

@@ -28,6 +28,9 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   // took — that is what makes recovery byte-identical.
   ctx_.copy_on_write = true;
   ctx_.incremental_ingest = options_.incremental_ingest;
+  ctx_.batch_policy = options_.vectorized_execution
+                          ? relational::BatchPolicy{}
+                          : relational::BatchPolicy::row_engine();
   ctx_.on_graph_maintenance = [this](bool delta, std::uint64_t ns) {
     epochs_.record_maintenance(delta, ns);
   };

@@ -106,6 +106,103 @@ void Column::append_from(const Column& src, RowIndex row) {
   }
 }
 
+void Column::append_gather(const Column& src, const RowIndex* rows,
+                           std::size_t n) {
+  GEMS_DCHECK(src.type_.kind == type_.kind);
+  switch (type_.kind) {
+    case TypeKind::kBool:
+    case TypeKind::kInt64:
+    case TypeKind::kDate: {
+      auto& out = ints();
+      const auto& in = src.ints();
+      out.reserve(out.size() + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool ok = !src.is_null(rows[i]);
+        out.push_back(ok ? in[rows[i]] : 0);
+        valid_.resize(valid_.size() + 1, ok);
+      }
+      break;
+    }
+    case TypeKind::kDouble: {
+      auto& out = doubles();
+      const auto& in = src.doubles();
+      out.reserve(out.size() + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool ok = !src.is_null(rows[i]);
+        out.push_back(ok ? in[rows[i]] : 0.0);
+        valid_.resize(valid_.size() + 1, ok);
+      }
+      break;
+    }
+    case TypeKind::kVarchar: {
+      auto& out = strs();
+      const auto& in = src.strs();
+      out.reserve(out.size() + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool ok = !src.is_null(rows[i]);
+        out.push_back(ok ? in[rows[i]] : kInvalidStringId);
+        valid_.resize(valid_.size() + 1, ok);
+      }
+      break;
+    }
+  }
+}
+
+namespace {
+
+inline bool lane_valid(const std::uint64_t* valid, std::size_t i) noexcept {
+  return (valid[i >> 6] >> (i & 63)) & 1u;
+}
+
+}  // namespace
+
+void Column::append_lanes_int64(const std::int64_t* lanes,
+                                const std::uint64_t* valid, std::size_t n) {
+  GEMS_DCHECK(type_.kind == TypeKind::kInt64 || type_.kind == TypeKind::kDate);
+  auto& out = ints();
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Branch-free null masking: null lanes store 0, like append_null.
+    const std::int64_t mask =
+        -static_cast<std::int64_t>(lane_valid(valid, i) ? 1 : 0);
+    out.push_back(lanes[i] & mask);
+  }
+  valid_.append_words(valid, n);
+}
+
+void Column::append_lanes_double(const double* lanes,
+                                 const std::uint64_t* valid, std::size_t n) {
+  GEMS_DCHECK(type_.kind == TypeKind::kDouble);
+  auto& out = doubles();
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lane_valid(valid, i) ? lanes[i] : 0.0);
+  }
+  valid_.append_words(valid, n);
+}
+
+void Column::append_lanes_string(const StringId* lanes,
+                                 const std::uint64_t* valid, std::size_t n) {
+  GEMS_DCHECK(type_.kind == TypeKind::kVarchar);
+  auto& out = strs();
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lane_valid(valid, i) ? lanes[i] : kInvalidStringId);
+  }
+  valid_.append_words(valid, n);
+}
+
+void Column::append_bool_bits(const std::uint64_t* bits,
+                              const std::uint64_t* valid, std::size_t n) {
+  GEMS_DCHECK(type_.kind == TypeKind::kBool);
+  auto& out = ints();
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lane_valid(bits, i) ? 1 : 0);
+  }
+  valid_.append_words(valid, n);
+}
+
 Value Column::value_at(RowIndex row, const StringPool& pool) const {
   if (is_null(row)) return Value::null();
   switch (type_.kind) {

@@ -40,6 +40,27 @@ class Column {
   /// string ids stay valid).
   void append_from(const Column& src, RowIndex row);
 
+  /// Bulk form of append_from: appends rows `rows[0..n)` of `src` in
+  /// order. The type dispatch happens once per call instead of once per
+  /// row; output bytes are identical to n append_from calls.
+  void append_gather(const Column& src, const RowIndex* rows, std::size_t n);
+
+  // ---- Batch appending (vectorized operators) -------------------------
+  // Appends `n` lanes with validity given as packed bit-words (bit i set
+  // = lane i non-null; bits at or past n must be zero). NULL lanes store
+  // the same zero payloads the scalar append_null writes, so tables built
+  // batch-at-a-time are byte-identical to row-at-a-time ones (snapshots
+  // serialize the raw arrays).
+  void append_lanes_int64(const std::int64_t* lanes,
+                          const std::uint64_t* valid, std::size_t n);
+  void append_lanes_double(const double* lanes, const std::uint64_t* valid,
+                           std::size_t n);
+  void append_lanes_string(const StringId* lanes, const std::uint64_t* valid,
+                           std::size_t n);
+  /// Bool lanes arrive as packed value bit-words (bit set = true).
+  void append_bool_bits(const std::uint64_t* bits, const std::uint64_t* valid,
+                        std::size_t n);
+
   // ---- Reading (scan path) ---------------------------------------------
   bool is_null(RowIndex row) const noexcept { return !valid_.test(row); }
   const DynamicBitset& validity() const noexcept { return valid_; }

@@ -47,6 +47,15 @@ class Table {
     ++num_rows_;
   }
 
+  /// Batch form of bump_row_count for operators that append whole column
+  /// windows at a time (the vectorized engine).
+  void bump_rows(std::size_t n) {
+#ifndef NDEBUG
+    for (const auto& c : columns_) GEMS_DCHECK(c.size() == num_rows_ + n);
+#endif
+    num_rows_ += n;
+  }
+
   Value value_at(RowIndex row, ColumnIndex col) const {
     return columns_[col].value_at(row, *pool_);
   }

@@ -1,10 +1,19 @@
 // Tests for the relational engine: expression binding/type checking
-// (paper Sec. III-A), evaluation semantics, and every Table I operator.
+// (paper Sec. III-A), evaluation semantics, and every Table I operator —
+// plus the vectorized-vs-row equivalence properties (the row engine is
+// the oracle; the batch engine must be byte-identical at every batch
+// size and null density).
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "relational/bound_expr.hpp"
 #include "relational/eval.hpp"
+#include "relational/null_semantics.hpp"
 #include "relational/operators.hpp"
+#include "relational/vector_eval.hpp"
 #include "storage/csv.hpp"
 
 namespace gems::relational {
@@ -449,6 +458,457 @@ TEST_F(RelationalTest, MaterializeRenames) {
   auto t = materialize(*offers_, rows, cols, "M", &names);
   EXPECT_EQ(t->schema().column(0).name, "offer_id");
   EXPECT_EQ(t->schema().column(1).name, "cost");
+}
+
+// ---- Vectorized engine equivalence (batch == row oracle) -------------------
+//
+// The properties below are the contract of the batch engine: for every
+// batch size (including 1), every null density and every operator, the
+// vectorized path must produce tables that are byte-identical to the
+// row-at-a-time oracle — same validity words AND same raw array payloads
+// (snapshots serialize the raw arrays, so payloads under null lanes count).
+
+namespace vec_prop {
+
+// splitmix64: deterministic across platforms (std distributions are not).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // [0, 1)
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next() %
+                                          static_cast<std::uint64_t>(
+                                              hi - lo + 1));
+  }
+};
+
+inline TablePtr make_random_table(StringPool& pool, std::size_t rows,
+                                  double null_density, std::uint64_t seed) {
+  auto t = std::make_shared<Table>(
+      "R",
+      Schema({{"a", DataType::int64()},
+              {"b", DataType::int64()},
+              {"x", DataType::float64()},
+              {"y", DataType::float64()},
+              {"s", DataType::varchar(8)},
+              {"d", DataType::date()}}),
+      pool);
+  static const char* kStrings[] = {"aa", "bb", "cc", "dd",
+                                   "p1", "p2", "p3", "zz"};
+  Rng rng{seed};
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto maybe_null = [&](Value v) {
+      return rng.unit() < null_density ? Value::null() : std::move(v);
+    };
+    std::vector<Value> row;
+    row.push_back(maybe_null(Value::int64(rng.range(-50, 50))));
+    // b includes 0 so integer subexpressions and group keys see it.
+    row.push_back(maybe_null(Value::int64(rng.range(0, 9))));
+    // Multiples of 1/8: exactly representable, so arithmetic results do
+    // not depend on excess precision. y includes exact 0.0 (div-by-zero).
+    row.push_back(
+        maybe_null(Value::float64(
+            static_cast<double>(rng.range(-1000, 1000)) / 8.0)));
+    row.push_back(
+        maybe_null(Value::float64(
+            static_cast<double>(rng.range(-16, 16)) / 8.0)));
+    row.push_back(maybe_null(Value::varchar(kStrings[rng.next() % 8])));
+    row.push_back(maybe_null(Value::date(rng.range(13000, 13100))));
+    t->append_row_unchecked(row);
+  }
+  return t;
+}
+
+inline ExprPtr col(const char* name) { return Expr::make_column("", name); }
+inline ExprPtr i64(std::int64_t v) {
+  return Expr::make_literal(Value::int64(v));
+}
+inline ExprPtr f64(double v) { return Expr::make_literal(Value::float64(v)); }
+inline ExprPtr str(const char* v) {
+  return Expr::make_literal(Value::varchar(v));
+}
+inline ExprPtr bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return Expr::make_binary(op, std::move(l), std::move(r));
+}
+
+/// Boolean expressions covering every kernel: comparisons on every type,
+/// int and float arithmetic, division (by zero -> NULL), unary not/neg,
+/// and/or over NULL-producing operands, and constant predicates.
+inline std::vector<ExprPtr> predicate_corpus() {
+  std::vector<ExprPtr> out;
+  out.push_back(bin(BinaryOp::kGe, col("a"), i64(0)));
+  out.push_back(bin(BinaryOp::kLt, col("x"), col("y")));
+  out.push_back(bin(BinaryOp::kLe,
+                    bin(BinaryOp::kMul,
+                        bin(BinaryOp::kAdd, col("a"), col("b")), i64(2)),
+                    i64(60)));
+  out.push_back(bin(BinaryOp::kGt,
+                    bin(BinaryOp::kDiv, col("x"), col("y")), f64(0.5)));
+  out.push_back(bin(BinaryOp::kNe,
+                    bin(BinaryOp::kSub, col("a"), col("b")), i64(7)));
+  out.push_back(Expr::make_unary(
+      UnaryOp::kNot, bin(BinaryOp::kEq, col("s"), str("cc"))));
+  out.push_back(bin(BinaryOp::kGt, col("s"), str("bb")));
+  out.push_back(bin(BinaryOp::kGe, col("d"),
+                    Expr::make_literal(Value::date(13050))));
+  out.push_back(bin(
+      BinaryOp::kAnd,
+      bin(BinaryOp::kOr, bin(BinaryOp::kLt, col("a"), i64(10)),
+          bin(BinaryOp::kGe, col("x"), f64(2.5))),
+      Expr::make_unary(UnaryOp::kNot,
+                       bin(BinaryOp::kEq, col("b"), i64(3)))));
+  out.push_back(bin(BinaryOp::kLt,
+                    Expr::make_unary(UnaryOp::kNeg, col("a")), col("b")));
+  // Mixed int/double comparison (promotion) and x = x (NULL screen).
+  out.push_back(bin(BinaryOp::kGt, col("x"), col("a")));
+  out.push_back(bin(BinaryOp::kEq, col("x"), col("x")));
+  // Constant predicates: all-pass and all-filtered selection vectors.
+  out.push_back(Expr::make_literal(Value::boolean(true)));
+  out.push_back(Expr::make_literal(Value::boolean(false)));
+  return out;
+}
+
+inline void expect_tables_byte_identical(const Table& a, const Table& b,
+                                         const char* what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  for (std::size_t c = 0; c < a.num_columns(); ++c) {
+    const storage::Column& ca = a.column(static_cast<ColumnIndex>(c));
+    const storage::Column& cb = b.column(static_cast<ColumnIndex>(c));
+    ASSERT_EQ(ca.type().kind, cb.type().kind) << what << " col " << c;
+    EXPECT_TRUE(ca.validity() == cb.validity()) << what << " col " << c;
+    switch (ca.type().kind) {
+      case TypeKind::kBool:
+      case TypeKind::kInt64:
+      case TypeKind::kDate: {
+        const auto sa = ca.int_span(), sb = cb.int_span();
+        ASSERT_EQ(sa.size(), sb.size()) << what << " col " << c;
+        EXPECT_EQ(std::memcmp(sa.data(), sb.data(),
+                              sa.size() * sizeof(std::int64_t)),
+                  0)
+            << what << " col " << c;
+        break;
+      }
+      case TypeKind::kDouble: {
+        // memcmp, not ==: catches -0.0 vs +0.0 and NaN payload drift.
+        const auto sa = ca.double_span(), sb = cb.double_span();
+        ASSERT_EQ(sa.size(), sb.size()) << what << " col " << c;
+        EXPECT_EQ(
+            std::memcmp(sa.data(), sb.data(), sa.size() * sizeof(double)),
+            0)
+            << what << " col " << c;
+        break;
+      }
+      case TypeKind::kVarchar: {
+        const auto sa = ca.string_span(), sb = cb.string_span();
+        ASSERT_EQ(sa.size(), sb.size()) << what << " col " << c;
+        EXPECT_EQ(std::memcmp(sa.data(), sb.data(),
+                              sa.size() * sizeof(StringId)),
+                  0)
+            << what << " col " << c;
+        break;
+      }
+    }
+  }
+}
+
+constexpr std::size_t kBatchSizes[] = {1, 7, kBatchRows};
+constexpr double kNullDensities[] = {0.0, 0.1, 0.9};
+
+}  // namespace vec_prop
+
+TEST_F(RelationalTest, VectorizedFilterMatchesRowEngine) {
+  using namespace vec_prop;
+  ThreadPool tpool(4);
+  std::uint64_t seed = 1;
+  for (const double nd : kNullDensities) {
+    // 533 rows: several full words plus a ragged tail in every batch size.
+    auto t = make_random_table(pool_, 533, nd, seed++);
+    TableScope scope(*t);
+    for (const ExprPtr& e : predicate_corpus()) {
+      auto bound = bind_predicate(e, scope, {}, pool_);
+      ASSERT_TRUE(bound.is_ok()) << e->to_string();
+      const auto oracle =
+          filter_rows(*t, **bound, BatchPolicy::row_engine());
+      for (const std::size_t bs : kBatchSizes) {
+        EXPECT_EQ(filter_rows(*t, **bound, BatchPolicy{bs}), oracle)
+            << e->to_string() << " bs=" << bs << " nd=" << nd;
+        EXPECT_EQ(filter_rows_parallel(*t, **bound, tpool, BatchPolicy{bs}),
+                  oracle)
+            << e->to_string() << " parallel bs=" << bs << " nd=" << nd;
+      }
+    }
+  }
+}
+
+TEST_F(RelationalTest, VectorizedProjectMatchesRowEngine) {
+  using namespace vec_prop;
+  std::uint64_t seed = 100;
+  for (const double nd : kNullDensities) {
+    auto t = make_random_table(pool_, 533, nd, seed++);
+    TableScope scope(*t);
+    auto make_outputs = [&]() {
+      std::vector<OutputColumn> outs;
+      auto add = [&](const char* name, ExprPtr e) {
+        auto bound = bind_expr(e, scope, {}, pool_);
+        GEMS_CHECK_MSG(bound.is_ok(), bound.status().to_string().c_str());
+        outs.push_back({name, std::move(bound).value()});
+      };
+      add("isum", bin(BinaryOp::kAdd, col("a"), col("b")));
+      add("prod", bin(BinaryOp::kMul, col("x"), col("y")));
+      add("ratio", bin(BinaryOp::kDiv, col("x"), col("y")));  // /0 -> NULL
+      add("mixed", bin(BinaryOp::kSub, col("x"), col("a")));
+      add("neg", Expr::make_unary(UnaryOp::kNeg, col("a")));
+      add("flag", Expr::make_unary(
+                      UnaryOp::kNot,
+                      bin(BinaryOp::kLt, col("a"), col("b"))));  // bool col
+      add("name", col("s"));  // varchar passthrough
+      add("when", col("d"));  // date passthrough
+      return outs;
+    };
+    // Contiguous full selection and a gathered subset (every 3rd row).
+    std::vector<storage::RowIndex> all(t->num_rows());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<storage::RowIndex>(i);
+    }
+    std::vector<storage::RowIndex> sparse;
+    for (std::size_t i = 0; i < all.size(); i += 3) sparse.push_back(all[i]);
+    for (const auto& rows : {all, sparse}) {
+      const auto outs = make_outputs();
+      const auto oracle =
+          project(*t, rows, outs, "P", BatchPolicy::row_engine());
+      for (const std::size_t bs : kBatchSizes) {
+        const auto got = project(*t, rows, outs, "P", BatchPolicy{bs});
+        expect_tables_byte_identical(*got, *oracle, "project");
+      }
+    }
+  }
+}
+
+TEST_F(RelationalTest, VectorizedJoinMatchesRowEngine) {
+  using namespace vec_prop;
+  std::uint64_t seed = 200;
+  for (const double nd : kNullDensities) {
+    auto lhs = make_random_table(pool_, 211, nd, seed++);
+    auto rhs = make_random_table(pool_, 533, nd, seed++);
+    // Varchar key (dup-heavy: 8 distinct strings) and composite
+    // varchar+int key; NULL keys must never match in either engine.
+    const std::vector<std::vector<ColumnIndex>> key_sets{{4}, {4, 1}};
+    for (const auto& keys : key_sets) {
+      const auto oracle = hash_join_pairs(*lhs, keys, *rhs, keys,
+                                          BatchPolicy::row_engine());
+      ASSERT_TRUE(oracle.is_ok());
+      for (const std::size_t bs : kBatchSizes) {
+        const auto got =
+            hash_join_pairs(*lhs, keys, *rhs, keys, BatchPolicy{bs});
+        ASSERT_TRUE(got.is_ok());
+        EXPECT_EQ(got.value(), oracle.value())
+            << "keys=" << keys.size() << " bs=" << bs << " nd=" << nd;
+      }
+      const std::vector<JoinOutput> outs{{JoinOutput::kLeft, 0, "la"},
+                                         {JoinOutput::kLeft, 2, "lx"},
+                                         {JoinOutput::kRight, 4, "rs"},
+                                         {JoinOutput::kRight, 3, "ry"}};
+      const auto om = hash_join(*lhs, keys, *rhs, keys, outs, "J",
+                                BatchPolicy::row_engine());
+      ASSERT_TRUE(om.is_ok());
+      for (const std::size_t bs : kBatchSizes) {
+        const auto gm =
+            hash_join(*lhs, keys, *rhs, keys, outs, "J", BatchPolicy{bs});
+        ASSERT_TRUE(gm.is_ok());
+        expect_tables_byte_identical(**gm, **om, "hash_join");
+      }
+    }
+  }
+}
+
+TEST_F(RelationalTest, VectorizedGroupByMatchesRowEngine) {
+  using namespace vec_prop;
+  std::uint64_t seed = 300;
+  const std::vector<AggSpec> aggs{
+      {AggKind::kCountStar, 0, "n"},    {AggKind::kCount, 2, "nx"},
+      {AggKind::kSum, 0, "suma"},       {AggKind::kSum, 2, "sumx"},
+      {AggKind::kAvg, 2, "avgx"},       {AggKind::kMin, 2, "minx"},
+      {AggKind::kMax, 4, "maxs"},       {AggKind::kMin, 5, "mind"}};
+  for (const double nd : kNullDensities) {
+    auto t = make_random_table(pool_, 533, nd, seed++);
+    // Composite varchar+int key (NULL is a groupable key value), plus
+    // keyless scalar aggregation.
+    const std::vector<std::vector<ColumnIndex>> key_sets{{4, 1}, {}};
+    for (const auto& keys : key_sets) {
+      const auto oracle =
+          group_by(*t, keys, aggs, "G", BatchPolicy::row_engine());
+      ASSERT_TRUE(oracle.is_ok());
+      for (const std::size_t bs : kBatchSizes) {
+        const auto got = group_by(*t, keys, aggs, "G", BatchPolicy{bs});
+        ASSERT_TRUE(got.is_ok());
+        // Byte-identity includes the double sum/avg columns: the batch
+        // engine must accumulate in the row engine's FP addition order.
+        expect_tables_byte_identical(**got, **oracle, "group_by");
+      }
+    }
+  }
+}
+
+TEST_F(RelationalTest, VectorizedDistinctMatchesRowEngine) {
+  using namespace vec_prop;
+  std::uint64_t seed = 400;
+  for (const double nd : kNullDensities) {
+    auto t = make_random_table(pool_, 533, nd, seed++);
+    // Project to dup-heavy columns first so distinct actually collapses.
+    std::vector<storage::RowIndex> all(t->num_rows());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<storage::RowIndex>(i);
+    }
+    const std::vector<ColumnIndex> cols{1, 4};
+    auto narrow = materialize(*t, all, cols, "N");
+    const auto oracle = distinct(*narrow, "D", BatchPolicy::row_engine());
+    for (const std::size_t bs : kBatchSizes) {
+      const auto got = distinct(*narrow, "D", BatchPolicy{bs});
+      expect_tables_byte_identical(*got, *oracle, "distinct");
+    }
+  }
+}
+
+TEST_F(RelationalTest, VectorizedEmptyAndAllFilteredInputs) {
+  using namespace vec_prop;
+  auto t = make_random_table(pool_, 97, 0.1, 7);
+  TableScope scope(*t);
+  // All-filtered: constant-false predicate yields an empty selection.
+  auto none = bind_predicate(Expr::make_literal(Value::boolean(false)),
+                             scope, {}, pool_);
+  ASSERT_TRUE(none.is_ok());
+  for (const std::size_t bs : kBatchSizes) {
+    EXPECT_TRUE(filter_rows(*t, **none, BatchPolicy{bs}).empty());
+  }
+  // Empty selection vectors through project / group_by / distinct.
+  const std::vector<storage::RowIndex> no_rows;
+  std::vector<OutputColumn> outs;
+  auto sum = bind_expr(bin(BinaryOp::kAdd, col("a"), col("b")), scope, {},
+                       pool_);
+  ASSERT_TRUE(sum.is_ok());
+  outs.push_back({"sum", std::move(sum).value()});
+  const auto oracle =
+      project(*t, no_rows, outs, "P", BatchPolicy::row_engine());
+  for (const std::size_t bs : kBatchSizes) {
+    const auto got = project(*t, no_rows, outs, "P", BatchPolicy{bs});
+    ASSERT_EQ(got->num_rows(), 0u);
+    expect_tables_byte_identical(*got, *oracle, "empty project");
+  }
+  Table empty("E", t->schema(), pool_);
+  const std::vector<ColumnIndex> keys{1};
+  const std::vector<AggSpec> aggs{{AggKind::kCountStar, 0, "n"}};
+  for (const std::size_t bs : kBatchSizes) {
+    const auto g = group_by(empty, keys, aggs, "G", BatchPolicy{bs});
+    ASSERT_TRUE(g.is_ok());
+    EXPECT_EQ((*g)->num_rows(), 0u);
+    EXPECT_EQ(distinct(empty, "D", BatchPolicy{bs})->num_rows(), 0u);
+  }
+}
+
+TEST(NullSemanticsTest, Sql3vlWordFormulasMatchTruthTables) {
+  // All nine operand combinations, one per lane: lane = 3*l + r.
+  std::uint64_t lv = 0, ld = 0, rv = 0, rd = 0;
+  auto encode = [](Tri t, std::uint64_t& value, std::uint64_t& valid,
+                   std::size_t lane) {
+    if (t != Tri::kNull) valid |= 1ull << lane;
+    if (t == Tri::kTrue) value |= 1ull << lane;
+  };
+  const Tri all[] = {Tri::kFalse, Tri::kTrue, Tri::kNull};
+  for (int l = 0; l < 3; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      const std::size_t lane = static_cast<std::size_t>(3 * l + r);
+      encode(all[l], lv, ld, lane);
+      encode(all[r], rv, rd, lane);
+    }
+  }
+  auto decode = [](std::uint64_t value, std::uint64_t valid,
+                   std::size_t lane) {
+    if ((valid >> lane & 1) == 0) return Tri::kNull;
+    return (value >> lane & 1) != 0 ? Tri::kTrue : Tri::kFalse;
+  };
+  std::uint64_t value = 0, valid = 0;
+  and3_words(lv, ld, rv, rd, value, valid);
+  EXPECT_EQ(value & ~valid, 0u) << "and: value must stay within valid";
+  for (int l = 0; l < 3; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      const std::size_t lane = static_cast<std::size_t>(3 * l + r);
+      EXPECT_EQ(decode(value, valid, lane), kAnd3[l][r])
+          << "and lane " << lane;
+    }
+  }
+  or3_words(lv, ld, rv, rd, value, valid);
+  EXPECT_EQ(value & ~valid, 0u) << "or: value must stay within valid";
+  for (int l = 0; l < 3; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      const std::size_t lane = static_cast<std::size_t>(3 * l + r);
+      EXPECT_EQ(decode(value, valid, lane), kOr3[l][r])
+          << "or lane " << lane;
+    }
+  }
+  not3_words(lv, ld, value, valid);
+  EXPECT_EQ(value & ~valid, 0u) << "not: value must stay within valid";
+  for (std::size_t lane = 0; lane < 9; ++lane) {
+    EXPECT_EQ(decode(value, valid, lane),
+              kNot3[static_cast<int>(decode(lv, ld, lane))])
+        << "not lane " << lane;
+  }
+}
+
+TEST(CmpKernelsTest, ScalarAndActiveKernelsAgree) {
+  // A/B the runtime-dispatched table (AVX2 when present) against the
+  // portable scalar table over adversarial lanes: NaN, +/-0.0, +/-inf,
+  // INT64_MIN/MAX and a deterministic random fill. 133 lanes = two full
+  // words plus a five-lane tail (the partial-word assembly path).
+  constexpr std::size_t kN = 133;
+  alignas(32) std::int64_t ia[kN], ib[kN];
+  alignas(32) double fa[kN], fb[kN];
+  vec_prop::Rng rng{42};
+  const double specials[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             0.0,
+                             -0.0,
+                             1.5};
+  const std::int64_t ispecials[] = {std::numeric_limits<std::int64_t>::min(),
+                                    std::numeric_limits<std::int64_t>::max(),
+                                    0, -1, 1, 42};
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i < 36) {
+      // Full cross product of the special values in the leading lanes.
+      fa[i] = specials[i / 6];
+      fb[i] = specials[i % 6];
+      ia[i] = ispecials[i / 6];
+      ib[i] = ispecials[i % 6];
+    } else {
+      fa[i] = static_cast<double>(rng.range(-4, 4)) / 2.0;
+      fb[i] = static_cast<double>(rng.range(-4, 4)) / 2.0;
+      ia[i] = rng.range(-5, 5);
+      ib[i] = rng.range(-5, 5);
+    }
+  }
+  const CmpKernels& active = cmp_kernels();
+  const CmpKernels& scalar = scalar_cmp_kernels();
+  constexpr std::size_t kWords = (kN + 63) / 64;
+  for (int op = 0; op < 6; ++op) {
+    std::uint64_t got[kWords] = {}, want[kWords] = {};
+    active.i64[op](ia, ib, kN, got);
+    scalar.i64[op](ia, ib, kN, want);
+    for (std::size_t w = 0; w < kWords; ++w) {
+      EXPECT_EQ(got[w], want[w]) << "i64 op " << op << " word " << w;
+    }
+    active.f64[op](fa, fb, kN, got);
+    scalar.f64[op](fa, fb, kN, want);
+    for (std::size_t w = 0; w < kWords; ++w) {
+      EXPECT_EQ(got[w], want[w]) << "f64 op " << op << " word " << w;
+    }
+  }
 }
 
 }  // namespace
